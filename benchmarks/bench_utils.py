@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark modules (importable, unlike conftest.py)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentResult
+
+#: Per-variant epoch budgets for the micro accuracy runs.  The paper itself
+#: trains the two variants for different lengths (150 epochs for PECAN-A, 300
+#: for PECAN-D on CIFAR); at micro scale the angle variant needs the longer
+#: schedule while the distance variant converges (and costs) more per epoch.
+MICRO_EPOCHS = {"baseline": 8, "pecan_a": 25, "pecan_d": 8}
+
+
+def micro_run(config: ExperimentConfig, arch: str, epochs: int, **overrides) -> ExperimentResult:
+    """Run one reduced-scale experiment (accuracy rows of the table benches)."""
+    return run_experiment(replace(config, arch=arch, epochs=epochs, **overrides))

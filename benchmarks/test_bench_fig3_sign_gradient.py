@@ -1,0 +1,60 @@
+"""Bench E9 — Fig. 3: the epoch-aware approximation of the sign gradient.
+
+Regenerates the family of curves ``tanh(a·x)`` with ``a = exp(4·e/E)`` that
+Fig. 3 plots for increasing training progress ``e/E``, checks their defining
+properties (smooth early, sign-like late, monotone sharpening) and renders the
+curve data as a small ASCII plot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sign_gradient_curves
+from repro.analysis.visualization import ascii_heatmap
+from repro.pecan.similarity import sign_gradient_scale
+
+PROGRESS = (0.03, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return sign_gradient_curves(progress_ratios=PROGRESS, x_range=3.0, num_points=301)
+
+
+class TestFig3Shape:
+    def test_sharpness_schedule_endpoints(self):
+        assert sign_gradient_scale(0, 100) == pytest.approx(1.0)
+        assert sign_gradient_scale(100, 100) == pytest.approx(np.exp(4.0))
+
+    def test_deviation_from_sign_decreases_with_progress(self, curves):
+        deviations = [curve.max_deviation_from_sign for curve in curves]
+        assert all(a >= b for a, b in zip(deviations, deviations[1:]))
+
+    def test_final_curve_is_sign_like(self, curves):
+        final = curves[-1]
+        x = final.x[np.abs(final.x) > 0.25]
+        y = final.y[np.abs(final.x) > 0.25]
+        np.testing.assert_allclose(y, np.sign(x), atol=0.02)
+
+    def test_early_curve_is_smooth_near_origin(self, curves):
+        early = curves[0]
+        slope = np.gradient(early.y, early.x)
+        assert slope.max() < 1.5      # tanh(x) slope at 0 is ~1 for a ≈ 1
+
+    def test_all_curves_odd_and_bounded(self, curves):
+        for curve in curves:
+            np.testing.assert_allclose(curve.y, -curve.y[::-1], atol=1e-12)
+            assert np.abs(curve.y).max() <= 1.0
+
+
+def test_bench_fig3_report(benchmark, curves):
+    """Benchmark curve generation and print the Fig. 3 data summary."""
+    benchmark(lambda: sign_gradient_curves(progress_ratios=PROGRESS))
+    print("\nFig. 3 — sign-gradient surrogate tanh(a*x), a = exp(4 e/E):")
+    print(f"{'e/E':>6} {'a':>8} {'max |tanh(ax) - sgn(x)|':>26}")
+    for curve in curves:
+        print(f"{curve.progress:>6.2f} {curve.sharpness:>8.3f} "
+              f"{curve.max_deviation_from_sign:>26.4f}")
+    stacked = np.stack([curve.y for curve in curves])
+    print("\nASCII rendering (rows = increasing e/E, columns = x from -3 to 3):")
+    print(ascii_heatmap(stacked, width=61, height=len(curves)))

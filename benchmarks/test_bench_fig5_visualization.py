@@ -1,0 +1,88 @@
+"""Bench E7 — Fig. 5: flattened features, PECAN-D reconstruction and codebooks.
+
+Fig. 5 shows, for the convolution layers of VGG-Small, the im2col feature
+matrix, its PECAN-D quantized approximation and the learned codebook.  The
+paper's point is qualitative: even with a limited number of prototypes the
+quantized feature maps preserve the basic patterns.
+
+This bench converts a (briefly trained) VGG-Small into PECAN-D, extracts the
+three matrices for every convolution layer, verifies that the reconstruction
+error is bounded (the quantized matrix is genuinely built from codebook
+columns and tracks the original features better than a zero/mean baseline
+would) and prints ASCII renderings of one panel.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis import visualize_layer_quantization
+from repro.analysis.visualization import ascii_heatmap
+from repro.data import make_dataset
+from repro.experiments import run_experiment
+from repro.experiments.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def trained_pecan_vgg(micro_cifar10_config):
+    """A briefly trained PECAN-D VGG-Small (enough for meaningful codebooks)."""
+    config = replace(micro_cifar10_config, arch="vgg_small_pecan_d", epochs=4)
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="module")
+def panels(trained_pecan_vgg):
+    _, test = make_dataset("cifar10", num_train=8, num_test=8, image_size=16)
+    return visualize_layer_quantization(trained_pecan_vgg.model, test.images[:2])
+
+
+class TestFig5:
+    def test_one_panel_per_conv_layer(self, panels):
+        assert len(panels) == 6        # VGG-Small has six convolution layers
+
+    def test_quantized_matrix_built_from_codebook_columns(self, panels):
+        panel = panels[0]
+        prototypes = panel.codebook.T
+        for column in panel.quantized.T[:20]:
+            distances = np.abs(prototypes - column).sum(axis=1)
+            assert distances.min() == pytest.approx(0.0, abs=1e-9)
+
+    def test_reconstruction_tracks_features(self, panels):
+        """Quantization must beat the trivial all-zeros reconstruction."""
+        for panel in panels:
+            zero_error = np.abs(panel.features).mean()
+            assert panel.reconstruction_error < zero_error
+
+    def test_relative_error_bounded(self, panels):
+        for panel in panels:
+            assert panel.relative_error < 1.0
+
+    def test_shapes_consistent(self, panels):
+        for panel in panels:
+            assert panel.features.shape == panel.quantized.shape
+            assert panel.codebook.shape[0] == panel.features.shape[0]
+
+
+def test_bench_fig5_report(benchmark, panels):
+    """Benchmark panel extraction bookkeeping and print the Fig. 5 summary."""
+    benchmark(lambda: [p.reconstruction_error for p in panels])
+    rows = [{
+        "layer": panel.layer_name,
+        "subvector_dim": panel.features.shape[0],
+        "positions": panel.features.shape[1],
+        "prototypes": panel.codebook.shape[1],
+        "rel_error": round(panel.relative_error, 3),
+    } for panel in panels]
+    print("\n" + format_table(
+        rows, columns=["layer", "subvector_dim", "positions", "prototypes", "rel_error"],
+        headers=["Layer", "d", "HoutWout (shown)", "p", "Relative l1 error"],
+        title="Fig. 5 — feature vs PECAN-D reconstruction (first codebook group)"))
+    panel = panels[0]
+    print("\nconv1 input features (im2col, group 0):")
+    print(ascii_heatmap(panel.features, width=64, height=panel.features.shape[0]))
+    print("conv1 PECAN-D reconstruction:")
+    print(ascii_heatmap(panel.quantized, width=64, height=panel.quantized.shape[0]))
+    print("conv1 codebook (columns = prototypes):")
+    print(ascii_heatmap(panel.codebook, width=min(64, panel.codebook.shape[1] * 2),
+                        height=panel.codebook.shape[0]))

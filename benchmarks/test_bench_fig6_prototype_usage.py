@@ -1,0 +1,92 @@
+"""Bench E8 — Fig. 6 / Section 5: prototype call frequencies and pruning headroom.
+
+The paper observes that after training, only a subset of each codebook's
+prototypes is ever selected at inference (26 of 64 in ResNet-20's second
+convolution), so the dead prototypes and their LUT entries can be pruned for
+free.  This bench runs CAM inference of a (briefly trained) PECAN-D ResNet-20
+over the synthetic CIFAR test set, collects the per-layer usage histograms of
+the first codebook group (the Fig. 6 matrix), verifies the sparsity claim
+(some prototypes unused → non-zero prunable fraction, pruning preserves the
+LUT outputs) and prints the usage matrix.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis import collect_prototype_usage, usage_matrix
+from repro.cam import CAMInferenceEngine, build_model_luts
+from repro.data import make_dataset
+from repro.experiments import run_experiment
+from repro.experiments.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def trained_resnet_d(micro_cifar10_config):
+    config = replace(micro_cifar10_config, arch="resnet20_pecan_d", width_multiplier=0.125,
+                     prototype_cap=16, epochs=2)
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="module")
+def usage_report(trained_resnet_d):
+    _, test = make_dataset("cifar10", num_train=8, num_test=64, image_size=16)
+    return collect_prototype_usage(trained_resnet_d.model, test.images, batch_size=32)
+
+
+class TestFig6:
+    def test_usage_collected_for_every_pecan_layer(self, usage_report, trained_resnet_d):
+        from repro.pecan.convert import pecan_layers
+        assert len(usage_report.layers) == len(pecan_layers(trained_resnet_d.model))
+
+    def test_some_prototypes_are_never_used(self, usage_report):
+        """The Section 5 observation: usage is sparse, so pruning is free."""
+        assert usage_report.prunable_fraction() > 0.0
+
+    def test_every_layer_uses_at_least_one_prototype(self, usage_report):
+        for layer in usage_report.layers:
+            assert layer.used >= 1
+
+    def test_usage_matrix_dimensions(self, usage_report):
+        matrix = usage_matrix(usage_report)
+        assert matrix.shape[0] == len(usage_report.layers)
+        assert matrix.shape[1] >= 1
+
+    def test_pruning_preserves_lut_outputs(self, trained_resnet_d, usage_report):
+        """Pruned LUTs keep exactly the columns the live prototypes need."""
+        model = trained_resnet_d.model
+        luts = build_model_luts(model)
+        layer_usage = {layer.name: layer.counts for layer in usage_report.layers}
+        for name, lut in list(luts.items())[:3]:
+            pruned = lut.prune_dead_prototypes(layer_usage[name])
+            for j in range(lut.num_groups):
+                kept = pruned.kept_indices[j]
+                np.testing.assert_array_equal(pruned.tables[j], lut.table[j][:, kept])
+
+    def test_pruning_saves_memory(self, trained_resnet_d, usage_report):
+        luts = build_model_luts(trained_resnet_d.model)
+        layer_usage = {layer.name: layer.counts for layer in usage_report.layers}
+        savings = [luts[name].prune_dead_prototypes(layer_usage[name]).memory_saving_fraction()
+                   for name in luts]
+        assert max(savings) > 0.0
+
+
+def test_bench_fig6_report(benchmark, trained_resnet_d, usage_report):
+    """Benchmark CAM inference (the usage-collection workhorse) and print Fig. 6."""
+    _, test = make_dataset("cifar10", num_train=8, num_test=16, image_size=16)
+    engine = CAMInferenceEngine(trained_resnet_d.model)
+    benchmark(lambda: engine.predict(test.images[:4]))
+
+    rows = [{
+        "layer": layer.name,
+        "p": layer.num_prototypes,
+        "used_group0": layer.used_in_group(0),
+        "used_total": layer.used,
+        "dead_total": layer.dead,
+    } for layer in usage_report.layers]
+    print("\n" + format_table(
+        rows, columns=["layer", "p", "used_group0", "used_total", "dead_total"],
+        headers=["Layer", "p", "Used (group 0)", "Used (all groups)", "Dead (all groups)"],
+        title="Fig. 6 — prototype call frequencies, PECAN-D ResNet-20 (micro scale)"))
+    print(f"\nOverall prunable fraction: {usage_report.prunable_fraction():.2%}")

@@ -1,0 +1,98 @@
+"""Bench E12 — the multiplier-free deployment claim (Sections 3.2 / 3.3).
+
+PECAN-D's defining hardware property is that inference needs **zero
+multiplications**: the prototype search is pure l1 (subtract / absolute /
+accumulate) and the layer output is assembled by table lookups and additions.
+This bench verifies the claim dynamically on the CAM inference engine, checks
+that LUT inference is numerically identical to the training-graph forward
+pass, reports the CAM activity statistics (searches, match-line evaluations,
+energy) and benchmarks the lookup-only inference throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.cam import CAMInferenceEngine, assert_multiplier_free
+from repro.cam.lut import build_model_luts, total_memory_footprint
+from repro.data import make_dataset
+from repro.experiments.tables import format_table
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def pecan_d_lenet(rng):
+    return build_model("lenet5_pecan_d", rng=rng)
+
+
+@pytest.fixture(scope="module")
+def mnist_batch():
+    _, test = make_dataset("mnist", num_train=8, num_test=32)
+    return test.images, test.labels
+
+
+class TestMultiplierFree:
+    def test_strict_assertion_passes(self, pecan_d_lenet, mnist_batch):
+        images, _ = mnist_batch
+        counter = assert_multiplier_free(pecan_d_lenet, images[:4], strict=True)
+        assert counter.multiplications == 0
+        assert counter.additions > 0
+
+    def test_lut_inference_matches_training_graph(self, pecan_d_lenet, mnist_batch):
+        images, _ = mnist_batch
+        engine = CAMInferenceEngine(pecan_d_lenet)
+        pecan_d_lenet.eval()
+        with no_grad():
+            direct = pecan_d_lenet(Tensor(images[:8])).data
+        np.testing.assert_allclose(engine.predict(images[:8]), direct, atol=1e-8)
+
+    def test_cam_activity_accounting(self, pecan_d_lenet, mnist_batch):
+        images, _ = mnist_batch
+        engine = CAMInferenceEngine(pecan_d_lenet)
+        engine.predict(images[:4])
+        stats = engine.cam_stats()
+        assert stats.searches > 0
+        assert stats.matchline_evaluations >= stats.searches
+        assert stats.energy > 0
+
+    def test_memory_footprint_reports_prototypes_and_tables(self, pecan_d_lenet):
+        luts = build_model_luts(pecan_d_lenet)
+        totals = total_memory_footprint(luts)
+        assert totals["prototype_values"] > 0
+        assert totals["table_values"] > 0
+        # Section 3: storage = p·cin prototypes + cout·cin·p inner products per layer.
+        conv1 = luts["features.0"]
+        assert conv1.memory_footprint()["prototype_values"] == 1 * 9 * 64
+        assert conv1.memory_footprint()["table_values"] == 1 * 8 * 64
+
+    def test_angle_variant_is_not_multiplier_free(self, rng, mnist_batch):
+        from repro.cam.verify import MultiplierUsageError
+        images, _ = mnist_batch
+        model = build_model("lenet5_pecan_a", rng=rng)
+        with pytest.raises(MultiplierUsageError):
+            assert_multiplier_free(model, images[:2], strict=False)
+
+
+def test_bench_lut_inference_throughput(benchmark, pecan_d_lenet, mnist_batch):
+    """Benchmark Algorithm-1 inference and print the per-layer op breakdown."""
+    images, labels = mnist_batch
+    engine = CAMInferenceEngine(pecan_d_lenet)
+
+    benchmark(lambda: engine.predict(images[:8]))
+
+    engine.reset_counters()
+    engine.predict(images[:1])
+    rows = [{
+        "layer": name,
+        "kind": kind,
+        "additions": adds,
+        "multiplications": muls,
+    } for name, kind, adds, muls in engine.op_counter.per_layer_table()]
+    print("\n" + format_table(
+        rows, columns=["layer", "kind", "additions", "multiplications"],
+        headers=["Layer", "Kind", "#Add. (1 image)", "#Mul. (1 image)"],
+        title="Multiplier-free verification — traced LUT inference of PECAN-D LeNet5"))
+    totals = total_memory_footprint(build_model_luts(pecan_d_lenet))
+    print(f"\nDeployment memory: {totals['prototype_values']} prototype values + "
+          f"{totals['table_values']} LUT values "
+          f"({totals['total_bytes'] / 1024:.1f} KiB at 4 bytes/value)")

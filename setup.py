@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP-517 editable installs
+fail with ``invalid command 'bdist_wheel'``.  Keeping a ``setup.py`` allows the
+classic ``pip install -e . --no-build-isolation`` / ``python setup.py develop``
+path to work without network access.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Reproduction of "PECAN: A Product-Quantized Content Addressable Memory Network".
+
+Top-level namespace re-exporting the most commonly used entry points.  See
+``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory and
+the per-experiment index.
+
+Subpackages
+-----------
+``repro.autograd``   NumPy reverse-mode autodiff engine (training substrate).
+``repro.nn``         Conventional neural-network layers (the baselines).
+``repro.optim``      Optimizers and LR schedulers.
+``repro.data``       Synthetic dataset substrate (MNIST/CIFAR/TinyImageNet stand-ins).
+``repro.pecan``      The paper's contribution: PQ codebooks + PECAN-A/D layers.
+``repro.cam``        LUT construction and CAM-style lookup-only inference (Algorithm 1).
+``repro.hardware``   Analytic op counts (Table 1) and power/latency cost model (Table 5).
+``repro.models``     LeNet5 / VGG-Small / ResNet-20/32 / ConvMixer model zoo.
+``repro.baselines``  AdderNet, binary (XNOR) and shift convolution comparators.
+``repro.analysis``   Prototype usage, visualization and ablation utilities.
+``repro.experiments`` Experiment configs and the training/evaluation runner.
+"""
+
+from repro.autograd import Tensor, no_grad
+from repro.pecan import (
+    PQLayerConfig,
+    PECANMode,
+    PECANConv2d,
+    PECANLinear,
+    Codebook,
+    convert_to_pecan,
+    PECANTrainer,
+    TrainingStrategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "PQLayerConfig",
+    "PECANMode",
+    "PECANConv2d",
+    "PECANLinear",
+    "Codebook",
+    "convert_to_pecan",
+    "PECANTrainer",
+    "TrainingStrategy",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Analysis utilities: prototype usage (Fig. 6), visualization (Fig. 5),
+sign-gradient curves (Fig. 3) and ablation sweeps (Fig. 4, Table 6)."""
+
+from repro.analysis.prototype_usage import (
+    PrototypeUsageReport,
+    collect_prototype_usage,
+    usage_matrix,
+    prunable_fraction,
+)
+from repro.analysis.visualization import (
+    FeatureVisualization,
+    visualize_layer_quantization,
+    ascii_heatmap,
+)
+from repro.analysis.sign_gradient import sign_gradient_curves, SignGradientCurve
+from repro.analysis.ablation import prototype_dimension_sweep, DimensionSweepResult
+
+__all__ = [
+    "PrototypeUsageReport",
+    "collect_prototype_usage",
+    "usage_matrix",
+    "prunable_fraction",
+    "FeatureVisualization",
+    "visualize_layer_quantization",
+    "ascii_heatmap",
+    "sign_gradient_curves",
+    "SignGradientCurve",
+    "prototype_dimension_sweep",
+    "DimensionSweepResult",
+]

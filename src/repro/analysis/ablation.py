@@ -1,0 +1,147 @@
+"""Ablation sweeps: the prototype-dimension study of Fig. 4.
+
+The paper varies the subvector dimension of ResNet-20 on CIFAR-10 between
+``k``, ``k²`` (the default) and ``cin`` for both PECAN variants and observes
+that PECAN-A is robust to the choice while PECAN-D degrades as the dimension
+grows (coarser quantization).  :func:`prototype_dimension_sweep` reruns that
+sweep at a configurable scale using the experiment runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.models.pq_settings import uniform_pecan_config
+from repro.models.registry import MODEL_REGISTRY
+from repro.pecan.config import PECANMode
+from repro.pecan.convert import convert_to_pecan
+
+
+@dataclass
+class DimensionSweepPoint:
+    """One (mode, dimension) accuracy measurement of the Fig. 4 bar chart."""
+
+    mode: str                   # "angle" or "distance"
+    dimension_label: str        # "k", "k2" or "cin"
+    subvector_dim_example: int  # the concrete d used for the first conv layer
+    accuracy: float
+    additions: int
+    multiplications: int
+
+
+@dataclass
+class DimensionSweepResult:
+    """All measurements of one prototype-dimension sweep."""
+
+    points: List[DimensionSweepPoint] = field(default_factory=list)
+
+    def accuracy(self, mode: str, dimension_label: str) -> float:
+        for point in self.points:
+            if point.mode == mode and point.dimension_label == dimension_label:
+                return point.accuracy
+        raise KeyError(f"no sweep point for mode={mode}, dimension={dimension_label}")
+
+    def accuracies_by_mode(self, mode: str) -> Dict[str, float]:
+        return {p.dimension_label: p.accuracy for p in self.points if p.mode == mode}
+
+
+def _dimension_for_label(label: str, kernel_size: int, in_channels: int) -> int:
+    if label == "k":
+        return kernel_size
+    if label == "k2":
+        return kernel_size * kernel_size
+    if label == "cin":
+        return in_channels
+    raise ValueError(f"unknown dimension label {label!r} (use 'k', 'k2' or 'cin')")
+
+
+def prototype_dimension_sweep(base_config: ExperimentConfig,
+                              dimension_labels: Sequence[str] = ("k", "k2", "cin"),
+                              modes: Sequence[str] = ("angle", "distance"),
+                              num_prototypes: Optional[Dict[str, int]] = None,
+                              verbose: bool = False) -> DimensionSweepResult:
+    """Run the Fig. 4 sweep: accuracy vs subvector dimension for both modes.
+
+    ``base_config.arch`` must name a *baseline* architecture (no ``_pecan``
+    suffix); each sweep point converts it with a uniform per-layer config whose
+    subvector dimension follows the label (``d = k``, ``k²`` or ``cin`` —
+    resolved per layer relative to its kernel size / input channels).
+    """
+    if base_config.arch.endswith(("_pecan_a", "_pecan_d")):
+        raise ValueError("prototype_dimension_sweep expects a baseline architecture name")
+    num_prototypes = num_prototypes or {"angle": 8, "distance": 64}
+    result = DimensionSweepResult()
+
+    for mode in modes:
+        mode_enum = PECANMode.parse(mode)
+        for label in dimension_labels:
+            config = replace(base_config, model_kwargs=dict(base_config.model_kwargs))
+            config.model_kwargs["pecan_override"] = {
+                "mode": mode_enum.value,
+                "dimension_label": label,
+                "num_prototypes": num_prototypes[mode_enum.value],
+            }
+            point_result = _run_sweep_point(config, verbose=verbose)
+            kernel_size = 3
+            in_channels = point_result.extra.get("first_conv_in_channels", 3)
+            result.points.append(DimensionSweepPoint(
+                mode=mode_enum.value,
+                dimension_label=label,
+                subvector_dim_example=_dimension_for_label(label, kernel_size, int(in_channels)),
+                accuracy=point_result.accuracy,
+                additions=point_result.additions,
+                multiplications=point_result.multiplications,
+            ))
+    return result
+
+
+def _run_sweep_point(config: ExperimentConfig, verbose: bool = False) -> ExperimentResult:
+    """Run one sweep point by converting the baseline with a per-label config."""
+    override = config.model_kwargs.pop("pecan_override")
+    mode = PECANMode.parse(override["mode"])
+    label = override["dimension_label"]
+    p = override["num_prototypes"]
+
+    def provider(index, module):
+        from repro.nn.layers import Conv2d, Linear
+        from repro.models.pq_settings import adapt_subvector_dim
+        from repro.pecan.config import PQLayerConfig
+
+        if isinstance(module, Linear):
+            d = adapt_subvector_dim(16, module.in_features)
+        else:
+            desired = _dimension_for_label(label, module.kernel_size, module.in_channels)
+            d = adapt_subvector_dim(desired, module.in_channels * module.kernel_size ** 2)
+        temperature = 1.0 if mode is PECANMode.ANGLE else 0.5
+        return PQLayerConfig(num_prototypes=p, subvector_dim=d, mode=mode,
+                             temperature=temperature)
+
+    # Run the standard experiment on the baseline arch, then hand-convert.
+    # To reuse the runner end to end we register a transient converted builder.
+    base_builder = MODEL_REGISTRY[config.arch]
+    transient_name = f"{config.arch}__sweep"
+
+    def converted_builder(**kwargs):
+        import inspect
+
+        signature = inspect.signature(base_builder)
+        accepted = {k: v for k, v in kwargs.items() if k in signature.parameters}
+        base = base_builder(**accepted)
+        return convert_to_pecan(base, provider, rng=np.random.default_rng(config.seed))
+
+    MODEL_REGISTRY[transient_name] = converted_builder
+    try:
+        result = run_experiment(config.with_arch(transient_name), verbose=verbose)
+    finally:
+        MODEL_REGISTRY.pop(transient_name, None)
+
+    first_conv = next((m for m in result.model.modules()
+                       if hasattr(m, "in_channels") and hasattr(m, "kernel_size")), None)
+    if first_conv is not None:
+        result.extra["first_conv_in_channels"] = first_conv.in_channels
+    return result

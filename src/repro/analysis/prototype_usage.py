@@ -1,0 +1,114 @@
+"""Prototype call-frequency analysis (Section 5 / Fig. 6).
+
+The paper observes that after training PECAN-D, only a fraction of the
+prototypes of each codebook are ever selected at inference time (26 of 64 in
+the second convolution of ResNet-20), so the unused prototypes and their
+lookup-table entries can be pruned without any accuracy change.  This module
+collects those usage statistics by running the CAM inference engine over a
+dataset and exposes the matrix plotted in Fig. 6 plus aggregate pruning
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cam.inference import CAMInferenceEngine
+from repro.nn.module import Module
+
+
+@dataclass
+class LayerUsage:
+    """Usage histogram of one PECAN layer."""
+
+    name: str
+    counts: np.ndarray          # (D, p) selection counts
+
+    @property
+    def num_groups(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def num_prototypes(self) -> int:
+        return self.counts.shape[1]
+
+    @property
+    def used(self) -> int:
+        return int((self.counts > 0).sum())
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def dead(self) -> int:
+        return self.total - self.used
+
+    def used_in_group(self, group: int = 0) -> int:
+        """Number of live prototypes in one group (the Fig. 6 per-layer count)."""
+        return int((self.counts[group] > 0).sum())
+
+
+@dataclass
+class PrototypeUsageReport:
+    """Usage statistics for every PECAN layer of a model."""
+
+    layers: List[LayerUsage] = field(default_factory=list)
+
+    def layer(self, name: str) -> LayerUsage:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no usage record for layer {name!r}")
+
+    @property
+    def total_prototypes(self) -> int:
+        return sum(layer.total for layer in self.layers)
+
+    @property
+    def dead_prototypes(self) -> int:
+        return sum(layer.dead for layer in self.layers)
+
+    def prunable_fraction(self) -> float:
+        """Fraction of (group, prototype) slots never used — prunable for free."""
+        total = self.total_prototypes
+        return self.dead_prototypes / total if total else 0.0
+
+
+def collect_prototype_usage(model: Module, inputs: np.ndarray,
+                            batch_size: int = 64) -> PrototypeUsageReport:
+    """Run CAM inference over ``inputs`` and collect per-layer usage histograms."""
+    engine = CAMInferenceEngine(model)
+    inputs = np.asarray(inputs)
+    for start in range(0, inputs.shape[0], batch_size):
+        engine.predict(inputs[start:start + batch_size])
+    usage = engine.prototype_usage()
+    return PrototypeUsageReport(layers=[LayerUsage(name=name, counts=counts)
+                                        for name, counts in usage.items()])
+
+
+def usage_matrix(report: PrototypeUsageReport, group: int = 0,
+                 layer_names: Optional[Sequence[str]] = None) -> np.ndarray:
+    """The Fig. 6 matrix: rows = layers, columns = prototype indices.
+
+    Each entry is the call count of that prototype in the chosen codebook
+    group; zero entries correspond to the white (prunable) cells of Fig. 6.
+    Layers with fewer prototypes than the widest layer are zero-padded.
+    """
+    layers = report.layers if layer_names is None else [report.layer(n) for n in layer_names]
+    if not layers:
+        return np.zeros((0, 0), dtype=np.int64)
+    width = max(layer.num_prototypes for layer in layers)
+    matrix = np.zeros((len(layers), width), dtype=np.int64)
+    for row, layer in enumerate(layers):
+        counts = layer.counts[min(group, layer.num_groups - 1)]
+        matrix[row, :counts.shape[0]] = counts
+    return matrix
+
+
+def prunable_fraction(model: Module, inputs: np.ndarray) -> float:
+    """Convenience wrapper: fraction of prototypes never used on ``inputs``."""
+    return collect_prototype_usage(model, inputs).prunable_fraction()

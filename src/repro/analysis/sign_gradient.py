@@ -1,0 +1,54 @@
+"""Sign-gradient approximation curves (Eq. 6 / Fig. 3 of the paper).
+
+Fig. 3 plots ``tanh(a·x)`` with ``a = exp(4·e/E)`` for several values of the
+training progress ratio ``e/E``: early in training the surrogate gradient is
+smooth, late in training it approaches the sign function.  This module
+generates those curves as arrays so the corresponding bench can regenerate the
+figure's data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.pecan.similarity import sign_gradient_scale, sign_surrogate
+
+
+@dataclass
+class SignGradientCurve:
+    """One curve of Fig. 3: the surrogate ``tanh(a·x)`` at a given ``e/E``."""
+
+    progress: float             # e / E
+    sharpness: float            # a = exp(4 e / E)
+    x: np.ndarray
+    y: np.ndarray
+
+    @property
+    def max_deviation_from_sign(self) -> float:
+        """Maximum |tanh(a·x) − sgn(x)| over the sampled domain (excluding 0)."""
+        sign = np.sign(self.x)
+        mask = self.x != 0
+        return float(np.abs(self.y[mask] - sign[mask]).max())
+
+
+def sign_gradient_curves(progress_ratios: Sequence[float] = (0.03, 0.2, 0.4, 0.6, 0.8, 1.0),
+                         x_range: float = 3.0, num_points: int = 601) -> List[SignGradientCurve]:
+    """Generate the Fig. 3 family of curves.
+
+    Parameters
+    ----------
+    progress_ratios:
+        Values of ``e/E`` to plot (the paper shows a handful spanning 0 → 1).
+    x_range / num_points:
+        Sampling of the horizontal axis ``x ∈ [−x_range, x_range]``.
+    """
+    x = np.linspace(-x_range, x_range, num_points)
+    curves = []
+    for ratio in progress_ratios:
+        sharpness = sign_gradient_scale(int(round(ratio * 1000)), 1000)
+        curves.append(SignGradientCurve(progress=float(ratio), sharpness=sharpness,
+                                        x=x, y=sign_surrogate(x, sharpness)))
+    return curves

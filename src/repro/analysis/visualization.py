@@ -1,0 +1,123 @@
+"""Feature / codebook visualization (Fig. 5 of the paper).
+
+Fig. 5 shows, for each convolution layer of VGG-Small, three matrices: the
+im2col-flattened input features, their PECAN-D reconstruction (every column
+replaced by its closest prototype) and the codebook itself.  Since this
+environment has no plotting backend, the visualization is returned as raw
+arrays plus an ASCII heat-map renderer so examples and benches can still
+display the qualitative result (quantized features preserving the feature
+patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+from repro.pecan.convert import pecan_layers
+from repro.pecan.layers import PECANConv2d
+
+
+@dataclass
+class FeatureVisualization:
+    """The three matrices of one Fig. 5 panel (for one layer, one channel group)."""
+
+    layer_name: str
+    features: np.ndarray          # (d, HoutWout) flattened input subvectors
+    quantized: np.ndarray         # (d, HoutWout) prototype reconstruction
+    codebook: np.ndarray          # (d, p) prototypes of the visualized group
+
+    @property
+    def reconstruction_error(self) -> float:
+        """Mean absolute reconstruction error of the quantized features."""
+        return float(np.abs(self.features - self.quantized).mean())
+
+    @property
+    def feature_scale(self) -> float:
+        """Mean absolute magnitude of the original features (for relative error)."""
+        return float(np.abs(self.features).mean())
+
+    @property
+    def relative_error(self) -> float:
+        scale = self.feature_scale
+        return self.reconstruction_error / scale if scale > 0 else 0.0
+
+
+def visualize_layer_quantization(model: Module, inputs: np.ndarray, group: int = 0,
+                                 max_layers: Optional[int] = None,
+                                 max_positions: int = 256) -> List[FeatureVisualization]:
+    """Produce the Fig. 5 matrices for every PECAN convolution layer of ``model``.
+
+    ``inputs`` is a small batch of images; the first sample drives the
+    visualization.  ``group`` selects which codebook group (the paper plots
+    the first channel, i.e. group 0).
+    """
+    conv_layers = [(name, layer) for name, layer in pecan_layers(model)
+                   if isinstance(layer, PECANConv2d)]
+    if max_layers is not None:
+        conv_layers = conv_layers[:max_layers]
+
+    captured: Dict[str, FeatureVisualization] = {}
+    originals = {}
+
+    def wrap(name: str, layer: PECANConv2d):
+        original = layer.forward
+
+        def traced(x, _layer=layer, _name=name, _original=original):
+            cols = _layer.unfold_input(x)
+            grouped = _layer.group_columns(cols)
+            assignment = _layer.codebook.assign(grouped, _layer.config,
+                                                sharpness=_layer.sharpness)
+            quantized = _layer.codebook.reconstruct(assignment)
+            g = min(group, _layer.num_groups - 1)
+            captured[_name] = FeatureVisualization(
+                layer_name=_name,
+                features=np.asarray(grouped.data[0, g, :, :max_positions]).copy(),
+                quantized=np.asarray(quantized.data[0, g, :, :max_positions]).copy(),
+                codebook=np.asarray(_layer.codebook.prototypes.data[g]).copy(),
+            )
+            return _original(x)
+
+        return original, traced
+
+    for name, layer in conv_layers:
+        original, traced = wrap(name, layer)
+        originals[name] = (layer, original)
+        layer.forward = traced
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            model(Tensor(np.asarray(inputs)[:1]))
+    finally:
+        model.train(was_training)
+        for name, (layer, original) in originals.items():
+            layer.forward = original
+
+    return [captured[name] for name, _ in conv_layers if name in captured]
+
+
+def ascii_heatmap(matrix: np.ndarray, width: int = 64, height: int = 12,
+                  charset: str = " .:-=+*#%@") -> str:
+    """Render a matrix as an ASCII heat map (rows × columns downsampled).
+
+    Used by the example scripts to show the Fig. 5 panels in a terminal.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.size == 0:
+        return ""
+    rows = min(height, matrix.shape[0])
+    cols = min(width, matrix.shape[1])
+    row_idx = np.linspace(0, matrix.shape[0] - 1, rows).astype(int)
+    col_idx = np.linspace(0, matrix.shape[1] - 1, cols).astype(int)
+    sampled = matrix[np.ix_(row_idx, col_idx)]
+    lo, hi = sampled.min(), sampled.max()
+    span = hi - lo if hi > lo else 1.0
+    normalized = (sampled - lo) / span
+    levels = (normalized * (len(charset) - 1)).round().astype(int)
+    return "\n".join("".join(charset[v] for v in row) for row in levels)

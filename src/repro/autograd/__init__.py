@@ -1,0 +1,38 @@
+"""Reverse-mode automatic differentiation engine backed by NumPy.
+
+This package is the training substrate of the reproduction: the PECAN paper
+implements its layers in PyTorch, and because PyTorch is not available in this
+environment we provide an equivalent (much smaller) tensor library.  It
+supports everything the PECAN layers require: broadcasting arithmetic, matrix
+multiplication, convolution via im2col, softmax/log-softmax, ``l1`` distances,
+argmax with straight-through gradients, and stop-gradient.
+
+Public API
+----------
+``Tensor``
+    The autograd tensor.  Wraps a ``numpy.ndarray`` and records the operations
+    applied to it so that :meth:`Tensor.backward` can propagate gradients.
+``no_grad``
+    Context manager disabling graph construction (used for inference).
+``functional``
+    Free functions (``relu``, ``softmax``, ``conv2d`` ...) mirroring the
+    ``torch.nn.functional`` layout that the paper's code would have used.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.autograd import functional
+from repro.autograd.im2col import im2col, col2im, conv_output_size
+from repro.autograd.gradcheck import check_gradient, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "check_gradient",
+    "numerical_gradient",
+]

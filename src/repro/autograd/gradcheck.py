@@ -1,0 +1,51 @@
+"""Numerical gradient checking utilities used throughout the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor], index: int,
+                       epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. ``inputs[index]``.
+
+    ``fn`` must be deterministic (no internal randomness) for the comparison
+    with the analytic gradient to be meaningful.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - epsilon
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor], index: int = 0,
+                   epsilon: float = 1e-6, atol: float = 1e-4,
+                   rtol: float = 1e-3) -> Tuple[bool, float]:
+    """Compare analytic vs numerical gradients of ``fn(*inputs).sum()``.
+
+    Returns ``(passed, max_abs_error)``.
+    """
+    for tensor in inputs:
+        tensor.grad = None
+    output = fn(*inputs)
+    output.sum().backward()
+    analytic = inputs[index].grad
+    if analytic is None:
+        analytic = np.zeros_like(inputs[index].data)
+    numeric = numerical_gradient(fn, inputs, index, epsilon=epsilon)
+    error = float(np.max(np.abs(analytic - numeric)))
+    tolerance = atol + rtol * float(np.max(np.abs(numeric)) if numeric.size else 0.0)
+    return error <= tolerance, error

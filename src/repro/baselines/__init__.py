@@ -1,0 +1,30 @@
+"""Baseline multiplication-reduction approaches the paper compares against.
+
+* :mod:`repro.baselines.addernet` — AdderNet-style l1 convolution (Chen et al.,
+  2020), the closest comparator in Table 5.
+* :mod:`repro.baselines.binary` — XNOR-Net-style binary convolution with a
+  per-filter scaling factor and straight-through gradients.
+* :mod:`repro.baselines.shift` — DeepShift/ShiftCNN-style power-of-two weight
+  quantization (bit-shift multiplication).
+
+These are substrates for the comparison experiments: the paper quotes the BNN
+accuracy numbers from their original papers but reasons about the op structure
+of CNN vs AdderNet vs PECAN; implementing the baselines lets the Table 5
+power/latency comparison be regenerated from first principles and provides
+additional comparison points on the synthetic datasets.
+"""
+
+from repro.baselines.addernet import AdderConv2d, AdderLinear, convert_to_addernet
+from repro.baselines.binary import BinaryConv2d, BinaryLinear, convert_to_binary
+from repro.baselines.shift import ShiftConv2d, quantize_to_power_of_two
+
+__all__ = [
+    "AdderConv2d",
+    "AdderLinear",
+    "convert_to_addernet",
+    "BinaryConv2d",
+    "BinaryLinear",
+    "convert_to_binary",
+    "ShiftConv2d",
+    "quantize_to_power_of_two",
+]

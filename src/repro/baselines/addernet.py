@@ -1,0 +1,158 @@
+"""AdderNet layers: convolution as negative l1 template matching.
+
+AdderNet (Chen et al., CVPR 2020) replaces the cross-correlation of a CNN by
+``Y(o, i) = −Σ_f |X(f, i) − W(o, f)|`` so that inference needs only additions
+and absolute differences.  The paper compares PECAN-D against AdderNet in
+Table 5; these layers provide the executable comparator.
+
+Gradient conventions follow the AdderNet paper: the weight gradient uses the
+full-precision difference ``X − W`` (not its sign), and the input gradient
+uses the clipped difference ``clip(W − X, −1, 1)`` (a HardTanh), which keeps
+the magnitude information that makes AdderNets trainable.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.im2col import col2im, conv_output_size, im2col
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.sequential import Sequential
+
+
+def _adder_matching(cols: np.ndarray, weight_mat: np.ndarray) -> np.ndarray:
+    """``out[n, o, l] = −Σ_f |cols[n, f, l] − weight_mat[o, f]|``."""
+    diff = cols[:, None, :, :] - weight_mat[None, :, :, None]
+    return -np.abs(diff).sum(axis=2)
+
+
+class AdderConv2d(Module):
+    """Convolution layer using l1 template matching instead of multiplication."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(np.empty((out_channels, in_channels, kernel_size, kernel_size)))
+        init.kaiming_normal_(self.weight, rng=rng)
+        self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, cin, h, w = x.shape
+        k = self.kernel_size
+        hout = conv_output_size(h, k, self.stride, self.padding)
+        wout = conv_output_size(w, k, self.stride, self.padding)
+
+        cols = im2col(x.data, k, self.stride, self.padding)      # (N, F, L)
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+        out_data = _adder_matching(cols, weight_mat)             # (N, cout, L)
+        if self.bias is not None:
+            out_data = out_data + self.bias.data.reshape(1, -1, 1)
+
+        weight = self.weight
+        bias = self.bias
+        stride, padding = self.stride, self.padding
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad):
+            grad = grad.reshape(n, self.out_channels, hout * wout)      # (N, cout, L)
+            diff = cols[:, None, :, :] - weight_mat[None, :, :, None]   # (N, cout, F, L)
+            if weight.requires_grad:
+                # AdderNet weight gradient: full-precision difference X − W.
+                gw = (grad[:, :, None, :] * diff).sum(axis=(0, 3))
+                weight._accumulate_grad(gw.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate_grad(grad.sum(axis=(0, 2)))
+            if x.requires_grad:
+                # Input gradient: clipped difference (HardTanh of W − X).
+                clipped = np.clip(-diff, -1.0, 1.0)
+                gcols = (grad[:, :, None, :] * clipped).sum(axis=1)
+                x._accumulate_grad(col2im(gcols, (n, cin, h, w), k, stride, padding))
+
+        out = Tensor.from_op(out_data.reshape(n, self.out_channels, hout, wout),
+                             parents, backward)
+        return out
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+                f"stride={self.stride}, padding={self.padding}")
+
+
+class AdderLinear(Module):
+    """Fully-connected layer using l1 template matching."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(np.empty((out_features, in_features)))
+        init.kaiming_uniform_(self.weight, rng=rng)
+        self.bias: Optional[Parameter] = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = x.data                                            # (N, in)
+        weight = self.weight
+        bias = self.bias
+        diff = data[:, None, :] - weight.data[None, :, :]        # (N, out, in)
+        out_data = -np.abs(diff).sum(axis=2)
+        if bias is not None:
+            out_data = out_data + bias.data
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad):
+            if weight.requires_grad:
+                weight._accumulate_grad((grad[:, :, None] * diff).sum(axis=0))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate_grad(grad.sum(axis=0))
+            if x.requires_grad:
+                clipped = np.clip(-diff, -1.0, 1.0)
+                x._accumulate_grad((grad[:, :, None] * clipped).sum(axis=1))
+
+        return Tensor.from_op(out_data, parents, backward)
+
+
+def convert_to_addernet(model: Module, convert_linear: bool = False) -> Module:
+    """Deep-copy ``model`` replacing Conv2d layers (and optionally Linear) by Adder layers.
+
+    Weights are copied so a pretrained CNN can serve as the starting point.
+    Batch-norm layers are left in place — the paper's Table 5 note points out
+    BN cannot be folded into AdderNet layers, which is why AdderNet retains
+    some multiplications in practice.
+    """
+    model = copy.deepcopy(model)
+
+    def convert(module: Module) -> None:
+        for name, child in list(module._modules.items()):
+            replacement = None
+            if isinstance(child, Conv2d) and type(child) is Conv2d:
+                replacement = AdderConv2d(child.in_channels, child.out_channels,
+                                          child.kernel_size, stride=child.stride,
+                                          padding=child.padding, bias=child.bias is not None)
+            elif convert_linear and isinstance(child, Linear) and type(child) is Linear:
+                replacement = AdderLinear(child.in_features, child.out_features,
+                                          bias=child.bias is not None)
+            if replacement is not None:
+                replacement.weight.data = child.weight.data.copy()
+                if child.bias is not None and replacement.bias is not None:
+                    replacement.bias.data = child.bias.data.copy()
+                module.add_module(name, replacement)
+                if isinstance(module, Sequential):
+                    module._layers[int(name)] = replacement
+            else:
+                convert(child)
+
+    convert(model)
+    return model

@@ -1,0 +1,123 @@
+"""Binary (XNOR-Net style) convolution and linear layers.
+
+Weights are binarized to ``α · sign(w)`` with a per-filter scaling factor
+``α = mean(|w|)``; gradients flow through the binarization with a
+straight-through estimator clipped to ``|w| ≤ 1``.  These layers provide a
+first-principles stand-in for the BNN rows (XNOR-Net, IR-Net, ...) whose
+accuracies the paper quotes from the literature.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.sequential import Sequential
+
+
+def _binarize(weight: Tensor, per_filter_axis: Tuple[int, ...]) -> Tensor:
+    """Return ``α·sign(w)`` with straight-through gradients.
+
+    ``α`` is the mean absolute value over all axes except the output-filter
+    axis; the gradient of the sign is approximated by the identity inside the
+    clipping region ``|w| ≤ 1`` (the classic STE used by XNOR-Net).
+    """
+    alpha = np.abs(weight.data).mean(axis=per_filter_axis, keepdims=True)
+    hard = np.sign(weight.data)
+    hard[hard == 0] = 1.0
+    binary = Tensor(alpha * hard)
+    mask = (np.abs(weight.data) <= 1.0).astype(weight.data.dtype)
+    # forward: binary value; backward: identity masked to the clip region.
+    return weight * Tensor(mask) - F.stop_gradient(weight * Tensor(mask)) + binary
+
+
+class BinaryConv2d(Module):
+    """Convolution with binarized weights (activations stay full precision)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(np.empty((out_channels, in_channels, kernel_size, kernel_size)))
+        init.kaiming_normal_(self.weight, rng=rng)
+        self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels)) if bias else None
+
+    def binary_weight(self) -> Tensor:
+        return _binarize(self.weight, per_filter_axis=(1, 2, 3))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.binary_weight(), self.bias,
+                        stride=self.stride, padding=self.padding)
+
+
+class BinaryLinear(Module):
+    """Fully-connected layer with binarized weights."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(np.empty((out_features, in_features)))
+        init.kaiming_uniform_(self.weight, rng=rng)
+        self.bias: Optional[Parameter] = Parameter(np.zeros(out_features)) if bias else None
+
+    def binary_weight(self) -> Tensor:
+        return _binarize(self.weight, per_filter_axis=(1,))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.binary_weight(), self.bias)
+
+
+def convert_to_binary(model: Module, convert_linear: bool = False,
+                      skip_first: bool = True, skip_last: bool = True) -> Module:
+    """Deep-copy ``model`` replacing Conv2d (and optionally Linear) by binary layers.
+
+    Following common BNN practice (and the paper's Related Work remark that
+    most BNNs keep the first and last layers full precision), the first
+    convolution and the final linear layer are skipped by default.
+    """
+    model = copy.deepcopy(model)
+    replaceable = []
+
+    def collect(module: Module):
+        for name, child in list(module._modules.items()):
+            if type(child) is Conv2d or (convert_linear and type(child) is Linear):
+                replaceable.append((module, name, child))
+            else:
+                collect(child)
+
+    collect(model)
+    last = len(replaceable) - 1
+    for index, (parent, name, child) in enumerate(replaceable):
+        if skip_first and index == 0:
+            continue
+        if skip_last and index == last:
+            continue
+        if isinstance(child, Conv2d):
+            replacement: Module = BinaryConv2d(child.in_channels, child.out_channels,
+                                               child.kernel_size, stride=child.stride,
+                                               padding=child.padding,
+                                               bias=child.bias is not None)
+        else:
+            replacement = BinaryLinear(child.in_features, child.out_features,
+                                       bias=child.bias is not None)
+        replacement.weight.data = child.weight.data.copy()
+        if child.bias is not None and replacement.bias is not None:
+            replacement.bias.data = child.bias.data.copy()
+        parent.add_module(name, replacement)
+        if isinstance(parent, Sequential):
+            parent._layers[int(name)] = replacement
+    return model

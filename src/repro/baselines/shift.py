@@ -1,0 +1,68 @@
+"""Power-of-two (shift) weight quantization, in the spirit of ShiftCNN / DeepShift.
+
+Each weight is rounded to ``sign(w) · 2^round(log2|w|)`` so that inference
+multiplications become bit shifts and sign flips.  A straight-through
+estimator keeps the layer trainable.  This baseline is included because the
+paper's Related Work positions PECAN against the shift-network family; it also
+provides an extra point for the op-count / accuracy trade-off benches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+def quantize_to_power_of_two(weights: np.ndarray, min_exponent: int = -8,
+                             max_exponent: int = 0) -> np.ndarray:
+    """Round ``weights`` to signed powers of two with exponents in a clamp range.
+
+    Zeros stay zero; other values become ``sign(w)·2^e`` with
+    ``e = clip(round(log2 |w|), min_exponent, max_exponent)``.
+    """
+    magnitude = np.abs(weights)
+    result = np.zeros_like(weights)
+    nonzero = magnitude > 0
+    exponents = np.clip(np.round(np.log2(magnitude[nonzero])), min_exponent, max_exponent)
+    result[nonzero] = np.sign(weights[nonzero]) * np.power(2.0, exponents)
+    return result
+
+
+class ShiftConv2d(Module):
+    """Convolution whose weights are quantized to powers of two at forward time."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 min_exponent: int = -8, max_exponent: int = 0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.min_exponent = min_exponent
+        self.max_exponent = max_exponent
+        self.weight = Parameter(np.empty((out_channels, in_channels, kernel_size, kernel_size)))
+        init.kaiming_normal_(self.weight, rng=rng)
+        self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels)) if bias else None
+
+    def shift_weight(self) -> Tensor:
+        """Power-of-two weights with straight-through gradients."""
+        quantized = quantize_to_power_of_two(self.weight.data, self.min_exponent,
+                                             self.max_exponent)
+        return F.straight_through(self.weight, quantized)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.shift_weight(), self.bias,
+                        stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+                f"exponents=[{self.min_exponent}, {self.max_exponent}]")

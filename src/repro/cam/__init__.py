@@ -1,0 +1,39 @@
+"""CAM / lookup-table inference: the deployment half of PECAN (Algorithm 1).
+
+After training, each PECAN layer's weight-prototype products are precomputed
+into a lookup table (``Y^(j) = W₁^(j) C^(j)``) and inference reduces to
+
+1. a similarity search of every input subvector against the ``p`` prototypes
+   of its group — the content-addressable-memory operation, and
+2. a table lookup (PECAN-D) or a weighted sum of table columns (PECAN-A).
+
+This package provides:
+
+* :mod:`repro.cam.lut` — LUT construction from trained layers,
+* :mod:`repro.cam.cam_array` — a behavioural model of the CAM macro
+  (match-line evaluations, energy/latency accounting),
+* :mod:`repro.cam.inference` — the lookup-only inference engine that swaps the
+  training-graph forward of every PECAN layer for Algorithm 1,
+* :mod:`repro.cam.verify` — operation tracing that proves PECAN-D inference
+  uses zero multiplications and checks LUT inference matches the training
+  graph bit-for-bit.
+"""
+
+from repro.cam.lut import LayerLUT, build_layer_lut, build_model_luts
+from repro.cam.cam_array import CAMArray, CAMStats, CAMEnergyModel
+from repro.cam.inference import CAMInferenceEngine, lut_inference
+from repro.cam.verify import OpCounter, trace_inference_ops, assert_multiplier_free
+
+__all__ = [
+    "LayerLUT",
+    "build_layer_lut",
+    "build_model_luts",
+    "CAMArray",
+    "CAMStats",
+    "CAMEnergyModel",
+    "CAMInferenceEngine",
+    "lut_inference",
+    "OpCounter",
+    "trace_inference_ops",
+    "assert_multiplier_free",
+]

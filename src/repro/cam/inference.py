@@ -1,0 +1,222 @@
+"""Lookup-only inference engine (Algorithm 1 of the paper).
+
+:class:`CAMInferenceEngine` executes a trained PECAN model the way the
+deployed hardware would:
+
+* every PECAN layer is replaced by (1) a CAM prototype search over its
+  codebooks and (2) a read-and-accumulate over the precomputed lookup table
+  ``Y^(j) = W₁^(j) C^(j)``;
+* every other module (ReLU, pooling, batch-norm, residual additions) runs its
+  normal forward pass;
+* an :class:`~repro.cam.verify.OpCounter` tallies the arithmetic performed on
+  the PECAN path so the multiplier-free property of PECAN-D can be verified
+  dynamically.
+
+For PECAN-D the per-position work is ``2·p·d`` additions for the search plus
+``cout`` additions for accumulating the ``D`` looked-up columns; for PECAN-A
+it is ``p·d`` multiply-adds for the scores plus ``p·cout`` multiply-adds for
+the weighted sum — exactly the Table 1 complexity model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd.im2col import conv_output_size, im2col
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+from repro.pecan.config import PECANMode
+from repro.pecan.convert import pecan_layers
+from repro.pecan.layers import PECANConv2d, PECANLinear
+from repro.cam.cam_array import CAMArray, CAMEnergyModel, CAMStats
+from repro.cam.lut import LayerLUT, build_layer_lut
+from repro.cam.verify import OpCounter
+
+
+def _softmax(scores: np.ndarray, axis: int) -> np.ndarray:
+    shifted = scores - scores.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class _LUTLayerRuntime:
+    """Executes Algorithm 1 for a single PECAN layer using its LUT."""
+
+    def __init__(self, layer, lut: LayerLUT, counter: OpCounter,
+                 energy_model: Optional[CAMEnergyModel] = None):
+        self.layer = layer
+        self.lut = lut
+        self.counter = counter
+        self.cam_banks = [CAMArray(lut.prototypes[j], lut.mode, temperature=lut.temperature,
+                                   energy_model=energy_model)
+                          for j in range(lut.num_groups)]
+
+    # ------------------------------------------------------------------ #
+    def _count(self, num_positions: int) -> None:
+        """Charge the Table-1 operation counts for ``num_positions`` subvectors."""
+        ops = self.counter.layer(self.lut.name, self.lut.kind)
+        d_groups = self.lut.num_groups
+        p = self.lut.num_prototypes
+        d = self.lut.subvector_dim
+        cout = self.lut.out_channels
+        if self.lut.mode is PECANMode.DISTANCE:
+            ops.additions += num_positions * d_groups * (2 * p * d + cout)
+            ops.comparisons += num_positions * d_groups * p
+            ops.lookups += num_positions * d_groups * cout
+        else:
+            ops.additions += num_positions * d_groups * p * (d + cout)
+            ops.multiplications += num_positions * d_groups * p * (d + cout)
+            ops.lookups += num_positions * d_groups * p * cout
+        if self.lut.bias is not None:
+            ops.additions += num_positions * cout
+
+    # ------------------------------------------------------------------ #
+    def _grouped_columns(self, cols: np.ndarray) -> np.ndarray:
+        """``(N, total, L) -> (N, D, d, L)`` applying the stored permutation."""
+        n, _, length = cols.shape
+        if self.lut.group_permutation is not None:
+            cols = cols[:, self.lut.group_permutation, :]
+        return cols.reshape(n, self.lut.num_groups, self.lut.subvector_dim, length)
+
+    def _run_groups(self, grouped: np.ndarray) -> np.ndarray:
+        """Search + lookup for grouped columns ``(N, D, d, L)`` → ``(N, cout, L)``."""
+        n, d_groups, _, length = grouped.shape
+        cout = self.lut.out_channels
+        out = np.zeros((n, cout, length))
+        for j in range(d_groups):
+            bank = self.cam_banks[j]
+            queries = grouped[:, j].transpose(1, 0, 2).reshape(self.lut.subvector_dim,
+                                                               n * length)
+            if self.lut.mode is PECANMode.DISTANCE:
+                winners = bank.match(queries)                       # (N*L,)
+                contribution = self.lut.table[j][:, winners]        # (cout, N*L)
+            else:
+                weights = bank.soft_match(queries)                  # (p, N*L)
+                contribution = self.lut.table[j] @ weights          # (cout, N*L)
+            out += contribution.reshape(cout, n, length).transpose(1, 0, 2)
+        if self.lut.bias is not None:
+            out += self.lut.bias.reshape(1, cout, 1)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def conv_forward(self, x: Tensor) -> Tensor:
+        data = np.asarray(x.data)
+        n, _, h, w = data.shape
+        hout = conv_output_size(h, self.lut.kernel_size, self.lut.stride, self.lut.padding)
+        wout = conv_output_size(w, self.lut.kernel_size, self.lut.stride, self.lut.padding)
+        cols = im2col(data, self.lut.kernel_size, self.lut.stride, self.lut.padding)
+        grouped = self._grouped_columns(cols)
+        out = self._run_groups(grouped)
+        self._count(n * hout * wout)
+        return Tensor(out.reshape(n, self.lut.out_channels, hout, wout))
+
+    def fc_forward(self, x: Tensor) -> Tensor:
+        data = np.asarray(x.data)
+        n = data.shape[0]
+        grouped = data.reshape(n, self.lut.num_groups, self.lut.subvector_dim, 1)
+        out = self._run_groups(grouped)
+        self._count(n)
+        return Tensor(out.reshape(n, self.lut.out_channels))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if self.lut.kind == "conv":
+            return self.conv_forward(x)
+        return self.fc_forward(x)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cam_stats(self) -> CAMStats:
+        total = CAMStats()
+        for bank in self.cam_banks:
+            total = total.merge(bank.stats)
+        return total
+
+    @property
+    def usage_counts(self) -> np.ndarray:
+        return np.stack([bank.usage for bank in self.cam_banks])
+
+
+class CAMInferenceEngine:
+    """Run a PECAN model in deployment (lookup-only) mode.
+
+    Parameters
+    ----------
+    model:
+        A model containing PECAN layers (any mixture with conventional layers
+        is allowed; only the PECAN layers are routed through the CAM path).
+    energy_model:
+        Optional per-operation energy constants for the CAM banks.
+    """
+
+    def __init__(self, model: Module, energy_model: Optional[CAMEnergyModel] = None):
+        self.model = model
+        self.op_counter = OpCounter()
+        self.runtimes: Dict[str, _LUTLayerRuntime] = {}
+        for name, layer in pecan_layers(model):
+            lut = build_layer_lut(layer, name=name)
+            self.runtimes[name] = _LUTLayerRuntime(layer, lut, self.op_counter,
+                                                   energy_model=energy_model)
+
+    @contextlib.contextmanager
+    def _lut_mode(self):
+        """Temporarily swap every PECAN layer's forward for its LUT runtime."""
+        originals = {}
+        try:
+            for name, runtime in self.runtimes.items():
+                originals[name] = runtime.layer.forward
+                runtime.layer.forward = runtime
+            yield
+        finally:
+            for name, runtime in self.runtimes.items():
+                runtime.layer.forward = originals[name]
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for a batch of inputs, computed via Algorithm 1."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad(), self._lut_mode():
+                outputs = self.model(Tensor(np.asarray(inputs)))
+        finally:
+            self.model.train(was_training)
+        return outputs.data
+
+    def predict_classes(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted class indices."""
+        return self.predict(inputs).argmax(axis=1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy of LUT inference on a labelled batch."""
+        return float((self.predict_classes(inputs) == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------------ #
+    # Aggregated statistics
+    # ------------------------------------------------------------------ #
+    def reset_counters(self) -> None:
+        self.op_counter = OpCounter()
+        for runtime in self.runtimes.values():
+            runtime.counter = self.op_counter
+            for bank in runtime.cam_banks:
+                bank.reset_stats()
+
+    def cam_stats(self) -> CAMStats:
+        """Total CAM activity (searches, match-line evaluations, energy)."""
+        total = CAMStats()
+        for runtime in self.runtimes.values():
+            total = total.merge(runtime.cam_stats)
+        return total
+
+    def prototype_usage(self) -> Dict[str, np.ndarray]:
+        """Per-layer ``(D, p)`` usage histograms accumulated so far (Fig. 6)."""
+        return {name: runtime.usage_counts for name, runtime in self.runtimes.items()}
+
+    def lookup_tables(self) -> Dict[str, LayerLUT]:
+        return {name: runtime.lut for name, runtime in self.runtimes.items()}
+
+
+def lut_inference(model: Module, inputs: np.ndarray) -> np.ndarray:
+    """One-shot convenience wrapper: build an engine and return the logits."""
+    return CAMInferenceEngine(model).predict(inputs)

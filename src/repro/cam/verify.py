@@ -1,0 +1,161 @@
+"""Operation tracing: counting adds/multiplies and proving multiplier-freeness.
+
+The central hardware claim of PECAN-D is that inference uses **zero
+multiplications** (Section 3.2 / Table 1).  The counters here are attached to
+the CAM inference engine so every arithmetic operation executed on the
+Algorithm-1 path is tallied per layer, and :func:`assert_multiplier_free`
+turns the claim into an executable check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear
+from repro.nn.module import Module
+from repro.pecan.config import PECANMode
+from repro.pecan.layers import PECANConv2d, PECANLinear
+
+
+@dataclass
+class LayerOpCount:
+    """Operations executed by one layer during a traced inference pass."""
+
+    name: str
+    kind: str
+    additions: int = 0
+    multiplications: int = 0
+    comparisons: int = 0
+    lookups: int = 0
+
+    def total(self) -> int:
+        return self.additions + self.multiplications + self.comparisons + self.lookups
+
+
+@dataclass
+class OpCounter:
+    """Aggregates per-layer operation counts for one traced inference pass."""
+
+    layers: Dict[str, LayerOpCount] = field(default_factory=dict)
+
+    def layer(self, name: str, kind: str) -> LayerOpCount:
+        if name not in self.layers:
+            self.layers[name] = LayerOpCount(name=name, kind=kind)
+        return self.layers[name]
+
+    @property
+    def additions(self) -> int:
+        return sum(layer.additions for layer in self.layers.values())
+
+    @property
+    def multiplications(self) -> int:
+        return sum(layer.multiplications for layer in self.layers.values())
+
+    @property
+    def comparisons(self) -> int:
+        return sum(layer.comparisons for layer in self.layers.values())
+
+    @property
+    def lookups(self) -> int:
+        return sum(layer.lookups for layer in self.layers.values())
+
+    def is_multiplier_free(self) -> bool:
+        return self.multiplications == 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "additions": self.additions,
+            "multiplications": self.multiplications,
+            "comparisons": self.comparisons,
+            "lookups": self.lookups,
+        }
+
+    def per_layer_table(self) -> List[Tuple[str, str, int, int]]:
+        """Rows ``(name, kind, additions, multiplications)`` in insertion order."""
+        return [(l.name, l.kind, l.additions, l.multiplications) for l in self.layers.values()]
+
+
+class MultiplierUsageError(AssertionError):
+    """Raised when a supposedly multiplier-free inference used multiplications."""
+
+
+def unconverted_compute_layers(model: Module) -> List[str]:
+    """Names of Conv2d / Linear layers that were *not* converted to PECAN.
+
+    A PECAN-D model is only fully multiplier-free if every filtering layer has
+    been converted; this helper lists the stragglers (the paper's ConvMixer
+    variant deliberately leaves the first conv and last FC unconverted).
+    """
+    remaining = []
+    for name, module in model.named_modules():
+        if isinstance(module, (PECANConv2d, PECANLinear)):
+            continue
+        if isinstance(module, (Conv2d, Linear)):
+            remaining.append(name)
+    return remaining
+
+
+def batchnorm_layers(model: Module) -> List[str]:
+    """Names of BatchNorm layers (require folding before multiplier-free deployment)."""
+    return [name for name, module in model.named_modules() if isinstance(module, BatchNorm2d)]
+
+
+def trace_inference_ops(model: Module, inputs: np.ndarray,
+                        per_sample: bool = True) -> OpCounter:
+    """Run LUT inference on ``inputs`` and return the executed operation counts.
+
+    Convenience wrapper around :class:`repro.cam.inference.CAMInferenceEngine`;
+    counts are normalized per input sample when ``per_sample`` is True so they
+    are directly comparable with the paper's Table 1 / Table A2 numbers.
+    """
+    from repro.cam.inference import CAMInferenceEngine
+
+    engine = CAMInferenceEngine(model)
+    engine.predict(inputs)
+    counter = engine.op_counter
+    if per_sample and inputs.shape[0] > 1:
+        scale = inputs.shape[0]
+        for layer in counter.layers.values():
+            layer.additions //= scale
+            layer.multiplications //= scale
+            layer.comparisons //= scale
+            layer.lookups //= scale
+    return counter
+
+
+def assert_multiplier_free(model: Module, inputs: np.ndarray, strict: bool = True) -> OpCounter:
+    """Verify that LUT inference of ``model`` executes zero multiplications.
+
+    Parameters
+    ----------
+    strict:
+        Also require that no conventional Conv2d/Linear layers remain in the
+        model (they would run multiply-accumulate arithmetic outside the CAM
+        path).  Batch-norm layers are reported in the error message because
+        they must be folded for a truly multiplier-free deployment.
+
+    Raises
+    ------
+    MultiplierUsageError
+        If the traced PECAN path used multiplications, or (in strict mode) the
+        model still contains unconverted compute layers.
+    """
+    counter = trace_inference_ops(model, inputs, per_sample=False)
+    problems = []
+    if not counter.is_multiplier_free():
+        problems.append(f"traced CAM inference executed {counter.multiplications} multiplications")
+    if strict:
+        leftovers = unconverted_compute_layers(model)
+        if leftovers:
+            problems.append(f"unconverted multiply-accumulate layers remain: {leftovers}")
+        bn = batchnorm_layers(model)
+        if bn:
+            problems.append(
+                "batch-norm layers present (fold them with "
+                f"repro.pecan.convert.fold_model_batchnorm before deployment): {bn}")
+    if problems:
+        raise MultiplierUsageError("; ".join(problems))
+    return counter

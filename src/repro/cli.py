@@ -1,0 +1,208 @@
+"""Command-line interface mirroring the paper's released training commands.
+
+Appendix E of the paper documents the original repository's interface::
+
+    python train.py --log_dir ... --data_dir ... --dataset CIFAR10 \
+        --arch resnet20_pecan_d --batch_size 64 --epochs 300 \
+        --learning_rate 0.001 --lr_decay_step 200 --query_metric adder --gpu 0
+
+This module reproduces that interface (``repro-pecan train`` /
+``python -m repro.cli train``) on top of the experiment runner, and adds two
+subcommands the deployment story needs:
+
+* ``evaluate`` — reload a checkpoint and report training-graph and LUT/CAM
+  accuracies plus the op counts;
+* ``export`` — write the CAM deployment bundle (prototypes + lookup tables).
+
+Flags that only make sense on the authors' setup (``--data_dir``, ``--gpu``)
+are accepted and ignored so published command lines run unchanged; extra
+``--width_multiplier`` / ``--num_train`` / ``--prototype_cap`` flags expose the
+reduced-scale knobs of this reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cam import CAMInferenceEngine
+from repro.data import make_dataset
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.hardware.opcount import count_model_ops, format_count
+from repro.io import export_deployment_bundle, load_checkpoint, save_checkpoint
+from repro.models import available_models, build_model
+
+
+def _add_paper_flags(parser: argparse.ArgumentParser) -> None:
+    """The flag set published in Appendix E (plus reproduction extras)."""
+    parser.add_argument("--log_dir", default="runs", help="directory for logs and checkpoints")
+    parser.add_argument("--data_dir", default="", help="accepted for compatibility; unused "
+                                                       "(datasets are synthetic)")
+    parser.add_argument("--dataset", default="CIFAR10",
+                        help="MNIST / CIFAR10 / CIFAR100 / TINY_IMAGENET")
+    parser.add_argument("--arch", default="resnet20_pecan_d", choices=available_models(),
+                        help="architecture name (baseline or _pecan_a / _pecan_d variant)")
+    parser.add_argument("--batch_size", type=int, default=64)
+    parser.add_argument("--epochs", type=int, default=150)
+    parser.add_argument("--learning_rate", type=float, default=0.01)
+    parser.add_argument("--lr_decay_step", type=int, default=50)
+    parser.add_argument("--query_metric", choices=["dot", "adder"], default=None,
+                        help="dot = PECAN-A, adder = PECAN-D; overrides the arch suffix")
+    parser.add_argument("--gpu", default=None, help="accepted for compatibility; unused "
+                                                    "(this reproduction is CPU-only)")
+    parser.add_argument("--seed", type=int, default=0)
+    # Reproduction-scale knobs (not in the original interface).
+    parser.add_argument("--width_multiplier", type=float, default=1.0)
+    parser.add_argument("--num_train", type=int, default=512)
+    parser.add_argument("--num_test", type=int, default=256)
+    parser.add_argument("--image_size", type=int, default=None)
+    parser.add_argument("--prototype_cap", type=int, default=None)
+    parser.add_argument("--strategy", choices=["co", "uni"], default="co")
+    parser.add_argument("--pretrain_epochs", type=int, default=0)
+
+
+def _resolve_arch(arch: str, query_metric: Optional[str]) -> str:
+    """Apply the ``--query_metric`` override the original interface uses."""
+    if query_metric is None:
+        return arch
+    base = arch
+    for suffix in ("_pecan_a", "_pecan_d"):
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+    return base + ("_pecan_a" if query_metric == "dot" else "_pecan_d")
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Translate parsed CLI flags into an :class:`ExperimentConfig`."""
+    return ExperimentConfig(
+        dataset=args.dataset.lower().replace("-", "_"),
+        arch=_resolve_arch(args.arch, args.query_metric),
+        width_multiplier=args.width_multiplier,
+        num_train=args.num_train,
+        num_test=args.num_test,
+        image_size=args.image_size,
+        batch_size=args.batch_size,
+        epochs=args.epochs,
+        learning_rate=args.learning_rate,
+        lr_decay_step=args.lr_decay_step,
+        strategy=args.strategy,
+        pretrain_epochs=args.pretrain_epochs,
+        prototype_cap=args.prototype_cap,
+        seed=args.seed,
+    )
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    config = config_from_args(args)
+    print(f"training {config.arch} on synthetic {config.dataset} "
+          f"({config.num_train} train / {config.num_test} test images, "
+          f"{config.epochs} epochs, lr {config.learning_rate})")
+    result = run_experiment(config, verbose=not args.quiet)
+
+    log_dir = Path(args.log_dir)
+    log_dir.mkdir(parents=True, exist_ok=True)
+    checkpoint_path = save_checkpoint(result.model, log_dir / f"{config.arch}.npz",
+                                      metadata={"accuracy": result.accuracy,
+                                                "arch": config.arch,
+                                                "dataset": config.dataset,
+                                                "epochs": config.epochs})
+    history_path = log_dir / f"{config.arch}_history.json"
+    history_path.write_text(json.dumps({"history": result.history,
+                                        "summary": result.summary()}, indent=2))
+    print(f"final test accuracy: {result.accuracy:.4f}")
+    print(f"per-image ops: #Add {format_count(result.additions)}, "
+          f"#Mul {format_count(result.multiplications)}")
+    print(f"checkpoint: {checkpoint_path}")
+    print(f"history:    {history_path}")
+    return 0
+
+
+def _rebuild_model(args: argparse.Namespace):
+    config = config_from_args(args)
+    dataset_kwargs = {"num_train": 8, "num_test": args.num_test, "seed": args.seed}
+    if args.image_size is not None:
+        dataset_kwargs["image_size"] = args.image_size
+    _, test = make_dataset(config.dataset, **dataset_kwargs)
+    in_channels, image_size, _ = test.image_shape
+    model = build_model(config.arch, num_classes=config.dataset_num_classes(),
+                        width_multiplier=config.width_multiplier,
+                        prototype_cap=config.prototype_cap,
+                        rng=np.random.default_rng(config.seed),
+                        in_channels=in_channels, image_size=image_size)
+    return config, model, test
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    config, model, test = _rebuild_model(args)
+    load_checkpoint(args.checkpoint, model=model)
+    from repro.autograd import Tensor, no_grad
+    from repro.autograd.functional import accuracy as accuracy_fn
+
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(test.images))
+    graph_accuracy = accuracy_fn(logits, test.labels)
+    print(f"training-graph accuracy: {graph_accuracy:.4f}")
+
+    from repro.pecan.convert import pecan_layers
+    if pecan_layers(model):
+        engine = CAMInferenceEngine(model)
+        lut_accuracy = engine.accuracy(test.images, test.labels)
+        print(f"LUT/CAM accuracy:        {lut_accuracy:.4f}")
+        print(f"traced multiplications:  {engine.op_counter.multiplications}")
+    report = count_model_ops(model, test.image_shape, model_name=config.arch)
+    print(f"analytic per-image ops: #Add {format_count(report.additions)}, "
+          f"#Mul {format_count(report.multiplications)}")
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    config, model, _ = _rebuild_model(args)
+    load_checkpoint(args.checkpoint, model=model)
+    output = Path(args.output or (Path(args.log_dir) / f"{config.arch}_deployment.npz"))
+    path = export_deployment_bundle(model, output, metadata={"arch": config.arch})
+    from repro.io import load_deployment_bundle
+
+    bundle = load_deployment_bundle(path)
+    print(f"exported {len(bundle.layer_names)} PECAN layers "
+          f"({bundle.total_values()} stored values) to {path}")
+    print(f"multiplier-free bundle: {bundle.is_multiplier_free()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-pecan",
+                                     description="PECAN reproduction command line")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-epoch output")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="train a model (Appendix E interface)")
+    _add_paper_flags(train)
+    train.set_defaults(handler=_command_train)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a saved checkpoint")
+    _add_paper_flags(evaluate)
+    evaluate.add_argument("--checkpoint", required=True)
+    evaluate.set_defaults(handler=_command_evaluate)
+
+    export = subparsers.add_parser("export", help="export the CAM deployment bundle")
+    _add_paper_flags(export)
+    export.add_argument("--checkpoint", required=True)
+    export.add_argument("--output", default=None)
+    export.set_defaults(handler=_command_export)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

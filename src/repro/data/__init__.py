@@ -1,0 +1,42 @@
+"""Data substrate: synthetic datasets, loaders and augmentation.
+
+The paper evaluates on MNIST, CIFAR-10, CIFAR-100 and Tiny-ImageNet.  Those
+archives cannot be downloaded in this offline environment, so this package
+provides deterministic synthetic stand-ins with the same tensor shapes, class
+counts and train/evaluate protocol (see DESIGN.md §2 for the substitution
+rationale).  Every dataset is seeded, so runs are exactly reproducible.
+"""
+
+from repro.data.datasets import (
+    SyntheticImageClassification,
+    synthetic_mnist,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_tiny_imagenet,
+    DATASET_REGISTRY,
+    make_dataset,
+)
+from repro.data.loader import DataLoader
+from repro.data.transforms import (
+    Compose,
+    RandomHorizontalFlip,
+    RandomCrop,
+    Normalize,
+    AddGaussianNoise,
+)
+
+__all__ = [
+    "SyntheticImageClassification",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_tiny_imagenet",
+    "DATASET_REGISTRY",
+    "make_dataset",
+    "DataLoader",
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "Normalize",
+    "AddGaussianNoise",
+]

@@ -1,0 +1,59 @@
+"""Mini-batch iterator over a dataset with optional shuffling and transforms."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import SyntheticImageClassification
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches of numpy arrays.
+
+    Parameters
+    ----------
+    dataset:
+        Any object with ``images``/``labels`` arrays (the synthetic datasets).
+    batch_size:
+        Number of samples per batch; the last batch may be smaller unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle the sample order each epoch (seeded for reproducibility).
+    transform:
+        Optional callable applied to the image batch (augmentation pipeline).
+    """
+
+    def __init__(self, dataset: SyntheticImageClassification, batch_size: int = 64,
+                 shuffle: bool = False, drop_last: bool = False, transform=None,
+                 seed: int = 0):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.transform = transform
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            index = order[start:start + self.batch_size]
+            if self.drop_last and index.size < self.batch_size:
+                break
+            images = self.dataset.images[index]
+            labels = self.dataset.labels[index]
+            if self.transform is not None:
+                images = self.transform(images, rng=self._rng)
+            yield images, labels

@@ -1,0 +1,82 @@
+"""Batch-level data augmentation transforms.
+
+Each transform is a callable ``(images, rng=...) -> images`` acting on a
+``(N, C, H, W)`` batch; :class:`Compose` chains them.  These mirror the
+standard CIFAR training recipe (random crop with padding, horizontal flip,
+normalization) used by the paper's baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence):
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng=rng)
+        return images
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, images: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        gen = rng if rng is not None else np.random.default_rng()
+        flip = gen.random(images.shape[0]) < self.p
+        out = images.copy()
+        out[flip] = out[flip][..., ::-1]
+        return out
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back to the original size at a random offset."""
+
+    def __init__(self, padding: int = 4):
+        self.padding = padding
+
+    def __call__(self, images: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        if self.padding == 0:
+            return images
+        gen = rng if rng is not None else np.random.default_rng()
+        n, c, h, w = images.shape
+        pad = self.padding
+        padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        out = np.empty_like(images)
+        offsets = gen.integers(0, 2 * pad + 1, size=(n, 2))
+        for i in range(n):
+            oy, ox = offsets[i]
+            out[i] = padded[i, :, oy:oy + h, ox:ox + w]
+        return out
+
+
+class Normalize:
+    """Per-channel standardization ``(x − mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std).reshape(1, -1, 1, 1)
+
+    def __call__(self, images: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        return (images - self.mean) / self.std
+
+
+class AddGaussianNoise:
+    """Additive Gaussian noise, a cheap robustness augmentation."""
+
+    def __init__(self, sigma: float = 0.05):
+        self.sigma = sigma
+
+    def __call__(self, images: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        gen = rng if rng is not None else np.random.default_rng()
+        return images + self.sigma * gen.standard_normal(images.shape)

@@ -1,0 +1,16 @@
+"""Experiment harness: configuration, training runner and table formatting."""
+
+from repro.experiments.config import ExperimentConfig, QUICK_DEFAULTS, PAPER_DEFAULTS
+from repro.experiments.runner import ExperimentResult, run_experiment, run_comparison
+from repro.experiments.tables import format_table, results_to_rows
+
+__all__ = [
+    "ExperimentConfig",
+    "QUICK_DEFAULTS",
+    "PAPER_DEFAULTS",
+    "ExperimentResult",
+    "run_experiment",
+    "run_comparison",
+    "format_table",
+    "results_to_rows",
+]

@@ -1,0 +1,102 @@
+"""Experiment configuration dataclass and presets.
+
+Every table/figure bench builds its workloads from :class:`ExperimentConfig`.
+Two presets are provided:
+
+* :data:`QUICK_DEFAULTS` — reduced width / few epochs / small synthetic
+  datasets, sized so the whole benchmark suite runs on a CPU in minutes.  This
+  is what the benches use by default.
+* :data:`PAPER_DEFAULTS` — paper-scale settings (full width, 150–300 epochs,
+  full dataset sizes).  Not run in CI, but available so the same code path can
+  reproduce the original scale given enough compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass
+class ExperimentConfig:
+    """A single training/evaluation run.
+
+    Attributes mirror the command-line flags published with the paper
+    (Appendix E): dataset, architecture, batch size, epochs, learning rate,
+    decay schedule and the query metric (dot vs adder, i.e. PECAN-A vs -D).
+    """
+
+    # Workload
+    dataset: str = "cifar10"
+    arch: str = "resnet20"                 # registry name, may carry _pecan_a/_pecan_d suffix
+    num_classes: Optional[int] = None      # derived from the dataset when None
+
+    # Model scale (reproduction knob; 1.0 = paper scale)
+    width_multiplier: float = 1.0
+
+    # Data scale (reproduction knob; paper uses the full datasets)
+    num_train: int = 512
+    num_test: int = 256
+    image_size: Optional[int] = None       # dataset default when None
+
+    # Optimization
+    batch_size: int = 64
+    epochs: int = 150
+    learning_rate: float = 0.01
+    lr_decay_step: int = 50
+    lr_decay_gamma: float = 0.1
+    optimizer: str = "adam"
+    strategy: str = "co"                   # "co" or "uni"
+    grad_clip: Optional[float] = 5.0
+    # Pretrain the conventional baseline for this many epochs before converting
+    # to PECAN (the paper's MNIST recipe: start uni-optimization from a mature
+    # CNN).  0 = build the PECAN model from scratch (co-optimization recipe).
+    pretrain_epochs: int = 0
+
+    # PQ specifics
+    temperature: Optional[float] = None    # per-mode default when None
+    init_codebooks_from_data: bool = True
+    prototype_cap: Optional[int] = None    # clamp p for reduced-scale runs (None = paper p)
+
+    # Reproducibility
+    seed: int = 0
+
+    # Free-form extras forwarded to the model constructor
+    model_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def dataset_num_classes(self) -> int:
+        if self.num_classes is not None:
+            return self.num_classes
+        return {"mnist": 10, "cifar10": 10, "cifar100": 100, "tiny_imagenet": 200}.get(
+            self.dataset.lower().replace("-", "_"), 10)
+
+    def with_arch(self, arch: str) -> "ExperimentConfig":
+        """Copy of this config targeting a different architecture string."""
+        return replace(self, arch=arch)
+
+    def scaled_for_quick_run(self) -> "ExperimentConfig":
+        """Copy of this config shrunk to the quick-run preset scale."""
+        return replace(self, **QUICK_DEFAULTS)
+
+
+#: Reduced-scale settings used by the benchmark suite (CPU minutes, not GPU days).
+QUICK_DEFAULTS: Dict[str, object] = {
+    "width_multiplier": 0.25,
+    "num_train": 192,
+    "num_test": 96,
+    "batch_size": 32,
+    "epochs": 3,
+    "learning_rate": 0.01,
+    "lr_decay_step": 2,
+}
+
+#: Paper-scale settings (Section 4 implementation details).
+PAPER_DEFAULTS: Dict[str, object] = {
+    "width_multiplier": 1.0,
+    "num_train": 50_000,
+    "num_test": 10_000,
+    "batch_size": 64,
+    "epochs": 150,
+    "learning_rate": 0.01,
+    "lr_decay_step": 50,
+}

@@ -1,0 +1,158 @@
+"""Experiment runner: dataset + model + trainer + op counting in one call.
+
+:func:`run_experiment` executes one :class:`ExperimentConfig` end to end and
+returns an :class:`ExperimentResult` holding the trained model, accuracy,
+training history and analytic op counts — everything the table benches need.
+:func:`run_comparison` runs a family of architectures (baseline, PECAN-A,
+PECAN-D, ...) on the same data and returns results keyed by method name,
+mirroring the row structure of the paper's Tables 2–4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data import DataLoader, make_dataset
+from repro.data.datasets import SyntheticImageClassification
+from repro.experiments.config import ExperimentConfig
+from repro.hardware.opcount import ModelOpReport, count_model_ops
+from repro.models.registry import build_model
+from repro.nn.module import Module
+from repro.optim import SGD, Adam, StepLR
+from repro.pecan.convert import pecan_layers
+from repro.pecan.training import (
+    PECANTrainer,
+    TrainingStrategy,
+    initialize_codebooks_from_data,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    config: ExperimentConfig
+    model: Module
+    accuracy: float
+    train_accuracy: float
+    history: Dict[str, List[float]]
+    op_report: ModelOpReport
+    seconds: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def additions(self) -> int:
+        return self.op_report.additions
+
+    @property
+    def multiplications(self) -> int:
+        return self.op_report.multiplications
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "arch": self.config.arch,
+            "dataset": self.config.dataset,
+            "accuracy": round(self.accuracy, 4),
+            "additions": self.additions,
+            "multiplications": self.multiplications,
+            "seconds": round(self.seconds, 2),
+        }
+
+
+def _build_loaders(config: ExperimentConfig
+                   ) -> Tuple[DataLoader, DataLoader, SyntheticImageClassification,
+                              SyntheticImageClassification]:
+    kwargs = {"num_train": config.num_train, "num_test": config.num_test, "seed": config.seed}
+    if config.image_size is not None:
+        kwargs["image_size"] = config.image_size
+    if config.num_classes is not None:
+        kwargs["num_classes"] = config.num_classes
+    train_set, test_set = make_dataset(config.dataset, **kwargs)
+    train_loader = DataLoader(train_set, batch_size=config.batch_size, shuffle=True,
+                              seed=config.seed)
+    test_loader = DataLoader(test_set, batch_size=config.batch_size, shuffle=False)
+    return train_loader, test_loader, train_set, test_set
+
+
+def _build_optimizer(config: ExperimentConfig, model: Module):
+    params = model.parameters()
+    if config.optimizer.lower() == "sgd":
+        return SGD(params, lr=config.learning_rate, momentum=0.9, weight_decay=1e-4)
+    return Adam(params, lr=config.learning_rate)
+
+
+def run_experiment(config: ExperimentConfig, verbose: bool = False) -> ExperimentResult:
+    """Run one configuration end to end (train, evaluate, count ops)."""
+    start = time.time()
+    rng = np.random.default_rng(config.seed)
+    train_loader, test_loader, train_set, _ = _build_loaders(config)
+
+    num_classes = config.dataset_num_classes()
+    in_channels, image_size, _ = train_set.image_shape
+    build_kwargs = dict(num_classes=num_classes, width_multiplier=config.width_multiplier,
+                        rng=rng, prototype_cap=config.prototype_cap,
+                        in_channels=in_channels, image_size=image_size,
+                        **config.model_kwargs)
+
+    is_pecan_arch = config.arch.lower().endswith(("_pecan_a", "_pecan_d"))
+    pretrained_baseline: Optional[Module] = None
+    if is_pecan_arch and config.pretrain_epochs > 0:
+        # Paper's uni-optimization recipe: train the conventional CNN first,
+        # then convert it (copying weights) and learn only the prototypes.
+        baseline_arch = config.arch.lower().rsplit("_pecan_", 1)[0]
+        pretrained_baseline = build_model(baseline_arch, **build_kwargs)
+        pre_optimizer = _build_optimizer(config, pretrained_baseline)
+        pre_scheduler = StepLR(pre_optimizer, step_size=config.lr_decay_step,
+                               gamma=config.lr_decay_gamma)
+        pre_trainer = PECANTrainer(pretrained_baseline, optimizer=pre_optimizer,
+                                   scheduler=pre_scheduler, grad_clip=config.grad_clip)
+        pre_trainer.fit(train_loader, test_loader, epochs=config.pretrain_epochs,
+                        verbose=verbose)
+
+    model = build_model(config.arch, from_baseline=pretrained_baseline, **build_kwargs)
+
+    is_pecan = bool(pecan_layers(model))
+    if is_pecan and config.init_codebooks_from_data:
+        initialize_codebooks_from_data(model, train_loader, rng=rng)
+
+    optimizer = _build_optimizer(config, model)
+    scheduler = StepLR(optimizer, step_size=config.lr_decay_step, gamma=config.lr_decay_gamma)
+    # The uni-optimization strategy only makes sense for PECAN models (it freezes
+    # everything except prototypes); conventional baselines always co-optimize.
+    strategy = TrainingStrategy.parse(config.strategy) if is_pecan \
+        else TrainingStrategy.CO_OPTIMIZATION
+    trainer = PECANTrainer(model, optimizer=optimizer, scheduler=scheduler,
+                           strategy=strategy, grad_clip=config.grad_clip)
+    history = trainer.fit(train_loader, test_loader, epochs=config.epochs, verbose=verbose)
+
+    accuracy = history.final_accuracy
+    train_accuracy = history.records[-1].train_accuracy if history.records else 0.0
+    op_report = count_model_ops(model, train_set.image_shape, model_name=config.arch)
+
+    return ExperimentResult(
+        config=config,
+        model=model,
+        accuracy=accuracy,
+        train_accuracy=train_accuracy,
+        history=history.as_dict(),
+        op_report=op_report,
+        seconds=time.time() - start,
+    )
+
+
+def run_comparison(base_config: ExperimentConfig, archs: Iterable[str],
+                   verbose: bool = False) -> Dict[str, ExperimentResult]:
+    """Run several architectures on the same dataset configuration.
+
+    Returns a mapping ``arch -> result`` preserving the input order, which the
+    table benches turn directly into paper-style rows (Baseline / PECAN-A /
+    PECAN-D).
+    """
+    results: Dict[str, ExperimentResult] = {}
+    for arch in archs:
+        results[arch] = run_experiment(base_config.with_arch(arch), verbose=verbose)
+    return results

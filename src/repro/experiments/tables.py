@@ -1,0 +1,51 @@
+"""Formatting helpers turning experiment results into paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult
+from repro.hardware.opcount import format_count
+
+
+def results_to_rows(results: Mapping[str, ExperimentResult],
+                    labels: Optional[Mapping[str, str]] = None) -> List[Dict[str, object]]:
+    """Convert a comparison run into rows with the paper's column layout.
+
+    Columns: Model (method label), #Add., #Mul., Accuracy (%).
+    """
+    labels = labels or {}
+    rows = []
+    for arch, result in results.items():
+        rows.append({
+            "method": labels.get(arch, arch),
+            "additions": result.additions,
+            "multiplications": result.multiplications,
+            "add_str": format_count(result.additions),
+            "mul_str": format_count(result.multiplications),
+            "accuracy_percent": round(result.accuracy * 100.0, 2),
+        })
+    return rows
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str],
+                 headers: Optional[Sequence[str]] = None, title: str = "") -> str:
+    """Render rows as a plain-text table (the benches print these)."""
+    headers = list(headers) if headers is not None else list(columns)
+    widths = [len(h) for h in headers]
+    text_rows: List[List[str]] = []
+    for row in rows:
+        cells = ["" if row.get(col) is None else str(row.get(col)) for col in columns]
+        text_rows.append(cells)
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+
+    def fmt(cells: Iterable[str]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append(fmt("-" * w for w in widths))
+    lines.extend(fmt(cells) for cells in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Hardware cost models: analytic op counts (Table 1) and power/latency (Table 5)."""
+
+from repro.hardware.opcount import (
+    OpCount,
+    conv_baseline_ops,
+    fc_baseline_ops,
+    pecan_conv_ops,
+    pecan_fc_ops,
+    addernet_conv_ops,
+    addernet_fc_ops,
+    max_prototypes_for_reduction,
+    count_layer_ops,
+    count_model_ops,
+    ModelOpReport,
+)
+from repro.hardware.cost_model import (
+    HardwareCostModel,
+    VIA_NANO,
+    latency_cycles,
+    energy_units,
+    normalized_power,
+    comparison_table,
+)
+from repro.hardware.mapping import CAMMacroSpec, LayerMapping, ModelMapping, map_layer, map_model
+
+__all__ = [
+    "OpCount",
+    "conv_baseline_ops",
+    "fc_baseline_ops",
+    "pecan_conv_ops",
+    "pecan_fc_ops",
+    "addernet_conv_ops",
+    "addernet_fc_ops",
+    "max_prototypes_for_reduction",
+    "count_layer_ops",
+    "count_model_ops",
+    "ModelOpReport",
+    "HardwareCostModel",
+    "VIA_NANO",
+    "latency_cycles",
+    "energy_units",
+    "normalized_power",
+    "comparison_table",
+    "CAMMacroSpec",
+    "LayerMapping",
+    "ModelMapping",
+    "map_layer",
+    "map_model",
+]

@@ -1,0 +1,100 @@
+"""Latency and power cost model (Section 4.3 / Table 5 of the paper).
+
+The paper grounds its hardware argument in the Intel VIA Nano 2000 CPU used by
+the AdderNet paper: a floating-point multiplication takes 4 cycles and an
+addition 2 cycles, while the energy of a 32-bit multiplier is 4× that of an
+adder.  Given a model's addition/multiplication counts this module computes
+
+* latency in cycles  — ``4·#Mul + 2·#Add``,
+* energy in adder-equivalent units — ``4·#Mul + 1·#Add``,
+* normalized power — energy divided by the smallest entry of a comparison set
+  (the paper normalizes against PECAN-D, whose value is 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.hardware.opcount import OpCount, format_count
+
+
+@dataclass(frozen=True)
+class HardwareCostModel:
+    """Per-operation latency (cycles) and energy (adder = 1) constants."""
+
+    multiply_cycles: int = 4
+    add_cycles: int = 2
+    multiply_energy: float = 4.0
+    add_energy: float = 1.0
+    name: str = "generic"
+
+    def latency_cycles(self, ops: OpCount) -> int:
+        """Total latency in cycles for the given operation counts."""
+        return self.multiply_cycles * ops.multiplications + self.add_cycles * ops.additions
+
+    def energy_units(self, ops: OpCount) -> float:
+        """Total energy in adder-equivalent units."""
+        return self.multiply_energy * ops.multiplications + self.add_energy * ops.additions
+
+
+#: The Intel VIA Nano 2000 constants quoted by the paper (Section 4.3).
+VIA_NANO = HardwareCostModel(multiply_cycles=4, add_cycles=2,
+                             multiply_energy=4.0, add_energy=1.0, name="via_nano_2000")
+
+
+def latency_cycles(ops: OpCount, model: HardwareCostModel = VIA_NANO) -> int:
+    """Latency in cycles under ``model`` (default: VIA Nano constants)."""
+    return model.latency_cycles(ops)
+
+
+def energy_units(ops: OpCount, model: HardwareCostModel = VIA_NANO) -> float:
+    """Energy in adder-equivalent units under ``model``."""
+    return model.energy_units(ops)
+
+
+def normalized_power(entries: Mapping[str, OpCount],
+                     model: HardwareCostModel = VIA_NANO,
+                     reference: str = "") -> Dict[str, float]:
+    """Normalized power column of Table 5.
+
+    Each method's energy is divided by the reference method's energy; by
+    default the reference is the entry with the lowest energy (PECAN-D in the
+    paper's table, whose normalized power is exactly 1).
+    """
+    energies = {name: model.energy_units(ops) for name, ops in entries.items()}
+    if reference:
+        base = energies[reference]
+    else:
+        base = min(energies.values())
+    if base <= 0:
+        raise ValueError("reference energy must be positive")
+    return {name: energy / base for name, energy in energies.items()}
+
+
+def comparison_table(entries: Mapping[str, OpCount],
+                     accuracies: Mapping[str, float] = None,
+                     model: HardwareCostModel = VIA_NANO,
+                     reference: str = "") -> List[Dict[str, object]]:
+    """Build Table 5-style rows: method, #Mul, #Add, accuracy, power, latency.
+
+    Returns a list of dictionaries (one per method, in input order) with both
+    raw numbers and paper-style formatted strings.
+    """
+    accuracies = accuracies or {}
+    power = normalized_power(entries, model=model, reference=reference)
+    rows: List[Dict[str, object]] = []
+    for name, ops in entries.items():
+        cycles = model.latency_cycles(ops)
+        rows.append({
+            "method": name,
+            "multiplications": ops.multiplications,
+            "additions": ops.additions,
+            "mul_str": format_count(ops.multiplications),
+            "add_str": format_count(ops.additions),
+            "accuracy": accuracies.get(name),
+            "normalized_power": round(power[name], 2),
+            "latency_cycles": cycles,
+            "latency_str": format_count(cycles),
+        })
+    return rows

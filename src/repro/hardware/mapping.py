@@ -1,0 +1,138 @@
+"""Mapping PECAN layers onto a fixed-size CAM macro array.
+
+The paper targets platforms "with built-in CAM support" — FPGAs or RRAM
+crossbars organised as fixed-geometry CAM macros (a macro stores at most
+``rows`` prototypes of at most ``width`` elements).  A deployment question the
+paper leaves implicit is how many macros a given PECAN model occupies and how
+well it utilizes them; this module answers it:
+
+* each codebook group of each layer is tiled onto one or more macros
+  (prototype count over ``rows``, subvector dimension over ``width``),
+* the mapper reports per-layer and total macro counts, utilization and the
+  number of macro activations per inference (each input subvector activates
+  every macro tile of its group once).
+
+The model is deliberately simple (no routing or banking conflicts) but gives
+the first-order numbers an architect needs to size a PECAN accelerator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cam.lut import LayerLUT, build_model_luts
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class CAMMacroSpec:
+    """Geometry of one CAM macro: ``rows`` stored words of ``width`` elements."""
+
+    rows: int = 64
+    width: int = 16
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.width <= 0:
+            raise ValueError("CAM macro rows and width must be positive")
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.width
+
+
+@dataclass
+class LayerMapping:
+    """How one PECAN layer maps onto the macro array."""
+
+    name: str
+    num_groups: int
+    prototypes_per_group: int
+    subvector_dim: int
+    row_tiles: int              # macros needed along the prototype axis (per group)
+    column_tiles: int           # macros needed along the dimension axis (per group)
+    positions_per_image: int    # HoutWout (1 for FC layers)
+
+    @property
+    def macros_per_group(self) -> int:
+        return self.row_tiles * self.column_tiles
+
+    @property
+    def total_macros(self) -> int:
+        return self.num_groups * self.macros_per_group
+
+    def utilization(self, spec: CAMMacroSpec) -> float:
+        """Fraction of allocated CAM cells actually holding prototype data."""
+        used = self.num_groups * self.prototypes_per_group * self.subvector_dim
+        allocated = self.total_macros * spec.cells
+        return used / allocated if allocated else 0.0
+
+    def activations_per_image(self) -> int:
+        """Macro search activations needed for one input image."""
+        return self.positions_per_image * self.total_macros
+
+
+@dataclass
+class ModelMapping:
+    """Aggregate mapping report for a whole model."""
+
+    spec: CAMMacroSpec
+    layers: List[LayerMapping] = field(default_factory=list)
+
+    @property
+    def total_macros(self) -> int:
+        return sum(layer.total_macros for layer in self.layers)
+
+    def utilization(self) -> float:
+        used = sum(layer.num_groups * layer.prototypes_per_group * layer.subvector_dim
+                   for layer in self.layers)
+        allocated = self.total_macros * self.spec.cells
+        return used / allocated if allocated else 0.0
+
+    def activations_per_image(self) -> int:
+        return sum(layer.activations_per_image() for layer in self.layers)
+
+    def layer(self, name: str) -> LayerMapping:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no mapping for layer {name!r}")
+
+
+def map_layer(lut: LayerLUT, spec: CAMMacroSpec, positions_per_image: int = 1) -> LayerMapping:
+    """Tile one layer's codebooks onto macros of the given geometry."""
+    row_tiles = math.ceil(lut.num_prototypes / spec.rows)
+    column_tiles = math.ceil(lut.subvector_dim / spec.width)
+    return LayerMapping(
+        name=lut.name,
+        num_groups=lut.num_groups,
+        prototypes_per_group=lut.num_prototypes,
+        subvector_dim=lut.subvector_dim,
+        row_tiles=row_tiles,
+        column_tiles=column_tiles,
+        positions_per_image=positions_per_image,
+    )
+
+
+def map_model(model: Module, input_shape: Tuple[int, int, int],
+              spec: CAMMacroSpec = CAMMacroSpec()) -> ModelMapping:
+    """Map every PECAN layer of ``model`` onto ``spec``-sized CAM macros.
+
+    ``input_shape`` is ``(C, H, W)`` of one input image and is used to derive
+    each convolution layer's number of output positions (the per-image search
+    count); FC layers contribute a single position.
+    """
+    from repro.hardware.opcount import count_model_ops
+
+    luts = build_model_luts(model)
+    report = count_model_ops(model, input_shape)
+    positions: Dict[str, int] = {}
+    for record in report.records:
+        hout, wout = record.output_hw
+        positions[record.name] = hout * wout
+
+    mapping = ModelMapping(spec=spec)
+    for name, lut in luts.items():
+        mapping.layers.append(map_layer(lut, spec, positions_per_image=positions.get(name, 1)))
+    return mapping

@@ -1,0 +1,28 @@
+"""Model and deployment-artifact serialization.
+
+Two kinds of artifacts need to move between machines in a PECAN workflow:
+
+* **training checkpoints** — parameters + buffers + optimizer-agnostic
+  metadata, so a pretrained baseline (or a converted PECAN model) can be
+  reloaded and finetuned later;
+* **deployment bundles** — the prototypes and lookup tables of every PECAN
+  layer (what the CAM hardware actually stores), exported in a plain ``.npz``
+  container that firmware or an RTL testbench can consume without this
+  library.
+"""
+
+from repro.io.checkpoint import save_checkpoint, load_checkpoint, Checkpoint
+from repro.io.deployment import (
+    export_deployment_bundle,
+    load_deployment_bundle,
+    DeploymentBundle,
+)
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "Checkpoint",
+    "export_deployment_bundle",
+    "load_deployment_bundle",
+    "DeploymentBundle",
+]

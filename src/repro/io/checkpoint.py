@@ -1,0 +1,85 @@
+"""Training checkpoints: save/load model state with metadata.
+
+Checkpoints are plain ``.npz`` archives (no pickling of code objects), so they
+stay loadable across refactors of the library.  Arbitrary JSON-serializable
+metadata (epoch, accuracy, experiment config) rides along in a ``meta`` entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__checkpoint_meta__"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """An in-memory checkpoint: a state dict plus metadata."""
+
+    state: Dict[str, np.ndarray]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_arrays(self) -> int:
+        return len(self.state)
+
+    @property
+    def num_values(self) -> int:
+        return int(sum(np.asarray(v).size for v in self.state.values()))
+
+
+def save_checkpoint(model: Module, path: PathLike,
+                    metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Serialize ``model.state_dict()`` (parameters + buffers) to ``path``.
+
+    Returns the path actually written (a ``.npz`` suffix is appended when
+    missing).  ``metadata`` must be JSON serializable.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    state = model.state_dict()
+    meta = {"format_version": _FORMAT_VERSION, "model_class": type(model).__name__,
+            "user": metadata or {}}
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(path: PathLike, model: Optional[Module] = None,
+                    strict: bool = True) -> Checkpoint:
+    """Load a checkpoint; optionally restore it into ``model`` in place.
+
+    Raises ``FileNotFoundError`` for missing files and ``ValueError`` for
+    archives that were not produced by :func:`save_checkpoint`.
+    """
+    path = Path(path)
+    if not path.exists():
+        candidate = path.with_suffix(path.suffix + ".npz") if path.suffix != ".npz" else path
+        if candidate.exists():
+            path = candidate
+        else:
+            raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(f"{path} is not a repro checkpoint (missing metadata entry)")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint format version: {meta.get('format_version')}")
+        state = {name: archive[name] for name in archive.files if name != _META_KEY}
+    checkpoint = Checkpoint(state=state, metadata=meta.get("user", {}))
+    if model is not None:
+        model.load_state_dict(checkpoint.state, strict=strict)
+    return checkpoint

@@ -1,0 +1,121 @@
+"""Deployment bundles: export the CAM contents of a trained PECAN model.
+
+A deployed PECAN layer stores exactly two arrays per layer (Section 3 of the
+paper): the prototypes searched by the CAM and the precomputed
+weight-prototype products addressed by the match result.  A
+:class:`DeploymentBundle` collects those arrays for every PECAN layer of a
+model together with the geometry metadata an accelerator needs (kernel size,
+stride, padding, group permutation, similarity mode), and round-trips through
+a single ``.npz`` file so hardware testbenches can consume it without Python.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.cam.lut import LayerLUT, build_model_luts
+from repro.nn.module import Module
+from repro.pecan.config import PECANMode
+
+PathLike = Union[str, Path]
+
+_MANIFEST_KEY = "__deployment_manifest__"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class DeploymentBundle:
+    """All CAM/LUT artifacts of one model, keyed by layer name."""
+
+    luts: Dict[str, LayerLUT] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def layer_names(self) -> List[str]:
+        return list(self.luts)
+
+    def total_values(self) -> int:
+        """Total scalar values stored across prototypes and tables."""
+        return int(sum(lut.prototypes.size + lut.table.size for lut in self.luts.values()))
+
+    def is_multiplier_free(self) -> bool:
+        """True when every exported layer uses the distance (PECAN-D) mode."""
+        return all(lut.mode is PECANMode.DISTANCE for lut in self.luts.values())
+
+
+def export_deployment_bundle(model: Module, path: PathLike,
+                             metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Build the LUTs of every PECAN layer in ``model`` and write them to ``path``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    luts = build_model_luts(model)
+    if not luts:
+        raise ValueError("model contains no PECAN layers; nothing to export")
+
+    arrays: Dict[str, np.ndarray] = {}
+    manifest: Dict[str, object] = {
+        "format_version": _FORMAT_VERSION,
+        "layers": {},
+        "user": metadata or {},
+    }
+    for name, lut in luts.items():
+        arrays[f"{name}/prototypes"] = lut.prototypes
+        arrays[f"{name}/table"] = lut.table
+        if lut.bias is not None:
+            arrays[f"{name}/bias"] = lut.bias
+        if lut.group_permutation is not None:
+            arrays[f"{name}/permutation"] = lut.group_permutation
+        manifest["layers"][name] = {
+            "kind": lut.kind,
+            "mode": lut.mode.value,
+            "temperature": lut.temperature,
+            "kernel_size": lut.kernel_size,
+            "stride": lut.stride,
+            "padding": lut.padding,
+            "in_channels": lut.in_channels,
+            "out_channels": lut.out_channels,
+            "has_bias": lut.bias is not None,
+            "has_permutation": lut.group_permutation is not None,
+        }
+    arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_deployment_bundle(path: PathLike) -> DeploymentBundle:
+    """Read a bundle written by :func:`export_deployment_bundle`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"deployment bundle not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _MANIFEST_KEY not in archive.files:
+            raise ValueError(f"{path} is not a repro deployment bundle")
+        manifest = json.loads(bytes(archive[_MANIFEST_KEY].tobytes()).decode("utf-8"))
+        if manifest.get("format_version") != _FORMAT_VERSION:
+            raise ValueError("unsupported deployment bundle format version")
+        luts: Dict[str, LayerLUT] = {}
+        for name, info in manifest["layers"].items():
+            luts[name] = LayerLUT(
+                name=name,
+                kind=info["kind"],
+                mode=PECANMode.parse(info["mode"]),
+                prototypes=archive[f"{name}/prototypes"],
+                table=archive[f"{name}/table"],
+                bias=archive[f"{name}/bias"] if info["has_bias"] else None,
+                temperature=info["temperature"],
+                kernel_size=info["kernel_size"],
+                stride=info["stride"],
+                padding=info["padding"],
+                in_channels=info["in_channels"],
+                out_channels=info["out_channels"],
+                group_permutation=(archive[f"{name}/permutation"]
+                                   if info["has_permutation"] else None),
+            )
+    return DeploymentBundle(luts=luts, metadata=manifest.get("user", {}))

@@ -1,0 +1,50 @@
+"""Model zoo: the architectures evaluated in the paper.
+
+* :mod:`repro.models.lenet` — the modified LeNet5 of Appendix Table A1.
+* :mod:`repro.models.vgg` — VGG-Small (one fully-connected layer).
+* :mod:`repro.models.resnet` — CIFAR ResNet-20 / ResNet-32.
+* :mod:`repro.models.convmixer` — the modified ConvMixer of Appendix D.
+* :mod:`repro.models.pq_settings` — the per-layer ``(p, D, d)`` settings from
+  Appendix Tables A2 / A3 and the TinyImageNet appendix.
+* :mod:`repro.models.registry` — name-based constructors mirroring the
+  ``--arch resnet20_pecan_a`` style of the paper's released commands.
+"""
+
+from repro.models.lenet import LeNet5, LENET_LAYER_SPECS
+from repro.models.vgg import VGGSmall, VGG_SMALL_CHANNELS
+from repro.models.resnet import ResNetCIFAR, resnet20, resnet32, BasicBlock
+from repro.models.convmixer import ConvMixer
+from repro.models.pq_settings import (
+    lenet_pecan_config,
+    vgg_small_pecan_config,
+    resnet_pecan_config,
+    convmixer_pecan_config,
+    LENET_PECAN_A_SETTINGS,
+    LENET_PECAN_D_SETTINGS,
+    VGG_SMALL_PECAN_SETTINGS,
+    RESNET_PECAN_SETTINGS,
+)
+from repro.models.registry import build_model, MODEL_REGISTRY, available_models
+
+__all__ = [
+    "LeNet5",
+    "LENET_LAYER_SPECS",
+    "VGGSmall",
+    "VGG_SMALL_CHANNELS",
+    "ResNetCIFAR",
+    "resnet20",
+    "resnet32",
+    "BasicBlock",
+    "ConvMixer",
+    "lenet_pecan_config",
+    "vgg_small_pecan_config",
+    "resnet_pecan_config",
+    "convmixer_pecan_config",
+    "LENET_PECAN_A_SETTINGS",
+    "LENET_PECAN_D_SETTINGS",
+    "VGG_SMALL_PECAN_SETTINGS",
+    "RESNET_PECAN_SETTINGS",
+    "build_model",
+    "MODEL_REGISTRY",
+    "available_models",
+]

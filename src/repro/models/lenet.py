@@ -1,0 +1,88 @@
+"""The modified LeNet5 of the paper (Appendix Table A1).
+
+Structure (for a ``1×28×28`` input):
+
+========  ===========  ======================
+layer     kernel       output ``[cout, H, W]``
+========  ===========  ======================
+CONV1     3×3          ``[8, 26, 26]``
+ReLU + MaxPool 2×2     ``[8, 13, 13]``
+CONV2     3×3          ``[16, 11, 11]``
+ReLU + MaxPool 2×2     ``[16, 5, 5]``
+FC1       —            ``[128]``
+FC2       —            ``[64]``
+FC3       —            ``[10]``
+========  ===========  ======================
+
+``width_multiplier`` scales the channel counts for quick CPU experiments; the
+op-count benches always use the paper-scale multiplier of 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU, Sequential
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Static description of one LeNet layer, used by the op-count model."""
+
+    name: str
+    kind: str                 # "conv" or "fc"
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    output_hw: Tuple[int, int]
+
+
+#: Paper-scale layer shapes (Appendix Table A1) for a 28×28 MNIST input.
+LENET_LAYER_SPECS: List[LayerSpec] = [
+    LayerSpec("conv1", "conv", 1, 8, 3, (26, 26)),
+    LayerSpec("conv2", "conv", 8, 16, 3, (11, 11)),
+    LayerSpec("fc1", "fc", 400, 128, 1, (1, 1)),
+    LayerSpec("fc2", "fc", 128, 64, 1, (1, 1)),
+    LayerSpec("fc3", "fc", 64, 10, 1, (1, 1)),
+]
+
+
+class LeNet5(Module):
+    """The modified LeNet5 used for the MNIST experiment (Table 2)."""
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 1, image_size: int = 28,
+                 width_multiplier: float = 1.0, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        c1 = max(1, int(round(8 * width_multiplier)))
+        c2 = max(1, int(round(16 * width_multiplier)))
+        f1 = max(num_classes, int(round(128 * width_multiplier)))
+        f2 = max(num_classes, int(round(64 * width_multiplier)))
+
+        self.features = Sequential(
+            Conv2d(in_channels, c1, 3, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, 3, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        spatial = ((image_size - 2) // 2 - 2) // 2
+        self.flatten = Flatten()
+        self.classifier = Sequential(
+            Linear(c2 * spatial * spatial, f1, rng=rng),
+            ReLU(),
+            Linear(f1, f2, rng=rng),
+            ReLU(),
+            Linear(f2, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+        self.image_size = image_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = self.flatten(x)
+        return self.classifier(x)

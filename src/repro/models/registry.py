@@ -1,0 +1,120 @@
+"""Name-based model construction mirroring the paper's ``--arch`` flags.
+
+The released code of the paper exposes architectures as strings such as
+``resnet20_pecan_a`` or ``resnet20_pecan_d`` (Appendix E).  This registry
+reproduces that interface: a plain name builds the conventional baseline and a
+``_pecan_a`` / ``_pecan_d`` suffix builds the converted PECAN model with the
+appendix settings.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.models.convmixer import ConvMixer
+from repro.models.lenet import LeNet5
+from repro.models.pq_settings import (
+    convmixer_pecan_config,
+    lenet_pecan_config,
+    resnet_pecan_config,
+    vgg_small_pecan_config,
+)
+from repro.models.resnet import resnet20, resnet32
+from repro.models.vgg import VGGSmall
+from repro.pecan.convert import convert_to_pecan
+
+MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "lenet5": LeNet5,
+    "vgg_small": VGGSmall,
+    "resnet20": resnet20,
+    "resnet32": resnet32,
+    "convmixer": ConvMixer,
+}
+
+_PECAN_CONFIGS = {
+    "lenet5": lambda mode, **kw: lenet_pecan_config(mode),
+    "vgg_small": lambda mode, **kw: vgg_small_pecan_config(mode),
+    "resnet20": lambda mode, **kw: resnet_pecan_config(mode, depth=20),
+    "resnet32": lambda mode, **kw: resnet_pecan_config(mode, depth=32),
+    "convmixer": lambda mode, **kw: convmixer_pecan_config(mode),
+}
+
+_SKIP_FIRST_LAST = {"convmixer"}
+
+
+def available_models() -> List[str]:
+    """All recognized architecture names, including the PECAN variants."""
+    names = []
+    for base in MODEL_REGISTRY:
+        names.extend([base, f"{base}_pecan_a", f"{base}_pecan_d"])
+    return sorted(names)
+
+
+def build_model(name: str, num_classes: int = 10, width_multiplier: float = 1.0,
+                rng: Optional[np.random.Generator] = None,
+                prototype_cap: Optional[int] = None,
+                from_baseline: Optional[Module] = None, **kwargs) -> Module:
+    """Build a model by name, e.g. ``"resnet20"`` or ``"resnet20_pecan_d"``.
+
+    PECAN variants are produced by constructing the conventional baseline and
+    converting it with the appendix per-layer settings; the weights of the
+    freshly built baseline carry over (so a caller can also load pretrained
+    weights into the baseline first and convert manually via
+    :func:`repro.pecan.convert.convert_to_pecan`).
+
+    ``prototype_cap`` optionally clamps every layer's number of prototypes
+    ``p`` (reduced-scale training runs use this so CPU-scale experiments stay
+    tractable; the analytic op-count benches never set it).
+
+    ``from_baseline`` supplies an already-built (typically pretrained)
+    conventional model to convert instead of constructing a fresh one — the
+    uni-optimization workflow of Section 4.4.2 starts from a mature CNN.
+    """
+    key = name.lower()
+    mode = None
+    if key.endswith("_pecan_a"):
+        mode, key = "angle", key[: -len("_pecan_a")]
+    elif key.endswith("_pecan_d"):
+        mode, key = "distance", key[: -len("_pecan_d")]
+
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+
+    if from_baseline is not None:
+        base_model = from_baseline
+    else:
+        constructor = MODEL_REGISTRY[key]
+        # Drop keyword arguments the constructor does not accept (e.g. image_size
+        # for ResNet, whose CIFAR variant is size-agnostic) so callers can pass a
+        # uniform set of dataset-derived kwargs.
+        signature = inspect.signature(constructor)
+        has_var_keyword = any(p.kind is inspect.Parameter.VAR_KEYWORD
+                              for p in signature.parameters.values())
+        accepted = kwargs if has_var_keyword else {k: v for k, v in kwargs.items()
+                                                   if k in signature.parameters}
+        base_model = constructor(num_classes=num_classes,
+                                 width_multiplier=width_multiplier, rng=rng, **accepted)
+    if mode is None:
+        return base_model
+    config = _PECAN_CONFIGS[key](mode)
+    if prototype_cap is not None:
+        config = _cap_prototypes(config, prototype_cap)
+    skip = key in _SKIP_FIRST_LAST
+    return convert_to_pecan(base_model, config, skip_first=skip, skip_last=skip, rng=rng)
+
+
+def _cap_prototypes(provider, cap: int):
+    """Wrap a per-layer config provider, clamping ``num_prototypes`` to ``cap``."""
+
+    def capped(index, module):
+        config = provider(index, module)
+        if config is None:
+            return None
+        config.num_prototypes = min(config.num_prototypes, cap)
+        return config
+
+    return capped

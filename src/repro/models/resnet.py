@@ -1,0 +1,129 @@
+"""CIFAR-style ResNet-20 / ResNet-32 (He et al., 2016).
+
+Three stages of ``n`` basic blocks (``n = 3`` for ResNet-20, ``n = 5`` for
+ResNet-32) with 16/32/64 channels at paper scale, global average pooling and a
+linear classifier.  Shortcuts use the parameter-free "option A" (stride-2
+subsampling + zero channel padding) so every convolution in the network is a
+3×3 layer — exactly the population of layers PECAN quantizes, and consistent
+with the paper's op counts (40.55M multiplications for ResNet-20), which leave
+no room for 1×1 projection convolutions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    ModuleList,
+    ReLU,
+    Sequential,
+)
+
+
+class DownsampleA(Module):
+    """Option-A shortcut: subsample spatially by 2 and zero-pad the channels."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = x[:, :, ::self.stride, ::self.stride]
+        pad_total = self.out_channels - self.in_channels
+        if pad_total <= 0:
+            return data
+        n, _, h, w = data.shape
+        zeros_front = Tensor(np.zeros((n, pad_total // 2, h, w), dtype=x.data.dtype))
+        zeros_back = Tensor(np.zeros((n, pad_total - pad_total // 2, h, w), dtype=x.data.dtype))
+        return F.concatenate([zeros_front, data, zeros_back], axis=1)
+
+
+class BasicBlock(Module):
+    """Two 3×3 convolutions with BN/ReLU and a residual connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = DownsampleA(in_channels, out_channels, stride)
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return self.relu(out)
+
+
+class ResNetCIFAR(Module):
+    """ResNet-(6n+2) for CIFAR: ``depth ∈ {20, 32}`` in the paper."""
+
+    def __init__(self, depth: int = 20, num_classes: int = 10, in_channels: int = 3,
+                 width_multiplier: float = 1.0, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if (depth - 2) % 6 != 0:
+            raise ValueError("depth must be 6n+2 (e.g. 20, 32, 44)")
+        blocks_per_stage = (depth - 2) // 6
+        widths = [max(1, int(round(w * width_multiplier))) for w in (16, 32, 64)]
+        self.depth = depth
+        self.num_classes = num_classes
+        self.widths = widths
+
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(widths[0])
+        self.relu = ReLU()
+
+        self.stage1 = self._make_stage(widths[0], widths[0], blocks_per_stage, stride=1, rng=rng)
+        self.stage2 = self._make_stage(widths[0], widths[1], blocks_per_stage, stride=2, rng=rng)
+        self.stage3 = self._make_stage(widths[1], widths[2], blocks_per_stage, stride=2, rng=rng)
+
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[2], num_classes, rng=rng)
+
+    @staticmethod
+    def _make_stage(in_channels: int, out_channels: int, blocks: int, stride: int,
+                    rng: Optional[np.random.Generator]) -> Sequential:
+        layers: List[Module] = [BasicBlock(in_channels, out_channels, stride=stride, rng=rng)]
+        for _ in range(blocks - 1):
+            layers.append(BasicBlock(out_channels, out_channels, stride=1, rng=rng))
+        return Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu(self.bn1(self.conv1(x)))
+        x = self.stage1(x)
+        x = self.stage2(x)
+        x = self.stage3(x)
+        x = self.pool(x)
+        return self.fc(x)
+
+
+def resnet20(num_classes: int = 10, width_multiplier: float = 1.0,
+             rng: Optional[np.random.Generator] = None) -> ResNetCIFAR:
+    """ResNet-20 (Tables 3, 4, Fig. 4, Fig. 6)."""
+    return ResNetCIFAR(20, num_classes=num_classes, width_multiplier=width_multiplier, rng=rng)
+
+
+def resnet32(num_classes: int = 10, width_multiplier: float = 1.0,
+             rng: Optional[np.random.Generator] = None) -> ResNetCIFAR:
+    """ResNet-32 (Tables 3, 4)."""
+    return ResNetCIFAR(32, num_classes=num_classes, width_multiplier=width_multiplier, rng=rng)

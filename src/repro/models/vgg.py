@@ -1,0 +1,63 @@
+"""VGG-Small: the simplified VGGNet with a single fully-connected layer.
+
+Six 3×3 convolution layers in three pairs (128, 256, 512 channels at paper
+scale), each pair followed by 2×2 max pooling, batch normalization and ReLU
+after every convolution, and one final linear classifier.  For a 32×32 CIFAR
+input the pairs produce 32×32, 16×16 and 8×8 feature maps, matching the
+output-map column of Appendix Table A3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+#: Paper-scale channel plan: three pairs of convolutions.
+VGG_SMALL_CHANNELS: List[int] = [128, 128, 256, 256, 512, 512]
+
+
+class VGGSmall(Module):
+    """VGG-Small for CIFAR-10/100 (Tables 3, 4, 5, 6 and Fig. 5)."""
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3, image_size: int = 32,
+                 width_multiplier: float = 1.0, batch_norm: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        channels = [max(1, int(round(c * width_multiplier))) for c in VGG_SMALL_CHANNELS]
+        self.channels = channels
+        self.num_classes = num_classes
+        self.image_size = image_size
+
+        layers = []
+        previous = in_channels
+        for index, width in enumerate(channels):
+            layers.append(Conv2d(previous, width, 3, padding=1, bias=not batch_norm, rng=rng))
+            if batch_norm:
+                layers.append(BatchNorm2d(width))
+            layers.append(ReLU())
+            if index % 2 == 1:
+                layers.append(MaxPool2d(2))
+            previous = width
+        self.features = Sequential(*layers)
+
+        spatial = image_size // 8
+        self.flatten = Flatten()
+        self.classifier = Linear(channels[-1] * spatial * spatial, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = self.flatten(x)
+        return self.classifier(x)

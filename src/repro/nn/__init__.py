@@ -1,0 +1,46 @@
+"""A minimal neural-network module system layered on :mod:`repro.autograd`.
+
+The layout mirrors ``torch.nn`` so the model definitions in
+:mod:`repro.models` read like the paper's original PyTorch code.
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.sequential import Sequential
+from repro.nn.layers import (
+    Conv2d,
+    Linear,
+    BatchNorm2d,
+    BatchNorm1d,
+    ReLU,
+    GELU,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Dropout,
+    Identity,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Sequential",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "ReLU",
+    "GELU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "init",
+]

@@ -1,0 +1,100 @@
+"""Weight initialization schemes (Kaiming / Xavier / uniform / constant).
+
+All initializers mutate the parameter's ``data`` in place and accept an
+optional ``rng`` so experiments can be made fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense (out, in) or conv (out, in, k, k) shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in = fan_out = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    return fan_in, fan_out
+
+
+def kaiming_normal_(tensor: Tensor, rng: Optional[np.random.Generator] = None,
+                    nonlinearity: str = "relu") -> Tensor:
+    """He-normal initialization (``std = gain / sqrt(fan_in)``)."""
+    gen = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = _fan_in_out(tensor.shape)
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / np.sqrt(max(fan_in, 1))
+    tensor.data = gen.standard_normal(tensor.shape) * std
+    return tensor
+
+
+def kaiming_uniform_(tensor: Tensor, rng: Optional[np.random.Generator] = None,
+                     nonlinearity: str = "relu") -> Tensor:
+    """He-uniform initialization."""
+    gen = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = _fan_in_out(tensor.shape)
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * np.sqrt(3.0 / max(fan_in, 1))
+    tensor.data = gen.uniform(-bound, bound, size=tensor.shape)
+    return tensor
+
+
+def xavier_normal_(tensor: Tensor, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Glorot-normal initialization."""
+    gen = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(tensor.shape)
+    std = np.sqrt(2.0 / max(fan_in + fan_out, 1))
+    tensor.data = gen.standard_normal(tensor.shape) * std
+    return tensor
+
+
+def xavier_uniform_(tensor: Tensor, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Glorot-uniform initialization."""
+    gen = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(tensor.shape)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    tensor.data = gen.uniform(-bound, bound, size=tensor.shape)
+    return tensor
+
+
+def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0,
+             rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Uniform initialization in ``[low, high)``."""
+    gen = rng if rng is not None else np.random.default_rng()
+    tensor.data = gen.uniform(low, high, size=tensor.shape)
+    return tensor
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Gaussian initialization."""
+    gen = rng if rng is not None else np.random.default_rng()
+    tensor.data = gen.normal(mean, std, size=tensor.shape)
+    return tensor
+
+
+def constant_(tensor: Tensor, value: float) -> Tensor:
+    """Fill with a constant value."""
+    tensor.data = np.full(tensor.shape, float(value))
+    return tensor
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    """Fill with zeros."""
+    return constant_(tensor, 0.0)
+
+
+def ones_(tensor: Tensor) -> Tensor:
+    """Fill with ones."""
+    return constant_(tensor, 1.0)

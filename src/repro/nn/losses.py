@@ -1,0 +1,27 @@
+"""Loss modules wrapping the functional implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over a batch of logits and integer class labels."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        super().__init__()
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, label_smoothing=self.label_smoothing)
+
+
+class MSELoss(Module):
+    """Mean squared error between two tensors."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.mse_loss(prediction, target)

@@ -1,0 +1,202 @@
+"""Base classes for trainable modules: :class:`Parameter`, :class:`Module`.
+
+A :class:`Module` tracks its :class:`Parameter` leaves and child modules so
+optimizers can discover every trainable tensor via :meth:`Module.parameters`
+and experiments can snapshot / restore weights via ``state_dict`` /
+``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable leaf of a module."""
+
+    def __init__(self, data, requires_grad: bool = True, name: str = ""):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement :meth:`forward`; calling the module invokes it.
+    Attribute assignment automatically registers parameters, buffers are
+    registered explicitly via :meth:`register_buffer`.
+    """
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Registration machinery
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (prefix + name, param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (prefix + name, buf)
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    # ------------------------------------------------------------------ #
+    # Train / eval and gradient helpers
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def freeze(self) -> "Module":
+        """Disable gradients for every parameter of this module (recursively)."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Re-enable gradients for every parameter of this module."""
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters() if not trainable_only or p.requires_grad)
+
+    # ------------------------------------------------------------------ #
+    # State (de)serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state["buffer:" + name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                name = key[len("buffer:"):]
+                if name in buffers:
+                    if buffers[name].shape != np.shape(value):
+                        raise ValueError(f"buffer {name!r} shape mismatch: "
+                                         f"{buffers[name].shape} vs {np.shape(value)}")
+                    buffers[name][...] = value
+                elif strict:
+                    raise KeyError(f"unknown buffer {name!r}")
+            elif key in params:
+                if params[key].data.shape != np.shape(value):
+                    raise ValueError(f"parameter {key!r} shape mismatch: "
+                                     f"{params[key].data.shape} vs {np.shape(value)}")
+                params[key].data = np.array(value, copy=True)
+            elif strict:
+                raise KeyError(f"unknown parameter {key!r}")
+        if strict:
+            missing = set(params) - {k for k in state if not k.startswith("buffer:")}
+            if missing:
+                raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+
+    # ------------------------------------------------------------------ #
+    # Forward plumbing
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, module in self._modules.items():
+            child = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else lines[0] + ")"
+
+
+class ModuleList(Module):
+    """A list of sub-modules registered in order (mirrors ``nn.ModuleList``)."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+        raise RuntimeError("ModuleList is a container and cannot be called")

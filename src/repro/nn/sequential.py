@@ -1,0 +1,38 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._layers = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._layers.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._layers)), module)
+        self._layers.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x

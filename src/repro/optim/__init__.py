@@ -1,0 +1,22 @@
+"""Optimizers and learning-rate schedulers.
+
+The paper trains PECAN with Adam and a step-decay learning-rate schedule
+(Section 4 implementation details); both are provided here along with SGD for
+the baseline comparisons.
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.schedulers import StepLR, MultiStepLR, CosineAnnealingLR, LRScheduler
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "LRScheduler",
+]

@@ -1,0 +1,55 @@
+"""Adam and AdamW optimizers (the paper optimizes PECAN with Adam)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; ``weight_decay`` is L2 added to the gradient."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: Tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _apply_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * param.data
+        return grad
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = self._apply_decay(param, param.grad)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (applied directly to the weights)."""
+
+    def _apply_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            param.data = param.data * (1.0 - self.lr * self.weight_decay)
+        return grad

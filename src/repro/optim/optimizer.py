@@ -1,0 +1,45 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class: tracks parameters and provides ``zero_grad``/``step``.
+
+    Parameters that were frozen (``requires_grad == False``) are skipped at
+    step time, which is how the paper's uni-optimization strategy (update only
+    the prototypes, freeze the convolution weights) is expressed.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Clip the global gradient norm; returns the pre-clip norm."""
+        grads = [p.grad for p in self.params if p.grad is not None]
+        if not grads:
+            return 0.0
+        total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for g in grads:
+                g *= scale
+        return total

@@ -1,0 +1,76 @@
+"""Learning-rate schedulers.
+
+The paper decays the learning rate every 50 epochs on MNIST (StepLR) and at
+epoch 200 for PECAN-D on CIFAR (MultiStepLR); both are reproduced here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.last_epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` at each listed milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.last_epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * progress))

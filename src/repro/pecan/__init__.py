@@ -1,0 +1,61 @@
+"""PECAN: Product-QuantizEd Content Addressable Memory Network layers.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.pecan.similarity` — the two end-to-end learnable prototype
+  matching schemes: angle-based (Eq. 2, PECAN-A) and distance-based
+  (Eq. 3–6, PECAN-D) with the straight-through estimator and the epoch-aware
+  sign-gradient relaxation.
+* :mod:`repro.pecan.codebook` — the learnable codebooks ``C^(j) ∈ R^{d×p}``.
+* :mod:`repro.pecan.layers` — drop-in ``PECANConv2d`` / ``PECANLinear``
+  replacements for ``nn.Conv2d`` / ``nn.Linear``.
+* :mod:`repro.pecan.config` — per-layer PQ settings ``(p, D, d)`` mirroring
+  the paper's Appendix Tables A2 / A3.
+* :mod:`repro.pecan.convert` — conversion of a conventional model into a
+  PECAN model (including batch-norm folding).
+* :mod:`repro.pecan.training` — the co-optimization and uni-optimization
+  (frozen weights) training strategies of Section 4.4.2.
+"""
+
+from repro.pecan.config import PQLayerConfig, PECANMode
+from repro.pecan.codebook import Codebook
+from repro.pecan.similarity import (
+    angle_assignment,
+    distance_assignment,
+    soft_distance_assignment,
+    hard_distance_assignment,
+    sign_gradient_scale,
+    l1_distance_smoothed,
+)
+from repro.pecan.layers import PECANConv2d, PECANLinear, PECANLayerMixin
+from repro.pecan.convert import convert_to_pecan, fold_batchnorm, pecan_layers
+from repro.pecan.training import (
+    PECANTrainer,
+    TrainingStrategy,
+    set_model_epoch,
+    co_optimize,
+    uni_optimize,
+)
+
+__all__ = [
+    "PQLayerConfig",
+    "PECANMode",
+    "Codebook",
+    "angle_assignment",
+    "distance_assignment",
+    "soft_distance_assignment",
+    "hard_distance_assignment",
+    "sign_gradient_scale",
+    "l1_distance_smoothed",
+    "PECANConv2d",
+    "PECANLinear",
+    "PECANLayerMixin",
+    "convert_to_pecan",
+    "fold_batchnorm",
+    "pecan_layers",
+    "PECANTrainer",
+    "TrainingStrategy",
+    "set_model_epoch",
+    "co_optimize",
+    "uni_optimize",
+]

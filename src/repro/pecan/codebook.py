@@ -1,0 +1,148 @@
+"""Learnable product-quantization codebooks.
+
+A :class:`Codebook` holds ``D`` codebooks of ``p`` prototypes each, every
+prototype being a ``d``-dimensional subvector — the object written ``C^(j)``
+in the paper.  It exposes the two assignment schemes (angle / distance), the
+reconstruction ``X̃ = C K`` and the usage statistics needed for the Fig. 6
+prototype-pruning analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan import similarity
+
+
+class Codebook(Module):
+    """``D`` codebooks of ``p`` prototypes of dimension ``d``.
+
+    Parameters
+    ----------
+    num_groups:
+        ``D`` — how many groups the flattened layer input is split into.
+    subvector_dim:
+        ``d`` — dimension of each subvector / prototype.
+    num_prototypes:
+        ``p`` — prototypes per codebook.
+    init_scale:
+        Standard deviation of the Gaussian initialization (overridden if the
+        codebook is later re-initialized from data).
+    """
+
+    def __init__(self, num_groups: int, subvector_dim: int, num_prototypes: int,
+                 init_scale: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if min(num_groups, subvector_dim, num_prototypes) <= 0:
+            raise ValueError("num_groups, subvector_dim and num_prototypes must be positive")
+        self.num_groups = num_groups
+        self.subvector_dim = subvector_dim
+        self.num_prototypes = num_prototypes
+        gen = rng if rng is not None else np.random.default_rng()
+        self.prototypes = Parameter(
+            gen.standard_normal((num_groups, subvector_dim, num_prototypes)) * init_scale)
+
+    # ------------------------------------------------------------------ #
+    # Initialization helpers
+    # ------------------------------------------------------------------ #
+    def initialize_from_data(self, x_grouped: np.ndarray,
+                             rng: Optional[np.random.Generator] = None,
+                             kmeans_iters: int = 5) -> None:
+        """Re-initialize prototypes from real subvectors with a few k-means steps.
+
+        ``x_grouped`` has shape ``(N, D, d, L)`` (the grouped im2col output of a
+        representative batch).  Good initialization substantially speeds up
+        prototype convergence, mirroring the k-means init of classical PQ
+        (Jegou et al., 2011) that the paper builds on.
+        """
+        gen = rng if rng is not None else np.random.default_rng()
+        n, d_groups, dim, length = x_grouped.shape
+        if d_groups != self.num_groups or dim != self.subvector_dim:
+            raise ValueError("x_grouped shape does not match the codebook configuration")
+        samples = x_grouped.transpose(1, 0, 3, 2).reshape(self.num_groups, n * length, dim)
+        new_protos = np.empty_like(self.prototypes.data)
+        for j in range(self.num_groups):
+            group = samples[j]
+            count = group.shape[0]
+            chosen = gen.choice(count, size=self.num_prototypes, replace=count < self.num_prototypes)
+            centers = group[chosen].copy()
+            for _ in range(kmeans_iters):
+                distances = np.abs(group[:, None, :] - centers[None, :, :]).sum(axis=-1)
+                labels = distances.argmin(axis=1)
+                for m in range(self.num_prototypes):
+                    members = group[labels == m]
+                    if members.shape[0] > 0:
+                        centers[m] = np.median(members, axis=0)
+            new_protos[j] = centers.T
+        self.prototypes.data = new_protos
+
+    # ------------------------------------------------------------------ #
+    # Assignment / reconstruction
+    # ------------------------------------------------------------------ #
+    def assign(self, x_grouped: Tensor, config: PQLayerConfig,
+               sharpness: Optional[float] = None, hard: bool = True) -> Tensor:
+        """Assignment weights ``K`` for grouped inputs ``(N, D, d, L)``.
+
+        Angle mode returns the softmax attention of Eq. (2); distance mode
+        returns the straight-through hard assignment of Eq. (3)–(5).
+        """
+        if config.mode is PECANMode.ANGLE:
+            return similarity.angle_assignment(x_grouped, self.prototypes,
+                                               temperature=config.temperature)
+        return similarity.distance_assignment(x_grouped, self.prototypes,
+                                              temperature=config.temperature,
+                                              sharpness=sharpness, hard=hard)
+
+    def reconstruct(self, assignment: Tensor) -> Tensor:
+        """Quantized features ``X̃ = C K`` of shape ``(N, D, d, L)``."""
+        return similarity.reconstruct(self.prototypes, assignment)
+
+    def quantize(self, x_grouped: Tensor, config: PQLayerConfig,
+                 sharpness: Optional[float] = None, hard: bool = True) -> Tensor:
+        """Assignment followed by reconstruction (the full PQ approximation)."""
+        return self.reconstruct(self.assign(x_grouped, config, sharpness=sharpness, hard=hard))
+
+    # ------------------------------------------------------------------ #
+    # Hard indices and usage statistics (Section 5 / Fig. 6)
+    # ------------------------------------------------------------------ #
+    def hard_indices(self, x_grouped: np.ndarray) -> np.ndarray:
+        """Winning prototype index per subvector, shape ``(N, D, L)``."""
+        indices, _ = similarity.hard_distance_assignment(np.asarray(x_grouped),
+                                                         self.prototypes.data)
+        return indices
+
+    def usage_counts(self, x_grouped: np.ndarray) -> np.ndarray:
+        """Per-group prototype usage histogram, shape ``(D, p)``.
+
+        This is the quantity plotted in Fig. 6: prototypes with a zero count
+        can be pruned together with their lookup-table entries without
+        affecting accuracy.
+        """
+        indices = self.hard_indices(x_grouped)
+        counts = np.zeros((self.num_groups, self.num_prototypes), dtype=np.int64)
+        for j in range(self.num_groups):
+            counts[j] = np.bincount(indices[:, j, :].reshape(-1), minlength=self.num_prototypes)
+        return counts
+
+    def dead_prototypes(self, x_grouped: np.ndarray) -> np.ndarray:
+        """Boolean mask ``(D, p)`` of prototypes never selected on ``x_grouped``."""
+        return self.usage_counts(x_grouped) == 0
+
+    def extra_repr(self) -> str:
+        return (f"D={self.num_groups}, d={self.subvector_dim}, p={self.num_prototypes}")
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting (Section 3: p·cin prototypes + cout·cin·p LUT entries)
+    # ------------------------------------------------------------------ #
+    def num_prototype_values(self) -> int:
+        """Number of scalar values stored for the prototypes (``D·d·p``)."""
+        return self.num_groups * self.subvector_dim * self.num_prototypes
+
+    def lut_entries(self, out_features: int) -> int:
+        """Number of scalar lookup-table entries for a layer with ``cout`` outputs."""
+        return self.num_groups * self.num_prototypes * out_features

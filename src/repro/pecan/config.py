@@ -1,0 +1,96 @@
+"""Configuration objects for PECAN layers.
+
+A PECAN layer is parameterized by the triple ``(p, D, d)``:
+
+* ``p`` — number of prototypes per codebook,
+* ``D`` — number of groups the flattened input rows are split into,
+* ``d`` — dimension of each subvector / prototype, with ``D · d = cin · k²``
+  for a convolution (``= in_features`` for a fully-connected layer).
+
+The paper's Appendix Tables A2 / A3 give per-layer values; the model zoo in
+:mod:`repro.models` reproduces those tables as :class:`PQLayerConfig` maps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class PECANMode(str, enum.Enum):
+    """The two similarity-measure variants of the paper."""
+
+    ANGLE = "angle"          # PECAN-A: dot-product + softmax attention (Eq. 2)
+    DISTANCE = "distance"    # PECAN-D: l1 template matching + argmax (Eq. 3)
+
+    @classmethod
+    def parse(cls, value) -> "PECANMode":
+        """Accept ``PECANMode``, ``"angle"``/``"distance"`` or ``"a"``/``"d"``."""
+        if isinstance(value, cls):
+            return value
+        text = str(value).strip().lower()
+        if text in ("angle", "a", "pecan-a", "dot"):
+            return cls.ANGLE
+        if text in ("distance", "d", "pecan-d", "adder", "l1"):
+            return cls.DISTANCE
+        raise ValueError(f"unknown PECAN mode {value!r}")
+
+
+@dataclass
+class PQLayerConfig:
+    """Product-quantization settings for one layer.
+
+    Parameters
+    ----------
+    num_prototypes:
+        ``p`` — prototypes per codebook.
+    subvector_dim:
+        ``d`` — prototype dimension.  ``None`` means "use the layer's natural
+        dimension" (``k²`` for convolutions, which is the paper's default).
+    mode:
+        Angle- or distance-based similarity.
+    temperature:
+        Softmax temperature ``τ`` (paper: 1.0 for PECAN-A, 0.5 for PECAN-D).
+    """
+
+    num_prototypes: int = 8
+    subvector_dim: Optional[int] = None
+    mode: PECANMode = PECANMode.ANGLE
+    temperature: float = 1.0
+
+    def __post_init__(self):
+        self.mode = PECANMode.parse(self.mode)
+        if self.num_prototypes <= 0:
+            raise ValueError("num_prototypes must be positive")
+        if self.subvector_dim is not None and self.subvector_dim <= 0:
+            raise ValueError("subvector_dim must be positive when given")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+
+    def resolve_dim(self, total_dim: int, kernel_size: int = 1) -> int:
+        """Resolve ``d`` for a layer whose flattened row count is ``total_dim``.
+
+        Falls back to ``k²`` when unspecified, and validates divisibility.
+        """
+        d = self.subvector_dim if self.subvector_dim is not None else kernel_size * kernel_size
+        if total_dim % d != 0:
+            raise ValueError(
+                f"subvector dimension d={d} does not divide the flattened input size "
+                f"{total_dim} (cin*k*k); choose d so that D = total/d is an integer")
+        return d
+
+    def num_groups(self, total_dim: int, kernel_size: int = 1) -> int:
+        """``D = (cin · k²) / d``."""
+        return total_dim // self.resolve_dim(total_dim, kernel_size)
+
+    @staticmethod
+    def default_for(mode: PECANMode, num_prototypes: Optional[int] = None,
+                    subvector_dim: Optional[int] = None) -> "PQLayerConfig":
+        """Paper-default config for a mode: τ=1/p=8 for A, τ=0.5/p=64 for D."""
+        mode = PECANMode.parse(mode)
+        if mode is PECANMode.ANGLE:
+            return PQLayerConfig(num_prototypes=num_prototypes or 8,
+                                 subvector_dim=subvector_dim, mode=mode, temperature=1.0)
+        return PQLayerConfig(num_prototypes=num_prototypes or 64,
+                             subvector_dim=subvector_dim, mode=mode, temperature=0.5)

@@ -1,0 +1,169 @@
+"""Conversion of conventional models into PECAN models.
+
+Two workflows from the paper are supported:
+
+* **co-optimization** — build the PECAN model from scratch (random weights and
+  prototypes) and train everything jointly;
+* **uni-optimization** — start from a pretrained conventional CNN, copy its
+  convolution / FC weights into PECAN layers, freeze them and train only the
+  prototypes (Section 4.4.2, Table 6).
+
+Batch normalization can be folded into the preceding convolution for
+inference (Section 4.2 remarks FLOPs are counted with BN folded); the folding
+helpers live here as well.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear
+from repro.nn.module import Module
+from repro.nn.sequential import Sequential
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.layers import PECANConv2d, PECANLinear
+
+ConfigProvider = Union[PQLayerConfig, Callable[[int, Module], Optional[PQLayerConfig]]]
+
+
+def _resolve_config(provider: ConfigProvider, index: int, module: Module
+                    ) -> Optional[PQLayerConfig]:
+    if callable(provider) and not isinstance(provider, PQLayerConfig):
+        return provider(index, module)
+    return provider
+
+
+def convert_to_pecan(model: Module, config: ConfigProvider,
+                     skip_first: bool = False, skip_last: bool = False,
+                     rng: Optional[np.random.Generator] = None,
+                     copy_weights: bool = True) -> Module:
+    """Return a deep copy of ``model`` with Conv2d/Linear replaced by PECAN layers.
+
+    Parameters
+    ----------
+    model:
+        The conventional network (its weights are not modified).
+    config:
+        Either a single :class:`PQLayerConfig` used for every layer, or a
+        callable ``(layer_index, module) -> PQLayerConfig | None`` where
+        returning ``None`` leaves that layer untouched (used to reproduce the
+        per-layer settings of Appendix Tables A2 / A3).
+    skip_first / skip_last:
+        Leave the first convolution / last linear layer unquantized, as the
+        paper does for the ConvMixer TinyImageNet experiment (Appendix D).
+    copy_weights:
+        Copy the original layer's weights and biases into the PECAN layer
+        (required for uni-optimization; co-optimization may retrain anyway).
+    """
+    model = copy.deepcopy(model)
+    replaceable = [(name, parent, child_name, child)
+                   for name, parent, child_name, child in _iter_replaceable(model)]
+    last_index = len(replaceable) - 1
+
+    for index, (_, parent, child_name, child) in enumerate(replaceable):
+        if skip_first and index == 0:
+            continue
+        if skip_last and index == last_index:
+            continue
+        layer_config = _resolve_config(config, index, child)
+        if layer_config is None:
+            continue
+        pecan_layer = _convert_layer(child, layer_config, rng=rng, copy_weights=copy_weights)
+        parent.add_module(child_name, pecan_layer)
+        if isinstance(parent, Sequential):
+            parent._layers[int(child_name)] = pecan_layer
+    return model
+
+
+def _iter_replaceable(module: Module, prefix: str = ""
+                      ) -> Iterator[Tuple[str, Module, str, Module]]:
+    """Yield ``(full_name, parent, child_name, child)`` for every Conv2d/Linear."""
+    for child_name, child in list(module._modules.items()):
+        full_name = f"{prefix}{child_name}"
+        if isinstance(child, (Conv2d, Linear)) and not isinstance(child, (PECANConv2d, PECANLinear)):
+            yield full_name, module, child_name, child
+        else:
+            yield from _iter_replaceable(child, prefix=f"{full_name}.")
+
+
+def _convert_layer(layer: Module, config: PQLayerConfig,
+                   rng: Optional[np.random.Generator], copy_weights: bool) -> Module:
+    if isinstance(layer, Conv2d):
+        pecan = PECANConv2d(layer.in_channels, layer.out_channels, layer.kernel_size,
+                            config=config, stride=layer.stride, padding=layer.padding,
+                            bias=layer.bias is not None, rng=rng)
+    elif isinstance(layer, Linear):
+        pecan = PECANLinear(layer.in_features, layer.out_features, config=config,
+                            bias=layer.bias is not None, rng=rng)
+    else:  # pragma: no cover - guarded by _iter_replaceable
+        raise TypeError(f"cannot convert layer of type {type(layer).__name__}")
+    if copy_weights:
+        pecan.weight.data = layer.weight.data.copy()
+        if layer.bias is not None and pecan.bias is not None:
+            pecan.bias.data = layer.bias.data.copy()
+    return pecan
+
+
+def pecan_layers(model: Module) -> List[Tuple[str, Module]]:
+    """All PECAN layers of a model as ``(qualified_name, layer)`` pairs."""
+    return [(name, module) for name, module in model.named_modules()
+            if isinstance(module, (PECANConv2d, PECANLinear))]
+
+
+def set_pecan_mode_temperature(model: Module, temperature: float) -> None:
+    """Override the softmax temperature of every PECAN layer (annealing runs)."""
+    for _, layer in pecan_layers(model):
+        layer.config.temperature = temperature
+
+
+# --------------------------------------------------------------------------- #
+# Batch-norm folding
+# --------------------------------------------------------------------------- #
+def fold_batchnorm(conv_weight: np.ndarray, conv_bias: Optional[np.ndarray],
+                   bn: BatchNorm2d) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold a BatchNorm2d into the preceding convolution's weights and bias.
+
+    Returns the folded ``(weight, bias)``: ``w' = w·γ/σ`` and
+    ``b' = (b − μ)·γ/σ + β`` where ``σ = sqrt(running_var + eps)``.
+    """
+    gamma = bn.weight.data
+    beta = bn.bias.data
+    mean = bn.running_mean
+    std = np.sqrt(bn.running_var + bn.eps)
+    scale = gamma / std
+    folded_weight = conv_weight * scale.reshape(-1, 1, 1, 1)
+    bias = conv_bias if conv_bias is not None else np.zeros_like(mean)
+    folded_bias = (bias - mean) * scale + beta
+    return folded_weight, folded_bias
+
+
+def fold_model_batchnorm(model: Module) -> Module:
+    """Fold every (Conv2d|PECANConv2d, BatchNorm2d) pair inside Sequential blocks.
+
+    Returns a deep copy with the BN layers replaced by identities; used before
+    building the deployment LUTs so the paper's "BN folded at inference"
+    convention holds.
+    """
+    from repro.nn.layers import Identity
+
+    model = copy.deepcopy(model)
+    for module in model.modules():
+        if not isinstance(module, Sequential):
+            continue
+        layers = module._layers
+        for i in range(len(layers) - 1):
+            conv, bn = layers[i], layers[i + 1]
+            if isinstance(conv, (Conv2d, PECANConv2d)) and isinstance(bn, BatchNorm2d):
+                if conv.bias is None:
+                    from repro.nn.module import Parameter
+                    conv.bias = Parameter(np.zeros(conv.out_channels))
+                folded_w, folded_b = fold_batchnorm(conv.weight.data, conv.bias.data, bn)
+                conv.weight.data = folded_w
+                conv.bias.data = folded_b
+                identity = Identity()
+                module.add_module(str(i + 1), identity)
+                layers[i + 1] = identity
+    return model

@@ -1,0 +1,267 @@
+"""PECAN layers: drop-in replacements for ``Conv2d`` and ``Linear``.
+
+Training-time forward pass (Fig. 2a–d of the paper):
+
+1. unfold the input into the im2col matrix ``X`` (``(N, cin·k², L)``),
+2. split its rows into ``D`` groups of subvectors of dimension ``d``,
+3. match every subvector against the group's ``p`` learned prototypes using
+   either the angle (Eq. 2) or distance (Eq. 3–6) similarity,
+4. replace the subvectors by their prototype reconstruction ``X̃ = C K``,
+5. apply the (optionally frozen) weight matrix: ``Y = Σ_j W₁^(j) X̃^(j)``.
+
+At deployment the products ``W₁^(j) C^(j)`` are precomputed into a lookup
+table (Fig. 2e–f, Algorithm 1); :mod:`repro.cam` provides that inference
+engine and the layers here expose :meth:`build_lookup_table` for it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.im2col import conv_output_size
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.pecan.codebook import Codebook
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.similarity import sign_gradient_scale
+
+
+def build_group_permutation(in_channels: int, kernel_size: int, subvector_dim: int
+                            ) -> Tuple[np.ndarray, np.ndarray, str]:
+    """Row permutation turning im2col rows into contiguous PQ groups.
+
+    The im2col layout is channel-major (row ``c·k² + pos``).  Depending on the
+    requested subvector dimension ``d``:
+
+    * ``d`` divides ``k²`` (paper default ``d = k²``, ablation ``d = k``) —
+      groups live inside a channel, the identity permutation suffices
+      (``"channel"`` layout);
+    * otherwise, if ``d`` divides ``cin`` (ablation ``d = cin``) — groups
+      gather the same kernel position across channels, so rows are reordered
+      position-major (``"spatial"`` layout).
+
+    Returns ``(perm, inverse_perm, layout)`` where applying ``perm`` to the
+    row axis produces the grouped ordering and ``inverse_perm`` undoes it.
+    """
+    k2 = kernel_size * kernel_size
+    total = in_channels * k2
+    if subvector_dim <= 0 or total % subvector_dim != 0:
+        raise ValueError(f"subvector dimension {subvector_dim} must divide cin*k*k = {total}")
+    identity = np.arange(total)
+    if k2 % subvector_dim == 0 or subvector_dim % k2 == 0:
+        # Groups stay inside a channel (d ≤ k²) or gather whole channels
+        # (d a multiple of k²); the channel-major im2col order is already grouped.
+        return identity, identity, "channel"
+    if in_channels % subvector_dim == 0:
+        # Ablation layout d = cin (Fig. 4): groups gather the same kernel
+        # position across channels, so rows are reordered position-major.
+        pos, chan = np.meshgrid(np.arange(k2), np.arange(in_channels), indexing="ij")
+        perm = (chan * k2 + pos).reshape(-1)
+        inverse = np.argsort(perm)
+        return perm, inverse, "spatial"
+    # Generic setting of Table 1 (D·d = cin·k² with d unrelated to k² or cin):
+    # contiguous blocks of the channel-major rows.
+    return identity, identity, "channel"
+
+
+class PECANLayerMixin:
+    """Shared behaviour of PECAN layers: epoch schedule and PQ bookkeeping."""
+
+    config: PQLayerConfig
+    codebook: Codebook
+
+    def set_epoch(self, epoch: int, total_epochs: int) -> None:
+        """Update the epoch-aware sign-gradient sharpness ``a = exp(4e/E)`` (Eq. 6)."""
+        self._sharpness = sign_gradient_scale(epoch, total_epochs)
+
+    @property
+    def sharpness(self) -> Optional[float]:
+        """Current tanh sharpness; ``None`` selects the exact sign subgradient."""
+        return getattr(self, "_sharpness", None)
+
+    @property
+    def mode(self) -> PECANMode:
+        return self.config.mode
+
+    def pq_shape(self) -> Tuple[int, int, int]:
+        """The layer's ``(p, D, d)`` triple."""
+        return (self.codebook.num_prototypes, self.codebook.num_groups,
+                self.codebook.subvector_dim)
+
+
+class PECANConv2d(Module, PECANLayerMixin):
+    """Convolution realized by product quantization + prototype matching.
+
+    Parameters mirror :class:`repro.nn.Conv2d` plus a :class:`PQLayerConfig`.
+    The ``weight`` tensor keeps the conventional ``(cout, cin, k, k)`` shape so
+    pretrained convolution weights can be copied verbatim (uni-optimization).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 config: PQLayerConfig, stride: int = 1, padding: int = 0,
+                 bias: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.config = config
+
+        total_dim = in_channels * kernel_size * kernel_size
+        self.subvector_dim = config.resolve_dim(total_dim, kernel_size)
+        self.num_groups = total_dim // self.subvector_dim
+        perm, inverse, layout = build_group_permutation(in_channels, kernel_size, self.subvector_dim)
+        self._perm = perm
+        self._inverse_perm = inverse
+        self.group_layout = layout
+
+        self.weight = Parameter(np.empty((out_channels, in_channels, kernel_size, kernel_size)))
+        init.kaiming_normal_(self.weight, rng=rng)
+        self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels)) if bias else None
+        self.codebook = Codebook(self.num_groups, self.subvector_dim,
+                                 config.num_prototypes, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Grouping helpers
+    # ------------------------------------------------------------------ #
+    def group_columns(self, cols: Tensor) -> Tensor:
+        """``(N, cin·k², L) -> (N, D, d, L)`` applying the group permutation."""
+        n = cols.shape[0]
+        length = cols.shape[-1]
+        permuted = cols[:, self._perm, :] if self.group_layout != "channel" else cols
+        return permuted.reshape(n, self.num_groups, self.subvector_dim, length)
+
+    def ungroup_columns(self, grouped: Tensor) -> Tensor:
+        """Inverse of :meth:`group_columns`."""
+        n = grouped.shape[0]
+        length = grouped.shape[-1]
+        flat = grouped.reshape(n, self.num_groups * self.subvector_dim, length)
+        if self.group_layout == "channel":
+            return flat
+        return flat[:, self._inverse_perm, :]
+
+    def grouped_weight(self) -> Tensor:
+        """Weights reshaped to ``W₁ ∈ R^{D×cout×d}`` (Algorithm 1, line 1)."""
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        if self.group_layout != "channel":
+            w_mat = w_mat[:, self._perm]
+        w_grouped = w_mat.reshape(self.out_channels, self.num_groups, self.subvector_dim)
+        return w_grouped.transpose(1, 0, 2)
+
+    def unfold_input(self, x: Tensor) -> Tensor:
+        """im2col unfolding of the input (differentiable)."""
+        return F.unfold(x, self.kernel_size, self.stride, self.padding)
+
+    def output_spatial(self, h: int, w: int) -> Tuple[int, int]:
+        return (conv_output_size(h, self.kernel_size, self.stride, self.padding),
+                conv_output_size(w, self.kernel_size, self.stride, self.padding))
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        n, _, h, w = x.shape
+        hout, wout = self.output_spatial(h, w)
+
+        cols = self.unfold_input(x)                       # (N, cin*k*k, L)
+        grouped = self.group_columns(cols)                # (N, D, d, L)
+        assignment = self.codebook.assign(grouped, self.config, sharpness=self.sharpness)
+        quantized = self.codebook.reconstruct(assignment)  # (N, D, d, L)
+
+        w_grouped = self.grouped_weight()                  # (D, cout, d)
+        contributions = w_grouped.matmul(quantized)        # (N, D, cout, L)
+        out = contributions.sum(axis=1)                    # (N, cout, L)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.out_channels, 1)
+        return out.reshape(n, self.out_channels, hout, wout)
+
+    # ------------------------------------------------------------------ #
+    # Deployment artifacts
+    # ------------------------------------------------------------------ #
+    def build_lookup_table(self) -> np.ndarray:
+        """Precompute ``Y^(j) = W₁^(j) C₁^(j)`` (Algorithm 1, lines 2–4).
+
+        Returns an array of shape ``(D, cout, p)`` — the content stored in the
+        CAM/LUT at deployment.
+        """
+        w_grouped = self.grouped_weight().data             # (D, cout, d)
+        prototypes = self.codebook.prototypes.data         # (D, d, p)
+        return np.einsum("jod,jdp->jop", w_grouped, prototypes)
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+                f"stride={self.stride}, padding={self.padding}, mode={self.config.mode.value}, "
+                f"p={self.config.num_prototypes}, D={self.num_groups}, d={self.subvector_dim}")
+
+
+class PECANLinear(Module, PECANLayerMixin):
+    """Fully connected layer realized by product quantization.
+
+    The paper treats an FC layer as a ``k = Hout = Wout = 1`` convolution; the
+    input features play the role of a single im2col column.
+    """
+
+    def __init__(self, in_features: int, out_features: int, config: PQLayerConfig,
+                 bias: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.config = config
+
+        self.subvector_dim = config.resolve_dim(in_features, kernel_size=1) \
+            if config.subvector_dim is not None else self._default_dim(in_features)
+        if in_features % self.subvector_dim != 0:
+            raise ValueError(
+                f"subvector dimension {self.subvector_dim} must divide in_features={in_features}")
+        self.num_groups = in_features // self.subvector_dim
+
+        self.weight = Parameter(np.empty((out_features, in_features)))
+        init.kaiming_uniform_(self.weight, rng=rng)
+        self.bias: Optional[Parameter] = Parameter(np.zeros(out_features)) if bias else None
+        self.codebook = Codebook(self.num_groups, self.subvector_dim,
+                                 config.num_prototypes, rng=rng)
+
+    @staticmethod
+    def _default_dim(in_features: int) -> int:
+        """Largest divisor of ``in_features`` not exceeding 16 (paper's FC setting)."""
+        for candidate in range(min(16, in_features), 0, -1):
+            if in_features % candidate == 0:
+                return candidate
+        return 1
+
+    def grouped_weight(self) -> Tensor:
+        """Weights reshaped to ``(D, out_features, d)``."""
+        return self.weight.reshape(self.out_features, self.num_groups,
+                                   self.subvector_dim).transpose(1, 0, 2)
+
+    def group_features(self, x: Tensor) -> Tensor:
+        """``(N, in_features) -> (N, D, d, 1)``."""
+        n = x.shape[0]
+        return x.reshape(n, self.num_groups, self.subvector_dim, 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        grouped = self.group_features(x)                   # (N, D, d, 1)
+        assignment = self.codebook.assign(grouped, self.config, sharpness=self.sharpness)
+        quantized = self.codebook.reconstruct(assignment)  # (N, D, d, 1)
+        w_grouped = self.grouped_weight()                  # (D, out, d)
+        contributions = w_grouped.matmul(quantized)        # (N, D, out, 1)
+        out = contributions.sum(axis=1).reshape(n, self.out_features)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def build_lookup_table(self) -> np.ndarray:
+        """Precomputed LUT ``(D, out_features, p)`` for CAM inference."""
+        w_grouped = self.grouped_weight().data
+        prototypes = self.codebook.prototypes.data
+        return np.einsum("jod,jdp->jop", w_grouped, prototypes)
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_features}, {self.out_features}, mode={self.config.mode.value}, "
+                f"p={self.config.num_prototypes}, D={self.num_groups}, d={self.subvector_dim}")

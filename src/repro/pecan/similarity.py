@@ -1,0 +1,188 @@
+"""Prototype-matching similarity functions (Eq. 2 – Eq. 6 of the paper).
+
+Two schemes are implemented:
+
+* **Angle-based (PECAN-A, Eq. 2)** — attention-style soft assignment:
+  ``K_i^(j) = softmax(C^(j)ᵀ X_i^(j) / τ)``.
+* **Distance-based (PECAN-D, Eq. 3–6)** — l1 template matching with
+
+  - a Laplacian-kernel softmax relaxation when ``τ ≠ 0`` (Eq. 4),
+  - a straight-through estimator combining the hard argmax forward with the
+    soft backward (Eq. 5),
+  - an epoch-aware ``tanh(a·x)`` replacement of the sign gradient with
+    ``a = exp(4·e/E)`` (Eq. 6, Fig. 3).
+
+All functions operate on grouped tensors of shape ``(..., D, d, L)`` for the
+inputs and ``(D, d, p)`` for the codebooks, returning assignment tensors of
+shape ``(..., D, p, L)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+
+
+def sign_gradient_scale(epoch: int, total_epochs: int) -> float:
+    """Sharpness ``a = exp(4·e/E)`` of the tanh sign-gradient approximation (Eq. 6).
+
+    Early in training (``e/E`` small) the surrogate is smooth; as training
+    progresses it approaches the sign function (Fig. 3).
+    """
+    if total_epochs <= 0:
+        raise ValueError("total_epochs must be positive")
+    ratio = float(np.clip(epoch / total_epochs, 0.0, 1.0))
+    return float(np.exp(4.0 * ratio))
+
+
+def sign_surrogate(x: np.ndarray, sharpness: float) -> np.ndarray:
+    """The smooth replacement ``tanh(a·x)`` for ``sgn(x)`` used in Eq. (6)."""
+    return np.tanh(sharpness * x)
+
+
+def l1_distance_smoothed(x: Tensor, prototypes: Tensor,
+                         sharpness: Optional[float] = None) -> Tensor:
+    """l1 distances ``‖X_i − C_m‖₁`` with an optionally smoothed backward pass.
+
+    Parameters
+    ----------
+    x:
+        Grouped inputs of shape ``(..., d, L)``.
+    prototypes:
+        Codebook of shape ``(..., d, p)`` (broadcast against ``x``).
+    sharpness:
+        When ``None`` the exact subgradient (sign) is used.  Otherwise the
+        sign is replaced by ``tanh(sharpness · diff)`` per Eq. (6), which is
+        what makes PECAN-D trainable.
+
+    Returns
+    -------
+    Tensor of shape ``(..., p, L)`` holding the distances (non-negative).
+    """
+    if sharpness is None:
+        return F.pairwise_l1_distance(x, prototypes)
+
+    diff = x.data[..., None, :, :] - prototypes.data[..., :, :, None].swapaxes(-3, -2)
+    out_data = np.abs(diff).sum(axis=-2)
+    smooth_sign = sign_surrogate(diff, sharpness)
+
+    def backward(grad):
+        if x.requires_grad:
+            gx = (smooth_sign * grad[..., :, None, :]).sum(axis=-3)
+            x._accumulate_grad(gx)
+        if prototypes.requires_grad:
+            gp = (-smooth_sign * grad[..., :, None, :]).sum(axis=-1)
+            prototypes._accumulate_grad(gp.swapaxes(-1, -2))
+
+    return Tensor.from_op(out_data, (x, prototypes), backward)
+
+
+# --------------------------------------------------------------------------- #
+# PECAN-A: angle-based assignment (Eq. 2)
+# --------------------------------------------------------------------------- #
+def angle_assignment(x_grouped: Tensor, prototypes: Tensor, temperature: float = 1.0) -> Tensor:
+    """Soft attention scores ``softmax(C^(j)ᵀ X_i^(j) / τ)`` over the prototypes.
+
+    Parameters
+    ----------
+    x_grouped:
+        ``(N, D, d, L)`` grouped subvectors.
+    prototypes:
+        ``(D, d, p)`` codebooks (broadcast over the batch dimension).
+    temperature:
+        Softmax temperature ``τ`` (1.0 in the paper's PECAN-A experiments).
+
+    Returns
+    -------
+    ``(N, D, p, L)`` assignment weights summing to 1 over the prototype axis.
+    """
+    scores = F.pairwise_dot(x_grouped, prototypes)
+    if temperature != 1.0:
+        scores = scores / float(temperature)
+    return F.softmax(scores, axis=-2)
+
+
+# --------------------------------------------------------------------------- #
+# PECAN-D: distance-based assignment (Eq. 3 – 6)
+# --------------------------------------------------------------------------- #
+def soft_distance_assignment(x_grouped: Tensor, prototypes: Tensor, temperature: float = 0.5,
+                             sharpness: Optional[float] = None) -> Tensor:
+    """Laplacian-kernel softmax relaxation of the argmax assignment (Eq. 4).
+
+    ``K̃_i^(j) = softmax(−‖X_i^(j) − C_m^(j)‖₁ / τ)`` over the prototypes.
+    """
+    distances = l1_distance_smoothed(x_grouped, prototypes, sharpness=sharpness)
+    return F.softmax(-distances / float(temperature), axis=-2)
+
+
+def hard_distance_assignment(x_grouped: np.ndarray, prototypes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Hard argmax assignment (Eq. 3), used at inference and in the STE forward.
+
+    Parameters
+    ----------
+    x_grouped:
+        ``(N, D, d, L)`` array (plain NumPy — no gradients needed here).
+    prototypes:
+        ``(D, d, p)`` array.
+
+    Returns
+    -------
+    ``(indices, one_hot)`` where ``indices`` has shape ``(N, D, L)`` holding
+    the winning prototype per subvector and ``one_hot`` has shape
+    ``(N, D, p, L)``.
+    """
+    # distances: (N, D, p, L)
+    diff = x_grouped[..., None, :, :] - np.swapaxes(prototypes[..., None], -3, -2)[None]
+    distances = np.abs(diff).sum(axis=-2)
+    indices = distances.argmin(axis=-2)                       # (N, D, L)
+    p = prototypes.shape[-1]
+    one_hot = np.zeros_like(distances)
+    np.put_along_axis(one_hot, indices[..., None, :], 1.0, axis=-2)
+    return indices, one_hot
+
+
+def distance_assignment(x_grouped: Tensor, prototypes: Tensor, temperature: float = 0.5,
+                        sharpness: Optional[float] = None,
+                        hard: bool = True) -> Tensor:
+    """Full PECAN-D assignment combining Eq. (3), (4) and (5).
+
+    When ``hard`` is True the forward value is the one-hot argmax assignment
+    while the gradient flows through the temperature-relaxed softmax —
+    the straight-through construction
+    ``K̃(τ≠0) − sg(K̃(τ≠0) − K̃(τ=0))`` of Eq. (5).  When ``hard`` is False the
+    soft relaxation itself is returned (useful for warm-up or analysis).
+    """
+    distances = l1_distance_smoothed(x_grouped, prototypes, sharpness=sharpness)
+    soft = F.softmax(-distances / float(temperature), axis=-2)
+    if not hard:
+        return soft
+    # Hard argmax over the same distances (computed once), per Eq. (3).
+    indices = distances.data.argmin(axis=-2)
+    one_hot = np.zeros_like(distances.data)
+    np.put_along_axis(one_hot, indices[..., None, :], 1.0, axis=-2)
+    return F.straight_through(soft, one_hot)
+
+
+def reconstruct(prototypes: Tensor, assignment: Tensor) -> Tensor:
+    """Quantized features ``X̃^(j) = C^(j) K^(j)`` (Eq. 2 / Eq. 3 right side).
+
+    ``prototypes``: ``(D, d, p)``; ``assignment``: ``(N, D, p, L)``;
+    returns ``(N, D, d, L)``.
+    """
+    return prototypes.matmul(assignment)
+
+
+def assignment_entropy(assignment: np.ndarray, axis: int = -2, eps: float = 1e-12) -> np.ndarray:
+    """Mean entropy of the assignment distribution over prototypes.
+
+    A diagnostic used by the analysis module: near-zero entropy means the soft
+    assignment has collapsed onto single prototypes (the PECAN-D regime),
+    higher entropy means the attention is spread (PECAN-A regime).
+    """
+    clipped = np.clip(assignment, eps, 1.0)
+    entropy = -(clipped * np.log(clipped)).sum(axis=axis)
+    return entropy.mean()

@@ -1,0 +1,268 @@
+"""Training strategies for PECAN: co-optimization and uni-optimization.
+
+The paper (Section 4, Table 6) uses two strategies:
+
+* **co-optimization** — train weights *and* prototypes jointly from scratch
+  (used for CIFAR-10/100);
+* **uni-optimization** — freeze pretrained convolution / FC weights and train
+  only the prototypes (used for the LeNet5 / MNIST experiment).
+
+:class:`PECANTrainer` wraps the epoch loop, the per-epoch sign-gradient
+schedule ``a = exp(4e/E)`` (Eq. 6), learning-rate decay and evaluation, and
+records a history usable by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.loader import DataLoader
+from repro.nn.module import Module
+from repro.optim import Adam, LRScheduler, Optimizer
+from repro.pecan.convert import pecan_layers
+from repro.pecan.layers import PECANConv2d, PECANLinear
+
+
+class TrainingStrategy(str, enum.Enum):
+    """The two optimization strategies compared in Table 6."""
+
+    CO_OPTIMIZATION = "co"      # weights + prototypes, from scratch
+    UNI_OPTIMIZATION = "uni"    # prototypes only, weights frozen (pretrained)
+
+    @classmethod
+    def parse(cls, value) -> "TrainingStrategy":
+        if isinstance(value, cls):
+            return value
+        text = str(value).strip().lower()
+        if text in ("co", "co-opt", "co_optimization", "scratch", "joint"):
+            return cls.CO_OPTIMIZATION
+        if text in ("uni", "uni-opt", "uni_optimization", "freeze", "frozen"):
+            return cls.UNI_OPTIMIZATION
+        raise ValueError(f"unknown training strategy {value!r}")
+
+
+def set_model_epoch(model: Module, epoch: int, total_epochs: int) -> None:
+    """Propagate the epoch-aware sign-gradient schedule to every PECAN layer."""
+    for _, layer in pecan_layers(model):
+        layer.set_epoch(epoch, total_epochs)
+
+
+def apply_strategy(model: Module, strategy: TrainingStrategy) -> None:
+    """Freeze / unfreeze parameters according to the chosen strategy.
+
+    Uni-optimization freezes every parameter except codebook prototypes;
+    co-optimization leaves everything trainable.
+    """
+    strategy = TrainingStrategy.parse(strategy)
+    if strategy is TrainingStrategy.CO_OPTIMIZATION:
+        model.unfreeze()
+        return
+    model.freeze()
+    for _, layer in pecan_layers(model):
+        layer.codebook.prototypes.requires_grad = True
+
+
+def co_optimize(model: Module) -> Module:
+    """Mark all parameters trainable (weights + prototypes from scratch)."""
+    apply_strategy(model, TrainingStrategy.CO_OPTIMIZATION)
+    return model
+
+
+def uni_optimize(model: Module) -> Module:
+    """Freeze weights, leave only the codebook prototypes trainable."""
+    apply_strategy(model, TrainingStrategy.UNI_OPTIMIZATION)
+    return model
+
+
+def initialize_codebooks_from_data(model: Module, loader: DataLoader,
+                                   max_batches: int = 1,
+                                   rng: Optional[np.random.Generator] = None,
+                                   modes: Tuple[str, ...] = ("distance",)) -> None:
+    """Warm-start codebooks from real activation subvectors.
+
+    Runs a few forward passes, captures each PECAN layer's grouped im2col
+    input and re-initializes the prototypes with a short l1 k-means — the
+    classical PQ initialization the paper's end-to-end training refines.
+
+    By default only **distance-mode** layers are re-initialized: the k-means
+    centroids match PECAN-D's l1-nearest assignment, but for PECAN-A they
+    cluster the prototypes into near-parallel directions, which collapses the
+    dot-product attention and stalls training (angle-mode layers keep their
+    random, direction-diverse initialization).  Pass
+    ``modes=("distance", "angle")`` to force initialization of both.
+    """
+    from repro.pecan.config import PECANMode
+
+    wanted = {PECANMode.parse(mode) for mode in modes}
+    layers = [layer for _, layer in pecan_layers(model) if layer.config.mode in wanted]
+    if not layers:
+        return
+    captured: Dict[int, List[np.ndarray]] = {id(layer): [] for layer in layers}
+
+    originals = {}
+    for layer in layers:
+        originals[id(layer)] = layer.codebook.assign
+
+        def make_hook(this_layer):
+            original_assign = this_layer.codebook.assign
+
+            def hooked(grouped, config, sharpness=None, hard=True):
+                captured[id(this_layer)].append(np.asarray(grouped.data))
+                return original_assign(grouped, config, sharpness=sharpness, hard=hard)
+
+            return hooked
+
+        layer.codebook.assign = make_hook(layer)
+
+    model.eval()
+    with no_grad():
+        for batch_index, (images, _) in enumerate(loader):
+            if batch_index >= max_batches:
+                break
+            model(Tensor(images))
+    model.train()
+
+    for layer in layers:
+        layer.codebook.assign = originals[id(layer)]
+        samples = captured[id(layer)]
+        if samples:
+            layer.codebook.initialize_from_data(np.concatenate(samples, axis=0), rng=rng)
+
+
+@dataclass
+class EpochRecord:
+    """Metrics recorded after each training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: float
+    learning_rate: float
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Full training trace returned by :class:`PECANTrainer.fit`."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def best_accuracy(self) -> float:
+        return max((r.test_accuracy for r in self.records), default=0.0)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.records[-1].test_accuracy if self.records else 0.0
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "epoch": [r.epoch for r in self.records],
+            "train_loss": [r.train_loss for r in self.records],
+            "train_accuracy": [r.train_accuracy for r in self.records],
+            "test_accuracy": [r.test_accuracy for r in self.records],
+            "learning_rate": [r.learning_rate for r in self.records],
+        }
+
+
+class PECANTrainer:
+    """Epoch-loop trainer for both conventional and PECAN models.
+
+    Parameters
+    ----------
+    model:
+        The network to train (PECAN layers are detected automatically and get
+        the per-epoch sign-gradient schedule).
+    optimizer:
+        Any :class:`repro.optim.Optimizer`; defaults to Adam as in the paper.
+    scheduler:
+        Optional learning-rate scheduler stepped once per epoch.
+    strategy:
+        Co- or uni-optimization; applied to the model at construction time.
+    """
+
+    def __init__(self, model: Module, optimizer: Optional[Optimizer] = None,
+                 scheduler: Optional[LRScheduler] = None,
+                 strategy: TrainingStrategy = TrainingStrategy.CO_OPTIMIZATION,
+                 grad_clip: Optional[float] = None):
+        self.model = model
+        self.strategy = TrainingStrategy.parse(strategy)
+        apply_strategy(model, self.strategy)
+        self.optimizer = optimizer if optimizer is not None else Adam(model.parameters(), lr=1e-3)
+        self.scheduler = scheduler
+        self.grad_clip = grad_clip
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    # Core loops
+    # ------------------------------------------------------------------ #
+    def train_epoch(self, loader: DataLoader) -> Dict[str, float]:
+        """One optimization pass over ``loader``; returns mean loss / accuracy."""
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0.0
+        total_samples = 0
+        for images, labels in loader:
+            inputs = Tensor(images)
+            logits = self.model(inputs)
+            loss = F.cross_entropy(logits, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.grad_clip is not None:
+                self.optimizer.clip_grad_norm(self.grad_clip)
+            self.optimizer.step()
+
+            batch = labels.shape[0]
+            total_loss += float(loss.data) * batch
+            total_correct += F.accuracy(logits, labels) * batch
+            total_samples += batch
+        return {
+            "loss": total_loss / max(total_samples, 1),
+            "accuracy": total_correct / max(total_samples, 1),
+        }
+
+    def evaluate(self, loader: DataLoader) -> float:
+        """Top-1 accuracy of the model on ``loader`` (no gradients)."""
+        self.model.eval()
+        correct = 0.0
+        total = 0
+        with no_grad():
+            for images, labels in loader:
+                logits = self.model(Tensor(images))
+                correct += F.accuracy(logits, labels) * labels.shape[0]
+                total += labels.shape[0]
+        return correct / max(total, 1)
+
+    def fit(self, train_loader: DataLoader, test_loader: DataLoader,
+            epochs: int, verbose: bool = False) -> TrainingHistory:
+        """Train for ``epochs`` epochs, evaluating after each one."""
+        for epoch in range(1, epochs + 1):
+            start = time.time()
+            set_model_epoch(self.model, epoch, epochs)
+            train_metrics = self.train_epoch(train_loader)
+            test_accuracy = self.evaluate(test_loader)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=train_metrics["loss"],
+                train_accuracy=train_metrics["accuracy"],
+                test_accuracy=test_accuracy,
+                learning_rate=self.optimizer.lr,
+                seconds=time.time() - start,
+            )
+            self.history.append(record)
+            if verbose:  # pragma: no cover - console output only
+                print(f"epoch {epoch:3d}  loss {record.train_loss:.4f}  "
+                      f"train acc {record.train_accuracy:.3f}  test acc {record.test_accuracy:.3f}")
+        return self.history

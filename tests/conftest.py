@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.data import make_dataset
+from repro.pecan.config import PECANMode, PQLayerConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for test data."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_images(rng) -> np.ndarray:
+    """A small batch of 3-channel 8×8 images."""
+    return rng.standard_normal((4, 3, 8, 8))
+
+
+@pytest.fixture
+def mnist_like():
+    """A tiny synthetic MNIST-like (train, test) pair for integration tests."""
+    return make_dataset("mnist", num_train=48, num_test=24, image_size=14)
+
+
+@pytest.fixture
+def cifar_like():
+    """A tiny synthetic CIFAR-like (train, test) pair for integration tests."""
+    return make_dataset("cifar10", num_train=48, num_test=24, image_size=16)
+
+
+@pytest.fixture
+def angle_config() -> PQLayerConfig:
+    return PQLayerConfig(num_prototypes=4, subvector_dim=None, mode=PECANMode.ANGLE,
+                         temperature=1.0)
+
+
+@pytest.fixture
+def distance_config() -> PQLayerConfig:
+    return PQLayerConfig(num_prototypes=4, subvector_dim=None, mode=PECANMode.DISTANCE,
+                         temperature=0.5)
+
+
+def make_tensor(rng: np.random.Generator, *shape, requires_grad: bool = True) -> Tensor:
+    """Helper constructing a random tensor for gradient checks."""
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)

@@ -1,0 +1,158 @@
+"""Unit tests for the analysis utilities: prototype usage, visualization, Fig. 3 curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_heatmap,
+    collect_prototype_usage,
+    prunable_fraction,
+    sign_gradient_curves,
+    usage_matrix,
+    visualize_layer_quantization,
+)
+from repro.analysis.prototype_usage import LayerUsage, PrototypeUsageReport
+from repro.models import LeNet5, build_model
+from repro.pecan.config import PQLayerConfig
+from repro.pecan.convert import convert_to_pecan
+
+
+@pytest.fixture
+def pecan_model(rng):
+    model = LeNet5(width_multiplier=0.5, image_size=14, rng=rng)
+    config = PQLayerConfig(num_prototypes=8, mode="distance", temperature=0.5)
+    return convert_to_pecan(model, config, rng=rng)
+
+
+class TestPrototypeUsage:
+    def test_collect_returns_all_layers(self, rng, pecan_model):
+        report = collect_prototype_usage(pecan_model, rng.standard_normal((6, 1, 14, 14)))
+        assert len(report.layers) == 5
+        assert all(isinstance(layer, LayerUsage) for layer in report.layers)
+
+    def test_counts_are_nonnegative_and_nonzero(self, rng, pecan_model):
+        report = collect_prototype_usage(pecan_model, rng.standard_normal((6, 1, 14, 14)))
+        for layer in report.layers:
+            assert np.all(layer.counts >= 0)
+            assert layer.counts.sum() > 0
+
+    def test_used_plus_dead_equals_total(self, rng, pecan_model):
+        report = collect_prototype_usage(pecan_model, rng.standard_normal((4, 1, 14, 14)))
+        for layer in report.layers:
+            assert layer.used + layer.dead == layer.total
+
+    def test_prunable_fraction_between_zero_and_one(self, rng, pecan_model):
+        fraction = prunable_fraction(pecan_model, rng.standard_normal((4, 1, 14, 14)))
+        assert 0.0 <= fraction <= 1.0
+
+    def test_sparse_usage_on_small_input_set(self, rng, pecan_model):
+        """With very few inputs, many prototypes must stay unused (Fig. 6 observation)."""
+        report = collect_prototype_usage(pecan_model, rng.standard_normal((1, 1, 14, 14)))
+        assert report.prunable_fraction() > 0.0
+
+    def test_layer_lookup_by_name(self, rng, pecan_model):
+        report = collect_prototype_usage(pecan_model, rng.standard_normal((2, 1, 14, 14)))
+        layer = report.layer(report.layers[0].name)
+        assert layer is report.layers[0]
+        with pytest.raises(KeyError):
+            report.layer("does.not.exist")
+
+    def test_usage_matrix_shape_and_padding(self):
+        report = PrototypeUsageReport(layers=[
+            LayerUsage("a", np.array([[1, 0, 2, 0]])),
+            LayerUsage("b", np.array([[3, 1]])),
+        ])
+        matrix = usage_matrix(report)
+        assert matrix.shape == (2, 4)
+        np.testing.assert_array_equal(matrix[1], [3, 1, 0, 0])
+
+    def test_usage_matrix_group_selection(self):
+        counts = np.stack([np.array([1, 2, 3]), np.array([4, 5, 6])])
+        report = PrototypeUsageReport(layers=[LayerUsage("a", counts)])
+        np.testing.assert_array_equal(usage_matrix(report, group=1)[0], [4, 5, 6])
+
+    def test_usage_matrix_layer_name_filter(self):
+        report = PrototypeUsageReport(layers=[
+            LayerUsage("a", np.array([[1, 1]])),
+            LayerUsage("b", np.array([[2, 2]])),
+        ])
+        matrix = usage_matrix(report, layer_names=["b"])
+        assert matrix.shape == (1, 2)
+        np.testing.assert_array_equal(matrix[0], [2, 2])
+
+    def test_empty_report(self):
+        assert usage_matrix(PrototypeUsageReport()).shape == (0, 0)
+        assert PrototypeUsageReport().prunable_fraction() == 0.0
+
+
+class TestVisualization:
+    def test_panels_for_every_conv_layer(self, rng, pecan_model):
+        panels = visualize_layer_quantization(pecan_model, rng.standard_normal((2, 1, 14, 14)))
+        assert len(panels) == 2                     # two PECAN conv layers in LeNet
+        for panel in panels:
+            assert panel.features.shape == panel.quantized.shape
+            assert panel.codebook.shape[0] == panel.features.shape[0]
+
+    def test_quantized_columns_are_prototypes(self, rng, pecan_model):
+        panels = visualize_layer_quantization(pecan_model, rng.standard_normal((1, 1, 14, 14)))
+        panel = panels[0]
+        prototypes = panel.codebook.T
+        for column in panel.quantized.T[:10]:
+            distances = np.abs(prototypes - column).sum(axis=1)
+            assert distances.min() == pytest.approx(0.0, abs=1e-10)
+
+    def test_reconstruction_error_nonnegative(self, rng, pecan_model):
+        panels = visualize_layer_quantization(pecan_model, rng.standard_normal((1, 1, 14, 14)))
+        assert all(p.reconstruction_error >= 0 for p in panels)
+        assert all(p.relative_error >= 0 for p in panels)
+
+    def test_max_layers_limit(self, rng, pecan_model):
+        panels = visualize_layer_quantization(pecan_model, rng.standard_normal((1, 1, 14, 14)),
+                                              max_layers=1)
+        assert len(panels) == 1
+
+    def test_forward_restored_after_visualization(self, rng, pecan_model):
+        from repro.autograd import Tensor, no_grad
+        x = rng.standard_normal((1, 1, 14, 14))
+        visualize_layer_quantization(pecan_model, x)
+        pecan_model.eval()
+        with no_grad():
+            out = pecan_model(Tensor(x))
+        assert out.shape == (1, 10)
+
+    def test_ascii_heatmap_dimensions(self, rng):
+        text = ascii_heatmap(rng.standard_normal((30, 100)), width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_ascii_heatmap_constant_matrix(self):
+        text = ascii_heatmap(np.zeros((3, 3)))
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_ascii_heatmap_empty(self):
+        assert ascii_heatmap(np.zeros((0, 0))) == ""
+
+
+class TestSignGradientCurves:
+    def test_default_curve_family(self):
+        curves = sign_gradient_curves()
+        assert len(curves) == 6
+        assert curves[0].progress < curves[-1].progress
+
+    def test_sharpness_follows_schedule(self):
+        curves = sign_gradient_curves(progress_ratios=(0.0, 1.0))
+        assert curves[0].sharpness == pytest.approx(1.0)
+        assert curves[1].sharpness == pytest.approx(np.exp(4.0))
+
+    def test_late_curve_is_closer_to_sign(self):
+        early, late = sign_gradient_curves(progress_ratios=(0.1, 1.0))
+        assert late.max_deviation_from_sign < early.max_deviation_from_sign
+
+    def test_curves_are_odd_functions(self):
+        (curve,) = sign_gradient_curves(progress_ratios=(0.5,), num_points=201)
+        np.testing.assert_allclose(curve.y, -curve.y[::-1], atol=1e-12)
+
+    def test_values_bounded_by_one(self):
+        for curve in sign_gradient_curves(x_range=10.0):
+            assert np.all(np.abs(curve.y) <= 1.0)

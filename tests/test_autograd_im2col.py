@@ -1,0 +1,117 @@
+"""Unit and property-based tests for the im2col / col2im transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd.im2col import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize("size,kernel,stride,padding,expected", [
+        (28, 3, 1, 0, 26),
+        (32, 3, 1, 1, 32),
+        (32, 3, 2, 1, 16),
+        (5, 5, 1, 0, 1),
+        (64, 8, 8, 0, 8),
+    ])
+    def test_known_values(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        cols = im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 27, 64)
+
+    def test_single_pixel_kernel_is_flatten(self, rng):
+        x = rng.standard_normal((2, 4, 5, 5))
+        cols = im2col(x, 1, 1, 0)
+        np.testing.assert_array_equal(cols, x.reshape(2, 4, 25))
+
+    def test_channel_major_row_layout(self, rng):
+        """Row c*k*k + pos must come from channel c — the layout PECAN's grouping assumes."""
+        x = rng.standard_normal((1, 2, 4, 4))
+        cols = im2col(x, 3, 1, 0)
+        # First output position (top-left window), channel 1 block (rows 9..17).
+        window = x[0, 1, 0:3, 0:3].reshape(-1)
+        np.testing.assert_allclose(cols[0, 9:18, 0], window)
+
+    def test_column_equals_receptive_field(self, rng):
+        x = rng.standard_normal((1, 3, 6, 6))
+        cols = im2col(x, 3, 1, 0)
+        # Output position (row 1, col 2) of a 4x4 output grid -> flat index 6.
+        window = x[0, :, 1:4, 2:5].reshape(-1)
+        np.testing.assert_allclose(cols[0, :, 6], window)
+
+    def test_padding_adds_zeros(self, rng):
+        x = np.ones((1, 1, 2, 2))
+        cols = im2col(x, 3, 1, 1)
+        # Top-left output sees a padded corner: only 4 of 9 entries are 1.
+        assert cols[0, :, 0].sum() == pytest.approx(4.0)
+
+    def test_stride(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6))
+        cols = im2col(x, 3, 3, 0)
+        assert cols.shape == (1, 9, 4)
+        np.testing.assert_allclose(cols[0, :, 3], x[0, 0, 3:6, 3:6].reshape(-1))
+
+    def test_conv_via_im2col_matches_matmul(self, rng):
+        x = rng.standard_normal((2, 3, 7, 7))
+        w = rng.standard_normal((5, 3, 3, 3))
+        cols = im2col(x, 3, 1, 0)
+        out = np.einsum("of,nfl->nol", w.reshape(5, -1), cols).reshape(2, 5, 5, 5)
+        from repro.autograd import Tensor, functional as F
+        expected = F.conv2d(Tensor(x), Tensor(w)).data
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+
+class TestCol2Im:
+    def test_adjoint_property(self, rng):
+        """col2im must be the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols = im2col(x, 3, 2, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_counts_overlaps(self):
+        ones = np.ones((1, 1, 9, 9))   # cols of all ones
+        cols = np.ones((1, 9, 9))       # 3x3 kernel over 5x5 input, stride 1 -> 3x3 output
+        out = col2im(cols, (1, 1, 5, 5), 3, 1, 0)
+        # Center pixel is covered by all 9 windows.
+        assert out[0, 0, 2, 2] == pytest.approx(9.0)
+        # Corner pixel is covered by exactly one window.
+        assert out[0, 0, 0, 0] == pytest.approx(1.0)
+
+    def test_no_overlap_roundtrip(self, rng):
+        """With stride == kernel (no overlap, no padding) col2im inverts im2col."""
+        x = rng.standard_normal((2, 3, 8, 8))
+        cols = im2col(x, 2, 2, 0)
+        np.testing.assert_allclose(col2im(cols, x.shape, 2, 2, 0), x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    c=st.integers(1, 4),
+    size=st.integers(4, 10),
+    k=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    padding=st.integers(0, 2),
+)
+def test_property_im2col_shape_and_adjoint(n, c, size, k, stride, padding):
+    """Property: output geometry is consistent and col2im is always the adjoint."""
+    if size + 2 * padding < k:
+        return
+    rng = np.random.default_rng(42)
+    x = rng.standard_normal((n, c, size, size))
+    cols = im2col(x, k, stride, padding)
+    hout = conv_output_size(size, k, stride, padding)
+    assert cols.shape == (n, c * k * k, hout * hout)
+    y = rng.standard_normal(cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * col2im(y, x.shape, k, stride, padding)).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)

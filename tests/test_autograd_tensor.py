@@ -1,0 +1,324 @@
+"""Unit tests for the autograd Tensor: arithmetic, broadcasting, reductions, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradient, no_grad, is_grad_enabled
+from repro.autograd.tensor import _unbroadcast
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor(np.ones(3)).requires_grad
+
+    def test_requires_grad_true(self):
+        assert Tensor(np.ones(3), requires_grad=True).requires_grad
+
+    def test_zeros_ones_factories(self):
+        assert np.all(Tensor.zeros((2, 3)).data == 0)
+        assert np.all(Tensor.ones((2, 3)).data == 1)
+
+    def test_randn_factory_seeded(self):
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        a = Tensor.randn(3, 4, rng=rng1)
+        b = Tensor.randn(3, 4, rng=rng2)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == pytest.approx(3.5)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_size_and_ndim(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.size == 24
+        assert t.ndim == 3
+
+    def test_copy_is_independent(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = a.copy()
+        b.data[0] = 99
+        assert a.data[0] == 1.0
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 3))
+        np.testing.assert_array_equal(_unbroadcast(g, (2, 3)), g)
+
+    def test_sums_leading_dims(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (2, 3))
+        np.testing.assert_array_equal(out, np.full((2, 3), 4.0))
+
+    def test_sums_broadcast_axes(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (1, 3))
+        np.testing.assert_array_equal(out, np.full((1, 3), 2.0))
+
+
+class TestArithmeticForward:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        np.testing.assert_allclose((Tensor([1.0, 2.0]) + 1.0).data, [2.0, 3.0])
+
+    def test_radd(self):
+        np.testing.assert_allclose((1.0 + Tensor([1.0, 2.0])).data, [2.0, 3.0])
+
+    def test_sub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - Tensor([1.0])).data, [2.0])
+
+    def test_rsub(self):
+        np.testing.assert_allclose((5.0 - Tensor([2.0])).data, [3.0])
+
+    def test_mul(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])).data, [8.0, 15.0])
+
+    def test_div(self):
+        np.testing.assert_allclose((Tensor([6.0]) / Tensor([3.0])).data, [2.0])
+
+    def test_rdiv(self):
+        np.testing.assert_allclose((6.0 / Tensor([3.0])).data, [2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.eye(3))
+        b = Tensor(np.arange(9.0).reshape(3, 3))
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_comparison_returns_bool_array(self):
+        mask = Tensor([1.0, -1.0]) > 0
+        assert mask.dtype == bool
+        np.testing.assert_array_equal(mask, [True, False])
+
+
+class TestBackwardGradients:
+    def test_add_grad(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.ones((3, 4)))
+
+    def test_mul_grad(self, rng):
+        a = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        np.testing.assert_allclose(b.grad, a.data)
+
+    def test_broadcast_add_grad(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_div_gradcheck(self, rng):
+        a = Tensor(rng.standard_normal((3, 3)) + 3.0, requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 3)) + 3.0, requires_grad=True)
+        ok, err = check_gradient(lambda x, y: x / y, [a, b], index=0)
+        assert ok, err
+        ok, err = check_gradient(lambda x, y: x / y, [a, b], index=1)
+        assert ok, err
+
+    def test_matmul_gradcheck(self, rng):
+        a = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        ok, err = check_gradient(lambda x, y: x @ y, [a, b], index=0)
+        assert ok, err
+        ok, err = check_gradient(lambda x, y: x @ y, [a, b], index=1)
+        assert ok, err
+
+    def test_batched_matmul_gradcheck(self, rng):
+        a = Tensor(rng.standard_normal((2, 4, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3, 5)), requires_grad=True)
+        ok, err = check_gradient(lambda x, y: x @ y, [a, b], index=0)
+        assert ok, err
+
+    def test_pow_gradcheck(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((3, 3))) + 0.5, requires_grad=True)
+        ok, err = check_gradient(lambda x: x ** 3, [a])
+        assert ok, err
+
+    def test_grad_accumulates_over_multiple_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])   # d/da (a^2 + a) = 2a + 1
+
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a * 2
+        with pytest.raises(RuntimeError):
+            out.backward()
+        out.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.array(1.0)).backward()
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self, rng):
+        a = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        ok, err = check_gradient(lambda x: x.reshape(3, 4), [a])
+        assert ok, err
+
+    def test_transpose_grad(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        ok, err = check_gradient(lambda x: x.transpose(2, 0, 1), [a])
+        assert ok, err
+
+    def test_T_property(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_getitem_slice_grad(self, rng):
+        a = Tensor(rng.standard_normal((4, 4)), requires_grad=True)
+        a[1:3, :].sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1:3, :] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_getitem_fancy_index_grad(self, rng):
+        a = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        index = np.array([0, 2, 2])
+        a[index].sum().backward()
+        expected = np.zeros((5, 3))
+        expected[0] += 1.0
+        expected[2] += 2.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_squeeze_unsqueeze(self, rng):
+        a = Tensor(rng.standard_normal((2, 1, 3)), requires_grad=True)
+        assert a.squeeze(1).shape == (2, 3)
+        assert a.unsqueeze(0).shape == (1, 2, 1, 3)
+        ok, err = check_gradient(lambda x: x.squeeze(1), [a])
+        assert ok, err
+
+    def test_flatten(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.flatten(start_dim=1).shape == (2, 12)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)))
+        assert a.sum(axis=1).shape == (3,)
+        assert a.sum(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_sum_grad(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        ok, err = check_gradient(lambda x: x.sum(axis=0), [a])
+        assert ok, err
+
+    def test_mean_matches_numpy(self, rng):
+        data = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(Tensor(data).mean(axis=1).data, data.mean(axis=1))
+
+    def test_mean_multi_axis(self, rng):
+        data = rng.standard_normal((2, 3, 4, 5))
+        np.testing.assert_allclose(Tensor(data).mean(axis=(2, 3)).data, data.mean(axis=(2, 3)))
+
+    def test_var_matches_numpy(self, rng):
+        data = rng.standard_normal((6, 5))
+        np.testing.assert_allclose(Tensor(data).var(axis=0).data, data.var(axis=0), atol=1e-12)
+
+    def test_max_grad_flows_to_argmax_position(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_grad_splits_ties(self):
+        a = Tensor(np.array([[2.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+    def test_min(self, rng):
+        data = rng.standard_normal((4, 4))
+        np.testing.assert_allclose(Tensor(data).min(axis=1).data, data.min(axis=1))
+
+    def test_argmax_not_differentiable_returns_array(self):
+        a = Tensor(np.array([[0.1, 0.9], [0.8, 0.2]]))
+        np.testing.assert_array_equal(a.argmax(axis=1), [1, 0])
+
+
+class TestElementwiseNonlinearities:
+    @pytest.mark.parametrize("fn_name", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_gradcheck(self, rng, fn_name):
+        a = Tensor(rng.standard_normal((3, 4)) + 0.1, requires_grad=True)
+        ok, err = check_gradient(lambda x: getattr(x, fn_name)(), [a])
+        assert ok, f"{fn_name}: {err}"
+
+    def test_log_gradcheck(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((3, 4))) + 1.0, requires_grad=True)
+        ok, err = check_gradient(lambda x: x.log(), [a])
+        assert ok, err
+
+    def test_sqrt_gradcheck(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((3, 4))) + 1.0, requires_grad=True)
+        ok, err = check_gradient(lambda x: x.sqrt(), [a])
+        assert ok, err
+
+    def test_relu_forward(self):
+        np.testing.assert_allclose(Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_clip_forward_and_grad(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        out = a.clip(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+
+    def test_requires_grad_suppressed_inside_no_grad(self):
+        with no_grad():
+            t = Tensor(np.ones(2), requires_grad=True)
+        assert not t.requires_grad

@@ -1,0 +1,207 @@
+"""Unit tests for the AdderNet / binary / shift baselines."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.baselines import (
+    AdderConv2d,
+    AdderLinear,
+    BinaryConv2d,
+    BinaryLinear,
+    ShiftConv2d,
+    convert_to_addernet,
+    convert_to_binary,
+    quantize_to_power_of_two,
+)
+from repro.models import LeNet5, VGGSmall
+from repro.nn.layers import Conv2d, Linear
+from repro.optim import Adam
+
+
+class TestAdderConv2d:
+    def test_output_shape(self, rng):
+        layer = AdderConv2d(3, 6, 3, padding=1, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_forward_is_negative_l1_matching(self, rng):
+        layer = AdderConv2d(2, 3, 3, bias=False, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5))
+        out = layer(Tensor(x)).data
+        # Reference: output at position (0,0) for filter 0.
+        patch = x[0, :, 0:3, 0:3].reshape(-1)
+        w = layer.weight.data[0].reshape(-1)
+        assert out[0, 0, 0, 0] == pytest.approx(-np.abs(patch - w).sum())
+
+    def test_outputs_nonpositive_without_bias(self, rng):
+        layer = AdderConv2d(2, 3, 3, bias=False, rng=rng)
+        out = layer(Tensor(rng.standard_normal((1, 2, 6, 6)))).data
+        assert np.all(out <= 0)
+
+    def test_gradients_flow(self, rng):
+        layer = AdderConv2d(2, 3, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert x.grad is not None
+
+    def test_weight_gradient_uses_full_precision_difference(self, rng):
+        """The AdderNet weight gradient is (X − W), not its sign — check magnitude variety."""
+        layer = AdderConv2d(1, 1, 2, bias=False, rng=rng)
+        x = Tensor(rng.standard_normal((1, 1, 3, 3)))
+        layer(x).sum().backward()
+        grads = layer.weight.grad.reshape(-1)
+        assert len(np.unique(np.round(np.abs(grads), 6))) > 2
+
+    def test_input_gradient_clipped(self, rng):
+        layer = AdderConv2d(1, 1, 1, bias=False, rng=rng)
+        layer.weight.data[...] = 100.0           # large difference → clipping saturates at 1
+        x = Tensor(rng.standard_normal((1, 1, 2, 2)), requires_grad=True)
+        layer(x).sum().backward()
+        assert np.all(np.abs(x.grad) <= 1.0 + 1e-12)
+
+    def test_stride(self, rng):
+        layer = AdderConv2d(1, 2, 3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.standard_normal((1, 1, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+
+class TestAdderLinear:
+    def test_forward_values(self, rng):
+        layer = AdderLinear(4, 3, bias=False, rng=rng)
+        x = rng.standard_normal((2, 4))
+        out = layer(Tensor(x)).data
+        expected = -np.abs(x[:, None, :] - layer.weight.data[None]).sum(axis=2)
+        np.testing.assert_allclose(out, expected)
+
+    def test_gradients(self, rng):
+        layer = AdderLinear(4, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert x.grad is not None
+
+    def test_trainable_on_toy_task(self, rng):
+        """An adder classifier must be able to separate two well-separated clusters."""
+        x_data = np.concatenate([rng.standard_normal((20, 4)) + 4.0,
+                                 rng.standard_normal((20, 4)) - 4.0])
+        y = np.array([0] * 20 + [1] * 20)
+        layer = AdderLinear(4, 2, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.1)
+        for _ in range(60):
+            logits = layer(Tensor(x_data))
+            loss = F.cross_entropy(logits, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert F.accuracy(layer(Tensor(x_data)), y) >= 0.9
+
+
+class TestConvertToAdderNet:
+    def test_conv_layers_replaced(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_addernet(model)
+        adders = [m for m in converted.modules() if isinstance(m, AdderConv2d)]
+        assert len(adders) == 2
+
+    def test_linear_layers_kept_by_default(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_addernet(model)
+        assert any(type(m) is Linear for m in converted.modules())
+
+    def test_convert_linear_option(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_addernet(model, convert_linear=True)
+        assert not any(type(m) is Linear for m in converted.modules())
+        assert any(isinstance(m, AdderLinear) for m in converted.modules())
+
+    def test_weights_copied_and_forward_works(self, rng):
+        model = VGGSmall(width_multiplier=0.05, image_size=16, rng=rng)
+        converted = convert_to_addernet(model)
+        np.testing.assert_array_equal(
+            converted.features[0].weight.data, model.features[0].weight.data)
+        out = converted(Tensor(rng.standard_normal((1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_original_untouched(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        convert_to_addernet(model)
+        assert not any(isinstance(m, AdderConv2d) for m in model.modules())
+
+
+class TestBinaryLayers:
+    def test_binary_conv_weights_are_scaled_signs(self, rng):
+        layer = BinaryConv2d(3, 4, 3, rng=rng)
+        binary = layer.binary_weight().data
+        for o in range(4):
+            values = np.unique(np.round(np.abs(binary[o]), 10))
+            assert len(values) == 1          # one magnitude per filter (α_o)
+
+    def test_binary_conv_forward_shape(self, rng):
+        layer = BinaryConv2d(3, 4, 3, padding=1, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_binary_conv_gradients_flow_to_real_weights(self, rng):
+        layer = BinaryConv2d(2, 3, 3, rng=rng)
+        layer(Tensor(rng.standard_normal((1, 2, 5, 5)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+
+    def test_binary_linear_forward_and_grad(self, rng):
+        layer = BinaryLinear(6, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+
+    def test_convert_to_binary_skips_first_and_last(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_binary(model, convert_linear=True)
+        assert type(converted.features[0]) is Conv2d
+        assert type(converted.classifier[4]) is Linear
+        assert any(isinstance(m, (BinaryConv2d, BinaryLinear)) for m in converted.modules())
+
+    def test_convert_to_binary_all_layers(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_binary(model, convert_linear=True, skip_first=False,
+                                      skip_last=False)
+        assert isinstance(converted.features[0], BinaryConv2d)
+
+
+class TestShiftBaseline:
+    def test_quantize_to_power_of_two_values(self):
+        weights = np.array([0.3, -0.8, 0.0, 1.7])
+        quantized = quantize_to_power_of_two(weights)
+        assert quantized[0] == pytest.approx(0.25)
+        assert quantized[1] == pytest.approx(-1.0)
+        assert quantized[2] == 0.0
+        assert quantized[3] == pytest.approx(1.0)     # clamped to max exponent 0
+
+    def test_quantized_values_are_powers_of_two(self, rng):
+        weights = rng.standard_normal(100)
+        quantized = quantize_to_power_of_two(weights)
+        nonzero = np.abs(quantized[quantized != 0])
+        exponents = np.log2(nonzero)
+        np.testing.assert_allclose(exponents, np.round(exponents))
+
+    def test_exponent_clamping(self):
+        quantized = quantize_to_power_of_two(np.array([1e-9]), min_exponent=-4)
+        assert quantized[0] == pytest.approx(2.0 ** -4)
+
+    def test_shift_conv_forward_and_grad(self, rng):
+        layer = ShiftConv2d(2, 3, 3, padding=1, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (1, 3, 6, 6)
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert x.grad is not None
+
+    def test_shift_conv_uses_quantized_weights_in_forward(self, rng):
+        layer = ShiftConv2d(1, 1, 1, bias=False, rng=rng)
+        layer.weight.data[...] = 0.3
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        out = layer(x).data
+        np.testing.assert_allclose(out, 0.25)

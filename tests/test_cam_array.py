@@ -1,0 +1,119 @@
+"""Unit tests for the behavioural CAM array model."""
+
+import numpy as np
+import pytest
+
+from repro.cam.cam_array import CAMArray, CAMEnergyModel, CAMStats
+from repro.pecan.config import PECANMode
+
+
+@pytest.fixture
+def prototypes(rng):
+    return rng.standard_normal((4, 6))    # d=4, p=6
+
+
+class TestCAMArrayMatching:
+    def test_distance_match_returns_nearest(self, prototypes):
+        cam = CAMArray(prototypes, PECANMode.DISTANCE)
+        queries = prototypes[:, [2, 5]] + 1e-6     # queries equal to stored prototypes
+        winners = cam.match(queries)
+        np.testing.assert_array_equal(winners, [2, 5])
+
+    def test_angle_match_returns_best_dot_product(self, prototypes):
+        cam = CAMArray(prototypes, PECANMode.ANGLE)
+        queries = prototypes[:, [1]] * 10.0
+        assert cam.match(queries)[0] == 1 or True  # dominant direction usually wins
+        scores = prototypes.T @ queries
+        assert cam.match(queries)[0] == scores.argmax(axis=0)[0]
+
+    def test_match_matches_bruteforce(self, rng, prototypes):
+        cam = CAMArray(prototypes, PECANMode.DISTANCE)
+        queries = rng.standard_normal((4, 10))
+        winners = cam.match(queries)
+        for i in range(10):
+            distances = np.abs(prototypes - queries[:, i:i + 1]).sum(axis=0)
+            assert winners[i] == distances.argmin()
+
+    def test_dimension_mismatch_raises(self, prototypes):
+        cam = CAMArray(prototypes, PECANMode.DISTANCE)
+        with pytest.raises(ValueError):
+            cam.match(np.zeros((5, 2)))
+
+    def test_prototypes_must_be_2d(self, rng):
+        with pytest.raises(ValueError):
+            CAMArray(rng.standard_normal((2, 3, 4)), PECANMode.DISTANCE)
+
+    def test_soft_match_is_distribution(self, rng, prototypes):
+        cam = CAMArray(prototypes, PECANMode.ANGLE, temperature=1.0)
+        weights = cam.soft_match(rng.standard_normal((4, 5)))
+        assert weights.shape == (6, 5)
+        np.testing.assert_allclose(weights.sum(axis=0), 1.0)
+
+    def test_soft_match_distance_mode_raises(self, prototypes):
+        cam = CAMArray(prototypes, PECANMode.DISTANCE)
+        with pytest.raises(ValueError):
+            cam.soft_match(np.zeros((4, 1)))
+
+    def test_soft_match_temperature_effect(self, rng, prototypes):
+        queries = rng.standard_normal((4, 3))
+        sharp = CAMArray(prototypes, PECANMode.ANGLE, temperature=0.1).soft_match(queries)
+        smooth = CAMArray(prototypes, PECANMode.ANGLE, temperature=10.0).soft_match(queries)
+        assert sharp.max() > smooth.max()
+
+
+class TestCAMStatistics:
+    def test_counters_accumulate(self, rng, prototypes):
+        cam = CAMArray(prototypes, PECANMode.DISTANCE)
+        cam.match(rng.standard_normal((4, 5)))
+        cam.match(rng.standard_normal((4, 3)))
+        assert cam.stats.searches == 8
+        assert cam.stats.matchline_evaluations == 8 * 6
+        assert cam.stats.cell_operations == 8 * 6 * 4
+        assert cam.stats.energy > 0
+
+    def test_usage_histogram_counts_queries(self, rng, prototypes):
+        cam = CAMArray(prototypes, PECANMode.DISTANCE)
+        cam.match(rng.standard_normal((4, 20)))
+        assert cam.usage.sum() == 20
+
+    def test_reset_stats(self, rng, prototypes):
+        cam = CAMArray(prototypes, PECANMode.DISTANCE)
+        cam.match(rng.standard_normal((4, 5)))
+        cam.reset_stats()
+        assert cam.stats.searches == 0
+        assert cam.usage.sum() == 0
+
+    def test_stats_merge(self):
+        a = CAMStats(searches=1, matchline_evaluations=2, cell_operations=3, energy=4.0)
+        b = CAMStats(searches=10, matchline_evaluations=20, cell_operations=30, energy=40.0)
+        merged = a.merge(b)
+        assert merged.searches == 11
+        assert merged.energy == pytest.approx(44.0)
+
+
+class TestEnergyModel:
+    def test_distance_search_energy_cheaper_than_angle(self):
+        model = CAMEnergyModel()
+        distance = model.search_energy(PECANMode.DISTANCE, num_prototypes=8, dim=9)
+        angle = model.search_energy(PECANMode.ANGLE, num_prototypes=8, dim=9)
+        assert distance < angle
+
+    def test_distance_search_energy_formula(self):
+        model = CAMEnergyModel(add_energy=1.0, compare_energy=0.0)
+        # p * (d subtractions + (d-1) accumulation additions)
+        assert model.search_energy(PECANMode.DISTANCE, 4, 3) == pytest.approx(4 * (3 + 2))
+
+    def test_lookup_accumulate_distance_scales_with_cout(self):
+        model = CAMEnergyModel()
+        small = model.lookup_accumulate_energy(PECANMode.DISTANCE, 8, 16)
+        large = model.lookup_accumulate_energy(PECANMode.DISTANCE, 8, 32)
+        assert large == pytest.approx(2 * small)
+
+    def test_energy_scales_with_multiplier_cost(self, rng):
+        cheap_mul = CAMEnergyModel(multiply_energy=1.0)
+        pricey_mul = CAMEnergyModel(multiply_energy=8.0)
+        assert (pricey_mul.search_energy(PECANMode.ANGLE, 4, 9)
+                > cheap_mul.search_energy(PECANMode.ANGLE, 4, 9))
+        # Distance mode is unaffected by the multiplier cost.
+        assert (pricey_mul.search_energy(PECANMode.DISTANCE, 4, 9)
+                == cheap_mul.search_energy(PECANMode.DISTANCE, 4, 9))

@@ -1,0 +1,123 @@
+"""Unit tests for LUT construction and pruning."""
+
+import numpy as np
+import pytest
+
+from repro.models import LeNet5
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.convert import convert_to_pecan, pecan_layers
+from repro.pecan.layers import PECANConv2d, PECANLinear
+from repro.cam.lut import (
+    LayerLUT,
+    build_layer_lut,
+    build_model_luts,
+    total_memory_footprint,
+)
+
+
+@pytest.fixture
+def conv_layer(rng):
+    config = PQLayerConfig(num_prototypes=6, mode=PECANMode.DISTANCE, temperature=0.5)
+    return PECANConv2d(3, 5, 3, config=config, padding=1, rng=rng)
+
+
+@pytest.fixture
+def fc_layer(rng):
+    config = PQLayerConfig(num_prototypes=4, subvector_dim=8, mode=PECANMode.ANGLE)
+    return PECANLinear(24, 7, config=config, rng=rng)
+
+
+class TestBuildLayerLUT:
+    def test_conv_metadata(self, conv_layer):
+        lut = build_layer_lut(conv_layer, name="conv")
+        assert lut.kind == "conv"
+        assert lut.mode is PECANMode.DISTANCE
+        assert lut.kernel_size == 3 and lut.padding == 1
+        assert lut.num_groups == 3 and lut.subvector_dim == 9 and lut.num_prototypes == 6
+        assert lut.table.shape == (3, 5, 6)
+        assert lut.prototypes.shape == (3, 9, 6)
+        assert lut.bias.shape == (5,)
+
+    def test_fc_metadata(self, fc_layer):
+        lut = build_layer_lut(fc_layer, name="fc")
+        assert lut.kind == "fc"
+        assert lut.mode is PECANMode.ANGLE
+        assert lut.table.shape == (3, 7, 4)
+        assert lut.out_channels == 7
+
+    def test_table_values_match_weight_prototype_products(self, conv_layer):
+        lut = build_layer_lut(conv_layer)
+        w_grouped = conv_layer.grouped_weight().data
+        for j in range(lut.num_groups):
+            expected = w_grouped[j] @ conv_layer.codebook.prototypes.data[j]
+            np.testing.assert_allclose(lut.table[j], expected)
+
+    def test_lut_is_a_copy(self, conv_layer):
+        lut = build_layer_lut(conv_layer)
+        conv_layer.codebook.prototypes.data[...] = 0.0
+        assert np.abs(lut.prototypes).sum() > 0
+
+    def test_wrong_layer_type_raises(self, rng):
+        from repro.nn import Conv2d
+        with pytest.raises(TypeError):
+            build_layer_lut(Conv2d(3, 4, 3, rng=rng))
+
+    def test_memory_footprint(self, conv_layer):
+        lut = build_layer_lut(conv_layer)
+        footprint = lut.memory_footprint(bytes_per_value=4)
+        assert footprint["prototype_values"] == 3 * 9 * 6
+        assert footprint["table_values"] == 3 * 5 * 6
+        assert footprint["total_bytes"] == (3 * 9 * 6 + 3 * 5 * 6) * 4
+
+
+class TestBuildModelLUTs:
+    def test_all_pecan_layers_covered(self, rng):
+        model = convert_to_pecan(LeNet5(width_multiplier=0.5, rng=rng),
+                                 PQLayerConfig(num_prototypes=4), rng=rng)
+        luts = build_model_luts(model)
+        assert set(luts) == {name for name, _ in pecan_layers(model)}
+
+    def test_total_memory_footprint_sums_layers(self, rng):
+        model = convert_to_pecan(LeNet5(width_multiplier=0.5, rng=rng),
+                                 PQLayerConfig(num_prototypes=4), rng=rng)
+        luts = build_model_luts(model)
+        totals = total_memory_footprint(luts)
+        assert totals["total_bytes"] == sum(l.memory_footprint()["total_bytes"]
+                                            for l in luts.values())
+
+
+class TestPruning:
+    def test_prune_dead_prototypes(self, conv_layer):
+        lut = build_layer_lut(conv_layer)
+        usage = np.ones((3, 6), dtype=np.int64)
+        usage[:, 4:] = 0                      # prototypes 4 and 5 never used
+        pruned = lut.prune_dead_prototypes(usage)
+        assert pruned.prototypes_kept == 3 * 4
+        assert pruned.prototypes_total == 3 * 6
+        assert pruned.memory_saving_fraction() == pytest.approx(1.0 / 3.0)
+        for j in range(3):
+            assert pruned.prototypes[j].shape == (9, 4)
+            assert pruned.tables[j].shape == (5, 4)
+            np.testing.assert_array_equal(pruned.kept_indices[j], [0, 1, 2, 3])
+
+    def test_prune_never_empties_a_group(self, conv_layer):
+        lut = build_layer_lut(conv_layer)
+        usage = np.zeros((3, 6), dtype=np.int64)
+        usage[0, 2] = 10                      # group 0 keeps one; groups 1-2 all dead
+        pruned = lut.prune_dead_prototypes(usage)
+        assert all(p.shape[1] >= 1 for p in pruned.prototypes)
+
+    def test_prune_shape_mismatch_raises(self, conv_layer):
+        lut = build_layer_lut(conv_layer)
+        with pytest.raises(ValueError):
+            lut.prune_dead_prototypes(np.ones((2, 6), dtype=np.int64))
+
+    def test_pruned_lut_preserves_kept_columns(self, conv_layer):
+        lut = build_layer_lut(conv_layer)
+        usage = np.zeros((3, 6), dtype=np.int64)
+        usage[:, 1] = 5
+        usage[:, 3] = 2
+        pruned = lut.prune_dead_prototypes(usage)
+        for j in range(3):
+            np.testing.assert_array_equal(pruned.tables[j][:, 0], lut.table[j][:, 1])
+            np.testing.assert_array_equal(pruned.tables[j][:, 1], lut.table[j][:, 3])

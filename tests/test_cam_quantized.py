@@ -1,0 +1,160 @@
+"""Unit tests for fixed-point quantization of the CAM contents."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cam.lut import build_layer_lut, build_model_luts
+from repro.cam.quantized import (
+    QuantizedArray,
+    apply_quantized_luts,
+    match_agreement,
+    quantize_layer_lut,
+    quantize_model_luts,
+    quantize_symmetric,
+)
+from repro.models import build_model
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.layers import PECANConv2d
+
+
+@pytest.fixture
+def conv_lut(rng):
+    config = PQLayerConfig(num_prototypes=8, mode=PECANMode.DISTANCE, temperature=0.5)
+    layer = PECANConv2d(3, 5, 3, config=config, padding=1, rng=rng)
+    return build_layer_lut(layer, name="conv")
+
+
+class TestQuantizeSymmetric:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        array = rng.standard_normal((4, 16))
+        quantized = quantize_symmetric(array, bits=8)
+        step = float(quantized.scale)
+        assert np.abs(quantized.dequantize() - array).max() <= step / 2 + 1e-12
+
+    def test_codes_within_signed_range(self, rng):
+        array = rng.standard_normal((10, 10)) * 100
+        quantized = quantize_symmetric(array, bits=6)
+        assert quantized.values.max() <= 2 ** 5 - 1
+        assert quantized.values.min() >= -(2 ** 5)
+
+    def test_per_axis_scales(self, rng):
+        array = np.stack([rng.standard_normal(20), 100 * rng.standard_normal(20)])
+        quantized = quantize_symmetric(array, bits=8, axis=0)
+        assert quantized.scale.shape == (2, 1)
+        assert quantized.scale[1] > quantized.scale[0]
+
+    def test_zero_array(self):
+        quantized = quantize_symmetric(np.zeros((3, 3)), bits=8)
+        np.testing.assert_array_equal(quantized.dequantize(), np.zeros((3, 3)))
+
+    def test_invalid_bits_raise(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(3), bits=1)
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(3), bits=64)
+
+    def test_more_bits_less_error(self, rng):
+        array = rng.standard_normal(1000)
+        coarse = np.abs(quantize_symmetric(array, 4).dequantize() - array).mean()
+        fine = np.abs(quantize_symmetric(array, 12).dequantize() - array).mean()
+        assert fine < coarse
+
+    def test_storage_bits(self, rng):
+        quantized = quantize_symmetric(rng.standard_normal((5, 7)), bits=8)
+        assert quantized.storage_bits() == 5 * 7 * 8
+
+
+class TestQuantizedLayerLUT:
+    def test_structure(self, conv_lut):
+        quantized = quantize_layer_lut(conv_lut, prototype_bits=8, table_bits=8)
+        assert quantized.prototypes.values.shape == conv_lut.prototypes.shape
+        assert quantized.table.values.shape == conv_lut.table.shape
+
+    def test_errors_nonnegative_and_small_at_8_bits(self, conv_lut):
+        quantized = quantize_layer_lut(conv_lut, 8, 8)
+        assert 0 <= quantized.prototype_error() < 0.05
+        assert 0 <= quantized.table_error() < 0.25
+
+    def test_compression_ratio(self, conv_lut):
+        quantized = quantize_layer_lut(conv_lut, 8, 8)
+        assert quantized.compression_ratio(float_bits=32) == pytest.approx(4.0)
+        aggressive = quantize_layer_lut(conv_lut, 4, 4)
+        assert aggressive.compression_ratio(float_bits=32) == pytest.approx(8.0)
+
+    def test_dequantized_lut_is_usable_drop_in(self, conv_lut):
+        quantized = quantize_layer_lut(conv_lut, 8, 8)
+        dequantized = quantized.dequantized_lut()
+        assert dequantized.table.shape == conv_lut.table.shape
+        assert dequantized.mode is conv_lut.mode
+        assert dequantized.kernel_size == conv_lut.kernel_size
+
+    def test_match_agreement_high_at_8_bits(self, rng, conv_lut):
+        quantized = quantize_layer_lut(conv_lut, 8, 8)
+        queries = rng.standard_normal((conv_lut.subvector_dim, 256))
+        assert match_agreement(conv_lut, quantized, queries) > 0.95
+
+    def test_match_agreement_degrades_at_2_bits(self, rng, conv_lut):
+        fine = quantize_layer_lut(conv_lut, 8, 8)
+        coarse = quantize_layer_lut(conv_lut, 2, 2)
+        queries = rng.standard_normal((conv_lut.subvector_dim, 256))
+        assert (match_agreement(conv_lut, coarse, queries)
+                <= match_agreement(conv_lut, fine, queries))
+
+    def test_match_agreement_requires_distance_mode(self, rng):
+        config = PQLayerConfig(num_prototypes=4, mode=PECANMode.ANGLE)
+        layer = PECANConv2d(3, 4, 3, config=config, rng=rng)
+        lut = build_layer_lut(layer)
+        quantized = quantize_layer_lut(lut)
+        with pytest.raises(ValueError):
+            match_agreement(lut, quantized, rng.standard_normal((9, 4)))
+
+
+class TestModelLevelQuantization:
+    def test_quantize_model_luts_covers_all_layers(self, rng):
+        model = build_model("lenet5_pecan_d", width_multiplier=0.5, image_size=14,
+                            prototype_cap=8, rng=rng)
+        quantized = quantize_model_luts(model, 8, 8)
+        assert set(quantized) == set(build_model_luts(model))
+
+    def test_apply_quantized_luts_returns_copy_with_snapped_prototypes(self, rng):
+        model = build_model("lenet5_pecan_d", width_multiplier=0.5, image_size=14,
+                            prototype_cap=8, rng=rng)
+        quantized = quantize_model_luts(model, 8, 8)
+        snapped = apply_quantized_luts(model, quantized)
+        assert snapped is not model
+        original = model.features[0].codebook.prototypes.data
+        new = snapped.features[0].codebook.prototypes.data
+        assert not np.array_equal(original, new)
+        np.testing.assert_allclose(new, quantized["features.0"].prototypes.dequantize())
+
+    def test_apply_quantized_luts_unknown_layer_raises(self, rng):
+        model = build_model("lenet5_pecan_d", width_multiplier=0.5, image_size=14,
+                            prototype_cap=8, rng=rng)
+        quantized = quantize_model_luts(model)
+        quantized["ghost.layer"] = next(iter(quantized.values()))
+        with pytest.raises(KeyError):
+            apply_quantized_luts(model, quantized)
+
+    def test_quantized_model_predictions_mostly_agree(self, rng):
+        """8-bit CAM contents must preserve the large majority of predictions."""
+        from repro.cam import CAMInferenceEngine
+        from repro.data import make_dataset
+
+        model = build_model("lenet5_pecan_d", width_multiplier=0.5, image_size=14,
+                            prototype_cap=8, rng=rng)
+        _, test = make_dataset("mnist", num_train=8, num_test=32, image_size=14)
+        reference = CAMInferenceEngine(model).predict_classes(test.images)
+        snapped = apply_quantized_luts(model, quantize_model_luts(model, 8, 8))
+        quantized_predictions = CAMInferenceEngine(snapped).predict_classes(test.images)
+        assert (reference == quantized_predictions).mean() >= 0.75
+
+
+@settings(max_examples=20, deadline=None)
+@given(bits=st.integers(2, 16), rows=st.integers(1, 6), cols=st.integers(1, 12))
+def test_property_quantization_error_bounded_by_step(bits, rows, cols):
+    rng = np.random.default_rng(7)
+    array = rng.standard_normal((rows, cols)) * rng.uniform(0.1, 10)
+    quantized = quantize_symmetric(array, bits=bits)
+    step = float(np.max(quantized.scale))
+    assert np.abs(quantized.dequantize() - array).max() <= step / 2 + 1e-9

@@ -1,0 +1,152 @@
+"""Tests for the command-line interface (Appendix E compatible)."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, config_from_args, main, _resolve_arch
+
+
+class TestArgumentParsing:
+    def test_paper_command_line_parses(self):
+        """The exact flag set published in Appendix E must be accepted."""
+        parser = build_parser()
+        args = parser.parse_args([
+            "train",
+            "--log_dir", "/tmp/logs",
+            "--data_dir", "/data",
+            "--dataset", "CIFAR10",
+            "--arch", "resnet20_pecan_d",
+            "--batch_size", "64",
+            "--epochs", "300",
+            "--learning_rate", "0.001",
+            "--lr_decay_step", "200",
+            "--query_metric", "adder",
+            "--gpu", "0",
+        ])
+        assert args.command == "train"
+        assert args.epochs == 300
+        assert args.query_metric == "adder"
+
+    def test_unknown_arch_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["train", "--arch", "alexnet"])
+
+    def test_missing_subcommand_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_evaluate_requires_checkpoint(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["evaluate"])
+
+    @pytest.mark.parametrize("arch,metric,expected", [
+        ("resnet20", "adder", "resnet20_pecan_d"),
+        ("resnet20", "dot", "resnet20_pecan_a"),
+        ("resnet20_pecan_a", "adder", "resnet20_pecan_d"),
+        ("resnet20_pecan_d", None, "resnet20_pecan_d"),
+        ("lenet5", None, "lenet5"),
+    ])
+    def test_query_metric_override(self, arch, metric, expected):
+        assert _resolve_arch(arch, metric) == expected
+
+    def test_config_from_args_maps_fields(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "train", "--dataset", "MNIST", "--arch", "lenet5_pecan_d",
+            "--batch_size", "16", "--epochs", "3", "--learning_rate", "0.02",
+            "--lr_decay_step", "2", "--width_multiplier", "0.5",
+            "--num_train", "40", "--num_test", "20", "--prototype_cap", "8",
+            "--strategy", "uni", "--pretrain_epochs", "2", "--seed", "9",
+        ])
+        config = config_from_args(args)
+        assert config.dataset == "mnist"
+        assert config.arch == "lenet5_pecan_d"
+        assert config.batch_size == 16
+        assert config.epochs == 3
+        assert config.learning_rate == 0.02
+        assert config.width_multiplier == 0.5
+        assert config.prototype_cap == 8
+        assert config.strategy == "uni"
+        assert config.pretrain_epochs == 2
+        assert config.seed == 9
+
+
+class TestEndToEndCommands:
+    def _train_args(self, tmp_path: Path, extra=()):
+        return ["--quiet", "train",
+                "--log_dir", str(tmp_path),
+                "--dataset", "MNIST",
+                "--arch", "lenet5_pecan_d",
+                "--batch_size", "16",
+                "--epochs", "1",
+                "--learning_rate", "0.01",
+                "--lr_decay_step", "10",
+                "--width_multiplier", "0.5",
+                "--image_size", "14",
+                "--num_train", "32",
+                "--num_test", "16",
+                "--prototype_cap", "8",
+                *extra]
+
+    def test_train_writes_checkpoint_and_history(self, tmp_path, capsys):
+        exit_code = main(self._train_args(tmp_path))
+        assert exit_code == 0
+        checkpoint = tmp_path / "lenet5_pecan_d.npz"
+        history = tmp_path / "lenet5_pecan_d_history.json"
+        assert checkpoint.exists()
+        assert history.exists()
+        payload = json.loads(history.read_text())
+        assert payload["summary"]["arch"] == "lenet5_pecan_d"
+        out = capsys.readouterr().out
+        assert "final test accuracy" in out
+        assert "#Mul 0" in out
+
+    def test_evaluate_loads_checkpoint(self, tmp_path, capsys):
+        main(self._train_args(tmp_path))
+        exit_code = main(["--quiet", "evaluate",
+                          "--log_dir", str(tmp_path),
+                          "--dataset", "MNIST",
+                          "--arch", "lenet5_pecan_d",
+                          "--width_multiplier", "0.5",
+                          "--image_size", "14",
+                          "--num_test", "16",
+                          "--prototype_cap", "8",
+                          "--checkpoint", str(tmp_path / "lenet5_pecan_d.npz")])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "LUT/CAM accuracy" in out
+        assert "traced multiplications:  0" in out
+
+    def test_export_writes_deployment_bundle(self, tmp_path, capsys):
+        main(self._train_args(tmp_path))
+        exit_code = main(["--quiet", "export",
+                          "--log_dir", str(tmp_path),
+                          "--dataset", "MNIST",
+                          "--arch", "lenet5_pecan_d",
+                          "--width_multiplier", "0.5",
+                          "--image_size", "14",
+                          "--num_test", "16",
+                          "--prototype_cap", "8",
+                          "--checkpoint", str(tmp_path / "lenet5_pecan_d.npz"),
+                          "--output", str(tmp_path / "bundle.npz")])
+        assert exit_code == 0
+        assert (tmp_path / "bundle.npz").exists()
+        out = capsys.readouterr().out
+        assert "multiplier-free bundle: True" in out
+
+    def test_train_baseline_arch(self, tmp_path):
+        exit_code = main(["--quiet", "train",
+                          "--log_dir", str(tmp_path),
+                          "--dataset", "MNIST",
+                          "--arch", "lenet5",
+                          "--batch_size", "16", "--epochs", "1",
+                          "--width_multiplier", "0.5", "--image_size", "14",
+                          "--num_train", "32", "--num_test", "16"])
+        assert exit_code == 0
+        assert (tmp_path / "lenet5.npz").exists()

@@ -1,0 +1,189 @@
+"""Unit tests for the synthetic datasets, loader and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    AddGaussianNoise,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    make_dataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+    synthetic_tiny_imagenet,
+)
+
+
+class TestSyntheticDatasets:
+    def test_mnist_shapes(self):
+        train, test = synthetic_mnist(num_train=32, num_test=16)
+        assert train.images.shape == (32, 1, 28, 28)
+        assert test.images.shape == (16, 1, 28, 28)
+        assert train.num_classes == 10
+
+    def test_cifar10_shapes(self):
+        train, _ = synthetic_cifar10(num_train=16, num_test=8)
+        assert train.images.shape == (16, 3, 32, 32)
+        assert train.num_classes == 10
+
+    def test_cifar100_class_count(self):
+        train, _ = synthetic_cifar100(num_train=128, num_test=8)
+        assert train.num_classes == 100
+        assert train.labels.max() < 100
+
+    def test_tiny_imagenet_shapes(self):
+        train, _ = synthetic_tiny_imagenet(num_train=8, num_test=4, num_classes=20)
+        assert train.images.shape == (8, 3, 64, 64)
+        assert train.num_classes == 20
+
+    def test_deterministic_given_seed(self):
+        a, _ = synthetic_cifar10(num_train=8, num_test=4, seed=7)
+        b, _ = synthetic_cifar10(num_train=8, num_test=4, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a, _ = synthetic_cifar10(num_train=8, num_test=4, seed=1)
+        b, _ = synthetic_cifar10(num_train=8, num_test=4, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_train_test_disjoint_noise(self):
+        train, test = synthetic_mnist(num_train=8, num_test=8)
+        assert not np.array_equal(train.images[:8], test.images[:8])
+
+    def test_labels_cover_multiple_classes(self):
+        train, _ = synthetic_cifar10(num_train=256, num_test=8)
+        assert len(np.unique(train.labels)) == 10
+
+    def test_getitem_and_len(self):
+        train, _ = synthetic_mnist(num_train=8, num_test=4)
+        image, label = train[3]
+        assert image.shape == (1, 28, 28)
+        assert isinstance(label, int)
+        assert len(train) == 8
+
+    def test_subset_is_balanced(self):
+        train, _ = synthetic_cifar10(num_train=256, num_test=8)
+        subset = train.subset(40)
+        counts = np.bincount(subset.labels, minlength=10)
+        assert counts.max() - counts.min() <= 1
+
+    def test_image_size_override(self):
+        train, _ = synthetic_cifar10(num_train=4, num_test=4, image_size=16)
+        assert train.images.shape[-1] == 16
+
+    def test_classes_are_distinguishable(self):
+        """Same-class samples must be closer than cross-class samples on average."""
+        train, _ = synthetic_mnist(num_train=200, num_test=8, noise=0.2)
+        images = train.images.reshape(len(train), -1)
+        labels = train.labels
+        same, cross = [], []
+        for cls in range(3):
+            members = images[labels == cls][:10]
+            others = images[labels != cls][:10]
+            if len(members) < 2:
+                continue
+            same.append(np.linalg.norm(members[0] - members[1]))
+            cross.append(np.linalg.norm(members[0] - others[0]))
+        assert np.mean(same) < np.mean(cross)
+
+
+class TestRegistry:
+    def test_make_dataset_by_name(self):
+        train, test = make_dataset("cifar10", num_train=8, num_test=4)
+        assert train.images.shape[1:] == (3, 32, 32)
+
+    def test_make_dataset_case_and_dash_insensitive(self):
+        train, _ = make_dataset("Tiny-ImageNet", num_train=4, num_test=2, num_classes=5)
+        assert train.num_classes == 5
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            make_dataset("imagenet21k")
+
+
+class TestDataLoader:
+    def test_batching(self):
+        train, _ = synthetic_mnist(num_train=10, num_test=4)
+        loader = DataLoader(train, batch_size=4)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[0][0].shape == (4, 1, 28, 28)
+        assert batches[-1][0].shape == (2, 1, 28, 28)
+
+    def test_len(self):
+        train, _ = synthetic_mnist(num_train=10, num_test=4)
+        assert len(DataLoader(train, batch_size=4)) == 3
+        assert len(DataLoader(train, batch_size=4, drop_last=True)) == 2
+
+    def test_drop_last(self):
+        train, _ = synthetic_mnist(num_train=10, num_test=4)
+        batches = list(DataLoader(train, batch_size=4, drop_last=True))
+        assert all(images.shape[0] == 4 for images, _ in batches)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        train, _ = synthetic_mnist(num_train=32, num_test=4)
+        plain = np.concatenate([labels for _, labels in DataLoader(train, batch_size=8)])
+        shuffled = np.concatenate([labels for _, labels in
+                                   DataLoader(train, batch_size=8, shuffle=True, seed=3)])
+        assert sorted(plain.tolist()) == sorted(shuffled.tolist())
+        assert not np.array_equal(plain, shuffled)
+
+    def test_invalid_batch_size(self):
+        train, _ = synthetic_mnist(num_train=4, num_test=4)
+        with pytest.raises(ValueError):
+            DataLoader(train, batch_size=0)
+
+    def test_transform_applied(self):
+        train, _ = synthetic_mnist(num_train=8, num_test=4)
+        loader = DataLoader(train, batch_size=8, transform=lambda x, rng=None: x * 0.0)
+        images, _ = next(iter(loader))
+        np.testing.assert_array_equal(images, np.zeros_like(images))
+
+
+class TestTransforms:
+    def test_horizontal_flip_always(self, rng):
+        images = rng.standard_normal((4, 3, 8, 8))
+        flipped = RandomHorizontalFlip(p=1.0)(images, rng=rng)
+        np.testing.assert_array_equal(flipped, images[..., ::-1])
+
+    def test_horizontal_flip_never(self, rng):
+        images = rng.standard_normal((4, 3, 8, 8))
+        np.testing.assert_array_equal(RandomHorizontalFlip(p=0.0)(images, rng=rng), images)
+
+    def test_random_crop_preserves_shape(self, rng):
+        images = rng.standard_normal((4, 3, 16, 16))
+        assert RandomCrop(padding=2)(images, rng=rng).shape == images.shape
+
+    def test_random_crop_zero_padding_identity(self, rng):
+        images = rng.standard_normal((2, 3, 8, 8))
+        np.testing.assert_array_equal(RandomCrop(padding=0)(images, rng=rng), images)
+
+    def test_normalize(self):
+        images = np.ones((2, 3, 4, 4))
+        out = Normalize(mean=[1.0, 1.0, 1.0], std=[2.0, 2.0, 2.0])(images)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_gaussian_noise_changes_values(self, rng):
+        images = np.zeros((2, 1, 4, 4))
+        out = AddGaussianNoise(sigma=1.0)(images, rng=rng)
+        assert np.abs(out).sum() > 0
+
+    def test_compose_order(self, rng):
+        images = np.ones((1, 1, 4, 4))
+        pipeline = Compose([Normalize([1.0], [1.0]), AddGaussianNoise(sigma=0.0)])
+        np.testing.assert_allclose(pipeline(images, rng=rng), 0.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(num_train=st.integers(4, 40), batch_size=st.integers(1, 16))
+def test_property_loader_covers_every_sample_exactly_once(num_train, batch_size):
+    train, _ = synthetic_mnist(num_train=num_train, num_test=4, image_size=8)
+    loader = DataLoader(train, batch_size=batch_size, shuffle=True, seed=0)
+    seen = sum(labels.shape[0] for _, labels in loader)
+    assert seen == num_train

@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts.
+
+Full example runs take minutes (they are small training studies); here we
+verify that every example compiles, exposes a ``main`` entry point and that
+its imports resolve against the installed package — the cheap failures a
+refactor would introduce.
+"""
+
+import importlib.util
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_expected_scripts(self):
+        names = {path.name for path in EXAMPLE_FILES}
+        assert "quickstart.py" in names
+        assert len(names) >= 4
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_importable_and_has_main(self, path):
+        module = load_module(path)
+        assert callable(getattr(module, "main", None)), f"{path.name} lacks a main()"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_has_module_docstring(self, path):
+        module = load_module(path)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40

@@ -1,0 +1,134 @@
+"""Unit and integration tests for the experiment harness (config, runner, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    PAPER_DEFAULTS,
+    QUICK_DEFAULTS,
+    format_table,
+    results_to_rows,
+    run_comparison,
+    run_experiment,
+)
+from repro.pecan.convert import pecan_layers
+
+
+def quick_config(**overrides) -> ExperimentConfig:
+    base = dict(dataset="mnist", arch="lenet5", width_multiplier=0.5, image_size=14,
+                num_train=32, num_test=16, batch_size=16, epochs=1, learning_rate=0.01,
+                seed=0)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestExperimentConfig:
+    def test_dataset_num_classes_defaults(self):
+        assert ExperimentConfig(dataset="mnist").dataset_num_classes() == 10
+        assert ExperimentConfig(dataset="cifar100").dataset_num_classes() == 100
+        assert ExperimentConfig(dataset="tiny_imagenet").dataset_num_classes() == 200
+
+    def test_dataset_num_classes_override(self):
+        assert ExperimentConfig(dataset="cifar100", num_classes=7).dataset_num_classes() == 7
+
+    def test_with_arch_copies(self):
+        config = quick_config()
+        other = config.with_arch("lenet5_pecan_d")
+        assert other.arch == "lenet5_pecan_d"
+        assert config.arch == "lenet5"
+        assert other.num_train == config.num_train
+
+    def test_scaled_for_quick_run(self):
+        config = ExperimentConfig(**{**{"dataset": "cifar10", "arch": "resnet20"},
+                                     **PAPER_DEFAULTS})
+        quick = config.scaled_for_quick_run()
+        assert quick.epochs == QUICK_DEFAULTS["epochs"]
+        assert quick.width_multiplier == QUICK_DEFAULTS["width_multiplier"]
+
+    def test_presets_distinct(self):
+        assert QUICK_DEFAULTS["num_train"] < PAPER_DEFAULTS["num_train"]
+        assert QUICK_DEFAULTS["epochs"] < PAPER_DEFAULTS["epochs"]
+
+
+class TestRunExperiment:
+    def test_baseline_run_produces_result(self):
+        result = run_experiment(quick_config())
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.additions > 0
+        assert result.multiplications > 0
+        assert result.seconds > 0
+        assert len(result.history["epoch"]) == 1
+
+    def test_pecan_d_run_is_multiplier_free_in_op_report(self):
+        result = run_experiment(quick_config(arch="lenet5_pecan_d"))
+        assert result.multiplications == 0
+        assert result.additions > 0
+        assert pecan_layers(result.model)
+
+    def test_pecan_a_run(self):
+        result = run_experiment(quick_config(arch="lenet5_pecan_a"))
+        assert result.multiplications > 0
+        assert pecan_layers(result.model)
+
+    def test_uni_optimization_strategy(self):
+        result = run_experiment(quick_config(arch="lenet5_pecan_d", strategy="uni"))
+        for _, layer in pecan_layers(result.model):
+            assert not layer.weight.requires_grad
+            assert layer.codebook.prototypes.requires_grad
+
+    def test_summary_fields(self):
+        result = run_experiment(quick_config())
+        summary = result.summary()
+        assert summary["arch"] == "lenet5"
+        assert summary["dataset"] == "mnist"
+        assert "accuracy" in summary and "additions" in summary
+
+    def test_seed_reproducibility(self):
+        a = run_experiment(quick_config(seed=3))
+        b = run_experiment(quick_config(seed=3))
+        assert a.accuracy == b.accuracy
+        np.testing.assert_allclose(a.history["train_loss"], b.history["train_loss"])
+
+    def test_sgd_optimizer_option(self):
+        result = run_experiment(quick_config(optimizer="sgd"))
+        assert len(result.history["epoch"]) == 1
+
+    def test_codebook_init_can_be_disabled(self):
+        result = run_experiment(quick_config(arch="lenet5_pecan_d",
+                                             init_codebooks_from_data=False))
+        assert result.accuracy >= 0.0
+
+
+class TestRunComparison:
+    def test_runs_all_archs_in_order(self):
+        results = run_comparison(quick_config(),
+                                 ["lenet5", "lenet5_pecan_a", "lenet5_pecan_d"])
+        assert list(results) == ["lenet5", "lenet5_pecan_a", "lenet5_pecan_d"]
+        assert results["lenet5_pecan_d"].multiplications == 0
+        assert results["lenet5"].multiplications > 0
+
+    def test_rows_and_table_formatting(self):
+        results = run_comparison(quick_config(), ["lenet5", "lenet5_pecan_d"])
+        rows = results_to_rows(results, labels={"lenet5": "Baseline",
+                                                "lenet5_pecan_d": "PECAN-D"})
+        assert rows[0]["method"] == "Baseline"
+        assert rows[1]["multiplications"] == 0
+        text = format_table(rows, columns=["method", "add_str", "mul_str", "accuracy_percent"],
+                            headers=["Model", "#Add.", "#Mul.", "Acc.(%)"], title="Table 2")
+        assert "Table 2" in text
+        assert "PECAN-D" in text
+        assert "#Mul." in text
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        rows = [{"a": "x", "b": 1}, {"a": "longer", "b": 22}]
+        text = format_table(rows, columns=["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_missing_values_rendered_empty(self):
+        text = format_table([{"a": None}], columns=["a"], headers=["A"])
+        assert text.splitlines()[-1].strip() == ""

@@ -1,0 +1,92 @@
+"""Unit tests for the CAM macro mapping model."""
+
+import numpy as np
+import pytest
+
+from repro.cam.lut import build_layer_lut
+from repro.hardware.mapping import CAMMacroSpec, LayerMapping, map_layer, map_model
+from repro.models import build_model
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.layers import PECANConv2d, PECANLinear
+
+
+@pytest.fixture
+def conv_lut(rng):
+    config = PQLayerConfig(num_prototypes=64, mode=PECANMode.DISTANCE, temperature=0.5)
+    return build_layer_lut(PECANConv2d(8, 16, 3, config=config, padding=1, rng=rng),
+                           name="conv")
+
+
+class TestCAMMacroSpec:
+    def test_cells(self):
+        assert CAMMacroSpec(rows=64, width=16).cells == 1024
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            CAMMacroSpec(rows=0, width=16)
+        with pytest.raises(ValueError):
+            CAMMacroSpec(rows=8, width=-1)
+
+
+class TestMapLayer:
+    def test_exact_fit_uses_one_macro_per_group(self, conv_lut):
+        spec = CAMMacroSpec(rows=64, width=9)
+        mapping = map_layer(conv_lut, spec)
+        assert mapping.row_tiles == 1
+        assert mapping.column_tiles == 1
+        assert mapping.total_macros == conv_lut.num_groups
+        assert mapping.utilization(spec) == pytest.approx(1.0)
+
+    def test_row_tiling_when_prototypes_exceed_rows(self, conv_lut):
+        mapping = map_layer(conv_lut, CAMMacroSpec(rows=16, width=9))
+        assert mapping.row_tiles == 4
+        assert mapping.macros_per_group == 4
+
+    def test_column_tiling_when_dimension_exceeds_width(self, conv_lut):
+        mapping = map_layer(conv_lut, CAMMacroSpec(rows=64, width=4))
+        assert mapping.column_tiles == 3      # ceil(9 / 4)
+
+    def test_utilization_below_one_for_padded_tiles(self, conv_lut):
+        spec = CAMMacroSpec(rows=128, width=16)
+        mapping = map_layer(conv_lut, spec)
+        assert 0.0 < mapping.utilization(spec) < 1.0
+
+    def test_activations_scale_with_positions(self, conv_lut):
+        spec = CAMMacroSpec(rows=64, width=9)
+        few = map_layer(conv_lut, spec, positions_per_image=10)
+        many = map_layer(conv_lut, spec, positions_per_image=100)
+        assert many.activations_per_image() == 10 * few.activations_per_image()
+
+
+class TestMapModel:
+    def test_lenet_mapping_covers_all_pecan_layers(self, rng):
+        model = build_model("lenet5_pecan_d", rng=rng)
+        mapping = map_model(model, (1, 28, 28), CAMMacroSpec(rows=64, width=16))
+        assert len(mapping.layers) == 5
+        assert mapping.total_macros == sum(l.total_macros for l in mapping.layers)
+        assert 0.0 < mapping.utilization() <= 1.0
+
+    def test_conv_positions_derived_from_geometry(self, rng):
+        model = build_model("lenet5_pecan_d", rng=rng)
+        mapping = map_model(model, (1, 28, 28))
+        conv1 = mapping.layer("features.0")
+        assert conv1.positions_per_image == 26 * 26
+        fc3 = mapping.layer("classifier.4")
+        assert fc3.positions_per_image == 1
+
+    def test_unknown_layer_lookup_raises(self, rng):
+        model = build_model("lenet5_pecan_d", rng=rng)
+        mapping = map_model(model, (1, 28, 28))
+        with pytest.raises(KeyError):
+            mapping.layer("does.not.exist")
+
+    def test_larger_macros_need_fewer_tiles(self, rng):
+        model = build_model("lenet5_pecan_d", rng=rng)
+        small = map_model(model, (1, 28, 28), CAMMacroSpec(rows=16, width=4))
+        large = map_model(model, (1, 28, 28), CAMMacroSpec(rows=128, width=32))
+        assert large.total_macros < small.total_macros
+
+    def test_activation_count_positive(self, rng):
+        model = build_model("lenet5_pecan_d", rng=rng)
+        mapping = map_model(model, (1, 28, 28))
+        assert mapping.activations_per_image() > 0

@@ -1,0 +1,151 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the complete PECAN life cycle — data → model → conversion →
+training → LUT deployment → pruning → hardware accounting — the way the
+examples and benchmarks do, but at the smallest scale that still covers every
+code path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import collect_prototype_usage
+from repro.autograd import Tensor, no_grad
+from repro.cam import CAMInferenceEngine, assert_multiplier_free, build_model_luts
+from repro.data import DataLoader, make_dataset
+from repro.experiments import ExperimentConfig, run_comparison, run_experiment
+from repro.hardware.cost_model import VIA_NANO, normalized_power
+from repro.hardware.opcount import count_model_ops
+from repro.models import LeNet5, build_model
+from repro.optim import Adam
+from repro.pecan import PECANTrainer, PQLayerConfig, convert_to_pecan
+from repro.pecan.convert import fold_model_batchnorm, pecan_layers
+from repro.pecan.training import initialize_codebooks_from_data
+
+
+@pytest.fixture(scope="module")
+def trained_pecan_d():
+    """A PECAN-D LeNet trained end to end at tiny scale (shared by the tests)."""
+    config = ExperimentConfig(dataset="mnist", arch="lenet5_pecan_d", width_multiplier=0.5,
+                              image_size=14, num_train=64, num_test=32, batch_size=16,
+                              epochs=2, learning_rate=0.01, seed=0, prototype_cap=8)
+    return run_experiment(config)
+
+
+class TestFullPipeline:
+    def test_training_produces_finite_history(self, trained_pecan_d):
+        history = trained_pecan_d.history
+        assert all(np.isfinite(history["train_loss"]))
+        assert len(history["epoch"]) == 2
+
+    def test_lut_inference_agrees_with_training_graph(self, trained_pecan_d):
+        _, test = make_dataset("mnist", num_train=8, num_test=16, image_size=14)
+        model = trained_pecan_d.model
+        model.eval()
+        with no_grad():
+            direct = model(Tensor(test.images)).data
+        engine = CAMInferenceEngine(model)
+        np.testing.assert_allclose(engine.predict(test.images), direct, atol=1e-8)
+
+    def test_trained_model_is_multiplier_free(self, trained_pecan_d):
+        _, test = make_dataset("mnist", num_train=8, num_test=4, image_size=14)
+        counter = assert_multiplier_free(trained_pecan_d.model, test.images, strict=True)
+        assert counter.multiplications == 0
+
+    def test_op_report_consistent_with_traced_counts(self, trained_pecan_d):
+        """Analytic Table-1 counts and the dynamically traced counts must agree
+        on the PECAN search/lookup additions (the traced path also counts bias adds)."""
+        _, test = make_dataset("mnist", num_train=8, num_test=1, image_size=14)
+        from repro.cam.verify import trace_inference_ops
+
+        traced = trace_inference_ops(trained_pecan_d.model, test.images[:1], per_sample=False)
+        analytic = trained_pecan_d.op_report
+        bias_adds = 0
+        for record in analytic.records:
+            hout, wout = record.output_hw
+            bias_adds += hout * wout * record.detail.get("cout", 0)
+        assert traced.additions == analytic.additions + bias_adds
+
+    def test_usage_collection_and_pruning(self, trained_pecan_d):
+        _, test = make_dataset("mnist", num_train=8, num_test=16, image_size=14)
+        usage = collect_prototype_usage(trained_pecan_d.model, test.images)
+        luts = build_model_luts(trained_pecan_d.model)
+        for layer in usage.layers:
+            pruned = luts[layer.name].prune_dead_prototypes(layer.counts)
+            assert pruned.prototypes_kept <= pruned.prototypes_total
+
+    def test_cost_model_prefers_pecan_d(self, trained_pecan_d, rng):
+        baseline = build_model("lenet5", width_multiplier=0.5, image_size=14, rng=rng)
+        baseline_ops = count_model_ops(baseline, (1, 14, 14)).total
+        pecan_ops = trained_pecan_d.op_report.total
+        power = normalized_power({"baseline": baseline_ops, "pecan_d": pecan_ops},
+                                 model=VIA_NANO)
+        assert power["pecan_d"] <= power["baseline"]
+
+
+class TestUniOptimizationPipeline:
+    def test_pretrain_convert_finetune_improves_over_random_prototypes(self, rng):
+        """The paper's MNIST recipe: pretrained weights + prototype finetuning
+        must beat the same model evaluated with random prototypes."""
+        train, test = make_dataset("mnist", num_train=96, num_test=48, image_size=14)
+        train_loader = DataLoader(train, batch_size=32, shuffle=True, seed=0)
+        test_loader = DataLoader(test, batch_size=32)
+
+        baseline = LeNet5(width_multiplier=1.0, image_size=14, rng=rng)
+        pretrainer = PECANTrainer(baseline, optimizer=Adam(baseline.parameters(), lr=0.01))
+        pretrainer.fit(train_loader, test_loader, epochs=3)
+
+        config = PQLayerConfig(num_prototypes=16, mode="distance", temperature=0.5)
+        converted = convert_to_pecan(baseline, config, rng=rng)
+        random_proto_accuracy = PECANTrainer(converted).evaluate(test_loader)
+
+        initialize_codebooks_from_data(converted, train_loader, rng=rng)
+        finetuner = PECANTrainer(converted, optimizer=Adam(converted.parameters(), lr=0.01),
+                                 strategy="uni")
+        history = finetuner.fit(train_loader, test_loader, epochs=2)
+        assert history.final_accuracy >= random_proto_accuracy
+
+    def test_batchnorm_folding_keeps_lut_inference_consistent(self, rng):
+        model = build_model("vgg_small_pecan_d", width_multiplier=0.05, image_size=16,
+                            prototype_cap=4, rng=rng)
+        # Give BN layers non-trivial statistics.
+        model.train()
+        images = rng.standard_normal((8, 3, 16, 16))
+        model(Tensor(images))
+        model.eval()
+
+        folded = fold_model_batchnorm(model)
+        with no_grad():
+            before = model(Tensor(images[:2])).data
+            after = folded(Tensor(images[:2])).data
+        np.testing.assert_allclose(before, after, atol=1e-8)
+        # After folding, the model passes the strict multiplier-free check.
+        assert_multiplier_free(folded, images[:1], strict=True)
+
+
+class TestComparisonHarness:
+    def test_three_way_comparison_shapes(self):
+        config = ExperimentConfig(dataset="mnist", arch="lenet5", width_multiplier=0.5,
+                                  image_size=14, num_train=48, num_test=24, batch_size=16,
+                                  epochs=1, learning_rate=0.01, seed=0, prototype_cap=8)
+        results = run_comparison(config, ["lenet5", "lenet5_pecan_a", "lenet5_pecan_d"])
+        # At this tiny width the PECAN-A count is not necessarily below the
+        # baseline (that relation is checked at paper scale in the op-count
+        # tests); here we check the structural properties of the comparison.
+        assert results["lenet5"].multiplications > 0
+        assert results["lenet5_pecan_a"].multiplications > 0
+        assert results["lenet5_pecan_d"].multiplications == 0
+        for result in results.values():
+            assert 0.0 <= result.accuracy <= 1.0
+
+    def test_pecan_layers_share_settings_with_op_report(self):
+        config = ExperimentConfig(dataset="mnist", arch="lenet5_pecan_d", width_multiplier=0.5,
+                                  image_size=14, num_train=32, num_test=16, batch_size=16,
+                                  epochs=1, seed=0, prototype_cap=8)
+        result = run_experiment(config)
+        layer_shapes = {name: layer.pq_shape() for name, layer in pecan_layers(result.model)}
+        for record in result.op_report.records:
+            p, groups, dim = layer_shapes[record.name]
+            assert record.detail["p"] == p
+            assert record.detail["D"] == groups
+            assert record.detail["d"] == dim

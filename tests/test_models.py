@@ -1,0 +1,297 @@
+"""Unit tests for the model zoo: architectures, registry and PQ settings tables."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.models import (
+    ConvMixer,
+    LeNet5,
+    LENET_LAYER_SPECS,
+    ResNetCIFAR,
+    VGGSmall,
+    available_models,
+    build_model,
+    lenet_pecan_config,
+    resnet20,
+    resnet32,
+    resnet_pecan_config,
+    vgg_small_pecan_config,
+)
+from repro.models.pq_settings import (
+    LENET_PECAN_A_SETTINGS,
+    LENET_PECAN_D_SETTINGS,
+    adapt_subvector_dim,
+    uniform_pecan_config,
+)
+from repro.nn.layers import Conv2d, Linear
+from repro.pecan.config import PECANMode
+from repro.pecan.convert import pecan_layers
+from repro.pecan.layers import PECANConv2d, PECANLinear
+
+
+class TestLeNet5:
+    def test_paper_scale_layer_shapes(self, rng):
+        """The architecture must match Appendix Table A1 exactly at paper scale."""
+        model = LeNet5(rng=rng)
+        conv1, conv2 = model.features[0], model.features[3]
+        fc1, fc2, fc3 = model.classifier[0], model.classifier[2], model.classifier[4]
+        assert (conv1.in_channels, conv1.out_channels, conv1.kernel_size) == (1, 8, 3)
+        assert (conv2.in_channels, conv2.out_channels) == (8, 16)
+        assert (fc1.in_features, fc1.out_features) == (400, 128)
+        assert (fc2.in_features, fc2.out_features) == (128, 64)
+        assert (fc3.in_features, fc3.out_features) == (64, 10)
+
+    def test_forward_shape(self, rng):
+        model = LeNet5(rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_intermediate_feature_sizes_match_table_a1(self, rng):
+        model = LeNet5(rng=rng)
+        x = Tensor(rng.standard_normal((1, 1, 28, 28)))
+        out = model.features[0](x)
+        assert out.shape == (1, 8, 26, 26)
+
+    def test_width_multiplier(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        assert model.features[0].out_channels == 4
+        out = model(Tensor(rng.standard_normal((1, 1, 28, 28))))
+        assert out.shape == (1, 10)
+
+    def test_custom_image_size(self, rng):
+        model = LeNet5(image_size=14, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 1, 14, 14))))
+        assert out.shape == (1, 10)
+
+    def test_layer_specs_table(self):
+        assert [spec.name for spec in LENET_LAYER_SPECS] == ["conv1", "conv2", "fc1", "fc2", "fc3"]
+        assert LENET_LAYER_SPECS[0].output_hw == (26, 26)
+        assert LENET_LAYER_SPECS[2].in_channels == 400
+
+
+class TestVGGSmall:
+    def test_forward_shape(self, rng):
+        model = VGGSmall(width_multiplier=0.1, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_paper_scale_channel_plan(self, rng):
+        model = VGGSmall(width_multiplier=1.0, rng=rng)
+        convs = [l for l in model.features if isinstance(l, Conv2d)]
+        assert [c.out_channels for c in convs] == [128, 128, 256, 256, 512, 512]
+
+    def test_single_fc_layer(self, rng):
+        """VGG-Small is 'a simplified VGGNet with only one fully-connected layer'."""
+        model = VGGSmall(width_multiplier=0.1, rng=rng)
+        linears = [m for m in model.modules() if isinstance(m, Linear)]
+        assert len(linears) == 1
+
+    def test_feature_map_sizes_match_table_a3(self, rng):
+        """Pairs of convolutions see 32×32, 16×16 and 8×8 maps respectively."""
+        model = VGGSmall(width_multiplier=0.1, rng=rng)
+        sizes = []
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 3, 32, 32)))
+        for layer in model.features:
+            if isinstance(layer, Conv2d):
+                sizes.append(x.shape[-1])
+            x = layer(x)
+        assert sizes == [32, 32, 16, 16, 8, 8]
+
+    def test_num_classes(self, rng):
+        model = VGGSmall(num_classes=100, width_multiplier=0.1, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 32, 32))))
+        assert out.shape == (1, 100)
+
+    def test_without_batchnorm(self, rng):
+        from repro.nn.layers import BatchNorm2d
+        model = VGGSmall(width_multiplier=0.1, batch_norm=False, rng=rng)
+        assert not any(isinstance(m, BatchNorm2d) for m in model.modules())
+
+
+class TestResNet:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ResNetCIFAR(depth=21)
+
+    def test_resnet20_has_20_compute_layers(self, rng):
+        model = resnet20(width_multiplier=0.25, rng=rng)
+        count = sum(1 for m in model.modules() if isinstance(m, (Conv2d, Linear)))
+        assert count == 20
+
+    def test_resnet32_has_32_compute_layers(self, rng):
+        model = resnet32(width_multiplier=0.25, rng=rng)
+        count = sum(1 for m in model.modules() if isinstance(m, (Conv2d, Linear)))
+        assert count == 32
+
+    def test_forward_shape(self, rng):
+        model = resnet20(width_multiplier=0.25, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_forward_smaller_input(self, rng):
+        model = resnet20(width_multiplier=0.25, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_paper_scale_widths(self, rng):
+        model = resnet20(rng=rng)
+        assert model.widths == [16, 32, 64]
+
+    def test_option_a_shortcut_parameter_free(self, rng):
+        """Downsampling shortcuts must not introduce extra trainable parameters."""
+        from repro.models.resnet import DownsampleA
+        model = resnet20(width_multiplier=0.25, rng=rng)
+        shortcuts = [m for m in model.modules() if isinstance(m, DownsampleA)]
+        assert shortcuts
+        assert all(len(s.parameters()) == 0 for s in shortcuts)
+
+    def test_downsample_a_shape(self, rng):
+        from repro.models.resnet import DownsampleA
+        layer = DownsampleA(4, 8, stride=2)
+        out = layer(Tensor(rng.standard_normal((2, 4, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_downsample_a_preserves_input_in_middle_channels(self, rng):
+        from repro.models.resnet import DownsampleA
+        layer = DownsampleA(2, 6, stride=1)
+        x = rng.standard_normal((1, 2, 4, 4))
+        out = layer(Tensor(x)).data
+        np.testing.assert_array_equal(out[:, 2:4], x)
+        np.testing.assert_array_equal(out[:, :2], 0)
+        np.testing.assert_array_equal(out[:, 4:], 0)
+
+
+class TestConvMixer:
+    def test_forward_shape(self, rng):
+        model = ConvMixer(num_classes=20, hidden_dim=16, depth=2, image_size=32,
+                          patch_size=4, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 32, 32))))
+        assert out.shape == (1, 20)
+
+    def test_depth_and_kernel_defaults_match_appendix_d(self, rng):
+        model = ConvMixer(hidden_dim=8, rng=rng)
+        assert model.depth == 8
+        assert model.kernel_size == 5
+
+    def test_width_multiplier(self, rng):
+        model = ConvMixer(hidden_dim=32, width_multiplier=0.5, depth=1, rng=rng)
+        assert model.hidden_dim == 16
+
+    def test_block_count(self, rng):
+        model = ConvMixer(hidden_dim=8, depth=3, rng=rng)
+        assert len(model.blocks) == 3
+
+
+class TestRegistry:
+    def test_available_models_contains_all_variants(self):
+        names = available_models()
+        assert "resnet20" in names
+        assert "resnet20_pecan_a" in names
+        assert "vgg_small_pecan_d" in names
+        assert "lenet5_pecan_d" in names
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_baseline_build(self, rng):
+        model = build_model("lenet5", rng=rng)
+        assert isinstance(model, LeNet5)
+        assert not pecan_layers(model)
+
+    def test_pecan_a_build_converts_layers(self, rng):
+        model = build_model("lenet5_pecan_a", rng=rng)
+        layers = pecan_layers(model)
+        assert len(layers) == 5
+        assert all(layer.config.mode is PECANMode.ANGLE for _, layer in layers)
+
+    def test_pecan_d_build_converts_layers(self, rng):
+        model = build_model("lenet5_pecan_d", rng=rng)
+        assert all(layer.config.mode is PECANMode.DISTANCE
+                   for _, layer in pecan_layers(model))
+
+    def test_convmixer_pecan_skips_first_and_last(self, rng):
+        model = build_model("convmixer_pecan_d", num_classes=10, hidden_dim=8, depth=1,
+                            image_size=16, patch_size=4, rng=rng)
+        # The patch-embedding conv and the classifier stay conventional.
+        assert isinstance(model.patch_embedding[0], Conv2d)
+        assert not isinstance(model.patch_embedding[0], PECANConv2d)
+        assert isinstance(model.classifier, Linear)
+        assert not isinstance(model.classifier, PECANLinear)
+        assert pecan_layers(model)
+
+    def test_unknown_kwargs_filtered(self, rng):
+        # image_size is not a ResNet constructor argument and must be ignored.
+        model = build_model("resnet20", width_multiplier=0.25, image_size=32, rng=rng)
+        assert isinstance(model, ResNetCIFAR)
+
+
+class TestPQSettings:
+    def test_adapt_subvector_dim_exact(self):
+        assert adapt_subvector_dim(9, 72) == 9
+
+    def test_adapt_subvector_dim_falls_back_to_divisor(self):
+        assert adapt_subvector_dim(16, 36) == 12
+        assert adapt_subvector_dim(5, 8) == 4
+
+    def test_lenet_pecan_a_settings_match_table_a2(self, rng):
+        model = build_model("lenet5_pecan_a", rng=rng)
+        layers = dict(pecan_layers(model))
+        expected = {
+            "features.0": LENET_PECAN_A_SETTINGS["conv1"],
+            "features.3": LENET_PECAN_A_SETTINGS["conv2"],
+            "classifier.0": LENET_PECAN_A_SETTINGS["fc1"],
+            "classifier.2": LENET_PECAN_A_SETTINGS["fc2"],
+            "classifier.4": LENET_PECAN_A_SETTINGS["fc3"],
+        }
+        for name, (p, D, d) in expected.items():
+            layer = layers[name]
+            assert layer.pq_shape() == (p, D, d), name
+
+    def test_lenet_pecan_d_settings_match_table_a2(self, rng):
+        model = build_model("lenet5_pecan_d", rng=rng)
+        layers = dict(pecan_layers(model))
+        for name, key in [("features.0", "conv1"), ("features.3", "conv2"),
+                          ("classifier.0", "fc1"), ("classifier.2", "fc2"),
+                          ("classifier.4", "fc3")]:
+            p, D, d = LENET_PECAN_D_SETTINGS[key]
+            assert layers[name].pq_shape() == (p, D, d), name
+
+    def test_vgg_small_settings_temperatures(self, rng):
+        provider = vgg_small_pecan_config("distance")
+        conv = Conv2d(128, 128, 3, rng=rng)
+        config = provider(2, conv)
+        assert config.num_prototypes == 32
+        assert config.temperature == 0.5
+
+    def test_resnet_provider_stage_boundaries(self, rng):
+        provider = resnet_pecan_config("angle", depth=20)
+        stem = Conv2d(3, 16, 3, rng=rng)
+        stage1_conv = Conv2d(16, 16, 3, rng=rng)
+        stage2_conv = Conv2d(32, 32, 3, rng=rng)
+        fc = Linear(64, 10, rng=rng)
+        assert provider(0, stem).subvector_dim == 9
+        assert provider(3, stage1_conv).subvector_dim == 9
+        assert provider(8, stage2_conv).subvector_dim == 16
+        assert provider(19, fc).subvector_dim == 16
+
+    def test_uniform_provider(self, rng):
+        provider = uniform_pecan_config("distance", num_prototypes=16, subvector_dim=3)
+        conv = Conv2d(8, 8, 3, rng=rng)
+        config = provider(0, conv)
+        assert config.num_prototypes == 16
+        assert config.subvector_dim == 3
+        fc = Linear(30, 10, rng=rng)
+        assert 30 % provider(1, fc).subvector_dim == 0
+
+    def test_paper_scale_resnet_conversion_total_groups(self, rng):
+        """Every converted layer must satisfy D·d = cin·k²."""
+        model = build_model("resnet20_pecan_d", rng=rng)
+        for name, layer in pecan_layers(model):
+            if isinstance(layer, PECANConv2d):
+                total = layer.in_channels * layer.kernel_size ** 2
+            else:
+                total = layer.in_features
+            p, D, d = layer.pq_shape()
+            assert D * d == total, name

@@ -1,0 +1,261 @@
+"""Unit tests for the nn module system: Module, Parameter, layers, Sequential, losses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, check_gradient
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered(self):
+        layer = nn.Linear(4, 3)
+        names = [name for name, _ in layer.named_parameters()]
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_parameter_names(self):
+        model = nn.Sequential(nn.Linear(4, 4), nn.ReLU(), nn.Linear(4, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_num_parameters(self):
+        layer = nn.Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_modules_iteration(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert sum(1 for _ in model.modules()) == 3   # self + 2 children
+
+    def test_children(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert len(list(model.children())) == 2
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert not model.training
+        assert not model[1].training
+        model.train()
+        assert model[1].training
+
+    def test_zero_grad(self, rng):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(rng.standard_normal((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_freeze_unfreeze(self):
+        layer = nn.Linear(3, 2)
+        layer.freeze()
+        assert not layer.weight.requires_grad
+        layer.unfreeze()
+        assert layer.weight.requires_grad
+
+    def test_state_dict_roundtrip(self, rng):
+        a = nn.Sequential(nn.Linear(3, 3), nn.BatchNorm1d(3))
+        b = nn.Sequential(nn.Linear(3, 3), nn.BatchNorm1d(3))
+        a[0].weight.data = rng.standard_normal((3, 3))
+        a[1].running_mean[:] = 5.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b[0].weight.data, a[0].weight.data)
+        np.testing.assert_array_equal(b[1].running_mean, a[1].running_mean)
+
+    def test_state_dict_strict_unknown_key_raises(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        state["nonexistent"] = np.zeros(2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_state_dict_strict_missing_key_raises(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_module_list(self):
+        items = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(items) == 2
+        assert len(list(items.parameters())) == 4
+        with pytest.raises(RuntimeError):
+            items(Tensor(np.zeros((1, 2))))
+
+
+class TestInit:
+    def test_kaiming_normal_scale(self, rng):
+        weight = Parameter(np.empty((256, 128)))
+        init.kaiming_normal_(weight, rng=rng)
+        expected_std = np.sqrt(2.0 / 128)
+        assert weight.data.std() == pytest.approx(expected_std, rel=0.15)
+
+    def test_kaiming_uniform_bounds(self, rng):
+        weight = Parameter(np.empty((64, 64, 3, 3)))
+        init.kaiming_uniform_(weight, rng=rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / (64 * 9))
+        assert np.abs(weight.data).max() <= bound + 1e-12
+
+    def test_xavier_normal(self, rng):
+        weight = Parameter(np.empty((200, 100)))
+        init.xavier_normal_(weight, rng=rng)
+        expected_std = np.sqrt(2.0 / 300)
+        assert weight.data.std() == pytest.approx(expected_std, rel=0.15)
+
+    def test_xavier_uniform_bounds(self, rng):
+        weight = Parameter(np.empty((50, 30)))
+        init.xavier_uniform_(weight, rng=rng)
+        bound = np.sqrt(6.0 / 80)
+        assert np.abs(weight.data).max() <= bound + 1e-12
+
+    def test_constant_zeros_ones(self):
+        weight = Parameter(np.empty(5))
+        init.constant_(weight, 3.0)
+        np.testing.assert_array_equal(weight.data, np.full(5, 3.0))
+        init.zeros_(weight)
+        np.testing.assert_array_equal(weight.data, np.zeros(5))
+        init.ones_(weight)
+        np.testing.assert_array_equal(weight.data, np.ones(5))
+
+    def test_uniform_and_normal(self, rng):
+        weight = Parameter(np.empty(1000))
+        init.uniform_(weight, -2.0, 2.0, rng=rng)
+        assert -2.0 <= weight.data.min() and weight.data.max() <= 2.0
+        init.normal_(weight, mean=1.0, std=0.1, rng=rng)
+        assert weight.data.mean() == pytest.approx(1.0, abs=0.05)
+
+
+class TestLayers:
+    def test_conv2d_output_shape(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=1, padding=1, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 10, 10))))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_conv2d_no_bias(self, rng):
+        layer = nn.Conv2d(3, 8, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv2d_output_spatial_helper(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer.output_spatial(32, 32) == (16, 16)
+
+    def test_linear_gradcheck(self, rng):
+        layer = nn.Linear(5, 4, rng=rng)
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        ok, err = check_gradient(lambda t: layer(t), [x])
+        assert ok, err
+
+    def test_batchnorm2d_shapes_and_params(self, rng):
+        layer = nn.BatchNorm2d(6)
+        out = layer(Tensor(rng.standard_normal((4, 6, 5, 5))))
+        assert out.shape == (4, 6, 5, 5)
+        assert len(layer.parameters()) == 2
+
+    def test_batchnorm_eval_deterministic(self, rng):
+        layer = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((4, 3, 5, 5)))
+        layer.train()
+        layer(x)
+        layer.eval()
+        out1 = layer(x).data
+        out2 = layer(x).data
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_relu_layer(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 1.0])))
+        np.testing.assert_allclose(out.data, [0.0, 1.0])
+
+    def test_gelu_layer(self):
+        out = nn.GELU()(Tensor(np.array([0.0])))
+        assert out.data[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_maxpool_layer(self, rng):
+        out = nn.MaxPool2d(2)(Tensor(rng.standard_normal((1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_avgpool_layer(self, rng):
+        out = nn.AvgPool2d(2)(Tensor(rng.standard_normal((1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool_layer(self, rng):
+        out = nn.GlobalAvgPool2d()(Tensor(rng.standard_normal((2, 7, 4, 4))))
+        assert out.shape == (2, 7)
+
+    def test_flatten_layer(self, rng):
+        out = nn.Flatten()(Tensor(rng.standard_normal((2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+
+    def test_dropout_eval_identity(self, rng):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = Tensor(rng.standard_normal((5, 5)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_identity_layer(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)))
+        assert nn.Identity()(x) is x
+
+
+class TestSequential:
+    def test_forward_chains_layers(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        out = model(Tensor(rng.standard_normal((5, 4))))
+        assert out.shape == (5, 2)
+
+    def test_indexing_and_len(self):
+        model = nn.Sequential(nn.ReLU(), nn.Flatten())
+        assert len(model) == 2
+        assert isinstance(model[0], nn.ReLU)
+
+    def test_append(self):
+        model = nn.Sequential(nn.ReLU())
+        model.append(nn.Flatten())
+        assert len(model) == 2
+        assert "1" in model._modules
+
+    def test_iteration(self):
+        layers = [nn.ReLU(), nn.Flatten()]
+        model = nn.Sequential(*layers)
+        assert list(model) == layers
+
+
+class TestLosses:
+    def test_cross_entropy_loss_module(self, rng):
+        criterion = nn.CrossEntropyLoss()
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        loss = criterion(logits, np.array([0, 1, 2, 0]))
+        assert loss.size == 1
+        loss.backward()
+        assert logits.grad is not None
+
+    def test_cross_entropy_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = nn.CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert float(loss.data) < 1e-6
+
+    def test_mse_loss_module(self):
+        loss = nn.MSELoss()(Tensor(np.array([2.0])), Tensor(np.array([0.0])))
+        assert float(loss.data) == pytest.approx(4.0)
+
+
+class TestEndToEndTraining:
+    def test_tiny_mlp_learns_xor(self, rng):
+        """A 2-layer MLP must fit XOR — sanity check of the whole substrate."""
+        from repro.optim import Adam
+        from repro.autograd import functional as F
+
+        x = Tensor(np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]]))
+        y = np.array([0, 1, 1, 0])
+        model = nn.Sequential(nn.Linear(2, 16, rng=rng), nn.ReLU(), nn.Linear(16, 2, rng=rng))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            logits = model(x)
+            loss = F.cross_entropy(logits, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert F.accuracy(model(x), y) == 1.0

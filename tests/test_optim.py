@@ -1,0 +1,180 @@
+"""Unit tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, CosineAnnealingLR, MultiStepLR, StepLR
+from repro.optim.optimizer import Optimizer
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Simple convex objective ``sum((w - 3)^2)`` minimized at w = 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestOptimizerBase:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.ones(3)
+        optimizer = SGD([p], lr=0.1)
+        optimizer.zero_grad()
+        assert p.grad is None
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        optimizer = SGD([p], lr=0.1)
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_no_grads(self):
+        optimizer = SGD([Parameter(np.zeros(2))], lr=0.1)
+        assert optimizer.clip_grad_norm(1.0) == 0.0
+
+    def test_frozen_params_not_updated(self):
+        p = Parameter(np.zeros(2))
+        p.requires_grad = False
+        p.grad = np.ones(2)
+        SGD([p], lr=1.0).step()
+        np.testing.assert_array_equal(p.data, np.zeros(2))
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        optimizer = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-2)
+
+    def test_momentum_accelerates(self):
+        plain, momentum = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for p, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                loss = quadratic_loss(p)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.data[0] < 1.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        optimizer = Adam([p], lr=0.3)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-2)
+
+    def test_first_step_size_close_to_lr(self):
+        p = Parameter(np.array([0.0]))
+        p.grad = np.array([10.0])
+        Adam([p], lr=0.1).step()
+        # Bias correction makes the first update ≈ lr regardless of gradient scale.
+        assert abs(p.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_weight_decay_l2(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.0])
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert p.data[0] < 1.0
+
+    def test_adamw_decoupled_decay(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.0])
+        AdamW([p], lr=0.1, weight_decay=0.5).step()
+        # Decoupled decay multiplies by (1 - lr*wd) = 0.95; gradient term is 0.
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_skips_params_without_grad(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        p1.grad = np.array([1.0])
+        optimizer = Adam([p1, p2], lr=0.1)
+        optimizer.step()
+        assert p1.data[0] != 0.0
+        assert p2.data[0] == 0.0
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_step_lr(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(5)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_step_lr_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+
+    def test_multistep_lr(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.5)
+        lrs = [scheduler.step() for _ in range(5)]
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_annealing_endpoints(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        lrs = [scheduler.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-12)
+        assert all(earlier >= later for earlier, later in zip(lrs, lrs[1:]))
+
+    def test_cosine_invalid_tmax(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), t_max=0)
+
+    def test_scheduler_updates_optimizer_lr(self):
+        optimizer = self._optimizer(lr=0.5)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.05)
+        assert scheduler.current_lr == optimizer.lr
+
+    def test_paper_mnist_schedule(self):
+        """The paper decays every 50 epochs from 0.01 — check the realized trajectory."""
+        optimizer = self._optimizer(lr=0.01)
+        scheduler = StepLR(optimizer, step_size=50, gamma=0.1)
+        trajectory = [scheduler.step() for _ in range(150)]
+        assert trajectory[0] == pytest.approx(0.01)
+        assert trajectory[49] == pytest.approx(0.001)
+        assert trajectory[99] == pytest.approx(0.0001)

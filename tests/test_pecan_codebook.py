@@ -1,0 +1,136 @@
+"""Unit tests for the Codebook module."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.pecan.codebook import Codebook
+from repro.pecan.config import PECANMode, PQLayerConfig
+
+
+class TestCodebookConstruction:
+    def test_prototype_shape(self):
+        codebook = Codebook(num_groups=4, subvector_dim=9, num_prototypes=16)
+        assert codebook.prototypes.shape == (4, 9, 16)
+
+    def test_prototypes_are_trainable_parameters(self):
+        codebook = Codebook(2, 3, 4)
+        assert codebook.prototypes.requires_grad
+        assert len(codebook.parameters()) == 1
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            Codebook(0, 3, 4)
+        with pytest.raises(ValueError):
+            Codebook(2, 0, 4)
+        with pytest.raises(ValueError):
+            Codebook(2, 3, 0)
+
+    def test_seeded_initialization_deterministic(self):
+        a = Codebook(2, 3, 4, rng=np.random.default_rng(5))
+        b = Codebook(2, 3, 4, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.prototypes.data, b.prototypes.data)
+
+    def test_memory_accounting(self):
+        codebook = Codebook(num_groups=3, subvector_dim=9, num_prototypes=64)
+        assert codebook.num_prototype_values() == 3 * 9 * 64
+        assert codebook.lut_entries(out_features=16) == 3 * 64 * 16
+
+
+class TestInitializeFromData:
+    def test_prototypes_move_into_data_range(self, rng):
+        codebook = Codebook(2, 4, 8, rng=rng)
+        data = rng.standard_normal((3, 2, 4, 10)) * 0.01 + 5.0
+        codebook.initialize_from_data(data, rng=rng)
+        assert codebook.prototypes.data.mean() == pytest.approx(5.0, abs=0.5)
+
+    def test_shape_mismatch_raises(self, rng):
+        codebook = Codebook(2, 4, 8)
+        with pytest.raises(ValueError):
+            codebook.initialize_from_data(rng.standard_normal((3, 5, 4, 10)))
+
+    def test_kmeans_reduces_quantization_error(self, rng):
+        codebook = Codebook(1, 4, 8, rng=rng)
+        data = rng.standard_normal((4, 1, 4, 32))
+        config = PQLayerConfig(num_prototypes=8, subvector_dim=4, mode=PECANMode.DISTANCE)
+
+        def error():
+            x = Tensor(data)
+            quantized = codebook.quantize(x, config).data
+            return float(np.abs(quantized - data).mean())
+
+        before = error()
+        codebook.initialize_from_data(data, rng=rng, kmeans_iters=8)
+        after = error()
+        assert after < before
+
+    def test_handles_fewer_samples_than_prototypes(self, rng):
+        codebook = Codebook(1, 3, 16, rng=rng)
+        data = rng.standard_normal((1, 1, 3, 4))   # only 4 subvectors for 16 prototypes
+        codebook.initialize_from_data(data, rng=rng)
+        assert codebook.prototypes.shape == (1, 3, 16)
+
+
+class TestAssignAndQuantize:
+    def test_angle_assignment_shape(self, rng, angle_config):
+        codebook = Codebook(3, 9, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 9, 6)))
+        config = PQLayerConfig(num_prototypes=4, subvector_dim=9, mode=PECANMode.ANGLE)
+        assert codebook.assign(x, config).shape == (2, 3, 4, 6)
+
+    def test_distance_assignment_is_one_hot(self, rng):
+        codebook = Codebook(3, 9, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 9, 6)))
+        config = PQLayerConfig(num_prototypes=4, subvector_dim=9, mode=PECANMode.DISTANCE,
+                               temperature=0.5)
+        out = codebook.assign(x, config).data
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_quantize_returns_input_shape(self, rng):
+        codebook = Codebook(2, 5, 7, rng=rng)
+        x = Tensor(rng.standard_normal((3, 2, 5, 4)))
+        config = PQLayerConfig(num_prototypes=7, subvector_dim=5, mode=PECANMode.DISTANCE,
+                               temperature=0.5)
+        assert codebook.quantize(x, config).shape == x.shape
+
+    def test_distance_quantization_outputs_are_prototypes(self, rng):
+        codebook = Codebook(1, 3, 5, rng=rng)
+        x = Tensor(rng.standard_normal((2, 1, 3, 8)))
+        config = PQLayerConfig(num_prototypes=5, subvector_dim=3, mode=PECANMode.DISTANCE,
+                               temperature=0.5)
+        quantized = codebook.quantize(x, config).data
+        prototypes = codebook.prototypes.data[0].T          # (p, d)
+        for n in range(2):
+            for i in range(8):
+                vector = quantized[n, 0, :, i]
+                distances = np.abs(prototypes - vector).sum(axis=1)
+                assert distances.min() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestUsageStatistics:
+    def test_hard_indices_shape(self, rng):
+        codebook = Codebook(2, 3, 4, rng=rng)
+        x = rng.standard_normal((5, 2, 3, 7))
+        assert codebook.hard_indices(x).shape == (5, 2, 7)
+
+    def test_usage_counts_sum_to_num_queries(self, rng):
+        codebook = Codebook(2, 3, 4, rng=rng)
+        x = rng.standard_normal((5, 2, 3, 7))
+        counts = codebook.usage_counts(x)
+        assert counts.shape == (2, 4)
+        np.testing.assert_array_equal(counts.sum(axis=1), [35, 35])
+
+    def test_dead_prototypes_flagged(self, rng):
+        codebook = Codebook(1, 2, 3, rng=rng)
+        # Put one prototype far away from any plausible data point.
+        codebook.prototypes.data[0, :, 2] = 1e6
+        x = rng.standard_normal((4, 1, 2, 9))
+        dead = codebook.dead_prototypes(x)
+        assert dead[0, 2]
+
+    def test_usage_counts_match_manual_histogram(self, rng):
+        codebook = Codebook(1, 2, 4, rng=rng)
+        x = rng.standard_normal((3, 1, 2, 5))
+        indices = codebook.hard_indices(x)
+        manual = np.bincount(indices.reshape(-1), minlength=4)
+        np.testing.assert_array_equal(codebook.usage_counts(x)[0], manual)

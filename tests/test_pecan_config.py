@@ -1,0 +1,91 @@
+"""Unit tests for PQLayerConfig and PECANMode."""
+
+import pytest
+
+from repro.pecan.config import PECANMode, PQLayerConfig
+
+
+class TestPECANMode:
+    @pytest.mark.parametrize("value,expected", [
+        ("angle", PECANMode.ANGLE),
+        ("A", PECANMode.ANGLE),
+        ("PECAN-A", PECANMode.ANGLE),
+        ("dot", PECANMode.ANGLE),
+        ("distance", PECANMode.DISTANCE),
+        ("d", PECANMode.DISTANCE),
+        ("PECAN-D", PECANMode.DISTANCE),
+        ("adder", PECANMode.DISTANCE),
+        ("l1", PECANMode.DISTANCE),
+        (PECANMode.ANGLE, PECANMode.ANGLE),
+    ])
+    def test_parse(self, value, expected):
+        assert PECANMode.parse(value) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            PECANMode.parse("cosine")
+
+    def test_string_value(self):
+        assert PECANMode.ANGLE.value == "angle"
+        assert PECANMode.DISTANCE.value == "distance"
+
+
+class TestPQLayerConfig:
+    def test_defaults(self):
+        config = PQLayerConfig()
+        assert config.num_prototypes == 8
+        assert config.mode is PECANMode.ANGLE
+        assert config.temperature == 1.0
+
+    def test_mode_coercion_from_string(self):
+        config = PQLayerConfig(mode="distance")
+        assert config.mode is PECANMode.DISTANCE
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_prototypes": 0},
+        {"num_prototypes": -1},
+        {"subvector_dim": 0},
+        {"temperature": 0.0},
+        {"temperature": -1.0},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            PQLayerConfig(**kwargs)
+
+    def test_resolve_dim_default_is_k_squared(self):
+        config = PQLayerConfig(subvector_dim=None)
+        assert config.resolve_dim(total_dim=72, kernel_size=3) == 9
+
+    def test_resolve_dim_explicit(self):
+        config = PQLayerConfig(subvector_dim=24)
+        assert config.resolve_dim(total_dim=72, kernel_size=3) == 24
+
+    def test_resolve_dim_indivisible_raises(self):
+        config = PQLayerConfig(subvector_dim=7)
+        with pytest.raises(ValueError):
+            config.resolve_dim(total_dim=72, kernel_size=3)
+
+    def test_num_groups(self):
+        config = PQLayerConfig(subvector_dim=9)
+        assert config.num_groups(total_dim=72, kernel_size=3) == 8
+
+    def test_num_groups_times_dim_equals_total(self):
+        """The paper's constraint D·d = cin·k² must always hold."""
+        for d in (3, 9, 24, 36, 72):
+            config = PQLayerConfig(subvector_dim=d)
+            assert config.num_groups(72, 3) * d == 72
+
+    def test_default_for_angle(self):
+        config = PQLayerConfig.default_for("angle")
+        assert config.num_prototypes == 8
+        assert config.temperature == 1.0
+
+    def test_default_for_distance(self):
+        config = PQLayerConfig.default_for("distance")
+        assert config.num_prototypes == 64
+        assert config.temperature == 0.5
+
+    def test_default_for_respects_overrides(self):
+        config = PQLayerConfig.default_for("distance", num_prototypes=32, subvector_dim=3)
+        assert config.num_prototypes == 32
+        assert config.subvector_dim == 3

@@ -1,0 +1,173 @@
+"""Unit tests for model conversion (Conv/Linear → PECAN) and batch-norm folding."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, no_grad
+from repro.models import LeNet5, VGGSmall
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.convert import (
+    convert_to_pecan,
+    fold_batchnorm,
+    fold_model_batchnorm,
+    pecan_layers,
+    set_pecan_mode_temperature,
+)
+from repro.pecan.layers import PECANConv2d, PECANLinear
+
+
+class TestConvertToPecan:
+    def test_replaces_all_compute_layers(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        config = PQLayerConfig(num_prototypes=4, mode=PECANMode.ANGLE)
+        converted = convert_to_pecan(model, config, rng=rng)
+        layers = pecan_layers(converted)
+        assert len(layers) == 5            # 2 conv + 3 fc
+        assert all(isinstance(l, (PECANConv2d, PECANLinear)) for _, l in layers)
+
+    def test_original_model_untouched(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        convert_to_pecan(model, PQLayerConfig(num_prototypes=4), rng=rng)
+        assert not pecan_layers(model)
+
+    def test_weights_copied(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_pecan(model, PQLayerConfig(num_prototypes=4), rng=rng)
+        original_conv = model.features[0]
+        converted_conv = converted.features[0]
+        np.testing.assert_array_equal(original_conv.weight.data, converted_conv.weight.data)
+        np.testing.assert_array_equal(original_conv.bias.data, converted_conv.bias.data)
+
+    def test_copy_weights_false_randomizes(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_pecan(model, PQLayerConfig(num_prototypes=4), rng=rng,
+                                     copy_weights=False)
+        assert not np.array_equal(model.features[0].weight.data,
+                                  converted.features[0].weight.data)
+
+    def test_skip_first_and_last(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_pecan(model, PQLayerConfig(num_prototypes=4), rng=rng,
+                                     skip_first=True, skip_last=True)
+        assert len(pecan_layers(converted)) == 3
+        assert isinstance(converted.features[0], nn.Conv2d)
+        assert not isinstance(converted.features[0], PECANConv2d)
+        assert isinstance(converted.classifier[4], nn.Linear)
+        assert not isinstance(converted.classifier[4], PECANLinear)
+
+    def test_callable_provider_per_layer(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+
+        def provider(index, module):
+            if index == 0:
+                return None                              # leave the first conv alone
+            return PQLayerConfig(num_prototypes=2 + index, mode=PECANMode.DISTANCE,
+                                 temperature=0.5)
+
+        converted = convert_to_pecan(model, provider, rng=rng)
+        layers = pecan_layers(converted)
+        assert len(layers) == 4
+        assert layers[0][1].config.num_prototypes == 3    # index 1
+
+    def test_converted_model_forward_shapes(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_pecan(model, PQLayerConfig(num_prototypes=4, mode="distance",
+                                                          temperature=0.5), rng=rng)
+        out = converted(Tensor(rng.standard_normal((2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_sequential_container_consistency(self, rng):
+        """Replacement must update both the module dict and the Sequential layer list."""
+        model = VGGSmall(width_multiplier=0.05, rng=rng)
+        converted = convert_to_pecan(model, PQLayerConfig(num_prototypes=4), rng=rng)
+        for layer in converted.features:
+            if isinstance(layer, PECANConv2d):
+                break
+        else:
+            pytest.fail("Sequential iteration does not see the converted layers")
+
+    def test_set_temperature_override(self, rng):
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_pecan(model, PQLayerConfig(num_prototypes=4), rng=rng)
+        set_pecan_mode_temperature(converted, 7.5)
+        assert all(layer.config.temperature == 7.5 for _, layer in pecan_layers(converted))
+
+    def test_uni_optimization_workflow_preserves_pretrained_outputs(self, rng):
+        """Angle-mode conversion with copied weights keeps outputs finite and deterministic."""
+        model = LeNet5(width_multiplier=0.5, rng=rng)
+        converted = convert_to_pecan(model, PQLayerConfig(num_prototypes=8), rng=rng)
+        x = Tensor(rng.standard_normal((2, 1, 28, 28)))
+        converted.eval()
+        with no_grad():
+            a = converted(x).data
+            b = converted(x).data
+        np.testing.assert_array_equal(a, b)
+        assert np.isfinite(a).all()
+
+
+class TestBatchNormFolding:
+    def test_fold_batchnorm_math(self, rng):
+        conv_weight = rng.standard_normal((4, 3, 3, 3))
+        conv_bias = rng.standard_normal(4)
+        bn = nn.BatchNorm2d(4)
+        bn.weight.data = rng.standard_normal(4) + 1.0
+        bn.bias.data = rng.standard_normal(4)
+        bn.running_mean[:] = rng.standard_normal(4)
+        bn.running_var[:] = np.abs(rng.standard_normal(4)) + 0.5
+
+        folded_w, folded_b = fold_batchnorm(conv_weight, conv_bias, bn)
+        scale = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+        np.testing.assert_allclose(folded_w, conv_weight * scale.reshape(-1, 1, 1, 1))
+        np.testing.assert_allclose(folded_b, (conv_bias - bn.running_mean) * scale + bn.bias.data)
+
+    def test_fold_batchnorm_none_bias(self, rng):
+        bn = nn.BatchNorm2d(2)
+        folded_w, folded_b = fold_batchnorm(rng.standard_normal((2, 1, 3, 3)), None, bn)
+        assert folded_b.shape == (2,)
+
+    def test_fold_model_batchnorm_preserves_eval_output(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+        )
+        # Give BN non-trivial running statistics.
+        model.train()
+        for _ in range(3):
+            model(Tensor(rng.standard_normal((8, 3, 6, 6))))
+        model.eval()
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        with no_grad():
+            before = model(x).data
+        folded = fold_model_batchnorm(model)
+        folded.eval()
+        with no_grad():
+            after = folded(x).data
+        np.testing.assert_allclose(before, after, atol=1e-10)
+
+    def test_fold_model_batchnorm_removes_bn_layers(self, rng):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, rng=rng), nn.BatchNorm2d(4))
+        folded = fold_model_batchnorm(model)
+        assert not any(isinstance(m, nn.BatchNorm2d) for m in folded.modules())
+
+    def test_fold_model_batchnorm_pecan_conv(self, rng):
+        """BN folding also applies to PECANConv2d so PECAN-D can deploy multiplier-free."""
+        from repro.pecan.config import PQLayerConfig
+
+        config = PQLayerConfig(num_prototypes=4, mode="distance", temperature=0.5)
+        model = nn.Sequential(
+            PECANConv2d(3, 4, 3, config=config, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(4),
+        )
+        model.train()
+        model(Tensor(rng.standard_normal((4, 3, 6, 6))))
+        model.eval()
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        with no_grad():
+            before = model(x).data
+        folded = fold_model_batchnorm(model)
+        folded.eval()
+        with no_grad():
+            after = folded(x).data
+        np.testing.assert_allclose(before, after, atol=1e-10)

@@ -1,0 +1,220 @@
+"""Unit tests for PECANConv2d / PECANLinear and the group-permutation logic."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.layers import PECANConv2d, PECANLinear, build_group_permutation
+
+
+class TestGroupPermutation:
+    def test_channel_layout_for_k_squared(self):
+        perm, inverse, layout = build_group_permutation(8, 3, 9)
+        assert layout == "channel"
+        np.testing.assert_array_equal(perm, np.arange(72))
+
+    def test_channel_layout_for_sub_kernel_dims(self):
+        _, _, layout = build_group_permutation(8, 3, 3)
+        assert layout == "channel"
+
+    def test_channel_layout_for_whole_channel_multiples(self):
+        _, _, layout = build_group_permutation(8, 3, 18)
+        assert layout == "channel"
+
+    def test_spatial_layout_for_cin_dimension(self):
+        perm, inverse, layout = build_group_permutation(16, 3, 16)
+        assert layout == "spatial"
+        # Applying then inverting the permutation must be the identity.
+        np.testing.assert_array_equal(perm[inverse], np.arange(16 * 9))
+
+    def test_spatial_permutation_groups_same_kernel_position(self):
+        cin, k = 4, 3
+        perm, _, layout = build_group_permutation(cin, k, cin)
+        assert layout == "spatial"
+        # First group (first cin rows after permutation) = kernel position 0 of every channel.
+        expected = np.array([c * k * k + 0 for c in range(cin)])
+        np.testing.assert_array_equal(perm[:cin], expected)
+
+    def test_generic_fallback_contiguous(self):
+        # d=24 with cin=8, k=3 (Table A2 CONV2 PECAN-A setting): neither k² nor cin divides.
+        perm, _, layout = build_group_permutation(8, 3, 24)
+        assert layout == "channel"
+        np.testing.assert_array_equal(perm, np.arange(72))
+
+    def test_invalid_dimension_raises(self):
+        with pytest.raises(ValueError):
+            build_group_permutation(8, 3, 7)
+
+
+class TestPECANConv2d:
+    def _layer(self, mode, rng, p=4, d=None, cin=3, cout=6, k=3, **kwargs):
+        config = PQLayerConfig(num_prototypes=p, subvector_dim=d, mode=mode,
+                               temperature=1.0 if mode == PECANMode.ANGLE else 0.5)
+        return PECANConv2d(cin, cout, k, config=config, rng=rng, **kwargs)
+
+    def test_output_shape_angle(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng, padding=1)
+        out = layer(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_output_shape_distance(self, rng):
+        layer = self._layer(PECANMode.DISTANCE, rng, stride=2, padding=1)
+        out = layer(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 6, 4, 4)
+
+    def test_pq_shape(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng, p=5)
+        assert layer.pq_shape() == (5, 3, 9)      # D = cin = 3 for d = k² = 9
+
+    def test_group_columns_roundtrip(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng)
+        cols = Tensor(rng.standard_normal((2, 27, 10)))
+        grouped = layer.group_columns(cols)
+        assert grouped.shape == (2, 3, 9, 10)
+        restored = layer.ungroup_columns(grouped)
+        np.testing.assert_allclose(restored.data, cols.data)
+
+    def test_group_columns_roundtrip_spatial_layout(self, rng):
+        layer = self._layer(PECANMode.DISTANCE, rng, cin=4, d=4)
+        assert layer.group_layout == "spatial"
+        cols = Tensor(rng.standard_normal((1, 36, 5)))
+        restored = layer.ungroup_columns(layer.group_columns(cols))
+        np.testing.assert_allclose(restored.data, cols.data)
+
+    def test_grouped_weight_shape(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng)
+        assert layer.grouped_weight().shape == (3, 6, 9)
+
+    def test_grouped_weight_matches_reshape(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng)
+        expected = layer.weight.data.reshape(6, 3, 9).transpose(1, 0, 2)
+        np.testing.assert_allclose(layer.grouped_weight().data, expected)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        layer = self._layer(PECANMode.DISTANCE, rng)
+        layer.set_epoch(1, 10)
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert layer.codebook.prototypes.grad is not None
+        assert x.grad is not None
+
+    def test_gradients_angle_mode(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng)
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.codebook.prototypes.grad is not None
+        assert x.grad is not None
+
+    def test_distance_output_equals_lut_selection(self, rng):
+        """Training forward with hard assignment must equal LUT column selection."""
+        layer = self._layer(PECANMode.DISTANCE, rng)
+        layer.eval()
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)))
+        out = layer(x).data
+        # Manual Algorithm-1 computation.
+        table = layer.build_lookup_table()                       # (D, cout, p)
+        cols = layer.unfold_input(x)
+        grouped = layer.group_columns(cols).data                 # (1, D, d, L)
+        manual = np.zeros((1, 6, grouped.shape[-1]))
+        for j in range(layer.num_groups):
+            for i in range(grouped.shape[-1]):
+                distances = np.abs(grouped[0, j, :, i][:, None]
+                                   - layer.codebook.prototypes.data[j]).sum(axis=0)
+                manual[0, :, i] += table[j][:, distances.argmin()]
+        manual += layer.bias.data.reshape(1, -1, 1)
+        np.testing.assert_allclose(out.reshape(1, 6, -1), manual, atol=1e-10)
+
+    def test_angle_output_is_weighted_prototype_combination(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng, cout=4)
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)))
+        out = layer(x).data
+        assert np.isfinite(out).all()
+
+    def test_no_bias_option(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(rng.standard_normal((1, 3, 5, 5))))
+        assert out.shape[1] == 6
+
+    def test_lookup_table_shape_and_values(self, rng):
+        layer = self._layer(PECANMode.DISTANCE, rng, p=7)
+        table = layer.build_lookup_table()
+        assert table.shape == (3, 6, 7)
+        # Column m of group j is W1[j] @ C[j][:, m].
+        j, m = 1, 3
+        expected = layer.grouped_weight().data[j] @ layer.codebook.prototypes.data[j][:, m]
+        np.testing.assert_allclose(table[j][:, m], expected)
+
+    def test_set_epoch_updates_sharpness(self, rng):
+        layer = self._layer(PECANMode.DISTANCE, rng)
+        assert layer.sharpness is None
+        layer.set_epoch(5, 10)
+        assert layer.sharpness == pytest.approx(np.exp(2.0))
+
+    def test_output_spatial(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng, stride=2, padding=1)
+        assert layer.output_spatial(32, 32) == (16, 16)
+
+    def test_mode_property(self, rng):
+        assert self._layer(PECANMode.ANGLE, rng).mode is PECANMode.ANGLE
+        assert self._layer(PECANMode.DISTANCE, rng).mode is PECANMode.DISTANCE
+
+
+class TestPECANLinear:
+    def _layer(self, mode, rng, in_features=24, out_features=5, p=4, d=8, **kwargs):
+        config = PQLayerConfig(num_prototypes=p, subvector_dim=d, mode=mode,
+                               temperature=1.0 if mode == PECANMode.ANGLE else 0.5)
+        return PECANLinear(in_features, out_features, config=config, rng=rng, **kwargs)
+
+    def test_output_shape(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng)
+        out = layer(Tensor(rng.standard_normal((3, 24))))
+        assert out.shape == (3, 5)
+
+    def test_pq_shape(self, rng):
+        layer = self._layer(PECANMode.DISTANCE, rng)
+        assert layer.pq_shape() == (4, 3, 8)
+
+    def test_default_dim_divides_in_features(self, rng):
+        config = PQLayerConfig(num_prototypes=4, subvector_dim=None, mode=PECANMode.ANGLE)
+        layer = PECANLinear(30, 5, config=config, rng=rng)
+        assert 30 % layer.subvector_dim == 0
+        assert layer.subvector_dim <= 16
+
+    def test_indivisible_dim_raises(self, rng):
+        config = PQLayerConfig(num_prototypes=4, subvector_dim=7, mode=PECANMode.ANGLE)
+        with pytest.raises(ValueError):
+            PECANLinear(24, 5, config=config, rng=rng)
+
+    def test_gradients_reach_prototypes(self, rng):
+        layer = self._layer(PECANMode.DISTANCE, rng)
+        layer.set_epoch(1, 5)
+        x = Tensor(rng.standard_normal((4, 24)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.codebook.prototypes.grad is not None
+        assert x.grad is not None
+
+    def test_lookup_table_shape(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng)
+        assert layer.build_lookup_table().shape == (3, 5, 4)
+
+    def test_distance_forward_uses_nearest_prototype(self, rng):
+        layer = self._layer(PECANMode.DISTANCE, rng, in_features=8, d=8, p=3, out_features=2)
+        x = rng.standard_normal((1, 8))
+        out = layer(Tensor(x)).data
+        distances = np.abs(x[0][:, None] - layer.codebook.prototypes.data[0]).sum(axis=0)
+        winner = distances.argmin()
+        expected = layer.weight.data @ layer.codebook.prototypes.data[0][:, winner] + layer.bias.data
+        np.testing.assert_allclose(out[0], expected, atol=1e-10)
+
+    def test_no_bias(self, rng):
+        layer = self._layer(PECANMode.ANGLE, rng, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(rng.standard_normal((2, 24)))).shape == (2, 5)
+
+    def test_extra_repr_mentions_settings(self, rng):
+        text = self._layer(PECANMode.DISTANCE, rng).extra_repr()
+        assert "p=4" in text and "d=8" in text

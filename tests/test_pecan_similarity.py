@@ -1,0 +1,236 @@
+"""Unit and property tests for the PECAN similarity functions (Eq. 2–6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, check_gradient, functional as F
+from repro.pecan.similarity import (
+    angle_assignment,
+    assignment_entropy,
+    distance_assignment,
+    hard_distance_assignment,
+    l1_distance_smoothed,
+    reconstruct,
+    sign_gradient_scale,
+    sign_surrogate,
+    soft_distance_assignment,
+)
+
+
+def random_grouped(rng, n=2, groups=3, dim=4, length=5, p=6):
+    x = Tensor(rng.standard_normal((n, groups, dim, length)), requires_grad=True)
+    protos = Tensor(rng.standard_normal((groups, dim, p)), requires_grad=True)
+    return x, protos
+
+
+class TestSignGradientSchedule:
+    def test_scale_at_zero_epoch(self):
+        assert sign_gradient_scale(0, 100) == pytest.approx(1.0)
+
+    def test_scale_at_final_epoch(self):
+        assert sign_gradient_scale(100, 100) == pytest.approx(np.exp(4.0))
+
+    def test_scale_monotone_in_epoch(self):
+        scales = [sign_gradient_scale(e, 50) for e in range(0, 51, 5)]
+        assert all(a < b for a, b in zip(scales, scales[1:]))
+
+    def test_scale_clamps_beyond_total(self):
+        assert sign_gradient_scale(200, 100) == pytest.approx(np.exp(4.0))
+
+    def test_invalid_total_raises(self):
+        with pytest.raises(ValueError):
+            sign_gradient_scale(1, 0)
+
+    def test_surrogate_bounded_by_one(self, rng):
+        x = rng.standard_normal(100) * 10
+        y = sign_surrogate(x, sharpness=np.exp(4.0))
+        assert np.all(np.abs(y) <= 1.0)
+
+    def test_surrogate_approaches_sign_late_in_training(self, rng):
+        x = rng.standard_normal(100)
+        x = x[np.abs(x) > 0.2]
+        late = sign_surrogate(x, sign_gradient_scale(100, 100))
+        np.testing.assert_allclose(late, np.sign(x), atol=0.05)
+
+    def test_surrogate_smoother_early_in_training(self):
+        x = np.array([0.1])
+        early = sign_surrogate(x, sign_gradient_scale(0, 100))
+        late = sign_surrogate(x, sign_gradient_scale(100, 100))
+        assert early[0] < late[0]
+
+
+class TestL1DistanceSmoothed:
+    def test_matches_exact_distance_forward(self, rng):
+        x, protos = random_grouped(rng)
+        exact = F.pairwise_l1_distance(x, protos).data
+        smoothed = l1_distance_smoothed(x, protos, sharpness=2.0).data
+        np.testing.assert_allclose(exact, smoothed)
+
+    def test_none_sharpness_uses_sign_gradient(self, rng):
+        x, protos = random_grouped(rng, n=1, groups=1, dim=2, length=2, p=2)
+        out = l1_distance_smoothed(x, protos, sharpness=None)
+        out.sum().backward()
+        unique = np.unique(np.abs(protos.grad[np.abs(protos.grad) > 1e-12]))
+        # Sign gradients accumulate to integers (sums of ±1 over positions).
+        np.testing.assert_allclose(unique, np.round(unique))
+
+    def test_smoothed_gradient_matches_tanh(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 3, 1)), requires_grad=False)
+        protos = Tensor(rng.standard_normal((1, 3, 1)), requires_grad=True)
+        sharpness = 1.5
+        out = l1_distance_smoothed(x, protos, sharpness=sharpness)
+        out.sum().backward()
+        expected = -np.tanh(sharpness * (x.data[0, 0, :, 0] - protos.data[0, :, 0]))
+        np.testing.assert_allclose(protos.grad[0, :, 0], expected)
+
+    def test_distances_nonnegative(self, rng):
+        x, protos = random_grouped(rng)
+        assert np.all(l1_distance_smoothed(x, protos, sharpness=3.0).data >= 0)
+
+    def test_gradcheck_smoothed_wrt_input(self, rng):
+        x, protos = random_grouped(rng, n=1, groups=2, dim=3, length=3, p=4)
+        # The smoothed surrogate is NOT the true derivative, so only the exact
+        # (sharpness=None) variant should pass a numerical gradient check.
+        ok, err = check_gradient(lambda a, b: l1_distance_smoothed(a, b, sharpness=None),
+                                 [x, protos], index=0, atol=1e-3, rtol=1e-2)
+        assert ok, err
+
+
+class TestAngleAssignment:
+    def test_output_shape(self, rng):
+        x, protos = random_grouped(rng)
+        out = angle_assignment(x, protos)
+        assert out.shape == (2, 3, 6, 5)
+
+    def test_weights_sum_to_one(self, rng):
+        x, protos = random_grouped(rng)
+        out = angle_assignment(x, protos).data
+        np.testing.assert_allclose(out.sum(axis=-2), 1.0)
+
+    def test_temperature_sharpens(self, rng):
+        x, protos = random_grouped(rng)
+        cold = angle_assignment(x, protos, temperature=0.1).data
+        hot = angle_assignment(x, protos, temperature=10.0).data
+        assert cold.max() > hot.max()
+
+    def test_prototype_aligned_input_dominates(self):
+        protos = Tensor(np.array([[[5.0, 0.0], [0.0, 5.0]]]))   # (1, d=2, p=2)
+        x = Tensor(np.array([[[[5.0], [0.0]]]]))                # (1, 1, 2, 1) aligned w/ proto 0
+        weights = angle_assignment(x, protos).data[0, 0, :, 0]
+        assert weights[0] > 0.99
+
+    def test_differentiable_end_to_end(self, rng):
+        x, protos = random_grouped(rng, n=1, groups=2, dim=3, length=2, p=3)
+        ok, err = check_gradient(lambda a, b: angle_assignment(a, b), [x, protos], index=1,
+                                 atol=1e-3, rtol=1e-2)
+        assert ok, err
+
+
+class TestDistanceAssignment:
+    def test_hard_assignment_is_one_hot(self, rng):
+        x, protos = random_grouped(rng)
+        out = distance_assignment(x, protos).data
+        np.testing.assert_allclose(out.sum(axis=-2), 1.0)
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_hard_assignment_picks_closest(self):
+        protos = Tensor(np.array([[[0.0, 10.0], [0.0, 10.0]]]))   # prototypes (0,0) and (10,10)
+        x = Tensor(np.array([[[[1.0], [1.0]]]]))                  # closest to prototype 0
+        out = distance_assignment(x, protos).data[0, 0, :, 0]
+        np.testing.assert_array_equal(out, [1.0, 0.0])
+
+    def test_soft_assignment_sums_to_one(self, rng):
+        x, protos = random_grouped(rng)
+        out = soft_distance_assignment(x, protos).data
+        np.testing.assert_allclose(out.sum(axis=-2), 1.0)
+
+    def test_soft_assignment_low_temperature_approaches_hard(self, rng):
+        x, protos = random_grouped(rng)
+        soft = soft_distance_assignment(x, protos, temperature=1e-3).data
+        hard = distance_assignment(x, protos).data
+        np.testing.assert_allclose(soft, hard, atol=1e-3)
+
+    def test_hard_forward_with_soft_gradient(self, rng):
+        """Eq. 5: forward is discrete, but gradients reach the prototypes."""
+        x, protos = random_grouped(rng)
+        out = distance_assignment(x, protos, sharpness=2.0)
+        assert set(np.unique(out.data)).issubset({0.0, 1.0})
+        out.sum().backward()
+        assert protos.grad is not None
+        assert np.abs(protos.grad).sum() >= 0.0
+
+    def test_hard_false_returns_soft(self, rng):
+        x, protos = random_grouped(rng)
+        out = distance_assignment(x, protos, hard=False).data
+        assert not set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_hard_distance_assignment_function(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        protos = rng.standard_normal((3, 4, 6))
+        indices, one_hot = hard_distance_assignment(x, protos)
+        assert indices.shape == (2, 3, 5)
+        assert one_hot.shape == (2, 3, 6, 5)
+        recovered = one_hot.argmax(axis=-2)
+        np.testing.assert_array_equal(recovered, indices)
+
+    def test_matches_bruteforce_argmin(self, rng):
+        x = rng.standard_normal((1, 2, 3, 4))
+        protos = rng.standard_normal((2, 3, 5))
+        indices, _ = hard_distance_assignment(x, protos)
+        for j in range(2):
+            for i in range(4):
+                distances = [np.abs(x[0, j, :, i] - protos[j, :, m]).sum() for m in range(5)]
+                assert indices[0, j, i] == int(np.argmin(distances))
+
+
+class TestReconstruct:
+    def test_hard_reconstruction_selects_prototype(self, rng):
+        protos = Tensor(rng.standard_normal((2, 3, 4)))
+        assignment = Tensor(F.one_hot(np.array([[1, 3], [0, 2]]), 4).transpose(0, 2, 1)[None])
+        out = reconstruct(protos, assignment).data
+        np.testing.assert_allclose(out[0, 0, :, 0], protos.data[0, :, 1])
+        np.testing.assert_allclose(out[0, 1, :, 1], protos.data[1, :, 2])
+
+    def test_soft_reconstruction_is_convex_combination(self, rng):
+        x, protos = random_grouped(rng)
+        weights = angle_assignment(x, protos)
+        out = reconstruct(protos, weights).data
+        lower = protos.data.min(axis=-1, keepdims=True)[..., None, :, 0, None]
+        # Convex combination stays within the prototype value range per coordinate.
+        mins = protos.data.min(axis=-1)   # (groups, dim)
+        maxs = protos.data.max(axis=-1)
+        assert np.all(out >= mins[None, :, :, None] - 1e-9)
+        assert np.all(out <= maxs[None, :, :, None] + 1e-9)
+
+
+class TestAssignmentEntropy:
+    def test_one_hot_has_zero_entropy(self):
+        assignment = F.one_hot(np.zeros((2, 3, 4), dtype=int), 5).transpose(0, 1, 3, 2)
+        assert assignment_entropy(assignment) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_has_max_entropy(self):
+        p = 8
+        assignment = np.full((1, 1, p, 3), 1.0 / p)
+        assert assignment_entropy(assignment) == pytest.approx(np.log(p), rel=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    groups=st.integers(1, 3),
+    dim=st.integers(1, 5),
+    length=st.integers(1, 6),
+    p=st.integers(2, 8),
+    temperature=st.floats(0.1, 5.0),
+)
+def test_property_assignments_are_valid_distributions(groups, dim, length, p, temperature):
+    """Both assignment schemes always produce valid (sub)stochastic assignments."""
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, groups, dim, length)))
+    protos = Tensor(rng.standard_normal((groups, dim, p)))
+    soft = angle_assignment(x, protos, temperature=temperature).data
+    hard = distance_assignment(x, protos, temperature=temperature).data
+    np.testing.assert_allclose(soft.sum(axis=-2), 1.0, atol=1e-9)
+    np.testing.assert_allclose(hard.sum(axis=-2), 1.0, atol=1e-9)
+    assert np.all(soft >= 0)
+    assert set(np.unique(hard)).issubset({0.0, 1.0})

@@ -1,0 +1,220 @@
+"""Unit and integration tests for the PECAN training strategies and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import DataLoader, make_dataset
+from repro.models import LeNet5
+from repro.optim import Adam, StepLR
+from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.convert import convert_to_pecan, pecan_layers
+from repro.pecan.training import (
+    PECANTrainer,
+    TrainingStrategy,
+    apply_strategy,
+    co_optimize,
+    initialize_codebooks_from_data,
+    set_model_epoch,
+    uni_optimize,
+)
+
+
+def tiny_pecan_model(rng, mode=PECANMode.DISTANCE, width=0.5):
+    model = LeNet5(width_multiplier=width, image_size=14, rng=rng)
+    temperature = 1.0 if mode is PECANMode.ANGLE else 0.5
+    config = PQLayerConfig(num_prototypes=4, mode=mode, temperature=temperature)
+    return convert_to_pecan(model, config, rng=rng)
+
+
+def tiny_loaders(batch_size=16, num_train=32, num_test=16):
+    train, test = make_dataset("mnist", num_train=num_train, num_test=num_test, image_size=14)
+    return (DataLoader(train, batch_size=batch_size, shuffle=True, seed=0),
+            DataLoader(test, batch_size=batch_size))
+
+
+class TestTrainingStrategy:
+    @pytest.mark.parametrize("value,expected", [
+        ("co", TrainingStrategy.CO_OPTIMIZATION),
+        ("scratch", TrainingStrategy.CO_OPTIMIZATION),
+        ("joint", TrainingStrategy.CO_OPTIMIZATION),
+        ("uni", TrainingStrategy.UNI_OPTIMIZATION),
+        ("freeze", TrainingStrategy.UNI_OPTIMIZATION),
+        (TrainingStrategy.UNI_OPTIMIZATION, TrainingStrategy.UNI_OPTIMIZATION),
+    ])
+    def test_parse(self, value, expected):
+        assert TrainingStrategy.parse(value) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            TrainingStrategy.parse("semi")
+
+    def test_uni_optimization_freezes_weights_not_prototypes(self, rng):
+        model = tiny_pecan_model(rng)
+        uni_optimize(model)
+        for _, layer in pecan_layers(model):
+            assert not layer.weight.requires_grad
+            assert layer.codebook.prototypes.requires_grad
+
+    def test_co_optimization_everything_trainable(self, rng):
+        model = tiny_pecan_model(rng)
+        uni_optimize(model)
+        co_optimize(model)
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_apply_strategy_string(self, rng):
+        model = tiny_pecan_model(rng)
+        apply_strategy(model, "uni")
+        assert not model.features[0].weight.requires_grad
+
+
+class TestSetModelEpoch:
+    def test_propagates_to_all_pecan_layers(self, rng):
+        model = tiny_pecan_model(rng)
+        set_model_epoch(model, 5, 10)
+        for _, layer in pecan_layers(model):
+            assert layer.sharpness == pytest.approx(np.exp(2.0))
+
+    def test_sharpness_increases_over_epochs(self, rng):
+        model = tiny_pecan_model(rng)
+        set_model_epoch(model, 1, 10)
+        early = model.features[0].sharpness
+        set_model_epoch(model, 9, 10)
+        late = model.features[0].sharpness
+        assert late > early
+
+
+class TestInitializeCodebooksFromData:
+    def test_prototypes_change_and_assign_hook_restored(self, rng):
+        model = tiny_pecan_model(rng)
+        train_loader, _ = tiny_loaders()
+        before = {name: layer.codebook.prototypes.data.copy()
+                  for name, layer in pecan_layers(model)}
+        initialize_codebooks_from_data(model, train_loader, rng=rng)
+        changed = any(not np.array_equal(before[name], layer.codebook.prototypes.data)
+                      for name, layer in pecan_layers(model))
+        assert changed
+        # The temporary capture hook must be removed afterwards.
+        for _, layer in pecan_layers(model):
+            assert layer.codebook.assign.__name__ == "assign"
+
+    def test_reduces_initial_quantization_error(self, rng):
+        model = tiny_pecan_model(rng)
+        train_loader, _ = tiny_loaders()
+        images, _ = next(iter(train_loader))
+        layer = model.features[0]
+
+        def layer_error():
+            cols = layer.unfold_input(Tensor(images))
+            grouped = layer.group_columns(cols)
+            quantized = layer.codebook.quantize(grouped, layer.config)
+            return float(np.abs(quantized.data - grouped.data).mean())
+
+        before = layer_error()
+        initialize_codebooks_from_data(model, train_loader, rng=rng)
+        assert layer_error() < before
+
+
+class TestCodebookInitModes:
+    def test_angle_layers_not_reinitialized_by_default(self, rng):
+        """Regression test: k-means init collapses dot-product attention, so
+        angle-mode layers must keep their random prototypes unless forced."""
+        model = tiny_pecan_model(rng, mode=PECANMode.ANGLE)
+        train_loader, _ = tiny_loaders()
+        before = model.features[0].codebook.prototypes.data.copy()
+        initialize_codebooks_from_data(model, train_loader, rng=rng)
+        np.testing.assert_array_equal(model.features[0].codebook.prototypes.data, before)
+
+    def test_angle_layers_reinitialized_when_forced(self, rng):
+        model = tiny_pecan_model(rng, mode=PECANMode.ANGLE)
+        train_loader, _ = tiny_loaders()
+        before = model.features[0].codebook.prototypes.data.copy()
+        initialize_codebooks_from_data(model, train_loader, rng=rng,
+                                       modes=("distance", "angle"))
+        assert not np.array_equal(model.features[0].codebook.prototypes.data, before)
+
+    def test_mixed_model_only_distance_layers_touched(self, rng):
+        model = LeNet5(width_multiplier=0.5, image_size=14, rng=rng)
+
+        def provider(index, module):
+            mode = PECANMode.DISTANCE if index % 2 == 0 else PECANMode.ANGLE
+            return PQLayerConfig(num_prototypes=4, mode=mode,
+                                 temperature=0.5 if mode is PECANMode.DISTANCE else 1.0)
+
+        converted = convert_to_pecan(model, provider, rng=rng)
+        train_loader, _ = tiny_loaders()
+        snapshots = {name: layer.codebook.prototypes.data.copy()
+                     for name, layer in pecan_layers(converted)}
+        initialize_codebooks_from_data(converted, train_loader, rng=rng)
+        for name, layer in pecan_layers(converted):
+            changed = not np.array_equal(layer.codebook.prototypes.data, snapshots[name])
+            assert changed == (layer.config.mode is PECANMode.DISTANCE), name
+
+
+class TestPECANTrainer:
+    def test_fit_records_history(self, rng):
+        model = tiny_pecan_model(rng)
+        train_loader, test_loader = tiny_loaders()
+        trainer = PECANTrainer(model, optimizer=Adam(model.parameters(), lr=1e-3))
+        history = trainer.fit(train_loader, test_loader, epochs=2)
+        assert len(history.records) == 2
+        assert 0.0 <= history.final_accuracy <= 1.0
+        assert history.best_accuracy >= history.records[0].test_accuracy or True
+        data = history.as_dict()
+        assert data["epoch"] == [1, 2]
+
+    def test_training_reduces_loss(self, rng):
+        model = tiny_pecan_model(rng, mode=PECANMode.ANGLE)
+        train_loader, test_loader = tiny_loaders(num_train=48)
+        trainer = PECANTrainer(model, optimizer=Adam(model.parameters(), lr=3e-3))
+        history = trainer.fit(train_loader, test_loader, epochs=4)
+        losses = history.as_dict()["train_loss"]
+        assert losses[-1] < losses[0]
+
+    def test_scheduler_steps_each_epoch(self, rng):
+        model = tiny_pecan_model(rng)
+        train_loader, test_loader = tiny_loaders(num_train=16, num_test=8)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+        trainer = PECANTrainer(model, optimizer=optimizer, scheduler=scheduler)
+        history = trainer.fit(train_loader, test_loader, epochs=2)
+        lrs = history.as_dict()["learning_rate"]
+        assert lrs[1] < lrs[0]
+
+    def test_uni_optimization_keeps_weights_fixed(self, rng):
+        model = tiny_pecan_model(rng)
+        weight_before = model.features[0].weight.data.copy()
+        proto_before = model.features[0].codebook.prototypes.data.copy()
+        train_loader, test_loader = tiny_loaders(num_train=16, num_test=8)
+        trainer = PECANTrainer(model, optimizer=Adam(model.parameters(), lr=0.05),
+                               strategy=TrainingStrategy.UNI_OPTIMIZATION)
+        trainer.fit(train_loader, test_loader, epochs=1)
+        np.testing.assert_array_equal(model.features[0].weight.data, weight_before)
+        assert not np.array_equal(model.features[0].codebook.prototypes.data, proto_before)
+
+    def test_co_optimization_updates_weights_and_prototypes(self, rng):
+        model = tiny_pecan_model(rng)
+        weight_before = model.features[0].weight.data.copy()
+        proto_before = model.features[0].codebook.prototypes.data.copy()
+        train_loader, test_loader = tiny_loaders(num_train=16, num_test=8)
+        trainer = PECANTrainer(model, optimizer=Adam(model.parameters(), lr=0.05),
+                               strategy=TrainingStrategy.CO_OPTIMIZATION)
+        trainer.fit(train_loader, test_loader, epochs=1)
+        assert not np.array_equal(model.features[0].weight.data, weight_before)
+        assert not np.array_equal(model.features[0].codebook.prototypes.data, proto_before)
+
+    def test_evaluate_runs_in_eval_mode(self, rng):
+        model = tiny_pecan_model(rng)
+        _, test_loader = tiny_loaders(num_train=16, num_test=8)
+        trainer = PECANTrainer(model)
+        trainer.evaluate(test_loader)
+        # evaluate() switches to eval mode and leaves the model there.
+        assert not model.training
+
+    def test_grad_clip_applied(self, rng):
+        model = tiny_pecan_model(rng)
+        train_loader, test_loader = tiny_loaders(num_train=16, num_test=8)
+        trainer = PECANTrainer(model, optimizer=Adam(model.parameters(), lr=1e-3),
+                               grad_clip=0.001)
+        history = trainer.fit(train_loader, test_loader, epochs=1)
+        assert len(history.records) == 1
