@@ -70,6 +70,7 @@ def micro_accuracy_results(micro_mnist_config):
     }
 
 
+@pytest.mark.slow
 class TestTable2AccuracyShape:
     def test_all_variants_learn(self, micro_accuracy_results):
         for method, result in micro_accuracy_results.items():
@@ -85,6 +86,7 @@ class TestTable2AccuracyShape:
         assert micro_accuracy_results["PECAN-D"].accuracy >= baseline - 0.25
 
 
+@pytest.mark.slow
 def test_bench_table2_report(benchmark, paper_scale_op_reports, micro_accuracy_results):
     """Print the reproduced Table 2 and benchmark the op-count computation."""
     def compute():

@@ -86,6 +86,7 @@ def micro_vgg_results(micro_cifar10_config):
     }
 
 
+@pytest.mark.slow
 class TestTable3AccuracyShape:
     def test_baseline_learns_well(self, micro_vgg_results):
         assert micro_vgg_results["Baseline"].accuracy > 0.5
@@ -102,6 +103,7 @@ class TestTable3AccuracyShape:
         assert micro_vgg_results["PECAN-D"].multiplications == 0
 
 
+@pytest.mark.slow
 def test_bench_table3_report(benchmark, paper_scale_counts, micro_vgg_results):
     """Print the reproduced Table 3 and benchmark the VGG op-count computation."""
     benchmark(lambda: count_model_ops(build_model("vgg_small_pecan_d"), (3, 32, 32)))

@@ -73,6 +73,7 @@ def micro_cifar100_results(micro_cifar100_config):
     }
 
 
+@pytest.mark.slow
 class TestTable4AccuracyShape:
     # The micro preset uses a 20-class subset (chance = 5 %); see conftest.
     CHANCE = 0.05
@@ -92,6 +93,7 @@ class TestTable4AccuracyShape:
         assert micro_cifar100_results["PECAN-D"].multiplications == 0
 
 
+@pytest.mark.slow
 def test_bench_table4_report(benchmark, paper_scale_counts_100, micro_cifar100_results):
     """Print the reproduced Table 4 (VGG-Small rows) and benchmark the counting."""
     benchmark(lambda: count_model_ops(build_model("vgg_small_pecan_a", num_classes=100),

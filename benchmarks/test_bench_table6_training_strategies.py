@@ -49,6 +49,7 @@ def strategy_results(micro_cifar10_config):
     return results
 
 
+@pytest.mark.slow
 class TestTable6Shape:
     def test_baseline_learns(self, strategy_results):
         assert strategy_results[("baseline", "scratch")].accuracy > 0.5
@@ -78,6 +79,7 @@ class TestTable6Shape:
         assert scratch >= freeze - 0.10
 
 
+@pytest.mark.slow
 def test_bench_table6_report(benchmark, strategy_results):
     """Print the reproduced Table 6 and benchmark evaluation of a trained model."""
     model = strategy_results[("pecan_a", "scratch")].model

@@ -83,6 +83,7 @@ def micro_results():
     }
 
 
+@pytest.mark.slow
 class TestTableA4AccuracyShape:
     CHANCE = 1.0 / 20.0
 
@@ -100,6 +101,7 @@ class TestTableA4AccuracyShape:
         assert pecan_muls == 0
 
 
+@pytest.mark.slow
 def test_bench_tableA4_report(benchmark, paper_scale_counts, micro_results):
     """Print the reproduced Table A4 and benchmark the ConvMixer op counting."""
     benchmark(lambda: count_model_ops(

@@ -16,6 +16,11 @@ import numpy as np
 
 from repro.autograd.im2col import col2im, conv_output_size, im2col
 from repro.autograd.tensor import Tensor
+from repro.perf.chunking import ChunkPolicy, iter_slices
+
+#: Memory budget for the broadcasted ``(..., p, d, L)`` transient of the l1
+#: kernels.  Callers can pass an explicit :class:`ChunkPolicy` to override.
+DEFAULT_L1_CHUNK_POLICY = ChunkPolicy()
 
 
 # --------------------------------------------------------------------------- #
@@ -176,12 +181,15 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
         if not x.requires_grad:
             return
         gx = np.zeros_like(x.data)
-        ki, kj = np.unravel_index(arg, (k, k))
-        ni, ci, oi, oj = np.meshgrid(np.arange(n), np.arange(c), np.arange(hout),
-                                     np.arange(wout), indexing="ij")
-        rows = oi * stride + ki
-        cols_ = oj * stride + kj
-        np.add.at(gx, (ni, ci, rows, cols_), grad)
+        # col2im-style accumulation: one strided slice-add per window offset,
+        # gated by the argmax mask, instead of a full-size fancy-index scatter.
+        for offset in range(k * k):
+            mask = arg == offset
+            if not mask.any():
+                continue
+            ki, kj = divmod(offset, k)
+            gx[:, :, ki:ki + stride * hout:stride,
+               kj:kj + stride * wout:stride] += grad * mask
         x._accumulate_grad(gx)
 
     return Tensor.from_op(out_data, (x,), backward)
@@ -209,9 +217,24 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
             return
         gx = np.zeros_like(x.data)
         share = grad / float(k * k)
-        for ki in range(k):
-            for kj in range(k):
-                gx[:, :, ki:ki + stride * hout:stride, kj:kj + stride * wout:stride] += share
+        if stride >= k:
+            # Non-overlapping windows (the usual pooling configuration) map to
+            # disjoint memory, so a single broadcast through a strided view of
+            # the gradient buffer distributes every share at once.
+            gn, gc, gh, gw = gx.strides
+            window_view = np.lib.stride_tricks.as_strided(
+                gx,
+                shape=(n, c, hout, wout, k, k),
+                strides=(gn, gc, gh * stride, gw * stride, gh, gw),
+            )
+            window_view += share[..., None, None]
+        else:
+            # Overlapping windows alias memory; fall back to one strided
+            # slice-add per window offset (col2im-style accumulation).
+            for ki in range(k):
+                for kj in range(k):
+                    gx[:, :, ki:ki + stride * hout:stride,
+                       kj:kj + stride * wout:stride] += share
         x._accumulate_grad(gx)
 
     return Tensor.from_op(out_data, (x,), backward)
@@ -253,6 +276,63 @@ def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor, running_mean: np.ndarray,
     std_t = Tensor(np.sqrt(var.reshape(shape) + eps))
     normalized = (x - mean_t) / std_t
     return normalized * gamma.reshape(shape) + beta.reshape(shape)
+
+
+# --------------------------------------------------------------------------- #
+# Einstein summation
+# --------------------------------------------------------------------------- #
+def einsum(subscripts: str, *operands: Tensor) -> Tensor:
+    """Differentiable ``np.einsum`` over explicit subscripts.
+
+    Supports the multi-operand contractions the PECAN hot paths need — e.g.
+    the fused ``Y = Σ_j W₁^(j) C^(j) K^(j)`` reconstruction
+    ``einsum("god,gdp,ngpl->nol", W, C, K)`` — letting NumPy pick the optimal
+    contraction order instead of materializing per-group intermediates.
+
+    Restrictions (enough for our use, checked eagerly): the output subscript
+    must be explicit (``->`` present), ellipses and repeated indices within a
+    single operand are not supported, and every index of an operand must also
+    appear in the output or another operand (otherwise its gradient would need
+    an internal broadcast).
+
+    The gradient of operand ``i`` is itself an einsum: contract the output
+    gradient with every other operand, targeting operand ``i``'s subscript.
+    """
+    if "->" not in subscripts:
+        raise ValueError("einsum requires an explicit output subscript, e.g. 'ij,jk->ik'")
+    if "..." in subscripts:
+        raise NotImplementedError("ellipsis subscripts are not supported")
+    lhs, out_subs = (part.strip() for part in subscripts.split("->"))
+    in_subs = [term.strip() for term in lhs.split(",")]
+    if len(in_subs) != len(operands):
+        raise ValueError(f"einsum got {len(operands)} operands for {len(in_subs)} subscripts")
+    for term in in_subs + [out_subs]:
+        if len(set(term)) != len(term):
+            raise NotImplementedError(f"repeated index in term {term!r} is not supported")
+
+    for i, term in enumerate(in_subs):
+        available = set(out_subs).union(*(in_subs[:i] + in_subs[i + 1:])) \
+            if len(in_subs) > 1 else set(out_subs)
+        missing = [c for c in term if c not in available]
+        if missing:
+            raise NotImplementedError(
+                f"index {missing[0]!r} appears only in operand {i}; its gradient "
+                "would require an internal broadcast")
+
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in operands]
+    arrays = [t.data for t in tensors]
+    out_data = np.einsum(subscripts, *arrays, optimize=True)
+
+    def backward(grad):
+        for i, t in enumerate(tensors):
+            if not t.requires_grad:
+                continue
+            other_subs = [in_subs[j] for j in range(len(tensors)) if j != i]
+            other_arrays = [arrays[j] for j in range(len(tensors)) if j != i]
+            grad_spec = ",".join([out_subs] + other_subs) + "->" + in_subs[i]
+            t._accumulate_grad(np.einsum(grad_spec, grad, *other_arrays, optimize=True))
+
+    return Tensor.from_op(out_data, tensors, backward)
 
 
 # --------------------------------------------------------------------------- #
@@ -337,7 +417,8 @@ def straight_through(soft: Tensor, hard: np.ndarray) -> Tensor:
     return soft - stop_gradient(soft - hard_t)
 
 
-def pairwise_l1_distance(x: Tensor, prototypes: Tensor) -> Tensor:
+def pairwise_l1_distance(x: Tensor, prototypes: Tensor, sign_fn=None,
+                         chunk_policy: Optional[ChunkPolicy] = None) -> Tensor:
     """l1 distances between columns of ``x`` and prototype columns.
 
     Parameters
@@ -346,28 +427,55 @@ def pairwise_l1_distance(x: Tensor, prototypes: Tensor) -> Tensor:
         Tensor of shape ``(..., d, L)`` — ``L`` subvectors of dimension ``d``.
     prototypes:
         Tensor of shape ``(..., d, p)`` — ``p`` prototypes of dimension ``d``.
+    sign_fn:
+        Subgradient of ``|·|`` used in the backward pass.  Defaults to the
+        exact ``np.sign``; :mod:`repro.pecan.similarity` passes the smoothed
+        ``tanh(a·x)`` surrogate of Eq. (6) here.
+    chunk_policy:
+        Memory budget for the broadcasted ``(..., p, d, L_chunk)`` transient.
+        Defaults to :data:`DEFAULT_L1_CHUNK_POLICY`.
 
     Returns
     -------
     Tensor of shape ``(..., p, L)`` with ``out[..., m, i] = ‖x_i − c_m‖₁``.
 
-    The custom backward implements the exact subgradient (sign function); the
-    PECAN-D epoch-aware tanh relaxation of Eq. (6) is applied one level up in
-    :mod:`repro.pecan.similarity` where the schedule is known.
+    Neither the difference tensor nor its sign is retained between forward and
+    backward: the backward pass recomputes ``x − c`` chunk-by-chunk over the
+    column axis, so peak memory stays bounded even at production batch sizes.
     """
-    diff = x.data[..., None, :, :] - prototypes.data[..., :, :, None].swapaxes(-3, -2)
-    # diff shape: (..., p, d, L)  where prototypes broadcast over L and x over p
-    out_data = np.abs(diff).sum(axis=-2)
+    sign_fn = np.sign if sign_fn is None else sign_fn
+    policy = chunk_policy if chunk_policy is not None else DEFAULT_L1_CHUNK_POLICY
+    x_data, proto_data = x.data, prototypes.data
+    proto_cols = proto_data[..., :, :, None].swapaxes(-3, -2)    # (..., p, d, 1)
+    d, length = x_data.shape[-2], x_data.shape[-1]
+    p = proto_data.shape[-1]
+    batch_shape = np.broadcast_shapes(x_data.shape[:-2], proto_data.shape[:-2])
+    batch = int(np.prod(batch_shape, dtype=np.int64)) if batch_shape else 1
+    dtype = np.result_type(x_data.dtype, proto_data.dtype)
+    per_column = max(1, batch * p * d) * dtype.itemsize
+    chunk = policy.columns_per_chunk(per_column, length)
+
+    out_data = np.empty(batch_shape + (p, length), dtype=dtype)
+    for sl in iter_slices(length, chunk):
+        # diff shape: (..., p, d, L_chunk); prototypes broadcast over L, x over p
+        diff = x_data[..., None, :, sl] - proto_cols
+        np.abs(diff, out=diff)
+        out_data[..., sl] = diff.sum(axis=-2)
 
     def backward(grad):
-        sign = np.sign(diff)
-        if x.requires_grad:
-            gx = (sign * grad[..., :, None, :]).sum(axis=-3)
+        gx = np.empty(batch_shape + (d, length), dtype=dtype) if x.requires_grad else None
+        gp = np.zeros(batch_shape + (p, d), dtype=dtype) if prototypes.requires_grad else None
+        for sl in iter_slices(length, chunk):
+            sign = sign_fn(x_data[..., None, :, sl] - proto_cols)  # (..., p, d, Lc)
+            g = grad[..., :, None, sl]
+            if gx is not None:
+                gx[..., sl] = (sign * g).sum(axis=-3)
+            if gp is not None:
+                gp -= (sign * g).sum(axis=-1)
+        if gx is not None:
             x._accumulate_grad(gx)
-        if prototypes.requires_grad:
-            gp = (-sign * grad[..., :, None, :]).sum(axis=-1)  # (..., p, d)
+        if gp is not None:
             prototypes._accumulate_grad(gp.swapaxes(-1, -2))
-        return
 
     return Tensor.from_op(out_data, (x, prototypes), backward)
 

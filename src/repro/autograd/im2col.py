@@ -24,13 +24,19 @@ def _padded(x: np.ndarray, padding: int) -> np.ndarray:
     return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
 
 
-def im2col(x: np.ndarray, kernel_size: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+def im2col(x: np.ndarray, kernel_size: int, stride: int = 1, padding: int = 0,
+           out: np.ndarray = None) -> np.ndarray:
     """Unfold ``x`` of shape ``(N, C, H, W)`` into columns.
 
     Returns an array of shape ``(N, C * k * k, Hout * Wout)`` whose column
     ``i`` contains the receptive field of output position ``i`` flattened in
     channel-major order — exactly the layout the paper's ``X`` matrix uses
     (each channel contributes a contiguous block of ``k*k`` rows).
+
+    ``out``, when given, must be a C-contiguous ``(N, C*k*k, Hout*Wout)``
+    array of the input's dtype; the columns are written into it and it is
+    returned, so steady-state callers (the streaming CAM engine) can reuse
+    one workspace buffer instead of allocating per call.
     """
     n, c, h, w = x.shape
     k = kernel_size
@@ -47,7 +53,16 @@ def im2col(x: np.ndarray, kernel_size: int, stride: int = 1, padding: int = 0) -
         writeable=False,
     )
     # -> (N, C, k, k, Hout, Wout) -> (N, C*k*k, Hout*Wout)
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * k * k, hout * wout)
+    shuffled = windows.transpose(0, 1, 4, 5, 2, 3)
+    if out is not None:
+        expected = (n, c * k * k, hout * wout)
+        if out.shape != expected:
+            raise ValueError(f"out buffer has shape {out.shape}, expected {expected}")
+        if not out.flags.c_contiguous:
+            raise ValueError("out buffer must be C-contiguous")
+        np.copyto(out.reshape(n, c, k, k, hout, wout), shuffled)
+        return out
+    cols = shuffled.reshape(n, c * k * k, hout * wout)
     return np.ascontiguousarray(cols)
 
 

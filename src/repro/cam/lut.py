@@ -21,7 +21,7 @@ import numpy as np
 from repro.nn.module import Module
 from repro.pecan.config import PECANMode
 from repro.pecan.convert import pecan_layers
-from repro.pecan.layers import PECANConv2d, PECANLinear
+from repro.pecan.layers import PECANConv2d, PECANLinear, is_identity_permutation
 
 
 @dataclass
@@ -58,6 +58,14 @@ class LayerLUT:
     in_channels: int = 0
     out_channels: int = 0
     group_permutation: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        # An identity permutation is a no-op; normalizing it to None lets the
+        # inference engine group columns with a pure reshape view instead of a
+        # fancy-index copy.
+        if self.group_permutation is not None and is_identity_permutation(
+                self.group_permutation):
+            self.group_permutation = None
 
     @property
     def num_groups(self) -> int:

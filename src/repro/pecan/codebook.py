@@ -124,10 +124,9 @@ class Codebook(Module):
         affecting accuracy.
         """
         indices = self.hard_indices(x_grouped)
-        counts = np.zeros((self.num_groups, self.num_prototypes), dtype=np.int64)
-        for j in range(self.num_groups):
-            counts[j] = np.bincount(indices[:, j, :].reshape(-1), minlength=self.num_prototypes)
-        return counts
+        flat = indices + np.arange(self.num_groups, dtype=np.int64)[None, :, None] * self.num_prototypes
+        counts = np.bincount(flat.reshape(-1), minlength=self.num_groups * self.num_prototypes)
+        return counts.reshape(self.num_groups, self.num_prototypes).astype(np.int64)
 
     def dead_prototypes(self, x_grouped: np.ndarray) -> np.ndarray:
         """Boolean mask ``(D, p)`` of prototypes never selected on ``x_grouped``."""

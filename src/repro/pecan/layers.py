@@ -27,7 +27,12 @@ from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.pecan.codebook import Codebook
 from repro.pecan.config import PECANMode, PQLayerConfig
-from repro.pecan.similarity import sign_gradient_scale
+from repro.pecan.similarity import reconstruct_and_project, sign_gradient_scale
+
+
+def is_identity_permutation(perm: np.ndarray) -> bool:
+    """True when applying ``perm`` to an axis would be a no-op."""
+    return bool(np.array_equal(perm, np.arange(perm.shape[0])))
 
 
 def build_group_permutation(in_channels: int, kernel_size: int, subvector_dim: int
@@ -119,6 +124,9 @@ class PECANConv2d(Module, PECANLayerMixin):
         self._perm = perm
         self._inverse_perm = inverse
         self.group_layout = layout
+        # Identity permutations (the "channel" layout) must never pay for a
+        # fancy-index copy — grouping is then a pure reshape view.
+        self._perm_is_identity = is_identity_permutation(perm)
 
         self.weight = Parameter(np.empty((out_channels, in_channels, kernel_size, kernel_size)))
         init.kaiming_normal_(self.weight, rng=rng)
@@ -133,7 +141,7 @@ class PECANConv2d(Module, PECANLayerMixin):
         """``(N, cin·k², L) -> (N, D, d, L)`` applying the group permutation."""
         n = cols.shape[0]
         length = cols.shape[-1]
-        permuted = cols[:, self._perm, :] if self.group_layout != "channel" else cols
+        permuted = cols if self._perm_is_identity else cols[:, self._perm, :]
         return permuted.reshape(n, self.num_groups, self.subvector_dim, length)
 
     def ungroup_columns(self, grouped: Tensor) -> Tensor:
@@ -141,14 +149,14 @@ class PECANConv2d(Module, PECANLayerMixin):
         n = grouped.shape[0]
         length = grouped.shape[-1]
         flat = grouped.reshape(n, self.num_groups * self.subvector_dim, length)
-        if self.group_layout == "channel":
+        if self._perm_is_identity:
             return flat
         return flat[:, self._inverse_perm, :]
 
     def grouped_weight(self) -> Tensor:
         """Weights reshaped to ``W₁ ∈ R^{D×cout×d}`` (Algorithm 1, line 1)."""
         w_mat = self.weight.reshape(self.out_channels, -1)
-        if self.group_layout != "channel":
+        if not self._perm_is_identity:
             w_mat = w_mat[:, self._perm]
         w_grouped = w_mat.reshape(self.out_channels, self.num_groups, self.subvector_dim)
         return w_grouped.transpose(1, 0, 2)
@@ -171,11 +179,10 @@ class PECANConv2d(Module, PECANLayerMixin):
         cols = self.unfold_input(x)                       # (N, cin*k*k, L)
         grouped = self.group_columns(cols)                # (N, D, d, L)
         assignment = self.codebook.assign(grouped, self.config, sharpness=self.sharpness)
-        quantized = self.codebook.reconstruct(assignment)  # (N, D, d, L)
-
-        w_grouped = self.grouped_weight()                  # (D, cout, d)
-        contributions = w_grouped.matmul(quantized)        # (N, D, cout, L)
-        out = contributions.sum(axis=1)                    # (N, cout, L)
+        # Fused Y = Σ_j W₁^(j) C^(j) K^(j): one einsum, no per-group
+        # (N, D, cout, L) contributions tensor.
+        out = reconstruct_and_project(self.grouped_weight(), self.codebook.prototypes,
+                                      assignment)          # (N, cout, L)
         if self.bias is not None:
             out = out + self.bias.reshape(1, self.out_channels, 1)
         return out.reshape(n, self.out_channels, hout, wout)
@@ -248,10 +255,9 @@ class PECANLinear(Module, PECANLayerMixin):
         n = x.shape[0]
         grouped = self.group_features(x)                   # (N, D, d, 1)
         assignment = self.codebook.assign(grouped, self.config, sharpness=self.sharpness)
-        quantized = self.codebook.reconstruct(assignment)  # (N, D, d, 1)
-        w_grouped = self.grouped_weight()                  # (D, out, d)
-        contributions = w_grouped.matmul(quantized)        # (N, D, out, 1)
-        out = contributions.sum(axis=1).reshape(n, self.out_features)
+        out = reconstruct_and_project(self.grouped_weight(), self.codebook.prototypes,
+                                      assignment)          # (N, out, 1)
+        out = out.reshape(n, self.out_features)
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -62,23 +62,17 @@ def l1_distance_smoothed(x: Tensor, prototypes: Tensor,
     Returns
     -------
     Tensor of shape ``(..., p, L)`` holding the distances (non-negative).
+
+    The smoothed sign is *not* retained for the backward pass: the shared
+    kernel in :func:`repro.autograd.functional.pairwise_l1_distance`
+    recomputes ``tanh(a·(x − c))`` chunk-by-chunk over the column axis, so
+    training holds no extra ``(..., p, d, L)`` tensor between forward and
+    backward.
     """
     if sharpness is None:
         return F.pairwise_l1_distance(x, prototypes)
-
-    diff = x.data[..., None, :, :] - prototypes.data[..., :, :, None].swapaxes(-3, -2)
-    out_data = np.abs(diff).sum(axis=-2)
-    smooth_sign = sign_surrogate(diff, sharpness)
-
-    def backward(grad):
-        if x.requires_grad:
-            gx = (smooth_sign * grad[..., :, None, :]).sum(axis=-3)
-            x._accumulate_grad(gx)
-        if prototypes.requires_grad:
-            gp = (-smooth_sign * grad[..., :, None, :]).sum(axis=-1)
-            prototypes._accumulate_grad(gp.swapaxes(-1, -2))
-
-    return Tensor.from_op(out_data, (x, prototypes), backward)
+    return F.pairwise_l1_distance(
+        x, prototypes, sign_fn=lambda diff: sign_surrogate(diff, sharpness))
 
 
 # --------------------------------------------------------------------------- #
@@ -174,6 +168,21 @@ def reconstruct(prototypes: Tensor, assignment: Tensor) -> Tensor:
     returns ``(N, D, d, L)``.
     """
     return prototypes.matmul(assignment)
+
+
+def reconstruct_and_project(weights: Tensor, prototypes: Tensor, assignment: Tensor) -> Tensor:
+    """Fused layer output ``Y = Σ_j W₁^(j) C^(j) K^(j)`` in one contraction.
+
+    ``weights``: ``(D, cout, d)``; ``prototypes``: ``(D, d, p)``;
+    ``assignment``: ``(N, D, p, L)``; returns ``(N, cout, L)``.
+
+    A single ``einsum`` replaces the reconstruct → per-group matmul → sum
+    pipeline of the naive forward, so neither the ``(N, D, d, L)`` quantized
+    features nor the ``(N, D, cout, L)`` per-group contributions are ever
+    materialized (NumPy contracts ``W C`` into the ``(D, cout, p)`` lookup
+    table first — the same product Algorithm 1 precomputes at deployment).
+    """
+    return F.einsum("god,gdp,ngpl->nol", weights, prototypes, assignment)
 
 
 def assignment_entropy(assignment: np.ndarray, axis: int = -2, eps: float = 1e-12) -> np.ndarray:

@@ -1,0 +1,31 @@
+"""Performance infrastructure shared by the fused kernels and the benchmarks.
+
+Three small building blocks keep the hot paths fast *and* memory-bounded:
+
+* :mod:`repro.perf.timers` — monotonic wall-clock timers and a throughput
+  helper used by the benchmark suite (``BENCH_PR1.json``),
+* :mod:`repro.perf.chunking` — the chunk-size policy that bounds the peak
+  size of broadcasted intermediates (the streaming CAM engine chunks the
+  ``N × L`` position axis through it),
+* :mod:`repro.perf.workspace` — keyed scratch-buffer reuse so repeated
+  kernel invocations (im2col unfolds, per-chunk accumulators) do not
+  re-allocate on every call,
+* :mod:`repro.perf.ckernels` — an optionally compiled C fast path for the
+  PECAN-D search + accumulate loop, with graceful NumPy fallback.
+"""
+
+from repro.perf.chunking import ChunkPolicy, iter_slices
+from repro.perf.ckernels import get_pecan_d_kernel, kernel_available
+from repro.perf.timers import Timer, ThroughputResult, measure_throughput
+from repro.perf.workspace import Workspace
+
+__all__ = [
+    "ChunkPolicy",
+    "iter_slices",
+    "Timer",
+    "ThroughputResult",
+    "measure_throughput",
+    "Workspace",
+    "get_pecan_d_kernel",
+    "kernel_available",
+]

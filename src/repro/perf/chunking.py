@@ -1,0 +1,79 @@
+"""Chunk-size policy bounding the peak memory of broadcasted kernels.
+
+The fused CAM search materializes a ``(N, D, p, d, L_chunk)`` difference
+tensor per chunk; the training-graph l1 backward re-materializes the same
+shape while recomputing the smoothed sign.  Both ask a :class:`ChunkPolicy`
+how many of the ``N × L`` independent positions they may process at once so
+the intermediate stays below a fixed byte budget regardless of batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Default peak-intermediate budget (bytes).  Generous enough that small
+#: workloads run unchunked, small enough that production batches stream.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Default *preferred* transient size (bytes).  Distinct from the hard budget:
+#: broadcasted elementwise kernels run fastest when their transients stay
+#: roughly cache-resident, so chunks target this size even when the memory
+#: budget would allow far larger ones.
+DEFAULT_PREFERRED_BYTES = 8 * 1024 * 1024
+
+
+def iter_slices(total: int, chunk: int) -> Iterator[slice]:
+    """Yield consecutive slices of at most ``chunk`` elements covering ``total``."""
+    if total <= 0:
+        return
+    chunk = max(1, int(chunk))
+    for start in range(0, total, chunk):
+        yield slice(start, min(start + chunk, total))
+
+
+@dataclass(frozen=True)
+class ChunkPolicy:
+    """Decides how many independent columns a broadcasted kernel may process.
+
+    Parameters
+    ----------
+    max_bytes:
+        Upper bound on the size of the largest transient array a kernel is
+        allowed to materialize.  ``None`` or non-positive disables chunking
+        (everything runs in one pass).
+    preferred_bytes:
+        Soft target for the transient size; chunks aim for this so the
+        per-chunk working set stays roughly cache-resident.  Clamped to
+        ``max_bytes``; non-positive means "no preference" (use the budget).
+    """
+
+    max_bytes: int = DEFAULT_MAX_BYTES
+    preferred_bytes: int = DEFAULT_PREFERRED_BYTES
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes is not None and self.max_bytes > 0
+
+    def _target_bytes(self) -> int:
+        if self.preferred_bytes is not None and self.preferred_bytes > 0:
+            return min(self.max_bytes, self.preferred_bytes)
+        return self.max_bytes
+
+    def columns_per_chunk(self, bytes_per_column: int, total_columns: int) -> int:
+        """Largest column count whose transient stays within the target size.
+
+        ``bytes_per_column`` is the size of the broadcasted intermediate per
+        independent column (e.g. ``D·p·d·itemsize`` for the CAM l1 search).
+        Always returns at least 1: a single column may exceed the budget, but
+        it is the smallest unit of work.
+        """
+        if not self.enabled or bytes_per_column <= 0:
+            return max(1, total_columns)
+        return int(max(1, min(total_columns, self._target_bytes() // bytes_per_column)))
+
+    def plan(self, bytes_per_column: int, total_columns: int) -> Tuple[int, int]:
+        """Return ``(columns_per_chunk, num_chunks)`` for ``total_columns``."""
+        per_chunk = self.columns_per_chunk(bytes_per_column, total_columns)
+        num_chunks = -(-max(total_columns, 0) // per_chunk) if total_columns > 0 else 0
+        return per_chunk, num_chunks

@@ -1,0 +1,89 @@
+"""Wall-clock timing helpers for the throughput benchmarks.
+
+Kept dependency-free (``time.perf_counter`` only) so they can run inside the
+test suite as well as in ad-hoc scripts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class Timer:
+    """Context-manager stopwatch accumulating across entries.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     work()
+    >>> t.elapsed  # seconds of the last entry
+    >>> t.total    # seconds across all entries
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.total: float = 0.0
+        self.entries: int = 0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self.total += self.elapsed
+            self.entries += 1
+            self._start = None
+
+
+@dataclass
+class ThroughputResult:
+    """Aggregate of repeated timed runs of one workload."""
+
+    label: str
+    repeats: int
+    items_per_run: int
+    times: List[float] = field(default_factory=list)
+
+    @property
+    def best(self) -> float:
+        return min(self.times) if self.times else float("inf")
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times) if self.times else float("inf")
+
+    @property
+    def items_per_second(self) -> float:
+        """Throughput of the best run (items = e.g. images for inference)."""
+        return self.items_per_run / self.best if self.best > 0 else float("inf")
+
+    def speedup_over(self, other: "ThroughputResult") -> float:
+        """How many times faster this workload ran than ``other`` (best-of)."""
+        return other.best / self.best if self.best > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "repeats": self.repeats,
+            "items_per_run": self.items_per_run,
+            "best_seconds": self.best,
+            "mean_seconds": self.mean,
+            "items_per_second": self.items_per_second,
+        }
+
+
+def measure_throughput(fn: Callable[[], object], label: str, items_per_run: int,
+                       repeats: int = 3, warmup: int = 1) -> ThroughputResult:
+    """Time ``fn`` ``repeats`` times after ``warmup`` untimed calls."""
+    for _ in range(max(0, warmup)):
+        fn()
+    result = ThroughputResult(label=label, repeats=repeats, items_per_run=items_per_run)
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        result.times.append(time.perf_counter() - start)
+    return result

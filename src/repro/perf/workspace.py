@@ -1,0 +1,48 @@
+"""Keyed scratch-buffer reuse for repeatedly invoked kernels.
+
+A :class:`Workspace` hands out NumPy arrays keyed by name; as long as the
+requested shape and dtype match the previous request under the same key, the
+same allocation is returned.  The CAM engine uses this to reuse its im2col
+column buffer and per-chunk accumulators across layers and batches instead of
+allocating fresh arrays on every forward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class Workspace:
+    """A small pool of named reusable ndarray buffers."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def request(self, key: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Return a buffer of ``shape``/``dtype`` under ``key``, reusing when possible.
+
+        Contents are uninitialized (as with ``np.empty``); callers must fully
+        overwrite the buffer.  A mismatched shape or dtype reallocates.
+        """
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._buffers
+
+    def __len__(self) -> int:
+        return len(self._buffers)

@@ -1,0 +1,157 @@
+"""Unit tests for the perf subsystem (chunking, workspace, timers, kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.im2col import im2col
+from repro.perf import (ChunkPolicy, Timer, Workspace, iter_slices,
+                        measure_throughput)
+from repro.perf.chunking import DEFAULT_MAX_BYTES
+
+
+class TestIterSlices:
+    def test_covers_total_exactly(self):
+        slices = list(iter_slices(10, 3))
+        assert [(s.start, s.stop) for s in slices] == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_chunk(self):
+        assert [(s.start, s.stop) for s in iter_slices(4, 100)] == [(0, 4)]
+
+    def test_empty(self):
+        assert list(iter_slices(0, 5)) == []
+
+    def test_chunk_clamped_to_one(self):
+        assert len(list(iter_slices(3, 0))) == 3
+
+
+class TestChunkPolicy:
+    def test_respects_budget(self):
+        policy = ChunkPolicy(max_bytes=1000, preferred_bytes=0)
+        assert policy.columns_per_chunk(100, 50) == 10
+
+    def test_always_at_least_one_column(self):
+        policy = ChunkPolicy(max_bytes=8, preferred_bytes=0)
+        assert policy.columns_per_chunk(10_000, 50) == 1
+
+    def test_never_exceeds_total(self):
+        policy = ChunkPolicy(max_bytes=10**12)
+        assert policy.columns_per_chunk(8, 17) == 17
+
+    def test_preferred_caps_below_budget(self):
+        policy = ChunkPolicy(max_bytes=DEFAULT_MAX_BYTES, preferred_bytes=1000)
+        assert policy.columns_per_chunk(100, 10**6) == 10
+
+    def test_disabled_policy_runs_unchunked(self):
+        policy = ChunkPolicy(max_bytes=0)
+        assert not policy.enabled
+        assert policy.columns_per_chunk(10**9, 123) == 123
+
+    def test_plan(self):
+        policy = ChunkPolicy(max_bytes=1000, preferred_bytes=0)
+        assert policy.plan(100, 25) == (10, 3)
+
+
+class TestWorkspace:
+    def test_reuses_matching_buffer(self):
+        ws = Workspace()
+        a = ws.request("x", (4, 5))
+        b = ws.request("x", (4, 5))
+        assert a is b
+
+    def test_reallocates_on_shape_change(self):
+        ws = Workspace()
+        a = ws.request("x", (4, 5))
+        b = ws.request("x", (4, 6))
+        assert a is not b and b.shape == (4, 6)
+
+    def test_reallocates_on_dtype_change(self):
+        ws = Workspace()
+        a = ws.request("x", (3,), dtype=np.float64)
+        b = ws.request("x", (3,), dtype=np.int64)
+        assert b.dtype == np.int64 and a is not b
+
+    def test_accounting(self):
+        ws = Workspace()
+        ws.request("a", (10,))
+        ws.request("b", (20,), dtype=np.float32)
+        assert len(ws) == 2 and "a" in ws
+        assert ws.nbytes() == 10 * 8 + 20 * 4
+        ws.clear()
+        assert len(ws) == 0
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                sum(range(1000))
+        assert timer.entries == 3
+        assert timer.total >= timer.elapsed > 0
+
+    def test_measure_throughput(self):
+        result = measure_throughput(lambda: sum(range(100)), "toy",
+                                    items_per_run=32, repeats=3, warmup=1)
+        assert len(result.times) == 3
+        assert result.best <= result.mean
+        assert result.items_per_second > 0
+        payload = result.to_dict()
+        assert payload["label"] == "toy" and payload["items_per_run"] == 32
+
+
+class TestIm2colOutBuffer:
+    def test_matches_allocation_free_path(self, rng):
+        x = rng.standard_normal((2, 3, 7, 7))
+        expected = im2col(x, 3, 2, 1)
+        out = np.empty_like(expected)
+        got = im2col(x, 3, 2, 1, out=out)
+        assert got is out
+        np.testing.assert_array_equal(got, expected)
+
+    def test_wrong_shape_rejected(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        with pytest.raises(ValueError):
+            im2col(x, 3, 1, 0, out=np.empty((1, 2, 3)))
+
+    def test_non_contiguous_rejected(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        good = im2col(x, 2, 2, 0)
+        bad = np.empty(good.shape[::-1]).transpose(2, 1, 0)
+        with pytest.raises(ValueError):
+            im2col(x, 2, 2, 0, out=bad)
+
+
+class TestCompiledKernel:
+    def test_graceful_when_disabled(self, monkeypatch):
+        import importlib
+        import repro.perf.ckernels as ck
+        monkeypatch.setenv("REPRO_DISABLE_CKERNELS", "1")
+        module = importlib.reload(ck)
+        try:
+            assert module.kernel_available() is False
+            assert module.get_pecan_d_kernel() is None
+        finally:
+            monkeypatch.delenv("REPRO_DISABLE_CKERNELS")
+            importlib.reload(module)
+
+    def test_kernel_matches_reference_when_available(self, rng):
+        from repro.perf.ckernels import get_pecan_d_kernel
+        kernel = get_pecan_d_kernel()
+        if kernel is None:
+            pytest.skip("no C compiler available")
+        g, d, p, cout, n = 3, 4, 5, 6, 7
+        x = np.ascontiguousarray(rng.standard_normal((n, g * d)))
+        protos = np.ascontiguousarray(rng.standard_normal((g, d, p)))
+        table_flat = np.ascontiguousarray(rng.standard_normal((g * p, cout)))
+        row_offset = np.arange(g * d, dtype=np.int64)
+        out = np.empty((n, cout))
+        winners = np.empty((n, g), dtype=np.int64)
+        kernel(x, row_offset, protos, table_flat, out, winners, 1, 1, 1, 1)
+        grouped = x.reshape(n, g, d)
+        expected = np.zeros((n, cout))
+        for j in range(g):
+            dist = np.abs(grouped[:, j, :, None] - protos[j][None]).sum(axis=1)
+            win = dist.argmin(axis=1)
+            np.testing.assert_array_equal(winners[:, j], win)
+            expected += table_flat[j * p + win]
+        np.testing.assert_array_equal(out, expected)
