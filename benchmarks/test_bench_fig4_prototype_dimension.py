@@ -23,6 +23,10 @@ from repro.analysis.ablation import prototype_dimension_sweep
 from repro.experiments import ExperimentConfig
 from repro.experiments.tables import format_table
 
+#: Micro-training driven figure reproduction: excluded from the fast tier
+#: (`pytest -m "not slow"`); run explicitly or in the full benchmark pass.
+pytestmark = pytest.mark.slow
+
 #: Fig. 4 reference accuracies read off the paper's bar chart (approximate).
 PAPER_FIG4 = {
     ("angle", "k"): 89.8, ("angle", "k2"): 90.3, ("angle", "cin"): 88.9,

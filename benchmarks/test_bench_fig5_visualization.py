@@ -23,6 +23,10 @@ from repro.data import make_dataset
 from repro.experiments import run_experiment
 from repro.experiments.tables import format_table
 
+#: Micro-training driven figure reproduction: excluded from the fast tier
+#: (`pytest -m "not slow"`); run explicitly or in the full benchmark pass.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def trained_pecan_vgg(micro_cifar10_config):

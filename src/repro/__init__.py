@@ -17,32 +17,43 @@ Subpackages
 ``repro.baselines``  AdderNet, binary (XNOR) and shift convolution comparators.
 ``repro.analysis``   Prototype usage, visualization and ablation utilities.
 ``repro.experiments`` Experiment configs and the training/evaluation runner.
+``repro.serve``      Bundle-backed model serving (engines, batching, registry).
+
+The re-exports are resolved lazily (PEP 562) so that deployment-side imports
+such as ``import repro.serve`` never load the training substrate (autograd,
+optimizers, model zoo); attribute access behaves exactly as before.
 """
 
-from repro.autograd import Tensor, no_grad
-from repro.pecan import (
-    PQLayerConfig,
-    PECANMode,
-    PECANConv2d,
-    PECANLinear,
-    Codebook,
-    convert_to_pecan,
-    PECANTrainer,
-    TrainingStrategy,
-)
+import importlib
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "Tensor",
-    "no_grad",
-    "PQLayerConfig",
-    "PECANMode",
-    "PECANConv2d",
-    "PECANLinear",
-    "Codebook",
-    "convert_to_pecan",
-    "PECANTrainer",
-    "TrainingStrategy",
-    "__version__",
-]
+#: Lazily resolved re-exports: attribute name -> providing module.
+_EXPORTS = {
+    "Tensor": "repro.autograd",
+    "no_grad": "repro.autograd",
+    "PQLayerConfig": "repro.pecan",
+    "PECANMode": "repro.pecan",
+    "PECANConv2d": "repro.pecan",
+    "PECANLinear": "repro.pecan",
+    "Codebook": "repro.pecan",
+    "convert_to_pecan": "repro.pecan",
+    "PECANTrainer": "repro.pecan",
+    "TrainingStrategy": "repro.pecan",
+}
+
+__all__ = list(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value          # cache so the import runs once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

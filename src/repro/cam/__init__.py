@@ -9,31 +9,59 @@ into a lookup table (``Y^(j) = W₁^(j) C^(j)``) and inference reduces to
 
 This package provides:
 
+* :mod:`repro.cam.layer_lut` — the :class:`LayerLUT` deployment artifact
+  (import-lean: no training dependencies),
 * :mod:`repro.cam.lut` — LUT construction from trained layers,
 * :mod:`repro.cam.cam_array` — a behavioural model of the CAM macro
   (match-line evaluations, energy/latency accounting),
+* :mod:`repro.cam.counters` — per-layer operation counters (import-lean),
+* :mod:`repro.cam.runtime` — the autograd-free per-layer Algorithm-1 kernels
+  shared by the model engine and the serving stack,
 * :mod:`repro.cam.inference` — the lookup-only inference engine that swaps the
   training-graph forward of every PECAN layer for Algorithm 1,
 * :mod:`repro.cam.verify` — operation tracing that proves PECAN-D inference
   uses zero multiplications and checks LUT inference matches the training
   graph bit-for-bit.
+
+Re-exports resolve lazily (PEP 562) so the serving stack can import the lean
+modules (``layer_lut``, ``cam_array``, ``counters``, ``runtime``) without
+loading autograd.
 """
 
-from repro.cam.lut import LayerLUT, build_layer_lut, build_model_luts
-from repro.cam.cam_array import CAMArray, CAMStats, CAMEnergyModel
-from repro.cam.inference import CAMInferenceEngine, lut_inference
-from repro.cam.verify import OpCounter, trace_inference_ops, assert_multiplier_free
+import importlib
 
-__all__ = [
-    "LayerLUT",
-    "build_layer_lut",
-    "build_model_luts",
-    "CAMArray",
-    "CAMStats",
-    "CAMEnergyModel",
-    "CAMInferenceEngine",
-    "lut_inference",
-    "OpCounter",
-    "trace_inference_ops",
-    "assert_multiplier_free",
-]
+#: Lazily resolved re-exports: attribute name -> providing submodule.
+_EXPORTS = {
+    "LayerLUT": "repro.cam.layer_lut",
+    "PrunedLayerLUT": "repro.cam.layer_lut",
+    "total_memory_footprint": "repro.cam.layer_lut",
+    "build_layer_lut": "repro.cam.lut",
+    "build_model_luts": "repro.cam.lut",
+    "CAMArray": "repro.cam.cam_array",
+    "CAMStats": "repro.cam.cam_array",
+    "CAMEnergyModel": "repro.cam.cam_array",
+    "LUTLayerRuntime": "repro.cam.runtime",
+    "CAMInferenceEngine": "repro.cam.inference",
+    "lut_inference": "repro.cam.inference",
+    "LayerOpCount": "repro.cam.counters",
+    "OpCounter": "repro.cam.counters",
+    "MultiplierUsageError": "repro.cam.counters",
+    "trace_inference_ops": "repro.cam.verify",
+    "assert_multiplier_free": "repro.cam.verify",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,83 @@
+"""Per-layer operation counters for the Algorithm-1 inference path.
+
+The central hardware claim of PECAN-D is that inference uses **zero
+multiplications** (Section 3.2 / Table 1).  These dataclasses tally every
+arithmetic operation the CAM path executes; they are import-lean (NumPy-free,
+training-free) so both the model-based engine (:mod:`repro.cam.inference`) and
+the bundle-backed serving engine (:mod:`repro.serve`) can account identically.
+The model-level helpers that *interpret* the counts (tracing a model, checking
+for unconverted layers) stay in :mod:`repro.cam.verify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class LayerOpCount:
+    """Operations executed by one layer during a traced inference pass."""
+
+    name: str
+    kind: str
+    additions: int = 0
+    multiplications: int = 0
+    comparisons: int = 0
+    lookups: int = 0
+
+    def total(self) -> int:
+        return self.additions + self.multiplications + self.comparisons + self.lookups
+
+
+@dataclass
+class OpCounter:
+    """Aggregates per-layer operation counts for one traced inference pass."""
+
+    layers: Dict[str, LayerOpCount] = field(default_factory=dict)
+
+    def layer(self, name: str, kind: str) -> LayerOpCount:
+        if name not in self.layers:
+            self.layers[name] = LayerOpCount(name=name, kind=kind)
+        return self.layers[name]
+
+    def _snapshot(self) -> List[LayerOpCount]:
+        # list(dict.values()) is atomic under the GIL: metrics readers on
+        # other threads must never race a RuntimeError out of an engine
+        # worker inserting a new layer entry mid-iteration.
+        return list(self.layers.values())
+
+    @property
+    def additions(self) -> int:
+        return sum(layer.additions for layer in self._snapshot())
+
+    @property
+    def multiplications(self) -> int:
+        return sum(layer.multiplications for layer in self._snapshot())
+
+    @property
+    def comparisons(self) -> int:
+        return sum(layer.comparisons for layer in self._snapshot())
+
+    @property
+    def lookups(self) -> int:
+        return sum(layer.lookups for layer in self._snapshot())
+
+    def is_multiplier_free(self) -> bool:
+        return self.multiplications == 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "additions": self.additions,
+            "multiplications": self.multiplications,
+            "comparisons": self.comparisons,
+            "lookups": self.lookups,
+        }
+
+    def per_layer_table(self) -> List[Tuple[str, str, int, int]]:
+        """Rows ``(name, kind, additions, multiplications)`` in insertion order."""
+        return [(l.name, l.kind, l.additions, l.multiplications) for l in self._snapshot()]
+
+
+class MultiplierUsageError(AssertionError):
+    """Raised when a supposedly multiplier-free inference used multiplications."""

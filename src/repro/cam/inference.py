@@ -19,20 +19,17 @@ the weighted sum — exactly the Table 1 complexity model.
 
 Execution strategy
 ------------------
-The engine simulates all ``D`` CAM banks of a layer *at once*: the layer's
-codebooks are stacked into one ``(D, d, p)`` array and its lookup table into
-one ``(D, cout, p)`` array — no Python loop over groups.  PECAN-D prefers the
-compiled single-pass kernel of :mod:`repro.perf.ckernels` (fused im2col + l1
-search + LUT accumulate, no intermediates); without a compiler it falls back
-to scipy's ``cdist`` or a broadcasted l1 pass for the search plus one
-flat-index ``np.take`` and a sum over the group axis for the accumulation.
-PECAN-A runs as batched GEMMs with an in-place softmax.  Because the NumPy
-paths materialize per-position transients (up to ``(N, D, p, d, L_chunk)``),
-the ``L`` position axis is streamed through a :class:`~repro.perf.ChunkPolicy`
-so peak memory stays bounded at production batch sizes; ``predict`` can
-additionally stream the batch axis.  The original per-group loop is kept as
-:meth:`_LUTLayerRuntime._run_groups_reference` and every fast path is
-verified element-wise against it in the test suite.
+The per-layer kernels live in :class:`repro.cam.runtime.LUTLayerRuntime`
+(autograd-free, shared with the bundle-backed serving engine of
+:mod:`repro.serve`): the layer's codebooks are stacked into one ``(D, d, p)``
+array and its lookup table into one ``(D, cout, p)`` array, PECAN-D prefers
+the compiled single-pass kernel of :mod:`repro.perf.ckernels` with
+``cdist``/NumPy fallbacks, PECAN-A runs as batched GEMMs, and the ``L``
+position axis is streamed through a :class:`~repro.perf.ChunkPolicy` so peak
+memory stays bounded; ``predict`` can additionally stream the batch axis.
+The original per-group loop is kept as
+:meth:`~repro.cam.runtime.LUTLayerRuntime._run_groups_reference` and every
+fast path is verified element-wise against it in the test suite.
 """
 
 from __future__ import annotations
@@ -42,352 +39,17 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.autograd.im2col import conv_output_size, im2col
 from repro.autograd.tensor import Tensor, no_grad
-from repro.nn.module import Module
-from repro.pecan.config import PECANMode
-from repro.pecan.convert import pecan_layers
-from repro.pecan.layers import PECANConv2d, PECANLinear
-from repro.cam.cam_array import CAMArray, CAMEnergyModel, CAMStats
+from repro.cam.cam_array import CAMEnergyModel, CAMStats
+from repro.cam.counters import OpCounter
 from repro.cam.lut import LayerLUT, build_layer_lut
-from repro.cam.verify import OpCounter
+from repro.cam.runtime import LUTLayerRuntime
+from repro.nn.module import Module
+from repro.pecan.convert import pecan_layers
 from repro.perf import ChunkPolicy, Workspace, iter_slices
-from repro.perf.ckernels import MAX_PROTOTYPES, get_pecan_d_kernel
 
-try:                                      # scipy ships with the image but is
-    from scipy.spatial.distance import cdist as _cdist   # not a hard dependency
-except ImportError:                       # pragma: no cover - env without scipy
-    _cdist = None
-
-
-class _LUTLayerRuntime:
-    """Executes Algorithm 1 for a single PECAN layer using its LUT.
-
-    The runtime owns two interchangeable kernels:
-
-    * the **fused** kernel (default) — one broadcasted search over all groups
-      plus a single flat-index gather, chunked over the position axis;
-    * the **reference** kernel — the original Python loop over the ``D``
-      :class:`CAMArray` banks, retained for verification and benchmarking.
-    """
-
-    def __init__(self, layer, lut: LayerLUT, counter: OpCounter,
-                 energy_model: Optional[CAMEnergyModel] = None,
-                 chunk_policy: Optional[ChunkPolicy] = None,
-                 workspace: Optional[Workspace] = None,
-                 use_fused: bool = True):
-        self.layer = layer
-        self.lut = lut
-        self.counter = counter
-        self.chunk_policy = chunk_policy if chunk_policy is not None else ChunkPolicy()
-        self.workspace = workspace if workspace is not None else Workspace()
-        self.use_fused = use_fused
-        self.cam_banks = [CAMArray(lut.prototypes[j], lut.mode, temperature=lut.temperature,
-                                   energy_model=energy_model)
-                          for j in range(lut.num_groups)]
-        # Stacked deployment arrays for the fused kernels.
-        self.prototypes = np.ascontiguousarray(lut.prototypes)          # (D, d, p)
-        self.table = np.ascontiguousarray(lut.table)                    # (D, cout, p)
-        # (D·p, cout) view: row j·p + m is the LUT column of prototype m of
-        # group j, so winners translate to rows with one flat-index gather.
-        self.table_flat = np.ascontiguousarray(
-            self.table.transpose(0, 2, 1).reshape(-1, lut.out_channels))
-        # (D, p, d): prototype-major rows for cdist / batched GEMM queries.
-        self._protos_rows = np.ascontiguousarray(self.prototypes.transpose(0, 2, 1))
-        # (cout, D·p): contracts weighted sum and group summation in one GEMM.
-        self._table_2d = np.ascontiguousarray(
-            self.table.transpose(1, 0, 2).reshape(lut.out_channels, -1))
-        self._group_offsets = (np.arange(lut.num_groups, dtype=np.int64)
-                               * lut.num_prototypes)[None, :, None]     # (1, D, 1)
-        self._ckernel = (get_pecan_d_kernel()
-                         if lut.mode is PECANMode.DISTANCE else None)
-        self._row_offset_cache: Dict[tuple, np.ndarray] = {}
-
-    @property
-    def kernel_name(self) -> str:
-        """Which implementation the fused path will use for this layer."""
-        if not self.use_fused:
-            return "reference"
-        if self.lut.mode is PECANMode.DISTANCE:
-            if self._ckernel_eligible:
-                return "ckernel"
-            return "cdist" if _cdist is not None else "numpy"
-        return "blas"
-
-    @property
-    def _ckernel_eligible(self) -> bool:
-        return (self.use_fused and self._ckernel is not None
-                and self.lut.num_prototypes <= MAX_PROTOTYPES)
-
-    # ------------------------------------------------------------------ #
-    def _count(self, num_positions: int) -> None:
-        """Charge the Table-1 operation counts for ``num_positions`` subvectors."""
-        ops = self.counter.layer(self.lut.name, self.lut.kind)
-        d_groups = self.lut.num_groups
-        p = self.lut.num_prototypes
-        d = self.lut.subvector_dim
-        cout = self.lut.out_channels
-        if self.lut.mode is PECANMode.DISTANCE:
-            ops.additions += num_positions * d_groups * (2 * p * d + cout)
-            ops.comparisons += num_positions * d_groups * p
-            ops.lookups += num_positions * d_groups * cout
-        else:
-            ops.additions += num_positions * d_groups * p * (d + cout)
-            ops.multiplications += num_positions * d_groups * p * (d + cout)
-            ops.lookups += num_positions * d_groups * p * cout
-        if self.lut.bias is not None:
-            ops.additions += num_positions * cout
-
-    # ------------------------------------------------------------------ #
-    def _grouped_columns(self, cols: np.ndarray) -> np.ndarray:
-        """``(N, total, L) -> (N, D, d, L)`` applying the stored permutation.
-
-        ``group_permutation`` is ``None`` for the channel layout (identity
-        permutation), in which case this is a pure reshape view — no copy.
-        """
-        n, _, length = cols.shape
-        if self.lut.group_permutation is not None:
-            cols = cols[:, self.lut.group_permutation, :]
-        return cols.reshape(n, self.lut.num_groups, self.lut.subvector_dim, length)
-
-    def _record_search_stats(self, num_queries: int, usage_counts: np.ndarray) -> None:
-        """Mirror the per-bank accounting of the reference loop."""
-        for j, bank in enumerate(self.cam_banks):
-            bank.record_search_batch(num_queries, usage_counts[j])
-
-    def _usage_from_winners(self, winners: np.ndarray) -> np.ndarray:
-        """``(N, D, L)`` winner indices → ``(D, p)`` usage histogram."""
-        d_groups, p = self.lut.num_groups, self.lut.num_prototypes
-        flat = (winners + self._group_offsets).reshape(-1)
-        counts = np.bincount(flat, minlength=d_groups * p)
-        return counts.reshape(d_groups, p)
-
-    # ------------------------------------------------------------------ #
-    # Fused kernels (all groups in one pass, chunked over positions)
-    # ------------------------------------------------------------------ #
-    def _distance_winners(self, grouped: np.ndarray) -> np.ndarray:
-        """Fused l1 search: grouped ``(N, D, d, L)`` → winners ``(N, D, L)``.
-
-        Uses scipy's C ``cdist`` when available (bitwise-identical to the
-        broadcast), otherwise a broadcasted pass chunked so the
-        ``(N, D, p, d, L_chunk)`` transient respects the chunk policy.
-        """
-        n, d_groups, dim, length = grouped.shape
-        p = self.lut.num_prototypes
-        itemsize = np.dtype(np.float64).itemsize
-        winners = np.empty((n, d_groups, length), dtype=np.int64)
-        if _cdist is not None:
-            # Chunk over positions: the (N·Lc, p) cdist result and the
-            # (N, Lc, d) query copy are the transients to bound.
-            chunk = self.chunk_policy.columns_per_chunk(
-                n * max(p, dim) * itemsize, length)
-            qbuf = self.workspace.request(f"{self.lut.name}/cdist_q",
-                                          (n, chunk, dim))
-            for sl in iter_slices(length, chunk):
-                width = sl.stop - sl.start
-                queries = qbuf[:, :width]
-                for j in range(d_groups):
-                    np.copyto(queries, grouped[:, j, :, sl].transpose(0, 2, 1))
-                    dist = _cdist(queries.reshape(n * width, dim),
-                                  self._protos_rows[j], "cityblock")
-                    winners[:, j, sl] = dist.argmin(axis=1).reshape(n, width)
-            return winners
-        per_column = n * d_groups * dim * p * itemsize
-        chunk = self.chunk_policy.columns_per_chunk(per_column, length)
-        protos = self.prototypes[None, :, :, :, None]                   # (1, D, d, p, 1)
-        for sl in iter_slices(length, chunk):
-            diff = np.abs(grouped[:, :, :, None, sl] - protos)          # (N, D, d, p, Lc)
-            winners[:, :, sl] = diff.sum(axis=2).argmin(axis=2)
-        return winners
-
-    def _row_offsets(self, hp: int, wp: int) -> np.ndarray:
-        """Per-sample element offset of every grouped im2col row at position (0, 0).
-
-        Row ``r`` of the *grouped* matrix maps (through the stored group
-        permutation, when present) to im2col row ``c·k² + ki·k + kj``, which
-        lives at offset ``c·Hp·Wp + ki·Wp + kj`` inside one padded sample.
-        The table folds the unfold and the permutation into the compiled
-        kernel's reads, so the fast path never materializes columns at all.
-        """
-        key = (hp, wp)
-        cached = self._row_offset_cache.get(key)
-        if cached is None:
-            k = max(1, self.lut.kernel_size)
-            k2 = k * k
-            total = self.lut.num_groups * self.lut.subvector_dim
-            rows = (self.lut.group_permutation if self.lut.group_permutation is not None
-                    else np.arange(total, dtype=np.int64))
-            chan, pos = np.divmod(rows, k2)
-            ki, kj = np.divmod(pos, k)
-            cached = np.ascontiguousarray((chan * hp * wp + ki * wp + kj),
-                                          dtype=np.int64)
-            self._row_offset_cache[key] = cached
-        return cached
-
-    def _run_ckernel(self, xp: np.ndarray, wp: int, stride: int,
-                     hout: int, wout: int) -> np.ndarray:
-        """Single-pass compiled unfold+search+accumulate → ``(N, cout, Hout·Wout)``."""
-        n = xp.shape[0]
-        length = hout * wout
-        d_groups = self.lut.num_groups
-        cout = self.lut.out_channels
-        out_pm = self.workspace.request(f"{self.lut.name}/ck_out",
-                                        (n * length, cout))
-        winners = self.workspace.request(f"{self.lut.name}/ck_winners",
-                                         (n * length, d_groups), dtype=np.int64)
-        self._ckernel(xp, self._row_offsets(xp.shape[-2] if xp.ndim == 4 else 1, wp),
-                      self.prototypes, self.table_flat, out_pm, winners,
-                      wp, stride, hout, wout)
-        usage = np.bincount(
-            (winners + self._group_offsets[0].T).reshape(-1),
-            minlength=d_groups * self.lut.num_prototypes,
-        ).reshape(d_groups, self.lut.num_prototypes)
-        self._record_search_stats(n * length, usage)
-        # .copy() (not ascontiguousarray): out_pm is a reused workspace
-        # buffer, so the returned layer output must never alias it.
-        out = out_pm.reshape(n, length, cout).transpose(0, 2, 1).copy() # (N, cout, L)
-        if self.lut.bias is not None:
-            out += self.lut.bias.reshape(1, cout, 1)
-        return out
-
-    def _run_groups_fused(self, grouped: np.ndarray) -> np.ndarray:
-        """Search + lookup for grouped columns ``(N, D, d, L)`` → ``(N, cout, L)``."""
-        n, d_groups, dim, length = grouped.shape
-        p = self.lut.num_prototypes
-        cout = self.lut.out_channels
-        itemsize = np.dtype(np.float64).itemsize
-
-        if self.lut.mode is PECANMode.DISTANCE:
-            winners = self._distance_winners(grouped)
-            # One flat-index gather + sum over the group axis, chunked so
-            # the (N, D, Lc, cout) gather respects the memory budget.
-            out = np.empty((n, cout, length))
-            per_column = n * d_groups * cout * itemsize
-            chunk = self.chunk_policy.columns_per_chunk(per_column, length)
-            flat = winners + self._group_offsets                        # (N, D, L)
-            for sl in iter_slices(length, chunk):
-                gathered = self.table_flat.take(flat[:, :, sl], axis=0)
-                out[:, :, sl] = gathered.sum(axis=1).transpose(0, 2, 1)
-            self._record_search_stats(n * length, self._usage_from_winners(winners))
-        else:
-            # PECAN-A: one batched GEMM for all group scores, an in-place
-            # softmax on a reused cache-sized buffer, then a single
-            # (cout, D·p) × (D·p, L) GEMM contracting the weighted sum and
-            # the group summation at once.
-            queries = self.workspace.request(f"{self.lut.name}/angle_q",
-                                             (d_groups, dim, n * length))
-            np.copyto(queries.reshape(d_groups, dim, n, length),
-                      grouped.transpose(1, 2, 0, 3))
-            winners = np.empty((d_groups, n * length), dtype=np.int64)
-            out_pm = self.workspace.request(f"{self.lut.name}/angle_out",
-                                            (cout, n * length))
-            chunk = self.chunk_policy.columns_per_chunk(d_groups * p * itemsize,
-                                                        n * length)
-            sbuf = self.workspace.request(f"{self.lut.name}/angle_scores",
-                                          (d_groups, p, chunk))
-            for sl in iter_slices(n * length, chunk):
-                weights = sbuf[:, :, :sl.stop - sl.start]               # (D, p, Lc)
-                np.matmul(self._protos_rows, queries[:, :, sl], out=weights)
-                weights /= self.lut.temperature
-                weights -= weights.max(axis=1, keepdims=True)
-                np.exp(weights, out=weights)
-                weights /= weights.sum(axis=1, keepdims=True)
-                winners[:, sl] = weights.argmax(axis=1)
-                np.matmul(self._table_2d, weights.reshape(d_groups * p, -1),
-                          out=out_pm[:, sl])
-            usage = np.bincount(
-                (winners + self._group_offsets[0]).reshape(-1),
-                minlength=d_groups * p).reshape(d_groups, p)
-            self._record_search_stats(n * length, usage)
-            # .copy() (not ascontiguousarray): out_pm is a reused workspace
-            # buffer, so the returned layer output must never alias it.
-            out = out_pm.reshape(cout, n, length).transpose(1, 0, 2).copy()  # (N, cout, L)
-
-        if self.lut.bias is not None:
-            out += self.lut.bias.reshape(1, cout, 1)
-        return out
-
-    # ------------------------------------------------------------------ #
-    # Reference kernel (per-group Python loop over the CAM banks)
-    # ------------------------------------------------------------------ #
-    def _run_groups_reference(self, grouped: np.ndarray) -> np.ndarray:
-        """Original per-group loop — the verification reference for the fused path."""
-        n, d_groups, _, length = grouped.shape
-        cout = self.lut.out_channels
-        out = np.zeros((n, cout, length))
-        for j in range(d_groups):
-            bank = self.cam_banks[j]
-            queries = grouped[:, j].transpose(1, 0, 2).reshape(self.lut.subvector_dim,
-                                                               n * length)
-            if self.lut.mode is PECANMode.DISTANCE:
-                winners = bank.match(queries)                       # (N*L,)
-                contribution = self.lut.table[j][:, winners]        # (cout, N*L)
-            else:
-                weights = bank.soft_match(queries)                  # (p, N*L)
-                contribution = self.lut.table[j] @ weights          # (cout, N*L)
-            out += contribution.reshape(cout, n, length).transpose(1, 0, 2)
-        if self.lut.bias is not None:
-            out += self.lut.bias.reshape(1, cout, 1)
-        return out
-
-    def _run_groups(self, grouped: np.ndarray) -> np.ndarray:
-        if self.use_fused:
-            return self._run_groups_fused(grouped)
-        return self._run_groups_reference(grouped)
-
-    # ------------------------------------------------------------------ #
-    def conv_forward(self, x: Tensor) -> Tensor:
-        data = np.asarray(x.data)
-        n, cin, h, w = data.shape
-        hout = conv_output_size(h, self.lut.kernel_size, self.lut.stride, self.lut.padding)
-        wout = conv_output_size(w, self.lut.kernel_size, self.lut.stride, self.lut.padding)
-        k = self.lut.kernel_size
-        pad = self.lut.padding
-        if self._ckernel_eligible:
-            if pad:
-                xp = np.pad(data, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-                xp = np.ascontiguousarray(xp, dtype=np.float64)
-            else:
-                xp = np.ascontiguousarray(data, dtype=np.float64)
-            out = self._run_ckernel(xp, w + 2 * pad, self.lut.stride, hout, wout)
-        else:
-            cols_buf = self.workspace.request(f"{self.lut.name}/im2col",
-                                              (n, cin * k * k, hout * wout),
-                                              dtype=data.dtype)
-            cols = im2col(data, k, self.lut.stride, self.lut.padding, out=cols_buf)
-            grouped = self._grouped_columns(cols)
-            out = self._run_groups(grouped)
-        self._count(n * hout * wout)
-        return Tensor(out.reshape(n, self.lut.out_channels, hout, wout))
-
-    def fc_forward(self, x: Tensor) -> Tensor:
-        data = np.asarray(x.data)
-        n = data.shape[0]
-        if self._ckernel_eligible:
-            flat = np.ascontiguousarray(data.reshape(n, -1), dtype=np.float64)
-            out = self._run_ckernel(flat, 1, 1, 1, 1)
-        else:
-            grouped = data.reshape(n, self.lut.num_groups, self.lut.subvector_dim, 1)
-            out = self._run_groups(grouped)
-        self._count(n)
-        return Tensor(out.reshape(n, self.lut.out_channels))
-
-    def __call__(self, x: Tensor) -> Tensor:
-        if self.lut.kind == "conv":
-            return self.conv_forward(x)
-        return self.fc_forward(x)
-
-    # ------------------------------------------------------------------ #
-    @property
-    def cam_stats(self) -> CAMStats:
-        total = CAMStats()
-        for bank in self.cam_banks:
-            total = total.merge(bank.stats)
-        return total
-
-    @property
-    def usage_counts(self) -> np.ndarray:
-        return np.stack([bank.usage for bank in self.cam_banks])
+#: Backwards-compatible alias: the runtime used to be a private class here.
+_LUTLayerRuntime = LUTLayerRuntime
 
 
 class CAMInferenceEngine:
@@ -415,14 +77,16 @@ class CAMInferenceEngine:
         self.op_counter = OpCounter()
         self.chunk_policy = chunk_policy if chunk_policy is not None else ChunkPolicy()
         self.workspace = Workspace()
-        self.runtimes: Dict[str, _LUTLayerRuntime] = {}
+        self.runtimes: Dict[str, LUTLayerRuntime] = {}
+        self._layers: Dict[str, Module] = {}
         for name, layer in pecan_layers(model):
             lut = build_layer_lut(layer, name=name)
-            self.runtimes[name] = _LUTLayerRuntime(layer, lut, self.op_counter,
-                                                   energy_model=energy_model,
-                                                   chunk_policy=self.chunk_policy,
-                                                   workspace=self.workspace,
-                                                   use_fused=use_fused)
+            self._layers[name] = layer
+            self.runtimes[name] = LUTLayerRuntime(lut, self.op_counter,
+                                                  energy_model=energy_model,
+                                                  chunk_policy=self.chunk_policy,
+                                                  workspace=self.workspace,
+                                                  use_fused=use_fused)
 
     @property
     def use_fused(self) -> bool:
@@ -437,14 +101,19 @@ class CAMInferenceEngine:
     def _lut_mode(self):
         """Temporarily swap every PECAN layer's forward for its LUT runtime."""
         originals = {}
+
+        def lut_forward(runtime):
+            return lambda x: Tensor(runtime(np.asarray(x.data)))
+
         try:
             for name, runtime in self.runtimes.items():
-                originals[name] = runtime.layer.forward
-                runtime.layer.forward = runtime
+                layer = self._layers[name]
+                originals[name] = layer.forward
+                layer.forward = lut_forward(runtime)
             yield
         finally:
-            for name, runtime in self.runtimes.items():
-                runtime.layer.forward = originals[name]
+            for name in self.runtimes:
+                self._layers[name].forward = originals[name]
 
     def _forward_batch(self, inputs: np.ndarray) -> np.ndarray:
         with no_grad(), self._lut_mode():

@@ -1,140 +1,25 @@
 """Lookup-table construction (Algorithm 1, lines 1–4).
 
-A trained PECAN layer stores two things in memory at deployment time
-(Section 3 of the paper):
-
-* the ``D·p`` prototypes used to quantize incoming subvectors, and
-* the precomputed products between the grouped weights and every prototype —
-  ``Y^(j) = W₁^(j) C₁^(j) ∈ R^{cout×p}`` for each group ``j``.
-
-:class:`LayerLUT` bundles both together with the metadata the inference engine
-needs (kernel geometry, group permutation, similarity mode).
+This module builds :class:`~repro.cam.layer_lut.LayerLUT` deployment artifacts
+from *live* trained PECAN layers, so it imports the training stack.  The
+``LayerLUT`` dataclass itself (and the pruning helpers) live in
+:mod:`repro.cam.layer_lut`, which is import-lean so the serving path can use
+exported LUTs without autograd; both names are re-exported here for backwards
+compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Union
 
-import numpy as np
-
+from repro.cam.layer_lut import (  # noqa: F401  (re-exported API)
+    LayerLUT,
+    PrunedLayerLUT,
+    total_memory_footprint,
+)
 from repro.nn.module import Module
-from repro.pecan.config import PECANMode
 from repro.pecan.convert import pecan_layers
-from repro.pecan.layers import PECANConv2d, PECANLinear, is_identity_permutation
-
-
-@dataclass
-class LayerLUT:
-    """Deployment artifact of one PECAN layer.
-
-    Attributes
-    ----------
-    name:
-        Qualified module name inside the parent model.
-    kind:
-        ``"conv"`` or ``"fc"``.
-    mode:
-        Similarity mode (angle → weighted sum of LUT columns, distance → a
-        single LUT column per group).
-    prototypes:
-        ``(D, d, p)`` array searched by the CAM.
-    table:
-        ``(D, cout, p)`` precomputed weight-prototype products.
-    bias:
-        Optional ``(cout,)`` bias added after the group summation.
-    """
-
-    name: str
-    kind: str
-    mode: PECANMode
-    prototypes: np.ndarray
-    table: np.ndarray
-    bias: Optional[np.ndarray]
-    temperature: float
-    kernel_size: int = 1
-    stride: int = 1
-    padding: int = 0
-    in_channels: int = 0
-    out_channels: int = 0
-    group_permutation: Optional[np.ndarray] = None
-
-    def __post_init__(self) -> None:
-        # An identity permutation is a no-op; normalizing it to None lets the
-        # inference engine group columns with a pure reshape view instead of a
-        # fancy-index copy.
-        if self.group_permutation is not None and is_identity_permutation(
-                self.group_permutation):
-            self.group_permutation = None
-
-    @property
-    def num_groups(self) -> int:
-        return self.prototypes.shape[0]
-
-    @property
-    def subvector_dim(self) -> int:
-        return self.prototypes.shape[1]
-
-    @property
-    def num_prototypes(self) -> int:
-        return self.prototypes.shape[2]
-
-    def memory_footprint(self, bytes_per_value: int = 4) -> Dict[str, int]:
-        """Storage cost split into prototype memory and LUT memory (Section 3)."""
-        prototype_values = int(np.prod(self.prototypes.shape))
-        table_values = int(np.prod(self.table.shape))
-        return {
-            "prototype_values": prototype_values,
-            "table_values": table_values,
-            "prototype_bytes": prototype_values * bytes_per_value,
-            "table_bytes": table_values * bytes_per_value,
-            "total_bytes": (prototype_values + table_values) * bytes_per_value,
-        }
-
-    def prune_dead_prototypes(self, usage_counts: np.ndarray) -> "PrunedLayerLUT":
-        """Drop prototypes with zero usage (Section 5 / Fig. 6 discussion).
-
-        Returns a :class:`PrunedLayerLUT` carrying per-group index maps so the
-        pruned table can still be addressed by new (compacted) indices.
-        """
-        if usage_counts.shape != (self.num_groups, self.num_prototypes):
-            raise ValueError("usage_counts must have shape (D, p)")
-        keep_masks = usage_counts > 0
-        kept_prototypes: List[np.ndarray] = []
-        kept_tables: List[np.ndarray] = []
-        index_maps: List[np.ndarray] = []
-        for j in range(self.num_groups):
-            keep = np.where(keep_masks[j])[0]
-            if keep.size == 0:
-                # Never prune a whole group empty: keep the most-used prototype.
-                keep = np.array([int(usage_counts[j].argmax())])
-            kept_prototypes.append(self.prototypes[j][:, keep])
-            kept_tables.append(self.table[j][:, keep])
-            index_maps.append(keep)
-        return PrunedLayerLUT(base=self, prototypes=kept_prototypes, tables=kept_tables,
-                              kept_indices=index_maps)
-
-
-@dataclass
-class PrunedLayerLUT:
-    """A :class:`LayerLUT` after dead-prototype pruning (ragged per group)."""
-
-    base: LayerLUT
-    prototypes: List[np.ndarray]
-    tables: List[np.ndarray]
-    kept_indices: List[np.ndarray]
-
-    @property
-    def prototypes_kept(self) -> int:
-        return int(sum(p.shape[1] for p in self.prototypes))
-
-    @property
-    def prototypes_total(self) -> int:
-        return self.base.num_groups * self.base.num_prototypes
-
-    def memory_saving_fraction(self) -> float:
-        """Fraction of prototype + LUT storage removed by pruning."""
-        return 1.0 - self.prototypes_kept / max(self.prototypes_total, 1)
+from repro.pecan.layers import PECANConv2d, PECANLinear
 
 
 def build_layer_lut(layer: Union[PECANConv2d, PECANLinear], name: str = "") -> LayerLUT:
@@ -151,26 +36,13 @@ def build_layer_lut(layer: Union[PECANConv2d, PECANLinear], name: str = "") -> L
             stride=layer.stride, padding=layer.padding, in_channels=layer.in_channels,
             out_channels=layer.out_channels,
             group_permutation=None if layer.group_layout == "channel" else layer._perm.copy())
-    if isinstance(layer, PECANLinear):
-        return LayerLUT(
-            name=name, kind="fc", mode=layer.config.mode,
-            prototypes=layer.codebook.prototypes.data.copy(), table=table, bias=bias,
-            temperature=layer.config.temperature, in_channels=layer.in_features,
-            out_channels=layer.out_features)
-    raise TypeError(f"expected a PECAN layer, got {type(layer).__name__}")
+    return LayerLUT(
+        name=name, kind="fc", mode=layer.config.mode,
+        prototypes=layer.codebook.prototypes.data.copy(), table=table, bias=bias,
+        temperature=layer.config.temperature, in_channels=layer.in_features,
+        out_channels=layer.out_features)
 
 
 def build_model_luts(model: Module) -> Dict[str, LayerLUT]:
     """LUTs for every PECAN layer of ``model``, keyed by qualified name."""
     return {name: build_layer_lut(layer, name=name) for name, layer in pecan_layers(model)}
-
-
-def total_memory_footprint(luts: Dict[str, LayerLUT], bytes_per_value: int = 4) -> Dict[str, int]:
-    """Aggregate memory footprint of a model's LUTs (prototypes + tables)."""
-    totals = {"prototype_values": 0, "table_values": 0, "prototype_bytes": 0,
-              "table_bytes": 0, "total_bytes": 0}
-    for lut in luts.values():
-        footprint = lut.memory_footprint(bytes_per_value)
-        for key in totals:
-            totals[key] += footprint[key]
-    return totals

@@ -9,77 +9,18 @@ turns the claim into an executable check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
+from repro.cam.counters import (  # noqa: F401  (re-exported API)
+    LayerOpCount,
+    MultiplierUsageError,
+    OpCounter,
+)
 from repro.nn.layers import BatchNorm2d, Conv2d, Linear
 from repro.nn.module import Module
-from repro.pecan.config import PECANMode
 from repro.pecan.layers import PECANConv2d, PECANLinear
-
-
-@dataclass
-class LayerOpCount:
-    """Operations executed by one layer during a traced inference pass."""
-
-    name: str
-    kind: str
-    additions: int = 0
-    multiplications: int = 0
-    comparisons: int = 0
-    lookups: int = 0
-
-    def total(self) -> int:
-        return self.additions + self.multiplications + self.comparisons + self.lookups
-
-
-@dataclass
-class OpCounter:
-    """Aggregates per-layer operation counts for one traced inference pass."""
-
-    layers: Dict[str, LayerOpCount] = field(default_factory=dict)
-
-    def layer(self, name: str, kind: str) -> LayerOpCount:
-        if name not in self.layers:
-            self.layers[name] = LayerOpCount(name=name, kind=kind)
-        return self.layers[name]
-
-    @property
-    def additions(self) -> int:
-        return sum(layer.additions for layer in self.layers.values())
-
-    @property
-    def multiplications(self) -> int:
-        return sum(layer.multiplications for layer in self.layers.values())
-
-    @property
-    def comparisons(self) -> int:
-        return sum(layer.comparisons for layer in self.layers.values())
-
-    @property
-    def lookups(self) -> int:
-        return sum(layer.lookups for layer in self.layers.values())
-
-    def is_multiplier_free(self) -> bool:
-        return self.multiplications == 0
-
-    def summary(self) -> Dict[str, int]:
-        return {
-            "additions": self.additions,
-            "multiplications": self.multiplications,
-            "comparisons": self.comparisons,
-            "lookups": self.lookups,
-        }
-
-    def per_layer_table(self) -> List[Tuple[str, str, int, int]]:
-        """Rows ``(name, kind, additions, multiplications)`` in insertion order."""
-        return [(l.name, l.kind, l.additions, l.multiplications) for l in self.layers.values()]
-
-
-class MultiplierUsageError(AssertionError):
-    """Raised when a supposedly multiplier-free inference used multiplications."""
 
 
 def unconverted_compute_layers(model: Module) -> List[str]:

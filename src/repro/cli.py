@@ -12,7 +12,10 @@ subcommands the deployment story needs:
 
 * ``evaluate`` — reload a checkpoint and report training-graph and LUT/CAM
   accuracies plus the op counts;
-* ``export`` — write the CAM deployment bundle (prototypes + lookup tables).
+* ``export`` — write the CAM deployment bundle (prototypes + lookup tables +
+  the recorded inference program);
+* ``serve`` — stand up the :mod:`repro.serve` HTTP endpoint from exported
+  bundles alone (no checkpoint, no model construction).
 
 Flags that only make sense on the authors' setup (``--data_dir``, ``--gpu``)
 are accepted and ignored so published command lines run unchanged; extra
@@ -28,14 +31,24 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-import numpy as np
+# Heavy subsystems (training substrate, experiment runner, model zoo) are
+# imported inside the command handlers that need them: the ``serve`` command
+# must start from the lean deployment import graph (`repro.serve` only), and
+# parser construction / --help must stay instant.
 
-from repro.cam import CAMInferenceEngine
-from repro.data import make_dataset
-from repro.experiments import ExperimentConfig, run_experiment
-from repro.hardware.opcount import count_model_ops, format_count
-from repro.io import export_deployment_bundle, load_checkpoint, save_checkpoint
-from repro.models import available_models, build_model
+
+def _arch_type(value: str) -> str:
+    """Validate ``--arch`` against the model zoo, importing it lazily.
+
+    Used as an argparse ``type`` so the zoo only loads when a train/evaluate/
+    export command is actually parsed — never for ``serve`` or ``--help``.
+    """
+    from repro.models import available_models
+
+    if value not in available_models():
+        raise argparse.ArgumentTypeError(
+            f"unknown arch {value!r}; available: {', '.join(available_models())}")
+    return value
 
 
 def _add_paper_flags(parser: argparse.ArgumentParser) -> None:
@@ -45,8 +58,9 @@ def _add_paper_flags(parser: argparse.ArgumentParser) -> None:
                                                        "(datasets are synthetic)")
     parser.add_argument("--dataset", default="CIFAR10",
                         help="MNIST / CIFAR10 / CIFAR100 / TINY_IMAGENET")
-    parser.add_argument("--arch", default="resnet20_pecan_d", choices=available_models(),
-                        help="architecture name (baseline or _pecan_a / _pecan_d variant)")
+    parser.add_argument("--arch", default="resnet20_pecan_d", type=_arch_type,
+                        help="architecture name (baseline or _pecan_a / _pecan_d "
+                             "variant); see repro.models.available_models()")
     parser.add_argument("--batch_size", type=int, default=64)
     parser.add_argument("--epochs", type=int, default=150)
     parser.add_argument("--learning_rate", type=float, default=0.01)
@@ -77,8 +91,10 @@ def _resolve_arch(arch: str, query_metric: Optional[str]) -> str:
     return base + ("_pecan_a" if query_metric == "dot" else "_pecan_d")
 
 
-def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+def config_from_args(args: argparse.Namespace):
     """Translate parsed CLI flags into an :class:`ExperimentConfig`."""
+    from repro.experiments import ExperimentConfig
+
     return ExperimentConfig(
         dataset=args.dataset.lower().replace("-", "_"),
         arch=_resolve_arch(args.arch, args.query_metric),
@@ -98,6 +114,10 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _command_train(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+    from repro.hardware.opcount import format_count
+    from repro.io import save_checkpoint
+
     config = config_from_args(args)
     print(f"training {config.arch} on synthetic {config.dataset} "
           f"({config.num_train} train / {config.num_test} test images, "
@@ -123,6 +143,11 @@ def _command_train(args: argparse.Namespace) -> int:
 
 
 def _rebuild_model(args: argparse.Namespace):
+    import numpy as np
+
+    from repro.data import make_dataset
+    from repro.models import build_model
+
     config = config_from_args(args)
     dataset_kwargs = {"num_train": 8, "num_test": args.num_test, "seed": args.seed}
     if args.image_size is not None:
@@ -138,6 +163,10 @@ def _rebuild_model(args: argparse.Namespace):
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
+    from repro.cam import CAMInferenceEngine
+    from repro.hardware.opcount import count_model_ops, format_count
+    from repro.io import load_checkpoint
+
     config, model, test = _rebuild_model(args)
     load_checkpoint(args.checkpoint, model=model)
     from repro.autograd import Tensor, no_grad
@@ -162,16 +191,69 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 
 def _command_export(args: argparse.Namespace) -> int:
-    config, model, _ = _rebuild_model(args)
+    from repro.io import export_deployment_bundle, load_checkpoint
+
+    config, model, test = _rebuild_model(args)
     load_checkpoint(args.checkpoint, model=model)
     output = Path(args.output or (Path(args.log_dir) / f"{config.arch}_deployment.npz"))
-    path = export_deployment_bundle(model, output, metadata={"arch": config.arch})
+    input_shape = None if args.no_program else test.image_shape
+    try:
+        path = export_deployment_bundle(model, output, metadata={"arch": config.arch},
+                                        input_shape=input_shape)
+    except ValueError as exc:
+        if input_shape is None:
+            raise
+        # Non-sequential architectures (residual adds, branch merges) cannot
+        # be recorded as a linear program; fall back to a LUT-only bundle.
+        print(f"note: {exc}")
+        print("falling back to a LUT-only bundle (not directly servable)")
+        path = export_deployment_bundle(model, output, metadata={"arch": config.arch})
     from repro.io import load_deployment_bundle
 
     bundle = load_deployment_bundle(path)
     print(f"exported {len(bundle.layer_names)} PECAN layers "
           f"({bundle.total_values()} stored values) to {path}")
     print(f"multiplier-free bundle: {bundle.is_multiplier_free()}")
+    print(f"inference program embedded: {bundle.has_program} "
+          f"(servable with `repro-pecan serve --bundle {path}`)"
+          if bundle.has_program else "inference program embedded: False")
+    return 0
+
+
+def _parse_bundle_spec(spec: str):
+    """``name=path`` or bare ``path`` (name defaults to the file stem)."""
+    if "=" in spec:
+        name, _, path = spec.partition("=")
+        return name or None, path
+    return None, spec
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import PECANServer
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry(max_total_values=args.max_total_values)
+    server = PECANServer(
+        registry=registry, host=args.host, port=args.port,
+        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue, request_timeout_s=args.timeout_s,
+        batch_chunk=args.batch_chunk, audit_every=args.audit_every)
+    for spec in args.bundle:
+        name, path = _parse_bundle_spec(spec)
+        registered = server.add_bundle(path, name=name, preload=not args.lazy_load)
+        print(f"registered model {registered!r} from {path}")
+    server.start()
+    print(f"serving on {server.url}  "
+          f"(POST /predict, GET /models /metrics /healthz)")
+    print(f"batching: up to {args.max_batch_size} samples / {args.max_wait_ms} ms; "
+          f"queue depth {args.max_queue}; "
+          f"parity audit every {args.audit_every or '∞'} batches")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -194,7 +276,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_paper_flags(export)
     export.add_argument("--checkpoint", required=True)
     export.add_argument("--output", default=None)
+    export.add_argument("--no_program", action="store_true",
+                        help="write a LUT-only bundle without the traced "
+                             "inference program (not servable)")
     export.set_defaults(handler=_command_export)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve exported deployment bundles over HTTP")
+    serve.add_argument("--bundle", action="append", required=True,
+                       metavar="[NAME=]PATH",
+                       help="deployment bundle .npz to serve; repeatable; "
+                            "NAME defaults to the file stem")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks a free port)")
+    serve.add_argument("--max_batch_size", type=int, default=32,
+                       help="sample budget per coalesced micro-batch")
+    serve.add_argument("--max_wait_ms", type=float, default=5.0,
+                       help="how long the batcher holds the first request "
+                            "open for followers")
+    serve.add_argument("--max_queue", type=int, default=256,
+                       help="bounded queue depth; overflow is rejected with 429")
+    serve.add_argument("--timeout_s", type=float, default=30.0,
+                       help="per-request deadline")
+    serve.add_argument("--batch_chunk", type=int, default=None,
+                       help="stream coalesced batches through the engine in "
+                            "slices of this many samples")
+    serve.add_argument("--audit_every", type=int, default=0,
+                       help="re-run 1/N batches through the reference loop "
+                            "and count mismatches (0 disables)")
+    serve.add_argument("--max_total_values", type=int, default=None,
+                       help="LRU-evict engines beyond this many resident "
+                            "CAM values")
+    serve.add_argument("--lazy_load", action="store_true",
+                       help="load bundles on first request instead of at startup")
+    serve.set_defaults(handler=_command_serve)
     return parser
 
 

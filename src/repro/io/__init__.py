@@ -6,23 +6,41 @@ Two kinds of artifacts need to move between machines in a PECAN workflow:
   metadata, so a pretrained baseline (or a converted PECAN model) can be
   reloaded and finetuned later;
 * **deployment bundles** — the prototypes and lookup tables of every PECAN
-  layer (what the CAM hardware actually stores), exported in a plain ``.npz``
-  container that firmware or an RTL testbench can consume without this
-  library.
+  layer (what the CAM hardware actually stores) plus an optional recorded
+  inference program, exported in a plain ``.npz`` container that firmware, an
+  RTL testbench or the :mod:`repro.serve` stack can consume without the
+  training half of this library.
+
+Re-exports resolve lazily (PEP 562): loading a bundle
+(:mod:`repro.io.deployment`) is deployment-side and must not import the
+checkpoint machinery, which depends on the training module tree.
 """
 
-from repro.io.checkpoint import save_checkpoint, load_checkpoint, Checkpoint
-from repro.io.deployment import (
-    export_deployment_bundle,
-    load_deployment_bundle,
-    DeploymentBundle,
-)
+import importlib
 
-__all__ = [
-    "save_checkpoint",
-    "load_checkpoint",
-    "Checkpoint",
-    "export_deployment_bundle",
-    "load_deployment_bundle",
-    "DeploymentBundle",
-]
+#: Lazily resolved re-exports: attribute name -> providing submodule.
+_EXPORTS = {
+    "save_checkpoint": "repro.io.checkpoint",
+    "load_checkpoint": "repro.io.checkpoint",
+    "Checkpoint": "repro.io.checkpoint",
+    "export_deployment_bundle": "repro.io.deployment",
+    "load_deployment_bundle": "repro.io.deployment",
+    "DeploymentBundle": "repro.io.deployment",
+    "BundleFormatError": "repro.io.deployment",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -7,6 +7,20 @@ weight-prototype products addressed by the match result.  A
 model together with the geometry metadata an accelerator needs (kernel size,
 stride, padding, group permutation, similarity mode), and round-trips through
 a single ``.npz`` file so hardware testbenches can consume it without Python.
+
+Since format version 2 a bundle can additionally carry a recorded **inference
+program**: a linear trace of every layer the model executes (PECAN layers by
+reference to their LUT, conventional layers with their folded parameters).
+With a program embedded, :class:`repro.serve.engine.BundleEngine` can
+reconstruct the *entire* forward pass from the ``.npz`` alone — no model
+object, no autograd — which is what the serving stack runs in production.
+Export validates the trace by replaying it and comparing against the live
+CAM engine, so a bundle whose model is not sequentially traceable (e.g. has
+residual additions outside leaf modules) is rejected instead of silently
+serving wrong outputs.
+
+This module is import-lean on the load path: reading a bundle pulls in no
+training modules, so a server process stays free of autograd.
 """
 
 from __future__ import annotations
@@ -14,43 +28,179 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.cam.lut import LayerLUT, build_model_luts
-from repro.nn.module import Module
+from repro.cam.layer_lut import LayerLUT
 from repro.pecan.config import PECANMode
 
 PathLike = Union[str, Path]
 
 _MANIFEST_KEY = "__deployment_manifest__"
-_FORMAT_VERSION = 1
+_PROGRAM_PREFIX = "__program__"
+_FORMAT_VERSION = 2
+#: Versions this loader understands.  v1 bundles carry LUTs only (no program).
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: Per-layer manifest keys every supported version must provide.
+_REQUIRED_LAYER_KEYS = (
+    "kind", "mode", "temperature", "kernel_size", "stride", "padding",
+    "in_channels", "out_channels", "has_bias", "has_permutation",
+)
+
+
+class BundleFormatError(ValueError):
+    """A deployment bundle is malformed, truncated or from an unknown version."""
 
 
 @dataclass
 class DeploymentBundle:
-    """All CAM/LUT artifacts of one model, keyed by layer name."""
+    """All CAM/LUT artifacts of one model, keyed by layer name.
+
+    ``program`` (format v2, optional) is the recorded inference program: a
+    list of op dicts in execution order.  Steps that need tensors beyond the
+    LUTs (unconverted conv/linear layers, batch-norm statistics) carry them
+    in their ``"arrays"`` entry.  ``input_shape`` is the per-sample shape the
+    program was traced with.
+    """
 
     luts: Dict[str, LayerLUT] = field(default_factory=dict)
     metadata: Dict[str, object] = field(default_factory=dict)
+    program: Optional[List[Dict[str, object]]] = None
+    input_shape: Optional[Tuple[int, ...]] = None
 
     @property
     def layer_names(self) -> List[str]:
         return list(self.luts)
 
+    @property
+    def has_program(self) -> bool:
+        return bool(self.program)
+
     def total_values(self) -> int:
-        """Total scalar values stored across prototypes and tables."""
-        return int(sum(lut.prototypes.size + lut.table.size for lut in self.luts.values()))
+        """Total scalar values stored across prototypes, tables and program arrays."""
+        total = sum(lut.prototypes.size + lut.table.size for lut in self.luts.values())
+        for step in self.program or []:
+            for array in step.get("arrays", {}).values():
+                total += array.size
+        return int(total)
 
     def is_multiplier_free(self) -> bool:
         """True when every exported layer uses the distance (PECAN-D) mode."""
         return all(lut.mode is PECANMode.DISTANCE for lut in self.luts.values())
 
 
-def export_deployment_bundle(model: Module, path: PathLike,
-                             metadata: Optional[Dict[str, object]] = None) -> Path:
-    """Build the LUTs of every PECAN layer in ``model`` and write them to ``path``."""
+# --------------------------------------------------------------------------- #
+# Program tracing (export side; imports the training stack lazily)
+# --------------------------------------------------------------------------- #
+def trace_inference_program(model, input_shape: Sequence[int]):
+    """Record the linear inference program of ``model`` for one input shape.
+
+    Every *leaf* module's forward is wrapped, a dummy batch of shape
+    ``(1, *input_shape)`` is pushed through the model in eval mode, and each
+    call is serialized to an op dict (PECAN layers by name, conventional
+    layers with their parameters).  Returns the list of steps in execution
+    order.  Models whose forward performs tensor math outside leaf modules
+    (residual additions, concatenations) produce a program that replays
+    incorrectly; :func:`export_deployment_bundle` detects that by replaying.
+    """
+    from repro.autograd.tensor import Tensor, no_grad
+    from repro.nn.layers import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
+                                 GELU, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
+                                 ReLU)
+    from repro.nn.module import Module
+    from repro.pecan.layers import PECANConv2d, PECANLinear
+
+    def describe(name: str, module: Module) -> Dict[str, object]:
+        if isinstance(module, (PECANConv2d, PECANLinear)):
+            return {"op": "pecan", "layer": name}
+        if isinstance(module, Conv2d):
+            arrays = {"weight": np.asarray(module.weight.data, dtype=np.float64)}
+            if module.bias is not None:
+                arrays["bias"] = np.asarray(module.bias.data, dtype=np.float64)
+            return {"op": "conv", "stride": module.stride, "padding": module.padding,
+                    "arrays": arrays}
+        if isinstance(module, Linear):
+            arrays = {"weight": np.asarray(module.weight.data, dtype=np.float64)}
+            if module.bias is not None:
+                arrays["bias"] = np.asarray(module.bias.data, dtype=np.float64)
+            return {"op": "linear", "arrays": arrays}
+        if isinstance(module, BatchNorm2d):    # covers BatchNorm1d subclass too
+            arrays = {"mean": np.asarray(module.running_mean, dtype=np.float64),
+                      "var": np.asarray(module.running_var, dtype=np.float64),
+                      "gamma": np.asarray(module.weight.data, dtype=np.float64),
+                      "beta": np.asarray(module.bias.data, dtype=np.float64)}
+            return {"op": "batchnorm", "eps": module.eps, "arrays": arrays}
+        if isinstance(module, ReLU):
+            return {"op": "relu"}
+        if isinstance(module, GELU):
+            return {"op": "gelu"}
+        if isinstance(module, MaxPool2d):
+            return {"op": "maxpool", "kernel_size": module.kernel_size,
+                    "stride": module.stride}
+        if isinstance(module, AvgPool2d):
+            return {"op": "avgpool", "kernel_size": module.kernel_size,
+                    "stride": module.stride}
+        if isinstance(module, GlobalAvgPool2d):
+            return {"op": "global_avgpool"}
+        if isinstance(module, Flatten):
+            return {"op": "flatten"}
+        if isinstance(module, (Dropout, Identity)):
+            return {"op": "identity"}
+        raise ValueError(
+            f"cannot serialize module {name!r} of type {type(module).__name__} "
+            f"into a deployment program; supported leaves are PECAN layers, "
+            f"Conv2d/Linear, BatchNorm, ReLU/GELU, pooling, Flatten, "
+            f"Dropout and Identity")
+
+    # PECAN layers are trace leaves even though they own child modules (their
+    # codebook); nothing nested inside one is wrapped.
+    pecan_names = [name for name, module in model.named_modules()
+                   if isinstance(module, (PECANConv2d, PECANLinear))]
+    leaves = [(name, module) for name, module in model.named_modules()
+              if name
+              and (isinstance(module, (PECANConv2d, PECANLinear))
+                   or (not list(module.children())
+                       and not any(name.startswith(p + ".") for p in pecan_names)))]
+    program: List[Dict[str, object]] = []
+    originals = {}
+
+    def recorder(name: str, module: Module, original):
+        def wrapped(x):
+            program.append(describe(name, module))
+            return original(x)
+        return wrapped
+
+    was_training = model.training
+    model.eval()
+    try:
+        for name, module in leaves:
+            originals[name] = module.forward
+            module.forward = recorder(name, module, module.forward)
+        with no_grad():
+            model(Tensor(np.zeros((1, *input_shape), dtype=np.float64)))
+    finally:
+        for name, module in leaves:
+            module.forward = originals[name]
+        model.train(was_training)
+    return program
+
+
+def export_deployment_bundle(model, path: PathLike,
+                             metadata: Optional[Dict[str, object]] = None,
+                             input_shape: Optional[Sequence[int]] = None) -> Path:
+    """Build the LUTs of every PECAN layer in ``model`` and write them to ``path``.
+
+    When ``input_shape`` (per-sample, e.g. ``(1, 28, 28)``) is given, the
+    model's inference program is traced and embedded so the bundle alone can
+    drive :class:`repro.serve.engine.BundleEngine`.  The traced program is
+    replay-verified against :class:`repro.cam.inference.CAMInferenceEngine`
+    before the bundle is written; a model that is not sequentially traceable
+    raises ``ValueError`` instead of exporting a silently wrong program.
+    """
+    from repro.cam.lut import build_model_luts
+
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
@@ -58,11 +208,25 @@ def export_deployment_bundle(model: Module, path: PathLike,
     if not luts:
         raise ValueError("model contains no PECAN layers; nothing to export")
 
+    program = None
+    if input_shape is not None:
+        input_shape = tuple(int(s) for s in input_shape)
+        program = trace_inference_program(model, input_shape)
+        traced_pecan = {step["layer"] for step in program if step["op"] == "pecan"}
+        if traced_pecan != set(luts):
+            raise ValueError(
+                f"traced program exercises PECAN layers {sorted(traced_pecan)} but the "
+                f"model contains {sorted(luts)}; the model's forward is not a plain "
+                f"sequence of its leaf modules, so it cannot be exported as a program")
+        _verify_program(model, luts, program, input_shape)
+
     arrays: Dict[str, np.ndarray] = {}
     manifest: Dict[str, object] = {
         "format_version": _FORMAT_VERSION,
         "layers": {},
         "user": metadata or {},
+        "input_shape": list(input_shape) if input_shape is not None else None,
+        "program": None,
     }
     for name, lut in luts.items():
         arrays[f"{name}/prototypes"] = lut.prototypes
@@ -83,39 +247,138 @@ def export_deployment_bundle(model: Module, path: PathLike,
             "has_bias": lut.bias is not None,
             "has_permutation": lut.group_permutation is not None,
         }
+    if program is not None:
+        serialized_steps = []
+        for index, step in enumerate(program):
+            entry = {key: value for key, value in step.items() if key != "arrays"}
+            entry["array_keys"] = sorted(step.get("arrays", {}))
+            for key, array in step.get("arrays", {}).items():
+                arrays[f"{_PROGRAM_PREFIX}/{index}/{key}"] = array
+            serialized_steps.append(entry)
+        manifest["program"] = serialized_steps
+
     arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, **arrays)
     return path
 
 
+def _verify_program(model, luts, program, input_shape) -> None:
+    """Replay the traced program and compare against the live CAM engine."""
+    from repro.cam.inference import CAMInferenceEngine
+    from repro.serve.engine import BundleEngine
+
+    bundle = DeploymentBundle(luts=dict(luts), program=program,
+                              input_shape=tuple(input_shape))
+    rng = np.random.default_rng(0)
+    probe = rng.standard_normal((2, *input_shape))
+    replayed = BundleEngine(bundle).predict(probe)
+    expected = CAMInferenceEngine(model).predict(probe)
+    exact = bundle.is_multiplier_free()
+    close = (np.array_equal(replayed, expected) if exact
+             else np.allclose(replayed, expected, atol=1e-8))
+    if not close:
+        raise ValueError(
+            "replaying the traced inference program does not reproduce the CAM "
+            "engine's outputs; the model's forward must perform tensor math "
+            "outside its leaf modules (e.g. residual additions), which a linear "
+            "program cannot express — export without input_shape to write a "
+            "LUT-only bundle")
+
+
+# --------------------------------------------------------------------------- #
+# Loading (deployment side; no training imports)
+# --------------------------------------------------------------------------- #
+def _manifest_from_archive(archive, path: Path) -> Dict[str, object]:
+    if _MANIFEST_KEY not in archive.files:
+        raise BundleFormatError(f"{path} is not a repro deployment bundle "
+                                f"(missing {_MANIFEST_KEY!r})")
+    try:
+        manifest = json.loads(bytes(archive[_MANIFEST_KEY].tobytes()).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BundleFormatError(f"{path}: deployment manifest is corrupt: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise BundleFormatError(f"{path}: deployment manifest must be a JSON object")
+    version = manifest.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise BundleFormatError(
+            f"{path}: unsupported deployment bundle format version {version!r}; "
+            f"this build reads versions {list(_SUPPORTED_VERSIONS)} "
+            f"(re-export the bundle with the current repro.io)")
+    if not isinstance(manifest.get("layers"), dict) or not manifest["layers"]:
+        raise BundleFormatError(f"{path}: manifest has no 'layers' table")
+    return manifest
+
+
+def _archive_array(archive, key: str, path: Path) -> np.ndarray:
+    if key not in archive.files:
+        raise BundleFormatError(f"{path}: bundle is missing array {key!r} "
+                                f"referenced by its manifest")
+    return archive[key]
+
+
 def load_deployment_bundle(path: PathLike) -> DeploymentBundle:
-    """Read a bundle written by :func:`export_deployment_bundle`."""
+    """Read a bundle written by :func:`export_deployment_bundle`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    BundleFormatError
+        If the file is not a bundle, its manifest is corrupt, its format
+        version is unknown, a per-layer entry misses required keys, or an
+        array referenced by the manifest is absent from the archive.  (A
+        subclass of ``ValueError``.)
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"deployment bundle not found: {path}")
     with np.load(path, allow_pickle=False) as archive:
-        if _MANIFEST_KEY not in archive.files:
-            raise ValueError(f"{path} is not a repro deployment bundle")
-        manifest = json.loads(bytes(archive[_MANIFEST_KEY].tobytes()).decode("utf-8"))
-        if manifest.get("format_version") != _FORMAT_VERSION:
-            raise ValueError("unsupported deployment bundle format version")
+        manifest = _manifest_from_archive(archive, path)
         luts: Dict[str, LayerLUT] = {}
         for name, info in manifest["layers"].items():
+            missing = [key for key in _REQUIRED_LAYER_KEYS if key not in info]
+            if missing:
+                raise BundleFormatError(
+                    f"{path}: layer {name!r} manifest entry is missing keys {missing}")
+            try:
+                mode = PECANMode.parse(info["mode"])
+            except ValueError as exc:
+                raise BundleFormatError(f"{path}: layer {name!r}: {exc}") from exc
             luts[name] = LayerLUT(
                 name=name,
                 kind=info["kind"],
-                mode=PECANMode.parse(info["mode"]),
-                prototypes=archive[f"{name}/prototypes"],
-                table=archive[f"{name}/table"],
-                bias=archive[f"{name}/bias"] if info["has_bias"] else None,
+                mode=mode,
+                prototypes=_archive_array(archive, f"{name}/prototypes", path),
+                table=_archive_array(archive, f"{name}/table", path),
+                bias=(_archive_array(archive, f"{name}/bias", path)
+                      if info["has_bias"] else None),
                 temperature=info["temperature"],
                 kernel_size=info["kernel_size"],
                 stride=info["stride"],
                 padding=info["padding"],
                 in_channels=info["in_channels"],
                 out_channels=info["out_channels"],
-                group_permutation=(archive[f"{name}/permutation"]
+                group_permutation=(_archive_array(archive, f"{name}/permutation", path)
                                    if info["has_permutation"] else None),
             )
-    return DeploymentBundle(luts=luts, metadata=manifest.get("user", {}))
+        program = None
+        if manifest.get("program"):
+            program = []
+            for index, entry in enumerate(manifest["program"]):
+                if "op" not in entry:
+                    raise BundleFormatError(
+                        f"{path}: program step {index} is missing its 'op' key")
+                step = {key: value for key, value in entry.items() if key != "array_keys"}
+                step["arrays"] = {
+                    key: _archive_array(archive, f"{_PROGRAM_PREFIX}/{index}/{key}", path)
+                    for key in entry.get("array_keys", [])}
+                if step["op"] == "pecan" and step.get("layer") not in luts:
+                    raise BundleFormatError(
+                        f"{path}: program step {index} references unknown PECAN "
+                        f"layer {step.get('layer')!r}")
+                program.append(step)
+        input_shape = (tuple(manifest["input_shape"])
+                       if manifest.get("input_shape") else None)
+    return DeploymentBundle(luts=luts, metadata=manifest.get("user", {}),
+                            program=program, input_shape=input_shape)

@@ -15,47 +15,51 @@ This package implements the paper's primary contribution:
   PECAN model (including batch-norm folding).
 * :mod:`repro.pecan.training` — the co-optimization and uni-optimization
   (frozen weights) training strategies of Section 4.4.2.
+
+Re-exports resolve lazily (PEP 562): the deployment/serving stack only needs
+:mod:`repro.pecan.config` (the mode enum and PQ settings, pure dataclasses),
+and importing it must not drag in the autograd-backed layer and training
+modules.
 """
 
-from repro.pecan.config import PQLayerConfig, PECANMode
-from repro.pecan.codebook import Codebook
-from repro.pecan.similarity import (
-    angle_assignment,
-    distance_assignment,
-    soft_distance_assignment,
-    hard_distance_assignment,
-    sign_gradient_scale,
-    l1_distance_smoothed,
-)
-from repro.pecan.layers import PECANConv2d, PECANLinear, PECANLayerMixin
-from repro.pecan.convert import convert_to_pecan, fold_batchnorm, pecan_layers
-from repro.pecan.training import (
-    PECANTrainer,
-    TrainingStrategy,
-    set_model_epoch,
-    co_optimize,
-    uni_optimize,
-)
+import importlib
 
-__all__ = [
-    "PQLayerConfig",
-    "PECANMode",
-    "Codebook",
-    "angle_assignment",
-    "distance_assignment",
-    "soft_distance_assignment",
-    "hard_distance_assignment",
-    "sign_gradient_scale",
-    "l1_distance_smoothed",
-    "PECANConv2d",
-    "PECANLinear",
-    "PECANLayerMixin",
-    "convert_to_pecan",
-    "fold_batchnorm",
-    "pecan_layers",
-    "PECANTrainer",
-    "TrainingStrategy",
-    "set_model_epoch",
-    "co_optimize",
-    "uni_optimize",
-]
+#: Lazily resolved re-exports: attribute name -> providing submodule.
+_EXPORTS = {
+    "PQLayerConfig": "repro.pecan.config",
+    "PECANMode": "repro.pecan.config",
+    "Codebook": "repro.pecan.codebook",
+    "angle_assignment": "repro.pecan.similarity",
+    "distance_assignment": "repro.pecan.similarity",
+    "soft_distance_assignment": "repro.pecan.similarity",
+    "hard_distance_assignment": "repro.pecan.similarity",
+    "sign_gradient_scale": "repro.pecan.similarity",
+    "l1_distance_smoothed": "repro.pecan.similarity",
+    "PECANConv2d": "repro.pecan.layers",
+    "PECANLinear": "repro.pecan.layers",
+    "PECANLayerMixin": "repro.pecan.layers",
+    "convert_to_pecan": "repro.pecan.convert",
+    "fold_batchnorm": "repro.pecan.convert",
+    "pecan_layers": "repro.pecan.convert",
+    "PECANTrainer": "repro.pecan.training",
+    "TrainingStrategy": "repro.pecan.training",
+    "set_model_epoch": "repro.pecan.training",
+    "co_optimize": "repro.pecan.training",
+    "uni_optimize": "repro.pecan.training",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

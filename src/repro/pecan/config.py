@@ -17,6 +17,18 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
+
+def is_identity_permutation(perm: np.ndarray) -> bool:
+    """True when applying ``perm`` to an axis would be a no-op.
+
+    Lives here (the import-lean config module) because both the training-side
+    layers and the deployment-side :mod:`repro.cam.layer_lut` normalize
+    identity permutations with it — one definition, one notion of "identity".
+    """
+    return bool(np.array_equal(perm, np.arange(perm.shape[0])))
+
 
 class PECANMode(str, enum.Enum):
     """The two similarity-measure variants of the paper."""

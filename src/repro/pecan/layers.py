@@ -26,13 +26,9 @@ from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.pecan.codebook import Codebook
-from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.config import (PECANMode, PQLayerConfig,
+                                is_identity_permutation)  # noqa: F401  (re-export)
 from repro.pecan.similarity import reconstruct_and_project, sign_gradient_scale
-
-
-def is_identity_permutation(perm: np.ndarray) -> bool:
-    """True when applying ``perm`` to an axis would be a no-op."""
-    return bool(np.array_equal(perm, np.arange(perm.shape[0])))
 
 
 def build_group_permutation(in_channels: int, kernel_size: int, subvector_dim: int

@@ -11,17 +11,23 @@ Three small building blocks keep the hot paths fast *and* memory-bounded:
   kernel invocations (im2col unfolds, per-chunk accumulators) do not
   re-allocate on every call,
 * :mod:`repro.perf.ckernels` — an optionally compiled C fast path for the
-  PECAN-D search + accumulate loop, with graceful NumPy fallback.
+  PECAN-D search + accumulate loop, with graceful NumPy fallback,
+* :mod:`repro.perf.im2col` — the pure-NumPy im2col/col2im lowering shared by
+  training and serving (autograd re-exports it).
 """
 
 from repro.perf.chunking import ChunkPolicy, iter_slices
 from repro.perf.ckernels import get_pecan_d_kernel, kernel_available
+from repro.perf.im2col import col2im, conv_output_size, im2col
 from repro.perf.timers import Timer, ThroughputResult, measure_throughput
 from repro.perf.workspace import Workspace
 
 __all__ = [
     "ChunkPolicy",
     "iter_slices",
+    "im2col",
+    "col2im",
+    "conv_output_size",
     "Timer",
     "ThroughputResult",
     "measure_throughput",

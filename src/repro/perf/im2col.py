@@ -1,0 +1,93 @@
+"""im2col / col2im transforms used to lower convolution to matrix product.
+
+The PECAN paper (Fig. 1) lowers every convolution layer to the matrix-matrix
+product ``F @ X`` where ``X`` is the im2col-unfolded input.  Product
+quantization then acts on the columns of ``X``.  These routines are shared by
+the baseline convolution layer, the PECAN layers, the CAM inference engine and
+the bundle-backed serving engine.  They live under :mod:`repro.perf` (rather
+than :mod:`repro.autograd`, which re-exports them) because they are pure NumPy
+with no autograd dependency — the serving stack unfolds inputs without ever
+loading the training substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _padded(x: np.ndarray, padding: int) -> np.ndarray:
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+
+def im2col(x: np.ndarray, kernel_size: int, stride: int = 1, padding: int = 0,
+           out: np.ndarray = None) -> np.ndarray:
+    """Unfold ``x`` of shape ``(N, C, H, W)`` into columns.
+
+    Returns an array of shape ``(N, C * k * k, Hout * Wout)`` whose column
+    ``i`` contains the receptive field of output position ``i`` flattened in
+    channel-major order — exactly the layout the paper's ``X`` matrix uses
+    (each channel contributes a contiguous block of ``k*k`` rows).
+
+    ``out``, when given, must be a C-contiguous ``(N, C*k*k, Hout*Wout)``
+    array of the input's dtype; the columns are written into it and it is
+    returned, so steady-state callers (the streaming CAM engine) can reuse
+    one workspace buffer instead of allocating per call.
+    """
+    n, c, h, w = x.shape
+    k = kernel_size
+    hout = conv_output_size(h, k, stride, padding)
+    wout = conv_output_size(w, k, stride, padding)
+    xp = _padded(x, padding)
+
+    # as_strided windows: (N, C, Hout, Wout, k, k)
+    sn, sc, sh, sw = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, hout, wout, k, k),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # -> (N, C, k, k, Hout, Wout) -> (N, C*k*k, Hout*Wout)
+    shuffled = windows.transpose(0, 1, 4, 5, 2, 3)
+    if out is not None:
+        expected = (n, c * k * k, hout * wout)
+        if out.shape != expected:
+            raise ValueError(f"out buffer has shape {out.shape}, expected {expected}")
+        if not out.flags.c_contiguous:
+            raise ValueError("out buffer must be C-contiguous")
+        np.copyto(out.reshape(n, c, k, k, hout, wout), shuffled)
+        return out
+    cols = shuffled.reshape(n, c * k * k, hout * wout)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(cols: np.ndarray, input_shape: Tuple[int, int, int, int], kernel_size: int,
+           stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Fold columns back into an image, summing overlapping contributions.
+
+    This is the adjoint of :func:`im2col` and is used in the convolution
+    backward pass to compute the input gradient.
+    """
+    n, c, h, w = input_shape
+    k = kernel_size
+    hout = conv_output_size(h, k, stride, padding)
+    wout = conv_output_size(w, k, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+
+    cols = cols.reshape(n, c, k, k, hout, wout)
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for ki in range(k):
+        for kj in range(k):
+            out[:, :, ki:ki + stride * hout:stride, kj:kj + stride * wout:stride] += cols[:, :, ki, kj]
+    if padding:
+        out = out[:, :, padding:padding + h, padding:padding + w]
+    return out

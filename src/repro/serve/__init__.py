@@ -1,0 +1,55 @@
+"""``repro.serve`` — production-style serving for exported PECAN bundles.
+
+The deployment half of the paper made runnable as a service.  A trained PECAN
+model exports to a ``.npz`` deployment bundle (prototypes + LUTs + a recorded
+inference program); this package turns that file back into a serving process:
+
+* :mod:`repro.serve.engine` — :class:`BundleEngine`, the bundle-backed engine
+  (no model object, no autograd) sharing the fused Algorithm-1 kernels of
+  :mod:`repro.cam.runtime`;
+* :mod:`repro.serve.scheduler` — :class:`DynamicBatcher`, dynamic
+  micro-batching with a bounded queue, deadlines and backpressure;
+* :mod:`repro.serve.registry` — :class:`ModelRegistry`, named bundles with
+  LRU eviction by CAM memory footprint;
+* :mod:`repro.serve.auditor` — :class:`ParityAuditor`, sampled online
+  re-execution of live traffic through the per-group reference path;
+* :mod:`repro.serve.metrics` — :class:`ServerMetrics`, latency percentiles,
+  batch-size histogram, throughput, audit counters;
+* :mod:`repro.serve.server` — :class:`PECANServer`, a stdlib-``http.server``
+  JSON front end (``/predict``, ``/models``, ``/metrics``, ``/healthz``);
+* :mod:`repro.serve.client` — :class:`ServeClient`, a stdlib HTTP client;
+* :mod:`repro.serve.ops` — pure-NumPy forwards for the non-PECAN program
+  steps, mirroring :mod:`repro.autograd.functional` exactly.
+
+Importing this package never loads the training substrate (autograd,
+optimizers, the model zoo) — the serving path stays lean, which
+``tests/test_serve.py`` asserts by inspecting ``sys.modules`` in a fresh
+interpreter.
+"""
+
+from repro.serve.auditor import ParityAuditor
+from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.engine import BundleEngine
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import ModelRegistry, RegisteredModel
+from repro.serve.scheduler import (DynamicBatcher, InferenceRequest, QueueFullError,
+                                   RequestTimeout, SchedulerError, SchedulerStopped)
+from repro.serve.server import PECANServer, ServedModel
+
+__all__ = [
+    "BundleEngine",
+    "DynamicBatcher",
+    "InferenceRequest",
+    "QueueFullError",
+    "RequestTimeout",
+    "SchedulerError",
+    "SchedulerStopped",
+    "ModelRegistry",
+    "RegisteredModel",
+    "ParityAuditor",
+    "ServerMetrics",
+    "PECANServer",
+    "ServedModel",
+    "ServeClient",
+    "ServeHTTPError",
+]

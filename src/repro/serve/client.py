@@ -1,0 +1,91 @@
+"""Minimal stdlib client for a running :class:`~repro.serve.server.PECANServer`.
+
+Uses only ``urllib`` so scripts, notebooks and the test suite can talk to a
+serving process with no extra dependencies::
+
+    from repro.serve.client import ServeClient
+    client = ServeClient("http://127.0.0.1:8080")
+    logits = client.predict(images)          # (N, num_classes)
+    print(client.metrics()["batching"]["histogram"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class ServeHTTPError(RuntimeError):
+    """Non-2xx response from the serving endpoint."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """JSON-over-HTTP client mirroring the server's endpoints."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            url, data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:                 # noqa: BLE001 - body may be empty
+                message = exc.reason
+            raise ServeHTTPError(exc.code, message) from None
+
+    # ------------------------------------------------------------------ #
+    def predict_response(self, inputs: np.ndarray,
+                         model: Optional[str] = None) -> Dict:
+        """Full JSON response for one ``/predict`` call."""
+        payload: Dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
+        if model is not None:
+            payload["model"] = model
+        return self._request("/predict", payload)
+
+    def predict(self, inputs: np.ndarray, model: Optional[str] = None) -> np.ndarray:
+        """Logits array for one sample or a batch."""
+        return np.asarray(self.predict_response(inputs, model=model)["outputs"])
+
+    def predict_classes(self, inputs: np.ndarray,
+                        model: Optional[str] = None) -> np.ndarray:
+        return np.asarray(self.predict_response(inputs, model=model)["classes"])
+
+    def metrics(self) -> Dict:
+        return self._request("/metrics")
+
+    def models(self) -> Dict:
+        return self._request("/models")
+
+    def healthz(self) -> Dict:
+        return self._request("/healthz")
+
+    def wait_ready(self, timeout_s: float = 10.0) -> bool:
+        """Poll ``/healthz`` until the server answers (or the timeout passes)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                if self.healthz().get("status") == "ok":
+                    return True
+            except (ServeHTTPError, urllib.error.URLError, OSError):
+                time.sleep(0.05)
+        return False

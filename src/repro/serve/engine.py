@@ -1,0 +1,202 @@
+"""Bundle-backed inference engine: serve a model from its ``.npz`` alone.
+
+The paper's deployment story (Section 3) is that a trained PECAN layer
+reduces to two arrays — the CAM prototypes and the precomputed LUT.
+:class:`BundleEngine` completes that story in software: it reconstructs a
+running engine from an exported :class:`~repro.io.deployment.DeploymentBundle`
+(prototypes + LUTs + geometry + recorded inference program) with **no model
+object, no training graph and no autograd import**.  Each PECAN step runs the
+same fused :class:`~repro.cam.runtime.LUTLayerRuntime` kernels as the
+model-backed :class:`~repro.cam.inference.CAMInferenceEngine`, and every other
+step is replayed through the pure-NumPy ops of :mod:`repro.serve.ops`, so the
+two engines agree element-wise (bitwise on the PECAN-D lookup path).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cam.cam_array import CAMEnergyModel, CAMStats
+from repro.cam.counters import OpCounter
+from repro.cam.runtime import LUTLayerRuntime
+from repro.io.deployment import DeploymentBundle, load_deployment_bundle
+from repro.perf import ChunkPolicy, Workspace, iter_slices
+from repro.serve import ops
+
+
+class BundleEngine:
+    """Execute a deployment bundle's recorded inference program.
+
+    Parameters
+    ----------
+    bundle:
+        A :class:`DeploymentBundle` or a path to its ``.npz`` file.  The
+        bundle must carry an inference program (export with
+        ``export_deployment_bundle(..., input_shape=...)``).
+    energy_model / chunk_policy / use_fused:
+        Same knobs as :class:`~repro.cam.inference.CAMInferenceEngine`;
+        ``use_fused=False`` selects the per-group reference loop (used by the
+        serving parity auditor).
+    """
+
+    def __init__(self, bundle: Union[DeploymentBundle, str, Path],
+                 energy_model: Optional[CAMEnergyModel] = None,
+                 chunk_policy: Optional[ChunkPolicy] = None,
+                 use_fused: bool = True):
+        if not isinstance(bundle, DeploymentBundle):
+            bundle = load_deployment_bundle(bundle)
+        if not bundle.has_program:
+            raise ValueError(
+                "bundle carries no inference program; re-export it with "
+                "export_deployment_bundle(model, path, input_shape=...) so a "
+                "server can run it without the model")
+        self.bundle = bundle
+        self.op_counter = OpCounter()
+        self.chunk_policy = chunk_policy if chunk_policy is not None else ChunkPolicy()
+        self.workspace = Workspace()
+        self.runtimes: Dict[str, LUTLayerRuntime] = {
+            name: LUTLayerRuntime(lut, self.op_counter, energy_model=energy_model,
+                                  chunk_policy=self.chunk_policy,
+                                  workspace=self.workspace, use_fused=use_fused)
+            for name, lut in bundle.luts.items()}
+        self._steps: List[Tuple[str, Callable[[np.ndarray], np.ndarray]]] = [
+            self._compile_step(step) for step in bundle.program]
+
+    # ------------------------------------------------------------------ #
+    def _compile_step(self, step: Dict[str, object]
+                      ) -> Tuple[str, Callable[[np.ndarray], np.ndarray]]:
+        op = step["op"]
+        arrays = step.get("arrays", {})
+        if op == "pecan":
+            runtime = self.runtimes[step["layer"]]
+            return (f"pecan:{step['layer']}", runtime)
+        if op == "conv":
+            weight = np.asarray(arrays["weight"])
+            bias = np.asarray(arrays["bias"]) if "bias" in arrays else None
+            stride, padding = int(step["stride"]), int(step["padding"])
+            return (op, lambda x: ops.conv2d(x, weight, bias, stride, padding))
+        if op == "linear":
+            weight = np.asarray(arrays["weight"])
+            bias = np.asarray(arrays["bias"]) if "bias" in arrays else None
+            return (op, lambda x: ops.linear(x, weight, bias))
+        if op == "batchnorm":
+            mean, var = np.asarray(arrays["mean"]), np.asarray(arrays["var"])
+            gamma, beta = np.asarray(arrays["gamma"]), np.asarray(arrays["beta"])
+            eps = float(step["eps"])
+            return (op, lambda x: ops.batch_norm(x, mean, var, gamma, beta, eps))
+        if op == "relu":
+            return (op, ops.relu)
+        if op == "gelu":
+            return (op, ops.gelu)
+        if op == "maxpool":
+            k, s = int(step["kernel_size"]), int(step["stride"])
+            return (op, lambda x: ops.max_pool2d(x, k, s))
+        if op == "avgpool":
+            k, s = int(step["kernel_size"]), int(step["stride"])
+            return (op, lambda x: ops.avg_pool2d(x, k, s))
+        if op == "global_avgpool":
+            return (op, ops.global_avg_pool2d)
+        if op == "flatten":
+            return (op, ops.flatten)
+        if op == "identity":
+            return (op, lambda x: x)
+        raise ValueError(f"unknown program op {op!r} "
+                         f"(bundle written by a newer exporter?)")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def input_shape(self) -> Optional[Tuple[int, ...]]:
+        """Per-sample input shape the program was traced with."""
+        return self.bundle.input_shape
+
+    @property
+    def use_fused(self) -> bool:
+        return all(runtime.use_fused for runtime in self.runtimes.values())
+
+    @use_fused.setter
+    def use_fused(self, value: bool) -> None:
+        for runtime in self.runtimes.values():
+            runtime.use_fused = bool(value)
+
+    def is_multiplier_free(self) -> bool:
+        """True when every program step runs without multiplications.
+
+        Requires every PECAN layer in distance mode *and* no unconverted
+        conv/linear/batch-norm steps in the program.
+        """
+        mac_ops = {"conv", "linear", "batchnorm", "gelu", "avgpool", "global_avgpool"}
+        return (self.bundle.is_multiplier_free()
+                and not any(name in mac_ops for name, _ in self._steps))
+
+    def step_names(self) -> List[str]:
+        """The compiled program as a list of op labels (for introspection)."""
+        return [name for name, _ in self._steps]
+
+    def kernel_names(self) -> Dict[str, str]:
+        """Active kernel implementation per PECAN layer."""
+        return {name: runtime.kernel_name for name, runtime in self.runtimes.items()}
+
+    # ------------------------------------------------------------------ #
+    def _forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        x = inputs
+        for _, fn in self._steps:
+            x = fn(x)
+        return x
+
+    def predict(self, inputs: np.ndarray, batch_chunk: Optional[int] = None) -> np.ndarray:
+        """Logits for a batch of inputs, replayed via Algorithm 1.
+
+        Mirrors :meth:`CAMInferenceEngine.predict`, including ``batch_chunk``
+        streaming of the batch axis.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if self.input_shape is not None and tuple(inputs.shape[1:]) != self.input_shape:
+            raise ValueError(f"expected per-sample input shape {self.input_shape}, "
+                             f"got {tuple(inputs.shape[1:])}")
+        n = inputs.shape[0]
+        if batch_chunk is None or batch_chunk >= n:
+            return self._forward_batch(inputs)
+        parts = [self._forward_batch(inputs[sl]) for sl in iter_slices(n, batch_chunk)]
+        return np.concatenate(parts, axis=0)
+
+    def predict_classes(self, inputs: np.ndarray,
+                        batch_chunk: Optional[int] = None) -> np.ndarray:
+        return self.predict(inputs, batch_chunk=batch_chunk).argmax(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Aggregated statistics (same surface as CAMInferenceEngine)
+    # ------------------------------------------------------------------ #
+    def reset_counters(self) -> None:
+        self.op_counter = OpCounter()
+        for runtime in self.runtimes.values():
+            runtime.counter = self.op_counter
+            for bank in runtime.cam_banks:
+                bank.reset_stats()
+
+    def cam_stats(self) -> CAMStats:
+        total = CAMStats()
+        for runtime in self.runtimes.values():
+            total = total.merge(runtime.cam_stats)
+        return total
+
+    def prototype_usage(self) -> Dict[str, np.ndarray]:
+        return {name: runtime.usage_counts for name, runtime in self.runtimes.items()}
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """JSON-ready engine statistics for the ``/metrics`` endpoint."""
+        cam = self.cam_stats()
+        return {
+            "ops": self.op_counter.summary(),
+            "multiplier_free": self.op_counter.is_multiplier_free(),
+            "cam": {
+                "searches": cam.searches,
+                "matchline_evaluations": cam.matchline_evaluations,
+                "cell_operations": cam.cell_operations,
+                "energy": cam.energy,
+            },
+            "kernels": self.kernel_names(),
+            "stored_values": self.bundle.total_values(),
+        }

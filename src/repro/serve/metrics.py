@@ -1,0 +1,175 @@
+"""First-class serving observability: latency percentiles, batching, energy.
+
+:class:`ServerMetrics` is a thread-safe accumulator every serving component
+reports into — the HTTP front end (request counts, rejections), the dynamic
+batcher (batch-size histogram, queue wait, inference time), and the parity
+auditor (audits, mismatches).  ``snapshot()`` renders one JSON-ready dict for
+the ``/metrics`` endpoint; per-layer CAM search statistics and energy come
+from the engine's own counters and are merged in by the server.
+
+Latency percentiles use a bounded sliding window (the last ``window``
+observations) rather than unbounded history, so a long-lived server reports
+current behaviour and memory stays constant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by linear interpolation."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class _Window:
+    """Bounded sliding window of float observations."""
+
+    def __init__(self, size: int):
+        self._values: deque = deque(maxlen=size)
+
+    def add(self, value: float) -> None:
+        self._values.append(value)
+
+    def snapshot_ms(self) -> Dict[str, float]:
+        values = list(self._values)
+        return {
+            "count": len(values),
+            "p50_ms": percentile(values, 0.50) * 1e3,
+            "p95_ms": percentile(values, 0.95) * 1e3,
+            "p99_ms": percentile(values, 0.99) * 1e3,
+            "max_ms": (max(values) if values else 0.0) * 1e3,
+        }
+
+
+class ServerMetrics:
+    """Aggregated counters for one serving process."""
+
+    def __init__(self, window: int = 4096):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        # Request lifecycle.
+        self.requests_total = 0
+        self.samples_total = 0
+        self.responses_total = 0
+        self.rejected_total = 0          # admission control (queue full)
+        self.timeouts_total = 0
+        self.errors_total = 0
+        # Batching.
+        self.batches_total = 0
+        self.batched_samples = 0
+        self.batch_size_histogram: Dict[int, int] = {}
+        # Parity auditing.
+        self.audits_total = 0
+        self.audit_mismatches = 0
+        self.audit_errors = 0
+        self.audit_dropped = 0
+        # Latency windows (seconds; rendered as ms).
+        self._request_latency = _Window(window)
+        self._queue_wait = _Window(window)
+        self._infer_latency = _Window(window)
+
+    # ------------------------------------------------------------------ #
+    def record_submitted(self, samples: int) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.samples_total += samples
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.rejected_total += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts_total += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors_total += 1
+
+    def record_batch(self, batch_samples: int, infer_seconds: float) -> None:
+        with self._lock:
+            self.batches_total += 1
+            self.batched_samples += batch_samples
+            self.batch_size_histogram[batch_samples] = \
+                self.batch_size_histogram.get(batch_samples, 0) + 1
+            self._infer_latency.add(infer_seconds)
+
+    def record_completed(self, total_seconds: float, queue_seconds: float) -> None:
+        with self._lock:
+            self.responses_total += 1
+            self._request_latency.add(total_seconds)
+            self._queue_wait.add(queue_seconds)
+
+    def record_audit(self, mismatch: bool) -> None:
+        with self._lock:
+            self.audits_total += 1
+            if mismatch:
+                self.audit_mismatches += 1
+
+    def record_audit_error(self) -> None:
+        """The audit itself failed (reference engine error) — distinct from a
+        mismatch, which is the fused-kernel-regression alarm."""
+        with self._lock:
+            self.audits_total += 1
+            self.audit_errors += 1
+
+    def record_audit_dropped(self) -> None:
+        with self._lock:
+            self.audit_dropped += 1
+
+    # ------------------------------------------------------------------ #
+    def max_batch_observed(self) -> int:
+        with self._lock:
+            return max(self.batch_size_histogram, default=0)
+
+    def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, object]:
+        """One JSON-ready view of every counter (the ``/metrics`` payload)."""
+        with self._lock:
+            uptime = max(time.monotonic() - self._started, 1e-9)
+            return {
+                "uptime_s": uptime,
+                "requests": {
+                    "total": self.requests_total,
+                    "responses": self.responses_total,
+                    "rejected": self.rejected_total,
+                    "timeouts": self.timeouts_total,
+                    "errors": self.errors_total,
+                    "samples": self.samples_total,
+                },
+                "throughput": {
+                    "requests_per_s": self.responses_total / uptime,
+                    "samples_per_s": self.samples_total / uptime,
+                },
+                "latency": self._request_latency.snapshot_ms(),
+                "queue_wait": self._queue_wait.snapshot_ms(),
+                "inference": self._infer_latency.snapshot_ms(),
+                "batching": {
+                    "batches": self.batches_total,
+                    "histogram": {str(size): count for size, count
+                                  in sorted(self.batch_size_histogram.items())},
+                    "max_batch": max(self.batch_size_histogram, default=0),
+                    "mean_batch": (self.batched_samples / self.batches_total
+                                   if self.batches_total else 0.0),
+                },
+                "queue_depth": queue_depth,
+                "parity_audit": {
+                    "audits": self.audits_total,
+                    "mismatches": self.audit_mismatches,
+                    "errors": self.audit_errors,
+                    "dropped": self.audit_dropped,
+                },
+            }

@@ -1,0 +1,173 @@
+"""Named bundle registry with LRU eviction by CAM memory footprint.
+
+A serving process may host several exported models (e.g. the PECAN-A and
+PECAN-D variants of one network, or per-tenant finetunes).  The
+:class:`ModelRegistry` maps names to bundle files, loads engines lazily on
+first use, and keeps the total resident footprint — measured in stored scalar
+values via :meth:`DeploymentBundle.total_values`, the paper's Section 3 memory
+metric — under a budget by evicting the least-recently-used engines.  Evicted
+models stay registered: the next request for them reloads from disk (and may
+evict someone else).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.serve.engine import BundleEngine
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class RegisteredModel:
+    """One named bundle and, when resident, its engine."""
+
+    name: str
+    path: Path
+    engine: Optional[BundleEngine] = None
+    total_values: int = 0
+    last_used: float = 0.0
+    loads: int = 0
+
+    @property
+    def loaded(self) -> bool:
+        return self.engine is not None
+
+    def describe(self) -> Dict[str, object]:
+        info: Dict[str, object] = {
+            "name": self.name,
+            "path": str(self.path),
+            "loaded": self.loaded,
+            "loads": self.loads,
+        }
+        if self.engine is not None:
+            info.update({
+                "total_values": self.total_values,
+                "layers": self.engine.bundle.layer_names,
+                "input_shape": list(self.engine.input_shape or ()),
+                "multiplier_free": self.engine.is_multiplier_free(),
+                "kernels": self.engine.kernel_names(),
+            })
+        return info
+
+
+class ModelRegistry:
+    """Load/evict named deployment bundles under a memory budget.
+
+    Parameters
+    ----------
+    max_total_values:
+        Budget on the summed ``total_values()`` of resident engines; ``None``
+        disables eviction.  The budget is a soft floor of one: the most
+        recently requested engine is never evicted, even if it alone exceeds
+        the budget.
+    engine_factory:
+        ``(path) -> BundleEngine`` — override to customize engine options
+        (chunk policy, fused/reference) or for testing.
+    """
+
+    def __init__(self, max_total_values: Optional[int] = None,
+                 engine_factory: Optional[Callable[[Path], BundleEngine]] = None):
+        self.max_total_values = max_total_values
+        self._engine_factory = engine_factory or (lambda path: BundleEngine(path))
+        self._models: Dict[str, RegisteredModel] = {}
+        self._lock = threading.RLock()
+        self.evictions_total = 0
+
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, path: PathLike, preload: bool = False) -> RegisteredModel:
+        """Add a named bundle; with ``preload`` the engine loads immediately."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"deployment bundle not found: {path}")
+        with self._lock:
+            if name in self._models:
+                raise ValueError(f"model {name!r} is already registered")
+            record = RegisteredModel(name=name, path=path)
+            self._models[name] = record
+        if preload:
+            self.get_engine(name)
+        return record
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def default_name(self) -> Optional[str]:
+        """The first registered model (what ``/predict`` uses when unnamed)."""
+        with self._lock:
+            return next(iter(self._models), None)
+
+    def loaded_names(self) -> List[str]:
+        """Names whose engines are currently resident."""
+        with self._lock:
+            return [name for name, record in self._models.items() if record.loaded]
+
+    # ------------------------------------------------------------------ #
+    def get_engine(self, name: str) -> BundleEngine:
+        """Resident engine for ``name``, loading (and possibly evicting) as needed."""
+        with self._lock:
+            record = self._models.get(name)
+            if record is None:
+                raise KeyError(f"model {name!r} is not registered "
+                               f"(known: {sorted(self._models)})")
+            if record.engine is None:
+                record.engine = self._engine_factory(record.path)
+                record.total_values = record.engine.bundle.total_values()
+                record.loads += 1
+            record.last_used = time.monotonic()
+            self._evict_over_budget(keep=name)
+            return record.engine
+
+    def unload(self, name: str) -> bool:
+        """Drop the resident engine for ``name`` (stays registered)."""
+        with self._lock:
+            record = self._models.get(name)
+            if record is None or record.engine is None:
+                return False
+            record.engine = None
+            return True
+
+    def resident_values(self) -> int:
+        with self._lock:
+            return sum(record.total_values for record in self._models.values()
+                       if record.loaded)
+
+    def _evict_over_budget(self, keep: str) -> None:
+        if self.max_total_values is None:
+            return
+        resident = [record for record in self._models.values()
+                    if record.loaded and record.name != keep]
+        resident.sort(key=lambda record: record.last_used)
+        total = sum(record.total_values for record in resident)
+        total += self._models[keep].total_values
+        for record in resident:
+            if total <= self.max_total_values:
+                break
+            record.engine = None
+            total -= record.total_values
+            self.evictions_total += 1
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready listing for the ``/models`` endpoint."""
+        with self._lock:
+            return {
+                "models": [record.describe() for record in self._models.values()],
+                "resident_values": self.resident_values(),
+                "max_total_values": self.max_total_values,
+                "evictions": self.evictions_total,
+            }

@@ -1,0 +1,314 @@
+"""Dynamic micro-batching scheduler with admission control.
+
+Production CAM inference is throughput-bound: the fused kernels amortize their
+fixed costs (im2col set-up, GEMM dispatch, LUT gathers) across the batch, so
+serving one request per forward wastes most of the hardware.  The
+:class:`DynamicBatcher` sits between the HTTP front end and a
+:class:`~repro.serve.engine.BundleEngine`:
+
+* requests enqueue into a **bounded** queue — when it is full the submit
+  raises :class:`QueueFullError` immediately (backpressure, not unbounded
+  buffering), which the server maps to HTTP 429;
+* a worker thread coalesces waiting requests into one batch of up to
+  ``max_batch_size`` samples, waiting at most ``max_wait_ms`` after the first
+  request so a lone request still gets low latency;
+* the batch runs through ``predict(batch, batch_chunk=)`` once and the result
+  rows are scattered back to each request's future;
+* requests that sat in the queue past their deadline are failed with
+  :class:`RequestTimeout` instead of being dispatched (shed load late, not
+  never).
+
+The design follows the router/engine split of vLLM's production stack scaled
+to this repo: scheduling policy lives here, numerical work stays in the
+engine, and every decision is observable through
+:class:`~repro.serve.metrics.ServerMetrics`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.serve.metrics import ServerMetrics
+
+
+class SchedulerError(RuntimeError):
+    """Base class for scheduling failures."""
+
+
+class QueueFullError(SchedulerError):
+    """The bounded request queue is at capacity (admission control)."""
+
+
+class RequestTimeout(SchedulerError):
+    """The request exceeded its deadline before completing."""
+
+
+class SchedulerStopped(SchedulerError):
+    """The scheduler is shut down and no longer accepts work."""
+
+
+class InferenceRequest:
+    """A submitted batch-of-samples and its completion future."""
+
+    __slots__ = ("inputs", "num_samples", "submitted_at", "deadline",
+                 "_done", "_result", "_error", "queue_seconds")
+
+    def __init__(self, inputs: np.ndarray, timeout_s: Optional[float]):
+        self.inputs = inputs
+        self.num_samples = int(inputs.shape[0])
+        self.submitted_at = time.monotonic()
+        self.deadline = (self.submitted_at + timeout_s) if timeout_s else None
+        self._done = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self.queue_seconds = 0.0
+
+    # -- worker side ---------------------------------------------------- #
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+    def set_result(self, result: np.ndarray) -> None:
+        self._result = result
+        self._done.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    # -- caller side ---------------------------------------------------- #
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the batch containing this request completes."""
+        if not self._done.wait(timeout):
+            raise RequestTimeout("timed out waiting for inference result")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class DynamicBatcher:
+    """Coalesce single-sample requests into micro-batches for one engine.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``(batch: np.ndarray) -> np.ndarray`` — typically
+        ``lambda x: engine.predict(x, batch_chunk=...)``.
+    max_batch_size:
+        Sample budget per dispatched batch.  A single request larger than the
+        budget still dispatches (alone) — the engine chunks internally.
+    max_wait_ms:
+        How long a *lone* first request is held open for near-simultaneous
+        followers; once two or more requests have coalesced the batch
+        dispatches as soon as the queue is momentarily empty (see
+        :meth:`_collect_batch`).
+    max_queue_depth:
+        Bound on queued (not yet dispatched) requests; beyond it ``submit``
+        raises :class:`QueueFullError`.
+    request_timeout_s:
+        Default per-request deadline; expired requests are failed, not run.
+    on_batch:
+        Optional hook ``(inputs, outputs) -> None`` called after each batch
+        (the parity auditor taps in here).
+    """
+
+    def __init__(self, predict_fn: Callable[[np.ndarray], np.ndarray],
+                 max_batch_size: int = 32, max_wait_ms: float = 5.0,
+                 max_queue_depth: int = 256,
+                 request_timeout_s: Optional[float] = 30.0,
+                 metrics: Optional[ServerMetrics] = None,
+                 on_batch: Optional[Callable[[np.ndarray, np.ndarray], None]] = None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.predict_fn = predict_fn
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = max(float(max_wait_ms), 0.0) / 1e3
+        self.request_timeout_s = request_timeout_s
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.on_batch = on_batch
+        self._queue: "queue.Queue[InferenceRequest]" = queue.Queue(maxsize=max_queue_depth)
+        #: A popped request that would have overflowed its batch's sample
+        #: budget; it seeds the next batch instead (worker-thread only).
+        self._carry: Optional[InferenceRequest] = None
+        self._running = False
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "DynamicBatcher":
+        if self._thread is None or not self._thread.is_alive():
+            self._running = True
+            self._stopped = False
+            self._thread = threading.Thread(target=self._worker,
+                                            name="repro-serve-batcher", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop the worker; with ``drain`` the queue is emptied first."""
+        if self._thread is not None:
+            if drain:
+                deadline = time.monotonic() + timeout
+                while not self._queue.empty() and time.monotonic() < deadline:
+                    time.sleep(0.005)
+            self._running = False
+            self._thread.join(timeout)
+            self._thread = None
+        self._running = False
+        self._stopped = True
+        # Fail anything still queued (or carried) so no caller blocks forever.
+        if self._carry is not None:
+            self._carry.set_error(SchedulerStopped("scheduler stopped"))
+            self._carry = None
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            request.set_error(SchedulerStopped("scheduler stopped"))
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------ #
+    def submit(self, inputs: np.ndarray,
+               timeout_s: Optional[float] = None) -> InferenceRequest:
+        """Enqueue a request; returns its future.  Never blocks on a full queue.
+
+        Submitting before :meth:`start` is allowed — requests queue up and the
+        worker drains them once started (tests use this to force coalescing
+        deterministically); submitting after :meth:`stop` raises.
+        """
+        if self._stopped:
+            raise SchedulerStopped("scheduler is stopped")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape[0] == 0:
+            raise ValueError("empty batch submitted")
+        request = InferenceRequest(
+            inputs, timeout_s if timeout_s is not None else self.request_timeout_s)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.metrics.record_rejected()
+            raise QueueFullError(
+                f"request queue is full ({self._queue.maxsize} pending); retry later"
+            ) from None
+        self.metrics.record_submitted(request.num_samples)
+        return request
+
+    def predict(self, inputs: np.ndarray, timeout_s: Optional[float] = None) -> np.ndarray:
+        """Convenience synchronous path: submit and wait."""
+        request = self.submit(inputs, timeout_s=timeout_s)
+        wait = None
+        if request.deadline is not None:
+            wait = max(request.deadline - time.monotonic(), 0.0) + 1.0
+        return request.result(timeout=wait)
+
+    # ------------------------------------------------------------------ #
+    def _collect_batch(self) -> List[InferenceRequest]:
+        """Block for the first request, then coalesce followers greedily.
+
+        Continuous-batching policy: everything already queued is drained
+        without waiting; the ``max_wait_ms`` hold window is only spent while
+        the batch still holds a *single* request (giving a lone arrival a
+        chance to coalesce with near-simultaneous followers).  Once at least
+        two requests are on board and the queue is momentarily empty the
+        batch dispatches immediately — waiting longer would trade latency for
+        nothing, and under a closed-loop client population (everyone blocked
+        on us) it would deadlock throughput against the window.  Sustained
+        load still fills batches to the budget: requests that arrive during
+        the previous batch's inference are all picked up in one drain.
+        """
+        if self._carry is not None:
+            first, self._carry = self._carry, None
+        else:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                return []
+        batch = [first]
+        samples = first.num_samples
+        hold_until = time.monotonic() + self.max_wait_s
+        while samples < self.max_batch_size:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                if len(batch) >= 2:
+                    break
+                remaining = hold_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    request = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            if samples + request.num_samples > self.max_batch_size:
+                # Never overshoot the sample budget: the oversized follower
+                # seeds the next batch.  (A single request above the budget
+                # still dispatches — alone, as the first of its batch.)
+                self._carry = request
+                break
+            batch.append(request)
+            samples += request.num_samples
+        return batch
+
+    def _dispatch(self, batch: List[InferenceRequest]) -> None:
+        now = time.monotonic()
+        live: List[InferenceRequest] = []
+        for request in batch:
+            if request.expired(now):
+                self.metrics.record_timeout()
+                request.set_error(RequestTimeout(
+                    "request expired in queue before dispatch"))
+            else:
+                request.queue_seconds = now - request.submitted_at
+                live.append(request)
+        if not live:
+            return
+        started = time.monotonic()
+        try:
+            # Concatenation stays inside the guard: a shape-mismatched request
+            # that slipped past admission must fail its batch, not kill the
+            # worker thread.
+            inputs = (live[0].inputs if len(live) == 1
+                      else np.concatenate([request.inputs for request in live], axis=0))
+            outputs = self.predict_fn(inputs)
+        except Exception as exc:                      # noqa: BLE001 - forwarded
+            self.metrics.record_error()
+            for request in live:
+                request.set_error(exc)
+            return
+        infer_seconds = time.monotonic() - started
+        self.metrics.record_batch(int(inputs.shape[0]), infer_seconds)
+        offset = 0
+        finished = time.monotonic()
+        for request in live:
+            request.set_result(outputs[offset:offset + request.num_samples])
+            offset += request.num_samples
+            self.metrics.record_completed(finished - request.submitted_at,
+                                          request.queue_seconds)
+        if self.on_batch is not None:
+            try:
+                self.on_batch(inputs, outputs)
+            except Exception:                         # noqa: BLE001 - audit is best-effort
+                self.metrics.record_error()
+
+    def _worker(self) -> None:
+        while self._running:
+            try:
+                batch = self._collect_batch()
+                if batch:
+                    self._dispatch(batch)
+            except Exception:                         # noqa: BLE001 - keep serving
+                # _dispatch guards per-batch failures; this is a last-resort
+                # backstop so no bug can permanently kill the worker thread.
+                self.metrics.record_error()

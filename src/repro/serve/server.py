@@ -1,0 +1,359 @@
+"""Stdlib HTTP front end for bundle-backed CAM inference.
+
+Zero new dependencies: ``http.server.ThreadingHTTPServer`` carries a small
+JSON protocol in front of the registry + scheduler + auditor stack.
+
+Endpoints
+---------
+``POST /predict``
+    Body ``{"inputs": [...], "model": "name"?}``.  ``inputs`` is one sample
+    (shape ``input_shape``) or a batch (leading batch axis).  Requests are
+    dynamically micro-batched with concurrent callers; the response carries
+    the logits, argmax classes and observed latency.
+``GET /models``
+    Registry listing (resident engines, footprints, kernels, evictions).
+``GET /metrics``
+    Scheduler/latency/batching counters, per-layer CAM search + energy
+    statistics from the engines, and parity-audit results.
+``GET /healthz``
+    Liveness probe.
+
+Errors map to conventional codes: 400 malformed input, 404 unknown model,
+408 request timed out, 429 queue full (backpressure), 500 engine failure.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.serve.auditor import ParityAuditor
+from repro.serve.engine import BundleEngine
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import ModelRegistry, PathLike
+from repro.serve.scheduler import (DynamicBatcher, QueueFullError, RequestTimeout,
+                                   SchedulerStopped)
+
+
+@dataclass
+class ServedModel:
+    """One resident model wired into the serving plane."""
+
+    name: str
+    engine: BundleEngine
+    batcher: DynamicBatcher
+    auditor: Optional[ParityAuditor] = None
+
+
+class PECANServer:
+    """Serve deployment bundles over HTTP with dynamic micro-batching.
+
+    Parameters
+    ----------
+    registry:
+        Optional pre-populated :class:`ModelRegistry`; by default an empty
+        one is created and bundles are added via :meth:`add_bundle`.
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port` after
+        :meth:`start`).
+    max_batch_size / max_wait_ms / max_queue_depth / request_timeout_s:
+        Dynamic-batching and admission-control knobs, applied per model.
+    batch_chunk:
+        Forwarded to ``engine.predict(batch_chunk=)`` so a coalesced batch
+        streams through the engine with bounded peak memory.
+    audit_every:
+        Parity-audit sample rate (0 disables): one of every N dispatched
+        batches is re-run through the per-group reference engine.
+    """
+
+    def __init__(self, registry: Optional[ModelRegistry] = None,
+                 host: str = "127.0.0.1", port: int = 8080, *,
+                 max_batch_size: int = 32, max_wait_ms: float = 5.0,
+                 max_queue_depth: int = 256,
+                 request_timeout_s: Optional[float] = 30.0,
+                 batch_chunk: Optional[int] = None,
+                 audit_every: int = 0):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.host = host
+        self.port = port
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.max_queue_depth = max_queue_depth
+        self.request_timeout_s = request_timeout_s
+        self.batch_chunk = batch_chunk
+        self.audit_every = audit_every
+        self.metrics = ServerMetrics()
+        self._served: Dict[str, ServedModel] = {}
+        self._lock = threading.RLock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Model management
+    # ------------------------------------------------------------------ #
+    def add_bundle(self, path: PathLike, name: Optional[str] = None,
+                   preload: bool = False) -> str:
+        """Register a bundle file under ``name`` (default: the file stem)."""
+        path = Path(path)
+        name = name or path.stem
+        self.registry.register(name, path, preload=False)
+        if preload:
+            self._get_served(name)
+        return name
+
+    def _get_served(self, name: str) -> ServedModel:
+        """The wired-up (engine + batcher + auditor) record, building lazily.
+
+        Registry evictions are honoured here: a ``ServedModel`` whose engine
+        the registry dropped is retired (its batcher drained, its auditor —
+        which holds a second engine — stopped) so eviction actually releases
+        the memory.  Retirement happens *outside* the server lock: draining a
+        busy batcher can take seconds and must not stall other models'
+        predictions or ``/metrics``.
+        """
+        retired = []
+        try:
+            with self._lock:
+                served = self._served.get(name)
+                engine = self.registry.get_engine(name)   # may evict an LRU engine
+                if served is not None and served.engine is not engine:
+                    retired.append(self._served.pop(name))  # evicted + reloaded
+                    served = None
+                # Drop wired-up records for models the registry evicted, or
+                # their engines (and the auditors' reference engines) stay
+                # resident and the --max_total_values budget is fiction.
+                loaded = set(self.registry.loaded_names())
+                for other in list(self._served):
+                    if other != name and other not in loaded:
+                        retired.append(self._served.pop(other))
+                if served is not None:
+                    return served
+                auditor = None
+                on_batch = None
+                if self.audit_every:
+                    reference = BundleEngine(engine.bundle, use_fused=False)
+                    auditor = ParityAuditor(reference, every=self.audit_every,
+                                            metrics=self.metrics).start()
+                    on_batch = auditor.observe
+                batcher = DynamicBatcher(
+                    lambda x, _engine=engine: _engine.predict(x, batch_chunk=self.batch_chunk),
+                    max_batch_size=self.max_batch_size, max_wait_ms=self.max_wait_ms,
+                    max_queue_depth=self.max_queue_depth,
+                    request_timeout_s=self.request_timeout_s,
+                    metrics=self.metrics, on_batch=on_batch).start()
+                served = ServedModel(name=name, engine=engine, batcher=batcher,
+                                     auditor=auditor)
+                self._served[name] = served
+                return served
+        finally:
+            for record in retired:
+                record.batcher.stop(drain=True)
+                if record.auditor is not None:
+                    record.auditor.stop()
+
+    # ------------------------------------------------------------------ #
+    # In-process serving API (the HTTP handler is a thin shim over this)
+    # ------------------------------------------------------------------ #
+    def predict(self, inputs: np.ndarray, model: Optional[str] = None,
+                timeout_s: Optional[float] = None) -> Dict[str, object]:
+        """Micro-batched prediction; returns a JSON-ready response dict."""
+        name = model or self.registry.default_name()
+        if name is None:
+            raise KeyError("no models registered")
+        served = self._get_served(name)
+        inputs = np.asarray(inputs, dtype=np.float64)
+        expected = served.engine.input_shape
+        if expected is not None and tuple(inputs.shape) == tuple(expected):
+            inputs = inputs[None]                     # single sample → batch of 1
+        if inputs.ndim == 0 or inputs.shape[0] == 0:
+            raise ValueError("inputs must contain at least one sample")
+        # Validate per-sample shape at admission: a bad request must be
+        # rejected here (HTTP 400), never coalesced into a batch where its
+        # shape would fail the whole dispatch.
+        if expected is not None and tuple(inputs.shape[1:]) != tuple(expected):
+            raise ValueError(f"expected per-sample input shape {tuple(expected)}, "
+                             f"got {tuple(inputs.shape[1:])}")
+        try:
+            request = served.batcher.submit(inputs, timeout_s=timeout_s)
+        except SchedulerStopped:
+            # We raced an LRU retirement: the model is still registered, so
+            # re-resolve (reloading the engine) instead of failing the caller.
+            served = self._get_served(name)
+            request = served.batcher.submit(inputs, timeout_s=timeout_s)
+        wait = None
+        if request.deadline is not None:
+            import time
+            wait = max(request.deadline - time.monotonic(), 0.0) + 1.0
+        outputs = request.result(timeout=wait)
+        return {
+            "model": name,
+            "outputs": outputs.tolist(),
+            "classes": outputs.argmax(axis=1).tolist(),
+            "num_samples": int(inputs.shape[0]),
+            "queue_ms": request.queue_seconds * 1e3,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` payload."""
+        with self._lock:
+            served = dict(self._served)
+        queue_depth = sum(record.batcher.queue_depth for record in served.values())
+        payload: Dict[str, object] = {
+            "server": self.metrics.snapshot(queue_depth=queue_depth),
+            "registry": self.registry.describe(),
+            "models": {},
+        }
+        for name, record in served.items():
+            entry: Dict[str, object] = {
+                "engine": record.engine.stats_snapshot(),
+                "queue_depth": record.batcher.queue_depth,
+                "batching": {
+                    "max_batch_size": record.batcher.max_batch_size,
+                    "max_wait_ms": record.batcher.max_wait_s * 1e3,
+                },
+            }
+            if record.auditor is not None:
+                entry["parity_audit"] = {
+                    "enabled": record.auditor.enabled,
+                    "exact": record.auditor.exact,
+                    "every": record.auditor.every,
+                    "last_mismatch": record.auditor.last_mismatch,
+                }
+            payload["models"][name] = entry
+        return payload
+
+    def models_snapshot(self) -> Dict[str, object]:
+        return self.registry.describe()
+
+    def health_snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            serving = sorted(self._served)
+        return {
+            "status": "ok",
+            "models": self.registry.names(),
+            "serving": serving,
+        }
+
+    # ------------------------------------------------------------------ #
+    # HTTP lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "PECANServer":
+        """Bind and serve on a background thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        handler = _build_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self.port = self._httpd.server_address[1]
+        self._http_thread = threading.Thread(target=self._httpd.serve_forever,
+                                             name="repro-serve-http", daemon=True)
+        self._http_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+            self._http_thread = None
+        with self._lock:
+            for record in self._served.values():
+                record.batcher.stop(drain=True)
+                if record.auditor is not None:
+                    record.auditor.stop()
+            self._served.clear()
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI: start and run until interrupted."""
+        self.start()
+        try:
+            while True:
+                self._http_thread.join(1.0)
+                if not self._http_thread.is_alive():
+                    break
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "PECANServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# --------------------------------------------------------------------------- #
+# Request handler
+# --------------------------------------------------------------------------- #
+def _build_handler(server: PECANServer):
+    class Handler(BaseHTTPRequestHandler):
+        pecan = server
+        protocol_version = "HTTP/1.1"
+
+        # Silence per-request stderr logging; metrics carry the signal.
+        def log_message(self, format, *args):    # noqa: A002 - stdlib signature
+            pass
+
+        def _reply(self, status: int, payload: Dict[str, object]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:                # noqa: N802 - stdlib signature
+            if self.path == "/healthz":
+                self._reply(200, self.pecan.health_snapshot())
+            elif self.path == "/metrics":
+                self._reply(200, self.pecan.metrics_snapshot())
+            elif self.path == "/models":
+                self._reply(200, self.pecan.models_snapshot())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:               # noqa: N802 - stdlib signature
+            if self.path != "/predict":
+                self._reply(404, {"error": f"unknown path {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                if "inputs" not in payload:
+                    raise ValueError("request body must contain 'inputs'")
+                inputs = np.asarray(payload["inputs"], dtype=np.float64)
+            except (ValueError, TypeError, json.JSONDecodeError) as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            try:
+                response = self.pecan.predict(inputs, model=payload.get("model"))
+            except KeyError as exc:
+                self._reply(404, {"error": str(exc)})
+            except QueueFullError as exc:
+                self._reply(429, {"error": str(exc)})
+            except RequestTimeout as exc:
+                # (queue-expiry timeouts are already counted by the scheduler)
+                self._reply(408, {"error": str(exc)})
+            except SchedulerStopped as exc:
+                self._reply(503, {"error": str(exc)})
+            except ValueError as exc:
+                self._reply(400, {"error": str(exc)})
+            except Exception as exc:             # noqa: BLE001 - boundary
+                self.pecan.metrics.record_error()
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            else:
+                self._reply(200, response)
+
+    return Handler

@@ -120,11 +120,11 @@ class TestEngineEquivalence:
 
     def test_broadcast_fallback_matches_reference(self, rng, monkeypatch):
         # No compiled kernel AND no scipy → pure chunked-broadcast path.
-        import repro.cam.inference as inference_mod
+        import repro.cam.runtime as runtime_mod
         model = conv_model(rng, "distance")
         x = rng.standard_normal((2, 4, 8, 8))
         engine = CAMInferenceEngine(model, chunk_policy=ChunkPolicy(max_bytes=64 * 1024))
-        monkeypatch.setattr(inference_mod, "_cdist", None)
+        monkeypatch.setattr(runtime_mod, "_cdist", None)
         for runtime in engine.runtimes.values():
             monkeypatch.setattr(runtime, "_ckernel", None)
             assert runtime.kernel_name == "numpy"

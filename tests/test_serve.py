@@ -1,0 +1,625 @@
+"""Unit and integration tests for the :mod:`repro.serve` subsystem.
+
+Covers the lean import graph (serving must not load the training substrate),
+bundle format validation, the dynamic micro-batching scheduler, the LRU model
+registry, the metrics accumulator, the parity auditor, and the HTTP
+server/client pair end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.io import export_deployment_bundle, load_deployment_bundle
+from repro.io.deployment import BundleFormatError, _MANIFEST_KEY
+from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.pecan.config import PQLayerConfig
+from repro.pecan.convert import convert_to_pecan
+from repro.serve import (BundleEngine, DynamicBatcher, ModelRegistry, ParityAuditor,
+                         PECANServer, QueueFullError, RequestTimeout, SchedulerStopped,
+                         ServeClient, ServeHTTPError, ServerMetrics)
+from repro.serve.metrics import percentile
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def small_model(rng, mode="distance", in_channels=1, image_size=10):
+    """A tiny sequential conv→fc PECAN model (trace-exportable)."""
+    cfg = PQLayerConfig(num_prototypes=4, mode=mode,
+                        temperature=0.5 if mode == "distance" else 1.0)
+    spatial = (image_size - 2) // 2
+    model = Sequential(
+        Conv2d(in_channels, 4, 3, rng=rng), ReLU(), MaxPool2d(2), Flatten(),
+        Linear(4 * spatial * spatial, 6, rng=rng),
+    )
+    return convert_to_pecan(model, cfg, rng=rng)
+
+
+@pytest.fixture
+def bundle_path(rng, tmp_path) -> Path:
+    model = small_model(rng)
+    return export_deployment_bundle(model, tmp_path / "toy.npz",
+                                    input_shape=(1, 10, 10))
+
+
+@pytest.fixture
+def engine(bundle_path) -> BundleEngine:
+    return BundleEngine(bundle_path)
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: the serving import graph stays free of training modules
+# --------------------------------------------------------------------------- #
+class TestImportGraph:
+    def test_import_serve_does_not_load_training_modules(self):
+        script = (
+            "import sys\n"
+            "import repro.serve\n"
+            "banned = ('repro.autograd', 'repro.optim', 'repro.nn',\n"
+            "          'repro.pecan.layers', 'repro.pecan.codebook',\n"
+            "          'repro.pecan.similarity', 'repro.pecan.training',\n"
+            "          'repro.pecan.convert', 'repro.models', 'repro.data',\n"
+            "          'repro.experiments', 'repro.cam.lut', 'repro.cam.inference')\n"
+            "loaded = [m for m in sys.modules\n"
+            "          if any(m == b or m.startswith(b + '.') for b in banned)]\n"
+            "print(json.dumps(loaded)) if False else None\n"
+            "assert not loaded, f'training modules leaked into serve: {loaded}'\n"
+            "print('LEAN')\n"
+        )
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True,
+                                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
+        assert result.returncode == 0, result.stderr
+        assert "LEAN" in result.stdout
+
+    def test_loading_a_bundle_stays_lean(self, bundle_path):
+        script = (
+            "import sys\n"
+            "from repro.serve import BundleEngine\n"
+            "import numpy as np\n"
+            f"engine = BundleEngine({str(bundle_path)!r})\n"
+            "engine.predict(np.zeros((2, 1, 10, 10)))\n"
+            "leaked = [m for m in sys.modules\n"
+            "          if m.startswith('repro.autograd') or m.startswith('repro.optim')\n"
+            "          or m.startswith('repro.nn')]\n"
+            "assert not leaked, leaked\n"
+            "print('LEAN')\n"
+        )
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True,
+                                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
+        assert result.returncode == 0, result.stderr
+        assert "LEAN" in result.stdout
+
+    def test_cli_serve_parse_stays_lean(self):
+        # The production entry point `repro-pecan serve` must not pay for (or
+        # depend on) the training stack either.
+        script = (
+            "import sys\n"
+            "from repro.cli import build_parser\n"
+            "build_parser().parse_args(['serve', '--bundle', 'x.npz'])\n"
+            "banned = ('repro.autograd', 'repro.optim', 'repro.nn',\n"
+            "          'repro.experiments', 'repro.models', 'repro.data')\n"
+            "loaded = [m for m in sys.modules\n"
+            "          if any(m == b or m.startswith(b + '.') for b in banned)]\n"
+            "assert not loaded, f'training modules leaked into cli serve: {loaded}'\n"
+            "print('LEAN')\n"
+        )
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True,
+                                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
+        assert result.returncode == 0, result.stderr
+        assert "LEAN" in result.stdout
+
+    def test_lazy_top_level_reexports_still_work(self):
+        import repro
+        assert repro.PECANMode.parse("adder").value == "distance"
+        assert callable(repro.convert_to_pecan)
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: bundle format validation
+# --------------------------------------------------------------------------- #
+class TestBundleValidation:
+    def _rewrite(self, path, mutate, drop=()):
+        """Rewrite a bundle with a mutated manifest / dropped arrays."""
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files if key not in drop}
+        manifest = json.loads(bytes(arrays[_MANIFEST_KEY].tobytes()).decode())
+        mutate(manifest)
+        arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
+        out = path.parent / "mutated.npz"
+        np.savez(out, **arrays)
+        return out
+
+    def test_unknown_format_version_is_clear(self, bundle_path):
+        bad = self._rewrite(bundle_path, lambda m: m.update(format_version=99))
+        with pytest.raises(BundleFormatError, match="format version 99"):
+            load_deployment_bundle(bad)
+
+    def test_missing_format_version_is_clear(self, bundle_path):
+        bad = self._rewrite(bundle_path, lambda m: m.pop("format_version"))
+        with pytest.raises(BundleFormatError, match="format version"):
+            load_deployment_bundle(bad)
+
+    def test_missing_layer_key_names_layer_and_key(self, bundle_path):
+        def mutate(manifest):
+            next(iter(manifest["layers"].values())).pop("stride")
+        with pytest.raises(BundleFormatError, match="stride"):
+            load_deployment_bundle(self._rewrite(bundle_path, mutate))
+
+    def test_missing_array_is_reported(self, bundle_path):
+        bundle = load_deployment_bundle(bundle_path)
+        victim = f"{bundle.layer_names[0]}/prototypes"
+        bad = self._rewrite(bundle_path, lambda m: None, drop=(victim,))
+        with pytest.raises(BundleFormatError, match="missing array"):
+            load_deployment_bundle(bad)
+
+    def test_corrupt_manifest_is_reported(self, bundle_path, tmp_path):
+        with np.load(bundle_path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays[_MANIFEST_KEY] = np.frombuffer(b"{not json", dtype=np.uint8)
+        bad = tmp_path / "corrupt.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(BundleFormatError, match="corrupt"):
+            load_deployment_bundle(bad)
+
+    def test_not_a_bundle_is_reported(self, tmp_path):
+        bad = tmp_path / "random.npz"
+        np.savez(bad, data=np.zeros(3))
+        with pytest.raises(BundleFormatError, match="not a repro deployment bundle"):
+            load_deployment_bundle(bad)
+
+    def test_bundle_errors_are_value_errors(self):
+        assert issubclass(BundleFormatError, ValueError)
+
+    def test_v1_bundle_without_program_still_loads(self, bundle_path):
+        def mutate(manifest):
+            manifest["format_version"] = 1
+            manifest.pop("program")
+            manifest.pop("input_shape")
+        old = self._rewrite(bundle_path, mutate)
+        bundle = load_deployment_bundle(old)
+        assert not bundle.has_program
+        with pytest.raises(ValueError, match="no inference program"):
+            BundleEngine(bundle)
+
+
+# --------------------------------------------------------------------------- #
+# Engine basics (full parity lives in test_serve_parity.py)
+# --------------------------------------------------------------------------- #
+class TestBundleEngine:
+    def test_input_shape_enforced(self, engine):
+        with pytest.raises(ValueError, match="input shape"):
+            engine.predict(np.zeros((2, 3, 10, 10)))
+
+    def test_batch_chunk_matches_unchunked(self, engine, rng):
+        x = rng.standard_normal((5, 1, 10, 10))
+        np.testing.assert_array_equal(engine.predict(x),
+                                      engine.predict(x, batch_chunk=2))
+
+    def test_stats_snapshot_shape(self, engine, rng):
+        engine.predict(rng.standard_normal((2, 1, 10, 10)))
+        snap = engine.stats_snapshot()
+        assert snap["multiplier_free"]
+        assert snap["cam"]["searches"] > 0
+        assert snap["stored_values"] == engine.bundle.total_values()
+        assert set(snap["kernels"]) == set(engine.bundle.layer_names)
+
+    def test_op_counts_match_model_engine(self, bundle_path, rng):
+        from repro.cam.inference import CAMInferenceEngine
+        model = small_model(rng)
+        x = rng.standard_normal((3, 1, 10, 10))
+        bundle_engine = BundleEngine(
+            export_deployment_bundle(model, bundle_path.parent / "again.npz",
+                                     input_shape=(1, 10, 10)))
+        model_engine = CAMInferenceEngine(model)
+        bundle_engine.predict(x)
+        model_engine.predict(x)
+        assert bundle_engine.op_counter.summary() == model_engine.op_counter.summary()
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler
+# --------------------------------------------------------------------------- #
+class TestDynamicBatcher:
+    def test_coalesces_queued_singles_into_one_batch(self):
+        batches = []
+
+        def predict(x):
+            batches.append(x.shape[0])
+            return x.sum(axis=(1, 2, 3), keepdims=False)[:, None]
+
+        batcher = DynamicBatcher(predict, max_batch_size=8, max_wait_ms=20.0)
+        # Enqueue before starting the worker: deterministic coalescing.
+        requests = [batcher.submit(np.full((1, 2, 3, 3), float(i))) for i in range(6)]
+        batcher.start()
+        results = [request.result(timeout=5.0) for request in requests]
+        batcher.stop()
+        assert batches == [6]
+        assert batcher.metrics.batch_size_histogram == {6: 1}
+        for i, result in enumerate(results):
+            assert result.shape == (1, 1)
+            np.testing.assert_allclose(result[0, 0], i * 18.0)
+
+    def test_respects_max_batch_size(self):
+        batches = []
+
+        def predict(x):
+            batches.append(x.shape[0])
+            return np.zeros((x.shape[0], 1))
+
+        batcher = DynamicBatcher(predict, max_batch_size=4, max_wait_ms=20.0)
+        requests = [batcher.submit(np.zeros((1, 2))) for _ in range(10)]
+        batcher.start()
+        for request in requests:
+            request.result(timeout=5.0)
+        batcher.stop()
+        assert max(batches) <= 4
+        assert sum(batches) == 10
+
+    def test_queue_full_rejects_with_backpressure(self):
+        batcher = DynamicBatcher(lambda x: x, max_queue_depth=2)
+        batcher.submit(np.zeros((1, 2)))
+        batcher.submit(np.zeros((1, 2)))
+        with pytest.raises(QueueFullError):
+            batcher.submit(np.zeros((1, 2)))
+        assert batcher.metrics.rejected_total == 1
+        batcher.stop(drain=False)
+
+    def test_expired_requests_are_failed_not_run(self):
+        batcher = DynamicBatcher(lambda x: x, request_timeout_s=0.0)
+        request = batcher.submit(np.zeros((1, 2)), timeout_s=1e-6)
+        import time
+        time.sleep(0.01)
+        batcher.start()
+        with pytest.raises(RequestTimeout):
+            request.result(timeout=5.0)
+        batcher.stop()
+        assert batcher.metrics.timeouts_total == 1
+
+    def test_engine_error_propagates_to_all_requests(self):
+        def predict(x):
+            raise RuntimeError("engine exploded")
+
+        batcher = DynamicBatcher(predict, max_wait_ms=10.0)
+        requests = [batcher.submit(np.zeros((1, 2))) for _ in range(3)]
+        batcher.start()
+        for request in requests:
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                request.result(timeout=5.0)
+        batcher.stop()
+        assert batcher.metrics.errors_total == 1
+
+    def test_stop_fails_pending_and_refuses_new_work(self):
+        batcher = DynamicBatcher(lambda x: x)
+        request = batcher.submit(np.zeros((1, 2)))
+        batcher.stop(drain=False)
+        with pytest.raises(SchedulerStopped):
+            request.result(timeout=1.0)
+        with pytest.raises(SchedulerStopped):
+            batcher.submit(np.zeros((1, 2)))
+
+    def test_never_overshoots_sample_budget(self):
+        batches = []
+
+        def predict(x):
+            batches.append(x.shape[0])
+            return np.zeros((x.shape[0], 1))
+
+        batcher = DynamicBatcher(predict, max_batch_size=8, max_wait_ms=20.0)
+        sizes = [6, 5, 3, 9]          # 6+5 would overshoot; 9 alone exceeds it
+        requests = [batcher.submit(np.zeros((size, 2))) for size in sizes]
+        batcher.start()
+        for request in requests:
+            request.result(timeout=5.0)
+        batcher.stop()
+        # The oversized follower seeds the next batch; only a request that is
+        # single-handedly above the budget may exceed it (dispatching alone).
+        assert batches == [6, 8, 9]
+
+    def test_multi_sample_requests_coalesce_and_split(self):
+        def predict(x):
+            return x[:, :1, 0, 0] * 2.0
+
+        batcher = DynamicBatcher(predict, max_batch_size=16, max_wait_ms=20.0)
+        a = batcher.submit(np.ones((3, 1, 2, 2)))
+        b = batcher.submit(np.full((2, 1, 2, 2), 5.0))
+        batcher.start()
+        ra, rb = a.result(timeout=5.0), b.result(timeout=5.0)
+        batcher.stop()
+        assert ra.shape == (3, 1) and rb.shape == (2, 1)
+        np.testing.assert_allclose(ra, 2.0)
+        np.testing.assert_allclose(rb, 10.0)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+class TestModelRegistry:
+    def test_lazy_load_and_describe(self, bundle_path):
+        registry = ModelRegistry()
+        registry.register("toy", bundle_path)
+        listing = registry.describe()
+        assert listing["models"][0]["loaded"] is False
+        engine = registry.get_engine("toy")
+        assert isinstance(engine, BundleEngine)
+        assert registry.describe()["models"][0]["loaded"] is True
+        assert registry.resident_values() == engine.bundle.total_values()
+
+    def test_unknown_and_duplicate_names(self, bundle_path):
+        registry = ModelRegistry()
+        registry.register("toy", bundle_path)
+        with pytest.raises(KeyError, match="unknown"):
+            registry.get_engine("unknown")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("toy", bundle_path)
+        with pytest.raises(FileNotFoundError):
+            registry.register("ghost", bundle_path.parent / "ghost.npz")
+
+    def test_lru_eviction_by_total_values(self, rng, tmp_path):
+        paths = {}
+        for name in ("a", "b", "c"):
+            model = small_model(rng)
+            paths[name] = export_deployment_bundle(model, tmp_path / f"{name}.npz",
+                                                   input_shape=(1, 10, 10))
+        one = BundleEngine(paths["a"]).bundle.total_values()
+        registry = ModelRegistry(max_total_values=2 * one)
+        for name in ("a", "b", "c"):
+            registry.register(name, paths[name])
+        registry.get_engine("a")
+        registry.get_engine("b")
+        registry.get_engine("c")                      # evicts "a" (LRU)
+        loaded = {m["name"]: m["loaded"] for m in registry.describe()["models"]}
+        assert loaded == {"a": False, "b": True, "c": True}
+        assert registry.evictions_total == 1
+        registry.get_engine("a")                      # reload evicts "b"
+        loaded = {m["name"]: m["loaded"] for m in registry.describe()["models"]}
+        assert loaded == {"a": True, "b": False, "c": True}
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+class TestMetrics:
+    def test_percentile_interpolates(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.5) == pytest.approx(2.5)
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_snapshot_aggregates(self):
+        metrics = ServerMetrics()
+        metrics.record_submitted(4)
+        metrics.record_batch(4, 0.010)
+        metrics.record_completed(0.015, 0.005)
+        metrics.record_rejected()
+        metrics.record_audit(mismatch=False)
+        snap = metrics.snapshot(queue_depth=3)
+        assert snap["requests"]["total"] == 2
+        assert snap["requests"]["rejected"] == 1
+        assert snap["batching"]["histogram"] == {"4": 1}
+        assert snap["batching"]["mean_batch"] == 4.0
+        assert snap["queue_depth"] == 3
+        assert snap["latency"]["p95_ms"] == pytest.approx(15.0)
+        assert snap["parity_audit"] == {"audits": 1, "mismatches": 0,
+                                        "errors": 0, "dropped": 0}
+
+
+# --------------------------------------------------------------------------- #
+# Parity auditor
+# --------------------------------------------------------------------------- #
+class TestParityAuditor:
+    def test_clean_traffic_has_no_mismatches(self, bundle_path, engine, rng):
+        reference = BundleEngine(bundle_path, use_fused=False)
+        auditor = ParityAuditor(reference, every=1).start()
+        x = rng.standard_normal((3, 1, 10, 10))
+        auditor.observe(x, engine.predict(x))
+        auditor.drain()
+        auditor.stop()
+        assert auditor.metrics.audits_total == 1
+        assert auditor.metrics.audit_mismatches == 0
+        assert auditor.exact                      # PECAN-D bundles audit bitwise
+
+    def test_detects_corrupted_outputs(self, bundle_path, engine, rng):
+        reference = BundleEngine(bundle_path, use_fused=False)
+        auditor = ParityAuditor(reference, every=1).start()
+        x = rng.standard_normal((2, 1, 10, 10))
+        outputs = engine.predict(x) + 1e-3        # simulated kernel regression
+        auditor.observe(x, outputs)
+        auditor.drain()
+        auditor.stop()
+        assert auditor.metrics.audit_mismatches == 1
+        assert auditor.last_mismatch["max_abs_error"] == pytest.approx(1e-3)
+
+    def test_sampling_rate(self, bundle_path, engine, rng):
+        reference = BundleEngine(bundle_path, use_fused=False)
+        auditor = ParityAuditor(reference, every=4, max_pending=32).start()
+        x = rng.standard_normal((1, 1, 10, 10))
+        y = engine.predict(x)
+        for _ in range(8):
+            auditor.observe(x, y)
+        auditor.drain()
+        auditor.stop()
+        assert auditor.metrics.audits_total == 2  # batches 1 and 5
+
+
+# --------------------------------------------------------------------------- #
+# HTTP server + client, end to end
+# --------------------------------------------------------------------------- #
+class TestServerEndToEnd:
+    @pytest.fixture
+    def server(self, bundle_path):
+        server = PECANServer(port=0, max_batch_size=8, max_wait_ms=25.0,
+                             audit_every=1)
+        server.add_bundle(bundle_path, name="toy", preload=True)
+        with server:
+            client = ServeClient(server.url)
+            assert client.wait_ready(10.0)
+            yield server, client
+
+    def test_predict_matches_engine_bitwise(self, server, bundle_path, rng):
+        _, client = server
+        engine = BundleEngine(bundle_path)
+        x = rng.standard_normal((4, 1, 10, 10))
+        response = client.predict_response(x)
+        np.testing.assert_array_equal(np.asarray(response["outputs"]),
+                                      engine.predict(x))
+        assert response["classes"] == engine.predict(x).argmax(axis=1).tolist()
+        assert response["model"] == "toy"
+
+    def test_single_sample_gets_batch_axis(self, server, rng):
+        _, client = server
+        logits = client.predict(rng.standard_normal((1, 10, 10)))
+        assert logits.shape == (1, 6)
+
+    def test_concurrent_singles_are_coalesced(self, server, bundle_path, rng):
+        pecan_server, client = server
+        engine = BundleEngine(bundle_path)
+        xs = rng.standard_normal((12, 1, 10, 10))
+        expected = engine.predict(xs)
+        results = [None] * 12
+
+        def fire(i):
+            results[i] = client.predict(xs[i:i + 1])
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for i in range(12):
+            np.testing.assert_array_equal(results[i][0], expected[i])
+        # The acceptance check: concurrent singles coalesced into batches > 1.
+        assert pecan_server.metrics.max_batch_observed() > 1
+        histogram = client.metrics()["server"]["batching"]["histogram"]
+        assert any(int(size) > 1 for size in histogram)
+
+    def test_metrics_endpoint_carries_engine_and_audit_stats(self, server, rng):
+        pecan_server, client = server
+        client.predict(rng.standard_normal((2, 1, 10, 10)))
+        pecan_server._served["toy"].auditor.drain()
+        snap = client.metrics()
+        assert snap["models"]["toy"]["engine"]["multiplier_free"]
+        assert snap["models"]["toy"]["engine"]["cam"]["searches"] > 0
+        assert snap["models"]["toy"]["engine"]["cam"]["energy"] > 0
+        assert snap["server"]["parity_audit"]["mismatches"] == 0
+        assert snap["server"]["parity_audit"]["audits"] >= 1
+        assert snap["registry"]["models"][0]["name"] == "toy"
+
+    def test_http_error_codes(self, server, rng):
+        _, client = server
+        with pytest.raises(ServeHTTPError) as excinfo:
+            client.predict(rng.standard_normal((2, 1, 10, 10)), model="nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeHTTPError) as excinfo:
+            client.predict(rng.standard_normal((2, 3, 4, 4)))
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeHTTPError) as excinfo:
+            client._request("/predict", {"not_inputs": 1})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeHTTPError) as excinfo:
+            client._request("/nope")
+        assert excinfo.value.status == 404
+        # A malformed request must never wedge the batcher: valid traffic
+        # keeps flowing after every rejection above.
+        assert client.predict(rng.standard_normal((1, 1, 10, 10))).shape == (1, 6)
+
+    def test_shape_mismatch_rejected_at_admission_not_in_batch(self, server, rng):
+        # Concurrent good and bad requests: the bad one gets its own 400 and
+        # must not poison the batch it would have coalesced into.
+        _, client = server
+        outcomes = {}
+
+        def good():
+            outcomes["good"] = client.predict(rng.standard_normal((2, 1, 10, 10)))
+
+        def bad():
+            try:
+                client.predict(rng.standard_normal((2, 1, 10, 9)))
+            except ServeHTTPError as exc:
+                outcomes["bad"] = exc.status
+
+        threads = [threading.Thread(target=good), threading.Thread(target=bad)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes["bad"] == 400
+        assert outcomes["good"].shape == (2, 6)
+
+    def test_healthz_and_models(self, server):
+        _, client = server
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["models"] == ["toy"]
+        models = client.models()
+        assert models["models"][0]["multiplier_free"]
+        assert models["models"][0]["input_shape"] == [1, 10, 10]
+
+
+class TestServerEviction:
+    def test_registry_eviction_retires_served_record(self, rng, tmp_path):
+        paths = {}
+        for name in ("a", "b"):
+            paths[name] = export_deployment_bundle(small_model(rng),
+                                                   tmp_path / f"{name}.npz",
+                                                   input_shape=(1, 10, 10))
+        one = BundleEngine(paths["a"]).bundle.total_values()
+        registry = ModelRegistry(max_total_values=one)       # room for one engine
+        server = PECANServer(registry=registry, port=0, max_wait_ms=1.0,
+                             audit_every=1)
+        server.add_bundle(paths["a"], name="a")
+        server.add_bundle(paths["b"], name="b")
+        x = rng.standard_normal((1, 1, 10, 10))
+        try:
+            server.predict(x, model="a")
+            retired_batcher = server._served["a"].batcher
+            server.predict(x, model="b")                     # evicts "a"
+            assert "a" not in server._served                 # record released
+            assert retired_batcher._stopped                  # batcher retired
+            assert set(registry.loaded_names()) == {"b"}
+            # The evicted model still answers: it reloads (and evicts "b").
+            assert "outputs" in server.predict(x, model="a")
+            assert set(registry.loaded_names()) == {"a"}
+        finally:
+            server.stop()
+
+
+class TestServeCLI:
+    def test_serve_command_round_trip(self, bundle_path, rng):
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--bundle", f"toy={bundle_path}", "--port", "0",
+             "--max_wait_ms", "10"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
+        try:
+            url = None
+            for _ in range(3):
+                line = process.stdout.readline()
+                if line.startswith("serving on "):
+                    url = line.split()[2]
+                    break
+            assert url, "CLI never reported its URL"
+            client = ServeClient(url)
+            assert client.wait_ready(10.0)
+            logits = client.predict(rng.standard_normal((2, 1, 10, 10)))
+            assert logits.shape == (2, 6)
+            assert client.healthz()["models"] == ["toy"]
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def test_parse_bundle_spec(self):
+        from repro.cli import _parse_bundle_spec
+        assert _parse_bundle_spec("a=/x/y.npz") == ("a", "/x/y.npz")
+        assert _parse_bundle_spec("/x/y.npz") == (None, "/x/y.npz")

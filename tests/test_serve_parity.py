@@ -1,0 +1,160 @@
+"""Bundle→engine parity: a served ``.npz`` must reproduce the live engine.
+
+The acceptance property of the serving subsystem: export a *trained* toy
+model, reload the bundle with no model object, and the
+:class:`~repro.serve.engine.BundleEngine` (and the HTTP server in front of
+it) produce outputs identical to :meth:`CAMInferenceEngine.predict` on the
+source model — element-wise, and bitwise for PECAN-D.  Exercised across the
+permuted-group (spatial layout) path and the compiled-kernel-disabled
+(``REPRO_DISABLE_CKERNELS=1``) fallback paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cam.inference import CAMInferenceEngine
+from repro.data import make_dataset
+from repro.data.loader import DataLoader
+from repro.io import export_deployment_bundle, load_deployment_bundle
+from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.pecan.config import PQLayerConfig
+from repro.pecan.convert import convert_to_pecan
+from repro.pecan.training import PECANTrainer
+from repro.perf import kernel_available
+from repro.serve import BundleEngine, PECANServer, ServeClient
+
+
+def toy_model(rng, mode, subvector_dim=None, in_channels=1, image_size=12):
+    cfg = PQLayerConfig(num_prototypes=4, mode=mode, subvector_dim=subvector_dim,
+                        temperature=0.5 if mode == "distance" else 1.0)
+    spatial = (image_size - 2) // 2
+    model = Sequential(
+        Conv2d(in_channels, 4, 3, rng=rng), ReLU(), MaxPool2d(2), Flatten(),
+        Linear(4 * spatial * spatial, 10, rng=rng),
+    )
+    return convert_to_pecan(model, cfg, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A briefly *trained* PECAN-D toy model, its bundle, and eval images."""
+    rng = np.random.default_rng(7)
+    train, test = make_dataset("mnist", num_train=32, num_test=16, image_size=12)
+    model = toy_model(rng, "distance")
+    trainer = PECANTrainer(model)
+    trainer.fit(DataLoader(train, batch_size=16, shuffle=True, seed=0),
+                DataLoader(test, batch_size=16), epochs=1, verbose=False)
+    return model, test.images[:8]
+
+
+@pytest.fixture(scope="module")
+def trained_bundle(trained_setup, tmp_path_factory):
+    model, images = trained_setup
+    path = tmp_path_factory.mktemp("bundles") / "trained.npz"
+    export_deployment_bundle(model, path, input_shape=images.shape[1:])
+    return path
+
+
+class TestTrainedBundleParity:
+    def test_engine_bitwise_parity_pecan_d(self, trained_setup, trained_bundle):
+        model, images = trained_setup
+        bundle_engine = BundleEngine(trained_bundle)
+        expected = CAMInferenceEngine(model).predict(images)
+        np.testing.assert_array_equal(bundle_engine.predict(images), expected)
+
+    def test_reference_path_parity(self, trained_setup, trained_bundle):
+        model, images = trained_setup
+        bundle_engine = BundleEngine(trained_bundle, use_fused=False)
+        expected = CAMInferenceEngine(model, use_fused=False).predict(images)
+        np.testing.assert_array_equal(bundle_engine.predict(images), expected)
+
+    def test_server_parity_from_npz_only(self, trained_setup, trained_bundle):
+        """Acceptance: a server started from only the exported .npz answers
+        /predict with outputs identical to CAMInferenceEngine on the model."""
+        model, images = trained_setup
+        expected = CAMInferenceEngine(model).predict(images)
+        server = PECANServer(port=0, max_batch_size=8, max_wait_ms=10.0)
+        server.add_bundle(trained_bundle, name="trained", preload=True)
+        with server:
+            client = ServeClient(server.url)
+            assert client.wait_ready(10.0)
+            logits = client.predict(images)
+        np.testing.assert_array_equal(logits, expected)
+
+    def test_bundle_round_trip_preserves_program(self, trained_bundle):
+        bundle = load_deployment_bundle(trained_bundle)
+        assert bundle.has_program
+        assert bundle.input_shape == (1, 12, 12)
+        ops = [step["op"] for step in bundle.program]
+        assert ops == ["pecan", "relu", "maxpool", "flatten", "pecan"]
+
+
+class TestAngleParity:
+    def test_engine_parity_pecan_a(self, rng, tmp_path):
+        model = toy_model(rng, "angle")
+        images = rng.standard_normal((6, 1, 12, 12))
+        path = export_deployment_bundle(model, tmp_path / "angle.npz",
+                                        input_shape=(1, 12, 12))
+        replayed = BundleEngine(path).predict(images)
+        expected = CAMInferenceEngine(model).predict(images)
+        np.testing.assert_allclose(replayed, expected, atol=1e-8)
+
+
+class TestPermutedGroupParity:
+    def test_spatial_layout_bundle_parity(self, rng, tmp_path):
+        # subvector_dim = cin forces the spatial (permuted) group layout.
+        model = Sequential(Conv2d(4, 8, 3, padding=1, rng=rng), ReLU(),
+                           Conv2d(8, 4, 3, padding=1, rng=rng))
+        cfg = PQLayerConfig(num_prototypes=4, subvector_dim=4, mode="distance",
+                            temperature=0.5)
+        converted = convert_to_pecan(model, cfg, rng=rng)
+        assert converted[0].group_layout == "spatial"
+        path = export_deployment_bundle(converted, tmp_path / "perm.npz",
+                                        input_shape=(4, 8, 8))
+        bundle = load_deployment_bundle(path)
+        assert any(lut.group_permutation is not None for lut in bundle.luts.values())
+        images = rng.standard_normal((3, 4, 8, 8))
+        expected = CAMInferenceEngine(converted).predict(images)
+        np.testing.assert_array_equal(BundleEngine(path).predict(images), expected)
+
+
+class TestCompiledKernelFallbackParity:
+    @pytest.fixture
+    def no_ckernels(self, monkeypatch):
+        """Recreate the REPRO_DISABLE_CKERNELS=1 environment in-process."""
+        import repro.perf.ckernels as ck
+        monkeypatch.setenv("REPRO_DISABLE_CKERNELS", "1")
+        monkeypatch.setattr(ck, "_load_attempted", False)
+        monkeypatch.setattr(ck, "_lib", None)
+        yield
+        monkeypatch.setattr(ck, "_load_attempted", False)
+        monkeypatch.setattr(ck, "_lib", None)
+
+    def test_fallback_parity(self, rng, tmp_path, no_ckernels):
+        from repro.perf.ckernels import get_pecan_d_kernel
+        assert get_pecan_d_kernel() is None          # env var honoured
+        model = toy_model(rng, "distance")
+        images = rng.standard_normal((4, 1, 12, 12))
+        path = export_deployment_bundle(model, tmp_path / "fallback.npz",
+                                        input_shape=(1, 12, 12))
+        bundle_engine = BundleEngine(path)
+        assert all(name in ("cdist", "numpy")
+                   for name in bundle_engine.kernel_names().values())
+        expected = CAMInferenceEngine(model).predict(images)
+        np.testing.assert_array_equal(bundle_engine.predict(images), expected)
+
+    @pytest.mark.skipif(not kernel_available(), reason="no C compiler available")
+    def test_fallback_matches_compiled_bundle_engine(self, rng, tmp_path):
+        model = toy_model(rng, "distance")
+        images = rng.standard_normal((4, 1, 12, 12))
+        path = export_deployment_bundle(model, tmp_path / "both.npz",
+                                        input_shape=(1, 12, 12))
+        compiled = BundleEngine(path)
+        assert set(compiled.kernel_names().values()) == {"ckernel"}
+        fallback = BundleEngine(path)
+        for runtime in fallback.runtimes.values():
+            runtime._ckernel = None
+        np.testing.assert_array_equal(compiled.predict(images),
+                                      fallback.predict(images))
