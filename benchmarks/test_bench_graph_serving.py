@@ -1,0 +1,210 @@
+"""Bench PR3 — serving a *residual* (graph-IR) bundle end to end.
+
+PR2's serving bench used a sequential toy network because the linear program
+recorder could not express anything else.  The graph IR lifts that limit:
+this bench exports a PECAN-D **ResNet-20** (residual adds + option-A concat
+shortcuts) to a format-v3 bundle and drives it through the full serving stack
+— bundle-backed engine, dynamic micro-batching, HTTP front end — with eight
+concurrent closed-loop single-sample clients at scheduler batch budgets
+{1, 8, 32}.  Sustained requests/s and p50/p95/p99 latency per configuration
+are recorded into ``BENCH_PR3.json`` at the repository root, alongside a
+direct-engine comparison of the pristine graph vs. the optimized
+(BN-folded + ReLU-fused) graph.
+
+Asserts:
+
+* responses are bitwise-identical to a direct :class:`BundleEngine` pass,
+* the parity auditor observes zero mismatches at every budget,
+* micro-batching at budget 32 sustains at least 0.6× the req/s of budget 1
+  (generous floor: 1.5 s windows on shared CI boxes are noisy),
+* the optimized graph loses no accuracy (allclose to the pristine engine).
+
+Run it alone with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_graph_serving.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.io import export_deployment_bundle
+from repro.models import build_model
+from repro.serve import BundleEngine, PECANServer, ServeClient
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+
+BATCH_BUDGETS = (1, 8, 32)
+CLIENTS = 8
+WINDOW_S = 1.5
+IMAGE = 16
+IN_CHANNELS = 3
+WIDTH = 0.125
+PROTOTYPE_CAP = 4
+
+
+def build_bundle(tmp_path: Path) -> Path:
+    model = build_model("resnet20_pecan_d", width_multiplier=WIDTH,
+                        prototype_cap=PROTOTYPE_CAP,
+                        rng=np.random.default_rng(0))
+    return export_deployment_bundle(model, tmp_path / "resnet_bench.npz",
+                                    input_shape=(IN_CHANNELS, IMAGE, IMAGE))
+
+
+def run_load(client: ServeClient, images: np.ndarray, window_s: float):
+    """Closed-loop load: CLIENTS workers fire singles for ``window_s``."""
+    stop_at = time.monotonic() + window_s
+    latencies_ms = []
+    errors = []
+    lock = threading.Lock()
+
+    def worker(offset: int):
+        i = offset
+        while time.monotonic() < stop_at:
+            sample = images[i % len(images):i % len(images) + 1]
+            started = time.monotonic()
+            try:
+                client.predict(sample)
+            except Exception as exc:            # noqa: BLE001 - recorded below
+                with lock:
+                    errors.append(repr(exc))
+                return
+            elapsed = (time.monotonic() - started) * 1e3
+            with lock:
+                latencies_ms.append(elapsed)
+            i += CLIENTS
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(CLIENTS)]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    return latencies_ms, elapsed, errors
+
+
+def _quantile(ordered, q):
+    return round(ordered[min(len(ordered) - 1, int(len(ordered) * q))], 3)
+
+
+def _engine_throughput(engine: BundleEngine, images: np.ndarray,
+                       batch: int = 8, window_s: float = 0.75):
+    """Direct-engine batched throughput (samples/s), no HTTP in the way."""
+    stop_at = time.monotonic() + window_s
+    samples = 0
+    started = time.monotonic()
+    while time.monotonic() < stop_at:
+        engine.predict(images[:batch])
+        samples += batch
+    return round(samples / (time.monotonic() - started), 1)
+
+
+@pytest.fixture(scope="module")
+def bench_results(tmp_path_factory):
+    bundle_path = build_bundle(tmp_path_factory.mktemp("graph_serving"))
+    engine = BundleEngine(bundle_path)
+    optimized = BundleEngine(bundle_path, optimize=True)
+    rng = np.random.default_rng(1)
+    images = rng.standard_normal((64, IN_CHANNELS, IMAGE, IMAGE))
+    expected = engine.predict(images[:4])
+    np.testing.assert_allclose(optimized.predict(images[:4]), expected, atol=1e-8)
+
+    results = {}
+    for budget in BATCH_BUDGETS:
+        server = PECANServer(port=0, max_batch_size=budget, max_wait_ms=4.0,
+                             max_queue_depth=1024, audit_every=16)
+        server.add_bundle(bundle_path, name="bench", preload=True)
+        with server:
+            client = ServeClient(server.url)
+            assert client.wait_ready(10.0)
+            # Parity spot-check through the full HTTP + batching stack.
+            np.testing.assert_array_equal(client.predict(images[:4]), expected)
+            latencies_ms, elapsed, errors = run_load(client, images, WINDOW_S)
+            snapshot = server.metrics_snapshot()["server"]
+        assert not errors, errors[:3]
+        assert latencies_ms, "no requests completed"
+        ordered = sorted(latencies_ms)
+        results[f"max_batch_{budget}"] = {
+            "max_batch_size": budget,
+            "requests": len(latencies_ms),
+            "window_s": round(elapsed, 3),
+            "requests_per_s": round(len(latencies_ms) / elapsed, 1),
+            "p50_ms": _quantile(ordered, 0.50),
+            "p95_ms": _quantile(ordered, 0.95),
+            "p99_ms": _quantile(ordered, 0.99),
+            "batch_histogram": snapshot["batching"]["histogram"],
+            "mean_batch": round(snapshot["batching"]["mean_batch"], 2),
+            "audits": snapshot["parity_audit"]["audits"],
+            "audit_mismatches": snapshot["parity_audit"]["mismatches"],
+        }
+    return {
+        "bench": "graph-IR residual-model serving (PR3)",
+        "platform": platform.processor() or platform.machine(),
+        "config": {
+            "arch": "resnet20_pecan_d",
+            "width_multiplier": WIDTH,
+            "prototype_cap": PROTOTYPE_CAP,
+            "clients": CLIENTS,
+            "window_s": WINDOW_S,
+            "image": [IN_CHANNELS, IMAGE, IMAGE],
+            "graph_nodes": len(engine.executor.graph.nodes),
+            "optimized_nodes": len(optimized.executor.graph.nodes),
+            "optimization_applied": optimized.optimization["applied"],
+            "kernels": engine.kernel_names(),
+        },
+        "engine_direct": {
+            "pristine_samples_per_s": _engine_throughput(engine, images),
+            "optimized_samples_per_s": _engine_throughput(optimized, images),
+        },
+        "results": results,
+    }
+
+
+class TestGraphServingBench:
+    def test_parity_and_audits_clean(self, bench_results):
+        for budget in BATCH_BUDGETS:
+            entry = bench_results["results"][f"max_batch_{budget}"]
+            assert entry["audit_mismatches"] == 0
+            sizes = [int(size) for size in entry["batch_histogram"]]
+            # The parity spot-check submits one 4-sample request, which
+            # legitimately dispatches alone even above a smaller budget.
+            assert max(sizes) <= max(budget, 4)
+        coalesced = bench_results["results"]["max_batch_32"]
+        assert any(int(size) > 1 for size in coalesced["batch_histogram"]), \
+            "dynamic batcher never coalesced concurrent singles"
+
+    def test_batching_does_not_cost_throughput(self, bench_results):
+        unbatched = bench_results["results"]["max_batch_1"]["requests_per_s"]
+        batched = bench_results["results"]["max_batch_32"]["requests_per_s"]
+        assert batched >= 0.6 * unbatched
+
+    def test_optimization_shrinks_graph(self, bench_results):
+        config = bench_results["config"]
+        assert config["optimized_nodes"] < config["graph_nodes"]
+        assert "fold_batchnorm" in config["optimization_applied"]
+
+    def test_results_recorded(self, bench_results):
+        RESULT_PATH.write_text(json.dumps(bench_results, indent=2) + "\n")
+        stored = json.loads(RESULT_PATH.read_text())
+        assert set(stored["results"]) == {f"max_batch_{b}" for b in BATCH_BUDGETS}
+
+
+def test_bench_graph_serving_report(bench_results):
+    print("\nBench PR3 — residual-model serving (8 concurrent single-sample clients)")
+    print(f"{'budget':>8} {'req/s':>10} {'p50 ms':>9} {'p95 ms':>9} "
+          f"{'p99 ms':>9} {'mean batch':>11}")
+    for budget in BATCH_BUDGETS:
+        entry = bench_results["results"][f"max_batch_{budget}"]
+        print(f"{budget:>8} {entry['requests_per_s']:>10} {entry['p50_ms']:>9} "
+              f"{entry['p95_ms']:>9} {entry['p99_ms']:>9} {entry['mean_batch']:>11}")
+    direct = bench_results["engine_direct"]
+    print(f"direct engine: pristine {direct['pristine_samples_per_s']} samples/s, "
+          f"optimized {direct['optimized_samples_per_s']} samples/s")

@@ -17,6 +17,8 @@ Subpackages
 ``repro.baselines``  AdderNet, binary (XNOR) and shift convolution comparators.
 ``repro.analysis``   Prototype usage, visualization and ablation utilities.
 ``repro.experiments`` Experiment configs and the training/evaluation runner.
+``repro.ir``         Graph IR for inference programs (tracing, op registry,
+                     executor, optimization passes).
 ``repro.serve``      Bundle-backed model serving (engines, batching, registry).
 
 The re-exports are resolved lazily (PEP 562) so that deployment-side imports

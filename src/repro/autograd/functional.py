@@ -15,7 +15,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.autograd.im2col import col2im, conv_output_size, im2col
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, _notify_trace
 from repro.perf.chunking import ChunkPolicy, iter_slices
 
 #: Memory budget for the broadcasted ``(..., p, d, L)`` transient of the l1
@@ -352,7 +352,9 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 index[axis] = slice(start, end)
                 t._accumulate_grad(grad[tuple(index)])
 
-    return Tensor.from_op(out_data, tensors, backward)
+    out = Tensor.from_op(out_data, tensors, backward)
+    _notify_trace("concat", tuple(tensors), out, axis=axis)
+    return out
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

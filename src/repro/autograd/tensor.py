@@ -21,6 +21,28 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
 
+#: Optional inference-graph tracer (see :mod:`repro.ir.trace`).  When set, the
+#: hook's ``created(tensor)`` fires for every op-produced tensor and
+#: ``tensor_op(op, operands, out, attrs)`` for the inline ops a DAG trace must
+#: capture (residual adds, concats, slicing).  The hooks cost one global
+#: ``None`` check per operation when tracing is off.
+_TRACE_HOOK = None
+
+
+def set_trace_hook(hook) -> None:
+    """Install (or clear, with ``None``) the inference-graph trace hook."""
+    global _TRACE_HOOK
+    _TRACE_HOOK = hook
+
+
+def get_trace_hook():
+    return _TRACE_HOOK
+
+
+def _notify_trace(op: str, operands, out, **attrs) -> None:
+    if _TRACE_HOOK is not None:
+        _TRACE_HOOK.tensor_op(op, operands, out, attrs)
+
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
@@ -114,6 +136,8 @@ class Tensor:
         if requires:
             out._parents = parents
             out._backward_fn = backward_fn
+        if _TRACE_HOOK is not None:
+            _TRACE_HOOK.created(out)
         return out
 
     # ------------------------------------------------------------------ #
@@ -223,7 +247,9 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_grad(grad)
 
-        return Tensor.from_op(out_data, (self, other), backward)
+        out = Tensor.from_op(out_data, (self, other), backward)
+        _notify_trace("add", (self, other), out)
+        return out
 
     __radd__ = __add__
 
@@ -234,7 +260,9 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_grad(-grad)
 
-        return Tensor.from_op(out_data, (self,), backward)
+        out = Tensor.from_op(out_data, (self,), backward)
+        _notify_trace("neg", (self,), out)
+        return out
 
     def __sub__(self, other):
         other = self._coerce(other)
@@ -246,7 +274,9 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_grad(-grad)
 
-        return Tensor.from_op(out_data, (self, other), backward)
+        out = Tensor.from_op(out_data, (self, other), backward)
+        _notify_trace("sub", (self, other), out)
+        return out
 
     def __rsub__(self, other):
         return self._coerce(other) - self
@@ -261,7 +291,9 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_grad(grad * self.data)
 
-        return Tensor.from_op(out_data, (self, other), backward)
+        out = Tensor.from_op(out_data, (self, other), backward)
+        _notify_trace("mul", (self, other), out)
+        return out
 
     __rmul__ = __mul__
 
@@ -275,7 +307,9 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_grad(-grad * self.data / (other.data ** 2))
 
-        return Tensor.from_op(out_data, (self, other), backward)
+        out = Tensor.from_op(out_data, (self, other), backward)
+        _notify_trace("div", (self, other), out)
+        return out
 
     def __rtruediv__(self, other):
         return self._coerce(other) / self
@@ -395,7 +429,9 @@ class Tensor:
                 np.add.at(full, index, grad)
                 self._accumulate_grad(full)
 
-        return Tensor.from_op(out_data, (self,), backward)
+        out = Tensor.from_op(out_data, (self,), backward)
+        _notify_trace("getitem", (self,), out, index=index)
+        return out
 
     # ------------------------------------------------------------------ #
     # Reductions

@@ -17,8 +17,8 @@ This package provides:
 * :mod:`repro.cam.counters` — per-layer operation counters (import-lean),
 * :mod:`repro.cam.runtime` — the autograd-free per-layer Algorithm-1 kernels
   shared by the model engine and the serving stack,
-* :mod:`repro.cam.inference` — the lookup-only inference engine that swaps the
-  training-graph forward of every PECAN layer for Algorithm 1,
+* :mod:`repro.cam.inference` — the lookup-only inference engine: a thin
+  executor over the :mod:`repro.ir` graph whose PECAN nodes run Algorithm 1,
 * :mod:`repro.cam.verify` — operation tracing that proves PECAN-D inference
   uses zero multiplications and checks LUT inference matches the training
   graph bit-for-bit.

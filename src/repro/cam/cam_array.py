@@ -137,7 +137,9 @@ class CAMArray:
         else:
             scores = self.prototypes.T @ queries
             winners = scores.argmax(axis=0)
-        np.add.at(self.usage, winners, 1)
+        # bincount is a single C pass over the winners — much faster than the
+        # np.add.at scatter for large batches, with bitwise-identical counts.
+        self.usage += np.bincount(winners, minlength=self.num_prototypes)
         return winners
 
     def soft_match(self, queries: np.ndarray) -> np.ndarray:
@@ -150,7 +152,8 @@ class CAMArray:
         scores -= scores.max(axis=0, keepdims=True)
         weights = np.exp(scores)
         weights /= weights.sum(axis=0, keepdims=True)
-        np.add.at(self.usage, weights.argmax(axis=0), 1)
+        self.usage += np.bincount(weights.argmax(axis=0),
+                                  minlength=self.num_prototypes)
         return weights
 
     def reset_stats(self) -> None:

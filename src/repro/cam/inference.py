@@ -19,11 +19,16 @@ the weighted sum — exactly the Table 1 complexity model.
 
 Execution strategy
 ------------------
-The per-layer kernels live in :class:`repro.cam.runtime.LUTLayerRuntime`
-(autograd-free, shared with the bundle-backed serving engine of
-:mod:`repro.serve`): the layer's codebooks are stacked into one ``(D, d, p)``
-array and its lookup table into one ``(D, cout, p)`` array, PECAN-D prefers
-the compiled single-pass kernel of :mod:`repro.perf.ckernels` with
+The engine is a thin executor over the graph IR of :mod:`repro.ir`: the
+model's forward pass is traced once per input shape into a
+:class:`~repro.ir.graph.Graph` (tape-based, so residual additions and channel
+concatenations of e.g. ``repro.models.resnet`` record exactly) and replayed
+by a :class:`~repro.ir.executor.GraphExecutor` whose ``pecan`` nodes dispatch
+into :class:`repro.cam.runtime.LUTLayerRuntime` — the same autograd-free
+kernels the bundle-backed serving engine of :mod:`repro.serve` runs.  Inside
+each runtime the layer's codebooks are stacked into one ``(D, d, p)`` array
+and its lookup table into one ``(D, cout, p)`` array, PECAN-D prefers the
+compiled single-pass kernel of :mod:`repro.perf.ckernels` with
 ``cdist``/NumPy fallbacks, PECAN-A runs as batched GEMMs, and the ``L``
 position axis is streamed through a :class:`~repro.perf.ChunkPolicy` so peak
 memory stays bounded; ``predict`` can additionally stream the batch axis.
@@ -34,16 +39,15 @@ fast path is verified element-wise against it in the test suite.
 
 from __future__ import annotations
 
-import contextlib
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, no_grad
 from repro.cam.cam_array import CAMEnergyModel, CAMStats
 from repro.cam.counters import OpCounter
 from repro.cam.lut import LayerLUT, build_layer_lut
 from repro.cam.runtime import LUTLayerRuntime
+from repro.ir.executor import GraphExecutor
 from repro.nn.module import Module
 from repro.pecan.convert import pecan_layers
 from repro.perf import ChunkPolicy, Workspace, iter_slices
@@ -87,6 +91,8 @@ class CAMInferenceEngine:
                                                   chunk_policy=self.chunk_policy,
                                                   workspace=self.workspace,
                                                   use_fused=use_fused)
+        #: One compiled executor per per-sample input shape (traced lazily).
+        self._executors: Dict[Tuple[int, ...], GraphExecutor] = {}
 
     @property
     def use_fused(self) -> bool:
@@ -97,27 +103,54 @@ class CAMInferenceEngine:
         for runtime in self.runtimes.values():
             runtime.use_fused = bool(value)
 
-    @contextlib.contextmanager
-    def _lut_mode(self):
-        """Temporarily swap every PECAN layer's forward for its LUT runtime."""
-        originals = {}
+    def executor_for(self, input_shape: Tuple[int, ...]) -> GraphExecutor:
+        """Compiled graph executor for one per-sample input shape.
+
+        The model is traced on first use (eval mode, training flag restored)
+        and the executor cached; subsequent predicts replay the graph without
+        touching the model at all.
+        """
+        input_shape = tuple(int(s) for s in input_shape)
+        executor = self._executors.get(input_shape)
+        if executor is None:
+            from repro.ir.trace import trace_graph
+            graph = trace_graph(self.model, input_shape)
+            executor = GraphExecutor(graph, self.runtimes)
+            self._executors[input_shape] = executor
+        return executor
+
+    def _forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        return self.executor_for(inputs.shape[1:]).run(inputs)
+
+    def predict_via_module(self, inputs: np.ndarray) -> np.ndarray:
+        """Algorithm 1 through the model's *own* forward pass.
+
+        Temporarily swaps every PECAN layer's forward for its LUT runtime and
+        runs the live model in eval mode — no graph tracing involved.  This
+        is the trace-independent oracle: export verification compares the
+        traced-graph replay against it, so a mis-trace (e.g. a module whose
+        forward smuggles input-dependent math past the trace hooks) shows up
+        as a divergence instead of being replayed identically on both sides.
+        """
+        from repro.autograd.tensor import Tensor, no_grad
+
+        inputs = np.asarray(inputs)
+        originals = {name: self._layers[name].forward for name in self.runtimes}
 
         def lut_forward(runtime):
             return lambda x: Tensor(runtime(np.asarray(x.data)))
 
+        was_training = self.model.training
+        self.model.eval()
         try:
             for name, runtime in self.runtimes.items():
-                layer = self._layers[name]
-                originals[name] = layer.forward
-                layer.forward = lut_forward(runtime)
-            yield
+                self._layers[name].forward = lut_forward(runtime)
+            with no_grad():
+                return self.model(Tensor(inputs)).data
         finally:
-            for name in self.runtimes:
-                self._layers[name].forward = originals[name]
-
-    def _forward_batch(self, inputs: np.ndarray) -> np.ndarray:
-        with no_grad(), self._lut_mode():
-            return self.model(Tensor(inputs)).data
+            for name, original in originals.items():
+                self._layers[name].forward = original
+            self.model.train(was_training)
 
     def predict(self, inputs: np.ndarray, batch_chunk: Optional[int] = None) -> np.ndarray:
         """Logits for a batch of inputs, computed via Algorithm 1.
@@ -135,16 +168,11 @@ class CAMInferenceEngine:
             the chunk instead of the full batch.
         """
         inputs = np.asarray(inputs)
-        was_training = self.model.training
-        self.model.eval()
-        try:
-            n = inputs.shape[0]
-            if batch_chunk is None or batch_chunk >= n:
-                return self._forward_batch(inputs)
-            parts = [self._forward_batch(inputs[sl]) for sl in iter_slices(n, batch_chunk)]
-            return np.concatenate(parts, axis=0)
-        finally:
-            self.model.train(was_training)
+        n = inputs.shape[0]
+        if batch_chunk is None or batch_chunk >= n:
+            return self._forward_batch(inputs)
+        parts = [self._forward_batch(inputs[sl]) for sl in iter_slices(n, batch_chunk)]
+        return np.concatenate(parts, axis=0)
 
     def predict_classes(self, inputs: np.ndarray,
                         batch_chunk: Optional[int] = None) -> np.ndarray:

@@ -190,21 +190,41 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_input_shape(spec: str):
+    """``"1,28,28"`` (or ``1x28x28``) -> ``(1, 28, 28)``."""
+    parts = [p for p in spec.replace("x", ",").split(",") if p.strip()]
+    try:
+        shape = tuple(int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --input-shape {spec!r}; expected comma-separated "
+            f"integers like 3,32,32") from None
+    if not shape or any(s <= 0 for s in shape):
+        raise argparse.ArgumentTypeError(
+            f"invalid --input-shape {spec!r}; dimensions must be positive")
+    return shape
+
+
 def _command_export(args: argparse.Namespace) -> int:
     from repro.io import export_deployment_bundle, load_checkpoint
 
     config, model, test = _rebuild_model(args)
     load_checkpoint(args.checkpoint, model=model)
     output = Path(args.output or (Path(args.log_dir) / f"{config.arch}_deployment.npz"))
-    input_shape = None if args.no_program else test.image_shape
+    if args.no_program:
+        input_shape = None
+    elif args.input_shape is not None:
+        input_shape = args.input_shape       # explicit override
+    else:
+        input_shape = test.image_shape       # derived from the dataset
     try:
         path = export_deployment_bundle(model, output, metadata={"arch": config.arch},
                                         input_shape=input_shape)
     except ValueError as exc:
         if input_shape is None:
             raise
-        # Non-sequential architectures (residual adds, branch merges) cannot
-        # be recorded as a linear program; fall back to a LUT-only bundle.
+        # An untraceable forward (GraphTraceError names every offending
+        # module) cannot be recorded; fall back to a LUT-only bundle.
         print(f"note: {exc}")
         print("falling back to a LUT-only bundle (not directly servable)")
         path = export_deployment_bundle(model, output, metadata={"arch": config.arch})
@@ -232,7 +252,13 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve import PECANServer
     from repro.serve.registry import ModelRegistry
 
-    registry = ModelRegistry(max_total_values=args.max_total_values)
+    engine_factory = None
+    if args.optimize:
+        from repro.serve import BundleEngine
+
+        engine_factory = lambda path: BundleEngine(path, optimize=True)  # noqa: E731
+    registry = ModelRegistry(max_total_values=args.max_total_values,
+                             engine_factory=engine_factory)
     server = PECANServer(
         registry=registry, host=args.host, port=args.port,
         max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
@@ -278,7 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--output", default=None)
     export.add_argument("--no_program", action="store_true",
                         help="write a LUT-only bundle without the traced "
-                             "inference program (not servable)")
+                             "inference graph (not servable)")
+    export.add_argument("--input-shape", "--input_shape", dest="input_shape",
+                        type=_parse_input_shape, default=None,
+                        metavar="C,H,W",
+                        help="per-sample input shape to trace the inference "
+                             "graph with, overriding the dataset-derived "
+                             "shape (e.g. 3,32,32)")
     export.set_defaults(handler=_command_export)
 
     serve = subparsers.add_parser(
@@ -310,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "CAM values")
     serve.add_argument("--lazy_load", action="store_true",
                        help="load bundles on first request instead of at startup")
+    serve.add_argument("--optimize", action="store_true",
+                       help="run the graph optimization passes (BN folding, "
+                            "ReLU fusion, dead-node elimination) on every "
+                            "engine, parity-checked against the pristine graph")
     serve.set_defaults(handler=_command_serve)
     return parser
 

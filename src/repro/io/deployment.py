@@ -8,19 +8,29 @@ model together with the geometry metadata an accelerator needs (kernel size,
 stride, padding, group permutation, similarity mode), and round-trips through
 a single ``.npz`` file so hardware testbenches can consume it without Python.
 
-Since format version 2 a bundle can additionally carry a recorded **inference
-program**: a linear trace of every layer the model executes (PECAN layers by
-reference to their LUT, conventional layers with their folded parameters).
-With a program embedded, :class:`repro.serve.engine.BundleEngine` can
-reconstruct the *entire* forward pass from the ``.npz`` alone — no model
-object, no autograd — which is what the serving stack runs in production.
-Export validates the trace by replaying it and comparing against the live
-CAM engine, so a bundle whose model is not sequentially traceable (e.g. has
-residual additions outside leaf modules) is rejected instead of silently
-serving wrong outputs.
+Since format version 3 a bundle can additionally carry a serialized
+**inference graph**: the :class:`~repro.ir.graph.Graph` recorded by the
+tape-based tracer of :mod:`repro.ir.trace` (PECAN layers by reference to
+their LUT, conventional layers with their folded parameters, explicit
+``add``/``concat`` join nodes for residual and shortcut topologies).  With a
+graph embedded, :class:`repro.serve.engine.BundleEngine` reconstructs the
+*entire* forward pass from the ``.npz`` alone — no model object, no autograd
+— which is what the serving stack runs in production.  Export validates the
+graph by replaying it and comparing against the live CAM engine.
 
-This module is import-lean on the load path: reading a bundle pulls in no
-training modules, so a server process stays free of autograd.
+Format history (all versions load through :func:`load_deployment_bundle`):
+
+* **v1** — LUTs only; not directly servable.
+* **v2** — LUTs + a *linear* inference program (a flat step list; only
+  sequential models could export).  Loaded v2 programs lift automatically
+  into an equivalent chain graph (:func:`repro.ir.graph.lift_linear_program`)
+  and serve unchanged.
+* **v3** — LUTs + the inference graph with its topological schedule, so any
+  traceable topology (ResNet residuals, ConvMixer blocks, option-A
+  concatenation shortcuts) exports and serves.
+
+This module is import-lean on the load path: reading a bundle pulls in the
+graph IR but no training modules, so a server process stays free of autograd.
 """
 
 from __future__ import annotations
@@ -33,15 +43,18 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cam.layer_lut import LayerLUT
+from repro.ir.graph import Graph, GraphError, lift_linear_program
 from repro.pecan.config import PECANMode
 
 PathLike = Union[str, Path]
 
 _MANIFEST_KEY = "__deployment_manifest__"
-_PROGRAM_PREFIX = "__program__"
-_FORMAT_VERSION = 2
-#: Versions this loader understands.  v1 bundles carry LUTs only (no program).
-_SUPPORTED_VERSIONS = (1, 2)
+_PROGRAM_PREFIX = "__program__"        # v2 array namespace (read-compat)
+_GRAPH_PREFIX = "__graph__"            # v3 array namespace
+_FORMAT_VERSION = 3
+#: Versions this loader understands.  v1 bundles carry LUTs only (no program),
+#: v2 bundles carry a linear program (lifted to a graph at load time).
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Per-layer manifest keys every supported version must provide.
 _REQUIRED_LAYER_KEYS = (
@@ -58,17 +71,25 @@ class BundleFormatError(ValueError):
 class DeploymentBundle:
     """All CAM/LUT artifacts of one model, keyed by layer name.
 
-    ``program`` (format v2, optional) is the recorded inference program: a
-    list of op dicts in execution order.  Steps that need tensors beyond the
-    LUTs (unconverted conv/linear layers, batch-norm statistics) carry them
-    in their ``"arrays"`` entry.  ``input_shape`` is the per-sample shape the
-    program was traced with.
+    ``graph`` (format v3, optional) is the recorded inference graph.  Nodes
+    that need tensors beyond the LUTs (unconverted conv/linear layers,
+    batch-norm statistics, traced constants) carry them in their ``arrays``.
+    ``program`` holds the raw linear step list of a legacy v2 bundle (its
+    lifted graph is stored in ``graph``).  ``input_shape`` is the per-sample
+    shape the program was traced with.
     """
 
     luts: Dict[str, LayerLUT] = field(default_factory=dict)
     metadata: Dict[str, object] = field(default_factory=dict)
+    graph: Optional[Graph] = None
     program: Optional[List[Dict[str, object]]] = None
     input_shape: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        # Legacy construction path: a bundle built with only a linear program
+        # (old v2 in-process API) lifts to a graph automatically.
+        if self.graph is None and self.program:
+            self.graph = lift_linear_program(self.program)
 
     @property
     def layer_names(self) -> List[str]:
@@ -76,14 +97,16 @@ class DeploymentBundle:
 
     @property
     def has_program(self) -> bool:
-        return bool(self.program)
+        """True when the bundle is servable (carries an inference graph)."""
+        return self.graph is not None
 
     def total_values(self) -> int:
-        """Total scalar values stored across prototypes, tables and program arrays."""
+        """Total scalar values stored across prototypes, tables and graph arrays."""
         total = sum(lut.prototypes.size + lut.table.size for lut in self.luts.values())
-        for step in self.program or []:
-            for array in step.get("arrays", {}).values():
-                total += array.size
+        if self.graph is not None:
+            for node in self.graph.nodes:
+                for array in node.arrays.values():
+                    total += array.size
         return int(total)
 
     def is_multiplier_free(self) -> bool:
@@ -92,99 +115,20 @@ class DeploymentBundle:
 
 
 # --------------------------------------------------------------------------- #
-# Program tracing (export side; imports the training stack lazily)
+# Graph tracing (export side; imports the training stack lazily)
 # --------------------------------------------------------------------------- #
-def trace_inference_program(model, input_shape: Sequence[int]):
-    """Record the linear inference program of ``model`` for one input shape.
+def trace_inference_graph(model, input_shape: Sequence[int]) -> Graph:
+    """Record the inference graph of ``model`` for one per-sample input shape.
 
-    Every *leaf* module's forward is wrapped, a dummy batch of shape
-    ``(1, *input_shape)`` is pushed through the model in eval mode, and each
-    call is serialized to an op dict (PECAN layers by name, conventional
-    layers with their parameters).  Returns the list of steps in execution
-    order.  Models whose forward performs tensor math outside leaf modules
-    (residual additions, concatenations) produce a program that replays
-    incorrectly; :func:`export_deployment_bundle` detects that by replaying.
+    Thin wrapper over :func:`repro.ir.trace.trace_graph` (tape-based DAG
+    tracing through autograd, replacing the old linear recorder).  Residual
+    additions and channel concatenations trace as explicit join nodes;
+    untraceable models raise :class:`repro.ir.trace.GraphTraceError` naming
+    every offending module and the supported-op list.
     """
-    from repro.autograd.tensor import Tensor, no_grad
-    from repro.nn.layers import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
-                                 GELU, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
-                                 ReLU)
-    from repro.nn.module import Module
-    from repro.pecan.layers import PECANConv2d, PECANLinear
+    from repro.ir.trace import trace_graph
 
-    def describe(name: str, module: Module) -> Dict[str, object]:
-        if isinstance(module, (PECANConv2d, PECANLinear)):
-            return {"op": "pecan", "layer": name}
-        if isinstance(module, Conv2d):
-            arrays = {"weight": np.asarray(module.weight.data, dtype=np.float64)}
-            if module.bias is not None:
-                arrays["bias"] = np.asarray(module.bias.data, dtype=np.float64)
-            return {"op": "conv", "stride": module.stride, "padding": module.padding,
-                    "arrays": arrays}
-        if isinstance(module, Linear):
-            arrays = {"weight": np.asarray(module.weight.data, dtype=np.float64)}
-            if module.bias is not None:
-                arrays["bias"] = np.asarray(module.bias.data, dtype=np.float64)
-            return {"op": "linear", "arrays": arrays}
-        if isinstance(module, BatchNorm2d):    # covers BatchNorm1d subclass too
-            arrays = {"mean": np.asarray(module.running_mean, dtype=np.float64),
-                      "var": np.asarray(module.running_var, dtype=np.float64),
-                      "gamma": np.asarray(module.weight.data, dtype=np.float64),
-                      "beta": np.asarray(module.bias.data, dtype=np.float64)}
-            return {"op": "batchnorm", "eps": module.eps, "arrays": arrays}
-        if isinstance(module, ReLU):
-            return {"op": "relu"}
-        if isinstance(module, GELU):
-            return {"op": "gelu"}
-        if isinstance(module, MaxPool2d):
-            return {"op": "maxpool", "kernel_size": module.kernel_size,
-                    "stride": module.stride}
-        if isinstance(module, AvgPool2d):
-            return {"op": "avgpool", "kernel_size": module.kernel_size,
-                    "stride": module.stride}
-        if isinstance(module, GlobalAvgPool2d):
-            return {"op": "global_avgpool"}
-        if isinstance(module, Flatten):
-            return {"op": "flatten"}
-        if isinstance(module, (Dropout, Identity)):
-            return {"op": "identity"}
-        raise ValueError(
-            f"cannot serialize module {name!r} of type {type(module).__name__} "
-            f"into a deployment program; supported leaves are PECAN layers, "
-            f"Conv2d/Linear, BatchNorm, ReLU/GELU, pooling, Flatten, "
-            f"Dropout and Identity")
-
-    # PECAN layers are trace leaves even though they own child modules (their
-    # codebook); nothing nested inside one is wrapped.
-    pecan_names = [name for name, module in model.named_modules()
-                   if isinstance(module, (PECANConv2d, PECANLinear))]
-    leaves = [(name, module) for name, module in model.named_modules()
-              if name
-              and (isinstance(module, (PECANConv2d, PECANLinear))
-                   or (not list(module.children())
-                       and not any(name.startswith(p + ".") for p in pecan_names)))]
-    program: List[Dict[str, object]] = []
-    originals = {}
-
-    def recorder(name: str, module: Module, original):
-        def wrapped(x):
-            program.append(describe(name, module))
-            return original(x)
-        return wrapped
-
-    was_training = model.training
-    model.eval()
-    try:
-        for name, module in leaves:
-            originals[name] = module.forward
-            module.forward = recorder(name, module, module.forward)
-        with no_grad():
-            model(Tensor(np.zeros((1, *input_shape), dtype=np.float64)))
-    finally:
-        for name, module in leaves:
-            module.forward = originals[name]
-        model.train(was_training)
-    return program
+    return trace_graph(model, input_shape)
 
 
 def export_deployment_bundle(model, path: PathLike,
@@ -193,11 +137,12 @@ def export_deployment_bundle(model, path: PathLike,
     """Build the LUTs of every PECAN layer in ``model`` and write them to ``path``.
 
     When ``input_shape`` (per-sample, e.g. ``(1, 28, 28)``) is given, the
-    model's inference program is traced and embedded so the bundle alone can
-    drive :class:`repro.serve.engine.BundleEngine`.  The traced program is
+    model's inference graph is traced and embedded so the bundle alone can
+    drive :class:`repro.serve.engine.BundleEngine`.  The traced graph is
     replay-verified against :class:`repro.cam.inference.CAMInferenceEngine`
-    before the bundle is written; a model that is not sequentially traceable
-    raises ``ValueError`` instead of exporting a silently wrong program.
+    before the bundle is written; an untraceable model raises ``ValueError``
+    (:class:`repro.ir.trace.GraphTraceError`) naming the offending modules
+    instead of exporting a silently wrong program.
     """
     from repro.cam.lut import build_model_luts
 
@@ -208,17 +153,18 @@ def export_deployment_bundle(model, path: PathLike,
     if not luts:
         raise ValueError("model contains no PECAN layers; nothing to export")
 
-    program = None
+    graph = None
     if input_shape is not None:
         input_shape = tuple(int(s) for s in input_shape)
-        program = trace_inference_program(model, input_shape)
-        traced_pecan = {step["layer"] for step in program if step["op"] == "pecan"}
+        graph = trace_inference_graph(model, input_shape)
+        traced_pecan = set(graph.pecan_layers())
         if traced_pecan != set(luts):
             raise ValueError(
-                f"traced program exercises PECAN layers {sorted(traced_pecan)} but the "
-                f"model contains {sorted(luts)}; the model's forward is not a plain "
-                f"sequence of its leaf modules, so it cannot be exported as a program")
-        _verify_program(model, luts, program, input_shape)
+                f"traced graph exercises PECAN layers {sorted(traced_pecan)} but the "
+                f"model contains {sorted(luts)}; some PECAN layers never ran on the "
+                f"traced input shape {input_shape}, so the bundle cannot be exported "
+                f"as a servable program")
+        _verify_graph(model, luts, graph, input_shape)
 
     arrays: Dict[str, np.ndarray] = {}
     manifest: Dict[str, object] = {
@@ -226,7 +172,8 @@ def export_deployment_bundle(model, path: PathLike,
         "layers": {},
         "user": metadata or {},
         "input_shape": list(input_shape) if input_shape is not None else None,
-        "program": None,
+        "graph": None,
+        "graph_output": None,
     }
     for name, lut in luts.items():
         arrays[f"{name}/prototypes"] = lut.prototypes
@@ -247,15 +194,12 @@ def export_deployment_bundle(model, path: PathLike,
             "has_bias": lut.bias is not None,
             "has_permutation": lut.group_permutation is not None,
         }
-    if program is not None:
-        serialized_steps = []
-        for index, step in enumerate(program):
-            entry = {key: value for key, value in step.items() if key != "arrays"}
-            entry["array_keys"] = sorted(step.get("arrays", {}))
-            for key, array in step.get("arrays", {}).items():
-                arrays[f"{_PROGRAM_PREFIX}/{index}/{key}"] = array
-            serialized_steps.append(entry)
-        manifest["program"] = serialized_steps
+    if graph is not None:
+        entries, graph_arrays = graph.to_manifest()
+        manifest["graph"] = entries
+        manifest["graph_output"] = graph.output_id
+        for key, array in graph_arrays.items():
+            arrays[f"{_GRAPH_PREFIX}/{key}"] = array
 
     arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -263,27 +207,36 @@ def export_deployment_bundle(model, path: PathLike,
     return path
 
 
-def _verify_program(model, luts, program, input_shape) -> None:
-    """Replay the traced program and compare against the live CAM engine."""
+def _verify_graph(model, luts, graph, input_shape) -> None:
+    """Replay the traced graph and compare against the model's own forward.
+
+    The oracle is :meth:`CAMInferenceEngine.predict_via_module` — Algorithm 1
+    through the *live* model forward with only the PECAN layers swapped for
+    their LUT runtimes, never through the traced graph.  Comparing the
+    bundle replay against the graph-executing engine would be circular: a
+    mis-trace (a forward that smuggles input-dependent values past the trace
+    hooks, which the tracer then freezes as constants) would replay
+    identically on both sides and export a silently wrong program.  Against
+    the module forward it diverges on the random probe and is rejected here.
+    """
     from repro.cam.inference import CAMInferenceEngine
     from repro.serve.engine import BundleEngine
 
-    bundle = DeploymentBundle(luts=dict(luts), program=program,
+    bundle = DeploymentBundle(luts=dict(luts), graph=graph,
                               input_shape=tuple(input_shape))
     rng = np.random.default_rng(0)
     probe = rng.standard_normal((2, *input_shape))
     replayed = BundleEngine(bundle).predict(probe)
-    expected = CAMInferenceEngine(model).predict(probe)
+    expected = CAMInferenceEngine(model).predict_via_module(probe)
     exact = bundle.is_multiplier_free()
     close = (np.array_equal(replayed, expected) if exact
              else np.allclose(replayed, expected, atol=1e-8))
     if not close:
         raise ValueError(
-            "replaying the traced inference program does not reproduce the CAM "
-            "engine's outputs; the model's forward must perform tensor math "
-            "outside its leaf modules (e.g. residual additions), which a linear "
-            "program cannot express — export without input_shape to write a "
-            "LUT-only bundle")
+            "replaying the traced inference graph does not reproduce the "
+            "model's own forward pass; the model must perform an operation "
+            "the tracer cannot capture (e.g. math smuggled through fresh "
+            "arrays) — export without input_shape to write a LUT-only bundle")
 
 
 # --------------------------------------------------------------------------- #
@@ -317,8 +270,42 @@ def _archive_array(archive, key: str, path: Path) -> np.ndarray:
     return archive[key]
 
 
+def _load_v2_program(archive, manifest, path: Path) -> List[Dict[str, object]]:
+    """Parse a v2 linear step list (with its ``__program__`` array table)."""
+    program = []
+    for index, entry in enumerate(manifest["program"]):
+        if "op" not in entry:
+            raise BundleFormatError(
+                f"{path}: program step {index} is missing its 'op' key")
+        step = {key: value for key, value in entry.items() if key != "array_keys"}
+        step["arrays"] = {
+            key: _archive_array(archive, f"{_PROGRAM_PREFIX}/{index}/{key}", path)
+            for key in entry.get("array_keys", [])}
+        program.append(step)
+    return program
+
+
+def _load_v3_graph(archive, manifest, path: Path) -> Graph:
+    """Deserialize and validate a v3 inference graph."""
+    if manifest.get("graph_output") is None:
+        raise BundleFormatError(f"{path}: graph manifest has no 'graph_output'")
+
+    def lookup(node_id: int, key: str) -> np.ndarray:
+        return _archive_array(archive, f"{_GRAPH_PREFIX}/{node_id}/{key}", path)
+
+    try:
+        return Graph.from_manifest(manifest["graph"], manifest["graph_output"],
+                                   lookup)
+    except GraphError as exc:
+        raise BundleFormatError(f"{path}: invalid inference graph: {exc}") from exc
+
+
 def load_deployment_bundle(path: PathLike) -> DeploymentBundle:
     """Read a bundle written by :func:`export_deployment_bundle`.
+
+    Format-v2 bundles (linear programs) load via the automatic lift-to-graph
+    path and serve exactly as before; v1 bundles load LUT-only (servable only
+    after re-export with an ``input_shape``).
 
     Raises
     ------
@@ -326,9 +313,10 @@ def load_deployment_bundle(path: PathLike) -> DeploymentBundle:
         If ``path`` does not exist.
     BundleFormatError
         If the file is not a bundle, its manifest is corrupt, its format
-        version is unknown, a per-layer entry misses required keys, or an
-        array referenced by the manifest is absent from the archive.  (A
-        subclass of ``ValueError``.)
+        version is unknown, a per-layer entry misses required keys, an array
+        referenced by the manifest is absent from the archive, or the
+        embedded inference graph is structurally invalid.  (A subclass of
+        ``ValueError``.)
     """
     path = Path(path)
     if not path.exists():
@@ -362,23 +350,24 @@ def load_deployment_bundle(path: PathLike) -> DeploymentBundle:
                 group_permutation=(_archive_array(archive, f"{name}/permutation", path)
                                    if info["has_permutation"] else None),
             )
+        graph = None
         program = None
-        if manifest.get("program"):
-            program = []
-            for index, entry in enumerate(manifest["program"]):
-                if "op" not in entry:
-                    raise BundleFormatError(
-                        f"{path}: program step {index} is missing its 'op' key")
-                step = {key: value for key, value in entry.items() if key != "array_keys"}
-                step["arrays"] = {
-                    key: _archive_array(archive, f"{_PROGRAM_PREFIX}/{index}/{key}", path)
-                    for key in entry.get("array_keys", [])}
-                if step["op"] == "pecan" and step.get("layer") not in luts:
-                    raise BundleFormatError(
-                        f"{path}: program step {index} references unknown PECAN "
-                        f"layer {step.get('layer')!r}")
-                program.append(step)
+        if manifest.get("graph"):
+            graph = _load_v3_graph(archive, manifest, path)
+        elif manifest.get("program"):
+            program = _load_v2_program(archive, manifest, path)
+            try:
+                graph = lift_linear_program(program)
+            except GraphError as exc:
+                raise BundleFormatError(
+                    f"{path}: cannot lift v2 linear program: {exc}") from exc
+        if graph is not None:
+            unknown = [name for name in graph.pecan_layers() if name not in luts]
+            if unknown:
+                raise BundleFormatError(
+                    f"{path}: inference program references unknown PECAN "
+                    f"layer(s) {sorted(set(unknown))}")
         input_shape = (tuple(manifest["input_shape"])
                        if manifest.get("input_shape") else None)
     return DeploymentBundle(luts=luts, metadata=manifest.get("user", {}),
-                            program=program, input_shape=input_shape)
+                            graph=graph, program=program, input_shape=input_shape)

@@ -1,0 +1,59 @@
+"""``repro.ir`` — the graph intermediate representation for inference programs.
+
+Every forward-pass front end of this repository (the model-backed
+:class:`~repro.cam.inference.CAMInferenceEngine`, the bundle-backed
+:class:`~repro.serve.engine.BundleEngine`) compiles to the same small typed
+DAG and executes through the same registry of op lowerings:
+
+* :mod:`repro.ir.graph` — :class:`Node` / :class:`Graph`, topological
+  scheduling, manifest (de)serialization, v2 linear-program lifting;
+* :mod:`repro.ir.ops` — the unified op registry: exactly one NumPy lowering
+  per op (conv, linear, batch-norm, activations, pooling, joins);
+* :mod:`repro.ir.executor` — :class:`GraphExecutor`, schedule + liveness;
+* :mod:`repro.ir.passes` — optimization passes (BN folding, ReLU fusion,
+  dead-node elimination) with exact/approximate labelling;
+* :mod:`repro.ir.trace` — tape-based DAG tracing of live models (imports the
+  training stack; the only submodule that does).
+
+Re-exports resolve lazily (PEP 562) so deployment-side imports
+(``graph``/``ops``/``executor``/``passes``) never pull in autograd.
+"""
+
+import importlib
+
+#: Lazily resolved re-exports: attribute name -> providing submodule.
+_EXPORTS = {
+    "Graph": "repro.ir.graph",
+    "GraphError": "repro.ir.graph",
+    "Node": "repro.ir.graph",
+    "lift_linear_program": "repro.ir.graph",
+    "encode_index": "repro.ir.graph",
+    "decode_index": "repro.ir.graph",
+    "OpSpec": "repro.ir.ops",
+    "register_op": "repro.ir.ops",
+    "get_op": "repro.ir.ops",
+    "supported_ops": "repro.ir.ops",
+    "GraphExecutor": "repro.ir.executor",
+    "optimize_graph": "repro.ir.passes",
+    "available_passes": "repro.ir.passes",
+    "DEFAULT_PASSES": "repro.ir.passes",
+    "trace_graph": "repro.ir.trace",
+    "GraphTraceError": "repro.ir.trace",
+    "supported_leaf_modules": "repro.ir.trace",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,90 @@
+"""Graph execution: replay an inference :class:`~repro.ir.graph.Graph`.
+
+:class:`GraphExecutor` is the single forward-pass implementation shared by
+the model-backed :class:`~repro.cam.inference.CAMInferenceEngine` and the
+bundle-backed :class:`~repro.serve.engine.BundleEngine`: both construct a
+graph (by tracing a live model, or by deserializing a bundle) plus one
+:class:`~repro.cam.runtime.LUTLayerRuntime` per PECAN layer, and delegate
+``predict`` to :meth:`GraphExecutor.run`.
+
+The executor precompiles the topological schedule once, then evaluates nodes
+in order, keeping each intermediate value alive only until its last consumer
+has run (simple liveness analysis), so peak activation memory tracks the
+graph's width rather than its depth.
+
+Imports stay deployment-lean: only NumPy, the graph IR and the op registry —
+no autograd, no model zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ir.graph import Graph, GraphError, Node
+from repro.ir.ops import OpSpec, get_op
+
+
+class GraphExecutor:
+    """Execute an inference graph over NumPy batches.
+
+    Parameters
+    ----------
+    graph:
+        The program to run.  Validated (and scheduled) at construction.
+    runtimes:
+        ``layer name -> LUTLayerRuntime`` for every ``pecan`` node of the
+        graph.  Missing runtimes are reported here rather than mid-batch.
+    """
+
+    def __init__(self, graph: Graph, runtimes: Optional[Dict[str, object]] = None):
+        graph.validate()
+        self.graph = graph
+        self.runtimes: Dict[str, object] = dict(runtimes or {})
+        self._schedule: List[Node] = graph.topological_schedule()
+        self._specs: Dict[int, OpSpec] = {node.id: get_op(node.op)
+                                          for node in self._schedule}
+        missing = [name for name in graph.pecan_layers() if name not in self.runtimes]
+        if missing:
+            raise GraphError(f"graph references PECAN layers with no runtime: "
+                             f"{sorted(set(missing))}")
+        # Liveness: index of the last schedule step consuming each node, so
+        # intermediates are released as soon as no later step needs them.
+        self._last_use: Dict[int, int] = {}
+        for position, node in enumerate(self._schedule):
+            for parent in node.inputs:
+                self._last_use[parent] = position
+        self._last_use[graph.output_id] = len(self._schedule)
+
+    # ------------------------------------------------------------------ #
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        """Evaluate the graph for a batch, returning the output node's value."""
+        env: Dict[int, np.ndarray] = {self.graph.input_id: inputs}
+        for position, node in enumerate(self._schedule):
+            if node.op == "input":
+                continue
+            try:
+                operands = [env[parent] for parent in node.inputs]
+            except KeyError as exc:  # pragma: no cover - validate() prevents this
+                raise GraphError(f"node {node.id} ({node.op!r}) consumed "
+                                 f"value {exc} before it was produced") from exc
+            env[node.id] = self._specs[node.id].kernel(operands, node, self)
+            for parent in node.inputs:
+                if self._last_use.get(parent, -1) <= position and parent in env:
+                    del env[parent]
+        return env[self.graph.output_id]
+
+    __call__ = run
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def step_labels(self) -> List[str]:
+        """Schedule as human-readable op labels (input placeholder omitted)."""
+        return [node.label for node in self._schedule if node.op != "input"]
+
+    def multiplier_ops(self) -> List[str]:
+        """Labels of scheduled ops whose lowerings perform multiplications."""
+        return [node.label for node in self._schedule
+                if not self._specs[node.id].multiplier_free]

@@ -1,0 +1,283 @@
+"""Typed DAG intermediate representation for inference programs.
+
+A deployed PECAN model is a *graph* of tensor-producing operations, not a
+layer list: residual additions (`ResNet`), channel concatenations (option-A
+shortcuts) and branch merges all join two or more values.  This module defines
+the small IR that every inference front end of the repository shares:
+
+* :class:`Node` — one operation: an op name, the ids of its input nodes,
+  JSON-serializable ``attrs`` and named ``arrays`` (weights, BN statistics,
+  constants).
+* :class:`Graph` — a list of nodes with a designated ``output_id``; exactly
+  one node carries the ``"input"`` op and stands for the per-sample input
+  placeholder.  :meth:`Graph.topological_schedule` produces the execution
+  order (and is the DAG validity check).
+
+Graphs serialize into a deployment bundle manifest via
+:meth:`Graph.to_manifest` / :meth:`Graph.from_manifest`; the legacy linear
+programs of format-v2 bundles lift into equivalent chain graphs with
+:func:`lift_linear_program`.
+
+This module imports only NumPy so the serving stack can load and execute
+graphs without touching the training substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class GraphError(ValueError):
+    """An inference graph is structurally invalid (cycle, dangling edge, ...)."""
+
+
+@dataclass
+class Node:
+    """One operation of an inference graph.
+
+    ``inputs`` lists the ids of the nodes producing this node's operands, in
+    positional order.  ``attrs`` must stay JSON-serializable (they travel in
+    the bundle manifest); tensors ride in ``arrays`` instead.
+    """
+
+    id: int
+    op: str
+    inputs: List[int] = field(default_factory=list)
+    attrs: Dict[str, object] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def copy(self) -> "Node":
+        """Shallow copy: fresh attr/array dicts, shared array payloads."""
+        return Node(self.id, self.op, list(self.inputs), dict(self.attrs),
+                    dict(self.arrays))
+
+    @property
+    def label(self) -> str:
+        """Human-readable op label (``pecan:<layer>`` for PECAN steps)."""
+        if self.op == "pecan":
+            return f"pecan:{self.attrs.get('layer')}"
+        return self.op
+
+
+@dataclass
+class Graph:
+    """A DAG of :class:`Node` objects describing one inference program."""
+
+    nodes: List[Node]
+    output_id: int
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def node_map(self) -> Dict[int, Node]:
+        return {node.id: node for node in self.nodes}
+
+    @property
+    def input_id(self) -> int:
+        for node in self.nodes:
+            if node.op == "input":
+                return node.id
+        raise GraphError("graph has no 'input' node")
+
+    def consumers(self) -> Dict[int, List[int]]:
+        """Map node id -> ids of the nodes consuming its value."""
+        table: Dict[int, List[int]] = {node.id: [] for node in self.nodes}
+        for node in self.nodes:
+            for parent in node.inputs:
+                table.setdefault(parent, []).append(node.id)
+        return table
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` on structural problems."""
+        ids = [node.id for node in self.nodes]
+        if len(set(ids)) != len(ids):
+            raise GraphError("graph has duplicate node ids")
+        known = set(ids)
+        if self.output_id not in known:
+            raise GraphError(f"output node {self.output_id} does not exist")
+        input_nodes = [node.id for node in self.nodes if node.op == "input"]
+        if len(input_nodes) != 1:
+            raise GraphError(f"graph must have exactly one input node, "
+                             f"found {len(input_nodes)}")
+        for node in self.nodes:
+            for parent in node.inputs:
+                if parent not in known:
+                    raise GraphError(f"node {node.id} ({node.op!r}) references "
+                                     f"missing node {parent}")
+        self.topological_schedule()       # raises on cycles
+
+    def topological_schedule(self) -> List[Node]:
+        """Kahn topological order (stable w.r.t. declaration order).
+
+        Raises :class:`GraphError` when the graph contains a cycle.
+        """
+        by_id = self.node_map()
+        indegree = {node.id: len(node.inputs) for node in self.nodes}
+        dependents = self.consumers()
+        ready = [node.id for node in self.nodes if indegree[node.id] == 0]
+        schedule: List[Node] = []
+        while ready:
+            current = ready.pop(0)
+            schedule.append(by_id[current])
+            for child in dependents.get(current, []):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(schedule) != len(self.nodes):
+            stuck = sorted(nid for nid, deg in indegree.items() if deg > 0)
+            raise GraphError(f"graph contains a cycle through nodes {stuck}")
+        return schedule
+
+    def pruned(self) -> "Graph":
+        """Drop every node unreachable from ``output_id`` (dead-node elimination).
+
+        The input node is always kept so the pruned graph stays executable.
+        """
+        by_id = self.node_map()
+        live = set()
+        stack = [self.output_id]
+        while stack:
+            current = stack.pop()
+            if current in live:
+                continue
+            live.add(current)
+            stack.extend(by_id[current].inputs)
+        try:
+            live.add(self.input_id)
+        except GraphError:
+            pass
+        return Graph(nodes=[node for node in self.nodes if node.id in live],
+                     output_id=self.output_id)
+
+    def pecan_layers(self) -> List[str]:
+        """Names of the PECAN layers referenced by the graph, in node order."""
+        return [str(node.attrs["layer"]) for node in self.nodes
+                if node.op == "pecan"]
+
+    def op_names(self) -> List[str]:
+        """Ops in schedule order (excluding the input placeholder)."""
+        return [node.op for node in self.topological_schedule()
+                if node.op != "input"]
+
+    # ------------------------------------------------------------------ #
+    # Serialization (bundle manifest + array side-table)
+    # ------------------------------------------------------------------ #
+    def to_manifest(self) -> Tuple[List[Dict[str, object]],
+                                   Dict[str, np.ndarray]]:
+        """``(entries, arrays)`` where entries are JSON-ready node dicts.
+
+        Array keys take the form ``"<node_id>/<name>"``; the caller prefixes
+        them into its own namespace (``__graph__/...`` in deployment bundles).
+        """
+        entries: List[Dict[str, object]] = []
+        arrays: Dict[str, np.ndarray] = {}
+        for node in self.nodes:
+            entries.append({
+                "id": node.id,
+                "op": node.op,
+                "inputs": list(node.inputs),
+                "attrs": dict(node.attrs),
+                "array_keys": sorted(node.arrays),
+            })
+            for key, array in node.arrays.items():
+                arrays[f"{node.id}/{key}"] = array
+        return entries, arrays
+
+    @classmethod
+    def from_manifest(cls, entries: Sequence[Dict[str, object]],
+                      output_id: int,
+                      array_lookup: Callable[[int, str], np.ndarray]) -> "Graph":
+        """Rebuild a graph from manifest entries and an array resolver."""
+        nodes: List[Node] = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict) or "op" not in entry or "id" not in entry:
+                raise GraphError(f"graph entry {index} is missing 'id'/'op'")
+            node_id = int(entry["id"])
+            arrays = {key: array_lookup(node_id, key)
+                      for key in entry.get("array_keys", [])}
+            nodes.append(Node(id=node_id, op=str(entry["op"]),
+                              inputs=[int(i) for i in entry.get("inputs", [])],
+                              attrs=dict(entry.get("attrs", {})),
+                              arrays=arrays))
+        graph = cls(nodes=nodes, output_id=int(output_id))
+        graph.validate()
+        return graph
+
+
+# --------------------------------------------------------------------------- #
+# Index (getitem) encoding — attrs must stay JSON-serializable
+# --------------------------------------------------------------------------- #
+def encode_index(index) -> List[Dict[str, object]]:
+    """Encode a ``__getitem__`` index into JSON-able form.
+
+    Supports what traced inference programs use: integers, slices, ``None``
+    (new axis), ``Ellipsis`` and tuples thereof.  Anything else (boolean or
+    array indices) raises ``TypeError``.
+    """
+    items = index if isinstance(index, tuple) else (index,)
+    encoded: List[Dict[str, object]] = []
+    for item in items:
+        if isinstance(item, (int, np.integer)):
+            encoded.append({"kind": "int", "value": int(item)})
+        elif isinstance(item, slice):
+            encoded.append({"kind": "slice",
+                            "start": None if item.start is None else int(item.start),
+                            "stop": None if item.stop is None else int(item.stop),
+                            "step": None if item.step is None else int(item.step)})
+        elif item is None:
+            encoded.append({"kind": "newaxis"})
+        elif item is Ellipsis:
+            encoded.append({"kind": "ellipsis"})
+        else:
+            raise TypeError(f"unsupported index component {item!r} "
+                            f"(supported: int, slice, None, Ellipsis)")
+    return encoded
+
+
+def decode_index(encoded: Sequence[Dict[str, object]]):
+    """Inverse of :func:`encode_index`."""
+    items = []
+    for entry in encoded:
+        kind = entry.get("kind")
+        if kind == "int":
+            items.append(int(entry["value"]))
+        elif kind == "slice":
+            items.append(slice(entry.get("start"), entry.get("stop"),
+                               entry.get("step")))
+        elif kind == "newaxis":
+            items.append(None)
+        elif kind == "ellipsis":
+            items.append(Ellipsis)
+        else:
+            raise GraphError(f"unknown index component kind {kind!r}")
+    return tuple(items)
+
+
+# --------------------------------------------------------------------------- #
+# Lifting legacy (format v2) linear programs
+# --------------------------------------------------------------------------- #
+def lift_linear_program(program: Iterable[Dict[str, object]]) -> Graph:
+    """Lift a format-v2 linear inference program into a chain graph.
+
+    Each legacy step dict (``{"op": ..., <scalar attrs>, "arrays": {...}}``)
+    becomes one node whose single input is the previous step; the first step
+    consumes the input placeholder.  The resulting graph executes identically
+    to the old sequential replay.
+    """
+    nodes: List[Node] = [Node(id=0, op="input")]
+    previous = 0
+    for index, step in enumerate(program):
+        if "op" not in step:
+            raise GraphError(f"linear program step {index} is missing its 'op' key")
+        attrs = {key: value for key, value in step.items()
+                 if key not in ("op", "arrays", "array_keys")}
+        node = Node(id=index + 1, op=str(step["op"]), inputs=[previous],
+                    attrs=attrs, arrays=dict(step.get("arrays", {})))
+        nodes.append(node)
+        previous = node.id
+    graph = Graph(nodes=nodes, output_id=previous)
+    graph.validate()
+    return graph

@@ -1,0 +1,290 @@
+"""Tape-based DAG tracing of a model's inference program.
+
+Replaces the old linear recorder of ``repro.io.deployment``: instead of
+demanding that a model be a flat sequence of leaf modules, the tracer records
+a :class:`~repro.ir.graph.Graph` by combining two tapes:
+
+* **leaf modules** (PECAN layers, ``Conv2d``/``Linear``, batch-norm,
+  activations, pooling, ``Flatten``/``Dropout``/``Identity``) emit one graph
+  node per call, with their parameters captured into the node's arrays;
+* **inline tensor math** between leaves — residual additions, channel
+  concatenations, strided slicing, fresh constant tensors — is captured by
+  lightweight trace hooks inside :mod:`repro.autograd.tensor` and
+  :func:`repro.autograd.functional.concatenate`, so architectures like
+  ``repro.models.resnet`` (``out + shortcut(x)``) and ``repro.models.convmixer``
+  (``spatial(x) + x``) trace exactly.
+
+A tensor that appears as an operand without a recorded producer is either a
+genuine constant (created inside ``forward``, e.g. the zero padding of an
+option-A shortcut — embedded as a ``constant`` node) or the output of an
+operation the tracer has no hook for.  The two are distinguished via the
+``from_op`` creation hook: op-produced-but-unrecorded values are collected as
+failures, and :func:`trace_graph` raises a single :class:`GraphTraceError`
+naming *every* offending module together with the supported op list, instead
+of dying on the first leaf.
+
+Tracing runs one zero batch of shape ``(1, *input_shape)`` through the model
+in eval mode under ``no_grad``; traced constants therefore carry a batch axis
+of 1 and broadcast at serve time (see :func:`repro.ir.ops.concat`).
+
+This module imports the training stack (autograd, nn, pecan layers) and must
+stay off the serving import path — the serving side only ever consumes the
+resulting :class:`Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.graph import Graph, Node, encode_index
+from repro.ir.ops import supported_ops
+
+
+class GraphTraceError(ValueError):
+    """A model's forward pass cannot be recorded as an inference graph."""
+
+
+#: Module types the tracer records as single leaf nodes (everything else is
+#: traced *through*, decomposing into inline tensor ops).
+def _leaf_describers():
+    from repro.nn.layers import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
+                                 GELU, GlobalAvgPool2d, Identity, Linear, MaxPool2d,
+                                 ReLU)
+
+    def conv(name, module):
+        arrays = {"weight": np.asarray(module.weight.data, dtype=np.float64)}
+        if module.bias is not None:
+            arrays["bias"] = np.asarray(module.bias.data, dtype=np.float64)
+        return "conv", {"stride": module.stride, "padding": module.padding}, arrays
+
+    def linear(name, module):
+        arrays = {"weight": np.asarray(module.weight.data, dtype=np.float64)}
+        if module.bias is not None:
+            arrays["bias"] = np.asarray(module.bias.data, dtype=np.float64)
+        return "linear", {}, arrays
+
+    def batchnorm(name, module):    # covers the BatchNorm1d subclass too
+        arrays = {"mean": np.asarray(module.running_mean, dtype=np.float64),
+                  "var": np.asarray(module.running_var, dtype=np.float64),
+                  "gamma": np.asarray(module.weight.data, dtype=np.float64),
+                  "beta": np.asarray(module.bias.data, dtype=np.float64)}
+        return "batchnorm", {"eps": module.eps}, arrays
+
+    return [
+        (Conv2d, conv),
+        (Linear, linear),
+        (BatchNorm2d, batchnorm),
+        (ReLU, lambda name, m: ("relu", {}, {})),
+        (GELU, lambda name, m: ("gelu", {}, {})),
+        (MaxPool2d, lambda name, m: ("maxpool", {"kernel_size": m.kernel_size,
+                                                 "stride": m.stride}, {})),
+        (AvgPool2d, lambda name, m: ("avgpool", {"kernel_size": m.kernel_size,
+                                                 "stride": m.stride}, {})),
+        (GlobalAvgPool2d, lambda name, m: ("global_avgpool", {}, {})),
+        (Flatten, lambda name, m: ("flatten", {}, {})),
+        (Dropout, lambda name, m: ("identity", {}, {})),
+        (Identity, lambda name, m: ("identity", {}, {})),
+    ]
+
+
+def supported_leaf_modules() -> List[str]:
+    """Names of the module types recorded as single graph nodes."""
+    return sorted({cls.__name__ for cls, _ in _leaf_describers()}
+                  | {"PECANConv2d", "PECANLinear"})
+
+
+class GraphTracer:
+    """Records the graph while a wrapped forward pass executes."""
+
+    #: Inline tensor ops the autograd hooks report.
+    TENSOR_OPS = ("add", "sub", "mul", "div", "neg", "getitem", "concat")
+
+    def __init__(self):
+        self.nodes: List[Node] = []
+        self._values: Dict[int, int] = {}       # id(Tensor) -> node id
+        self._keepalive: List[object] = []      # pins tensor identity
+        self._created: Dict[int, str] = {}      # id(Tensor) -> producing module
+        self._suppress = 0
+        self._module_stack: List[str] = ["<model>"]
+        self.failures: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def _fail(self, module_name: str, reason: str) -> None:
+        entry = (module_name, reason)
+        if entry not in self.failures:
+            self.failures.append(entry)
+
+    def _new_node(self, op: str, inputs: List[int],
+                  attrs: Optional[dict] = None,
+                  arrays: Optional[dict] = None) -> int:
+        node = Node(id=len(self.nodes), op=op, inputs=inputs,
+                    attrs=attrs or {}, arrays=arrays or {})
+        self.nodes.append(node)
+        return node.id
+
+    def _register(self, tensor, node_id: int) -> None:
+        self._values[id(tensor)] = node_id
+        self._keepalive.append(tensor)
+
+    def _lookup(self, tensor) -> Optional[int]:
+        """Node id producing ``tensor``; embeds true constants on the fly."""
+        node_id = self._values.get(id(tensor))
+        if node_id is not None:
+            return node_id
+        origin = self._created.get(id(tensor))
+        if origin is not None:
+            self._fail(origin, "produces a value through a tensor operation "
+                               "the tracer has no hook for")
+            return None
+        node_id = self._new_node("constant", [],
+                                 arrays={"value": np.array(tensor.data, copy=True)})
+        self._register(tensor, node_id)
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # Hooks (installed into repro.autograd.tensor during tracing)
+    # ------------------------------------------------------------------ #
+    def created(self, tensor) -> None:
+        """``Tensor.from_op`` hook: remember which module made each value."""
+        if self._suppress:
+            return
+        self._created[id(tensor)] = self._module_stack[-1]
+        self._keepalive.append(tensor)
+
+    def tensor_op(self, op: str, operands: Sequence, out, attrs: dict) -> None:
+        """Inline-op hook (add/sub/mul/div/neg/getitem/concat)."""
+        if self._suppress:
+            return
+        attrs = dict(attrs)
+        if op == "getitem":
+            try:
+                attrs["index"] = encode_index(attrs.pop("index"))
+            except TypeError as exc:
+                self._fail(self._module_stack[-1], f"slices with {exc}")
+                return
+        input_ids = [self._lookup(operand) for operand in operands]
+        if any(node_id is None for node_id in input_ids):
+            return                      # failure already recorded; poison out
+        self._register(out, self._new_node(op, input_ids, attrs))
+
+    # ------------------------------------------------------------------ #
+    # Module wrapping
+    # ------------------------------------------------------------------ #
+    def leaf_recorder(self, name: str, module, describe, original):
+        def wrapped(x):
+            if self._suppress:
+                return original(x)
+            input_id = self._lookup(x)
+            self._suppress += 1
+            try:
+                out = original(x)
+            finally:
+                self._suppress -= 1
+            if input_id is not None:
+                op, attrs, arrays = describe(name, module)
+                self._register(out, self._new_node(op, [input_id], attrs, arrays))
+            self.created(out)           # poison downstream if input was unknown
+            return out
+        return wrapped
+
+    def scope_recorder(self, name: str, original):
+        def wrapped(*args, **kwargs):
+            self._module_stack.append(name)
+            try:
+                return original(*args, **kwargs)
+            finally:
+                self._module_stack.pop()
+        return wrapped
+
+
+def trace_graph(model, input_shape: Sequence[int]) -> Graph:
+    """Record the inference graph of ``model`` for per-sample ``input_shape``.
+
+    Pushes one zero batch of shape ``(1, *input_shape)`` through the model in
+    eval mode, recording leaf-module calls and inline tensor ops.  Raises
+    :class:`GraphTraceError` listing every module whose behaviour the tracer
+    cannot express, together with the supported leaf-module and op lists.
+    """
+    import importlib
+
+    # repro.autograd re-exports a *function* named ``tensor`` that shadows the
+    # submodule attribute, so the module object must come from importlib.
+    tensor_mod = importlib.import_module("repro.autograd.tensor")
+    Tensor, no_grad = tensor_mod.Tensor, tensor_mod.no_grad
+    from repro.pecan.layers import PECANConv2d, PECANLinear
+
+    describers = _leaf_describers()
+
+    def describe_pecan(name, module):
+        return "pecan", {"layer": name}, {}
+
+    def find_describer(module):
+        if isinstance(module, (PECANConv2d, PECANLinear)):
+            return describe_pecan
+        for cls, describe in describers:
+            if isinstance(module, cls):
+                return describe
+        return None
+
+    tracer = GraphTracer()
+    input_shape = tuple(int(s) for s in input_shape)
+
+    # PECAN layers are trace leaves even though they own child modules (their
+    # codebook); nothing nested inside one is wrapped.
+    pecan_names = [name for name, module in model.named_modules()
+                   if isinstance(module, (PECANConv2d, PECANLinear))]
+    wrapped: List[Tuple[object, object]] = []
+    seen_modules = set()
+    for name, module in model.named_modules():
+        if not name or any(name.startswith(p + ".") for p in pecan_names):
+            continue
+        if id(module) in seen_modules:   # shared instances wrap exactly once
+            continue
+        seen_modules.add(id(module))
+        describe = find_describer(module)
+        original = module.forward
+        if describe is not None:
+            module.forward = tracer.leaf_recorder(name, module, describe, original)
+        else:
+            # Containers and unknown modules are traced *through*; the scope
+            # wrapper attributes inline ops (and failures) to them by name.
+            module.forward = tracer.scope_recorder(name, original)
+        wrapped.append((module, original))
+
+    was_training = model.training
+    model.eval()
+    previous_hook = tensor_mod.get_trace_hook()
+    tensor_mod.set_trace_hook(tracer)
+    try:
+        probe = Tensor(np.zeros((1, *input_shape), dtype=np.float64))
+        input_id = tracer._new_node("input", [])
+        tracer._register(probe, input_id)
+        with no_grad():
+            out = model(probe)
+    finally:
+        tensor_mod.set_trace_hook(previous_hook)
+        for module, original in wrapped:
+            module.forward = original
+        model.train(was_training)
+
+    output_id = tracer._values.get(id(out))
+    if output_id is None:
+        origin = tracer._created.get(id(out), "<model>")
+        tracer._fail(origin, "produces the model output through a tensor "
+                             "operation the tracer has no hook for")
+    if tracer.failures:
+        details = "; ".join(f"{name}: {reason}" for name, reason in tracer.failures)
+        raise GraphTraceError(
+            f"cannot record an inference graph for this model — offending "
+            f"module(s): {details}. Supported leaf modules: "
+            f"{', '.join(supported_leaf_modules())}; supported inline tensor "
+            f"ops: {', '.join(GraphTracer.TENSOR_OPS)}; other registered "
+            f"graph ops: {', '.join(supported_ops())}.")
+
+    graph = Graph(nodes=tracer.nodes, output_id=output_id).pruned()
+    graph.validate()
+    return graph

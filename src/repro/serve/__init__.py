@@ -5,8 +5,10 @@ model exports to a ``.npz`` deployment bundle (prototypes + LUTs + a recorded
 inference program); this package turns that file back into a serving process:
 
 * :mod:`repro.serve.engine` — :class:`BundleEngine`, the bundle-backed engine
-  (no model object, no autograd) sharing the fused Algorithm-1 kernels of
-  :mod:`repro.cam.runtime`;
+  (no model object, no autograd): a thin executor over the inference graph IR
+  of :mod:`repro.ir`, sharing the fused Algorithm-1 kernels of
+  :mod:`repro.cam.runtime` and the unified op registry of
+  :mod:`repro.ir.ops`;
 * :mod:`repro.serve.scheduler` — :class:`DynamicBatcher`, dynamic
   micro-batching with a bounded queue, deadlines and backpressure;
 * :mod:`repro.serve.registry` — :class:`ModelRegistry`, named bundles with
@@ -18,8 +20,9 @@ inference program); this package turns that file back into a serving process:
 * :mod:`repro.serve.server` — :class:`PECANServer`, a stdlib-``http.server``
   JSON front end (``/predict``, ``/models``, ``/metrics``, ``/healthz``);
 * :mod:`repro.serve.client` — :class:`ServeClient`, a stdlib HTTP client;
-* :mod:`repro.serve.ops` — pure-NumPy forwards for the non-PECAN program
-  steps, mirroring :mod:`repro.autograd.functional` exactly.
+* :mod:`repro.serve.ops` — backwards-compatible re-exports of the unified
+  lowerings in :mod:`repro.ir.ops` (which mirror
+  :mod:`repro.autograd.functional` exactly).
 
 Importing this package never loads the training substrate (autograd,
 optimizers, the model zoo) — the serving path stays lean, which

@@ -4,18 +4,26 @@ The paper's deployment story (Section 3) is that a trained PECAN layer
 reduces to two arrays — the CAM prototypes and the precomputed LUT.
 :class:`BundleEngine` completes that story in software: it reconstructs a
 running engine from an exported :class:`~repro.io.deployment.DeploymentBundle`
-(prototypes + LUTs + geometry + recorded inference program) with **no model
-object, no training graph and no autograd import**.  Each PECAN step runs the
-same fused :class:`~repro.cam.runtime.LUTLayerRuntime` kernels as the
-model-backed :class:`~repro.cam.inference.CAMInferenceEngine`, and every other
-step is replayed through the pure-NumPy ops of :mod:`repro.serve.ops`, so the
-two engines agree element-wise (bitwise on the PECAN-D lookup path).
+(prototypes + LUTs + geometry + recorded inference graph) with **no model
+object, no training graph and no autograd import**.  The engine is a thin
+wrapper over a :class:`~repro.ir.executor.GraphExecutor`: each ``pecan`` node
+runs the same fused :class:`~repro.cam.runtime.LUTLayerRuntime` kernels as
+the model-backed :class:`~repro.cam.inference.CAMInferenceEngine`, and every
+other node dispatches through the unified op registry of
+:mod:`repro.ir.ops`, so the two engines agree element-wise (bitwise on the
+PECAN-D lookup path).  Legacy v2 bundles (linear programs) serve through the
+automatic lift-to-graph path.
+
+With ``optimize=True`` the graph is run through the optimization pipeline of
+:mod:`repro.ir.passes` (batch-norm folding, ReLU fusion, dead-node
+elimination) and the optimized program is parity-checked against the pristine
+graph on a probe batch before it ever answers traffic.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,32 +31,44 @@ from repro.cam.cam_array import CAMEnergyModel, CAMStats
 from repro.cam.counters import OpCounter
 from repro.cam.runtime import LUTLayerRuntime
 from repro.io.deployment import DeploymentBundle, load_deployment_bundle
+from repro.ir.executor import GraphExecutor
+from repro.ir.graph import Graph
 from repro.perf import ChunkPolicy, Workspace, iter_slices
-from repro.serve import ops
 
 
 class BundleEngine:
-    """Execute a deployment bundle's recorded inference program.
+    """Execute a deployment bundle's recorded inference graph.
 
     Parameters
     ----------
     bundle:
         A :class:`DeploymentBundle` or a path to its ``.npz`` file.  The
-        bundle must carry an inference program (export with
-        ``export_deployment_bundle(..., input_shape=...)``).
+        bundle must carry an inference graph (export with
+        ``export_deployment_bundle(..., input_shape=...)``; v2 linear
+        programs lift automatically).
     energy_model / chunk_policy / use_fused:
         Same knobs as :class:`~repro.cam.inference.CAMInferenceEngine`;
         ``use_fused=False`` selects the per-group reference loop (used by the
         serving parity auditor).
+    optimize:
+        Run the graph optimization pipeline (:data:`repro.ir.passes.DEFAULT_PASSES`)
+        before serving.  The optimized graph is verified against the pristine
+        one on a random probe batch (bitwise when only exact passes applied,
+        ``atol=1e-8`` once batch-norm folding reassociated the arithmetic);
+        a mismatch raises instead of serving wrong outputs.
     """
+
+    #: Probe batch size used for optimize-time parity verification.
+    _VERIFY_BATCH = 2
 
     def __init__(self, bundle: Union[DeploymentBundle, str, Path],
                  energy_model: Optional[CAMEnergyModel] = None,
                  chunk_policy: Optional[ChunkPolicy] = None,
-                 use_fused: bool = True):
+                 use_fused: bool = True,
+                 optimize: bool = False):
         if not isinstance(bundle, DeploymentBundle):
             bundle = load_deployment_bundle(bundle)
-        if not bundle.has_program:
+        if bundle.graph is None:
             raise ValueError(
                 "bundle carries no inference program; re-export it with "
                 "export_deployment_bundle(model, path, input_shape=...) so a "
@@ -57,56 +77,71 @@ class BundleEngine:
         self.op_counter = OpCounter()
         self.chunk_policy = chunk_policy if chunk_policy is not None else ChunkPolicy()
         self.workspace = Workspace()
+        self.optimized = bool(optimize)
+        self.optimization: Dict[str, object] = {"applied": [], "exact": True}
+
+        graph: Graph = bundle.graph
+        luts = dict(bundle.luts)
+        if optimize:
+            from repro.ir.passes import optimize_graph
+
+            if bundle.input_shape is None:
+                raise ValueError(
+                    "cannot optimize a bundle without an input_shape: the "
+                    "optimized graph is parity-verified on a probe batch "
+                    "before serving, and there is no shape to probe with — "
+                    "re-export the bundle with input_shape=... or construct "
+                    "the DeploymentBundle with one")
+            opt_graph, opt_luts, info = optimize_graph(graph, luts)
+            self._verify_optimized(graph, luts, opt_graph, opt_luts,
+                                   exact=bool(info["exact"]) and bundle.is_multiplier_free())
+            graph, luts = opt_graph, opt_luts
+            self.optimization = info
+
         self.runtimes: Dict[str, LUTLayerRuntime] = {
             name: LUTLayerRuntime(lut, self.op_counter, energy_model=energy_model,
                                   chunk_policy=self.chunk_policy,
                                   workspace=self.workspace, use_fused=use_fused)
-            for name, lut in bundle.luts.items()}
-        self._steps: List[Tuple[str, Callable[[np.ndarray], np.ndarray]]] = [
-            self._compile_step(step) for step in bundle.program]
+            for name, lut in luts.items()}
+        self.executor = GraphExecutor(graph, self.runtimes)
 
     # ------------------------------------------------------------------ #
-    def _compile_step(self, step: Dict[str, object]
-                      ) -> Tuple[str, Callable[[np.ndarray], np.ndarray]]:
-        op = step["op"]
-        arrays = step.get("arrays", {})
-        if op == "pecan":
-            runtime = self.runtimes[step["layer"]]
-            return (f"pecan:{step['layer']}", runtime)
-        if op == "conv":
-            weight = np.asarray(arrays["weight"])
-            bias = np.asarray(arrays["bias"]) if "bias" in arrays else None
-            stride, padding = int(step["stride"]), int(step["padding"])
-            return (op, lambda x: ops.conv2d(x, weight, bias, stride, padding))
-        if op == "linear":
-            weight = np.asarray(arrays["weight"])
-            bias = np.asarray(arrays["bias"]) if "bias" in arrays else None
-            return (op, lambda x: ops.linear(x, weight, bias))
-        if op == "batchnorm":
-            mean, var = np.asarray(arrays["mean"]), np.asarray(arrays["var"])
-            gamma, beta = np.asarray(arrays["gamma"]), np.asarray(arrays["beta"])
-            eps = float(step["eps"])
-            return (op, lambda x: ops.batch_norm(x, mean, var, gamma, beta, eps))
-        if op == "relu":
-            return (op, ops.relu)
-        if op == "gelu":
-            return (op, ops.gelu)
-        if op == "maxpool":
-            k, s = int(step["kernel_size"]), int(step["stride"])
-            return (op, lambda x: ops.max_pool2d(x, k, s))
-        if op == "avgpool":
-            k, s = int(step["kernel_size"]), int(step["stride"])
-            return (op, lambda x: ops.avg_pool2d(x, k, s))
-        if op == "global_avgpool":
-            return (op, ops.global_avg_pool2d)
-        if op == "flatten":
-            return (op, ops.flatten)
-        if op == "identity":
-            return (op, lambda x: x)
-        raise ValueError(f"unknown program op {op!r} "
-                         f"(bundle written by a newer exporter?)")
+    def _verify_optimized(self, graph: Graph, luts, opt_graph: Graph, opt_luts,
+                          exact: bool) -> None:
+        """Replay a probe through both graphs; raise on divergence.
+
+        Runs on throwaway runtimes so serving statistics stay clean.
+        """
+        counter = OpCounter()
+
+        def throwaway(table):
+            return {name: LUTLayerRuntime(lut, counter) for name, lut in table.items()}
+
+        probe = np.random.default_rng(0).standard_normal(
+            (self._VERIFY_BATCH, *self.input_shape))
+        baseline = GraphExecutor(graph, throwaway(luts)).run(probe)
+        optimized = GraphExecutor(opt_graph, throwaway(opt_luts)).run(probe)
+        close = (np.array_equal(optimized, baseline) if exact
+                 else np.allclose(optimized, baseline, atol=1e-8))
+        if not close:
+            raise ValueError(
+                "optimized inference graph does not reproduce the pristine "
+                "graph's outputs on the verification probe; refusing to serve "
+                "the optimized program")
 
     # ------------------------------------------------------------------ #
+    def reference_engine(self) -> "BundleEngine":
+        """A per-group reference-loop engine executing the *same* program.
+
+        Mirrors this engine's configuration (same bundle, same optimization
+        pipeline — passes are deterministic) with ``use_fused=False``, so a
+        parity auditor compares fused vs. reference kernels on an identical
+        graph rather than flagging legitimate optimization divergence as
+        mismatches.
+        """
+        return BundleEngine(self.bundle, chunk_policy=self.chunk_policy,
+                            use_fused=False, optimize=self.optimized)
+
     @property
     def input_shape(self) -> Optional[Tuple[int, ...]]:
         """Per-sample input shape the program was traced with."""
@@ -122,18 +157,18 @@ class BundleEngine:
             runtime.use_fused = bool(value)
 
     def is_multiplier_free(self) -> bool:
-        """True when every program step runs without multiplications.
+        """True when every scheduled node runs without multiplications.
 
         Requires every PECAN layer in distance mode *and* no unconverted
-        conv/linear/batch-norm steps in the program.
+        conv/linear/batch-norm/GELU nodes in the graph (the op registry
+        labels each lowering).
         """
-        mac_ops = {"conv", "linear", "batchnorm", "gelu", "avgpool", "global_avgpool"}
         return (self.bundle.is_multiplier_free()
-                and not any(name in mac_ops for name, _ in self._steps))
+                and not self.executor.multiplier_ops())
 
     def step_names(self) -> List[str]:
-        """The compiled program as a list of op labels (for introspection)."""
-        return [name for name, _ in self._steps]
+        """The scheduled program as a list of op labels (for introspection)."""
+        return self.executor.step_labels()
 
     def kernel_names(self) -> Dict[str, str]:
         """Active kernel implementation per PECAN layer."""
@@ -141,10 +176,7 @@ class BundleEngine:
 
     # ------------------------------------------------------------------ #
     def _forward_batch(self, inputs: np.ndarray) -> np.ndarray:
-        x = inputs
-        for _, fn in self._steps:
-            x = fn(x)
-        return x
+        return self.executor.run(inputs)
 
     def predict(self, inputs: np.ndarray, batch_chunk: Optional[int] = None) -> np.ndarray:
         """Logits for a batch of inputs, replayed via Algorithm 1.
@@ -199,4 +231,5 @@ class BundleEngine:
             },
             "kernels": self.kernel_names(),
             "stored_values": self.bundle.total_values(),
+            "optimization": self.optimization,
         }

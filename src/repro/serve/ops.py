@@ -1,100 +1,25 @@
-"""Pure-NumPy forward ops for replaying a bundle's inference program.
+"""Backwards-compatible re-exports of the unified op lowerings.
 
-Each function mirrors the corresponding forward pass of
-:mod:`repro.autograd.functional` *exactly* — same lowering (im2col + einsum
-for convolution), same reduction order, same constants — so a
-:class:`~repro.serve.engine.BundleEngine` replay is element-wise identical to
-running the source model through the CAM engine, without importing autograd.
+The pure-NumPy forward ops used to live here; since the graph-IR refactor
+every lowering has exactly one home — the op registry of
+:mod:`repro.ir.ops` — and this module only re-exports the public functions so
+existing imports (``from repro.serve import ops``) keep working.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.ir.ops import (avg_pool2d, batch_norm, concat, conv2d, flatten,
+                          gelu, global_avg_pool2d, linear, max_pool2d, relu)
 
-import numpy as np
-
-from repro.perf.im2col import conv_output_size, im2col
-
-
-def conv2d(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray],
-           stride: int = 1, padding: int = 0) -> np.ndarray:
-    """2-D convolution via im2col lowering; mirrors ``functional.conv2d``."""
-    n, cin, h, w = x.shape
-    cout, cin_w, k, _ = weight.shape
-    if cin != cin_w:
-        raise ValueError(f"channel mismatch: input has {cin}, weight expects {cin_w}")
-    hout = conv_output_size(h, k, stride, padding)
-    wout = conv_output_size(w, k, stride, padding)
-    cols = im2col(x, k, stride, padding)                 # (N, Cin*k*k, L)
-    w_mat = weight.reshape(cout, -1)                     # (Cout, Cin*k*k)
-    out = np.einsum("of,nfl->nol", w_mat, cols).reshape(n, cout, hout, wout)
-    if bias is not None:
-        out = out + bias.reshape(1, cout, 1, 1)
-    return out
-
-
-def linear(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]) -> np.ndarray:
-    """``x @ weight.T + bias`` with ``weight`` of shape ``(out, in)``."""
-    out = np.matmul(x, weight.T)
-    if bias is not None:
-        out = out + bias
-    return out
-
-
-def relu(x: np.ndarray) -> np.ndarray:
-    return np.maximum(x, 0.0)
-
-
-def gelu(x: np.ndarray) -> np.ndarray:
-    """Gaussian error linear unit (tanh approximation, same constants)."""
-    inner = (x + x * x * x * 0.044715) * 0.7978845608028654
-    return x * (np.tanh(inner) + 1.0) * 0.5
-
-
-def _pool_windows(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
-    n, c, h, w = x.shape
-    k = kernel_size
-    hout = (h - k) // stride + 1
-    wout = (w - k) // stride + 1
-    sn, sc, sh, sw = x.strides
-    return np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, hout, wout, k, k),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
-    )
-
-
-def max_pool2d(x: np.ndarray, kernel_size: int, stride: Optional[int] = None) -> np.ndarray:
-    stride = stride if stride is not None else kernel_size
-    windows = _pool_windows(x, kernel_size, stride)
-    k = kernel_size
-    flat = windows.reshape(*windows.shape[:4], k * k)
-    arg = flat.argmax(axis=-1)
-    return np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
-
-
-def avg_pool2d(x: np.ndarray, kernel_size: int, stride: Optional[int] = None) -> np.ndarray:
-    stride = stride if stride is not None else kernel_size
-    return _pool_windows(x, kernel_size, stride).mean(axis=(-1, -2))
-
-
-def global_avg_pool2d(x: np.ndarray) -> np.ndarray:
-    return x.mean(axis=(2, 3))
-
-
-def flatten(x: np.ndarray) -> np.ndarray:
-    return x.reshape(x.shape[0], -1)
-
-
-def batch_norm(x: np.ndarray, mean: np.ndarray, var: np.ndarray,
-               gamma: np.ndarray, beta: np.ndarray, eps: float) -> np.ndarray:
-    """Eval-mode batch normalization; mirrors ``functional.batch_norm``."""
-    if x.ndim == 4:
-        shape = (1, -1, 1, 1)
-    elif x.ndim == 2:
-        shape = (1, -1)
-    else:
-        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.ndim}-D")
-    normalized = (x - mean.reshape(shape)) / np.sqrt(var.reshape(shape) + eps)
-    return normalized * gamma.reshape(shape) + beta.reshape(shape)
+__all__ = [
+    "avg_pool2d",
+    "batch_norm",
+    "concat",
+    "conv2d",
+    "flatten",
+    "gelu",
+    "global_avg_pool2d",
+    "linear",
+    "max_pool2d",
+    "relu",
+]

@@ -137,7 +137,10 @@ class PECANServer:
                 auditor = None
                 on_batch = None
                 if self.audit_every:
-                    reference = BundleEngine(engine.bundle, use_fused=False)
+                    # Mirror the served engine's configuration (including any
+                    # optimization passes) so the auditor compares fused vs.
+                    # reference kernels on the *same* program.
+                    reference = engine.reference_engine()
                     auditor = ParityAuditor(reference, every=self.audit_every,
                                             metrics=self.metrics).start()
                     on_batch = auditor.observe

@@ -140,6 +140,61 @@ class TestEndToEndCommands:
         out = capsys.readouterr().out
         assert "multiplier-free bundle: True" in out
 
+    def test_export_input_shape_override(self, tmp_path, capsys):
+        main(self._train_args(tmp_path))
+        exit_code = main(["--quiet", "export",
+                          "--log_dir", str(tmp_path),
+                          "--dataset", "MNIST",
+                          "--arch", "lenet5_pecan_d",
+                          "--width_multiplier", "0.5",
+                          "--image_size", "14",
+                          "--num_test", "16",
+                          "--prototype_cap", "8",
+                          "--checkpoint", str(tmp_path / "lenet5_pecan_d.npz"),
+                          "--input-shape", "1,14,14",
+                          "--output", str(tmp_path / "shaped.npz")])
+        assert exit_code == 0
+        from repro.io import load_deployment_bundle
+        bundle = load_deployment_bundle(tmp_path / "shaped.npz")
+        assert bundle.input_shape == (1, 14, 14)
+        assert bundle.has_program
+
+    def test_export_input_shape_validation(self):
+        from repro.cli import build_parser
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "--checkpoint", "x.npz",
+                                       "--input-shape", "fourteen"])
+        args = build_parser().parse_args(["export", "--checkpoint", "x.npz",
+                                          "--input_shape", "3x32x32"])
+        assert args.input_shape == (3, 32, 32)
+
+    def test_export_failure_names_offending_modules(self, tmp_path, capsys):
+        # An untraceable forward falls back to a LUT-only bundle, and the
+        # printed diagnostic names the offending module and the supported ops.
+        import numpy as np
+        from repro.io import export_deployment_bundle, load_deployment_bundle
+        from repro.nn import Conv2d, Module, Sequential
+        from repro.pecan.config import PQLayerConfig
+        from repro.pecan.convert import convert_to_pecan
+        from repro.ir.trace import GraphTraceError
+
+        class Unhooked(Module):
+            def forward(self, x):
+                return x.exp()
+
+        rng = np.random.default_rng(0)
+        cfg = PQLayerConfig(num_prototypes=4, mode="distance", temperature=0.5)
+        model = convert_to_pecan(
+            Sequential(Conv2d(1, 2, 3, rng=rng), Unhooked()), cfg, rng=rng)
+        with pytest.raises(GraphTraceError) as excinfo:
+            export_deployment_bundle(model, tmp_path / "bad.npz",
+                                     input_shape=(1, 6, 6))
+        assert "1" in str(excinfo.value)                 # offending module name
+        assert "Supported leaf modules" in str(excinfo.value)
+        # LUT-only export (no input_shape) still succeeds.
+        path = export_deployment_bundle(model, tmp_path / "lut_only.npz")
+        assert not load_deployment_bundle(path).has_program
+
     def test_train_baseline_arch(self, tmp_path):
         exit_code = main(["--quiet", "train",
                           "--log_dir", str(tmp_path),

@@ -1,5 +1,7 @@
 """Unit tests for checkpoint and deployment-bundle serialization."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,7 @@ from repro.io import (
     load_deployment_bundle,
     save_checkpoint,
 )
+from repro.io.deployment import _MANIFEST_KEY, _PROGRAM_PREFIX
 from repro.models import LeNet5, build_model
 from repro.pecan.config import PECANMode
 
@@ -141,6 +144,39 @@ class TestDeploymentBundle:
         with pytest.raises(FileNotFoundError):
             load_deployment_bundle(tmp_path / "missing.npz")
 
+    def test_export_rejects_hook_bypassing_forward(self, rng, tmp_path):
+        """Mis-traces must fail export, not serialize silently wrong graphs.
+
+        A forward that wraps input-dependent NumPy math in a fresh Tensor
+        bypasses the trace hooks; the tracer freezes the probe's value as a
+        constant.  The export oracle (the model's *own* forward with LUT-
+        swapped PECAN layers, not the traced graph) catches the divergence.
+        """
+        from repro.nn import Module, Sequential, Conv2d
+        from repro.pecan.config import PQLayerConfig
+        from repro.pecan.convert import convert_to_pecan
+
+        class Smuggler(Module):
+            def forward(self, x):
+                return x + Tensor(np.tanh(x.data))   # invisible to the tracer
+
+        cfg = PQLayerConfig(num_prototypes=4, mode="distance", temperature=0.5)
+        model = convert_to_pecan(
+            Sequential(Conv2d(1, 2, 3, rng=rng), Smuggler()), cfg, rng=rng)
+        with pytest.raises(ValueError, match="own forward"):
+            export_deployment_bundle(model, tmp_path / "smuggled.npz",
+                                     input_shape=(1, 6, 6))
+
+    def test_v3_bundle_embeds_graph_for_residual_model(self, rng, tmp_path):
+        model = build_model("resnet20_pecan_d", width_multiplier=0.125,
+                            prototype_cap=4, rng=rng)
+        path = export_deployment_bundle(model, tmp_path / "resnet.npz",
+                                        input_shape=(3, 16, 16))
+        bundle = load_deployment_bundle(path)
+        assert bundle.has_program
+        assert "add" in bundle.graph.op_names()
+        assert set(bundle.graph.pecan_layers()) == set(bundle.luts)
+
     def test_spatial_permutation_preserved(self, rng, tmp_path):
         from repro.pecan.config import PQLayerConfig
         from repro.pecan.convert import convert_to_pecan
@@ -156,3 +192,160 @@ class TestDeploymentBundle:
         lut = bundle.luts["0"]
         assert lut.group_permutation is not None
         np.testing.assert_array_equal(lut.group_permutation, converted[0]._perm)
+
+
+# --------------------------------------------------------------------------- #
+# Backward compatibility: v2 (linear program) and v1 (LUT-only) bundles
+# --------------------------------------------------------------------------- #
+def _write_v2_bundle(path, luts, program, input_shape):
+    """Re-create the PR2-era format-v2 writer byte layout in-process.
+
+    ``program`` is the legacy linear step list: per-step op dicts with scalar
+    attrs inline and tensors under ``"arrays"``; arrays land in the
+    ``__program__/<index>/<key>`` namespace exactly as the old exporter wrote
+    them.
+    """
+    arrays = {}
+    manifest = {
+        "format_version": 2,
+        "layers": {},
+        "user": {"writer": "legacy-test"},
+        "input_shape": list(input_shape),
+        "program": [],
+    }
+    for name, lut in luts.items():
+        arrays[f"{name}/prototypes"] = lut.prototypes
+        arrays[f"{name}/table"] = lut.table
+        if lut.bias is not None:
+            arrays[f"{name}/bias"] = lut.bias
+        if lut.group_permutation is not None:
+            arrays[f"{name}/permutation"] = lut.group_permutation
+        manifest["layers"][name] = {
+            "kind": lut.kind, "mode": lut.mode.value,
+            "temperature": lut.temperature, "kernel_size": lut.kernel_size,
+            "stride": lut.stride, "padding": lut.padding,
+            "in_channels": lut.in_channels, "out_channels": lut.out_channels,
+            "has_bias": lut.bias is not None,
+            "has_permutation": lut.group_permutation is not None,
+        }
+    for index, step in enumerate(program):
+        entry = {key: value for key, value in step.items() if key != "arrays"}
+        entry["array_keys"] = sorted(step.get("arrays", {}))
+        for key, array in step.get("arrays", {}).items():
+            arrays[f"{_PROGRAM_PREFIX}/{index}/{key}"] = array
+        manifest["program"].append(entry)
+    arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode("utf-8"),
+                                          dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+class TestBundleBackwardCompatibility:
+    """v2 linear-program and v1 LUT-only payloads keep their documented behavior."""
+
+    @pytest.fixture
+    def v2_setup(self, rng, tmp_path):
+        """A legacy v2 bundle built in-process for a mixed PECAN/plain model."""
+        from repro.cam.lut import build_model_luts
+        from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+        from repro.pecan.config import PQLayerConfig
+        from repro.pecan.convert import convert_to_pecan
+
+        cfg = PQLayerConfig(num_prototypes=4, mode="distance", temperature=0.5)
+
+        def selective(index, module):
+            return cfg if index == 0 else None   # leave the linear head plain
+
+        model = Sequential(
+            Conv2d(1, 4, 3, rng=rng), ReLU(), MaxPool2d(2), Flatten(),
+            Linear(4 * 4 * 4, 6, rng=rng),
+        )
+        converted = convert_to_pecan(model, selective, rng=rng)
+        head = converted[4]
+        program = [
+            {"op": "pecan", "layer": "0"},
+            {"op": "relu"},
+            {"op": "maxpool", "kernel_size": 2, "stride": 2},
+            {"op": "flatten"},
+            {"op": "linear",
+             "arrays": {"weight": np.asarray(head.weight.data, dtype=np.float64),
+                        "bias": np.asarray(head.bias.data, dtype=np.float64)}},
+        ]
+        path = _write_v2_bundle(tmp_path / "legacy_v2.npz",
+                                build_model_luts(converted), program,
+                                input_shape=(1, 10, 10))
+        return converted, path
+
+    def test_v2_bundle_lifts_to_chain_graph(self, v2_setup):
+        _, path = v2_setup
+        bundle = load_deployment_bundle(path)
+        assert bundle.has_program
+        assert bundle.metadata == {"writer": "legacy-test"}
+        # The raw v2 step list is preserved alongside the lifted graph.
+        assert [step["op"] for step in bundle.program] == \
+            ["pecan", "relu", "maxpool", "flatten", "linear"]
+        assert bundle.graph.op_names() == ["pecan", "relu", "maxpool",
+                                           "flatten", "linear"]
+        for before, node in zip(bundle.graph.nodes, bundle.graph.nodes[1:]):
+            assert node.inputs == [before.id]
+
+    def test_v2_bundle_serves_bitwise_identically(self, v2_setup, rng):
+        from repro.serve import BundleEngine
+
+        model, path = v2_setup
+        engine = BundleEngine(path)
+        x = rng.standard_normal((3, 1, 10, 10))
+        np.testing.assert_array_equal(engine.predict(x),
+                                      CAMInferenceEngine(model).predict(x))
+
+    def test_v2_program_arrays_round_trip(self, v2_setup):
+        model, path = v2_setup
+        bundle = load_deployment_bundle(path)
+        linear_node = bundle.graph.nodes[-1]
+        assert linear_node.op == "linear"
+        np.testing.assert_array_equal(linear_node.arrays["weight"],
+                                      model[4].weight.data)
+
+    def test_v2_total_values_counts_program_arrays(self, v2_setup):
+        _, path = v2_setup
+        bundle = load_deployment_bundle(path)
+        lut_values = sum(lut.prototypes.size + lut.table.size
+                         for lut in bundle.luts.values())
+        assert bundle.total_values() > lut_values
+
+    def test_in_process_program_bundle_lifts(self, v2_setup):
+        # The old in-process API (DeploymentBundle(program=...)) still works.
+        _, path = v2_setup
+        loaded = load_deployment_bundle(path)
+        rebuilt = DeploymentBundle(luts=loaded.luts, program=loaded.program,
+                                   input_shape=loaded.input_shape)
+        assert rebuilt.graph is not None
+        assert rebuilt.graph.op_names() == loaded.graph.op_names()
+
+    def test_v1_lut_only_bundle_loads_but_is_not_servable(self, rng, tmp_path):
+        from repro.cam.lut import build_model_luts
+        from repro.serve import BundleEngine
+
+        model = build_model("lenet5_pecan_d", width_multiplier=0.5,
+                            image_size=14, prototype_cap=8, rng=rng)
+        luts = build_model_luts(model)
+        path = _write_v2_bundle(tmp_path / "v1.npz", luts, [], (1, 14, 14))
+        # Rewrite the manifest to a true v1 payload (no program keys at all).
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        manifest = json.loads(bytes(arrays[_MANIFEST_KEY].tobytes()).decode())
+        manifest["format_version"] = 1
+        manifest.pop("program")
+        manifest.pop("input_shape")
+        arrays[_MANIFEST_KEY] = np.frombuffer(json.dumps(manifest).encode(),
+                                              dtype=np.uint8)
+        v1_path = tmp_path / "true_v1.npz"
+        np.savez_compressed(v1_path, **arrays)
+
+        bundle = load_deployment_bundle(v1_path)
+        assert not bundle.has_program
+        assert set(bundle.layer_names) == set(luts)
+        np.testing.assert_array_equal(bundle.luts["features.0"].prototypes,
+                                      luts["features.0"].prototypes)
+        with pytest.raises(ValueError, match="no inference program"):
+            BundleEngine(bundle)

@@ -1,0 +1,442 @@
+"""Unit tests for the :mod:`repro.ir` graph IR.
+
+Covers the graph structure (validation, topological scheduling, pruning,
+serialization, v2 lifting), the unified op registry, the tape-based tracer
+(DAG topologies, constant embedding, failure diagnostics), the executor, and
+the optimization passes (exactness labelling and parity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.cam.counters import OpCounter
+from repro.cam.inference import CAMInferenceEngine
+from repro.cam.lut import build_layer_lut, build_model_luts
+from repro.cam.runtime import LUTLayerRuntime
+from repro.ir.executor import GraphExecutor
+from repro.ir.graph import (Graph, GraphError, Node, decode_index, encode_index,
+                            lift_linear_program)
+from repro.ir.ops import get_op, has_op, supported_ops
+from repro.ir.passes import (DEFAULT_PASSES, eliminate_dead_nodes,
+                             eliminate_identities, fold_batchnorm, fuse_relu,
+                             optimize_graph)
+from repro.ir.trace import GraphTraceError, supported_leaf_modules, trace_graph
+from repro.models import build_model
+from repro.nn import (BatchNorm2d, Conv2d, Flatten, Identity, Linear, MaxPool2d,
+                      Module, ReLU, Sequential)
+from repro.pecan.config import PQLayerConfig
+from repro.pecan.convert import convert_to_pecan, pecan_layers
+
+
+def runtimes_for(model):
+    counter = OpCounter()
+    return {name: LUTLayerRuntime(build_layer_lut(layer, name=name), counter)
+            for name, layer in pecan_layers(model)}
+
+
+def small_pecan(rng, image_size=10, in_channels=1):
+    cfg = PQLayerConfig(num_prototypes=4, mode="distance", temperature=0.5)
+    spatial = (image_size - 2) // 2
+    model = Sequential(
+        Conv2d(in_channels, 4, 3, rng=rng), ReLU(), MaxPool2d(2), Flatten(),
+        Linear(4 * spatial * spatial, 6, rng=rng),
+    )
+    return convert_to_pecan(model, cfg, rng=rng)
+
+
+# --------------------------------------------------------------------------- #
+# Graph structure
+# --------------------------------------------------------------------------- #
+class TestGraphStructure:
+    def chain(self):
+        return Graph(nodes=[Node(0, "input"), Node(1, "relu", [0]),
+                            Node(2, "flatten", [1])], output_id=2)
+
+    def test_schedule_respects_dependencies(self):
+        graph = Graph(nodes=[Node(2, "add", [0, 1]), Node(0, "input"),
+                             Node(1, "relu", [0])], output_id=2)
+        order = [node.id for node in graph.topological_schedule()]
+        assert order.index(0) < order.index(1) < order.index(2)
+
+    def test_validate_passes_on_chain(self):
+        self.chain().validate()
+
+    def test_cycle_detected(self):
+        graph = Graph(nodes=[Node(0, "input"), Node(1, "relu", [2]),
+                             Node(2, "relu", [1])], output_id=2)
+        with pytest.raises(GraphError, match="cycle"):
+            graph.topological_schedule()
+
+    def test_duplicate_ids_rejected(self):
+        graph = Graph(nodes=[Node(0, "input"), Node(0, "relu", [0])], output_id=0)
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.validate()
+
+    def test_dangling_edge_rejected(self):
+        graph = Graph(nodes=[Node(0, "input"), Node(1, "relu", [7])], output_id=1)
+        with pytest.raises(GraphError, match="missing node 7"):
+            graph.validate()
+
+    def test_exactly_one_input_required(self):
+        graph = Graph(nodes=[Node(0, "input"), Node(1, "input")], output_id=1)
+        with pytest.raises(GraphError, match="exactly one input"):
+            graph.validate()
+
+    def test_missing_output_rejected(self):
+        graph = Graph(nodes=[Node(0, "input")], output_id=3)
+        with pytest.raises(GraphError, match="output node 3"):
+            graph.validate()
+
+    def test_pruned_drops_unreachable(self):
+        graph = Graph(nodes=[Node(0, "input"), Node(1, "relu", [0]),
+                             Node(2, "gelu", [0]),        # dead branch
+                             Node(3, "flatten", [1])], output_id=3)
+        pruned = graph.pruned()
+        assert sorted(node.id for node in pruned.nodes) == [0, 1, 3]
+
+    def test_label_names_pecan_layer(self):
+        node = Node(1, "pecan", [0], {"layer": "features.0"})
+        assert node.label == "pecan:features.0"
+
+    def test_manifest_round_trip(self):
+        graph = Graph(nodes=[
+            Node(0, "input"),
+            Node(1, "conv", [0], {"stride": 2, "padding": 1},
+                 {"weight": np.ones((2, 1, 3, 3))}),
+            Node(2, "getitem", [1], {"index": encode_index(
+                np.s_[:, :, ::2, ::2])}),
+            Node(3, "concat", [1, 2], {"axis": 1}),
+        ], output_id=3)
+        entries, arrays = graph.to_manifest()
+        assert arrays["1/weight"].shape == (2, 1, 3, 3)
+        rebuilt = Graph.from_manifest(entries, 3,
+                                      lambda nid, key: arrays[f"{nid}/{key}"])
+        assert [n.op for n in rebuilt.nodes] == ["input", "conv", "getitem", "concat"]
+        assert rebuilt.nodes[1].attrs["stride"] == 2
+        np.testing.assert_array_equal(rebuilt.nodes[1].arrays["weight"],
+                                      np.ones((2, 1, 3, 3)))
+
+
+class TestIndexEncoding:
+    def test_round_trip(self):
+        index = np.s_[:, 3, ::2, None, ...]
+        assert decode_index(encode_index(index)) == index
+
+    def test_scalar_index(self):
+        assert decode_index(encode_index(2)) == (2,)
+
+    def test_array_index_rejected(self):
+        with pytest.raises(TypeError, match="unsupported index"):
+            encode_index((np.array([1, 2]),))
+
+
+class TestLiftLinearProgram:
+    def test_chain_topology(self):
+        program = [{"op": "pecan", "layer": "0"},
+                   {"op": "relu"},
+                   {"op": "linear", "arrays": {"weight": np.ones((2, 4))}}]
+        graph = lift_linear_program(program)
+        assert graph.op_names() == ["pecan", "relu", "linear"]
+        assert graph.pecan_layers() == ["0"]
+        assert graph.nodes[-1].arrays["weight"].shape == (2, 4)
+        # every step consumes exactly the previous one
+        for before, node in zip(graph.nodes, graph.nodes[1:]):
+            assert node.inputs == [before.id]
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(GraphError, match="missing its 'op'"):
+            lift_linear_program([{"layer": "0"}])
+
+
+# --------------------------------------------------------------------------- #
+# Op registry
+# --------------------------------------------------------------------------- #
+class TestOpRegistry:
+    def test_core_ops_registered_once(self):
+        for op in ("conv", "linear", "batchnorm", "relu", "gelu", "maxpool",
+                   "avgpool", "global_avgpool", "flatten", "identity", "pecan",
+                   "add", "concat", "getitem", "constant"):
+            assert has_op(op)
+            assert get_op(op).name == op
+
+    def test_unknown_op_names_registered_set(self):
+        with pytest.raises(KeyError, match="unknown graph op 'warp'"):
+            get_op("warp")
+
+    def test_multiplier_free_labels(self):
+        assert get_op("pecan").multiplier_free
+        assert get_op("add").multiplier_free
+        assert get_op("maxpool").multiplier_free
+        assert not get_op("conv").multiplier_free
+        assert not get_op("gelu").multiplier_free
+        assert not get_op("avgpool").multiplier_free
+
+    def test_duplicate_registration_rejected(self):
+        from repro.ir.ops import register_op
+        with pytest.raises(ValueError, match="already registered"):
+            register_op("relu")(lambda inputs, node, ctx: inputs[0])
+
+
+# --------------------------------------------------------------------------- #
+# Tracing
+# --------------------------------------------------------------------------- #
+class TestTraceSequential:
+    def test_chain_ops(self, rng):
+        model = small_pecan(rng)
+        graph = trace_graph(model, (1, 10, 10))
+        assert graph.op_names() == ["pecan", "relu", "maxpool", "flatten", "pecan"]
+
+    def test_leaf_arrays_captured(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, rng=rng), BatchNorm2d(2), ReLU())
+        graph = trace_graph(model, (1, 6, 6))
+        conv = next(node for node in graph.nodes if node.op == "conv")
+        bn = next(node for node in graph.nodes if node.op == "batchnorm")
+        np.testing.assert_array_equal(conv.arrays["weight"], model[0].weight.data)
+        assert set(bn.arrays) == {"mean", "var", "gamma", "beta"}
+
+    def test_training_flag_restored(self, rng):
+        model = small_pecan(rng)
+        model.train()
+        trace_graph(model, (1, 10, 10))
+        assert model.training
+
+    def test_forwards_restored(self, rng):
+        model = small_pecan(rng)
+        originals = {name: module.forward for name, module in model.named_modules()}
+        trace_graph(model, (1, 10, 10))
+        for name, module in model.named_modules():
+            assert module.forward == originals[name]
+
+
+class TestTraceDAGTopologies:
+    def test_resnet_records_joins(self, rng):
+        model = build_model("resnet20_pecan_d", width_multiplier=0.125,
+                            prototype_cap=4, rng=rng)
+        graph = trace_graph(model, (3, 16, 16))
+        ops = graph.op_names()
+        assert "add" in ops                       # residual joins
+        assert "concat" in ops                    # option-A channel padding
+        assert "getitem" in ops                   # strided subsampling
+        assert "constant" in ops                  # embedded zero padding
+        # A residual join has two distinct producers.
+        add = next(node for node in graph.nodes if node.op == "add")
+        assert len(set(add.inputs)) == 2
+
+    def test_convmixer_records_residual_add(self, rng):
+        model = build_model("convmixer_pecan_d", width_multiplier=0.0625,
+                            depth=1, patch_size=4, image_size=16,
+                            prototype_cap=4, rng=rng)
+        graph = trace_graph(model, (3, 16, 16))
+        assert graph.op_names().count("add") == 1
+
+    def test_traced_constants_have_unit_batch(self, rng):
+        model = build_model("resnet20_pecan_d", width_multiplier=0.125,
+                            prototype_cap=4, rng=rng)
+        graph = trace_graph(model, (3, 16, 16))
+        for node in graph.nodes:
+            if node.op == "constant":
+                assert node.arrays["value"].shape[0] == 1
+
+
+class _InlineExp(Module):
+    """Uses an inline op (exp) the tracer has no hook for."""
+
+    def forward(self, x):
+        return x.exp()
+
+
+class _InlineMean(Module):
+    def forward(self, x):
+        return x.mean(axis=(2, 3))
+
+
+class TestTraceFailures:
+    def test_unhooked_op_names_module(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, rng=rng), _InlineExp())
+        with pytest.raises(GraphTraceError, match=r"1"):
+            trace_graph(model, (1, 6, 6))
+
+    def test_all_offenders_collected(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, padding=1, rng=rng), _InlineExp(),
+                           Conv2d(2, 2, 3, padding=1, rng=rng), _InlineMean())
+        with pytest.raises(GraphTraceError) as excinfo:
+            trace_graph(model, (1, 6, 6))
+        message = str(excinfo.value)
+        assert "1" in message and "3" in message   # both offending modules named
+
+    def test_error_lists_supported_ops(self, rng):
+        model = Sequential(_InlineExp())
+        with pytest.raises(GraphTraceError) as excinfo:
+            trace_graph(model, (1, 4, 4))
+        message = str(excinfo.value)
+        assert "Supported leaf modules" in message
+        assert "Conv2d" in message
+        assert "concat" in message
+
+    def test_supported_leaf_listing(self):
+        leaves = supported_leaf_modules()
+        assert "PECANConv2d" in leaves and "Conv2d" in leaves
+
+
+# --------------------------------------------------------------------------- #
+# Executor
+# --------------------------------------------------------------------------- #
+class TestExecutor:
+    def test_parity_with_engine_on_dag(self, rng):
+        model = build_model("resnet20_pecan_d", width_multiplier=0.125,
+                            prototype_cap=4, rng=rng)
+        graph = trace_graph(model, (3, 16, 16))
+        executor = GraphExecutor(graph, runtimes_for(model))
+        x = rng.standard_normal((2, 3, 16, 16))
+        np.testing.assert_array_equal(executor.run(x),
+                                      CAMInferenceEngine(model).predict(x))
+
+    def test_missing_runtime_reported_at_construction(self, rng):
+        model = small_pecan(rng)
+        graph = trace_graph(model, (1, 10, 10))
+        with pytest.raises(GraphError, match="no runtime"):
+            GraphExecutor(graph, {})
+
+    def test_step_labels(self, rng):
+        model = small_pecan(rng)
+        graph = trace_graph(model, (1, 10, 10))
+        labels = GraphExecutor(graph, runtimes_for(model)).step_labels()
+        assert labels[0].startswith("pecan:")
+        assert "input" not in labels
+
+    def test_multiplier_ops_on_unconverted_model(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, rng=rng), ReLU())
+        graph = trace_graph(model, (1, 6, 6))
+        executor = GraphExecutor(graph, {})
+        assert executor.multiplier_ops() == ["conv"]
+
+
+# --------------------------------------------------------------------------- #
+# Passes
+# --------------------------------------------------------------------------- #
+class TestPasses:
+    def _graph_and_runtimes(self, model, shape):
+        return trace_graph(model, shape), runtimes_for(model)
+
+    def test_fold_batchnorm_into_conv(self, rng):
+        model = Sequential(Conv2d(1, 3, 3, rng=rng), BatchNorm2d(3), ReLU())
+        model.train()
+        model(Tensor(rng.standard_normal((8, 1, 8, 8))))     # realistic BN stats
+        model.eval()
+        graph = trace_graph(model, (1, 8, 8))
+        folded, luts, changed = fold_batchnorm(graph, {})
+        assert changed
+        assert "batchnorm" not in folded.op_names()
+        x = rng.standard_normal((3, 1, 8, 8))
+        baseline = GraphExecutor(graph, {}).run(x)
+        optimized = GraphExecutor(folded, {}).run(x)
+        np.testing.assert_allclose(optimized, baseline, atol=1e-10)
+
+    def test_fold_batchnorm_into_pecan_lut(self, rng):
+        cfg = PQLayerConfig(num_prototypes=4, mode="distance", temperature=0.5)
+        model = convert_to_pecan(
+            Sequential(Conv2d(1, 3, 3, rng=rng), BatchNorm2d(3), ReLU()),
+            cfg, rng=rng)
+        model.train()
+        model(Tensor(rng.standard_normal((8, 1, 8, 8))))
+        model.eval()
+        graph = trace_graph(model, (1, 8, 8))
+        luts = build_model_luts(model)
+        folded, new_luts, changed = fold_batchnorm(graph, luts)
+        assert changed
+        assert "batchnorm" not in folded.op_names()
+        assert new_luts["0"] is not luts["0"]          # original untouched
+        counter = OpCounter()
+        x = rng.standard_normal((3, 1, 8, 8))
+        baseline = GraphExecutor(graph, {n: LUTLayerRuntime(l, counter)
+                                         for n, l in luts.items()}).run(x)
+        optimized = GraphExecutor(folded, {n: LUTLayerRuntime(l, counter)
+                                           for n, l in new_luts.items()}).run(x)
+        np.testing.assert_allclose(optimized, baseline, atol=1e-10)
+
+    def test_fold_skipped_when_producer_shared(self, rng):
+        # conv output feeds both the BN and a residual add: folding would
+        # change the un-normalized branch, so the pass must leave it alone.
+        conv = Node(1, "conv", [0], {"stride": 1, "padding": 1},
+                    {"weight": rng.standard_normal((2, 2, 3, 3))})
+        bn = Node(2, "batchnorm", [1], {"eps": 1e-5},
+                  {"mean": np.zeros(2), "var": np.ones(2),
+                   "gamma": np.ones(2), "beta": np.zeros(2)})
+        graph = Graph(nodes=[Node(0, "input"), conv, bn,
+                             Node(3, "add", [1, 2])], output_id=3)
+        _, _, changed = fold_batchnorm(graph, {})
+        assert not changed
+
+    def test_fuse_relu_bitwise(self, rng):
+        model = small_pecan(rng)
+        graph, runtimes = self._graph_and_runtimes(model, (1, 10, 10))
+        fused, _, changed = fuse_relu(graph, {})
+        assert changed
+        assert "relu" not in fused.op_names()
+        pecan_node = next(node for node in fused.nodes if node.op == "pecan")
+        assert pecan_node.attrs["fused_relu"]
+        x = rng.standard_normal((2, 1, 10, 10))
+        np.testing.assert_array_equal(GraphExecutor(fused, runtimes).run(x),
+                                      GraphExecutor(graph, runtimes).run(x))
+
+    def test_relu_not_fused_across_fanout(self):
+        graph = Graph(nodes=[Node(0, "input"), Node(1, "relu", [0]),
+                             Node(2, "add", [0, 1])], output_id=2)
+        _, _, changed = fuse_relu(graph, {})
+        assert not changed                  # producer (input) is not fusable
+
+    def test_identity_elimination(self, rng):
+        graph = Graph(nodes=[Node(0, "input"), Node(1, "identity", [0]),
+                             Node(2, "relu", [1])], output_id=2)
+        cleaned, _, changed = eliminate_identities(graph, {})
+        assert changed
+        assert cleaned.op_names() == ["relu"]
+        assert cleaned.nodes[-1].inputs == [0]
+
+    def test_dead_node_elimination(self):
+        graph = Graph(nodes=[Node(0, "input"), Node(1, "relu", [0]),
+                             Node(2, "gelu", [0])], output_id=1)
+        cleaned, _, changed = eliminate_dead_nodes(graph, {})
+        assert changed
+        assert "gelu" not in cleaned.op_names()
+
+    def test_optimize_graph_reports_exactness(self, rng):
+        model = Sequential(Conv2d(1, 3, 3, rng=rng), BatchNorm2d(3), ReLU())
+        graph = trace_graph(model, (1, 8, 8))
+        _, _, info = optimize_graph(graph, {})
+        assert "fold_batchnorm" in info["applied"]
+        assert not info["exact"]            # BN folding reassociates floats
+        relu_only = Graph(nodes=[Node(0, "input"),
+                                 Node(1, "conv", [0], {"stride": 1, "padding": 0},
+                                      {"weight": np.ones((1, 1, 3, 3))}),
+                                 Node(2, "relu", [1])], output_id=2)
+        _, _, info = optimize_graph(relu_only, {})
+        assert info["applied"] == ["fuse_relu"]
+        assert info["exact"]
+
+    def test_unknown_pass_rejected(self, rng):
+        model = small_pecan(rng)
+        graph = trace_graph(model, (1, 10, 10))
+        with pytest.raises(ValueError, match="unknown graph pass"):
+            optimize_graph(graph, {}, passes=("turbo",))
+
+    def test_default_pipeline_end_to_end_parity(self, rng):
+        model = build_model("resnet20_pecan_d", width_multiplier=0.125,
+                            prototype_cap=4, rng=rng)
+        graph = trace_graph(model, (3, 16, 16))
+        luts = build_model_luts(model)
+        opt_graph, opt_luts, info = optimize_graph(graph, luts,
+                                                   passes=DEFAULT_PASSES)
+        assert "fold_batchnorm" in info["applied"]
+        assert len(opt_graph.nodes) < len(graph.nodes)
+        counter = OpCounter()
+        x = rng.standard_normal((2, 3, 16, 16))
+        baseline = GraphExecutor(graph, {n: LUTLayerRuntime(l, counter)
+                                         for n, l in luts.items()}).run(x)
+        optimized = GraphExecutor(opt_graph, {n: LUTLayerRuntime(l, counter)
+                                              for n, l in opt_luts.items()}).run(x)
+        np.testing.assert_allclose(optimized, baseline, atol=1e-8)

@@ -183,7 +183,8 @@ class TestBundleValidation:
     def test_v1_bundle_without_program_still_loads(self, bundle_path):
         def mutate(manifest):
             manifest["format_version"] = 1
-            manifest.pop("program")
+            manifest.pop("graph")
+            manifest.pop("graph_output")
             manifest.pop("input_shape")
         old = self._rewrite(bundle_path, mutate)
         bundle = load_deployment_bundle(old)

@@ -18,7 +18,8 @@ from repro.cam.inference import CAMInferenceEngine
 from repro.data import make_dataset
 from repro.data.loader import DataLoader
 from repro.io import export_deployment_bundle, load_deployment_bundle
-from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.models import build_model
+from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU, Sequential
 from repro.pecan.config import PQLayerConfig
 from repro.pecan.convert import convert_to_pecan
 from repro.pecan.training import PECANTrainer
@@ -87,8 +88,9 @@ class TestTrainedBundleParity:
         bundle = load_deployment_bundle(trained_bundle)
         assert bundle.has_program
         assert bundle.input_shape == (1, 12, 12)
-        ops = [step["op"] for step in bundle.program]
-        assert ops == ["pecan", "relu", "maxpool", "flatten", "pecan"]
+        assert bundle.graph.op_names() == ["pecan", "relu", "maxpool",
+                                           "flatten", "pecan"]
+        assert bundle.graph.pecan_layers() == ["0", "4"]
 
 
 class TestAngleParity:
@@ -158,3 +160,180 @@ class TestCompiledKernelFallbackParity:
             runtime._ckernel = None
         np.testing.assert_array_equal(compiled.predict(images),
                                       fallback.predict(images))
+
+
+# --------------------------------------------------------------------------- #
+# Multi-topology parity (graph IR): residual and mixer architectures
+# --------------------------------------------------------------------------- #
+def small_resnet(seed=11):
+    return build_model("resnet20_pecan_d", width_multiplier=0.125,
+                       prototype_cap=4, rng=np.random.default_rng(seed))
+
+
+def small_convmixer(seed=12):
+    return build_model("convmixer_pecan_d", width_multiplier=0.0625, depth=2,
+                       patch_size=4, image_size=16, prototype_cap=4,
+                       rng=np.random.default_rng(seed))
+
+
+class TestMultiTopologyParity:
+    """Export→load→serve round trips for non-sequential architectures.
+
+    The graph IR's acceptance property: every model in the registry —
+    including ResNet (residual adds + option-A concat shortcuts) and
+    ConvMixer (block-level residuals) — exports to a format-v3 bundle and
+    serves with outputs element-wise identical (bitwise for PECAN-D) to the
+    live CAM engine *and* to the per-group reference loop.
+    """
+
+    @pytest.fixture(scope="class", params=["resnet", "convmixer"])
+    def topology(self, request, tmp_path_factory):
+        if request.param == "resnet":
+            model, shape = small_resnet(), (3, 16, 16)
+        else:
+            model, shape = small_convmixer(), (3, 16, 16)
+        path = tmp_path_factory.mktemp("topo") / f"{request.param}.npz"
+        export_deployment_bundle(model, path, input_shape=shape)
+        images = np.random.default_rng(5).standard_normal((4, *shape))
+        return model, path, images
+
+    def test_fused_engine_bitwise_parity(self, topology):
+        model, path, images = topology
+        expected = CAMInferenceEngine(model).predict(images)
+        np.testing.assert_array_equal(BundleEngine(path).predict(images), expected)
+
+    def test_reference_loop_parity(self, topology):
+        model, path, images = topology
+        expected = CAMInferenceEngine(model, use_fused=False).predict(images)
+        bundle_reference = BundleEngine(path, use_fused=False).predict(images)
+        np.testing.assert_array_equal(bundle_reference, expected)
+        # Fused and reference paths agree bitwise on the PECAN-D lookup path.
+        np.testing.assert_array_equal(BundleEngine(path).predict(images),
+                                      bundle_reference)
+
+    def test_server_round_trip(self, topology):
+        model, path, images = topology
+        expected = CAMInferenceEngine(model).predict(images)
+        server = PECANServer(port=0, max_batch_size=8, max_wait_ms=10.0,
+                             audit_every=1)
+        server.add_bundle(path, name="topo", preload=True)
+        with server:
+            client = ServeClient(server.url)
+            assert client.wait_ready(10.0)
+            logits = client.predict(images)
+            served = server._served["topo"]
+            served.auditor.drain()
+            assert served.auditor.metrics.audit_mismatches == 0
+        np.testing.assert_array_equal(logits, expected)
+
+    def test_batch_chunk_streaming_matches(self, topology, request):
+        _, path, images = topology
+        engine = BundleEngine(path)
+        streamed = engine.predict(images, batch_chunk=1)
+        full = engine.predict(images)
+        if "resnet" in request.node.name:
+            # Fully converted PECAN-D path: streaming is bitwise stable.
+            np.testing.assert_array_equal(streamed, full)
+        else:
+            # ConvMixer keeps its first conv / classifier unconverted; those
+            # BLAS matmuls reassociate across batch sizes (last-bit only).
+            np.testing.assert_allclose(streamed, full, atol=1e-12)
+
+    def test_optimized_graph_parity(self, topology, request):
+        model, path, images = topology
+        optimized = BundleEngine(path, optimize=True)
+        if "resnet" in request.node.name:
+            # Every conv/pecan–BN pair of the ResNet folds away.
+            assert "fold_batchnorm" in optimized.optimization["applied"]
+            assert len(optimized.step_names()) < len(BundleEngine(path).step_names())
+        np.testing.assert_allclose(optimized.predict(images),
+                                   CAMInferenceEngine(model).predict(images),
+                                   atol=1e-8)
+
+    def test_optimized_server_audits_clean(self, topology):
+        # The auditor's reference engine must execute the *same* (optimized)
+        # program as the served engine — otherwise legitimate BN-folding
+        # divergence would be counted as parity mismatches.
+        from repro.serve import ModelRegistry
+
+        model, path, images = topology
+        registry = ModelRegistry(
+            engine_factory=lambda p: BundleEngine(p, optimize=True))
+        server = PECANServer(registry=registry, port=0, max_batch_size=8,
+                             max_wait_ms=5.0, audit_every=1)
+        server.add_bundle(path, name="opt", preload=True)
+        try:
+            for start in range(0, 4, 2):
+                server.predict(images[start:start + 2], model="opt")
+            served = server._served["opt"]
+            assert served.engine.optimized
+            assert served.auditor.reference_engine.optimized
+            served.auditor.drain()
+            assert served.auditor.metrics.audits_total >= 1
+            assert served.auditor.metrics.audit_mismatches == 0
+        finally:
+            server.stop()
+
+    def test_reference_engine_mirrors_optimization(self, topology):
+        _, path, _ = topology
+        optimized = BundleEngine(path, optimize=True)
+        reference = optimized.reference_engine()
+        assert not reference.use_fused
+        assert reference.optimized
+        assert reference.step_names() == optimized.step_names()
+        pristine_reference = BundleEngine(path).reference_engine()
+        assert not pristine_reference.optimized
+
+    def test_optimize_without_input_shape_rejected(self, topology):
+        _, path, _ = topology
+        bundle = load_deployment_bundle(path)
+        bare = type(bundle)(luts=bundle.luts, graph=bundle.graph,
+                            input_shape=None)
+        with pytest.raises(ValueError, match="cannot optimize"):
+            BundleEngine(bare, optimize=True)
+
+    def test_resnet_ckernel_fallback_parity(self, rng, tmp_path, monkeypatch):
+        import repro.perf.ckernels as ck
+        monkeypatch.setenv("REPRO_DISABLE_CKERNELS", "1")
+        monkeypatch.setattr(ck, "_load_attempted", False)
+        monkeypatch.setattr(ck, "_lib", None)
+        try:
+            model = small_resnet(seed=21)
+            images = rng.standard_normal((3, 3, 16, 16))
+            path = export_deployment_bundle(model, tmp_path / "resnet_fb.npz",
+                                            input_shape=(3, 16, 16))
+            engine = BundleEngine(path)
+            assert all(name in ("cdist", "numpy")
+                       for name in engine.kernel_names().values())
+            expected = CAMInferenceEngine(model).predict(images)
+            np.testing.assert_array_equal(engine.predict(images), expected)
+        finally:
+            monkeypatch.setattr(ck, "_load_attempted", False)
+            monkeypatch.setattr(ck, "_lib", None)
+
+    def test_permuted_group_residual_parity(self, rng, tmp_path):
+        # subvector_dim = cin on a residual block forces the spatial
+        # (permuted) group layout through the DAG path.
+        class Residual(Module):
+            def __init__(self):
+                super().__init__()
+                self.conv1 = Conv2d(4, 4, 3, padding=1, rng=rng)
+                self.relu = ReLU()
+                self.conv2 = Conv2d(4, 4, 3, padding=1, rng=rng)
+
+            def forward(self, x):
+                return self.relu(self.conv2(self.relu(self.conv1(x)))) + x
+
+        cfg = PQLayerConfig(num_prototypes=4, subvector_dim=4, mode="distance",
+                            temperature=0.5)
+        converted = convert_to_pecan(Residual(), cfg, rng=rng)
+        assert converted.conv1.group_layout == "spatial"
+        path = export_deployment_bundle(converted, tmp_path / "perm_res.npz",
+                                        input_shape=(4, 8, 8))
+        bundle = load_deployment_bundle(path)
+        assert any(lut.group_permutation is not None
+                   for lut in bundle.luts.values())
+        assert "add" in bundle.graph.op_names()
+        images = rng.standard_normal((3, 4, 8, 8))
+        expected = CAMInferenceEngine(converted).predict(images)
+        np.testing.assert_array_equal(BundleEngine(path).predict(images), expected)
