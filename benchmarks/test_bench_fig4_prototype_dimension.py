@@ -14,9 +14,7 @@ dimensions does not exceed PECAN-D's by the reporting tolerance — the paper's
 robustness ordering.
 """
 
-from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.analysis.ablation import prototype_dimension_sweep

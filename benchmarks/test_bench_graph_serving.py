@@ -27,6 +27,7 @@ Run it alone with::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import threading
 import time
@@ -43,7 +44,8 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 
 BATCH_BUDGETS = (1, 8, 32)
 CLIENTS = 8
-WINDOW_S = 1.5
+#: Env-tunable so the CI bench-smoke job can run a tiny version.
+WINDOW_S = float(os.environ.get("REPRO_BENCH_WINDOW_S", "1.5"))
 IMAGE = 16
 IN_CHANNELS = 3
 WIDTH = 0.125
@@ -182,6 +184,9 @@ class TestGraphServingBench:
             "dynamic batcher never coalesced concurrent singles"
 
     def test_batching_does_not_cost_throughput(self, bench_results):
+        if WINDOW_S < 1.0:
+            pytest.skip("smoke budget: the throughput floor needs a full "
+                        "window to be meaningful (parity/coalescing asserted above)")
         unbatched = bench_results["results"]["max_batch_1"]["requests_per_s"]
         batched = bench_results["results"]["max_batch_32"]["requests_per_s"]
         assert batched >= 0.6 * unbatched

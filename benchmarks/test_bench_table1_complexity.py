@@ -7,7 +7,6 @@ cheaper than the baseline whenever ``p ≤ min(λ·cout, (1−λ)·d)``) and
 benchmarks the cost of evaluating the model-level counter.
 """
 
-import pytest
 
 from repro.hardware.opcount import (
     conv_baseline_ops,

@@ -14,7 +14,7 @@ Reproduces the full Table 5 from first principles:
 import pytest
 
 from repro.hardware.cost_model import VIA_NANO, comparison_table
-from repro.hardware.opcount import count_model_ops, format_count
+from repro.hardware.opcount import count_model_ops
 from repro.models import build_model
 from repro.experiments.tables import format_table
 

@@ -15,7 +15,6 @@ uni-optimized counterpart by more than the reporting tolerance.
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.experiments import run_experiment

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.models.pq_settings import uniform_pecan_config
 from repro.models.registry import MODEL_REGISTRY
 from repro.pecan.config import PECANMode
 from repro.pecan.convert import convert_to_pecan
@@ -108,7 +107,7 @@ def _run_sweep_point(config: ExperimentConfig, verbose: bool = False) -> Experim
     p = override["num_prototypes"]
 
     def provider(index, module):
-        from repro.nn.layers import Conv2d, Linear
+        from repro.nn.layers import Linear
         from repro.models.pq_settings import adapt_subvector_dim
         from repro.pecan.config import PQLayerConfig
 

@@ -10,7 +10,7 @@ baseline networks need, plus the PQ-specific primitives:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

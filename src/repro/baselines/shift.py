@@ -9,7 +9,7 @@ provides an extra point for the op-count / accuracy trade-off benches.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -18,8 +18,8 @@ one addition, and multiplication is 4× the energy of addition).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

@@ -15,7 +15,9 @@ subcommands the deployment story needs:
 * ``export`` — write the CAM deployment bundle (prototypes + lookup tables +
   the recorded inference program);
 * ``serve`` — stand up the :mod:`repro.serve` HTTP endpoint from exported
-  bundles alone (no checkpoint, no model construction).
+  bundles alone (no checkpoint, no model construction); with ``--workers N``
+  it becomes the data-parallel router + worker-process pool of
+  :mod:`repro.serve.pool` over memory-mapped bundles.
 
 Flags that only make sense on the authors' setup (``--data_dir``, ``--gpu``)
 are accepted and ignored so published command lines run unchanged; extra
@@ -29,7 +31,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 # Heavy subsystems (training substrate, experiment runner, model zoo) are
 # imported inside the command handlers that need them: the ``serve`` command
@@ -249,21 +251,30 @@ def _parse_bundle_spec(spec: str):
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _serve_pool(args)
+    return _serve_single(args)
+
+
+def _serve_single(args: argparse.Namespace) -> int:
     from repro.serve import PECANServer
     from repro.serve.registry import ModelRegistry
 
+    mmap_mode = None if args.no_mmap else "r"
     engine_factory = None
     if args.optimize:
         from repro.serve import BundleEngine
 
-        engine_factory = lambda path: BundleEngine(path, optimize=True)  # noqa: E731
+        engine_factory = (lambda path:                        # noqa: E731
+                          BundleEngine(path, optimize=True, mmap_mode=mmap_mode))
     registry = ModelRegistry(max_total_values=args.max_total_values,
-                             engine_factory=engine_factory)
+                             engine_factory=engine_factory, mmap_mode=mmap_mode)
     server = PECANServer(
         registry=registry, host=args.host, port=args.port,
         max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
         max_queue_depth=args.max_queue, request_timeout_s=args.timeout_s,
-        batch_chunk=args.batch_chunk, audit_every=args.audit_every)
+        batch_chunk=args.batch_chunk, audit_every=args.audit_every,
+        hardware_hz=args.emulate_hardware_hz)
     for spec in args.bundle:
         name, path = _parse_bundle_spec(spec)
         registered = server.add_bundle(path, name=name, preload=not args.lazy_load)
@@ -280,6 +291,44 @@ def _command_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+    return 0
+
+
+def _serve_pool(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import PoolServer
+
+    pool = PoolServer(
+        host=args.host, port=args.port,
+        workers=args.workers, policy=args.policy,
+        heartbeat_interval_s=args.heartbeat_interval_s,
+        heartbeat_timeout_s=args.heartbeat_timeout_s,
+        mmap_mode=None if args.no_mmap else "r",
+        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue, request_timeout_s=args.timeout_s,
+        batch_chunk=args.batch_chunk, audit_every=args.audit_every,
+        optimize=args.optimize, max_total_values=args.max_total_values,
+        hardware_hz=args.emulate_hardware_hz, preload=not args.lazy_load)
+    # Installed before start: a SIGTERM that lands while workers are still
+    # spawning (or during the readiness wait below) must still drain cleanly.
+    signal.signal(signal.SIGTERM, lambda signum, frame: pool.request_stop())
+    for spec in args.bundle:
+        name, path = _parse_bundle_spec(spec)
+        registered = pool.add_bundle(path, name=name)
+        print(f"registered model {registered!r} from {path}")
+    pool.start()
+    print(f"routing on {pool.url} over {args.workers} worker processes "
+          f"(policy: {pool.policy.name}, "
+          f"bundle arrays {'copied per worker' if args.no_mmap else 'memory-mapped/shared'})")
+    if pool.wait_ready(timeout_s=120.0):
+        print("all workers ready  (POST /predict, GET /models /metrics /healthz)")
+    else:
+        print("warning: pool started degraded "
+              f"({len(pool.ready_workers())}/{args.workers} workers ready); "
+              "see /healthz for per-worker errors")
+    print("SIGTERM or Ctrl-C drains in-flight requests before shutdown")
+    pool.serve_forever(install_signal_handler=False)
     return 0
 
 
@@ -346,6 +395,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the graph optimization passes (BN folding, "
                             "ReLU fusion, dead-node elimination) on every "
                             "engine, parity-checked against the pristine graph")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="data-parallel worker processes; >1 starts the "
+                            "router + process pool (repro.serve.pool) instead "
+                            "of a single in-process server")
+    serve.add_argument("--policy", default="least_outstanding",
+                       choices=["round_robin", "least_outstanding", "model_affinity"],
+                       help="pool routing policy (with --workers > 1)")
+    serve.add_argument("--heartbeat_interval_s", type=float, default=0.25,
+                       help="worker heartbeat cadence (pool mode)")
+    serve.add_argument("--heartbeat_timeout_s", type=float, default=3.0,
+                       help="heartbeat silence after which a worker is "
+                            "declared hung and respawned (pool mode)")
+    serve.add_argument("--no_mmap", action="store_true",
+                       help="load bundle arrays eagerly instead of "
+                            "memory-mapping the extracted .npy cache (mmap "
+                            "shares resident LUT pages across pool workers)")
+    serve.add_argument("--emulate_hardware_hz", type=float, default=None,
+                       help="pace every batch to the latency a CAM "
+                            "accelerator at this clock would need (paper "
+                            "Section 4.3 cost model); for capacity planning "
+                            "and scaling benchmarks")
     serve.set_defaults(handler=_command_serve)
     return parser
 

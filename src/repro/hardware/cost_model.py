@@ -14,7 +14,7 @@ adder.  Given a model's addition/multiplication counts this module computes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping
 
 from repro.hardware.opcount import OpCount, format_count
 

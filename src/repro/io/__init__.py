@@ -25,6 +25,8 @@ _EXPORTS = {
     "Checkpoint": "repro.io.checkpoint",
     "export_deployment_bundle": "repro.io.deployment",
     "load_deployment_bundle": "repro.io.deployment",
+    "materialize_bundle_cache": "repro.io.deployment",
+    "bundle_cache_dir": "repro.io.deployment",
     "DeploymentBundle": "repro.io.deployment",
     "BundleFormatError": "repro.io.deployment",
 }

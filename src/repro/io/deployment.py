@@ -31,14 +31,33 @@ Format history (all versions load through :func:`load_deployment_bundle`):
 
 This module is import-lean on the load path: reading a bundle pulls in the
 graph IR but no training modules, so a server process stays free of autograd.
+
+Memory-mapped loading
+---------------------
+``load_deployment_bundle(path, mmap_mode="r")`` serves the bundle's arrays as
+**memory maps** instead of heap copies.  A compressed ``.npz`` cannot be
+mapped directly (zip members are neither page-aligned nor stored raw), so the
+loader materializes a one-time sidecar cache next to the bundle —
+``<bundle>.npz.mmap/<version>/`` holding one plain ``.npy`` file per array —
+and then opens every array with ``np.load(..., mmap_mode=...)``.  Versions
+are keyed on the bundle file's size+mtime and created atomically (extract to
+a staging directory, rename into place), so concurrent loaders — e.g. the N
+worker processes of :class:`repro.serve.pool.PoolServer` — race safely;
+bundles on read-only mounts fall back to a per-bundle directory under the
+system temp dir.  Because all workers map the *same* files, the OS shares
+the resident LUT/weight pages between them instead of copying them per
+process.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -270,7 +289,124 @@ def _archive_array(archive, key: str, path: Path) -> np.ndarray:
     return archive[key]
 
 
-def _load_v2_program(archive, manifest, path: Path) -> List[Dict[str, object]]:
+# --------------------------------------------------------------------------- #
+# Memory-mapped array cache (one .npy per array, shared across processes)
+# --------------------------------------------------------------------------- #
+_CACHE_STAMP_NAME = "SOURCE_STAMP"
+
+
+def bundle_cache_dir(path: PathLike) -> Path:
+    """Preferred root of the extraction cache: ``<bundle>.npz.mmap/``.
+
+    :func:`materialize_bundle_cache` falls back to
+    :func:`_fallback_cache_dir` when this sidecar location is unusable (the
+    bundle lives on a read-only mount, e.g. a container image layer) — mmap
+    page sharing only needs every process to open the *same* files, wherever
+    they live.
+    """
+    path = Path(path)
+    return path.with_name(path.name + ".mmap")
+
+
+def _fallback_cache_dir(path: Path) -> Path:
+    import hashlib
+
+    digest = hashlib.sha1(str(path.resolve()).encode("utf-8")).hexdigest()[:16]
+    return (Path(tempfile.gettempdir()) / "repro-bundle-cache"
+            / f"{path.name}.{digest}")
+
+
+def _cache_stamp(path: Path) -> str:
+    stat = path.stat()
+    return f"size={stat.st_size} mtime_ns={stat.st_mtime_ns} cache=1"
+
+
+def materialize_bundle_cache(path: PathLike, refresh: bool = False) -> Path:
+    """Extract every array of bundle ``path`` into its mmap cache directory.
+
+    Returns the cache directory holding one plain ``.npy`` per bundle array.
+    The cache is **versioned by source stamp** (size + mtime of the ``.npz``):
+    each version is a subdirectory of :func:`bundle_cache_dir` (or of the
+    temp-dir fallback when the sidecar is unwritable) that is extracted into
+    a staging directory and atomically renamed into place, so
+
+    * a re-exported bundle gets a fresh version (stale versions are pruned
+      best-effort),
+    * concurrent extractors — the N workers of a serving pool — race safely:
+      whoever renames first wins and everyone else adopts that directory,
+    * a version directory's existence implies it is complete.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"deployment bundle not found: {path}")
+    stamp = _cache_stamp(path)
+    version = stamp.replace(" ", "_").replace("=", "-")
+    roots = (bundle_cache_dir(path), _fallback_cache_dir(path))
+    if not refresh:
+        for root in roots:
+            if (root / version).is_dir():
+                return root / version
+    last_error: Optional[OSError] = None
+    for root in roots:
+        cache = root / version
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+            staging = Path(tempfile.mkdtemp(prefix=version + ".", dir=str(root)))
+        except OSError as exc:
+            last_error = exc                   # unwritable root: try fallback
+            continue
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                for key in archive.files:
+                    target = staging / (key + ".npy")
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    np.save(target, archive[key])
+            (staging / _CACHE_STAMP_NAME).write_text(stamp)
+            if refresh and cache.is_dir():
+                shutil.rmtree(cache, ignore_errors=True)
+            try:
+                os.rename(staging, cache)
+            except OSError:
+                if not cache.is_dir():         # not just "a concurrent winner"
+                    raise
+                shutil.rmtree(staging, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        # Best-effort prune of stale versions — but only while this
+        # extractor's view of the bundle is still current: if the bundle was
+        # re-exported mid-extraction, a concurrent loader may have installed
+        # a *newer* version that must survive.  Current-version entries (the
+        # winning cache and any concurrent extractor's staging, which shares
+        # the version prefix) are always left alone; unlinking files another
+        # process still maps is safe on POSIX — existing maps stay valid.
+        try:
+            still_current = _cache_stamp(path) == stamp
+        except OSError:
+            still_current = False
+        if still_current:
+            for entry in root.iterdir():
+                if not entry.name.startswith(version):
+                    shutil.rmtree(entry, ignore_errors=True)
+        return cache
+    raise last_error
+
+
+def _cache_array(cache: Path, key: str, path: Path, mmap_mode: str) -> np.ndarray:
+    npy = cache / (key + ".npy")
+    if not npy.exists():
+        raise BundleFormatError(f"{path}: bundle is missing array {key!r} "
+                                f"referenced by its manifest")
+    return np.load(npy, mmap_mode=mmap_mode, allow_pickle=False)
+
+
+# --------------------------------------------------------------------------- #
+# Manifest interpretation (shared by the eager and memory-mapped loaders)
+# --------------------------------------------------------------------------- #
+_Fetch = Callable[[str], np.ndarray]
+
+
+def _load_v2_program(fetch: _Fetch, manifest, path: Path) -> List[Dict[str, object]]:
     """Parse a v2 linear step list (with its ``__program__`` array table)."""
     program = []
     for index, entry in enumerate(manifest["program"]):
@@ -279,19 +415,19 @@ def _load_v2_program(archive, manifest, path: Path) -> List[Dict[str, object]]:
                 f"{path}: program step {index} is missing its 'op' key")
         step = {key: value for key, value in entry.items() if key != "array_keys"}
         step["arrays"] = {
-            key: _archive_array(archive, f"{_PROGRAM_PREFIX}/{index}/{key}", path)
+            key: fetch(f"{_PROGRAM_PREFIX}/{index}/{key}")
             for key in entry.get("array_keys", [])}
         program.append(step)
     return program
 
 
-def _load_v3_graph(archive, manifest, path: Path) -> Graph:
+def _load_v3_graph(fetch: _Fetch, manifest, path: Path) -> Graph:
     """Deserialize and validate a v3 inference graph."""
     if manifest.get("graph_output") is None:
         raise BundleFormatError(f"{path}: graph manifest has no 'graph_output'")
 
     def lookup(node_id: int, key: str) -> np.ndarray:
-        return _archive_array(archive, f"{_GRAPH_PREFIX}/{node_id}/{key}", path)
+        return fetch(f"{_GRAPH_PREFIX}/{node_id}/{key}")
 
     try:
         return Graph.from_manifest(manifest["graph"], manifest["graph_output"],
@@ -300,12 +436,72 @@ def _load_v3_graph(archive, manifest, path: Path) -> Graph:
         raise BundleFormatError(f"{path}: invalid inference graph: {exc}") from exc
 
 
-def load_deployment_bundle(path: PathLike) -> DeploymentBundle:
+def _bundle_from_manifest(manifest: Dict[str, object], fetch: _Fetch,
+                          path: Path) -> DeploymentBundle:
+    """Assemble a :class:`DeploymentBundle`, pulling arrays through ``fetch``."""
+    luts: Dict[str, LayerLUT] = {}
+    for name, info in manifest["layers"].items():
+        missing = [key for key in _REQUIRED_LAYER_KEYS if key not in info]
+        if missing:
+            raise BundleFormatError(
+                f"{path}: layer {name!r} manifest entry is missing keys {missing}")
+        try:
+            mode = PECANMode.parse(info["mode"])
+        except ValueError as exc:
+            raise BundleFormatError(f"{path}: layer {name!r}: {exc}") from exc
+        luts[name] = LayerLUT(
+            name=name,
+            kind=info["kind"],
+            mode=mode,
+            prototypes=fetch(f"{name}/prototypes"),
+            table=fetch(f"{name}/table"),
+            bias=fetch(f"{name}/bias") if info["has_bias"] else None,
+            temperature=info["temperature"],
+            kernel_size=info["kernel_size"],
+            stride=info["stride"],
+            padding=info["padding"],
+            in_channels=info["in_channels"],
+            out_channels=info["out_channels"],
+            group_permutation=(fetch(f"{name}/permutation")
+                               if info["has_permutation"] else None),
+        )
+    graph = None
+    program = None
+    if manifest.get("graph"):
+        graph = _load_v3_graph(fetch, manifest, path)
+    elif manifest.get("program"):
+        program = _load_v2_program(fetch, manifest, path)
+        try:
+            graph = lift_linear_program(program)
+        except GraphError as exc:
+            raise BundleFormatError(
+                f"{path}: cannot lift v2 linear program: {exc}") from exc
+    if graph is not None:
+        unknown = [name for name in graph.pecan_layers() if name not in luts]
+        if unknown:
+            raise BundleFormatError(
+                f"{path}: inference program references unknown PECAN "
+                f"layer(s) {sorted(set(unknown))}")
+    input_shape = (tuple(manifest["input_shape"])
+                   if manifest.get("input_shape") else None)
+    return DeploymentBundle(luts=luts, metadata=manifest.get("user", {}),
+                            graph=graph, program=program, input_shape=input_shape)
+
+
+def load_deployment_bundle(path: PathLike,
+                           mmap_mode: Optional[str] = None) -> DeploymentBundle:
     """Read a bundle written by :func:`export_deployment_bundle`.
 
     Format-v2 bundles (linear programs) load via the automatic lift-to-graph
     path and serve exactly as before; v1 bundles load LUT-only (servable only
     after re-export with an ``input_shape``).
+
+    With ``mmap_mode`` (typically ``"r"``) every array is served as a
+    read-only memory map of the sidecar cache built by
+    :func:`materialize_bundle_cache` instead of a heap copy.  Array *values*
+    are bitwise-identical to an eager load; the difference is purely where
+    the bytes live — in file-backed pages the OS shares across every process
+    mapping the same bundle.
 
     Raises
     ------
@@ -321,53 +517,13 @@ def load_deployment_bundle(path: PathLike) -> DeploymentBundle:
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"deployment bundle not found: {path}")
+    if mmap_mode is not None:
+        cache = materialize_bundle_cache(path)
+        with np.load(path, allow_pickle=False) as archive:
+            manifest = _manifest_from_archive(archive, path)
+        return _bundle_from_manifest(
+            manifest, lambda key: _cache_array(cache, key, path, mmap_mode), path)
     with np.load(path, allow_pickle=False) as archive:
         manifest = _manifest_from_archive(archive, path)
-        luts: Dict[str, LayerLUT] = {}
-        for name, info in manifest["layers"].items():
-            missing = [key for key in _REQUIRED_LAYER_KEYS if key not in info]
-            if missing:
-                raise BundleFormatError(
-                    f"{path}: layer {name!r} manifest entry is missing keys {missing}")
-            try:
-                mode = PECANMode.parse(info["mode"])
-            except ValueError as exc:
-                raise BundleFormatError(f"{path}: layer {name!r}: {exc}") from exc
-            luts[name] = LayerLUT(
-                name=name,
-                kind=info["kind"],
-                mode=mode,
-                prototypes=_archive_array(archive, f"{name}/prototypes", path),
-                table=_archive_array(archive, f"{name}/table", path),
-                bias=(_archive_array(archive, f"{name}/bias", path)
-                      if info["has_bias"] else None),
-                temperature=info["temperature"],
-                kernel_size=info["kernel_size"],
-                stride=info["stride"],
-                padding=info["padding"],
-                in_channels=info["in_channels"],
-                out_channels=info["out_channels"],
-                group_permutation=(_archive_array(archive, f"{name}/permutation", path)
-                                   if info["has_permutation"] else None),
-            )
-        graph = None
-        program = None
-        if manifest.get("graph"):
-            graph = _load_v3_graph(archive, manifest, path)
-        elif manifest.get("program"):
-            program = _load_v2_program(archive, manifest, path)
-            try:
-                graph = lift_linear_program(program)
-            except GraphError as exc:
-                raise BundleFormatError(
-                    f"{path}: cannot lift v2 linear program: {exc}") from exc
-        if graph is not None:
-            unknown = [name for name in graph.pecan_layers() if name not in luts]
-            if unknown:
-                raise BundleFormatError(
-                    f"{path}: inference program references unknown PECAN "
-                    f"layer(s) {sorted(set(unknown))}")
-        input_shape = (tuple(manifest["input_shape"])
-                       if manifest.get("input_shape") else None)
-    return DeploymentBundle(luts=luts, metadata=manifest.get("user", {}),
-                            graph=graph, program=program, input_shape=input_shape)
+        return _bundle_from_manifest(
+            manifest, lambda key: _archive_array(archive, key, path), path)

@@ -40,7 +40,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.cam.layer_lut import LayerLUT
-from repro.ir.graph import Graph, Node
+from repro.ir.graph import Graph
 
 LutDict = Dict[str, LayerLUT]
 

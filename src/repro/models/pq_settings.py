@@ -16,7 +16,7 @@ setting (documented in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module

@@ -17,17 +17,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
-from repro.nn import (
-    BatchNorm2d,
-    Conv2d,
-    GlobalAvgPool2d,
-    Identity,
-    Linear,
-    Module,
-    ModuleList,
-    ReLU,
-    Sequential,
-)
+from repro.nn import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity, Linear, Module, ReLU, Sequential)
 
 
 class DownsampleA(Module):

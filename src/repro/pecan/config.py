@@ -14,7 +14,7 @@ The paper's Appendix Tables A2 / A3 give per-layer values; the model zoo in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -23,7 +23,7 @@ import numpy as np
 from repro.nn.layers import BatchNorm2d, Conv2d, Linear
 from repro.nn.module import Module
 from repro.nn.sequential import Sequential
-from repro.pecan.config import PECANMode, PQLayerConfig
+from repro.pecan.config import PQLayerConfig
 from repro.pecan.layers import PECANConv2d, PECANLinear
 
 ConfigProvider = Union[PQLayerConfig, Callable[[int, Module], Optional[PQLayerConfig]]]

@@ -27,7 +27,6 @@ from repro.data.loader import DataLoader
 from repro.nn.module import Module
 from repro.optim import Adam, LRScheduler, Optimizer
 from repro.pecan.convert import pecan_layers
-from repro.pecan.layers import PECANConv2d, PECANLinear
 
 
 class TrainingStrategy(str, enum.Enum):

@@ -19,6 +19,10 @@ inference program); this package turns that file back into a serving process:
   batch-size histogram, throughput, audit counters;
 * :mod:`repro.serve.server` — :class:`PECANServer`, a stdlib-``http.server``
   JSON front end (``/predict``, ``/models``, ``/metrics``, ``/healthz``);
+* :mod:`repro.serve.pool` — :class:`PoolServer`, a data-parallel router over
+  N worker processes (each a full ``PECANServer`` over memory-mapped bundle
+  arrays) with pluggable routing policies, heartbeat-driven respawn of
+  dead/hung workers, and graceful drain;
 * :mod:`repro.serve.client` — :class:`ServeClient`, a stdlib HTTP client;
 * :mod:`repro.serve.ops` — backwards-compatible re-exports of the unified
   lowerings in :mod:`repro.ir.ops` (which mirror
@@ -33,7 +37,10 @@ interpreter.
 from repro.serve.auditor import ParityAuditor
 from repro.serve.client import ServeClient, ServeHTTPError
 from repro.serve.engine import BundleEngine
-from repro.serve.metrics import ServerMetrics
+from repro.serve.metrics import ServerMetrics, aggregate_counter_trees
+from repro.serve.pool import (POLICIES, LeastOutstandingPolicy, ModelAffinityPolicy,
+                              PoolServer, RoundRobinPolicy, RoutingPolicy,
+                              WorkerConfig, make_policy)
 from repro.serve.registry import ModelRegistry, RegisteredModel
 from repro.serve.scheduler import (DynamicBatcher, InferenceRequest, QueueFullError,
                                    RequestTimeout, SchedulerError, SchedulerStopped)
@@ -41,6 +48,15 @@ from repro.serve.server import PECANServer, ServedModel
 
 __all__ = [
     "BundleEngine",
+    "PoolServer",
+    "WorkerConfig",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "ModelAffinityPolicy",
+    "POLICIES",
+    "make_policy",
+    "aggregate_counter_trees",
     "DynamicBatcher",
     "InferenceRequest",
     "QueueFullError",

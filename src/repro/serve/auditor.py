@@ -21,7 +21,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

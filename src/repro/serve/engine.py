@@ -50,6 +50,12 @@ class BundleEngine:
         Same knobs as :class:`~repro.cam.inference.CAMInferenceEngine`;
         ``use_fused=False`` selects the per-group reference loop (used by the
         serving parity auditor).
+    mmap_mode:
+        Forwarded to :func:`~repro.io.deployment.load_deployment_bundle` when
+        ``bundle`` is a path: ``"r"`` memory-maps every bundle array from the
+        sidecar ``.npz.mmap/`` cache so concurrent worker processes share the
+        resident LUT/weight pages instead of copying them.  Ignored when an
+        already-loaded :class:`DeploymentBundle` is passed.
     optimize:
         Run the graph optimization pipeline (:data:`repro.ir.passes.DEFAULT_PASSES`)
         before serving.  The optimized graph is verified against the pristine
@@ -65,9 +71,11 @@ class BundleEngine:
                  energy_model: Optional[CAMEnergyModel] = None,
                  chunk_policy: Optional[ChunkPolicy] = None,
                  use_fused: bool = True,
-                 optimize: bool = False):
+                 optimize: bool = False,
+                 mmap_mode: Optional[str] = None):
+        self.mmap_mode = mmap_mode if not isinstance(bundle, DeploymentBundle) else None
         if not isinstance(bundle, DeploymentBundle):
-            bundle = load_deployment_bundle(bundle)
+            bundle = load_deployment_bundle(bundle, mmap_mode=mmap_mode)
         if bundle.graph is None:
             raise ValueError(
                 "bundle carries no inference program; re-export it with "
@@ -231,5 +239,6 @@ class BundleEngine:
             },
             "kernels": self.kernel_names(),
             "stored_values": self.bundle.total_values(),
+            "mmap_mode": self.mmap_mode,
             "optimization": self.optimization,
         }

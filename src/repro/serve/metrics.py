@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 def percentile(samples: List[float], q: float) -> float:
@@ -52,6 +52,47 @@ class _Window:
             "p99_ms": percentile(values, 0.99) * 1e3,
             "max_ms": (max(values) if values else 0.0) * 1e3,
         }
+
+
+#: Metric keys that do not sum meaningfully across workers.  Percentiles,
+#: maxima and configuration values take the cross-worker maximum (a "worst
+#: worker" view); everything else numeric sums (counts, totals, rates — a
+#: pool's requests/s *is* the sum of its workers').
+_NON_ADDITIVE_KEYS = frozenset({
+    "p50_ms", "p95_ms", "p99_ms", "max_ms", "max_batch", "uptime_s",
+    "mean_batch", "max_batch_size", "max_wait_ms", "queue_depth",
+    "stored_values", "hz", "every", "total_values", "max_total_values",
+})
+
+
+def aggregate_counter_trees(trees: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Merge per-worker metric payloads into one cross-worker aggregate.
+
+    Walks the (identically-shaped) JSON trees the workers' ``/metrics``
+    endpoints return: numeric leaves sum, except the keys in
+    :data:`_NON_ADDITIVE_KEYS` which take the maximum; nested dicts recurse;
+    anything non-numeric (names, flags, lists) keeps the first worker's
+    value.  Missing keys are tolerated — a worker that has not served a model
+    yet simply contributes nothing to that subtree.
+    """
+    merged: Dict[str, object] = {}
+    seen: List[str] = []
+    for tree in trees:
+        for key in tree:
+            if key not in seen:
+                seen.append(key)
+    for key in seen:
+        values = [tree[key] for tree in trees if key in tree and tree[key] is not None]
+        if not values:
+            merged[key] = None
+        elif all(isinstance(value, Mapping) for value in values):
+            merged[key] = aggregate_counter_trees(values)
+        elif all(isinstance(value, (int, float)) and not isinstance(value, bool)
+                 for value in values):
+            merged[key] = max(values) if key in _NON_ADDITIVE_KEYS else sum(values)
+        else:
+            merged[key] = values[0]
+    return merged
 
 
 class ServerMetrics:

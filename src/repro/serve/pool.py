@@ -1,0 +1,922 @@
+"""Data-parallel serving: a router in front of a pool of worker processes.
+
+One Python process cannot scale NumPy/CAM inference across cores — the GIL
+serializes the HTTP threads and the batcher, and a single engine is one
+compute stream.  Following the router-over-replicated-engines architecture of
+vLLM's production stack, :class:`PoolServer` runs **N worker processes**, each
+hosting a full single-process serving plane (:class:`~repro.serve.server.PECANServer`:
+bundle engine + dynamic micro-batcher + parity auditor) over **memory-mapped
+bundle arrays**, fronted by an HTTP router that speaks the exact same
+``/predict`` protocol:
+
+* **mmap sharing** — workers load bundles with
+  ``load_deployment_bundle(path, mmap_mode="r")``; every process maps the
+  same extracted ``.npy`` files, so the OS keeps one resident copy of the
+  LUT/prototype pages for the whole pool instead of one per worker.
+* **Pluggable routing** — ``round_robin`` (cheap, uniform),
+  ``least_outstanding`` (load-aware: the worker with the fewest in-flight
+  proxied requests), ``model_affinity`` (a stable hash of the request's model
+  name pins each model to a worker so per-model LRU caches stay hot).
+* **Self-healing** — each worker reports heartbeats (with light request
+  counters) over its control pipe; the monitor thread detects a dead process
+  (exit code) or a hung one (heartbeat silence), removes it from rotation,
+  and respawns a replacement without dropping the service.  Requests that hit
+  a dying worker are transparently retried on a healthy one.
+* **Graceful drain** — ``stop(drain=True)`` (and ``SIGTERM`` under
+  :meth:`PoolServer.serve_forever`) stops admitting new requests, lets every
+  in-flight request finish, then shuts the workers down cleanly.
+* **Aggregated observability** — ``/metrics`` merges the router's own
+  end-to-end latency/throughput counters with every worker's full metrics
+  payload plus a summed cross-worker aggregate; ``/models`` and ``/healthz``
+  likewise report per-worker and pool-level state.
+
+The router adds no numeric work: request bodies are proxied to the chosen
+worker verbatim and worker responses are returned verbatim, so pooled
+responses are byte-identical to single-process ones (bitwise logits on the
+PECAN-D path, which ``benchmarks/test_bench_pool_serving.py`` asserts).
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serve.client import ServeHTTPError
+from repro.serve.metrics import ServerMetrics, aggregate_counter_trees
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker process needs to stand up its serving plane.
+
+    Only plain picklable values: the config crosses the process boundary at
+    spawn time.  Bundles travel as ``(name, path)`` pairs — each worker loads
+    (and memory-maps) its own engines from disk.
+    """
+
+    bundles: Tuple[Tuple[str, str], ...]
+    host: str = "127.0.0.1"
+    max_batch_size: int = 32
+    max_wait_ms: float = 5.0
+    max_queue_depth: int = 256
+    request_timeout_s: Optional[float] = 30.0
+    batch_chunk: Optional[int] = None
+    audit_every: int = 0
+    optimize: bool = False
+    max_total_values: Optional[int] = None
+    mmap_mode: Optional[str] = "r"
+    hardware_hz: Optional[float] = None
+    preload: bool = True
+    heartbeat_interval_s: float = 0.25
+
+
+def _worker_main(config: WorkerConfig, conn) -> None:
+    """Entry point of one pool worker (runs in the child process).
+
+    Builds a :class:`PECANServer` on an ephemeral loopback port, reports
+    ``("ready", {port, pid})`` on the control pipe, then loops: answer
+    control commands (``stop``, plus the ``crash``/``hang`` fault injections
+    the chaos tests use) and emit a heartbeat with light request counters
+    every ``heartbeat_interval_s``.  Exits when told to stop, when the pipe
+    breaks, or when the parent process disappears (no orphan servers).
+    """
+    # Imported here (not module top level) so the parent's import of this
+    # module stays cheap and the child builds everything fresh.
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import PECANServer
+
+    try:
+        from repro.serve.engine import BundleEngine
+
+        registry = ModelRegistry(
+            max_total_values=config.max_total_values,
+            engine_factory=lambda path: BundleEngine(
+                path, mmap_mode=config.mmap_mode, optimize=config.optimize))
+        server = PECANServer(
+            registry=registry, host=config.host, port=0,
+            max_batch_size=config.max_batch_size, max_wait_ms=config.max_wait_ms,
+            max_queue_depth=config.max_queue_depth,
+            request_timeout_s=config.request_timeout_s,
+            batch_chunk=config.batch_chunk, audit_every=config.audit_every,
+            hardware_hz=config.hardware_hz)
+        for name, path in config.bundles:
+            server.add_bundle(path, name=name, preload=config.preload)
+        server.start()
+    except Exception as exc:                       # noqa: BLE001 - reported to parent
+        try:
+            conn.send(("failed", {"error": f"{type(exc).__name__}: {exc}"}))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+
+    try:
+        conn.send(("ready", {"port": server.port, "pid": os.getpid()}))
+    except (BrokenPipeError, OSError):
+        server.stop()
+        return
+
+    parent = multiprocessing.parent_process()
+    try:
+        while True:
+            metrics = server.metrics
+            conn.send(("heartbeat", {
+                "requests_total": metrics.requests_total,
+                "responses_total": metrics.responses_total,
+                "errors_total": metrics.errors_total,
+                "rejected_total": metrics.rejected_total,
+            }))
+            if conn.poll(config.heartbeat_interval_s):
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    break
+                command = message.get("cmd") if isinstance(message, dict) else message
+                if command == "stop":
+                    break
+                if command == "crash":             # fault injection (tests)
+                    os._exit(int(message.get("code", 13)))
+                if command == "hang":              # fault injection (tests):
+                    # stop heartbeating/answering control traffic; the HTTP
+                    # threads stay up, emulating a wedged control plane.
+                    time.sleep(float(message.get("seconds", 3600.0)))
+                    continue
+            if parent is not None and not parent.is_alive():
+                break
+    except (BrokenPipeError, OSError):
+        pass
+    finally:
+        server.stop()
+        try:
+            conn.send(("bye", {}))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# Worker handles (parent side)
+# --------------------------------------------------------------------------- #
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    def __init__(self, worker_id: int, process, conn):
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        self.port: Optional[int] = None
+        self.state = "starting"       # starting | ready | failed | dead | stopped
+        self.error: Optional[str] = None
+        self.outstanding = 0          # in-flight proxied requests (pool lock)
+        self.dispatched_total = 0
+        self.proxy_failures = 0
+        self.spawned_at = time.monotonic()
+        self.last_heartbeat = time.monotonic()
+        self.heartbeat: Dict[str, int] = {}
+
+    @property
+    def alive(self) -> bool:
+        return self.process.exitcode is None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "pid": self.process.pid,
+            "port": self.port,
+            "state": self.state,
+            "outstanding": self.outstanding,
+            "dispatched": self.dispatched_total,
+            "proxy_failures": self.proxy_failures,
+            "uptime_s": round(time.monotonic() - self.spawned_at, 3),
+            "heartbeat_age_s": round(time.monotonic() - self.last_heartbeat, 3),
+            "counters": dict(self.heartbeat),
+            "error": self.error,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Routing policies
+# --------------------------------------------------------------------------- #
+class RoutingPolicy:
+    """Choose a ready worker for one request.
+
+    ``choose`` receives the current ready workers (never empty) in ascending
+    worker-id order and, when :attr:`needs_model` is set, the request's model
+    name (``""`` for the default model).
+    """
+
+    name = "abstract"
+    needs_model = False
+
+    def choose(self, workers: Sequence[WorkerHandle],
+               model: str = "") -> WorkerHandle:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Uniform rotation across ready workers."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._ticket = itertools.count()
+
+    def choose(self, workers: Sequence[WorkerHandle], model: str = "") -> WorkerHandle:
+        return workers[next(self._ticket) % len(workers)]
+
+
+class LeastOutstandingPolicy(RoutingPolicy):
+    """The worker with the fewest in-flight requests (ties rotate)."""
+
+    name = "least_outstanding"
+
+    def __init__(self):
+        self._ticket = itertools.count()
+
+    def choose(self, workers: Sequence[WorkerHandle], model: str = "") -> WorkerHandle:
+        rotation = next(self._ticket) % len(workers)
+        rotated = list(workers[rotation:]) + list(workers[:rotation])
+        return min(rotated, key=lambda worker: worker.outstanding)
+
+
+class ModelAffinityPolicy(RoutingPolicy):
+    """Pin each model name to a worker via a stable hash.
+
+    Keeps one model's traffic on one worker so that worker's registry LRU
+    (and its warm engine state) stays hot even when the pool serves more
+    models than fit one process's ``--max_total_values`` budget.  The hash is
+    taken over the current ready set, so a dead worker's models remap
+    deterministically to the survivors and remap back when it returns.
+    """
+
+    name = "model_affinity"
+    needs_model = True
+
+    def choose(self, workers: Sequence[WorkerHandle], model: str = "") -> WorkerHandle:
+        return workers[zlib.crc32(model.encode("utf-8")) % len(workers)]
+
+
+POLICIES = {
+    policy.name: policy
+    for policy in (RoundRobinPolicy, LeastOutstandingPolicy, ModelAffinityPolicy)
+}
+
+
+def make_policy(policy: Union[str, RoutingPolicy]) -> RoutingPolicy:
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(f"unknown routing policy {policy!r}; "
+                         f"available: {sorted(POLICIES)}") from None
+
+
+# --------------------------------------------------------------------------- #
+# The pool
+# --------------------------------------------------------------------------- #
+class PoolServer:
+    """Route ``/predict`` traffic over a self-healing pool of worker processes.
+
+    Parameters
+    ----------
+    host / port:
+        Router bind address (``port=0`` picks a free port, exposed as
+        :attr:`port` after :meth:`start`).  Workers always bind ephemeral
+        loopback ports of their own.
+    workers:
+        Number of data-parallel worker processes.
+    policy:
+        Routing policy name (:data:`POLICIES`) or instance.
+    heartbeat_interval_s / heartbeat_timeout_s:
+        Worker heartbeat cadence, and the silence after which a *ready*
+        worker is declared hung, killed and respawned.
+    start_timeout_s:
+        How long a worker may take to reach ``ready`` (spawn + imports +
+        bundle load) before being treated as hung.
+    proxy_retries:
+        How many *additional* workers a request is retried on after a
+        connection-level failure (a worker dying mid-request).  Timeouts are
+        never retried — the work may still be running.
+    proxy_timeout_s:
+        Socket timeout for one proxied request.
+    start_method:
+        ``multiprocessing`` start method.  The default ``"spawn"`` gives
+        every worker a pristine interpreter (fork duplicating a threaded,
+        BLAS-warmed parent is undefined behaviour territory).
+    mmap_mode / max_batch_size / max_wait_ms / max_queue_depth /
+    request_timeout_s / batch_chunk / audit_every / optimize /
+    max_total_values / hardware_hz / preload:
+        Per-worker serving-plane knobs, forwarded verbatim into each
+        :class:`~repro.serve.server.PECANServer` (see there); ``mmap_mode="r"``
+        is the pool default so workers share bundle pages.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, *,
+                 workers: int = 2,
+                 policy: Union[str, RoutingPolicy] = "least_outstanding",
+                 heartbeat_interval_s: float = 0.25,
+                 heartbeat_timeout_s: float = 3.0,
+                 start_timeout_s: float = 60.0,
+                 proxy_retries: int = 2,
+                 proxy_timeout_s: float = 60.0,
+                 start_method: str = "spawn",
+                 mmap_mode: Optional[str] = "r",
+                 max_batch_size: int = 32, max_wait_ms: float = 5.0,
+                 max_queue_depth: int = 256,
+                 request_timeout_s: Optional[float] = 30.0,
+                 batch_chunk: Optional[int] = None,
+                 audit_every: int = 0,
+                 optimize: bool = False,
+                 max_total_values: Optional[int] = None,
+                 hardware_hz: Optional[float] = None,
+                 preload: bool = True):
+        if workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        self.host = host
+        self.port = port
+        self.num_workers = int(workers)
+        self.policy = make_policy(policy)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.start_timeout_s = start_timeout_s
+        self.proxy_retries = proxy_retries
+        self.proxy_timeout_s = proxy_timeout_s
+        self.start_method = start_method
+        self.mmap_mode = mmap_mode
+        self._worker_options = dict(
+            max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+            max_queue_depth=max_queue_depth, request_timeout_s=request_timeout_s,
+            batch_chunk=batch_chunk, audit_every=audit_every, optimize=optimize,
+            max_total_values=max_total_values, hardware_hz=hardware_hz,
+            preload=preload)
+        self.metrics = ServerMetrics()           # router-side (end-to-end view)
+        #: Proxied-response status families (router lock): a worker-side
+        #: failure storm (429s, 5xxs) must be visible at the router even
+        #: though each response is returned to the caller successfully.
+        self.proxied_status: Dict[str, int] = {"2xx": 0, "3xx": 0, "4xx": 0, "5xx": 0}
+        self.restarts_total = 0
+        self._bundles: List[Tuple[str, str]] = []
+        self._workers: List[WorkerHandle] = []
+        #: Admitted-but-unfinished /predict calls.  Incremented atomically
+        #: with the draining check (same lock), so stop(drain=True) cannot
+        #: miss a request that passed admission but has not yet reached a
+        #: worker (per-worker ``outstanding`` only covers the proxy call).
+        self._inflight = 0
+        self._lock = threading.RLock()
+        self._worker_ids = itertools.count()
+        self._consecutive_failures = 0
+        self._running = False
+        self._draining = False
+        self._started_at: Optional[float] = None
+        self._ctx = None
+        self._stop_requested = threading.Event()
+        self._monitor_stop = threading.Event()
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._httpd = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Configuration (before start)
+    # ------------------------------------------------------------------ #
+    def add_bundle(self, path: PathLike, name: Optional[str] = None) -> str:
+        """Register a bundle for every worker (before :meth:`start` only)."""
+        if self._running:
+            raise RuntimeError("bundles must be registered before the pool starts")
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"deployment bundle not found: {path}")
+        name = name or path.stem
+        if any(existing == name for existing, _ in self._bundles):
+            raise ValueError(f"model {name!r} is already registered")
+        if self.mmap_mode is not None:
+            # Warm the sidecar .npy cache once in the parent so N workers
+            # open (and share) the extracted arrays instead of all racing
+            # to decompress the .npz.
+            from repro.io.deployment import materialize_bundle_cache
+
+            materialize_bundle_cache(path)
+        self._bundles.append((name, str(path)))
+        return name
+
+    def _worker_config(self) -> WorkerConfig:
+        return WorkerConfig(bundles=tuple(self._bundles),
+                            heartbeat_interval_s=self.heartbeat_interval_s,
+                            mmap_mode=self.mmap_mode, **self._worker_options)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "PoolServer":
+        if self._running:
+            return self
+        if not self._bundles:
+            raise ValueError("no bundles registered; call add_bundle() first")
+        self._running = True
+        self._draining = False
+        self._started_at = time.monotonic()
+        self._ctx = multiprocessing.get_context(self.start_method)
+        with self._lock:
+            for _ in range(self.num_workers):
+                self._workers.append(self._spawn_worker())
+        self._monitor_stop.clear()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="repro-pool-monitor", daemon=True)
+        self._monitor_thread.start()
+        from repro.serve.server import _ServeHTTPServer
+
+        self._httpd = _ServeHTTPServer((self.host, self.port),
+                                       _build_pool_handler(self))
+        self.port = self._httpd.server_address[1]
+        self._http_thread = threading.Thread(target=self._httpd.serve_forever,
+                                             name="repro-pool-http", daemon=True)
+        self._http_thread.start()
+        return self
+
+    def _spawn_worker(self) -> WorkerHandle:
+        worker_id = next(self._worker_ids)
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main, args=(self._worker_config(), child_conn),
+            name=f"repro-pool-worker-{worker_id}", daemon=True)
+        process.start()
+        child_conn.close()
+        return WorkerHandle(worker_id, process, parent_conn)
+
+    def wait_ready(self, timeout_s: float = 60.0,
+                   min_workers: Optional[int] = None) -> bool:
+        """Block until ``min_workers`` (default: all) workers are ready."""
+        need = self.num_workers if min_workers is None else min_workers
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                ready = sum(1 for worker in self._workers if worker.state == "ready")
+                live = len(self._workers)
+            if ready >= need:
+                return True
+            # Dead workers are removed and respawned atomically, so a shrunken
+            # pool means permanent losses (startup failures / crash-loop cap).
+            if live < need:
+                return False
+            if self._stop_requested.is_set():
+                return False
+            time.sleep(0.02)
+        return False
+
+    def stop(self, drain: bool = True, timeout_s: float = 15.0) -> None:
+        """Shut the pool down; with ``drain`` every in-flight request finishes.
+
+        Draining closes admission first (new ``/predict`` calls get 503),
+        waits for the outstanding proxied-request count to reach zero, then
+        stops the workers (each drains its own batchers) and the router.
+        """
+        if not self._running and self._httpd is None:
+            return
+        with self._lock:
+            self._draining = True
+        deadline = time.monotonic() + timeout_s
+        if drain:
+            while time.monotonic() < deadline and self.inflight_total() > 0:
+                time.sleep(0.01)
+        self._running = False
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout_s)
+            self._monitor_thread = None
+        with self._lock:
+            workers = list(self._workers)
+            for worker in workers:
+                try:
+                    worker.conn.send({"cmd": "stop"})
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in workers:
+            worker.process.join(max(deadline - time.monotonic(), 0.1))
+            if worker.process.exitcode is None:
+                worker.process.terminate()
+                worker.process.join(1.0)
+            if worker.process.exitcode is None:
+                worker.process.kill()
+                worker.process.join(1.0)
+            worker.state = "stopped"
+            worker.conn.close()
+        with self._lock:
+            self._workers.clear()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+            self._http_thread = None
+        # The stop request is consumed only here — never by start() — so a
+        # SIGTERM that lands before/while start() runs (the CLI installs its
+        # handler ahead of bundle registration) still drains, while a fully
+        # stopped pool can be started again.
+        self._stop_requested.clear()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to drain and shut down (signal-safe)."""
+        self._stop_requested.set()
+
+    def serve_forever(self, install_signal_handler: bool = True) -> None:
+        """Blocking variant for the CLI; SIGTERM/SIGINT drain gracefully.
+
+        A caller that needs SIGTERM coverage over its *own* startup window
+        (e.g. the CLI, whose bundle registration and readiness wait run
+        before this method) can install ``signal.signal(SIGTERM,
+        lambda *_: pool.request_stop())`` early and pass
+        ``install_signal_handler=False``.
+        """
+        self.start()
+        previous = None
+        if install_signal_handler:
+            try:
+                previous = signal.signal(
+                    signal.SIGTERM, lambda signum, frame: self.request_stop())
+            except ValueError:
+                pass                           # not the main thread
+        try:
+            while not self._stop_requested.is_set():
+                self._stop_requested.wait(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
+            self.stop(drain=True)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "PoolServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Monitoring / self-healing
+    # ------------------------------------------------------------------ #
+    def _respawn_allowed(self) -> bool:
+        # Crash-loop breaker: a worker dying repeatedly before ever serving
+        # (bad bundle, broken interpreter) must not respawn forever.
+        return self._consecutive_failures < max(8, 3 * self.num_workers)
+
+    def _drain_messages(self, worker: WorkerHandle) -> None:
+        while True:
+            try:
+                if not worker.conn.poll(0):
+                    return
+                kind, payload = worker.conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                if worker.state in ("starting", "ready"):
+                    worker.state = "dead"
+                return
+            if kind == "ready":
+                worker.port = payload["port"]
+                worker.state = "ready"
+                worker.last_heartbeat = time.monotonic()
+                self._consecutive_failures = 0
+            elif kind == "heartbeat":
+                worker.last_heartbeat = time.monotonic()
+                worker.heartbeat = payload
+            elif kind == "failed":
+                worker.state = "failed"
+                worker.error = payload.get("error")
+            elif kind == "bye":
+                if worker.state != "failed":
+                    worker.state = "stopped"
+
+    def _monitor_loop(self) -> None:
+        poll_s = max(min(self.heartbeat_interval_s / 2.0, 0.1), 0.01)
+        while not self._monitor_stop.wait(poll_s):
+            with self._lock:
+                workers = list(self._workers)
+            now = time.monotonic()
+            replacements: List[Tuple[WorkerHandle, str]] = []
+            for worker in workers:
+                self._drain_messages(worker)
+                if worker.state in ("starting", "ready"):
+                    if worker.process.exitcode is not None:
+                        worker.state = "dead"
+                        worker.error = f"exited with code {worker.process.exitcode}"
+                    else:
+                        silence = now - worker.last_heartbeat
+                        budget = (self.heartbeat_timeout_s if worker.state == "ready"
+                                  else self.start_timeout_s)
+                        if silence > budget:
+                            worker.state = "dead"
+                            worker.error = (f"no heartbeat for {silence:.1f}s "
+                                            f"(budget {budget:.1f}s); killed")
+                            worker.process.terminate()
+                if worker.state in ("dead", "failed"):
+                    replacements.append((worker, worker.state))
+            for worker, cause in replacements:
+                if worker.process.exitcode is None:
+                    worker.process.join(0.5)
+                    if worker.process.exitcode is None:
+                        worker.process.kill()
+                        worker.process.join(1.0)
+                worker.conn.close()
+                with self._lock:
+                    if worker in self._workers:
+                        self._workers.remove(worker)
+                    if (self._running and not self._draining
+                            and cause == "dead" and self._respawn_allowed()):
+                        # A clean startup failure ("failed") is deterministic
+                        # and not respawned; a crash/hang is.
+                        self._consecutive_failures += 1
+                        self.restarts_total += 1
+                        self._workers.append(self._spawn_worker())
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def ready_workers(self) -> List[WorkerHandle]:
+        with self._lock:
+            ready = [worker for worker in self._workers if worker.state == "ready"]
+        return sorted(ready, key=lambda worker: worker.id)
+
+    def outstanding_total(self) -> int:
+        with self._lock:
+            return sum(worker.outstanding for worker in self._workers)
+
+    def inflight_total(self) -> int:
+        """Admitted ``/predict`` calls that have not finished (drain gate)."""
+        with self._lock:
+            return self._inflight
+
+    def _forward(self, worker: WorkerHandle, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 timeout_s: Optional[float] = None) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", worker.port,
+            timeout=self.proxy_timeout_s if timeout_s is None else timeout_s)
+        try:
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def handle_predict(self, body: bytes) -> Tuple[int, bytes]:
+        """Route one raw ``/predict`` body; returns ``(status, response_bytes)``.
+
+        The body is forwarded verbatim (the worker does all validation and
+        computation) and the worker's response is returned verbatim, so the
+        protocol — including logits bit patterns — is exactly the
+        single-process :class:`PECANServer`'s.  Connection-level failures
+        (the chosen worker died mid-request) are retried on other workers;
+        inference timeouts are not (HTTP 504).
+        """
+        with self._lock:
+            if self._draining or not self._running:
+                return 503, _json_bytes({"error": "pool is draining"})
+            self._inflight += 1
+        try:
+            return self._route_predict(body)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def _route_predict(self, body: bytes) -> Tuple[int, bytes]:
+        model = ""
+        if self.policy.needs_model:
+            try:
+                payload = json.loads(body or b"{}")
+                model = str(payload.get("model") or "")
+            except (ValueError, TypeError, AttributeError):
+                return 400, _json_bytes({"error": "request body must be a JSON object"})
+        self.metrics.record_submitted(0)
+        started = time.monotonic()
+        tried = set()
+        last_error = "no ready workers"
+        for _ in range(max(1, self.proxy_retries + 1)):
+            candidates = [worker for worker in self.ready_workers()
+                          if worker.id not in tried]
+            if not candidates:
+                break
+            worker = self.policy.choose(candidates, model=model)
+            tried.add(worker.id)
+            with self._lock:
+                worker.outstanding += 1
+                worker.dispatched_total += 1
+            try:
+                status, response = self._forward(worker, "POST", "/predict", body)
+            except socket.timeout:
+                worker.proxy_failures += 1
+                self.metrics.record_timeout()
+                return 504, _json_bytes({"error": "worker timed out; not retried"})
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                worker.proxy_failures += 1
+                # A torn connection usually means the process died; let the
+                # monitor reap/respawn it the moment the exit code confirms.
+                if worker.process.exitcode is not None:
+                    worker.state = "dead"
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            finally:
+                with self._lock:
+                    worker.outstanding -= 1
+            family = f"{min(max(status // 100, 2), 5)}xx"
+            with self._lock:
+                self.proxied_status[family] += 1
+            # Only successful proxied responses count as completions (and into
+            # the latency window); worker-side rejections/failures must not
+            # read as healthy router throughput.
+            if status < 400:
+                self.metrics.record_completed(time.monotonic() - started, 0.0)
+            elif status >= 500:
+                self.metrics.record_error()
+            elif status == 408:
+                self.metrics.record_timeout()
+            return status, response
+        self.metrics.record_error()
+        if not tried:
+            return 503, _json_bytes({"error": "no ready workers"})
+        return 502, _json_bytes({"error": f"request failed on {len(tried)} worker(s): "
+                                          f"{last_error}"})
+
+    def predict(self, inputs, model: Optional[str] = None,
+                timeout_s: Optional[float] = None) -> Dict[str, object]:
+        """In-process convenience mirroring :meth:`PECANServer.predict`."""
+        payload: Dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
+        if model is not None:
+            payload["model"] = model
+        status, body = self.handle_predict(_json_bytes(payload))
+        response = json.loads(body.decode("utf-8"))
+        if status != 200:
+            raise ServeHTTPError(status, response.get("error", ""))
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Aggregated observability
+    # ------------------------------------------------------------------ #
+    def describe_pool(self) -> Dict[str, object]:
+        with self._lock:
+            workers = [worker.describe() for worker in self._workers]
+        with self._lock:
+            proxied = dict(self.proxied_status)
+            inflight = self._inflight
+        return {
+            "target_workers": self.num_workers,
+            "inflight": inflight,
+            "ready_workers": sum(1 for info in workers if info["state"] == "ready"),
+            "policy": self.policy.name,
+            "mmap_mode": self.mmap_mode,
+            "proxied_status": proxied,
+            "restarts": self.restarts_total,
+            "draining": self._draining,
+            "uptime_s": (time.monotonic() - self._started_at
+                         if self._started_at else 0.0),
+            "workers": workers,
+        }
+
+    def _fetch_from_workers(self, path: str) -> Dict[str, Dict[str, object]]:
+        """GET ``path`` from every ready worker, concurrently.
+
+        Concurrency matters: a single wedged worker must cost a ``/metrics``
+        scrape one timeout, not one timeout *per worker in front of it*.
+        """
+        workers = self.ready_workers()
+        payloads: Dict[str, Dict[str, object]] = {}
+        results_lock = threading.Lock()
+
+        def fetch(worker: WorkerHandle) -> None:
+            try:
+                status, body = self._forward(worker, "GET", path, timeout_s=5.0)
+                payload = (json.loads(body.decode("utf-8")) if status == 200
+                           else {"error": f"HTTP {status}"})
+            except (ConnectionError, http.client.HTTPException, OSError,
+                    ValueError) as exc:
+                payload = {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "last_heartbeat": dict(worker.heartbeat),
+                }
+            with results_lock:
+                payloads[str(worker.id)] = payload
+
+        threads = [threading.Thread(target=fetch, args=(worker,), daemon=True)
+                   for worker in workers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        return payloads
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The aggregated ``/metrics`` payload.
+
+        ``router`` is the authoritative end-to-end view (latency measured
+        around the proxy call); ``workers`` carries each worker's full
+        single-process payload; ``aggregate`` sums the workers' additive
+        counters (requests, samples, batches, CAM searches, energy) and takes
+        the worst worker for non-additive ones (latency percentiles).
+        """
+        per_worker = self._fetch_from_workers("/metrics")
+        healthy = [payload for payload in per_worker.values()
+                   if "error" not in payload]
+        return {
+            "router": self.metrics.snapshot(queue_depth=self.outstanding_total()),
+            "pool": self.describe_pool(),
+            "workers": per_worker,
+            "aggregate": aggregate_counter_trees(healthy) if healthy else {},
+        }
+
+    def models_snapshot(self) -> Dict[str, object]:
+        per_worker = self._fetch_from_workers("/models")
+        merged: Dict[str, object] = {"pool": self.describe_pool(),
+                                     "workers": per_worker}
+        for payload in per_worker.values():
+            if "models" in payload:
+                merged["models"] = payload["models"]
+                break
+        return merged
+
+    def health_snapshot(self) -> Dict[str, object]:
+        pool = self.describe_pool()
+        ready = pool["ready_workers"]
+        if self._draining:
+            status = "draining"
+        elif ready >= self.num_workers:
+            status = "ok"
+        elif ready > 0:
+            status = "degraded"
+        else:
+            status = "unavailable"
+        return {"status": status, "pool": pool,
+                "models": [name for name, _ in self._bundles]}
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (chaos tests)
+    # ------------------------------------------------------------------ #
+    def inject_fault(self, worker_id: int, kind: str = "crash") -> None:
+        """Ask worker ``worker_id`` to ``crash`` (exit hard) or ``hang``
+        (silence its control loop) — the failure modes the self-healing
+        tests exercise."""
+        if kind not in ("crash", "hang"):
+            raise ValueError(f"unknown fault {kind!r}")
+        with self._lock:
+            for worker in self._workers:
+                if worker.id == worker_id:
+                    worker.conn.send({"cmd": kind})
+                    return
+        raise KeyError(f"no worker with id {worker_id}")
+
+
+def _json_bytes(payload: Dict[str, object]) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+# --------------------------------------------------------------------------- #
+# Router HTTP handler
+# --------------------------------------------------------------------------- #
+def _build_pool_handler(pool: PoolServer):
+    from repro.serve.server import JSONHandlerBase
+
+    class Handler(JSONHandlerBase):
+        def do_GET(self) -> None:                # noqa: N802 - stdlib signature
+            if self.path == "/healthz":
+                self._reply(200, pool.health_snapshot())
+            elif self.path == "/metrics":
+                self._reply(200, pool.metrics_snapshot())
+            elif self.path == "/models":
+                self._reply(200, pool.models_snapshot())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:               # noqa: N802 - stdlib signature
+            if self.path != "/predict":
+                self._reply(404, {"error": f"unknown path {self.path}"})
+                return
+            body = self._read_body()
+            if body is None:
+                return
+            try:
+                status, response = pool.handle_predict(body)
+            except Exception as exc:             # noqa: BLE001 - boundary
+                pool.metrics.record_error()
+                status, response = 500, _json_bytes(
+                    {"error": f"{type(exc).__name__}: {exc}"})
+            self._reply_bytes(status, response)
+
+    return Handler

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
@@ -69,12 +69,21 @@ class ModelRegistry:
     engine_factory:
         ``(path) -> BundleEngine`` — override to customize engine options
         (chunk policy, fused/reference) or for testing.
+    mmap_mode:
+        Forwarded to the default engine factory: ``"r"`` loads bundle arrays
+        as read-only memory maps (see
+        :func:`repro.io.deployment.load_deployment_bundle`), which is what
+        data-parallel worker pools use to share LUT pages across processes.
+        Ignored when a custom ``engine_factory`` is given.
     """
 
     def __init__(self, max_total_values: Optional[int] = None,
-                 engine_factory: Optional[Callable[[Path], BundleEngine]] = None):
+                 engine_factory: Optional[Callable[[Path], BundleEngine]] = None,
+                 mmap_mode: Optional[str] = None):
         self.max_total_values = max_total_values
-        self._engine_factory = engine_factory or (lambda path: BundleEngine(path))
+        self.mmap_mode = mmap_mode
+        self._engine_factory = engine_factory or (
+            lambda path: BundleEngine(path, mmap_mode=mmap_mode))
         self._models: Dict[str, RegisteredModel] = {}
         self._lock = threading.RLock()
         self.evictions_total = 0

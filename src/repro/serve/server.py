@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -41,6 +42,70 @@ from repro.serve.scheduler import (DynamicBatcher, QueueFullError, RequestTimeou
                                    SchedulerStopped)
 
 
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """HTTP server tuned for rapid start/stop cycles (tests, CI, pools).
+
+    ``allow_reuse_address`` lets a restarted server rebind a port still in
+    ``TIME_WAIT`` from its predecessor instead of flaking on ``EADDRINUSE``;
+    ``daemon_threads`` keeps a hung keep-alive connection from blocking
+    interpreter exit.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _AcceleratorPacer:
+    """Pace batch inference to an emulated CAM accelerator's wall clock.
+
+    Wraps an engine's ``predict``: after computing a batch, sleeps off the
+    difference between the host's elapsed time and the latency a CAM
+    accelerator clocked at ``hz`` would have needed for the batch's traced
+    operations.  Cycle costs extend the paper's Section 4.3 constants (VIA
+    Nano 2000: 4 cycles per multiplication, 2 per addition — mirrored from
+    :data:`repro.hardware.cost_model.VIA_NANO`, not imported, because that
+    module sits on the training import graph) with one cycle per CAM
+    comparison and per LUT lookup.
+
+    While the pacer sleeps, the GIL and the CPU are free — exactly the
+    behaviour of a host thread blocked on real accelerator hardware — which
+    is what makes data-parallel worker pools scale on hosts with fewer cores
+    than workers (see ``benchmarks/test_bench_pool_serving.py``).
+    """
+
+    MULTIPLY_CYCLES = 4.0
+    ADD_CYCLES = 2.0
+    COMPARE_CYCLES = 1.0
+    LOOKUP_CYCLES = 1.0
+
+    def __init__(self, engine: BundleEngine, hz: float,
+                 batch_chunk: Optional[int] = None):
+        if hz <= 0:
+            raise ValueError("accelerator clock must be positive")
+        self.engine = engine
+        self.hz = float(hz)
+        self.batch_chunk = batch_chunk
+        self.slept_s = 0.0
+
+    def _cycles(self) -> float:
+        ops = self.engine.op_counter.summary()
+        return (self.MULTIPLY_CYCLES * ops["multiplications"]
+                + self.ADD_CYCLES * ops["additions"]
+                + self.COMPARE_CYCLES * ops["comparisons"]
+                + self.LOOKUP_CYCLES * ops["lookups"])
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        started = time.monotonic()
+        before = self._cycles()
+        outputs = self.engine.predict(inputs, batch_chunk=self.batch_chunk)
+        modeled = (self._cycles() - before) / self.hz
+        remaining = modeled - (time.monotonic() - started)
+        if remaining > 0:
+            self.slept_s += remaining
+            time.sleep(remaining)
+        return outputs
+
+
 @dataclass
 class ServedModel:
     """One resident model wired into the serving plane."""
@@ -49,6 +114,7 @@ class ServedModel:
     engine: BundleEngine
     batcher: DynamicBatcher
     auditor: Optional[ParityAuditor] = None
+    pacer: Optional[_AcceleratorPacer] = None
 
 
 class PECANServer:
@@ -70,6 +136,11 @@ class PECANServer:
     audit_every:
         Parity-audit sample rate (0 disables): one of every N dispatched
         batches is re-run through the per-group reference engine.
+    hardware_hz:
+        Emulate a CAM accelerator clocked at this frequency: every dispatched
+        batch is paced (via :class:`_AcceleratorPacer`) to the latency the
+        paper's cost model predicts for its traced operations, with the CPU
+        released during the wait.  ``None`` (default) serves at host speed.
     """
 
     def __init__(self, registry: Optional[ModelRegistry] = None,
@@ -78,7 +149,8 @@ class PECANServer:
                  max_queue_depth: int = 256,
                  request_timeout_s: Optional[float] = 30.0,
                  batch_chunk: Optional[int] = None,
-                 audit_every: int = 0):
+                 audit_every: int = 0,
+                 hardware_hz: Optional[float] = None):
         self.registry = registry if registry is not None else ModelRegistry()
         self.host = host
         self.port = port
@@ -88,6 +160,7 @@ class PECANServer:
         self.request_timeout_s = request_timeout_s
         self.batch_chunk = batch_chunk
         self.audit_every = audit_every
+        self.hardware_hz = hardware_hz
         self.metrics = ServerMetrics()
         self._served: Dict[str, ServedModel] = {}
         self._lock = threading.RLock()
@@ -144,14 +217,22 @@ class PECANServer:
                     auditor = ParityAuditor(reference, every=self.audit_every,
                                             metrics=self.metrics).start()
                     on_batch = auditor.observe
+                pacer = None
+                if self.hardware_hz:
+                    pacer = _AcceleratorPacer(engine, self.hardware_hz,
+                                              batch_chunk=self.batch_chunk)
+                    predict_fn = pacer
+                else:
+                    predict_fn = (lambda x, _engine=engine:
+                                  _engine.predict(x, batch_chunk=self.batch_chunk))
                 batcher = DynamicBatcher(
-                    lambda x, _engine=engine: _engine.predict(x, batch_chunk=self.batch_chunk),
+                    predict_fn,
                     max_batch_size=self.max_batch_size, max_wait_ms=self.max_wait_ms,
                     max_queue_depth=self.max_queue_depth,
                     request_timeout_s=self.request_timeout_s,
                     metrics=self.metrics, on_batch=on_batch).start()
                 served = ServedModel(name=name, engine=engine, batcher=batcher,
-                                     auditor=auditor)
+                                     auditor=auditor, pacer=pacer)
                 self._served[name] = served
                 return served
         finally:
@@ -221,6 +302,11 @@ class PECANServer:
                     "max_wait_ms": record.batcher.max_wait_s * 1e3,
                 },
             }
+            if record.pacer is not None:
+                entry["hardware_emulation"] = {
+                    "hz": record.pacer.hz,
+                    "slept_s": record.pacer.slept_s,
+                }
             if record.auditor is not None:
                 entry["parity_audit"] = {
                     "enabled": record.auditor.enabled,
@@ -251,7 +337,9 @@ class PECANServer:
         if self._httpd is not None:
             return self
         handler = _build_handler(self)
-        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd = _ServeHTTPServer((self.host, self.port), handler)
+        # Expose the ephemeral bound port (port=0 requests) so tests, pools
+        # and clients can address the server without racing its startup.
         self.port = self._httpd.server_address[1]
         self._http_thread = threading.Thread(target=self._httpd.serve_forever,
                                              name="repro-serve-http", daemon=True)
@@ -300,22 +388,47 @@ class PECANServer:
 # --------------------------------------------------------------------------- #
 # Request handler
 # --------------------------------------------------------------------------- #
+class JSONHandlerBase(BaseHTTPRequestHandler):
+    """Shared scaffolding for the JSON-over-HTTP handlers.
+
+    Both the single-process server and the pool router derive from this, so
+    protocol mechanics (keep-alive version, logging policy, response framing)
+    live in exactly one place and the two front ends cannot drift apart.
+    """
+
+    protocol_version = "HTTP/1.1"
+
+    # Silence per-request stderr logging; metrics carry the signal.
+    def log_message(self, format, *args):        # noqa: A002 - stdlib signature
+        pass
+
+    def _reply_bytes(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        self._reply_bytes(status, json.dumps(payload).encode("utf-8"))
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, or ``None`` after replying 400 to a bad frame."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            # A negative length would turn rfile.read() into read-to-EOF,
+            # pinning this handler thread until the client hangs up.
+            self._reply(400, {"error": "bad Content-Length"})
+            return None
+        return self.rfile.read(length)
+
+
 def _build_handler(server: PECANServer):
-    class Handler(BaseHTTPRequestHandler):
+    class Handler(JSONHandlerBase):
         pecan = server
-        protocol_version = "HTTP/1.1"
-
-        # Silence per-request stderr logging; metrics carry the signal.
-        def log_message(self, format, *args):    # noqa: A002 - stdlib signature
-            pass
-
-        def _reply(self, status: int, payload: Dict[str, object]) -> None:
-            body = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
 
         def do_GET(self) -> None:                # noqa: N802 - stdlib signature
             if self.path == "/healthz":
@@ -331,9 +444,11 @@ def _build_handler(server: PECANServer):
             if self.path != "/predict":
                 self._reply(404, {"error": f"unknown path {self.path}"})
                 return
+            body = self._read_body()
+            if body is None:
+                return
             try:
-                length = int(self.headers.get("Content-Length", "0"))
-                payload = json.loads(self.rfile.read(length) or b"{}")
+                payload = json.loads(body or b"{}")
                 if "inputs" not in payload:
                     raise ValueError("request body must contain 'inputs'")
                 inputs = np.asarray(payload["inputs"], dtype=np.float64)

@@ -12,7 +12,7 @@ from repro.analysis import (
     visualize_layer_quantization,
 )
 from repro.analysis.prototype_usage import LayerUsage, PrototypeUsageReport
-from repro.models import LeNet5, build_model
+from repro.models import LeNet5
 from repro.pecan.config import PQLayerConfig
 from repro.pecan.convert import convert_to_pecan
 

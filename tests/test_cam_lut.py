@@ -7,12 +7,7 @@ from repro.models import LeNet5
 from repro.pecan.config import PECANMode, PQLayerConfig
 from repro.pecan.convert import convert_to_pecan, pecan_layers
 from repro.pecan.layers import PECANConv2d, PECANLinear
-from repro.cam.lut import (
-    LayerLUT,
-    build_layer_lut,
-    build_model_luts,
-    total_memory_footprint,
-)
+from repro.cam.lut import build_layer_lut, build_model_luts, total_memory_footprint
 
 
 @pytest.fixture

@@ -5,14 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cam.lut import build_layer_lut, build_model_luts
-from repro.cam.quantized import (
-    QuantizedArray,
-    apply_quantized_luts,
-    match_agreement,
-    quantize_layer_lut,
-    quantize_model_luts,
-    quantize_symmetric,
-)
+from repro.cam.quantized import (apply_quantized_luts, match_agreement, quantize_layer_lut, quantize_model_luts, quantize_symmetric)
 from repro.models import build_model
 from repro.pecan.config import PECANMode, PQLayerConfig
 from repro.pecan.layers import PECANConv2d

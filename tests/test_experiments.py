@@ -1,7 +1,6 @@
 """Unit and integration tests for the experiment harness (config, runner, tables)."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
     ExperimentConfig,

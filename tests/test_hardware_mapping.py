@@ -1,13 +1,12 @@
 """Unit tests for the CAM macro mapping model."""
 
-import numpy as np
 import pytest
 
 from repro.cam.lut import build_layer_lut
-from repro.hardware.mapping import CAMMacroSpec, LayerMapping, map_layer, map_model
+from repro.hardware.mapping import CAMMacroSpec, map_layer, map_model
 from repro.models import build_model
 from repro.pecan.config import PECANMode, PQLayerConfig
-from repro.pecan.layers import PECANConv2d, PECANLinear
+from repro.pecan.layers import PECANConv2d
 
 
 @pytest.fixture

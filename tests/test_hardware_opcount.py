@@ -2,7 +2,6 @@
 reproduction of the paper's per-layer numbers (Tables 2, A2) and total
 model numbers (Table 3) at paper scale."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.opcount import (

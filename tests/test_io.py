@@ -7,17 +7,10 @@ import pytest
 
 from repro.autograd import Tensor, no_grad
 from repro.cam import CAMInferenceEngine
-from repro.io import (
-    Checkpoint,
-    DeploymentBundle,
-    export_deployment_bundle,
-    load_checkpoint,
-    load_deployment_bundle,
-    save_checkpoint,
-)
-from repro.io.deployment import _MANIFEST_KEY, _PROGRAM_PREFIX
+from repro.io import (DeploymentBundle, export_deployment_bundle, load_checkpoint, load_deployment_bundle, save_checkpoint)
+from repro.io.deployment import (_MANIFEST_KEY, _PROGRAM_PREFIX, BundleFormatError,
+                                 bundle_cache_dir, materialize_bundle_cache)
 from repro.models import LeNet5, build_model
-from repro.pecan.config import PECANMode
 
 
 @pytest.fixture
@@ -192,6 +185,66 @@ class TestDeploymentBundle:
         lut = bundle.luts["0"]
         assert lut.group_permutation is not None
         np.testing.assert_array_equal(lut.group_permutation, converted[0]._perm)
+
+
+# --------------------------------------------------------------------------- #
+# Memory-mapped loading (the sidecar .npy cache behind mmap_mode="r")
+# --------------------------------------------------------------------------- #
+class TestBundleMmapLoading:
+    def test_mmap_load_is_bitwise_identical_to_eager(self, rng, tmp_path, pecan_model):
+        path = export_deployment_bundle(pecan_model, tmp_path / "bundle.npz",
+                                        input_shape=(1, 14, 14))
+        eager = load_deployment_bundle(path)
+        mapped = load_deployment_bundle(path, mmap_mode="r")
+        assert set(mapped.luts) == set(eager.luts)
+        for name, lut in eager.luts.items():
+            assert isinstance(mapped.luts[name].prototypes, np.memmap)
+            np.testing.assert_array_equal(mapped.luts[name].prototypes,
+                                          lut.prototypes)
+            np.testing.assert_array_equal(mapped.luts[name].table, lut.table)
+        assert mapped.total_values() == eager.total_values()
+        assert mapped.input_shape == eager.input_shape
+        assert mapped.graph is not None
+
+    def test_cache_extracts_once_and_reversions_on_reexport(self, rng, tmp_path,
+                                                            pecan_model):
+        path = export_deployment_bundle(pecan_model, tmp_path / "bundle.npz")
+        cache = materialize_bundle_cache(path)
+        assert cache.parent == bundle_cache_dir(path)         # versioned subdir
+        stamp = (cache / "SOURCE_STAMP").read_text()
+        before = cache.stat().st_mtime_ns
+        assert materialize_bundle_cache(path) == cache        # version hit: reused
+        assert cache.stat().st_mtime_ns == before
+        # Re-exporting the bundle (different size/mtime) makes a new version;
+        # the stale one is pruned.
+        import os
+        os.utime(path, ns=(1, 1))
+        fresh = materialize_bundle_cache(path)
+        assert fresh != cache and fresh.parent == cache.parent
+        assert (fresh / "SOURCE_STAMP").read_text() != stamp
+        assert not cache.exists()                             # stale pruned
+
+    def test_mmap_arrays_are_read_only(self, rng, tmp_path, pecan_model):
+        path = export_deployment_bundle(pecan_model, tmp_path / "bundle.npz")
+        mapped = load_deployment_bundle(path, mmap_mode="r")
+        lut = next(iter(mapped.luts.values()))
+        with pytest.raises(ValueError):
+            lut.table[...] = 0.0
+
+    def test_missing_cached_array_raises_bundle_error(self, rng, tmp_path,
+                                                      pecan_model):
+        path = export_deployment_bundle(pecan_model, tmp_path / "bundle.npz")
+        cache = materialize_bundle_cache(path)
+        victim = next(iter(cache.rglob("table.npy")))
+        victim.unlink()
+        with pytest.raises(BundleFormatError, match="missing array"):
+            load_deployment_bundle(path, mmap_mode="r")
+
+    def test_missing_bundle_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            materialize_bundle_cache(tmp_path / "absent.npz")
+        with pytest.raises(FileNotFoundError):
+            load_deployment_bundle(tmp_path / "absent.npz", mmap_mode="r")
 
 
 # --------------------------------------------------------------------------- #

@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.cam.counters import OpCounter
 from repro.cam.inference import CAMInferenceEngine
@@ -20,14 +19,13 @@ from repro.cam.runtime import LUTLayerRuntime
 from repro.ir.executor import GraphExecutor
 from repro.ir.graph import (Graph, GraphError, Node, decode_index, encode_index,
                             lift_linear_program)
-from repro.ir.ops import get_op, has_op, supported_ops
+from repro.ir.ops import get_op, has_op
 from repro.ir.passes import (DEFAULT_PASSES, eliminate_dead_nodes,
                              eliminate_identities, fold_batchnorm, fuse_relu,
                              optimize_graph)
 from repro.ir.trace import GraphTraceError, supported_leaf_modules, trace_graph
 from repro.models import build_model
-from repro.nn import (BatchNorm2d, Conv2d, Flatten, Identity, Linear, MaxPool2d,
-                      Module, ReLU, Sequential)
+from repro.nn import (BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU, Sequential)
 from repro.pecan.config import PQLayerConfig
 from repro.pecan.convert import convert_to_pecan, pecan_layers
 

@@ -3,21 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, no_grad
-from repro.models import (
-    ConvMixer,
-    LeNet5,
-    LENET_LAYER_SPECS,
-    ResNetCIFAR,
-    VGGSmall,
-    available_models,
-    build_model,
-    lenet_pecan_config,
-    resnet20,
-    resnet32,
-    resnet_pecan_config,
-    vgg_small_pecan_config,
-)
+from repro.autograd import Tensor
+from repro.models import (ConvMixer, LeNet5, LENET_LAYER_SPECS, ResNetCIFAR, VGGSmall, available_models, build_model, resnet20, resnet32, resnet_pecan_config, vgg_small_pecan_config)
 from repro.models.pq_settings import (
     LENET_PECAN_A_SETTINGS,
     LENET_PECAN_D_SETTINGS,

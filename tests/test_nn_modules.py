@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.autograd import Tensor, check_gradient
 from repro.nn import init
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Parameter
 
 
 class TestModuleRegistration:

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, functional as F
+from repro.autograd import Tensor
 from repro.nn.module import Parameter
 from repro.optim import SGD, Adam, AdamW, CosineAnnealingLR, MultiStepLR, StepLR
-from repro.optim.optimizer import Optimizer
 
 
 def quadratic_loss(param: Parameter) -> Tensor:

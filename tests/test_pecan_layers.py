@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, functional as F
+from repro.autograd import Tensor
 from repro.pecan.config import PECANMode, PQLayerConfig
 from repro.pecan.layers import PECANConv2d, PECANLinear, build_group_permutation
 
