@@ -17,7 +17,11 @@ subcommands the deployment story needs:
 * ``serve`` — stand up the :mod:`repro.serve` HTTP endpoint from exported
   bundles alone (no checkpoint, no model construction); with ``--workers N``
   it becomes the data-parallel router + worker-process pool of
-  :mod:`repro.serve.pool` over memory-mapped bundles.
+  :mod:`repro.serve.pool` over memory-mapped bundles;
+* ``deploy`` / ``promote`` / ``rollback`` — the model-lifecycle verbs
+  (:mod:`repro.serve.lifecycle`): hot-load a new bundle version into a
+  *running* serve/pool process, watch a parity-gated canary rollout, flip or
+  restore the active version — all without restarting the serving process.
 
 Flags that only make sense on the authors' setup (``--data_dir``, ``--gpu``)
 are accepted and ignored so published command lines run unchanged; extra
@@ -250,6 +254,81 @@ def _parse_bundle_spec(spec: str):
     return None, spec
 
 
+# --------------------------------------------------------------------------- #
+# Lifecycle admin commands (talk to a *running* serve/pool over HTTP)
+# --------------------------------------------------------------------------- #
+def _admin_client(args: argparse.Namespace):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(args.url, timeout_s=args.timeout_s)
+
+
+def _command_deploy(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeHTTPError
+
+    client = _admin_client(args)
+    options = {"canary_fraction": args.canary,
+               "min_samples": args.min_samples,
+               "max_parity_violations": args.max_parity_violations,
+               "auto": not args.no_auto}
+    if args.max_latency_ratio is not None:
+        options["max_latency_ratio"] = (None if args.max_latency_ratio <= 0
+                                        else args.max_latency_ratio)
+    try:
+        response = client.deploy(args.model, str(Path(args.bundle).resolve()),
+                                 version=args.version, **options)
+    except ServeHTTPError as exc:
+        print(f"deploy failed: {exc}")
+        return 1
+    print(f"deployed {response.get('deployed', args.model)} "
+          f"(canary fraction {args.canary}, "
+          f"gate: {args.min_samples} samples / "
+          f"{args.max_parity_violations} violations budget)")
+    print(json.dumps(response.get("rollout", response), indent=2))
+    return 0
+
+
+def _command_promote(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeHTTPError
+
+    try:
+        response = _admin_client(args).promote(args.model, version=args.version)
+    except ServeHTTPError as exc:
+        print(f"promote failed: {exc}")
+        return 1
+    print(f"promoted {response.get('model', args.model)} to "
+          f"v{response.get('active_version')} "
+          f"(was v{response.get('previous_version')})")
+    return 0
+
+
+def _command_rollback(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeHTTPError
+
+    try:
+        response = _admin_client(args).rollback(args.model)
+    except ServeHTTPError as exc:
+        print(f"rollback failed: {exc}")
+        return 1
+    if "aborted_canary" in response:
+        print(f"aborted canary {response['aborted_canary']}; "
+              f"{response.get('model', args.model)} stays at "
+              f"v{response.get('active_version')}")
+    else:
+        print(f"rolled {response.get('model', args.model)} back to "
+              f"v{response.get('active_version')}")
+    return 0
+
+
+def _add_admin_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="base URL of the running serve/pool process")
+    parser.add_argument("--model", required=True,
+                        help="base model name (as registered with serve)")
+    parser.add_argument("--timeout_s", type=float, default=180.0,
+                        help="HTTP timeout (bundle loads happen in-band)")
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.workers > 1:
         return _serve_pool(args)
@@ -417,6 +496,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "Section 4.3 cost model); for capacity planning "
                             "and scaling benchmarks")
     serve.set_defaults(handler=_command_serve)
+
+    deploy = subparsers.add_parser(
+        "deploy", help="hot-load a new bundle version into a running "
+                       "serve/pool process (canary rollout on pools)")
+    _add_admin_flags(deploy)
+    deploy.add_argument("--bundle", required=True,
+                        help="deployment bundle .npz readable by the serving "
+                             "host (the path is shipped, not the bytes)")
+    deploy.add_argument("--version", type=int, default=None,
+                        help="explicit version number (default: next free)")
+    deploy.add_argument("--canary", type=float, default=0.25,
+                        help="fraction of the model's traffic mirrored "
+                             "through the candidate while the gate judges it "
+                             "(pool mode; 0 disables canary traffic)")
+    deploy.add_argument("--min_samples", type=int, default=20,
+                        help="clean output comparisons required before "
+                             "auto-promote")
+    deploy.add_argument("--max_parity_violations", type=int, default=0,
+                        help="output mismatches tolerated before "
+                             "auto-rollback (PECAN-D is bitwise deterministic"
+                             " — keep 0)")
+    deploy.add_argument("--max_latency_ratio", type=float, default=None,
+                        help="rollback when canary p95 exceeds this multiple "
+                             "of active p95 (<=0 disables; default 3.0)")
+    deploy.add_argument("--no_auto", action="store_true",
+                        help="report the gate's verdict but leave "
+                             "promote/rollback to the operator")
+    deploy.set_defaults(handler=_command_deploy)
+
+    promote = subparsers.add_parser(
+        "promote", help="activate a deployed version on a running serve/pool")
+    _add_admin_flags(promote)
+    promote.add_argument("--version", type=int, default=None,
+                         help="version to activate (default: the in-flight "
+                              "rollout's candidate, else the newest)")
+    promote.set_defaults(handler=_command_promote)
+
+    rollback = subparsers.add_parser(
+        "rollback", help="abort an in-flight canary or restore the "
+                         "previously active version")
+    _add_admin_flags(rollback)
+    rollback.set_defaults(handler=_command_rollback)
     return parser
 
 

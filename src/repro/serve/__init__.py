@@ -23,7 +23,14 @@ inference program); this package turns that file back into a serving process:
   N worker processes (each a full ``PECANServer`` over memory-mapped bundle
   arrays) with pluggable routing policies, heartbeat-driven respawn of
   dead/hung workers, and graceful drain;
-* :mod:`repro.serve.client` — :class:`ServeClient`, a stdlib HTTP client;
+* :mod:`repro.serve.lifecycle` — versioned deployments made a routed
+  operation: :class:`CanaryPolicy` (deterministic traffic splits),
+  :class:`RolloutGate` (bitwise output parity + latency judging) and
+  :class:`Rollout` state behind the ``/admin/deploy | promote | rollback``
+  API and ``repro-pecan deploy/promote/rollback``;
+* :mod:`repro.serve.client` — :class:`ServeClient`, a stdlib HTTP client
+  (with one transparent retry of idempotent requests over worker respawns)
+  and the admin API verbs;
 * :mod:`repro.serve.ops` — backwards-compatible re-exports of the unified
   lowerings in :mod:`repro.ir.ops` (which mirror
   :mod:`repro.autograd.functional` exactly).
@@ -37,17 +44,27 @@ interpreter.
 from repro.serve.auditor import ParityAuditor
 from repro.serve.client import ServeClient, ServeHTTPError
 from repro.serve.engine import BundleEngine
+from repro.serve.lifecycle import (CanaryPolicy, LifecycleError, Rollout,
+                                   RolloutGate, format_versioned,
+                                   split_versioned)
 from repro.serve.metrics import ServerMetrics, aggregate_counter_trees
 from repro.serve.pool import (POLICIES, LeastOutstandingPolicy, ModelAffinityPolicy,
                               PoolServer, RoundRobinPolicy, RoutingPolicy,
                               WorkerConfig, make_policy)
-from repro.serve.registry import ModelRegistry, RegisteredModel
+from repro.serve.registry import EngineLease, ModelRegistry, RegisteredModel
 from repro.serve.scheduler import (DynamicBatcher, InferenceRequest, QueueFullError,
                                    RequestTimeout, SchedulerError, SchedulerStopped)
 from repro.serve.server import PECANServer, ServedModel
 
 __all__ = [
     "BundleEngine",
+    "CanaryPolicy",
+    "EngineLease",
+    "LifecycleError",
+    "Rollout",
+    "RolloutGate",
+    "format_versioned",
+    "split_versioned",
     "PoolServer",
     "WorkerConfig",
     "RoutingPolicy",

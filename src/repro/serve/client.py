@@ -11,6 +11,7 @@ serving process with no extra dependencies::
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -18,6 +19,20 @@ import urllib.request
 from typing import Dict, Optional
 
 import numpy as np
+
+#: Connection-level failures that mean "the socket died under us" — the
+#: signature of a pool worker (or the router) being respawned — as opposed to
+#: an HTTP-level error the server actually sent.
+_TRANSIENT_ERRORS = (ConnectionResetError, BrokenPipeError, ConnectionAbortedError,
+                     http.client.RemoteDisconnected, http.client.BadStatusLine)
+
+
+def _is_transient(exc: BaseException) -> bool:
+    if isinstance(exc, _TRANSIENT_ERRORS):
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        return isinstance(getattr(exc, "reason", None), _TRANSIENT_ERRORS)
+    return False
 
 
 class ServeHTTPError(RuntimeError):
@@ -29,29 +44,51 @@ class ServeHTTPError(RuntimeError):
 
 
 class ServeClient:
-    """JSON-over-HTTP client mirroring the server's endpoints."""
+    """JSON-over-HTTP client mirroring the server's endpoints.
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0):
+    Idempotent requests (every GET, and ``/predict`` — bundle inference is a
+    pure function of its input) are retried once when the connection is torn
+    mid-exchange (``ConnectionResetError`` / ``BrokenPipeError`` /
+    ``RemoteDisconnected``): that is what a request hitting a worker being
+    respawned looks like from the client side, and the router-side retry only
+    covers failures *between* router and worker.  Non-idempotent admin
+    operations (``deploy``) are never retried — the first attempt may have
+    been applied before the connection died.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0,
+                 transient_retries: int = 1):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.transient_retries = max(int(transient_retries), 0)
 
     # ------------------------------------------------------------------ #
-    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+    def _request(self, path: str, payload: Optional[Dict] = None,
+                 idempotent: Optional[bool] = None) -> Dict:
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
-        request = urllib.request.Request(
-            url, data=data,
-            headers={"Content-Type": "application/json"} if data else {},
-            method="POST" if data is not None else "GET")
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        if idempotent is None:
+            idempotent = data is None          # GETs are always safe to retry
+        attempts = 1 + (self.transient_retries if idempotent else 0)
+        for attempt in range(attempts):
+            request = urllib.request.Request(
+                url, data=data,
+                headers={"Content-Type": "application/json"} if data else {},
+                method="POST" if data is not None else "GET")
             try:
-                message = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except Exception:                 # noqa: BLE001 - body may be empty
-                message = exc.reason
-            raise ServeHTTPError(exc.code, message) from None
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout_s) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                try:
+                    message = json.loads(exc.read().decode("utf-8")).get("error", "")
+                except Exception:             # noqa: BLE001 - body may be empty
+                    message = exc.reason
+                raise ServeHTTPError(exc.code, message) from None
+            except Exception as exc:          # noqa: BLE001 - filtered below
+                if not (_is_transient(exc) and attempt + 1 < attempts):
+                    raise
+                time.sleep(0.05)              # let the respawn win the race
 
     # ------------------------------------------------------------------ #
     def predict_response(self, inputs: np.ndarray,
@@ -60,7 +97,7 @@ class ServeClient:
         payload: Dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
         if model is not None:
             payload["model"] = model
-        return self._request("/predict", payload)
+        return self._request("/predict", payload, idempotent=True)
 
     def predict(self, inputs: np.ndarray, model: Optional[str] = None) -> np.ndarray:
         """Logits array for one sample or a batch."""
@@ -78,6 +115,38 @@ class ServeClient:
 
     def healthz(self) -> Dict:
         return self._request("/healthz")
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle admin API
+    # ------------------------------------------------------------------ #
+    def deploy(self, name: str, path: str, version: Optional[int] = None,
+               **options) -> Dict:
+        """POST ``/admin/deploy``: hot-load a new version of base ``name``.
+
+        ``path`` must be readable by the *serving host* (the admin API ships
+        the path, not the bytes).  Extra keyword options (pool only):
+        ``canary_fraction``, ``min_samples``, ``max_parity_violations``,
+        ``max_latency_ratio``, ``auto``.  Not retried: a deploy is not
+        idempotent."""
+        payload: Dict[str, object] = {"name": name, "path": str(path), **options}
+        if version is not None:
+            payload["version"] = version
+        return self._request("/admin/deploy", payload, idempotent=False)
+
+    def promote(self, name: str, version: Optional[int] = None) -> Dict:
+        payload: Dict[str, object] = {"name": name}
+        if version is not None:
+            payload["version"] = version
+        # Promoting to an explicit-or-inferred version is idempotent on the
+        # serving side, but inference happens there; stay conservative.
+        return self._request("/admin/promote", payload, idempotent=False)
+
+    def rollback(self, name: str) -> Dict:
+        return self._request("/admin/rollback", {"name": name},
+                             idempotent=False)
+
+    def admin_status(self) -> Dict:
+        return self._request("/admin/status")
 
     def wait_ready(self, timeout_s: float = 10.0) -> bool:
         """Poll ``/healthz`` until the server answers (or the timeout passes)."""

@@ -34,17 +34,25 @@ def percentile(samples: List[float], q: float) -> float:
     return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
-class _Window:
-    """Bounded sliding window of float observations."""
+class Window:
+    """Bounded sliding window of float observations (seconds in, ms out).
+
+    Shared by :class:`ServerMetrics` and the lifecycle
+    :class:`~repro.serve.lifecycle.RolloutGate`, so active-vs-canary latency
+    comparisons render exactly the same percentile fields as ``/metrics``.
+    """
 
     def __init__(self, size: int):
         self._values: deque = deque(maxlen=size)
+        self._lock = threading.Lock()
 
     def add(self, value: float) -> None:
-        self._values.append(value)
+        with self._lock:
+            self._values.append(value)
 
     def snapshot_ms(self) -> Dict[str, float]:
-        values = list(self._values)
+        with self._lock:
+            values = list(self._values)
         return {
             "count": len(values),
             "p50_ms": percentile(values, 0.50) * 1e3,
@@ -52,6 +60,10 @@ class _Window:
             "p99_ms": percentile(values, 0.99) * 1e3,
             "max_ms": (max(values) if values else 0.0) * 1e3,
         }
+
+
+#: Backwards-compatible alias (the window predates the lifecycle module).
+_Window = Window
 
 
 #: Metric keys that do not sum meaningfully across workers.  Percentiles,
@@ -62,6 +74,11 @@ _NON_ADDITIVE_KEYS = frozenset({
     "p50_ms", "p95_ms", "p99_ms", "max_ms", "max_batch", "uptime_s",
     "mean_batch", "max_batch_size", "max_wait_ms", "queue_depth",
     "stored_values", "hz", "every", "total_values", "max_total_values",
+    # Lifecycle payloads: versions, refcounts and gate configuration are
+    # per-worker state, not additive traffic counters.
+    "version", "active_version", "candidate_version", "refs",
+    "fraction", "min_samples", "max_parity_violations", "max_latency_ratio",
+    "latency_ratio",
 })
 
 

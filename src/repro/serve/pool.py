@@ -55,6 +55,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.serve.client import ServeHTTPError
+from repro.serve.lifecycle import (PROMOTED, ROLLED_BACK, CanaryPolicy,
+                                   LifecycleError, Rollout, RolloutGate,
+                                   format_versioned, split_versioned)
 from repro.serve.metrics import ServerMetrics, aggregate_counter_trees
 
 PathLike = Union[str, Path]
@@ -73,6 +76,10 @@ class WorkerConfig:
     """
 
     bundles: Tuple[Tuple[str, str], ...]
+    #: ``(base, version)`` pairs applied after bundle registration, so a
+    #: worker respawned mid-lifecycle (after a deploy/promote/rollback) comes
+    #: up with the same alias state as the survivors.
+    active_versions: Tuple[Tuple[str, int], ...] = ()
     host: str = "127.0.0.1"
     max_batch_size: int = 32
     max_wait_ms: float = 5.0
@@ -88,18 +95,53 @@ class WorkerConfig:
     heartbeat_interval_s: float = 0.25
 
 
+def _worker_admin(server, message: Dict[str, object]) -> Dict[str, object]:
+    """Apply one lifecycle command to a worker's in-process server.
+
+    Runs on a background thread inside the worker: a bundle load can take
+    seconds, and the control loop must keep heartbeating (and the HTTP
+    threads keep serving) the whole time — that is what makes a deploy
+    zero-downtime from the pool's point of view.
+    """
+    op = message.get("op")
+    try:
+        if op == "deploy":
+            deployed = server.deploy_bundle(str(message["path"]),
+                                            name=str(message["name"]),
+                                            version=message.get("version"),
+                                            preload=True)
+            return {"ok": True, "deployed": deployed}
+        if op == "promote":
+            info = server.promote(str(message["name"]),
+                                  version=message.get("version"))
+            return {"ok": True, **info}
+        if op == "rollback":
+            return {"ok": True, **server.rollback(str(message["name"]))}
+        if op == "undeploy":
+            return {"ok": True,
+                    "undeployed": server.undeploy(str(message["name"]))}
+        return {"ok": False, "error": f"unknown admin op {op!r}"}
+    except Exception as exc:                       # noqa: BLE001 - reported to parent
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
 def _worker_main(config: WorkerConfig, conn) -> None:
     """Entry point of one pool worker (runs in the child process).
 
     Builds a :class:`PECANServer` on an ephemeral loopback port, reports
     ``("ready", {port, pid})`` on the control pipe, then loops: answer
-    control commands (``stop``, plus the ``crash``/``hang`` fault injections
-    the chaos tests use) and emit a heartbeat with light request counters
-    every ``heartbeat_interval_s``.  Exits when told to stop, when the pipe
+    control commands (``stop``, lifecycle ``admin`` ops, plus the
+    ``crash``/``hang`` fault injections the chaos tests use) and emit a
+    heartbeat with light request counters every ``heartbeat_interval_s``.
+    Admin commands run on background threads (bundle loads must not silence
+    the heartbeat); their results are queued and shipped from the control
+    loop, the pipe's only writer.  Exits when told to stop, when the pipe
     breaks, or when the parent process disappears (no orphan servers).
     """
     # Imported here (not module top level) so the parent's import of this
     # module stays cheap and the child builds everything fresh.
+    import queue as queue_module
+
     from repro.serve.registry import ModelRegistry
     from repro.serve.server import PECANServer
 
@@ -119,6 +161,11 @@ def _worker_main(config: WorkerConfig, conn) -> None:
             hardware_hz=config.hardware_hz)
         for name, path in config.bundles:
             server.add_bundle(path, name=name, preload=config.preload)
+        # A worker spawned mid-lifecycle replays the pool's promote history
+        # so its aliases match the surviving workers'.
+        for base, version in config.active_versions:
+            if registry.active_version(base) != version:
+                server.promote(base, version=version)
         server.start()
     except Exception as exc:                       # noqa: BLE001 - reported to parent
         try:
@@ -133,6 +180,13 @@ def _worker_main(config: WorkerConfig, conn) -> None:
         server.stop()
         return
 
+    admin_results: "queue_module.Queue[Tuple[int, Dict[str, object]]]" = \
+        queue_module.Queue()
+
+    def run_admin(message: Dict[str, object]) -> None:
+        admin_results.put((int(message.get("req", 0)),
+                           _worker_admin(server, message)))
+
     parent = multiprocessing.parent_process()
     try:
         while True:
@@ -143,6 +197,9 @@ def _worker_main(config: WorkerConfig, conn) -> None:
                 "errors_total": metrics.errors_total,
                 "rejected_total": metrics.rejected_total,
             }))
+            while not admin_results.empty():
+                req, payload = admin_results.get_nowait()
+                conn.send(("admin", {"req": req, **payload}))
             if conn.poll(config.heartbeat_interval_s):
                 try:
                     message = conn.recv()
@@ -151,6 +208,11 @@ def _worker_main(config: WorkerConfig, conn) -> None:
                 command = message.get("cmd") if isinstance(message, dict) else message
                 if command == "stop":
                     break
+                if command == "admin":             # lifecycle op (async)
+                    threading.Thread(target=run_admin, args=(message,),
+                                     name="repro-worker-admin",
+                                     daemon=True).start()
+                    continue
                 if command == "crash":             # fault injection (tests)
                     os._exit(int(message.get("code", 13)))
                 if command == "hang":              # fault injection (tests):
@@ -189,6 +251,9 @@ class WorkerHandle:
         self.spawned_at = time.monotonic()
         self.last_heartbeat = time.monotonic()
         self.heartbeat: Dict[str, int] = {}
+        #: Lifecycle-command acks keyed by request id; written by the monitor
+        #: thread (the pipe's only reader), popped by the admin broadcaster.
+        self.admin_results: Dict[int, Dict[str, object]] = {}
 
     @property
     def alive(self) -> bool:
@@ -373,6 +438,18 @@ class PoolServer:
         self.proxied_status: Dict[str, int] = {"2xx": 0, "3xx": 0, "4xx": 0, "5xx": 0}
         self.restarts_total = 0
         self._bundles: List[Tuple[str, str]] = []
+        #: Lifecycle state (all guarded by the pool lock unless noted):
+        #: per-base active/previous alias versions, a never-reused version
+        #: counter, in-flight/terminal rollouts and a bounded history.
+        self._active_versions: Dict[str, int] = {}
+        self._previous_versions: Dict[str, int] = {}
+        self._version_counter: Dict[str, int] = {}
+        self._rollouts: Dict[str, Rollout] = {}
+        self._rollout_history: List[Dict[str, object]] = []
+        self._admin_ids = itertools.count(1)
+        #: Serializes deploy/promote/rollback end to end (broadcast + state
+        #: flip); reentrant because rollback-after-promote is a promote.
+        self._admin_lock = threading.RLock()
         self._workers: List[WorkerHandle] = []
         #: Admitted-but-unfinished /predict calls.  Incremented atomically
         #: with the draining check (same lock), so stop(drain=True) cannot
@@ -405,6 +482,16 @@ class PoolServer:
         name = name or path.stem
         if any(existing == name for existing, _ in self._bundles):
             raise ValueError(f"model {name!r} is already registered")
+        base, version = split_versioned(name)
+        self._materialize_cache(path)
+        self._bundles.append((name, str(path)))
+        version = 1 if version is None else version
+        self._version_counter[base] = max(self._version_counter.get(base, 0),
+                                          version)
+        self._active_versions.setdefault(base, version)
+        return name
+
+    def _materialize_cache(self, path: Path) -> None:
         if self.mmap_mode is not None:
             # Warm the sidecar .npy cache once in the parent so N workers
             # open (and share) the extracted arrays instead of all racing
@@ -412,11 +499,12 @@ class PoolServer:
             from repro.io.deployment import materialize_bundle_cache
 
             materialize_bundle_cache(path)
-        self._bundles.append((name, str(path)))
-        return name
 
     def _worker_config(self) -> WorkerConfig:
-        return WorkerConfig(bundles=tuple(self._bundles),
+        with self._lock:
+            bundles = tuple(self._bundles)
+            active = tuple(sorted(self._active_versions.items()))
+        return WorkerConfig(bundles=bundles, active_versions=active,
                             heartbeat_interval_s=self.heartbeat_interval_s,
                             mmap_mode=self.mmap_mode, **self._worker_options)
 
@@ -598,6 +686,8 @@ class PoolServer:
             elif kind == "heartbeat":
                 worker.last_heartbeat = time.monotonic()
                 worker.heartbeat = payload
+            elif kind == "admin":
+                worker.admin_results[int(payload.pop("req", 0))] = payload
             elif kind == "failed":
                 worker.state = "failed"
                 worker.error = payload.get("error")
@@ -700,13 +790,28 @@ class PoolServer:
 
     def _route_predict(self, body: bytes) -> Tuple[int, bytes]:
         model = ""
-        if self.policy.needs_model:
+        payload: Optional[Dict[str, object]] = None
+        if self.policy.needs_model or self._rollouts_in_canary():
             try:
                 payload = json.loads(body or b"{}")
                 model = str(payload.get("model") or "")
             except (ValueError, TypeError, AttributeError):
                 return 400, _json_bytes({"error": "request body must be a JSON object"})
         self.metrics.record_submitted(0)
+        rollout = self._canary_rollout_for(model)
+        # Only well-formed requests join the canary (a deploy may land
+        # between the parse decision and here, leaving payload unparsed; a
+        # body without "inputs" would make the mirror a guaranteed 4xx and
+        # trip the zero-tolerance gate on a healthy candidate).
+        if (rollout is not None and isinstance(payload, dict)
+                and "inputs" in payload and rollout.policy.sample()):
+            return self._canary_exchange(body, payload, model, rollout)
+        return self._dispatch_with_retries(body, model)
+
+    def _dispatch_with_retries(self, body: bytes, model: str,
+                               record: bool = True) -> Tuple[int, bytes]:
+        """One ``/predict`` through the retry loop; ``record=False`` keeps
+        mirrored canary traffic out of the router's client-facing metrics."""
         started = time.monotonic()
         tried = set()
         last_error = "no ready workers"
@@ -724,7 +829,8 @@ class PoolServer:
                 status, response = self._forward(worker, "POST", "/predict", body)
             except socket.timeout:
                 worker.proxy_failures += 1
-                self.metrics.record_timeout()
+                if record:
+                    self.metrics.record_timeout()
                 return 504, _json_bytes({"error": "worker timed out; not retried"})
             except (ConnectionError, http.client.HTTPException, OSError) as exc:
                 worker.proxy_failures += 1
@@ -737,24 +843,120 @@ class PoolServer:
             finally:
                 with self._lock:
                     worker.outstanding -= 1
-            family = f"{min(max(status // 100, 2), 5)}xx"
-            with self._lock:
-                self.proxied_status[family] += 1
-            # Only successful proxied responses count as completions (and into
-            # the latency window); worker-side rejections/failures must not
-            # read as healthy router throughput.
-            if status < 400:
-                self.metrics.record_completed(time.monotonic() - started, 0.0)
-            elif status >= 500:
-                self.metrics.record_error()
-            elif status == 408:
-                self.metrics.record_timeout()
+            if record:
+                family = f"{min(max(status // 100, 2), 5)}xx"
+                with self._lock:
+                    self.proxied_status[family] += 1
+                # Only successful proxied responses count as completions (and
+                # into the latency window); worker-side rejections/failures
+                # must not read as healthy router throughput.
+                if status < 400:
+                    self.metrics.record_completed(time.monotonic() - started, 0.0)
+                elif status >= 500:
+                    self.metrics.record_error()
+                elif status == 408:
+                    self.metrics.record_timeout()
             return status, response
-        self.metrics.record_error()
+        if record:
+            self.metrics.record_error()
         if not tried:
             return 503, _json_bytes({"error": "no ready workers"})
         return 502, _json_bytes({"error": f"request failed on {len(tried)} worker(s): "
                                           f"{last_error}"})
+
+    # ------------------------------------------------------------------ #
+    # Canary routing + rollout gate
+    # ------------------------------------------------------------------ #
+    def _rollouts_in_canary(self) -> bool:
+        with self._lock:
+            return any(rollout.in_canary for rollout in self._rollouts.values())
+
+    def _canary_rollout_for(self, model: str) -> Optional[Rollout]:
+        """The in-canary rollout this request participates in, if any.
+
+        Explicitly versioned requests (``m@vN``) pin a version and are never
+        rerouted; unnamed requests follow the default (first-registered)
+        base, exactly like the workers' registries resolve them.
+        """
+        with self._lock:
+            if not self._rollouts:
+                return None
+            if model:
+                base, version = split_versioned(model)
+                if version is not None:
+                    return None
+            else:
+                if not self._bundles:
+                    return None
+                base, _ = split_versioned(self._bundles[0][0])
+            rollout = self._rollouts.get(base)
+            return rollout if rollout is not None and rollout.in_canary else None
+
+    def _canary_exchange(self, body: bytes, payload: Dict[str, object],
+                         model: str, rollout: Rollout) -> Tuple[int, bytes]:
+        """Serve one canary-sampled request through **both** versions.
+
+        The active version answers the client (a divergent candidate must
+        never leak bits to a caller — the gate, not the traffic split, is
+        what grants the candidate real traffic); the candidate runs the same
+        input in shadow.  The gate records output parity (bitwise: PECAN-D
+        inference is deterministic and JSON round-trips float64 exactly) and
+        both latencies, and its verdict may auto-promote or auto-roll-back.
+        """
+        started = time.monotonic()
+        status, response = self._dispatch_with_retries(body, model)
+        active_seconds = time.monotonic() - started
+        mirror = dict(payload)
+        mirror["model"] = rollout.candidate
+        mirror_body = _json_bytes(mirror)
+        started = time.monotonic()
+        mirror_status, mirror_response = self._dispatch_with_retries(
+            mirror_body, rollout.candidate, record=False)
+        canary_seconds = time.monotonic() - started
+        if status == 200:
+            # An active-side failure (backpressure, timeout) yields nothing
+            # comparable; the gate only judges real output pairs.
+            if mirror_status != 200:
+                rollout.gate.record_candidate_error()
+                rollout.log("candidate_error", status=mirror_status)
+            else:
+                try:
+                    match = (json.loads(response.decode("utf-8"))["outputs"]
+                             == json.loads(mirror_response.decode("utf-8"))["outputs"])
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    match = False
+                rollout.gate.record(match, active_seconds, canary_seconds)
+                if not match:
+                    rollout.log("parity_violation",
+                                samples=rollout.gate.samples)
+            self._maybe_autofinish(rollout)
+        return status, response
+
+    def _maybe_autofinish(self, rollout: Rollout) -> None:
+        if not rollout.auto:
+            return
+        verdict = rollout.gate.verdict()
+        if verdict == "pending" or not rollout.claim_transition():
+            return
+        # The transition broadcasts over the control pipes (a pipe round
+        # trip per worker): run it off the request path.
+        threading.Thread(target=self._finish_rollout,
+                         args=(rollout.base, verdict == "promote",
+                               rollout.gate.reason()),
+                         name="repro-pool-rollout", daemon=True).start()
+
+    def _finish_rollout(self, base: str, promote: bool, reason: str) -> None:
+        try:
+            if promote:
+                self.promote(base, reason=f"auto: {reason}")
+            else:
+                self.rollback(base, reason=f"auto: {reason}")
+        except Exception as exc:                   # noqa: BLE001 - logged on the rollout
+            with self._lock:
+                rollout = self._rollouts.get(base)
+            if rollout is not None:
+                rollout.log("transition_failed",
+                            error=f"{type(exc).__name__}: {exc}")
 
     def predict(self, inputs, model: Optional[str] = None,
                 timeout_s: Optional[float] = None) -> Dict[str, object]:
@@ -767,6 +969,298 @@ class PoolServer:
         if status != 200:
             raise ServeHTTPError(status, response.get("error", ""))
         return response
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle admin plane (deploy / promote / rollback)
+    # ------------------------------------------------------------------ #
+    def _admin_broadcast(self, op: str, payload: Dict[str, object],
+                         timeout_s: float = 120.0) -> Dict[int, Dict[str, object]]:
+        """Send one lifecycle command to every ready worker; gather acks.
+
+        Replies travel back over the heartbeat loop, so ack latency is
+        bounded by the load time plus one heartbeat interval.  A worker that
+        dies mid-command or times out yields an ``ok=False`` entry instead of
+        wedging the broadcast; a pool that starts draining aborts the wait.
+        """
+        with self._lock:
+            workers = [worker for worker in self._workers
+                       if worker.state == "ready"]
+            request_id = next(self._admin_ids)
+            message = {"cmd": "admin", "op": op, "req": request_id, **payload}
+            results: Dict[int, Dict[str, object]] = {}
+            for worker in workers:
+                try:
+                    worker.conn.send(message)
+                except (BrokenPipeError, OSError) as exc:
+                    results[worker.id] = {"ok": False,
+                                          "error": f"control pipe: {exc}"}
+        if not workers:
+            raise LifecycleError("no ready workers to apply the command to")
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            pending = False
+            for worker in workers:
+                if worker.id in results:
+                    continue
+                reply = worker.admin_results.pop(request_id, None)
+                if reply is not None:
+                    results[worker.id] = reply
+                elif worker.state != "ready" or not worker.alive:
+                    results[worker.id] = {
+                        "ok": False,
+                        "error": f"worker {worker.id} left the pool mid-command"}
+                else:
+                    pending = True
+            if not pending:
+                return results
+            if self._draining or not self._running:
+                break
+            time.sleep(0.02)
+        for worker in workers:
+            results.setdefault(worker.id, {
+                "ok": False,
+                "error": ("pool is draining" if self._draining
+                          else f"no ack within {timeout_s:.0f}s")})
+        return results
+
+    @staticmethod
+    def _first_error(results: Dict[int, Dict[str, object]]) -> Optional[str]:
+        failed = {wid: reply for wid, reply in results.items()
+                  if not reply.get("ok")}
+        if not failed:
+            return None
+        wid = min(failed)
+        return (f"failed on worker(s) {sorted(failed)}: "
+                f"{failed[wid].get('error', 'unknown error')}")
+
+    def _require_admin_ready(self) -> None:
+        if not self._running or self._draining:
+            raise LifecycleError("pool is not accepting lifecycle commands "
+                                 "(stopped or draining)")
+
+    def deploy(self, name: str, path: PathLike, version: Optional[int] = None, *,
+               canary_fraction: float = 0.25,
+               min_samples: int = 20,
+               max_parity_violations: int = 0,
+               max_latency_ratio: Optional[float] = 3.0,
+               auto: bool = True,
+               timeout_s: float = 120.0) -> Dict[str, object]:
+        """Hot-load a new version of base ``name`` across the whole pool.
+
+        Every worker loads the bundle on a background thread while serving;
+        once all ack, a :class:`~repro.serve.lifecycle.Rollout` begins:
+        ``canary_fraction`` of the base's traffic is mirrored through the
+        candidate and a :class:`RolloutGate` (``min_samples`` /
+        ``max_parity_violations`` / ``max_latency_ratio``) judges promotion.
+        With ``auto`` the verdict is acted on automatically; otherwise the
+        gate only reports and :meth:`promote` / :meth:`rollback` are manual.
+        A failed deploy is rolled back on the workers that had loaded it.
+        """
+        with self._admin_lock:
+            self._require_admin_ready()
+            path = Path(path)
+            if not path.exists():
+                raise FileNotFoundError(f"deployment bundle not found: {path}")
+            base, parsed = split_versioned(name)
+            if parsed is not None:
+                if version is not None and version != parsed:
+                    raise LifecycleError(f"conflicting versions: name {name!r} "
+                                         f"vs version={version}")
+                version = parsed
+            with self._lock:
+                if base not in self._active_versions:
+                    raise KeyError(f"model {base!r} is not served by this pool "
+                                   f"(known: {sorted(self._active_versions)})")
+                rollout = self._rollouts.get(base)
+                if rollout is not None and rollout.in_canary:
+                    raise LifecycleError(
+                        f"a rollout of {base!r} is already in flight "
+                        f"(candidate {rollout.candidate})")
+                if version is None:
+                    version = self._version_counter.get(base, 1) + 1
+                elif version <= self._version_counter.get(base, 0):
+                    raise LifecycleError(
+                        f"version {version} of {base!r} was already used; "
+                        f"next free version is "
+                        f"{self._version_counter.get(base, 0) + 1}")
+                active_version = self._active_versions[base]
+            candidate = format_versioned(base, version)
+            self._materialize_cache(path)
+            with self._lock:
+                # Publish the candidate (and burn its version number) *before*
+                # the broadcast: a worker respawned mid-deploy builds from
+                # this list, so it must come up with the candidate too — a
+                # ready worker without it would 404 mirrored canary traffic
+                # and trip the gate on a healthy rollout.  A failed deploy
+                # removes the entry but never reuses the number.
+                self._bundles.append((candidate, str(path)))
+                self._version_counter[base] = version
+            results = self._admin_broadcast(
+                "deploy", {"name": base, "path": str(path), "version": version},
+                timeout_s=timeout_s)
+            error = self._first_error(results)
+            if error is not None:
+                with self._lock:
+                    self._bundles = [entry for entry in self._bundles
+                                     if entry[0] != candidate]
+                # Converge the workers that did load it; strictly best
+                # effort — the cleanup must never mask the deploy error.
+                try:
+                    self._admin_broadcast("undeploy", {"name": candidate},
+                                          timeout_s=min(timeout_s, 30.0))
+                except LifecycleError:
+                    pass
+                raise LifecycleError(f"deploy of {candidate} {error}")
+            rollout = Rollout(
+                base=base, candidate=candidate, candidate_version=version,
+                active_version=active_version,
+                policy=CanaryPolicy(canary_fraction),
+                gate=RolloutGate(min_samples=min_samples,
+                                 max_parity_violations=max_parity_violations,
+                                 max_latency_ratio=max_latency_ratio),
+                auto=auto)
+            rollout.log("deployed", workers=sorted(results))
+            with self._lock:
+                previous = self._rollouts.get(base)
+                if previous is not None:
+                    self._archive_rollout(previous)
+                self._rollouts[base] = rollout
+            return {"deployed": candidate, "model": base, "version": version,
+                    "workers": {str(wid): reply for wid, reply in results.items()},
+                    "rollout": rollout.snapshot()}
+
+    def promote(self, name: str, version: Optional[int] = None, *,
+                reason: str = "operator promote",
+                timeout_s: float = 120.0) -> Dict[str, object]:
+        """Flip the base alias to ``version`` on every worker.
+
+        Defaults to the in-flight rollout's candidate (ending its canary
+        phase) or, with no rollout, the newest deployed version.  Promote is
+        idempotent per worker, so a partially failed broadcast can simply be
+        retried."""
+        with self._admin_lock:
+            self._require_admin_ready()
+            base, parsed = split_versioned(name)
+            if parsed is not None:
+                version = parsed
+            with self._lock:
+                if base not in self._active_versions:
+                    raise KeyError(f"model {base!r} is not served by this pool")
+                rollout = self._rollouts.get(base)
+                deployed = self._deployed_versions_locked(base)
+                if version is None:
+                    if rollout is not None and rollout.in_canary:
+                        version = rollout.candidate_version
+                    else:
+                        # Newest version the workers actually hold — the raw
+                        # counter also remembers rolled-back (undeployed)
+                        # versions, which no worker could activate.
+                        version = max(deployed, default=None)
+                if version not in deployed:
+                    raise LifecycleError(
+                        f"model {base!r} has no deployed version {version} "
+                        f"(deployed: {sorted(deployed)})")
+                previous = self._active_versions[base]
+            if rollout is not None and rollout.in_canary:
+                rollout.claim_transition()     # stop the gate's auto path
+            results = self._admin_broadcast(
+                "promote", {"name": base, "version": version},
+                timeout_s=timeout_s)
+            error = self._first_error(results)
+            if error is not None:
+                raise LifecycleError(f"promote of {base}@v{version} {error} "
+                                     f"(safe to retry: promote is idempotent)")
+            with self._lock:
+                if previous != version:
+                    self._previous_versions[base] = previous
+                self._active_versions[base] = version
+            if rollout is not None and rollout.in_canary:
+                if rollout.candidate_version == version:
+                    rollout.finish(PROMOTED, reason)
+                else:
+                    # Promoting past the candidate implicitly rejects it; the
+                    # rollout must close or it would mirror canary traffic
+                    # (and block future deploys) forever.
+                    rollout.finish(ROLLED_BACK,
+                                   f"superseded by promote to v{version}")
+            return {"model": base, "active_version": version,
+                    "previous_version": previous,
+                    "workers": {str(wid): reply for wid, reply in results.items()}}
+
+    def _deployed_versions_locked(self, base: str) -> set:
+        """Versions of ``base`` the workers hold (pool lock held)."""
+        deployed = set()
+        for bundle_name, _ in self._bundles:
+            bundle_base, bundle_version = split_versioned(bundle_name)
+            if bundle_base == base:
+                deployed.add(1 if bundle_version is None else bundle_version)
+        return deployed
+
+    def rollback(self, name: str, *, reason: str = "operator rollback",
+                 timeout_s: float = 120.0) -> Dict[str, object]:
+        """Abort an in-flight canary, or restore the previously active version.
+
+        During a canary the candidate was never activated: the rollback
+        simply unloads it everywhere and closes the rollout.  After a
+        promotion the alias flips back to the remembered previous version on
+        every worker."""
+        with self._admin_lock:
+            self._require_admin_ready()
+            base, _ = split_versioned(name)
+            with self._lock:
+                if base not in self._active_versions:
+                    raise KeyError(f"model {base!r} is not served by this pool")
+                rollout = self._rollouts.get(base)
+                in_canary = rollout is not None and rollout.in_canary
+            if in_canary:
+                rollout.claim_transition()     # stop the gate's auto path
+                results = self._admin_broadcast(
+                    "undeploy", {"name": rollout.candidate}, timeout_s=timeout_s)
+                with self._lock:
+                    self._bundles = [(bundle_name, bundle_path)
+                                     for bundle_name, bundle_path in self._bundles
+                                     if bundle_name != rollout.candidate]
+                rollout.finish(ROLLED_BACK, reason)
+                with self._lock:
+                    active_version = self._active_versions[base]
+                return {"model": base, "aborted_canary": rollout.candidate,
+                        "active_version": active_version,
+                        "workers": {str(wid): reply
+                                    for wid, reply in results.items()}}
+            with self._lock:
+                previous = self._previous_versions.get(base)
+            if previous is None:
+                raise LifecycleError(f"model {base!r} has no previous active "
+                                     f"version to roll back to")
+            info = self.promote(base, previous, reason=reason,
+                                timeout_s=timeout_s)
+            info["rolled_back"] = True
+            return info
+
+    def _archive_rollout(self, rollout: Rollout) -> None:
+        """Move a terminal rollout into the bounded history (lock held)."""
+        self._rollout_history.append(rollout.snapshot())
+        del self._rollout_history[:-20]
+
+    def lifecycle_snapshot(self) -> Dict[str, object]:
+        """The pool ``/admin/status`` payload."""
+        with self._lock:
+            versions: Dict[str, Dict[str, object]] = {}
+            for bundle_name, bundle_path in self._bundles:
+                base, version = split_versioned(bundle_name)
+                entry = versions.setdefault(base, {"versions": []})
+                entry["versions"].append(
+                    {"version": 1 if version is None else version,
+                     "name": bundle_name, "path": bundle_path})
+            for base, entry in versions.items():
+                entry["versions"].sort(key=lambda item: item["version"])
+                entry["active_version"] = self._active_versions.get(base)
+                entry["previous_version"] = self._previous_versions.get(base)
+            rollouts = {base: rollout.snapshot()
+                        for base, rollout in self._rollouts.items()}
+            history = list(self._rollout_history)
+        return {"models": versions, "rollouts": rollouts, "history": history,
+                "pool": self.describe_pool()}
 
     # ------------------------------------------------------------------ #
     # Aggregated observability
@@ -835,9 +1329,17 @@ class PoolServer:
         per_worker = self._fetch_from_workers("/metrics")
         healthy = [payload for payload in per_worker.values()
                    if "error" not in payload]
+        with self._lock:
+            lifecycle = {
+                "rollouts": {base: rollout.snapshot()
+                             for base, rollout in self._rollouts.items()},
+                "history": list(self._rollout_history),
+                "active_versions": dict(self._active_versions),
+            }
         return {
             "router": self.metrics.snapshot(queue_depth=self.outstanding_total()),
             "pool": self.describe_pool(),
+            "lifecycle": lifecycle,
             "workers": per_worker,
             "aggregate": aggregate_counter_trees(healthy) if healthy else {},
         }
@@ -891,7 +1393,7 @@ def _json_bytes(payload: Dict[str, object]) -> bytes:
 # Router HTTP handler
 # --------------------------------------------------------------------------- #
 def _build_pool_handler(pool: PoolServer):
-    from repro.serve.server import JSONHandlerBase
+    from repro.serve.server import JSONHandlerBase, _admin_dispatch
 
     class Handler(JSONHandlerBase):
         def do_GET(self) -> None:                # noqa: N802 - stdlib signature
@@ -901,10 +1403,44 @@ def _build_pool_handler(pool: PoolServer):
                 self._reply(200, pool.metrics_snapshot())
             elif self.path == "/models":
                 self._reply(200, pool.models_snapshot())
+            elif self.path == "/admin/status":
+                self._reply(200, pool.lifecycle_snapshot())
             else:
                 self._reply(404, {"error": f"unknown path {self.path}"})
 
+        def _do_admin(self) -> None:
+            body = self._read_body()
+            if body is None:
+                return
+            try:
+                payload = json.loads(body or b"{}")
+                if not isinstance(payload, dict):
+                    raise ValueError("admin body must be a JSON object")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            _admin_dispatch(
+                self._reply, self.path, payload,
+                deploy=lambda p: pool.deploy(
+                    p["name"], p["path"], version=p.get("version"),
+                    canary_fraction=float(p.get("canary_fraction", 0.25)),
+                    min_samples=int(p.get("min_samples", 20)),
+                    max_parity_violations=int(p.get("max_parity_violations", 0)),
+                    # Distinguish "absent" (default ratio) from explicit null
+                    # (latency gate disabled).
+                    max_latency_ratio=(
+                        (None if p["max_latency_ratio"] is None
+                         else float(p["max_latency_ratio"]))
+                        if "max_latency_ratio" in p else 3.0),
+                    auto=bool(p.get("auto", True))),
+                promote=lambda p: pool.promote(p["name"],
+                                               version=p.get("version")),
+                rollback=lambda p: pool.rollback(p["name"]))
+
         def do_POST(self) -> None:               # noqa: N802 - stdlib signature
+            if self.path.startswith("/admin/"):
+                self._do_admin()
+                return
             if self.path != "/predict":
                 self._reply(404, {"error": f"unknown path {self.path}"})
                 return

@@ -36,8 +36,10 @@ import numpy as np
 
 from repro.serve.auditor import ParityAuditor
 from repro.serve.engine import BundleEngine
+from repro.serve.lifecycle import (LifecycleError, format_versioned,
+                                   split_versioned)
 from repro.serve.metrics import ServerMetrics
-from repro.serve.registry import ModelRegistry, PathLike
+from repro.serve.registry import EngineLease, ModelRegistry, PathLike
 from repro.serve.scheduler import (DynamicBatcher, QueueFullError, RequestTimeout,
                                    SchedulerStopped)
 
@@ -108,13 +110,20 @@ class _AcceleratorPacer:
 
 @dataclass
 class ServedModel:
-    """One resident model wired into the serving plane."""
+    """One resident model version wired into the serving plane.
 
-    name: str
+    ``lease`` pins the engine in the registry for as long as the record
+    serves; retirement (eviction, promote, undeploy) drains the batcher and
+    releases the lease, which is what finally lets the registry drop the
+    engine — never mid-request.
+    """
+
+    name: str                    # registry record id (e.g. "resnet" / "resnet@v2")
     engine: BundleEngine
     batcher: DynamicBatcher
     auditor: Optional[ParityAuditor] = None
     pacer: Optional[_AcceleratorPacer] = None
+    lease: Optional[EngineLease] = None
 
 
 class PECANServer:
@@ -180,33 +189,55 @@ class PECANServer:
             self._get_served(name)
         return name
 
+    @staticmethod
+    def _retire(record: ServedModel) -> None:
+        """Drain and unwire one served record (call with no locks held)."""
+        record.batcher.stop(drain=True)
+        if record.auditor is not None:
+            record.auditor.stop()
+        if record.lease is not None:
+            record.lease.release()
+
+    def _retire_served(self, record_id: str) -> None:
+        with self._lock:
+            record = self._served.pop(record_id, None)
+        if record is not None:
+            self._retire(record)
+
     def _get_served(self, name: str) -> ServedModel:
         """The wired-up (engine + batcher + auditor) record, building lazily.
 
-        Registry evictions are honoured here: a ``ServedModel`` whose engine
-        the registry dropped is retired (its batcher drained, its auditor —
-        which holds a second engine — stopped) so eviction actually releases
-        the memory.  Retirement happens *outside* the server lock: draining a
-        busy batcher can take seconds and must not stall other models'
-        predictions or ``/metrics``.
+        The engine checkout (which may *load* a bundle) happens before the
+        server lock is taken, so a slow deploy never stalls other models'
+        predictions.  The returned record holds an :class:`EngineLease`;
+        registry evictions are honoured here: a ``ServedModel`` whose record
+        the registry marked for eviction is retired (its batcher drained, its
+        auditor — which holds a second engine — stopped, its lease released)
+        so eviction actually releases the memory.  Retirement happens
+        *outside* the server lock: draining a busy batcher can take seconds
+        and must not stall other models' predictions or ``/metrics``.
         """
+        lease = self.registry.acquire(name)       # may load; no server lock held
         retired = []
+        adopted = False
         try:
             with self._lock:
-                served = self._served.get(name)
-                engine = self.registry.get_engine(name)   # may evict an LRU engine
-                if served is not None and served.engine is not engine:
-                    retired.append(self._served.pop(name))  # evicted + reloaded
+                record_id = lease.name            # alias-resolved registry id
+                served = self._served.get(record_id)
+                if served is not None and served.engine is not lease.engine:
+                    retired.append(self._served.pop(record_id))  # evicted + reloaded
                     served = None
-                # Drop wired-up records for models the registry evicted, or
-                # their engines (and the auditors' reference engines) stay
-                # resident and the --max_total_values budget is fiction.
+                # Drop wired-up records for versions the registry evicted or
+                # marked for deferred drop, or their engines (and the
+                # auditors' reference engines) stay resident and the
+                # --max_total_values budget is fiction.
                 loaded = set(self.registry.loaded_names())
                 for other in list(self._served):
-                    if other != name and other not in loaded:
+                    if other != record_id and other not in loaded:
                         retired.append(self._served.pop(other))
                 if served is not None:
                     return served
+                engine = lease.engine
                 auditor = None
                 on_batch = None
                 if self.audit_every:
@@ -231,15 +262,100 @@ class PECANServer:
                     max_queue_depth=self.max_queue_depth,
                     request_timeout_s=self.request_timeout_s,
                     metrics=self.metrics, on_batch=on_batch).start()
-                served = ServedModel(name=name, engine=engine, batcher=batcher,
-                                     auditor=auditor, pacer=pacer)
-                self._served[name] = served
+                served = ServedModel(name=record_id, engine=engine, batcher=batcher,
+                                     auditor=auditor, pacer=pacer, lease=lease)
+                self._served[record_id] = served
+                adopted = True
                 return served
         finally:
+            if not adopted:
+                lease.release()           # existing record already holds one
             for record in retired:
-                record.batcher.stop(drain=True)
-                if record.auditor is not None:
-                    record.auditor.stop()
+                self._retire(record)
+
+    # ------------------------------------------------------------------ #
+    # Model lifecycle (hot reload)
+    # ------------------------------------------------------------------ #
+    def deploy_bundle(self, path: PathLike, name: str,
+                      version: Optional[int] = None,
+                      preload: bool = True) -> str:
+        """Register (and warm) a **new version** of base ``name`` while the
+        server keeps answering from the active version.  Returns the new
+        versioned record id (``name@vN``); traffic only reaches it by that
+        explicit name until :meth:`promote`."""
+        record = self.registry.deploy(name, path, version=version)
+        if preload:
+            try:
+                self._get_served(record.name)
+            except Exception:
+                self.registry.undeploy(record.name)
+                raise
+        return record.name
+
+    def promote(self, name: str, version: Optional[int] = None) -> Dict[str, object]:
+        """Atomically point base ``name`` at ``version`` (default: latest).
+
+        Zero-downtime order: the candidate is warmed first (engine loaded,
+        batcher running), then the alias flips — new requests route to the
+        new version — and only then is the outgoing version's serving record
+        drained and released.  In-flight requests on the old version finish
+        on its engine."""
+        base, parsed = split_versioned(name)
+        if parsed is not None:
+            if version is not None and version != parsed:
+                raise LifecycleError(f"conflicting versions: name {name!r} "
+                                     f"vs version={version}")
+            version = parsed
+        if version is None:
+            version = self.registry.latest_version(base)
+            if version is None:
+                raise KeyError(f"model {base!r} is not registered")
+        versions = self.registry.versions_of(base)
+        if version not in versions:
+            raise LifecycleError(f"model {base!r} has no version {version} "
+                                 f"(known: {sorted(versions)})")
+        previous_version = self.registry.active_version(base)
+        previous_id = self.registry.resolve_id(base)
+        candidate_id = versions[version]
+        if candidate_id != previous_id:
+            # Warm by canonical versioned name: the record id of a
+            # bare-registered v1 is the base name itself, which the resolver
+            # would route through the *active* alias — warming the wrong
+            # (outgoing) version on a rollback.
+            self._get_served(format_versioned(base, version))
+            self.registry.set_active(base, version)
+            self._retire_served(previous_id)
+        return {"model": base, "active_version": version,
+                "active": candidate_id, "previous_version": previous_version}
+
+    def rollback(self, name: str) -> Dict[str, object]:
+        """Flip base ``name`` back to its previously active version."""
+        base, _ = split_versioned(name)
+        previous = self.registry.previous_version(base)
+        if previous is None:
+            raise LifecycleError(f"model {base!r} has no previous active "
+                                 f"version to roll back to")
+        info = self.promote(base, previous)
+        info["rolled_back"] = True
+        return info
+
+    def undeploy(self, name: str) -> str:
+        """Remove a non-active version and retire its serving record."""
+        record_id = self.registry.resolve_id(name)
+        self.registry.undeploy(record_id)     # validates (active stays put)
+        self._retire_served(record_id)
+        return record_id
+
+    def lifecycle_snapshot(self) -> Dict[str, object]:
+        """The single-process ``/admin/status`` payload."""
+        with self._lock:
+            serving = sorted(self._served)
+        registry = self.registry.describe()
+        return {
+            "registry": registry,
+            "active": registry["active"],
+            "serving": serving,
+        }
 
     # ------------------------------------------------------------------ #
     # In-process serving API (the HTTP handler is a thin shim over this)
@@ -355,11 +471,10 @@ class PECANServer:
             self._http_thread.join(5.0)
             self._http_thread = None
         with self._lock:
-            for record in self._served.values():
-                record.batcher.stop(drain=True)
-                if record.auditor is not None:
-                    record.auditor.stop()
+            records = list(self._served.values())
             self._served.clear()
+        for record in records:        # drain outside the lock
+            self._retire(record)
 
     def serve_forever(self) -> None:
         """Blocking variant for the CLI: start and run until interrupted."""
@@ -426,6 +541,38 @@ class JSONHandlerBase(BaseHTTPRequestHandler):
         return self.rfile.read(length)
 
 
+def _admin_dispatch(reply, path: str, payload: Dict[str, object],
+                    deploy, promote, rollback) -> None:
+    """Shared ``/admin/*`` POST dispatch for the single server and the pool.
+
+    ``deploy/promote/rollback`` are callables returning a JSON-ready dict;
+    lifecycle/validation failures map to 400, unknown names to 404.
+    """
+    try:
+        if path == "/admin/deploy":
+            if "name" not in payload or "path" not in payload:
+                raise LifecycleError("deploy needs 'name' and 'path'")
+            reply(200, deploy(payload))
+        elif path == "/admin/promote":
+            if "name" not in payload:
+                raise LifecycleError("promote needs 'name'")
+            reply(200, promote(payload))
+        elif path == "/admin/rollback":
+            if "name" not in payload:
+                raise LifecycleError("rollback needs 'name'")
+            reply(200, rollback(payload))
+        else:
+            reply(404, {"error": f"unknown admin path {path}"})
+    except (LifecycleError, ValueError) as exc:
+        reply(400, {"error": str(exc)})
+    except FileNotFoundError as exc:
+        reply(400, {"error": str(exc)})
+    except KeyError as exc:
+        reply(404, {"error": str(exc).strip("'\"")})
+    except Exception as exc:                     # noqa: BLE001 - boundary
+        reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
 def _build_handler(server: PECANServer):
     class Handler(JSONHandlerBase):
         pecan = server
@@ -437,10 +584,35 @@ def _build_handler(server: PECANServer):
                 self._reply(200, self.pecan.metrics_snapshot())
             elif self.path == "/models":
                 self._reply(200, self.pecan.models_snapshot())
+            elif self.path == "/admin/status":
+                self._reply(200, self.pecan.lifecycle_snapshot())
             else:
                 self._reply(404, {"error": f"unknown path {self.path}"})
 
+        def _do_admin(self) -> None:
+            body = self._read_body()
+            if body is None:
+                return
+            try:
+                payload = json.loads(body or b"{}")
+                if not isinstance(payload, dict):
+                    raise ValueError("admin body must be a JSON object")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            _admin_dispatch(
+                self._reply, self.path, payload,
+                deploy=lambda p: {"deployed": self.pecan.deploy_bundle(
+                    p["path"], name=p["name"], version=p.get("version"),
+                    preload=bool(p.get("preload", True)))},
+                promote=lambda p: self.pecan.promote(p["name"],
+                                                     version=p.get("version")),
+                rollback=lambda p: self.pecan.rollback(p["name"]))
+
         def do_POST(self) -> None:               # noqa: N802 - stdlib signature
+            if self.path.startswith("/admin/"):
+                self._do_admin()
+                return
             if self.path != "/predict":
                 self._reply(404, {"error": f"unknown path {self.path}"})
                 return

@@ -205,3 +205,59 @@ class TestEndToEndCommands:
                           "--num_train", "32", "--num_test", "16"])
         assert exit_code == 0
         assert (tmp_path / "lenet5.npz").exists()
+
+
+class TestLifecycleCommands:
+    """`repro-pecan deploy/promote/rollback` against a live admin API."""
+
+    @pytest.fixture
+    def serving(self, tmp_path):
+        from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+        from repro.pecan.config import PQLayerConfig
+        from repro.pecan.convert import convert_to_pecan
+        from repro.io import export_deployment_bundle
+        from repro.serve import PECANServer
+
+        def bundle(seed, path):
+            rng = np.random.default_rng(seed)
+            cfg = PQLayerConfig(num_prototypes=4, mode="distance",
+                                temperature=0.5)
+            model = Sequential(Conv2d(1, 4, 3, rng=rng), ReLU(), MaxPool2d(2),
+                               Flatten(), Linear(4 * 4 * 4, 6, rng=rng))
+            return export_deployment_bundle(convert_to_pecan(model, cfg, rng=rng),
+                                            path, input_shape=(1, 10, 10))
+
+        v1 = bundle(0, tmp_path / "v1.npz")
+        v2 = bundle(1, tmp_path / "v2.npz")
+        server = PECANServer(port=0, max_wait_ms=1.0)
+        server.add_bundle(v1, name="m", preload=True)
+        server.start()
+        yield server, v2
+        server.stop()
+
+    def test_deploy_promote_rollback_round_trip(self, serving, capsys):
+        server, v2 = serving
+        url = server.url
+        assert main(["deploy", "--url", url, "--model", "m",
+                     "--bundle", str(v2), "--canary", "0.5"]) == 0
+        assert "deployed m@v2" in capsys.readouterr().out
+        assert main(["promote", "--url", url, "--model", "m",
+                     "--version", "2"]) == 0
+        assert "promoted m to v2" in capsys.readouterr().out
+        assert server.registry.active_version("m") == 2
+        assert main(["rollback", "--url", url, "--model", "m"]) == 0
+        assert "back to v1" in capsys.readouterr().out
+        assert server.registry.active_version("m") == 1
+
+    def test_admin_failures_exit_nonzero(self, serving, capsys):
+        server, _ = serving
+        assert main(["promote", "--url", server.url, "--model", "ghost"]) == 1
+        assert "promote failed" in capsys.readouterr().out
+        assert main(["rollback", "--url", server.url, "--model", "m"]) == 1
+        assert "rollback failed" in capsys.readouterr().out
+
+    def test_deploy_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["deploy", "--model", "m", "--bundle", "b.npz"])
+        assert args.canary == 0.25 and args.min_samples == 20
+        assert args.max_parity_violations == 0 and not args.no_auto
