@@ -21,7 +21,10 @@ subcommands the deployment story needs:
 * ``deploy`` / ``promote`` / ``rollback`` — the model-lifecycle verbs
   (:mod:`repro.serve.lifecycle`): hot-load a new bundle version into a
   *running* serve/pool process, watch a parity-gated canary rollout, flip or
-  restore the active version — all without restarting the serving process.
+  restore the active version — all without restarting the serving process;
+* ``score`` — offline bulk scoring against a running endpoint at ``batch``
+  priority (:class:`repro.serve.client.BulkScorer`): chunked submission that
+  soaks idle capacity but yields to online traffic and rides out brownouts.
 
 Flags that only make sense on the authors' setup (``--data_dir``, ``--gpu``)
 are accepted and ignored so published command lines run unchanged; extra
@@ -329,6 +332,77 @@ def _add_admin_flags(parser: argparse.ArgumentParser) -> None:
                         help="HTTP timeout (bundle loads happen in-band)")
 
 
+def _command_score(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.serve.client import BulkScorer, ServeClient, ServeHTTPError
+
+    if args.dataset == "random":
+        if args.input_shape is None:
+            print("score: --input-shape is required with --dataset random")
+            return 2
+        rng = np.random.default_rng(args.seed)
+        inputs = rng.standard_normal((args.num_samples, *args.input_shape))
+    else:
+        path = Path(args.dataset)
+        if not path.exists():
+            print(f"score: dataset not found: {path}")
+            return 2
+        if path.suffix == ".npz":
+            with np.load(path) as archive:
+                key = "images" if "images" in archive.files else archive.files[0]
+                inputs = np.asarray(archive[key])
+        else:
+            inputs = np.load(path)
+        if args.num_samples is not None:
+            inputs = inputs[: args.num_samples]
+    client = ServeClient(args.url, timeout_s=args.timeout_s)
+    scorer = BulkScorer(client, model=args.model, tenant=args.tenant,
+                        chunk_size=args.chunk,
+                        max_chunk_retries=args.max_chunk_retries)
+    print(f"scoring {inputs.shape[0]} samples against {args.url} "
+          f"(chunks of {args.chunk}, priority batch, tenant {args.tenant!r})")
+    started = time.monotonic()
+    try:
+        logits = scorer.score(inputs)
+    except ServeHTTPError as exc:
+        print(f"score failed: {exc}")
+        return 1
+    elapsed = max(time.monotonic() - started, 1e-9)
+    print(f"scored {logits.shape[0]} samples in {elapsed:.2f}s "
+          f"({logits.shape[0] / elapsed:.1f} samples/s) over "
+          f"{scorer.chunks_total} chunks; {scorer.retries_total} chunk "
+          f"retries, {scorer.backoff_s_total:.2f}s spent backing off")
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(output, logits=logits, classes=np.argmax(logits, axis=1))
+        print(f"logits: {output}")
+    else:
+        classes, counts = np.unique(np.argmax(logits, axis=1),
+                                    return_counts=True)
+        histogram = {int(cls): int(count) for cls, count
+                     in zip(classes, counts)}
+        print(f"predicted-class histogram: {histogram}")
+    return 0
+
+
+def _qos_config_from_args(args: argparse.Namespace):
+    from repro.serve.qos import QoSConfig
+
+    return QoSConfig(
+        slots_per_worker=args.slots_per_worker,
+        max_waiting=args.max_waiting,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        queue_high=args.queue_high,
+        p99_slo_ms=args.p99_slo_ms,
+        batch_class_samples=args.batch_class_samples,
+    )
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.workers > 1:
         return _serve_pool(args)
@@ -353,7 +427,8 @@ def _serve_single(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
         max_queue_depth=args.max_queue, request_timeout_s=args.timeout_s,
         batch_chunk=args.batch_chunk, audit_every=args.audit_every,
-        hardware_hz=args.emulate_hardware_hz)
+        hardware_hz=args.emulate_hardware_hz,
+        qos_config=_qos_config_from_args(args))
     for spec in args.bundle:
         name, path = _parse_bundle_spec(spec)
         registered = server.add_bundle(path, name=name, preload=not args.lazy_load)
@@ -388,7 +463,8 @@ def _serve_pool(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue, request_timeout_s=args.timeout_s,
         batch_chunk=args.batch_chunk, audit_every=args.audit_every,
         optimize=args.optimize, max_total_values=args.max_total_values,
-        hardware_hz=args.emulate_hardware_hz, preload=not args.lazy_load)
+        hardware_hz=args.emulate_hardware_hz, preload=not args.lazy_load,
+        qos_config=_qos_config_from_args(args))
     # Installed before start: a SIGTERM that lands while workers are still
     # spawning (or during the readiness wait below) must still drain cleanly.
     signal.signal(signal.SIGTERM, lambda signum, frame: pool.request_stop())
@@ -495,7 +571,61 @@ def build_parser() -> argparse.ArgumentParser:
                             "accelerator at this clock would need (paper "
                             "Section 4.3 cost model); for capacity planning "
                             "and scaling benchmarks")
+    # QoS plane (repro.serve.qos): admission, fairness and brownout knobs.
+    serve.add_argument("--slots_per_worker", type=int, default=4,
+                       help="concurrent dispatch slots per worker in the "
+                            "weighted-fair scheduler (pool mode)")
+    serve.add_argument("--max_waiting", type=int, default=256,
+                       help="router waiting-room size; overflow sheds "
+                            "lowest-priority first with 429")
+    serve.add_argument("--tenant_rate", type=float, default=None,
+                       help="per-tenant request rate limit (requests/s; "
+                            "token bucket); unset disables rate limiting")
+    serve.add_argument("--tenant_burst", type=float, default=8.0,
+                       help="token-bucket burst per tenant")
+    serve.add_argument("--queue_high", type=float, default=32.0,
+                       help="queue depth the brownout controller treats as "
+                            "load 1.0")
+    serve.add_argument("--p99_slo_ms", type=float, default=None,
+                       help="p99 latency SLO; sustained breaches drive the "
+                            "brownout controller through shed-batch / "
+                            "shed-standard / emergency")
+    serve.add_argument("--batch_class_samples", type=int, default=None,
+                       help="per-micro-batch sample budget for batch-class "
+                            "work (default max_batch_size // 4)")
     serve.set_defaults(handler=_command_serve)
+
+    score = subparsers.add_parser(
+        "score", help="bulk offline scoring against a running serve/pool "
+                      "at batch priority (yields to online traffic)")
+    score.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the running serve/pool process")
+    score.add_argument("--model", default=None,
+                       help="model name (default: the server's only model)")
+    score.add_argument("--dataset", default="random",
+                       help="samples to score: a .npz/.npy path, or "
+                            "'random' with --input-shape")
+    score.add_argument("--input-shape", "--input_shape", dest="input_shape",
+                       type=_parse_input_shape, default=None,
+                       metavar="C,H,W",
+                       help="per-sample shape for --dataset random")
+    score.add_argument("--num_samples", type=int, default=64,
+                       help="samples to generate (random) or cap the "
+                            "dataset at")
+    score.add_argument("--chunk", type=int, default=8,
+                       help="samples per request; keep at or below the "
+                            "server's batch-class budget")
+    score.add_argument("--tenant", default="bulk",
+                       help="tenant id the scoring traffic runs under")
+    score.add_argument("--max_chunk_retries", type=int, default=12,
+                       help="backoff retries per chunk before giving up")
+    score.add_argument("--timeout_s", type=float, default=60.0,
+                       help="HTTP timeout per chunk")
+    score.add_argument("--output", default=None,
+                       help="write logits + argmax classes to this .npz "
+                            "(default: print a class histogram)")
+    score.add_argument("--seed", type=int, default=0)
+    score.set_defaults(handler=_command_score)
 
     deploy = subparsers.add_parser(
         "deploy", help="hot-load a new bundle version into a running "

@@ -29,8 +29,16 @@ inference program); this package turns that file back into a serving process:
   :class:`Rollout` state behind the ``/admin/deploy | promote | rollback``
   API and ``repro-pecan deploy/promote/rollback``;
 * :mod:`repro.serve.client` — :class:`ServeClient`, a stdlib HTTP client
-  (with one transparent retry of idempotent requests over worker respawns)
-  and the admin API verbs;
+  (with one transparent retry of idempotent requests over worker respawns,
+  and ``Retry-After``-honouring backoff on 429/503) plus :class:`BulkScorer`,
+  chunked offline scoring at ``batch`` priority, and the admin API verbs;
+* :mod:`repro.serve.qos` — the QoS plane: :data:`PRIORITY_CLASSES`
+  (``interactive``/``standard``/``batch``), per-request deadlines and tenants
+  (:class:`RequestQoS`), weighted-fair priority-ordered dispatch slots
+  (:class:`FairScheduler`), per-tenant token buckets
+  (:class:`TokenBucketTable`) and the EWMA overload
+  :class:`BrownoutController` (``healthy → shed-batch → shed-standard →
+  emergency``), configured through :class:`QoSConfig`;
 * :mod:`repro.serve.ops` — backwards-compatible re-exports of the unified
   lowerings in :mod:`repro.ir.ops` (which mirror
   :mod:`repro.autograd.functional` exactly).
@@ -42,7 +50,7 @@ interpreter.
 """
 
 from repro.serve.auditor import ParityAuditor
-from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.client import BulkScorer, ServeClient, ServeHTTPError
 from repro.serve.engine import BundleEngine
 from repro.serve.lifecycle import (CanaryPolicy, LifecycleError, Rollout,
                                    RolloutGate, format_versioned,
@@ -51,12 +59,27 @@ from repro.serve.metrics import ServerMetrics, aggregate_counter_trees
 from repro.serve.pool import (POLICIES, LeastOutstandingPolicy, ModelAffinityPolicy,
                               PoolServer, RoundRobinPolicy, RoutingPolicy,
                               WorkerConfig, make_policy)
+from repro.serve.qos import (BROWNOUT_STATES, PRIORITY_CLASSES,
+                             BrownoutController, FairScheduler, QoSConfig,
+                             RequestQoS, ShedError, TokenBucket,
+                             TokenBucketTable, parse_qos)
 from repro.serve.registry import EngineLease, ModelRegistry, RegisteredModel
 from repro.serve.scheduler import (DynamicBatcher, InferenceRequest, QueueFullError,
                                    RequestTimeout, SchedulerError, SchedulerStopped)
 from repro.serve.server import PECANServer, ServedModel
 
 __all__ = [
+    "BROWNOUT_STATES",
+    "PRIORITY_CLASSES",
+    "BrownoutController",
+    "BulkScorer",
+    "FairScheduler",
+    "QoSConfig",
+    "RequestQoS",
+    "ShedError",
+    "TokenBucket",
+    "TokenBucketTable",
+    "parse_qos",
     "BundleEngine",
     "CanaryPolicy",
     "EngineLease",

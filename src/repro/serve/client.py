@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -25,6 +26,10 @@ import numpy as np
 #: an HTTP-level error the server actually sent.
 _TRANSIENT_ERRORS = (ConnectionResetError, BrokenPipeError, ConnectionAbortedError,
                      http.client.RemoteDisconnected, http.client.BadStatusLine)
+
+#: HTTP statuses that mean "come back later" (queue full, brownout shed,
+#: draining) — retryable for idempotent requests, honouring ``Retry-After``.
+_BACKOFF_STATUSES = (429, 503)
 
 
 def _is_transient(exc: BaseException) -> bool:
@@ -36,11 +41,33 @@ def _is_transient(exc: BaseException) -> bool:
 
 
 class ServeHTTPError(RuntimeError):
-    """Non-2xx response from the serving endpoint."""
+    """Non-2xx response from the serving endpoint.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after_s`` carries the server's ``Retry-After`` hint (seconds)
+    when a 429/503 included one — the floor a well-behaved caller should
+    back off before retrying.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: Optional[float] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.retry_after_s = retry_after_s
+
+
+def _backoff_delay(attempt: int, retry_after_s: Optional[float],
+                   base_s: float = 0.1, cap_s: float = 5.0) -> float:
+    """Capped exponential backoff with jitter, floored by ``Retry-After``.
+
+    The server's hint is the floor (it knows its own recovery horizon); the
+    exponential term spreads retries from many blocked clients so recovery
+    is not met by a thundering herd.
+    """
+    exp = min(base_s * (2.0 ** max(attempt, 0)), cap_s)
+    jittered = random.uniform(exp * 0.5, exp)
+    if retry_after_s is not None and retry_after_s > 0:
+        return min(max(jittered, retry_after_s), cap_s)
+    return jittered
 
 
 class ServeClient:
@@ -51,29 +78,42 @@ class ServeClient:
     mid-exchange (``ConnectionResetError`` / ``BrokenPipeError`` /
     ``RemoteDisconnected``): that is what a request hitting a worker being
     respawned looks like from the client side, and the router-side retry only
-    covers failures *between* router and worker.  Non-idempotent admin
-    operations (``deploy``) are never retried — the first attempt may have
-    been applied before the connection died.
+    covers failures *between* router and worker.  Backpressure answers (HTTP
+    429/503) on idempotent requests are retried up to ``backoff_retries``
+    times with capped exponential backoff + jitter, honouring the server's
+    ``Retry-After`` hint as the floor.  Non-idempotent admin operations
+    (``deploy``) are never retried on either path — the first attempt may
+    have been applied before the connection died.
     """
 
     def __init__(self, base_url: str, timeout_s: float = 60.0,
-                 transient_retries: int = 1):
+                 transient_retries: int = 1,
+                 backoff_retries: int = 2,
+                 backoff_cap_s: float = 5.0):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.transient_retries = max(int(transient_retries), 0)
+        self.backoff_retries = max(int(backoff_retries), 0)
+        self.backoff_cap_s = float(backoff_cap_s)
 
     # ------------------------------------------------------------------ #
     def _request(self, path: str, payload: Optional[Dict] = None,
-                 idempotent: Optional[bool] = None) -> Dict:
+                 idempotent: Optional[bool] = None,
+                 headers: Optional[Dict[str, str]] = None) -> Dict:
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         if idempotent is None:
             idempotent = data is None          # GETs are always safe to retry
-        attempts = 1 + (self.transient_retries if idempotent else 0)
-        for attempt in range(attempts):
+        transient_attempts = 1 + (self.transient_retries if idempotent else 0)
+        backoff_attempts = 1 + (self.backoff_retries if idempotent else 0)
+        transient = 0
+        backoff = 0
+        while True:
+            request_headers = dict(headers or {})
+            if data:
+                request_headers.setdefault("Content-Type", "application/json")
             request = urllib.request.Request(
-                url, data=data,
-                headers={"Content-Type": "application/json"} if data else {},
+                url, data=data, headers=request_headers,
                 method="POST" if data is not None else "GET")
             try:
                 with urllib.request.urlopen(request,
@@ -84,28 +124,58 @@ class ServeClient:
                     message = json.loads(exc.read().decode("utf-8")).get("error", "")
                 except Exception:             # noqa: BLE001 - body may be empty
                     message = exc.reason
-                raise ServeHTTPError(exc.code, message) from None
+                retry_after = None
+                try:
+                    retry_after = float(exc.headers.get("Retry-After"))
+                except (TypeError, ValueError):
+                    pass
+                if (exc.code in _BACKOFF_STATUSES
+                        and backoff + 1 < backoff_attempts):
+                    backoff += 1
+                    time.sleep(_backoff_delay(backoff - 1, retry_after,
+                                              cap_s=self.backoff_cap_s))
+                    continue
+                raise ServeHTTPError(exc.code, message,
+                                     retry_after_s=retry_after) from None
             except Exception as exc:          # noqa: BLE001 - filtered below
-                if not (_is_transient(exc) and attempt + 1 < attempts):
+                if not (_is_transient(exc) and transient + 1 < transient_attempts):
                     raise
+                transient += 1
                 time.sleep(0.05)              # let the respawn win the race
 
     # ------------------------------------------------------------------ #
     def predict_response(self, inputs: np.ndarray,
-                         model: Optional[str] = None) -> Dict:
-        """Full JSON response for one ``/predict`` call."""
+                         model: Optional[str] = None,
+                         priority: Optional[str] = None,
+                         tenant: Optional[str] = None,
+                         deadline_ms: Optional[float] = None) -> Dict:
+        """Full JSON response for one ``/predict`` call.
+
+        ``priority`` (``interactive``/``standard``/``batch``), ``tenant`` and
+        ``deadline_ms`` (remaining budget) ride in the request body and are
+        honoured end to end — front end, router, batcher.
+        """
         payload: Dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
         if model is not None:
             payload["model"] = model
+        if priority is not None:
+            payload["priority"] = priority
+        if tenant is not None:
+            payload["tenant"] = tenant
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
         return self._request("/predict", payload, idempotent=True)
 
-    def predict(self, inputs: np.ndarray, model: Optional[str] = None) -> np.ndarray:
+    def predict(self, inputs: np.ndarray, model: Optional[str] = None,
+                **qos) -> np.ndarray:
         """Logits array for one sample or a batch."""
-        return np.asarray(self.predict_response(inputs, model=model)["outputs"])
+        return np.asarray(self.predict_response(inputs, model=model,
+                                                **qos)["outputs"])
 
     def predict_classes(self, inputs: np.ndarray,
-                        model: Optional[str] = None) -> np.ndarray:
-        return np.asarray(self.predict_response(inputs, model=model)["classes"])
+                        model: Optional[str] = None, **qos) -> np.ndarray:
+        return np.asarray(self.predict_response(inputs, model=model,
+                                                **qos)["classes"])
 
     def metrics(self) -> Dict:
         return self._request("/metrics")
@@ -158,3 +228,74 @@ class ServeClient:
             except (ServeHTTPError, urllib.error.URLError, OSError):
                 time.sleep(0.05)
         return False
+
+
+class BulkScorer:
+    """Offline bulk scoring that soaks idle capacity but yields to online
+    traffic.
+
+    Splits a dataset into chunks of ``chunk_size`` samples and submits each
+    at ``batch`` priority — the class the serving plane schedules last,
+    budgets inside every micro-batch, and sheds first under overload.  Shed
+    or rate-limited chunks (429/503) back off (honouring ``Retry-After``)
+    and retry, so a long scoring run rides out brownouts instead of failing;
+    persistent refusal past ``max_chunk_retries`` raises.
+
+    The chunk size is the head-of-line-blocking knob: a chunk is one request,
+    and one request is never split across micro-batches, so it should stay at
+    or below the server's ``batch_class_samples`` budget (the CLI default of
+    8 matches the default budget of ``max_batch_size=32 // 4``).
+    """
+
+    def __init__(self, client: ServeClient, model: Optional[str] = None,
+                 tenant: str = "bulk", chunk_size: int = 8,
+                 max_chunk_retries: int = 12,
+                 on_chunk: Optional[Callable[[Dict], None]] = None):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.client = client
+        self.model = model
+        self.tenant = tenant
+        self.chunk_size = int(chunk_size)
+        self.max_chunk_retries = int(max_chunk_retries)
+        self.on_chunk = on_chunk
+        self.chunks_total = 0
+        self.retries_total = 0
+        self.backoff_s_total = 0.0
+
+    def _score_chunk(self, chunk: np.ndarray) -> List[List[float]]:
+        for attempt in range(self.max_chunk_retries + 1):
+            try:
+                response = self.client.predict_response(
+                    chunk, model=self.model, priority="batch",
+                    tenant=self.tenant)
+            except ServeHTTPError as exc:
+                if exc.status not in _BACKOFF_STATUSES \
+                        or attempt >= self.max_chunk_retries:
+                    raise
+                delay = _backoff_delay(attempt, exc.retry_after_s)
+                self.retries_total += 1
+                self.backoff_s_total += delay
+                time.sleep(delay)
+                continue
+            self.chunks_total += 1
+            if self.on_chunk is not None:
+                self.on_chunk(response)
+            return response["outputs"]
+        raise RuntimeError("unreachable")      # the loop always returns/raises
+
+    def score(self, inputs: np.ndarray) -> np.ndarray:
+        """Score every sample; returns the stacked ``(N, num_classes)`` logits.
+
+        Chunks are submitted sequentially (closed loop): bulk pressure on the
+        server is one in-flight request per scorer, and overall bulk
+        throughput scales with how much capacity the scheduler grants the
+        ``batch`` class — which is exactly the intent.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim == 0 or inputs.shape[0] == 0:
+            raise ValueError("score() needs at least one sample")
+        outputs: List[List[float]] = []
+        for start in range(0, inputs.shape[0], self.chunk_size):
+            outputs.extend(self._score_chunk(inputs[start:start + self.chunk_size]))
+        return np.asarray(outputs)

@@ -79,6 +79,15 @@ _NON_ADDITIVE_KEYS = frozenset({
     "version", "active_version", "candidate_version", "refs",
     "fraction", "min_samples", "max_parity_violations", "max_latency_ratio",
     "latency_ratio",
+    # QoS gauges and configuration: brownout detector state, fair-queue
+    # occupancy and token-bucket levels are per-process instantaneous values
+    # — summing them across workers would fabricate load.  (Per-class and
+    # per-tenant latency *windows* aggregate correctly already: their leaves
+    # are the percentile keys above.  Shed/timeout/rejection counters stay
+    # additive on purpose — a pool's sheds are the sum of its workers'.)
+    "load", "queue_ewma", "p99_ewma_ms", "queue_high", "p99_slo_ms",
+    "state_age_s", "slots", "active", "waiting", "tokens", "rate_per_s",
+    "burst", "default_rate_per_s", "batch_class_samples",
 })
 
 
@@ -112,12 +121,19 @@ def aggregate_counter_trees(trees: Sequence[Mapping[str, object]]) -> Dict[str, 
     return merged
 
 
+#: Cap on distinct per-tenant latency windows; beyond it new tenants share
+#: one overflow bucket so tenant-id cardinality cannot grow server memory.
+_MAX_TENANT_WINDOWS = 32
+_OVERFLOW_TENANT = "__other__"
+
+
 class ServerMetrics:
     """Aggregated counters for one serving process."""
 
     def __init__(self, window: int = 4096):
         self._lock = threading.Lock()
         self._started = time.monotonic()
+        self._window_size = window
         # Request lifecycle.
         self.requests_total = 0
         self.samples_total = 0
@@ -138,6 +154,14 @@ class ServerMetrics:
         self._request_latency = _Window(window)
         self._queue_wait = _Window(window)
         self._infer_latency = _Window(window)
+        # QoS: per-class / per-tenant latency windows (lazily created — a
+        # deployment that never sends QoS fields pays nothing) and shed
+        # accounting: priority class -> reason -> count.
+        self._class_latency: Dict[str, Window] = {}
+        self._tenant_latency: Dict[str, Window] = {}
+        self.rejected_by_class: Dict[str, int] = {}
+        self.timeouts_by_class: Dict[str, int] = {}
+        self.shed_by_class: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------ #
     def record_submitted(self, samples: int) -> None:
@@ -145,14 +169,26 @@ class ServerMetrics:
             self.requests_total += 1
             self.samples_total += samples
 
-    def record_rejected(self) -> None:
+    def record_rejected(self, priority: Optional[str] = None) -> None:
         with self._lock:
             self.requests_total += 1
             self.rejected_total += 1
+            if priority is not None:
+                self.rejected_by_class[priority] = \
+                    self.rejected_by_class.get(priority, 0) + 1
 
-    def record_timeout(self) -> None:
+    def record_timeout(self, priority: Optional[str] = None) -> None:
         with self._lock:
             self.timeouts_total += 1
+            if priority is not None:
+                self.timeouts_by_class[priority] = \
+                    self.timeouts_by_class.get(priority, 0) + 1
+
+    def record_shed(self, priority: str, reason: str) -> None:
+        """A request refused by the QoS plane (brownout / rate limit / queue)."""
+        with self._lock:
+            by_reason = self.shed_by_class.setdefault(priority, {})
+            by_reason[reason] = by_reason.get(reason, 0) + 1
 
     def record_error(self) -> None:
         with self._lock:
@@ -166,11 +202,28 @@ class ServerMetrics:
                 self.batch_size_histogram.get(batch_samples, 0) + 1
             self._infer_latency.add(infer_seconds)
 
-    def record_completed(self, total_seconds: float, queue_seconds: float) -> None:
+    def record_completed(self, total_seconds: float, queue_seconds: float,
+                         priority: Optional[str] = None,
+                         tenant: Optional[str] = None) -> None:
         with self._lock:
             self.responses_total += 1
             self._request_latency.add(total_seconds)
             self._queue_wait.add(queue_seconds)
+            if priority is not None:
+                window = self._class_latency.get(priority)
+                if window is None:
+                    window = self._class_latency[priority] = \
+                        Window(self._window_size)
+                window.add(total_seconds)
+            if tenant is not None:
+                window = self._tenant_latency.get(tenant)
+                if window is None and len(self._tenant_latency) >= _MAX_TENANT_WINDOWS:
+                    tenant = _OVERFLOW_TENANT
+                    window = self._tenant_latency.get(tenant)
+                if window is None:
+                    window = self._tenant_latency[tenant] = \
+                        Window(self._window_size)
+                window.add(total_seconds)
 
     def record_audit(self, mismatch: bool) -> None:
         with self._lock:
@@ -193,6 +246,14 @@ class ServerMetrics:
     def max_batch_observed(self) -> int:
         with self._lock:
             return max(self.batch_size_histogram, default=0)
+
+    def recent_p99_ms(self) -> Optional[float]:
+        """p99 request latency over the sliding window (the brownout
+        controller's latency signal); ``None`` until anything completed."""
+        with self._lock:
+            window = self._request_latency
+        stats = window.snapshot_ms()
+        return stats["p99_ms"] if stats["count"] else None
 
     def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, object]:
         """One JSON-ready view of every counter (the ``/metrics`` payload)."""
@@ -229,5 +290,17 @@ class ServerMetrics:
                     "mismatches": self.audit_mismatches,
                     "errors": self.audit_errors,
                     "dropped": self.audit_dropped,
+                },
+                "qos": {
+                    "latency_by_class": {
+                        cls: window.snapshot_ms()
+                        for cls, window in sorted(self._class_latency.items())},
+                    "latency_by_tenant": {
+                        tenant: window.snapshot_ms()
+                        for tenant, window in sorted(self._tenant_latency.items())},
+                    "rejected_by_class": dict(self.rejected_by_class),
+                    "timeouts_by_class": dict(self.timeouts_by_class),
+                    "shed_by_class": {cls: dict(reasons) for cls, reasons
+                                      in self.shed_by_class.items()},
                 },
             }

@@ -59,6 +59,9 @@ from repro.serve.lifecycle import (PROMOTED, ROLLED_BACK, CanaryPolicy,
                                    LifecycleError, Rollout, RolloutGate,
                                    format_versioned, split_versioned)
 from repro.serve.metrics import ServerMetrics, aggregate_counter_trees
+from repro.serve.qos import (QoSConfig, RequestQoS, ShedError,
+                             merge_qos_into_payload, parse_qos)
+from repro.serve.scheduler import QueueFullError, RequestTimeout
 
 PathLike = Union[str, Path]
 
@@ -93,6 +96,9 @@ class WorkerConfig:
     hardware_hz: Optional[float] = None
     preload: bool = True
     heartbeat_interval_s: float = 0.25
+    #: Bulk-class sample budget for each worker's batcher (the one QoS knob
+    #: workers enforce themselves; admission and fairness live at the router).
+    batch_class_samples: Optional[int] = None
 
 
 def _worker_admin(server, message: Dict[str, object]) -> Dict[str, object]:
@@ -158,7 +164,8 @@ def _worker_main(config: WorkerConfig, conn) -> None:
             max_queue_depth=config.max_queue_depth,
             request_timeout_s=config.request_timeout_s,
             batch_chunk=config.batch_chunk, audit_every=config.audit_every,
-            hardware_hz=config.hardware_hz)
+            hardware_hz=config.hardware_hz,
+            qos_config=QoSConfig(batch_class_samples=config.batch_class_samples))
         for name, path in config.bundles:
             server.add_bundle(path, name=name, preload=config.preload)
         # A worker spawned mid-lifecycle replays the pool's promote history
@@ -219,6 +226,13 @@ def _worker_main(config: WorkerConfig, conn) -> None:
                     # stop heartbeating/answering control traffic; the HTTP
                     # threads stay up, emulating a wedged control plane.
                     time.sleep(float(message.get("seconds", 3600.0)))
+                    continue
+                if command == "slow":              # fault injection (chaos):
+                    # stretch every dispatched batch by the given latency —
+                    # overload/brownout behaviour without real saturation.
+                    # seconds=0 clears the fault.
+                    server.injected_latency_s = float(
+                        message.get("seconds", 0.05))
                     continue
             if parent is not None and not parent.is_alive():
                 break
@@ -411,13 +425,21 @@ class PoolServer:
                  optimize: bool = False,
                  max_total_values: Optional[int] = None,
                  hardware_hz: Optional[float] = None,
-                 preload: bool = True):
+                 preload: bool = True,
+                 qos_config: Optional[QoSConfig] = None):
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
         self.host = host
         self.port = port
         self.num_workers = int(workers)
         self.policy = make_policy(policy)
+        #: The QoS plane: weighted-fair dispatch slots, per-tenant token
+        #: buckets and the overload brownout controller, all living at the
+        #: router (workers run their own per-process brownout too).
+        self.qos_config = qos_config if qos_config is not None else QoSConfig()
+        self.fair_scheduler = self.qos_config.make_fair_scheduler(self.num_workers)
+        self.rate_limits = self.qos_config.make_buckets()
+        self.brownout = self.qos_config.make_brownout(self._overload_signal)
         self.heartbeat_interval_s = heartbeat_interval_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.start_timeout_s = start_timeout_s
@@ -430,7 +452,9 @@ class PoolServer:
             max_queue_depth=max_queue_depth, request_timeout_s=request_timeout_s,
             batch_chunk=batch_chunk, audit_every=audit_every, optimize=optimize,
             max_total_values=max_total_values, hardware_hz=hardware_hz,
-            preload=preload)
+            preload=preload,
+            batch_class_samples=(qos_config.batch_class_samples
+                                 if qos_config is not None else None))
         self.metrics = ServerMetrics()           # router-side (end-to-end view)
         #: Proxied-response status families (router lock): a worker-side
         #: failure storm (429s, 5xxs) must be visible at the router even
@@ -749,6 +773,12 @@ class PoolServer:
         with self._lock:
             return sum(worker.outstanding for worker in self._workers)
 
+    def _overload_signal(self):
+        """(router queue depth, recent end-to-end p99 ms) for the brownout
+        controller: requests waiting for a dispatch slot are the backlog."""
+        waiting = self.fair_scheduler.snapshot()["waiting"]
+        return waiting, self.metrics.recent_p99_ms()
+
     def inflight_total(self) -> int:
         """Admitted ``/predict`` calls that have not finished (drain gate)."""
         with self._lock:
@@ -768,48 +798,97 @@ class PoolServer:
         finally:
             connection.close()
 
-    def handle_predict(self, body: bytes) -> Tuple[int, bytes]:
-        """Route one raw ``/predict`` body; returns ``(status, response_bytes)``.
+    def handle_predict(self, body: bytes,
+                       headers=None) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        """Route one raw ``/predict`` body.
 
-        The body is forwarded verbatim (the worker does all validation and
-        computation) and the worker's response is returned verbatim, so the
-        protocol — including logits bit patterns — is exactly the
-        single-process :class:`PECANServer`'s.  Connection-level failures
-        (the chosen worker died mid-request) are retried on other workers;
-        inference timeouts are not (HTTP 504).
+        Returns ``(status, response_bytes, extra_response_headers)``.  The
+        request runs the QoS admission pipeline — brownout → per-tenant rate
+        limit → weighted-fair dispatch slot — then the body is forwarded
+        (with the request's *remaining* deadline budget rewritten in, so the
+        worker's batcher honours the deadline the router admitted) and the
+        worker's response is returned verbatim: the protocol — including
+        logits bit patterns — is exactly the single-process
+        :class:`PECANServer`'s.  Connection-level failures (the chosen worker
+        died mid-request) are retried on other workers; inference timeouts
+        are not (HTTP 504).
         """
         with self._lock:
             if self._draining or not self._running:
-                return 503, _json_bytes({"error": "pool is draining"})
+                return 503, _json_bytes({"error": "pool is draining"}), None
             self._inflight += 1
         try:
-            return self._route_predict(body)
+            return self._route_predict(body, headers)
         finally:
             with self._lock:
                 self._inflight -= 1
 
-    def _route_predict(self, body: bytes) -> Tuple[int, bytes]:
-        model = ""
-        payload: Optional[Dict[str, object]] = None
-        if self.policy.needs_model or self._rollouts_in_canary():
-            try:
-                payload = json.loads(body or b"{}")
-                model = str(payload.get("model") or "")
-            except (ValueError, TypeError, AttributeError):
-                return 400, _json_bytes({"error": "request body must be a JSON object"})
+    def _route_predict(self, body: bytes,
+                       headers=None) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        try:
+            payload = json.loads(body or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            qos = parse_qos(payload, headers)
+        except (ValueError, TypeError) as exc:
+            return 400, _json_bytes({"error": str(exc)}), None
+        model = str(payload.get("model") or "")
         self.metrics.record_submitted(0)
-        rollout = self._canary_rollout_for(model)
-        # Only well-formed requests join the canary (a deploy may land
-        # between the parse decision and here, leaving payload unparsed; a
-        # body without "inputs" would make the mirror a guaranteed 4xx and
-        # trip the zero-tolerance gate on a healthy candidate).
-        if (rollout is not None and isinstance(payload, dict)
-                and "inputs" in payload and rollout.policy.sample()):
-            return self._canary_exchange(body, payload, model, rollout)
-        return self._dispatch_with_retries(body, model)
+        # 1. Brownout: under overload, shed the lowest class first with a
+        #    Retry-After hint instead of degrading everyone's p99.
+        try:
+            self.brownout.admit(qos.priority)
+        except ShedError as exc:
+            self.metrics.record_shed(qos.priority, exc.reason)
+            return (exc.status,
+                    _json_bytes({"error": str(exc), "reason": exc.reason,
+                                 "retry_after_s": exc.retry_after_s}),
+                    {"Retry-After": f"{exc.retry_after_s:.3f}"})
+        # 2. Per-tenant token bucket (opt-in): one tenant's flood is bounded
+        #    at admission, not discovered in everyone's latency.
+        granted, retry_after = self.rate_limits.admit(qos.tenant)
+        if not granted:
+            self.metrics.record_shed(qos.priority, "rate-limit")
+            return (429,
+                    _json_bytes({"error": f"tenant {qos.tenant!r} is over its "
+                                          f"rate limit",
+                                 "reason": "rate-limit",
+                                 "retry_after_s": retry_after}),
+                    {"Retry-After": f"{max(retry_after, 0.001):.3f}"})
+        # 3. Weighted-fair dispatch slot: strict priority order, fair across
+        #    tenants within a class; a request whose deadline expires while
+        #    waiting is shed *here* — before any engine work — with its
+        #    queue-time diagnostics on the 408.
+        try:
+            self.fair_scheduler.acquire(qos)
+        except QueueFullError as exc:
+            self.metrics.record_shed(qos.priority, "router-queue-full")
+            self.metrics.record_rejected(priority=qos.priority)
+            return (429, _json_bytes({"error": str(exc)}),
+                    {"Retry-After": "1.000"})
+        except RequestTimeout as exc:
+            self.metrics.record_timeout(priority=qos.priority)
+            return 408, _json_bytes({"error": str(exc), **exc.details}), None
+        try:
+            # Deadline propagation: forward the *remaining* budget so the
+            # worker sheds what the router admitted but can no longer finish.
+            payload = merge_qos_into_payload(payload, qos)
+            body = _json_bytes(payload)
+            rollout = self._canary_rollout_for(model)
+            # Only well-formed requests join the canary (a body without
+            # "inputs" would make the mirror a guaranteed 4xx and trip the
+            # zero-tolerance gate on a healthy candidate).
+            if (rollout is not None and "inputs" in payload
+                    and rollout.policy.sample()):
+                return (*self._canary_exchange(body, payload, model, rollout,
+                                               qos=qos), None)
+            return (*self._dispatch_with_retries(body, model, qos=qos), None)
+        finally:
+            self.fair_scheduler.release()
 
     def _dispatch_with_retries(self, body: bytes, model: str,
-                               record: bool = True) -> Tuple[int, bytes]:
+                               record: bool = True,
+                               qos: Optional[RequestQoS] = None) -> Tuple[int, bytes]:
         """One ``/predict`` through the retry loop; ``record=False`` keeps
         mirrored canary traffic out of the router's client-facing metrics."""
         started = time.monotonic()
@@ -851,7 +930,10 @@ class PoolServer:
                 # into the latency window); worker-side rejections/failures
                 # must not read as healthy router throughput.
                 if status < 400:
-                    self.metrics.record_completed(time.monotonic() - started, 0.0)
+                    self.metrics.record_completed(
+                        time.monotonic() - started, 0.0,
+                        priority=qos.priority if qos else None,
+                        tenant=qos.tenant if qos else None)
                 elif status >= 500:
                     self.metrics.record_error()
                 elif status == 408:
@@ -893,7 +975,8 @@ class PoolServer:
             return rollout if rollout is not None and rollout.in_canary else None
 
     def _canary_exchange(self, body: bytes, payload: Dict[str, object],
-                         model: str, rollout: Rollout) -> Tuple[int, bytes]:
+                         model: str, rollout: Rollout,
+                         qos: Optional[RequestQoS] = None) -> Tuple[int, bytes]:
         """Serve one canary-sampled request through **both** versions.
 
         The active version answers the client (a divergent candidate must
@@ -904,7 +987,7 @@ class PoolServer:
         both latencies, and its verdict may auto-promote or auto-roll-back.
         """
         started = time.monotonic()
-        status, response = self._dispatch_with_retries(body, model)
+        status, response = self._dispatch_with_retries(body, model, qos=qos)
         active_seconds = time.monotonic() - started
         mirror = dict(payload)
         mirror["model"] = rollout.candidate
@@ -959,15 +1042,25 @@ class PoolServer:
                             error=f"{type(exc).__name__}: {exc}")
 
     def predict(self, inputs, model: Optional[str] = None,
-                timeout_s: Optional[float] = None) -> Dict[str, object]:
+                timeout_s: Optional[float] = None,
+                priority: Optional[str] = None,
+                tenant: Optional[str] = None,
+                deadline_ms: Optional[float] = None) -> Dict[str, object]:
         """In-process convenience mirroring :meth:`PECANServer.predict`."""
         payload: Dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
         if model is not None:
             payload["model"] = model
-        status, body = self.handle_predict(_json_bytes(payload))
+        if priority is not None:
+            payload["priority"] = priority
+        if tenant is not None:
+            payload["tenant"] = tenant
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        status, body, headers = self.handle_predict(_json_bytes(payload))
         response = json.loads(body.decode("utf-8"))
         if status != 200:
-            raise ServeHTTPError(status, response.get("error", ""))
+            raise ServeHTTPError(status, response.get("error", ""),
+                                 retry_after_s=_retry_after_from(headers))
         return response
 
     # ------------------------------------------------------------------ #
@@ -1338,6 +1431,14 @@ class PoolServer:
             }
         return {
             "router": self.metrics.snapshot(queue_depth=self.outstanding_total()),
+            # brownout.snapshot() also refreshes the detector, so a pool whose
+            # traffic stopped entirely still recovers toward `healthy` while
+            # being scraped.
+            "qos": {
+                "brownout": self.brownout.snapshot(),
+                "fair_queue": self.fair_scheduler.snapshot(),
+                "rate_limits": self.rate_limits.snapshot(),
+            },
             "pool": self.describe_pool(),
             "lifecycle": lifecycle,
             "workers": per_worker,
@@ -1371,22 +1472,36 @@ class PoolServer:
     # ------------------------------------------------------------------ #
     # Fault injection (chaos tests)
     # ------------------------------------------------------------------ #
-    def inject_fault(self, worker_id: int, kind: str = "crash") -> None:
-        """Ask worker ``worker_id`` to ``crash`` (exit hard) or ``hang``
-        (silence its control loop) — the failure modes the self-healing
-        tests exercise."""
-        if kind not in ("crash", "hang"):
+    def inject_fault(self, worker_id: int, kind: str = "crash",
+                     seconds: Optional[float] = None) -> None:
+        """Ask worker ``worker_id`` to ``crash`` (exit hard), ``hang``
+        (silence its control loop) or run ``slow`` (inject ``seconds`` of
+        latency into every dispatched batch; ``seconds=0`` clears it) — the
+        failure modes the self-healing and brownout chaos tests exercise."""
+        if kind not in ("crash", "hang", "slow"):
             raise ValueError(f"unknown fault {kind!r}")
+        message: Dict[str, object] = {"cmd": kind}
+        if seconds is not None:
+            message["seconds"] = float(seconds)
         with self._lock:
             for worker in self._workers:
                 if worker.id == worker_id:
-                    worker.conn.send({"cmd": kind})
+                    worker.conn.send(message)
                     return
         raise KeyError(f"no worker with id {worker_id}")
 
 
 def _json_bytes(payload: Dict[str, object]) -> bytes:
     return json.dumps(payload).encode("utf-8")
+
+
+def _retry_after_from(headers: Optional[Dict[str, str]]) -> Optional[float]:
+    if not headers:
+        return None
+    try:
+        return float(headers.get("Retry-After", ""))
+    except (TypeError, ValueError):
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -1448,11 +1563,12 @@ def _build_pool_handler(pool: PoolServer):
             if body is None:
                 return
             try:
-                status, response = pool.handle_predict(body)
+                status, response, extra_headers = pool.handle_predict(
+                    body, headers=self.headers)
             except Exception as exc:             # noqa: BLE001 - boundary
                 pool.metrics.record_error()
-                status, response = 500, _json_bytes(
-                    {"error": f"{type(exc).__name__}: {exc}"})
-            self._reply_bytes(status, response)
+                status, response, extra_headers = 500, _json_bytes(
+                    {"error": f"{type(exc).__name__}: {exc}"}), None
+            self._reply_bytes(status, response, headers=extra_headers)
 
     return Handler

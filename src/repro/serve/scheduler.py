@@ -1,4 +1,4 @@
-"""Dynamic micro-batching scheduler with admission control.
+"""Dynamic micro-batching scheduler with admission control and QoS.
 
 Production CAM inference is throughput-bound: the fused kernels amortize their
 fixed costs (im2col set-up, GEMM dispatch, LUT gathers) across the batch, so
@@ -6,17 +6,24 @@ serving one request per forward wastes most of the hardware.  The
 :class:`DynamicBatcher` sits between the HTTP front end and a
 :class:`~repro.serve.engine.BundleEngine`:
 
-* requests enqueue into a **bounded** queue — when it is full the submit
-  raises :class:`QueueFullError` immediately (backpressure, not unbounded
+* requests enqueue into **bounded per-priority-class queues** — when the total
+  (or the batch-class share of it) is full the submit raises
+  :class:`QueueFullError` immediately (backpressure, not unbounded
   buffering), which the server maps to HTTP 429;
 * a worker thread coalesces waiting requests into one batch of up to
   ``max_batch_size`` samples, waiting at most ``max_wait_ms`` after the first
   request so a lone request still gets low latency;
+* coalescing is **priority-ordered** (``interactive`` > ``standard`` >
+  ``batch``) and bulk work is budgeted: at most ``batch_class_samples`` of
+  each dispatched batch may be ``batch``-class samples, so an interactive
+  arrival is never stuck behind a full batch of bulk scoring work;
 * the batch runs through ``predict(batch, batch_chunk=)`` once and the result
   rows are scattered back to each request's future;
-* requests that sat in the queue past their deadline are failed with
-  :class:`RequestTimeout` instead of being dispatched (shed load late, not
-  never).
+* requests that sat in the queue past their deadline — or that are **doomed**
+  (the deadline will pass before the batch's predicted inference time
+  elapses) — are failed with :class:`RequestTimeout` instead of being
+  dispatched, carrying queue-time diagnostics (shed load early, before it
+  wastes engine time).
 
 The design follows the router/engine split of vLLM's production stack scaled
 to this repo: scheduling policy lives here, numerical work stays in the
@@ -26,14 +33,35 @@ engine, and every decision is observable through
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional
 
 import numpy as np
 
 from repro.serve.metrics import ServerMetrics
+
+#: Priority classes, most to least important; index = dispatch rank.
+#: Canonical definition — :mod:`repro.serve.qos` re-exports it.
+PRIORITY_CLASSES = ("interactive", "standard", "batch")
+
+#: The class assigned when a request does not say (the pre-QoS behaviour).
+DEFAULT_PRIORITY = "standard"
+
+#: The tenant id assigned when a request does not say.
+DEFAULT_TENANT = "default"
+
+_BATCH_RANK = PRIORITY_CLASSES.index("batch")
+
+
+def priority_rank(priority: str) -> int:
+    """Numeric rank of ``priority`` (0 = most important); raises on unknown."""
+    try:
+        return PRIORITY_CLASSES.index(priority)
+    except ValueError:
+        raise ValueError(f"unknown priority class {priority!r}; "
+                         f"expected one of {PRIORITY_CLASSES}") from None
 
 
 class SchedulerError(RuntimeError):
@@ -45,7 +73,28 @@ class QueueFullError(SchedulerError):
 
 
 class RequestTimeout(SchedulerError):
-    """The request exceeded its deadline before completing."""
+    """The request exceeded its deadline before completing.
+
+    When the deadline expired while the request was still *queued* (shed
+    before any engine work), ``queue_ms``/``stage`` carry the diagnostics the
+    front ends surface on the 408 — how long it waited and in which queue.
+    """
+
+    def __init__(self, message: str = "request timed out", *,
+                 queue_ms: Optional[float] = None,
+                 stage: Optional[str] = None):
+        super().__init__(message)
+        self.queue_ms = queue_ms
+        self.stage = stage
+
+    @property
+    def details(self) -> dict:
+        details: dict = {}
+        if self.queue_ms is not None:
+            details["queue_ms"] = round(self.queue_ms, 3)
+        if self.stage is not None:
+            details["stage"] = self.stage
+        return details
 
 
 class SchedulerStopped(SchedulerError):
@@ -56,13 +105,27 @@ class InferenceRequest:
     """A submitted batch-of-samples and its completion future."""
 
     __slots__ = ("inputs", "num_samples", "submitted_at", "deadline",
+                 "priority", "tenant", "rank",
                  "_done", "_result", "_error", "queue_seconds")
 
-    def __init__(self, inputs: np.ndarray, timeout_s: Optional[float]):
+    def __init__(self, inputs: np.ndarray, timeout_s: Optional[float],
+                 priority: str = DEFAULT_PRIORITY,
+                 tenant: str = DEFAULT_TENANT,
+                 deadline: Optional[float] = None):
         self.inputs = inputs
         self.num_samples = int(inputs.shape[0])
         self.submitted_at = time.monotonic()
-        self.deadline = (self.submitted_at + timeout_s) if timeout_s else None
+        #: Absolute deadline (monotonic seconds).  An explicit ``deadline``
+        #: (propagated from an upstream front end) wins over the relative
+        #: ``timeout_s`` so the request honours the budget it was admitted
+        #: with, not a fresh one.
+        if deadline is not None:
+            self.deadline = float(deadline)
+        else:
+            self.deadline = (self.submitted_at + timeout_s) if timeout_s else None
+        self.priority = priority
+        self.tenant = tenant
+        self.rank = priority_rank(priority)
         self._done = threading.Event()
         self._result: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
@@ -111,10 +174,16 @@ class DynamicBatcher:
         dispatches as soon as the queue is momentarily empty (see
         :meth:`_collect_batch`).
     max_queue_depth:
-        Bound on queued (not yet dispatched) requests; beyond it ``submit``
-        raises :class:`QueueFullError`.
+        Bound on queued (not yet dispatched) requests across all classes;
+        beyond it ``submit`` raises :class:`QueueFullError`.  ``batch``-class
+        requests are additionally capped at half the depth so a bulk backlog
+        cannot exhaust the queue interactive traffic needs.
     request_timeout_s:
         Default per-request deadline; expired requests are failed, not run.
+    batch_class_samples:
+        Bulk-class sample budget per dispatched micro-batch (default
+        ``max(1, max_batch_size // 4)``); the knob that keeps an interactive
+        arrival from waiting behind a full batch of bulk scoring work.
     on_batch:
         Optional hook ``(inputs, outputs) -> None`` called after each batch
         (the parity auditor taps in here).
@@ -125,16 +194,29 @@ class DynamicBatcher:
                  max_queue_depth: int = 256,
                  request_timeout_s: Optional[float] = 30.0,
                  metrics: Optional[ServerMetrics] = None,
-                 on_batch: Optional[Callable[[np.ndarray, np.ndarray], None]] = None):
+                 on_batch: Optional[Callable[[np.ndarray, np.ndarray], None]] = None,
+                 batch_class_samples: Optional[int] = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.predict_fn = predict_fn
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = max(float(max_wait_ms), 0.0) / 1e3
+        self.max_queue_depth = int(max_queue_depth)
+        self.batch_queue_cap = max(1, self.max_queue_depth // 2)
+        self.batch_class_samples = (
+            int(batch_class_samples) if batch_class_samples is not None
+            else max(1, self.max_batch_size // 4))
         self.request_timeout_s = request_timeout_s
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.on_batch = on_batch
-        self._queue: "queue.Queue[InferenceRequest]" = queue.Queue(maxsize=max_queue_depth)
+        self._cond = threading.Condition()
+        #: Per-priority-class FIFO queues; dispatch pops rank 0 first.
+        self._queues: List[Deque[InferenceRequest]] = \
+            [deque() for _ in PRIORITY_CLASSES]
+        self._depth = 0
+        #: EWMA of per-batch inference seconds — the doomed-request detector's
+        #: estimate of how long a dispatch will take.
+        self._infer_ewma = 0.0
         #: A popped request that would have overflowed its batch's sample
         #: budget; it seeds the next batch instead (worker-thread only).
         self._carry: Optional[InferenceRequest] = None
@@ -157,9 +239,11 @@ class DynamicBatcher:
         if self._thread is not None:
             if drain:
                 deadline = time.monotonic() + timeout
-                while not self._queue.empty() and time.monotonic() < deadline:
+                while self.queue_depth > 0 and time.monotonic() < deadline:
                     time.sleep(0.005)
             self._running = False
+            with self._cond:
+                self._cond.notify_all()
             self._thread.join(timeout)
             self._thread = None
         self._running = False
@@ -168,20 +252,30 @@ class DynamicBatcher:
         if self._carry is not None:
             self._carry.set_error(SchedulerStopped("scheduler stopped"))
             self._carry = None
-        while True:
-            try:
-                request = self._queue.get_nowait()
-            except queue.Empty:
-                break
+        with self._cond:
+            pending = [request for q in self._queues for request in q]
+            for q in self._queues:
+                q.clear()
+            self._depth = 0
+        for request in pending:
             request.set_error(SchedulerStopped("scheduler stopped"))
 
     @property
     def queue_depth(self) -> int:
-        return self._queue.qsize()
+        with self._cond:
+            return self._depth
+
+    def queue_depth_by_class(self) -> dict:
+        with self._cond:
+            return {PRIORITY_CLASSES[rank]: len(q)
+                    for rank, q in enumerate(self._queues)}
 
     # ------------------------------------------------------------------ #
     def submit(self, inputs: np.ndarray,
-               timeout_s: Optional[float] = None) -> InferenceRequest:
+               timeout_s: Optional[float] = None,
+               priority: str = DEFAULT_PRIORITY,
+               tenant: str = DEFAULT_TENANT,
+               deadline: Optional[float] = None) -> InferenceRequest:
         """Enqueue a request; returns its future.  Never blocks on a full queue.
 
         Submitting before :meth:`start` is allowed — requests queue up and the
@@ -194,63 +288,103 @@ class DynamicBatcher:
         if inputs.shape[0] == 0:
             raise ValueError("empty batch submitted")
         request = InferenceRequest(
-            inputs, timeout_s if timeout_s is not None else self.request_timeout_s)
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
-            self.metrics.record_rejected()
-            raise QueueFullError(
-                f"request queue is full ({self._queue.maxsize} pending); retry later"
-            ) from None
+            inputs, timeout_s if timeout_s is not None else self.request_timeout_s,
+            priority=priority, tenant=tenant, deadline=deadline)
+        with self._cond:
+            if self._depth >= self.max_queue_depth:
+                self.metrics.record_rejected(priority=priority)
+                raise QueueFullError(
+                    f"request queue is full ({self.max_queue_depth} pending); "
+                    f"retry later")
+            if (request.rank == _BATCH_RANK
+                    and len(self._queues[_BATCH_RANK]) >= self.batch_queue_cap):
+                self.metrics.record_rejected(priority=priority)
+                raise QueueFullError(
+                    f"batch-class queue is full ({self.batch_queue_cap} "
+                    f"pending); bulk work must yield — retry later")
+            self._queues[request.rank].append(request)
+            self._depth += 1
+            self._cond.notify()
         self.metrics.record_submitted(request.num_samples)
         return request
 
-    def predict(self, inputs: np.ndarray, timeout_s: Optional[float] = None) -> np.ndarray:
+    def predict(self, inputs: np.ndarray, timeout_s: Optional[float] = None,
+                priority: str = DEFAULT_PRIORITY,
+                tenant: str = DEFAULT_TENANT,
+                deadline: Optional[float] = None) -> np.ndarray:
         """Convenience synchronous path: submit and wait."""
-        request = self.submit(inputs, timeout_s=timeout_s)
+        request = self.submit(inputs, timeout_s=timeout_s, priority=priority,
+                              tenant=tenant, deadline=deadline)
         wait = None
         if request.deadline is not None:
             wait = max(request.deadline - time.monotonic(), 0.0) + 1.0
         return request.result(timeout=wait)
 
     # ------------------------------------------------------------------ #
+    def _pop_locked(self, bulk_samples: int = -1) -> Optional[InferenceRequest]:
+        """Pop the highest-priority queued request (condition held).
+
+        With ``bulk_samples >= 0`` the ``batch`` class is skipped once the
+        current batch has spent its bulk sample budget — over-budget bulk
+        work stays queued and seeds a later batch.
+        """
+        for rank, q in enumerate(self._queues):
+            if not q:
+                continue
+            if (rank == _BATCH_RANK and bulk_samples >= 0
+                    and bulk_samples >= self.batch_class_samples):
+                continue
+            self._depth -= 1
+            return q.popleft()
+        return None
+
     def _collect_batch(self) -> List[InferenceRequest]:
         """Block for the first request, then coalesce followers greedily.
 
         Continuous-batching policy: everything already queued is drained
-        without waiting; the ``max_wait_ms`` hold window is only spent while
-        the batch still holds a *single* request (giving a lone arrival a
-        chance to coalesce with near-simultaneous followers).  Once at least
-        two requests are on board and the queue is momentarily empty the
-        batch dispatches immediately — waiting longer would trade latency for
-        nothing, and under a closed-loop client population (everyone blocked
-        on us) it would deadlock throughput against the window.  Sustained
-        load still fills batches to the budget: requests that arrive during
-        the previous batch's inference are all picked up in one drain.
+        without waiting — highest priority class first — and the
+        ``max_wait_ms`` hold window is only spent while the batch still holds
+        a *single* request (giving a lone arrival a chance to coalesce with
+        near-simultaneous followers).  Once at least two requests are on
+        board and the queue is momentarily empty the batch dispatches
+        immediately — waiting longer would trade latency for nothing, and
+        under a closed-loop client population (everyone blocked on us) it
+        would deadlock throughput against the window.  Sustained load still
+        fills batches to the budget: requests that arrive during the previous
+        batch's inference are all picked up in one drain, but never more than
+        ``batch_class_samples`` bulk samples per dispatch.
         """
         if self._carry is not None:
             first, self._carry = self._carry, None
         else:
-            try:
-                first = self._queue.get(timeout=0.05)
-            except queue.Empty:
+            with self._cond:
+                if self._depth == 0:
+                    self._cond.wait(timeout=0.05)
+                first = self._pop_locked()
+            if first is None:
                 return []
         batch = [first]
         samples = first.num_samples
+        bulk = first.num_samples if first.rank == _BATCH_RANK else 0
         hold_until = time.monotonic() + self.max_wait_s
         while samples < self.max_batch_size:
-            try:
-                request = self._queue.get_nowait()
-            except queue.Empty:
+            with self._cond:
+                request = self._pop_locked(bulk)
+            if request is None:
                 if len(batch) >= 2:
                     break
                 remaining = hold_until - time.monotonic()
                 if remaining <= 0:
                     break
-                try:
-                    request = self._queue.get(timeout=remaining)
-                except queue.Empty:
-                    break
+                with self._cond:
+                    if self._depth == 0:
+                        self._cond.wait(timeout=remaining)
+                    request = self._pop_locked(bulk)
+                if request is None:
+                    # Only over-budget bulk work is queued; idle out the rest
+                    # of the hold window without hot-spinning on the lock.
+                    time.sleep(min(remaining, 0.0005))
+                    continue
             if samples + request.num_samples > self.max_batch_size:
                 # Never overshoot the sample budget: the oversized follower
                 # seeds the next batch.  (A single request above the budget
@@ -259,16 +393,31 @@ class DynamicBatcher:
                 break
             batch.append(request)
             samples += request.num_samples
+            if request.rank == _BATCH_RANK:
+                bulk += request.num_samples
         return batch
 
     def _dispatch(self, batch: List[InferenceRequest]) -> None:
         now = time.monotonic()
         live: List[InferenceRequest] = []
         for request in batch:
+            queue_ms = (now - request.submitted_at) * 1e3
             if request.expired(now):
-                self.metrics.record_timeout()
+                self.metrics.record_timeout(priority=request.priority)
                 request.set_error(RequestTimeout(
-                    "request expired in queue before dispatch"))
+                    f"request expired after {queue_ms:.1f} ms in queue, "
+                    f"before dispatch",
+                    queue_ms=queue_ms, stage="batch-queue"))
+            elif (request.deadline is not None and self._infer_ewma > 0.0
+                    and now + self._infer_ewma > request.deadline):
+                # Doomed: the deadline will pass before the batch's predicted
+                # inference time elapses — shed now, before engine work.
+                self.metrics.record_timeout(priority=request.priority)
+                request.set_error(RequestTimeout(
+                    f"request shed as doomed after {queue_ms:.1f} ms in queue: "
+                    f"{(request.deadline - now) * 1e3:.1f} ms of budget left "
+                    f"vs ~{self._infer_ewma * 1e3:.1f} ms predicted inference",
+                    queue_ms=queue_ms, stage="doomed"))
             else:
                 request.queue_seconds = now - request.submitted_at
                 live.append(request)
@@ -288,6 +437,7 @@ class DynamicBatcher:
                 request.set_error(exc)
             return
         infer_seconds = time.monotonic() - started
+        self._infer_ewma += 0.3 * (infer_seconds - self._infer_ewma)
         self.metrics.record_batch(int(inputs.shape[0]), infer_seconds)
         offset = 0
         finished = time.monotonic()
@@ -295,7 +445,9 @@ class DynamicBatcher:
             request.set_result(outputs[offset:offset + request.num_samples])
             offset += request.num_samples
             self.metrics.record_completed(finished - request.submitted_at,
-                                          request.queue_seconds)
+                                          request.queue_seconds,
+                                          priority=request.priority,
+                                          tenant=request.tenant)
         if self.on_batch is not None:
             try:
                 self.on_batch(inputs, outputs)

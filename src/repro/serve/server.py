@@ -39,6 +39,7 @@ from repro.serve.engine import BundleEngine
 from repro.serve.lifecycle import (LifecycleError, format_versioned,
                                    split_versioned)
 from repro.serve.metrics import ServerMetrics
+from repro.serve.qos import QoSConfig, RequestQoS, ShedError, parse_qos
 from repro.serve.registry import EngineLease, ModelRegistry, PathLike
 from repro.serve.scheduler import (DynamicBatcher, QueueFullError, RequestTimeout,
                                    SchedulerStopped)
@@ -159,7 +160,8 @@ class PECANServer:
                  request_timeout_s: Optional[float] = 30.0,
                  batch_chunk: Optional[int] = None,
                  audit_every: int = 0,
-                 hardware_hz: Optional[float] = None):
+                 hardware_hz: Optional[float] = None,
+                 qos_config: Optional[QoSConfig] = None):
         self.registry = registry if registry is not None else ModelRegistry()
         self.host = host
         self.port = port
@@ -170,11 +172,25 @@ class PECANServer:
         self.batch_chunk = batch_chunk
         self.audit_every = audit_every
         self.hardware_hz = hardware_hz
+        self.qos_config = qos_config if qos_config is not None else QoSConfig()
         self.metrics = ServerMetrics()
+        #: Per-process injected inference latency (seconds); the pool's
+        #: ``slow`` fault sets this so overload paths are chaos-testable
+        #: without real saturation.
+        self.injected_latency_s = 0.0
+        #: Overload brownout: queue depth across all batchers + recent p99.
+        self.brownout = self.qos_config.make_brownout(self._overload_signal)
         self._served: Dict[str, ServedModel] = {}
         self._lock = threading.RLock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+
+    def _overload_signal(self):
+        """(queue depth, recent p99 ms) — the brownout controller's inputs."""
+        with self._lock:
+            records = list(self._served.values())
+        depth = sum(record.batcher.queue_depth for record in records)
+        return depth, self.metrics.recent_p99_ms()
 
     # ------------------------------------------------------------------ #
     # Model management
@@ -252,16 +268,27 @@ class PECANServer:
                 if self.hardware_hz:
                     pacer = _AcceleratorPacer(engine, self.hardware_hz,
                                               batch_chunk=self.batch_chunk)
-                    predict_fn = pacer
+                    base_fn = pacer
                 else:
-                    predict_fn = (lambda x, _engine=engine:
-                                  _engine.predict(x, batch_chunk=self.batch_chunk))
+                    base_fn = (lambda x, _engine=engine:
+                               _engine.predict(x, batch_chunk=self.batch_chunk))
+
+                def predict_fn(x, _base=base_fn):
+                    # The `slow` chaos fault: stretch every dispatch by the
+                    # injected latency so queue depth and p99 rise the same
+                    # way they would under real saturation.
+                    delay = self.injected_latency_s
+                    if delay > 0:
+                        time.sleep(delay)
+                    return _base(x)
+
                 batcher = DynamicBatcher(
                     predict_fn,
                     max_batch_size=self.max_batch_size, max_wait_ms=self.max_wait_ms,
                     max_queue_depth=self.max_queue_depth,
                     request_timeout_s=self.request_timeout_s,
-                    metrics=self.metrics, on_batch=on_batch).start()
+                    metrics=self.metrics, on_batch=on_batch,
+                    batch_class_samples=self.qos_config.batch_class_samples).start()
                 served = ServedModel(name=record_id, engine=engine, batcher=batcher,
                                      auditor=auditor, pacer=pacer, lease=lease)
                 self._served[record_id] = served
@@ -361,8 +388,22 @@ class PECANServer:
     # In-process serving API (the HTTP handler is a thin shim over this)
     # ------------------------------------------------------------------ #
     def predict(self, inputs: np.ndarray, model: Optional[str] = None,
-                timeout_s: Optional[float] = None) -> Dict[str, object]:
-        """Micro-batched prediction; returns a JSON-ready response dict."""
+                timeout_s: Optional[float] = None,
+                qos: Optional[RequestQoS] = None) -> Dict[str, object]:
+        """Micro-batched prediction; returns a JSON-ready response dict.
+
+        ``qos`` carries the request's priority class, tenant and absolute
+        deadline (default: ``standard`` / ``default`` / none — the pre-QoS
+        behaviour).  The brownout controller may refuse admission with
+        :class:`~repro.serve.qos.ShedError` before any engine work.
+        """
+        if qos is None:
+            qos = RequestQoS()
+        try:
+            self.brownout.admit(qos.priority)
+        except ShedError as exc:
+            self.metrics.record_shed(qos.priority, exc.reason)
+            raise
         name = model or self.registry.default_name()
         if name is None:
             raise KeyError("no models registered")
@@ -379,16 +420,20 @@ class PECANServer:
         if expected is not None and tuple(inputs.shape[1:]) != tuple(expected):
             raise ValueError(f"expected per-sample input shape {tuple(expected)}, "
                              f"got {tuple(inputs.shape[1:])}")
+        submit_kwargs = dict(timeout_s=timeout_s, priority=qos.priority,
+                             tenant=qos.tenant, deadline=qos.deadline)
         try:
-            request = served.batcher.submit(inputs, timeout_s=timeout_s)
+            request = served.batcher.submit(inputs, **submit_kwargs)
+        except QueueFullError:
+            self.metrics.record_shed(qos.priority, "queue-full")
+            raise
         except SchedulerStopped:
             # We raced an LRU retirement: the model is still registered, so
             # re-resolve (reloading the engine) instead of failing the caller.
             served = self._get_served(name)
-            request = served.batcher.submit(inputs, timeout_s=timeout_s)
+            request = served.batcher.submit(inputs, **submit_kwargs)
         wait = None
         if request.deadline is not None:
-            import time
             wait = max(request.deadline - time.monotonic(), 0.0) + 1.0
         outputs = request.result(timeout=wait)
         return {
@@ -397,6 +442,8 @@ class PECANServer:
             "classes": outputs.argmax(axis=1).tolist(),
             "num_samples": int(inputs.shape[0]),
             "queue_ms": request.queue_seconds * 1e3,
+            "priority": qos.priority,
+            "tenant": qos.tenant,
         }
 
     def metrics_snapshot(self) -> Dict[str, object]:
@@ -406,6 +453,10 @@ class PECANServer:
         queue_depth = sum(record.batcher.queue_depth for record in served.values())
         payload: Dict[str, object] = {
             "server": self.metrics.snapshot(queue_depth=queue_depth),
+            # snapshot() also refreshes the detector, so a server whose
+            # traffic stopped entirely still recovers toward `healthy` while
+            # being scraped.
+            "brownout": self.brownout.snapshot(),
             "registry": self.registry.describe(),
             "models": {},
         }
@@ -517,15 +568,27 @@ class JSONHandlerBase(BaseHTTPRequestHandler):
     def log_message(self, format, *args):        # noqa: A002 - stdlib signature
         pass
 
-    def _reply_bytes(self, status: int, body: bytes) -> None:
+    def _reply_bytes(self, status: int, body: bytes,
+                     headers: Optional[Dict[str, str]] = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _reply(self, status: int, payload: Dict[str, object]) -> None:
-        self._reply_bytes(status, json.dumps(payload).encode("utf-8"))
+    def _reply(self, status: int, payload: Dict[str, object],
+               headers: Optional[Dict[str, str]] = None) -> None:
+        self._reply_bytes(status, json.dumps(payload).encode("utf-8"),
+                          headers=headers)
+
+    def _reply_shed(self, exc) -> None:
+        """Answer a QoS refusal (brownout / rate limit) with ``Retry-After``."""
+        self._reply(exc.status,
+                    {"error": str(exc), "reason": exc.reason,
+                     "retry_after_s": exc.retry_after_s},
+                    headers={"Retry-After": f"{max(exc.retry_after_s, 0.0):.3f}"})
 
     def _read_body(self) -> Optional[bytes]:
         """The request body, or ``None`` after replying 400 to a bad frame."""
@@ -624,18 +687,26 @@ def _build_handler(server: PECANServer):
                 if "inputs" not in payload:
                     raise ValueError("request body must contain 'inputs'")
                 inputs = np.asarray(payload["inputs"], dtype=np.float64)
+                qos = parse_qos(payload, self.headers)
             except (ValueError, TypeError, json.JSONDecodeError) as exc:
                 self._reply(400, {"error": str(exc)})
                 return
             try:
-                response = self.pecan.predict(inputs, model=payload.get("model"))
+                response = self.pecan.predict(inputs, model=payload.get("model"),
+                                              qos=qos)
             except KeyError as exc:
                 self._reply(404, {"error": str(exc)})
+            except ShedError as exc:
+                self._reply_shed(exc)
             except QueueFullError as exc:
-                self._reply(429, {"error": str(exc)})
+                self._reply(429, {"error": str(exc)},
+                            headers={"Retry-After": "1.000"})
             except RequestTimeout as exc:
                 # (queue-expiry timeouts are already counted by the scheduler)
-                self._reply(408, {"error": str(exc)})
+                # The details say *where* the deadline died — e.g.
+                # ``{"queue_ms": 12.3, "stage": "batch-queue"}`` for a request
+                # shed in the queue before any engine work.
+                self._reply(408, {"error": str(exc), **exc.details})
             except SchedulerStopped as exc:
                 self._reply(503, {"error": str(exc)})
             except ValueError as exc:

@@ -261,3 +261,71 @@ class TestLifecycleCommands:
         args = parser.parse_args(["deploy", "--model", "m", "--bundle", "b.npz"])
         assert args.canary == 0.25 and args.min_samples == 20
         assert args.max_parity_violations == 0 and not args.no_auto
+
+
+class TestScoreCommand:
+    """`repro-pecan score` — bulk offline scoring at batch priority."""
+
+    @pytest.fixture
+    def serving(self, tmp_path):
+        from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+        from repro.pecan.config import PQLayerConfig
+        from repro.pecan.convert import convert_to_pecan
+        from repro.io import export_deployment_bundle
+        from repro.serve import PECANServer, QoSConfig
+
+        rng = np.random.default_rng(3)
+        cfg = PQLayerConfig(num_prototypes=4, mode="distance", temperature=0.5)
+        model = Sequential(Conv2d(1, 4, 3, rng=rng), ReLU(), MaxPool2d(2),
+                           Flatten(), Linear(4 * 4 * 4, 6, rng=rng))
+        bundle = export_deployment_bundle(convert_to_pecan(model, cfg, rng=rng),
+                                          tmp_path / "toy.npz",
+                                          input_shape=(1, 10, 10))
+        server = PECANServer(port=0, max_wait_ms=1.0,
+                             qos_config=QoSConfig(batch_class_samples=4))
+        server.add_bundle(bundle, name="toy", preload=True)
+        server.start()
+        yield server
+        server.stop()
+
+    def test_scores_random_inputs_and_writes_npz(self, serving, tmp_path,
+                                                 capsys):
+        output = tmp_path / "scores.npz"
+        assert main(["score", "--url", serving.url, "--model", "toy",
+                     "--dataset", "random", "--input-shape", "1,10,10",
+                     "--num_samples", "12", "--chunk", "4",
+                     "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "scored 12 samples" in out
+        with np.load(output) as archive:
+            assert archive["logits"].shape == (12, 6)
+            assert archive["classes"].shape == (12,)
+        # The whole run went through the batch class under the bulk tenant.
+        qos = serving.metrics_snapshot()["server"]["qos"]
+        assert qos["latency_by_class"]["batch"]["count"] >= 3
+        assert "bulk" in qos["latency_by_tenant"]
+
+    def test_scores_dataset_file(self, serving, tmp_path, capsys):
+        dataset = tmp_path / "inputs.npz"
+        np.savez(dataset, images=np.zeros((6, 1, 10, 10)))
+        assert main(["score", "--url", serving.url, "--dataset", str(dataset),
+                     "--chunk", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scored 6 samples" in out
+        assert "predicted-class histogram" in out
+
+    def test_bad_inputs_exit_nonzero(self, serving, tmp_path, capsys):
+        assert main(["score", "--url", serving.url, "--dataset", "random"]) == 2
+        assert "--input-shape is required" in capsys.readouterr().out
+        assert main(["score", "--url", serving.url,
+                     "--dataset", str(tmp_path / "missing.npy")]) == 2
+        assert "not found" in capsys.readouterr().out
+
+    def test_serve_parser_exposes_qos_knobs(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--bundle", "toy.npz",
+                                  "--p99_slo_ms", "50", "--tenant_rate", "10",
+                                  "--batch_class_samples", "4"])
+        assert args.p99_slo_ms == 50.0 and args.tenant_rate == 10.0
+        assert args.batch_class_samples == 4
+        assert args.queue_high == 32.0 and args.slots_per_worker == 4

@@ -307,6 +307,14 @@ class TestPoolServing:
         x = module_rng.standard_normal((1, 1, 10, 10))
         assert client.predict(x, model="toy").shape == (1, 6)
 
+    def test_inject_fault_validates_kind_and_worker(self, pool):
+        # The full slow-fault round trip (inject, observe, clear) lives in
+        # tests/test_serve_qos.py; here just the injection API contract.
+        with pytest.raises(ValueError, match="unknown fault"):
+            pool.inject_fault(pool.ready_workers()[0].id, "meltdown")
+        with pytest.raises(KeyError, match="no worker"):
+            pool.inject_fault(10**9, "slow", seconds=0.1)
+
 
 class TestPoolLifecycle:
     def test_add_bundle_rejected_after_start(self, pool, pool_bundle):
