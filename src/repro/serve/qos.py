@@ -490,6 +490,13 @@ _SHED_FLOOR = {
 #: Default Retry-After hints per state (seconds).
 _RETRY_AFTER = {"shed-batch": 1.0, "shed-standard": 2.0, "emergency": 5.0}
 
+#: Flap damping: growth factor and cap (× ``min_dwell_s``) for the adaptive
+#: recovery dwell, and the post-recovery window (× ``min_dwell_s``) inside
+#: which a re-escalation counts as a flap.
+_FLAP_BACKOFF = 2.0
+_MAX_RECOVER_DWELL_FACTOR = 8.0
+_FLAP_WINDOW_FACTOR = 2.0
+
 
 class BrownoutController:
     """EWMA overload detector with explicit, hysteretic degradation states.
@@ -514,6 +521,17 @@ class BrownoutController:
     transition is logged (bounded) and visible in ``/metrics``, which is what
     makes shedding *checkable*: the tests assert the controller's decisions,
     not emergent queue behaviour.
+
+    **Flap damping.**  The load score only sees *admitted* work, so under a
+    sustained burst shedding hides the demand: the queue drains, the score
+    collapses, the controller recovers — and the burst floods straight back
+    in.  To keep that oscillation bounded the recovery dwell is adaptive:
+    re-escalating within ``2 × min_dwell_s`` of a recovery doubles the dwell
+    the *next* recovery must wait out (capped at ``8 × min_dwell_s``), and a
+    calm escalation — long after the last recovery — resets it.  Sustained
+    overload therefore settles into slow probe-and-back-off cycles instead
+    of flapping at the observation rate, while recovery is always retried
+    eventually (no livelock when demand finally subsides).
     """
 
     def __init__(self, signal_fn: Callable[[], Tuple[float, Optional[float]]], *,
@@ -549,6 +567,10 @@ class BrownoutController:
         self._queue_ewma = 0.0
         self._p99_ewma = 0.0
         self._load = 0.0
+        #: Adaptive recovery dwell (flap damping) and the time of the last
+        #: recovery transition it keys off.
+        self._recover_dwell_s = self.min_dwell_s
+        self._recovered_at: Optional[float] = None
         self.shed_by_class: Dict[str, int] = {cls: 0 for cls in PRIORITY_CLASSES}
         self._transitions: deque = deque(maxlen=32)
 
@@ -589,11 +611,24 @@ class BrownoutController:
         current_rank = BROWNOUT_STATES.index(self._state)
         target_rank = BROWNOUT_STATES.index(target)
         if target_rank > current_rank:
-            self._transition(target, now)          # escalate immediately
+            # Escalate immediately — but first adapt the recovery dwell:
+            # re-escalating right after a recovery means the recovery probe
+            # failed (shed demand flooded back in), so the next one waits
+            # longer; a calm escalation resets the backoff.
+            if (self._recovered_at is not None and
+                    now - self._recovered_at
+                    < _FLAP_WINDOW_FACTOR * self.min_dwell_s):
+                self._recover_dwell_s = min(
+                    self._recover_dwell_s * _FLAP_BACKOFF,
+                    _MAX_RECOVER_DWELL_FACTOR * self.min_dwell_s)
+            else:
+                self._recover_dwell_s = self.min_dwell_s
+            self._transition(target, now)
         elif (self._load < self.recover_at and current_rank > 0
-                and now - self._state_since >= self.min_dwell_s):
+                and now - self._state_since >= self._recover_dwell_s):
             # Recover one state per dwell: ramp traffic back gradually.
             self._transition(BROWNOUT_STATES[current_rank - 1], now)
+            self._recovered_at = now
 
     # -- public API ------------------------------------------------------ #
     @property
@@ -637,6 +672,7 @@ class BrownoutController:
             return {
                 "state": self._state,
                 "state_age_s": round(now - self._state_since, 3),
+                "recover_dwell_s": round(self._recover_dwell_s, 3),
                 "load": round(self._load, 4),
                 "queue_ewma": round(self._queue_ewma, 3),
                 "p99_ewma_ms": round(self._p99_ewma, 3),

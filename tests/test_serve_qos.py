@@ -369,6 +369,59 @@ class TestBrownoutController:
         assert [t["to"] for t in transitions] == \
             ["emergency", "shed-standard", "shed-batch", "healthy"]
 
+    def test_reescalation_after_recovery_doubles_the_dwell(self):
+        controller = self._controller(
+            [(12.0, None), (0.0, None), (12.0, None), (0.0, None),
+             (0.0, None)], min_dwell_s=1.0)
+        with pytest.raises(ShedError):
+            controller.admit("batch", now=1.0)     # -> shed-batch
+        controller.admit("batch", now=2.1)         # dwell met -> healthy
+        assert controller.state == "healthy"
+        with pytest.raises(ShedError):
+            # Re-escalation 0.1s after recovering: a failed recovery probe —
+            # the next recovery dwell doubles.
+            controller.admit("batch", now=2.2)
+        controller.admit("interactive", now=3.3)   # 1.1s: damped, no recovery
+        assert controller.state == "shed-batch"
+        controller.admit("interactive", now=4.3)   # 2.1s >= doubled dwell
+        assert controller.state == "healthy"
+        transitions = controller.snapshot()["transitions"]
+        assert [t["to"] for t in transitions] == \
+            ["shed-batch", "healthy", "shed-batch", "healthy"]
+
+    def test_flap_backoff_caps_and_calm_escalation_resets(self):
+        signals = ([(12.0, None)] + [(0.0, None), (12.0, None)] * 6
+                   + [(0.0, None)] * 2 + [(12.0, None), (0.0, None)])
+        controller = self._controller(signals, min_dwell_s=1.0)
+        now = 1.0
+        with pytest.raises(ShedError):
+            controller.admit("batch", now=now)     # -> shed-batch
+        # Flap hard: every recovery is met by an immediate re-escalation.
+        # The recovery dwell doubles 1 -> 2 -> 4 -> 8 and caps at 8x.
+        dwell = 1.0
+        for _ in range(6):
+            now += dwell + 0.1
+            controller.admit("interactive", now=now)
+            assert controller.state == "healthy"
+            now += 0.1
+            with pytest.raises(ShedError):
+                controller.admit("batch", now=now)
+            dwell = min(dwell * 2.0, 8.0)
+        controller.admit("interactive", now=now + 7.0)   # < capped dwell
+        assert controller.state == "shed-batch"
+        now += 8.1
+        controller.admit("interactive", now=now)         # >= capped dwell
+        assert controller.state == "healthy"
+        # A calm escalation — long after the last recovery — resets the
+        # backoff: the very next recovery only waits min_dwell_s again.
+        now += 3.0
+        with pytest.raises(ShedError):
+            controller.admit("batch", now=now)
+        now += 1.1
+        controller.admit("interactive", now=now)
+        assert controller.state == "healthy"
+        assert controller.snapshot()["recover_dwell_s"] == 1.0
+
     def test_force_state_validates(self):
         controller = self._controller([(0.0, None)])
         controller.force_state("emergency")
