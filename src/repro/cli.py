@@ -428,7 +428,9 @@ def _serve_single(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue, request_timeout_s=args.timeout_s,
         batch_chunk=args.batch_chunk, audit_every=args.audit_every,
         hardware_hz=args.emulate_hardware_hz,
-        qos_config=_qos_config_from_args(args))
+        qos_config=_qos_config_from_args(args),
+        trace_dir=args.trace_dir, trace_enabled=not args.no_trace,
+        invariant_every=args.invariant_every)
     for spec in args.bundle:
         name, path = _parse_bundle_spec(spec)
         registered = server.add_bundle(path, name=name, preload=not args.lazy_load)
@@ -464,7 +466,9 @@ def _serve_pool(args: argparse.Namespace) -> int:
         batch_chunk=args.batch_chunk, audit_every=args.audit_every,
         optimize=args.optimize, max_total_values=args.max_total_values,
         hardware_hz=args.emulate_hardware_hz, preload=not args.lazy_load,
-        qos_config=_qos_config_from_args(args))
+        qos_config=_qos_config_from_args(args),
+        trace_dir=args.trace_dir, trace_enabled=not args.no_trace,
+        invariant_every=args.invariant_every)
     # Installed before start: a SIGTERM that lands while workers are still
     # spawning (or during the readiness wait below) must still drain cleanly.
     signal.signal(signal.SIGTERM, lambda signum, frame: pool.request_stop())
@@ -484,6 +488,56 @@ def _serve_pool(args: argparse.Namespace) -> int:
               "see /healthz for per-worker errors")
     print("SIGTERM or Ctrl-C drains in-flight requests before shutdown")
     pool.serve_forever(install_signal_handler=False)
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Offline analysis of a ``--trace_dir`` JSONL export."""
+    from repro.serve.trace import (causal_sort, group_by_trace, read_trace_dir,
+                                   slowest_traces, summarize_spans)
+
+    spans = read_trace_dir(args.dir)
+    if not spans:
+        print(f"no spans found under {args.dir}")
+        return 1
+    traces = group_by_trace(spans)
+    print(f"{len(spans)} spans across {len(traces)} traces from {args.dir}")
+
+    if args.id:
+        selected = traces.get(args.id)
+        if not selected:
+            print(f"no spans for trace {args.id!r}")
+            return 1
+        print(f"\ntrace {args.id}:")
+        for span in causal_sort(selected):
+            lamport = (span.get("lamport") or {}).get("start")
+            duration = span.get("duration_ms")
+            duration_txt = "" if duration is None else f"{duration:9.2f} ms"
+            print(f"  [{lamport:>4}] {span.get('service', '?'):>7} "
+                  f"{span.get('name', '?'):<22} {duration_txt:>12} "
+                  f"{span.get('status', '')}")
+        return 0
+
+    print("\nper-stage latency (ms):")
+    summary = summarize_spans(spans)
+    for name in sorted(summary):
+        stats = summary[name]
+        print(f"  {name:<22} count={stats['count']:<6} "
+              f"p50={stats['p50_ms']:.2f} p95={stats['p95_ms']:.2f} "
+              f"p99={stats['p99_ms']:.2f} max={stats['max_ms']:.2f}")
+
+    violations = [span for span in spans
+                  if span.get("name") == "invariant.violation"]
+    print(f"\ninvariant violations: {len(violations)}")
+    for span in violations[:10]:
+        attrs = span.get("attrs") or {}
+        print(f"  {attrs.get('invariant', '?')}: {attrs.get('detail', '')} "
+              f"(trace {span.get('trace_id')})")
+
+    print(f"\nslowest {args.slowest} traces (by root span):")
+    for entry in slowest_traces(spans, limit=args.slowest):
+        print(f"  {entry['trace_id']}  {entry['duration_ms']:9.2f} ms  "
+              f"{entry['root']}  spans={entry['spans']}")
     return 0
 
 
@@ -593,7 +647,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch_class_samples", type=int, default=None,
                        help="per-micro-batch sample budget for batch-class "
                             "work (default max_batch_size // 4)")
+    # Tracing + runtime verification (repro.serve.trace / .invariants).
+    serve.add_argument("--trace_dir", default=None,
+                       help="export spans as otel-style JSONL files "
+                            "(trace-<service>-<pid>.jsonl) under this "
+                            "directory; analyse with `repro-pecan trace`")
+    serve.add_argument("--no_trace", action="store_true",
+                       help="disable distributed tracing entirely (spans, "
+                            "/trace endpoint, JSONL export)")
+    serve.add_argument("--invariant_every", type=int, default=16,
+                       help="runtime-verification sampling rate: check one "
+                            "response in N for finite logits / stable shape "
+                            "/ retry-stable argmax (1 checks everything, "
+                            "0 disables)")
     serve.set_defaults(handler=_command_serve)
+
+    trace = subparsers.add_parser(
+        "trace", help="analyse exported trace JSONL: per-stage latency "
+                      "percentiles, slowest traces, invariant violations")
+    trace.add_argument("--dir", required=True,
+                       help="trace directory written by serve --trace_dir")
+    trace.add_argument("--id", default=None,
+                       help="print one trace's causally-ordered span "
+                            "timeline instead of the summary")
+    trace.add_argument("--slowest", type=int, default=5,
+                       help="how many slowest traces to list")
+    trace.set_defaults(handler=_command_trace)
 
     score = subparsers.add_parser(
         "score", help="bulk offline scoring against a running serve/pool "

@@ -39,6 +39,15 @@ inference program); this package turns that file back into a serving process:
   (:class:`TokenBucketTable`) and the EWMA overload
   :class:`BrownoutController` (``healthy → shed-batch → shed-standard →
   emergency``), configured through :class:`QoSConfig`;
+* :mod:`repro.serve.trace` — distributed tracing: per-request trace ids
+  (``X-Trace-Id``), per-hop spans with per-process Lamport clocks merged at
+  every boundary (:class:`Tracer`, :class:`TraceContext`), bounded in-memory
+  rings, otel-style JSONL export and offline analysis helpers
+  (:func:`read_trace_dir`, :func:`causal_sort`, :func:`summarize_spans`);
+* :mod:`repro.serve.invariants` — :class:`InvariantMonitor`, always-on
+  RvLLM-style runtime verification of sampled responses (finite logits,
+  stable shapes, retry-stable argmax, canary parity, causal span order)
+  whose violations can trip the rollout gate;
 * :mod:`repro.serve.ops` — backwards-compatible re-exports of the unified
   lowerings in :mod:`repro.ir.ops` (which mirror
   :mod:`repro.autograd.functional` exactly).
@@ -52,6 +61,7 @@ interpreter.
 from repro.serve.auditor import ParityAuditor
 from repro.serve.client import BulkScorer, ServeClient, ServeHTTPError
 from repro.serve.engine import BundleEngine
+from repro.serve.invariants import InvariantMonitor, Violation, check_causal_order
 from repro.serve.lifecycle import (CanaryPolicy, LifecycleError, Rollout,
                                    RolloutGate, format_versioned,
                                    split_versioned)
@@ -67,6 +77,10 @@ from repro.serve.registry import EngineLease, ModelRegistry, RegisteredModel
 from repro.serve.scheduler import (DynamicBatcher, InferenceRequest, QueueFullError,
                                    RequestTimeout, SchedulerError, SchedulerStopped)
 from repro.serve.server import PECANServer, ServedModel
+from repro.serve.trace import (LamportClock, Span, TraceContext, Tracer,
+                               causal_sort, group_by_trace, new_trace_id,
+                               parse_trace_context, read_trace_dir,
+                               slowest_traces, summarize_spans)
 
 __all__ = [
     "BROWNOUT_STATES",
@@ -111,4 +125,18 @@ __all__ = [
     "ServedModel",
     "ServeClient",
     "ServeHTTPError",
+    "Tracer",
+    "TraceContext",
+    "Span",
+    "LamportClock",
+    "new_trace_id",
+    "parse_trace_context",
+    "read_trace_dir",
+    "group_by_trace",
+    "causal_sort",
+    "summarize_spans",
+    "slowest_traces",
+    "InvariantMonitor",
+    "Violation",
+    "check_causal_order",
 ]

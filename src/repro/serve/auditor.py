@@ -52,7 +52,8 @@ class ParityAuditor:
     def __init__(self, reference_engine: BundleEngine, every: int = 64,
                  max_pending: int = 8, exact: Optional[bool] = None,
                  metrics: Optional[ServerMetrics] = None,
-                 atol: float = 1e-8):
+                 atol: float = 1e-8,
+                 monitor=None, model: Optional[str] = None):
         if reference_engine.use_fused:
             reference_engine.use_fused = False
         self.reference_engine = reference_engine
@@ -61,6 +62,11 @@ class ParityAuditor:
                       if exact is None else bool(exact))
         self.atol = atol
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        #: Optional :class:`~repro.serve.invariants.InvariantMonitor`; parity
+        #: mismatches are reported to it so the fused-vs-reference alarm also
+        #: lands in the ``runtime_verification`` tree and the lifecycle gate.
+        self.monitor = monitor
+        self.model = model
         self._pending: "queue.Queue[Tuple[np.ndarray, np.ndarray]]" = \
             queue.Queue(maxsize=max_pending)
         self._inflight = 0
@@ -126,6 +132,14 @@ class ParityAuditor:
                 "max_abs_error": float(delta.max()),
                 "num_samples": int(inputs.shape[0]),
             }
+            if self.monitor is not None:
+                self.monitor.record_violation(
+                    "parity_audit",
+                    "sampled parity audit: fused output disagrees with "
+                    "reference engine",
+                    model=self.model,
+                    max_abs_error=self.last_mismatch["max_abs_error"],
+                    source="parity_audit")
 
     def _worker(self) -> None:
         while self._running:

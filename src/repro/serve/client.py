@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.serve.trace import ATTEMPT_HEADER, TRACE_HEADER, new_trace_id
+
 #: Connection-level failures that mean "the socket died under us" — the
 #: signature of a pool worker (or the router) being respawned — as opposed to
 #: an HTTP-level error the server actually sent.
@@ -95,11 +97,14 @@ class ServeClient:
         self.transient_retries = max(int(transient_retries), 0)
         self.backoff_retries = max(int(backoff_retries), 0)
         self.backoff_cap_s = float(backoff_cap_s)
+        #: Trace id of the most recent ``/predict`` call (sent or generated).
+        self.last_trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     def _request(self, path: str, payload: Optional[Dict] = None,
                  idempotent: Optional[bool] = None,
-                 headers: Optional[Dict[str, str]] = None) -> Dict:
+                 headers: Optional[Dict[str, str]] = None,
+                 trace_id: Optional[str] = None) -> Dict:
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         if idempotent is None:
@@ -110,6 +115,13 @@ class ServeClient:
         backoff = 0
         while True:
             request_headers = dict(headers or {})
+            if trace_id:
+                # Every retry reuses the SAME trace id with an incremented
+                # attempt tag: server-side the attempts stitch into one
+                # trace, and the runtime-verification plane can compare the
+                # retried answer's argmax against the first one.
+                request_headers[TRACE_HEADER] = trace_id
+                request_headers[ATTEMPT_HEADER] = str(transient + backoff)
             if data:
                 request_headers.setdefault("Content-Type", "application/json")
             request = urllib.request.Request(
@@ -148,12 +160,18 @@ class ServeClient:
                          model: Optional[str] = None,
                          priority: Optional[str] = None,
                          tenant: Optional[str] = None,
-                         deadline_ms: Optional[float] = None) -> Dict:
+                         deadline_ms: Optional[float] = None,
+                         trace_id: Optional[str] = None) -> Dict:
         """Full JSON response for one ``/predict`` call.
 
         ``priority`` (``interactive``/``standard``/``batch``), ``tenant`` and
         ``deadline_ms`` (remaining budget) ride in the request body and are
-        honoured end to end — front end, router, batcher.
+        honoured end to end — front end, router, batcher.  ``trace_id``
+        pins the request's distributed-trace id (``X-Trace-Id``); when
+        absent one is generated client-side, so the caller can always
+        correlate this response with the server's ``/trace`` view.  The id
+        used is exposed as :attr:`last_trace_id` and in the returned
+        payload's ``trace_id`` field.
         """
         payload: Dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
         if model is not None:
@@ -164,7 +182,12 @@ class ServeClient:
             payload["tenant"] = tenant
         if deadline_ms is not None:
             payload["deadline_ms"] = float(deadline_ms)
-        return self._request("/predict", payload, idempotent=True)
+        trace_id = trace_id or new_trace_id()
+        self.last_trace_id = trace_id
+        response = self._request("/predict", payload, idempotent=True,
+                                 trace_id=trace_id)
+        response.setdefault("trace_id", trace_id)
+        return response
 
     def predict(self, inputs: np.ndarray, model: Optional[str] = None,
                 **qos) -> np.ndarray:
@@ -179,6 +202,12 @@ class ServeClient:
 
     def metrics(self) -> Dict:
         return self._request("/metrics")
+
+    def trace(self, trace_id: Optional[str] = None) -> Dict:
+        """GET ``/trace`` (recent traces) or ``/trace?id=`` (one timeline)."""
+        if trace_id:
+            return self._request(f"/trace?id={trace_id}")
+        return self._request("/trace")
 
     def models(self) -> Dict:
         return self._request("/models")

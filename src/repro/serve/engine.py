@@ -34,6 +34,7 @@ from repro.io.deployment import DeploymentBundle, load_deployment_bundle
 from repro.ir.executor import GraphExecutor
 from repro.ir.graph import Graph
 from repro.perf import ChunkPolicy, Workspace, iter_slices
+from repro.serve.trace import current_context
 
 
 class BundleEngine:
@@ -66,6 +67,11 @@ class BundleEngine:
 
     #: Probe batch size used for optimize-time parity verification.
     _VERIFY_BATCH = 2
+
+    #: Optional :class:`~repro.serve.trace.Tracer`; when set and a trace
+    #: context is active on the calling thread, ``predict`` records an
+    #: ``engine.predict`` span (the deepest hop of a traced request).
+    tracer = None
 
     def __init__(self, bundle: Union[DeploymentBundle, str, Path],
                  energy_model: Optional[CAMEnergyModel] = None,
@@ -197,10 +203,30 @@ class BundleEngine:
             raise ValueError(f"expected per-sample input shape {self.input_shape}, "
                              f"got {tuple(inputs.shape[1:])}")
         n = inputs.shape[0]
-        if batch_chunk is None or batch_chunk >= n:
-            return self._forward_batch(inputs)
-        parts = [self._forward_batch(inputs[sl]) for sl in iter_slices(n, batch_chunk)]
-        return np.concatenate(parts, axis=0)
+        span = None
+        tracer = self.tracer
+        if tracer is not None:
+            context = current_context()
+            if context is not None:
+                span = tracer.start_span(
+                    "engine.predict", context[0],
+                    parent_id=context[1] or None,
+                    attrs={"num_samples": int(n),
+                           "batch_chunk": batch_chunk})
+        try:
+            if batch_chunk is None or batch_chunk >= n:
+                result = self._forward_batch(inputs)
+            else:
+                parts = [self._forward_batch(inputs[sl])
+                         for sl in iter_slices(n, batch_chunk)]
+                result = np.concatenate(parts, axis=0)
+        except Exception:
+            if tracer is not None:
+                tracer.finish_span(span, status="error")
+            raise
+        if tracer is not None:
+            tracer.finish_span(span)
+        return result
 
     def predict_classes(self, inputs: np.ndarray,
                         batch_chunk: Optional[int] = None) -> np.ndarray:

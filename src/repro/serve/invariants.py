@@ -1,0 +1,303 @@
+"""Online runtime verification of serving outputs and trace causality.
+
+Extends the sampled offline parity check in :mod:`repro.serve.auditor`
+into an always-on monitor in the spirit of RvLLM's domain constraints
+(PAPERS.md): instead of comparing against a reference engine, the
+:class:`InvariantMonitor` checks cheap structural invariants on sampled
+live traffic —
+
+- ``logits_finite``       every returned logit is finite (no NaN/Inf);
+- ``shape_stable``        output shape/dtype per model never drifts;
+- ``argmax_stable``       router retries of the same trace id agree on
+                          the argmax (PECAN-D is deterministic, so any
+                          disagreement is a real fault);
+- ``canary_parity``       canary mirror disagreements (fed by the pool's
+                          rollout comparator);
+- ``causal_order``        a child span never "happens before" its parent
+                          on the Lamport clock.
+
+Violations are counted per invariant, kept in a bounded recent list,
+emitted as zero-duration ``invariant.violation`` spans into the tracer
+(so they land in the JSONL export), and optionally forwarded through an
+``on_violation`` callback — the pool uses that hook to feed the PR5
+``RolloutGate`` so a canary with corrupted outputs rolls back.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .trace import Tracer, _lamport_start
+
+__all__ = ["InvariantMonitor", "Violation", "check_causal_order"]
+
+INVARIANTS = (
+    "logits_finite",
+    "shape_stable",
+    "argmax_stable",
+    "canary_parity",
+    "causal_order",
+)
+
+
+class Violation(dict):
+    """A single invariant violation (a dict with attribute sugar)."""
+
+    @property
+    def invariant(self) -> str:
+        return str(self.get("invariant"))
+
+    @property
+    def model(self) -> Optional[str]:
+        value = self.get("model")
+        return None if value is None else str(value)
+
+
+def check_causal_order(spans: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Return causal-order anomalies within one trace's spans.
+
+    For every span whose parent is present, the child's ``lamport.start``
+    must be strictly greater than the parent's — a child ticking at or
+    before its parent means the clocks were not merged across a hop and
+    the "order" shown to operators would be fabricated.
+    """
+
+    by_id = {str(span.get("span_id")): span for span in spans}
+    anomalies: List[Dict[str, Any]] = []
+    for span in spans:
+        parent_id = span.get("parent_id")
+        if not parent_id:
+            continue
+        parent = by_id.get(str(parent_id))
+        if parent is None:
+            continue  # parent buffered in another process / evicted
+        if _lamport_start(span) <= _lamport_start(parent):
+            anomalies.append(
+                {
+                    "span": span.get("name"),
+                    "parent": parent.get("name"),
+                    "lamport": _lamport_start(span),
+                    "parent_lamport": _lamport_start(parent),
+                }
+            )
+    return anomalies
+
+
+class InvariantMonitor:
+    """Sampled online constraint checking over live responses.
+
+    ``every=N`` checks roughly one request in N (``every=1`` checks all,
+    ``every=0`` disables sampling entirely); retried requests are always
+    checked so the retry-stability invariant has both sides.  All checks
+    are O(batch) NumPy reductions — cheap enough to sit on the hot path
+    at the default sampling rate.
+    """
+
+    def __init__(
+        self,
+        every: int = 16,
+        *,
+        tracer: Optional[Tracer] = None,
+        on_violation: Optional[Callable[[Violation], None]] = None,
+        history: int = 32,
+        max_fingerprints: int = 512,
+    ) -> None:
+        self.every = max(0, int(every))
+        self.tracer = tracer
+        self.on_violation = on_violation
+        self._lock = threading.Lock()
+        self._seen = 0
+        self._checks = 0
+        self._violations = 0
+        self._by_invariant: Dict[str, int] = {name: 0 for name in INVARIANTS}
+        self._recent: deque = deque(maxlen=max(1, int(history)))
+        self._shapes: Dict[str, Dict[str, Any]] = {}
+        self._fingerprints: "OrderedDict[str, List[int]]" = OrderedDict()
+        self._max_fingerprints = max(8, int(max_fingerprints))
+
+    @property
+    def enabled(self) -> bool:
+        return self.every > 0
+
+    def sample(self) -> bool:
+        """Admission-count one request; True when it should be checked."""
+
+        if not self.enabled:
+            return False
+        with self._lock:
+            self._seen += 1
+            return self.every == 1 or self._seen % self.every == 1
+
+    # -- violation bookkeeping --------------------------------------------
+
+    def record_violation(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        model: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Violation:
+        violation = Violation(
+            invariant=invariant,
+            detail=detail,
+            model=model,
+            trace_id=trace_id,
+        )
+        violation.update(attrs)
+        with self._lock:
+            self._violations += 1
+            self._by_invariant[invariant] = self._by_invariant.get(invariant, 0) + 1
+            self._recent.append(dict(violation))
+        if self.tracer is not None:
+            self.tracer.event(
+                "invariant.violation",
+                trace_id,
+                status="violation",
+                attrs={"invariant": invariant, "detail": detail, "model": model},
+            )
+        if self.on_violation is not None:
+            try:
+                self.on_violation(violation)
+            except Exception:  # noqa: BLE001 — verification must not fail traffic
+                pass
+        return violation
+
+    # -- output-domain checks ---------------------------------------------
+
+    def check_outputs(
+        self,
+        model: str,
+        outputs: Any,
+        *,
+        trace_id: Optional[str] = None,
+        attempt: int = 0,
+        source: str = "server",
+    ) -> List[Violation]:
+        """Run the output-domain invariants on one response's logits."""
+
+        violations: List[Violation] = []
+        try:
+            array = np.asarray(outputs, dtype=np.float64)
+        except (TypeError, ValueError):
+            violations.append(
+                self.record_violation(
+                    "shape_stable",
+                    "outputs are not a numeric array",
+                    model=model,
+                    trace_id=trace_id,
+                    source=source,
+                )
+            )
+            return violations
+        with self._lock:
+            self._checks += 1
+
+        if array.size and not bool(np.isfinite(array).all()):
+            bad = int(array.size - np.count_nonzero(np.isfinite(array)))
+            violations.append(
+                self.record_violation(
+                    "logits_finite",
+                    f"{bad}/{array.size} non-finite logits",
+                    model=model,
+                    trace_id=trace_id,
+                    source=source,
+                )
+            )
+
+        signature = {"ndim": array.ndim, "classes": int(array.shape[-1]) if array.ndim else 0}
+        with self._lock:
+            known = self._shapes.get(model)
+            if known is None:
+                self._shapes[model] = signature
+                known = signature
+        if known != signature:
+            violations.append(
+                self.record_violation(
+                    "shape_stable",
+                    f"output signature drifted from {known} to {signature}",
+                    model=model,
+                    trace_id=trace_id,
+                    source=source,
+                )
+            )
+
+        if trace_id and array.ndim >= 1 and array.size:
+            fingerprint = [int(v) for v in np.argmax(np.atleast_2d(array), axis=-1)]
+            with self._lock:
+                previous = self._fingerprints.get(trace_id)
+                if previous is None:
+                    self._fingerprints[trace_id] = fingerprint
+                    while len(self._fingerprints) > self._max_fingerprints:
+                        self._fingerprints.popitem(last=False)
+            if previous is not None and attempt > 0 and previous != fingerprint:
+                violations.append(
+                    self.record_violation(
+                        "argmax_stable",
+                        f"argmax changed across retry (attempt {attempt})",
+                        model=model,
+                        trace_id=trace_id,
+                        source=source,
+                    )
+                )
+        return violations
+
+    def record_canary(
+        self,
+        match: bool,
+        *,
+        model: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> Optional[Violation]:
+        """Feed the rollout comparator's verdict into the monitor."""
+
+        with self._lock:
+            self._checks += 1
+        if match:
+            return None
+        return self.record_violation(
+            "canary_parity",
+            "canary mirror disagreed with active version",
+            model=model,
+            trace_id=trace_id,
+            source="canary",
+        )
+
+    def check_trace(
+        self, spans: Sequence[Mapping[str, Any]], *, trace_id: Optional[str] = None
+    ) -> List[Violation]:
+        """Run the causal-order invariant over one trace's spans."""
+
+        with self._lock:
+            self._checks += 1
+        violations = []
+        for anomaly in check_causal_order(spans):
+            violations.append(
+                self.record_violation(
+                    "causal_order",
+                    f"span {anomaly['span']!r} does not happen after parent "
+                    f"{anomaly['parent']!r}",
+                    trace_id=trace_id,
+                    **anomaly,
+                )
+            )
+        return violations
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "every": self.every,
+                "sampled": self._seen,
+                "checks": self._checks,
+                "violations": self._violations,
+                "by_invariant": dict(self._by_invariant),
+                "recent": list(self._recent),
+            }

@@ -151,6 +151,7 @@ class RolloutGate:
         self.matches = 0
         self.parity_violations = 0
         self.candidate_errors = 0
+        self.invariant_violations = 0
         self._active_latency = Window(window)
         self._canary_latency = Window(window)
         self._lock = threading.Lock()
@@ -176,6 +177,17 @@ class RolloutGate:
             self.samples += 1
             self.parity_violations += 1
             self.candidate_errors += 1
+
+    def record_invariant_violation(self) -> None:
+        """A runtime-verification verdict against the candidate (non-finite
+        logits, shape drift, retry instability — see
+        :class:`~repro.serve.invariants.InvariantMonitor`): spends the same
+        violation budget as a parity mismatch, so an always-on monitor can
+        trip the gate even between mirrored comparisons."""
+        with self._lock:
+            self.samples += 1
+            self.parity_violations += 1
+            self.invariant_violations += 1
 
     # ------------------------------------------------------------------ #
     def latency_ratio(self) -> Optional[float]:
@@ -216,8 +228,9 @@ class RolloutGate:
             return f"{self.samples}/{self.min_samples} comparisons observed"
         if self.parity_violations > self.max_parity_violations:
             return (f"{self.parity_violations} parity violation(s) "
-                    f"({self.candidate_errors} candidate errors) exceed "
-                    f"budget {self.max_parity_violations}")
+                    f"({self.candidate_errors} candidate errors, "
+                    f"{self.invariant_violations} invariant violations) "
+                    f"exceed budget {self.max_parity_violations}")
         return (f"canary/active p95 latency ratio {self.latency_ratio():.2f} "
                 f"exceeds {self.max_latency_ratio}")
 
@@ -228,6 +241,7 @@ class RolloutGate:
                 "matches": self.matches,
                 "parity_violations": self.parity_violations,
                 "candidate_errors": self.candidate_errors,
+                "invariant_violations": self.invariant_violations,
                 "min_samples": self.min_samples,
                 "max_parity_violations": self.max_parity_violations,
                 "max_latency_ratio": self.max_latency_ratio,

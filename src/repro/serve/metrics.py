@@ -88,6 +88,12 @@ _NON_ADDITIVE_KEYS = frozenset({
     "load", "queue_ewma", "p99_ewma_ms", "queue_high", "p99_slo_ms",
     "state_age_s", "slots", "active", "waiting", "tokens", "rate_per_s",
     "burst", "default_rate_per_s", "batch_class_samples",
+    # Tracing / runtime verification: Lamport clocks, ring occupancy and
+    # sampling configuration are per-process gauges, not traffic counters.
+    # (Span counts and violation counts stay additive — a pool's violations
+    # are the sum of its workers'.  The per-stage latency windows introduced
+    # with the trace plane reuse the percentile keys above.)
+    "lamport", "ring_size", "buffered", "ring_evictions",
 })
 
 
@@ -159,6 +165,10 @@ class ServerMetrics:
         # accounting: priority class -> reason -> count.
         self._class_latency: Dict[str, Window] = {}
         self._tenant_latency: Dict[str, Window] = {}
+        # Per-stage component windows (derived from span timings): priority
+        # class -> stage name -> Window.  Lazily created like the class
+        # windows — a deployment without tracing pays nothing.
+        self._stage_latency: Dict[str, Dict[str, Window]] = {}
         self.rejected_by_class: Dict[str, int] = {}
         self.timeouts_by_class: Dict[str, int] = {}
         self.shed_by_class: Dict[str, Dict[str, int]] = {}
@@ -224,6 +234,27 @@ class ServerMetrics:
                     window = self._tenant_latency[tenant] = \
                         Window(self._window_size)
                 window.add(total_seconds)
+
+    def record_stages(self, priority: str, **stage_seconds: Optional[float]) -> None:
+        """Record per-stage component latencies (seconds) for one request.
+
+        Stages are the request lifecycle the spans already witness:
+        ``queue`` (router fair-queue wait), ``batch_wait`` (batcher queue),
+        ``infer`` (engine time inside the batch) and ``respond`` (everything
+        else end-to-end).  ``None`` stages are skipped so callers can report
+        whichever components they observed.
+        """
+        with self._lock:
+            stages = self._stage_latency.get(priority)
+            if stages is None:
+                stages = self._stage_latency[priority] = {}
+            for stage, seconds in stage_seconds.items():
+                if seconds is None:
+                    continue
+                window = stages.get(stage)
+                if window is None:
+                    window = stages[stage] = Window(self._window_size)
+                window.add(max(0.0, float(seconds)))
 
     def record_audit(self, mismatch: bool) -> None:
         with self._lock:
@@ -298,6 +329,10 @@ class ServerMetrics:
                     "latency_by_tenant": {
                         tenant: window.snapshot_ms()
                         for tenant, window in sorted(self._tenant_latency.items())},
+                    "stages_by_class": {
+                        cls: {stage: window.snapshot_ms()
+                              for stage, window in sorted(stages.items())}
+                        for cls, stages in sorted(self._stage_latency.items())},
                     "rejected_by_class": dict(self.rejected_by_class),
                     "timeouts_by_class": dict(self.timeouts_by_class),
                     "shed_by_class": {cls: dict(reasons) for cls, reasons

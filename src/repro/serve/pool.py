@@ -29,6 +29,15 @@ bundle arrays**, fronted by an HTTP router that speaks the exact same
   end-to-end latency/throughput counters with every worker's full metrics
   payload plus a summed cross-worker aggregate; ``/models`` and ``/healthz``
   likewise report per-worker and pool-level state.
+* **Distributed tracing + runtime verification** — every request carries a
+  trace id (``X-Trace-Id``) through router admission, dispatch (including
+  failover retries and canary mirrors), the worker's batcher and the engine;
+  spans carry per-process Lamport clocks merged across each hop, so
+  ``/trace?id=`` reconstructs a causally-ordered cross-process timeline.  An
+  :class:`~repro.serve.invariants.InvariantMonitor` at the router samples
+  responses for finite logits, stable shapes and retry-stable argmaxes, and
+  its violations spend the PR5 rollout gate's budget (a corrupted canary
+  rolls back automatically).
 
 The router adds no numeric work: request bodies are proxied to the chosen
 worker verbatim and worker responses are returned verbatim, so pooled
@@ -58,10 +67,14 @@ from repro.serve.client import ServeHTTPError
 from repro.serve.lifecycle import (PROMOTED, ROLLED_BACK, CanaryPolicy,
                                    LifecycleError, Rollout, RolloutGate,
                                    format_versioned, split_versioned)
+from repro.serve.invariants import InvariantMonitor, Violation
 from repro.serve.metrics import ServerMetrics, aggregate_counter_trees
 from repro.serve.qos import (QoSConfig, RequestQoS, ShedError,
                              merge_qos_into_payload, parse_qos)
 from repro.serve.scheduler import QueueFullError, RequestTimeout
+from repro.serve.trace import (ATTEMPT_HEADER, LAMPORT_HEADER,
+                               PARENT_SPAN_HEADER, TRACE_HEADER, TraceContext,
+                               Tracer, causal_sort, parse_trace_context)
 
 PathLike = Union[str, Path]
 
@@ -99,6 +112,13 @@ class WorkerConfig:
     #: Bulk-class sample budget for each worker's batcher (the one QoS knob
     #: workers enforce themselves; admission and fairness live at the router).
     batch_class_samples: Optional[int] = None
+    #: Tracing + runtime verification: JSONL export dir (shared with the
+    #: router — filenames carry service + pid), span ring size, master
+    #: tracing switch, and the workers' invariant sample rate.
+    trace_dir: Optional[str] = None
+    trace_ring: int = 2048
+    trace_enabled: bool = True
+    invariant_every: int = 16
 
 
 def _worker_admin(server, message: Dict[str, object]) -> Dict[str, object]:
@@ -165,7 +185,10 @@ def _worker_main(config: WorkerConfig, conn) -> None:
             request_timeout_s=config.request_timeout_s,
             batch_chunk=config.batch_chunk, audit_every=config.audit_every,
             hardware_hz=config.hardware_hz,
-            qos_config=QoSConfig(batch_class_samples=config.batch_class_samples))
+            qos_config=QoSConfig(batch_class_samples=config.batch_class_samples),
+            trace_dir=config.trace_dir, trace_ring=config.trace_ring,
+            trace_enabled=config.trace_enabled, trace_service="worker",
+            invariant_every=config.invariant_every)
         for name, path in config.bundles:
             server.add_bundle(path, name=name, preload=config.preload)
         # A worker spawned mid-lifecycle replays the pool's promote history
@@ -233,6 +256,13 @@ def _worker_main(config: WorkerConfig, conn) -> None:
                     # seconds=0 clears the fault.
                     server.injected_latency_s = float(
                         message.get("seconds", 0.05))
+                    continue
+                if command == "corrupt":           # fault injection (chaos):
+                    # poison every response's first logit with NaN after the
+                    # engine ran — the runtime-verification plane must catch
+                    # it.  seconds=0 clears the fault.
+                    server.corrupt_logits = bool(
+                        float(message.get("seconds", 1.0)))
                     continue
             if parent is not None and not parent.is_alive():
                 break
@@ -426,7 +456,12 @@ class PoolServer:
                  max_total_values: Optional[int] = None,
                  hardware_hz: Optional[float] = None,
                  preload: bool = True,
-                 qos_config: Optional[QoSConfig] = None):
+                 qos_config: Optional[QoSConfig] = None,
+                 trace_dir: Optional[str] = None,
+                 trace_ring: int = 2048,
+                 trace_enabled: bool = True,
+                 invariant_every: int = 16,
+                 monitor_trips_gate: bool = True):
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
         self.host = host
@@ -454,8 +489,21 @@ class PoolServer:
             max_total_values=max_total_values, hardware_hz=hardware_hz,
             preload=preload,
             batch_class_samples=(qos_config.batch_class_samples
-                                 if qos_config is not None else None))
+                                 if qos_config is not None else None),
+            trace_dir=(str(trace_dir) if trace_dir else None),
+            trace_ring=trace_ring, trace_enabled=trace_enabled,
+            invariant_every=invariant_every)
         self.metrics = ServerMetrics()           # router-side (end-to-end view)
+        #: Router-side tracing + runtime verification.  The router's monitor
+        #: samples proxied responses; violations against a base with an
+        #: in-canary rollout spend that rollout's gate budget (see
+        #: ``_on_violation``) when ``monitor_trips_gate`` is set.
+        self.tracer = Tracer("router", ring_size=trace_ring,
+                             trace_dir=(str(trace_dir) if trace_dir else None),
+                             enabled=trace_enabled)
+        self.monitor_trips_gate = bool(monitor_trips_gate)
+        self.monitor = InvariantMonitor(invariant_every, tracer=self.tracer,
+                                        on_violation=self._on_violation)
         #: Proxied-response status families (router lock): a worker-side
         #: failure storm (429s, 5xxs) must be visible at the router even
         #: though each response is returned to the caller successfully.
@@ -637,6 +685,7 @@ class PoolServer:
         if self._http_thread is not None:
             self._http_thread.join(5.0)
             self._http_thread = None
+        self.tracer.close()
         # The stop request is consumed only here — never by start() — so a
         # SIGTERM that lands before/while start() runs (the CLI installs its
         # handler ahead of bundle registration) still drains, while a fully
@@ -786,14 +835,25 @@ class PoolServer:
 
     def _forward(self, worker: WorkerHandle, method: str, path: str,
                  body: Optional[bytes] = None,
-                 timeout_s: Optional[float] = None) -> Tuple[int, bytes]:
+                 timeout_s: Optional[float] = None,
+                 extra_headers: Optional[Dict[str, str]] = None) -> Tuple[int, bytes]:
         connection = http.client.HTTPConnection(
             "127.0.0.1", worker.port,
             timeout=self.proxy_timeout_s if timeout_s is None else timeout_s)
         try:
             headers = {"Content-Type": "application/json"} if body is not None else {}
+            if extra_headers:
+                headers.update(extra_headers)
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
+            # Merge the worker's Lamport clock from the response so events the
+            # router records after this hop are causally after the worker's.
+            remote = response.getheader(LAMPORT_HEADER)
+            if remote is not None:
+                try:
+                    self.tracer.observe_remote(int(remote))
+                except (TypeError, ValueError):
+                    pass
             return response.status, response.read()
         finally:
             connection.close()
@@ -823,52 +883,96 @@ class PoolServer:
             with self._lock:
                 self._inflight -= 1
 
+    def _trace_fields(self, payload: Dict[str, object],
+                      ctx: TraceContext) -> Dict[str, object]:
+        """A copy of ``payload`` carrying the request's trace id, if any."""
+        if ctx.trace_id:
+            return {**payload, "trace_id": ctx.trace_id}
+        return payload
+
+    def _trace_reply_headers(self, ctx: TraceContext) -> Optional[Dict[str, str]]:
+        if not ctx.trace_id:
+            return None
+        return {TRACE_HEADER: ctx.trace_id,
+                LAMPORT_HEADER: str(self.tracer.clock.value)}
+
     def _route_predict(self, body: bytes,
                        headers=None) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        ctx = parse_trace_context(None, headers)
         try:
             payload = json.loads(body or b"{}")
             if not isinstance(payload, dict):
                 raise ValueError("request body must be a JSON object")
+            ctx = parse_trace_context(payload, headers)
             qos = parse_qos(payload, headers)
         except (ValueError, TypeError) as exc:
-            return 400, _json_bytes({"error": str(exc)}), None
+            return (400, _json_bytes(self._trace_fields({"error": str(exc)}, ctx)),
+                    self._trace_reply_headers(ctx))
+        trace_id = ctx.ensure_trace_id()
+        if ctx.lamport is not None:
+            self.tracer.observe_remote(ctx.lamport)
         model = str(payload.get("model") or "")
         self.metrics.record_submitted(0)
+        root = self.tracer.start_span(
+            "router.predict", trace_id, parent_id=ctx.parent_span,
+            attrs={"model": model or None, "priority": qos.priority,
+                   "tenant": qos.tenant, "attempt": ctx.attempt})
+        root_id = root.span_id if root is not None else None
+        admission = self.tracer.start_span("router.admission", trace_id,
+                                           parent_id=root_id)
+
+        def shed(status: int, reply: Dict[str, object],
+                 extra: Dict[str, str], reason: str):
+            self.tracer.finish_span(admission, status="shed", verdict=reason)
+            self.tracer.finish_span(root, status="shed", reason=reason)
+            merged = dict(extra)
+            merged.update(self._trace_reply_headers(ctx) or {})
+            return status, _json_bytes(self._trace_fields(reply, ctx)), merged
+
         # 1. Brownout: under overload, shed the lowest class first with a
         #    Retry-After hint instead of degrading everyone's p99.
         try:
             self.brownout.admit(qos.priority)
         except ShedError as exc:
             self.metrics.record_shed(qos.priority, exc.reason)
-            return (exc.status,
-                    _json_bytes({"error": str(exc), "reason": exc.reason,
-                                 "retry_after_s": exc.retry_after_s}),
-                    {"Retry-After": f"{exc.retry_after_s:.3f}"})
+            return shed(exc.status,
+                        {"error": str(exc), "reason": exc.reason,
+                         "retry_after_s": exc.retry_after_s},
+                        {"Retry-After": f"{exc.retry_after_s:.3f}"}, exc.reason)
         # 2. Per-tenant token bucket (opt-in): one tenant's flood is bounded
         #    at admission, not discovered in everyone's latency.
         granted, retry_after = self.rate_limits.admit(qos.tenant)
         if not granted:
             self.metrics.record_shed(qos.priority, "rate-limit")
-            return (429,
-                    _json_bytes({"error": f"tenant {qos.tenant!r} is over its "
-                                          f"rate limit",
-                                 "reason": "rate-limit",
-                                 "retry_after_s": retry_after}),
-                    {"Retry-After": f"{max(retry_after, 0.001):.3f}"})
+            return shed(429,
+                        {"error": f"tenant {qos.tenant!r} is over its rate limit",
+                         "reason": "rate-limit",
+                         "retry_after_s": retry_after},
+                        {"Retry-After": f"{max(retry_after, 0.001):.3f}"},
+                        "rate-limit")
         # 3. Weighted-fair dispatch slot: strict priority order, fair across
         #    tenants within a class; a request whose deadline expires while
         #    waiting is shed *here* — before any engine work — with its
         #    queue-time diagnostics on the 408.
         try:
-            self.fair_scheduler.acquire(qos)
+            waited = self.fair_scheduler.acquire(qos)
         except QueueFullError as exc:
             self.metrics.record_shed(qos.priority, "router-queue-full")
             self.metrics.record_rejected(priority=qos.priority)
-            return (429, _json_bytes({"error": str(exc)}),
-                    {"Retry-After": "1.000"})
+            return shed(429, {"error": str(exc)}, {"Retry-After": "1.000"},
+                        "router-queue-full")
         except RequestTimeout as exc:
             self.metrics.record_timeout(priority=qos.priority)
-            return 408, _json_bytes({"error": str(exc), **exc.details}), None
+            self.tracer.finish_span(admission, status="timeout",
+                                    verdict="router-queue-timeout")
+            self.tracer.finish_span(root, status="timeout")
+            return (408,
+                    _json_bytes(self._trace_fields(
+                        {"error": str(exc), **exc.details}, ctx)),
+                    self._trace_reply_headers(ctx))
+        self.metrics.record_stages(qos.priority, queue=waited)
+        self.tracer.finish_span(admission, verdict="admitted",
+                                queue_ms=waited * 1e3)
         try:
             # Deadline propagation: forward the *remaining* budget so the
             # worker sheds what the router admitted but can no longer finish.
@@ -880,21 +984,76 @@ class PoolServer:
             # zero-tolerance gate on a healthy candidate).
             if (rollout is not None and "inputs" in payload
                     and rollout.policy.sample()):
-                return (*self._canary_exchange(body, payload, model, rollout,
-                                               qos=qos), None)
-            return (*self._dispatch_with_retries(body, model, qos=qos), None)
+                status, response = self._canary_exchange(
+                    body, payload, model, rollout, qos=qos,
+                    ctx=ctx, parent_id=root_id)
+            else:
+                status, response = self._dispatch_with_retries(
+                    body, model, qos=qos, ctx=ctx, parent_id=root_id)
+        except BaseException:
+            self.tracer.finish_span(root, status="error")
+            raise
         finally:
             self.fair_scheduler.release()
+        if status < 400:
+            self.tracer.finish_span(root, status="ok")
+        elif status == 408:
+            self.tracer.finish_span(root, status="timeout")
+        elif status in (429, 503):
+            self.tracer.finish_span(root, status="shed", reason="worker-shed")
+        else:
+            self.tracer.finish_span(root, status="error")
+        return status, response, self._trace_reply_headers(ctx)
+
+    def _dispatch_headers(self, ctx: Optional[TraceContext],
+                          span) -> Optional[Dict[str, str]]:
+        """Trace propagation headers for one worker hop (None when untraced).
+
+        Carries the trace id, the client-level attempt tag, the dispatch
+        span as the worker's parent, and this process's Lamport clock so the
+        worker's spans order causally after the router's.
+        """
+        if ctx is None or not ctx.trace_id:
+            return None
+        forwarded = {TRACE_HEADER: ctx.trace_id,
+                     ATTEMPT_HEADER: str(ctx.attempt),
+                     LAMPORT_HEADER: str(self.tracer.clock.tick())}
+        if span is not None:
+            forwarded[PARENT_SPAN_HEADER] = span.span_id
+        return forwarded
+
+    def _check_response_outputs(self, ctx: Optional[TraceContext],
+                                response: bytes, *, source: str,
+                                model: Optional[str] = None,
+                                force: bool = False) -> None:
+        """Sampled runtime verification of a worker's 200 response at the
+        router: finite logits, stable shape, and — on client retries
+        (``X-Attempt > 0``) — an argmax identical to the previous attempt."""
+        if ctx is None or not self.monitor.enabled:
+            return
+        if not (force or ctx.attempt > 0 or self.monitor.sample()):
+            return
+        try:
+            payload = json.loads(response.decode("utf-8"))
+            outputs = payload["outputs"]
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return
+        self.monitor.check_outputs(
+            model or str(payload.get("model") or ""), np.asarray(outputs),
+            trace_id=ctx.trace_id, attempt=ctx.attempt, source=source)
 
     def _dispatch_with_retries(self, body: bytes, model: str,
                                record: bool = True,
-                               qos: Optional[RequestQoS] = None) -> Tuple[int, bytes]:
+                               qos: Optional[RequestQoS] = None,
+                               ctx: Optional[TraceContext] = None,
+                               parent_id: Optional[str] = None) -> Tuple[int, bytes]:
         """One ``/predict`` through the retry loop; ``record=False`` keeps
         mirrored canary traffic out of the router's client-facing metrics."""
         started = time.monotonic()
         tried = set()
         last_error = "no ready workers"
-        for _ in range(max(1, self.proxy_retries + 1)):
+        trace_id = ctx.trace_id if ctx is not None else None
+        for hop in range(max(1, self.proxy_retries + 1)):
             candidates = [worker for worker in self.ready_workers()
                           if worker.id not in tried]
             if not candidates:
@@ -904,10 +1063,17 @@ class PoolServer:
             with self._lock:
                 worker.outstanding += 1
                 worker.dispatched_total += 1
+            span = self.tracer.start_span(
+                "router.dispatch", trace_id, parent_id=parent_id,
+                attrs={"worker": worker.id, "hop": hop}) if trace_id else None
             try:
-                status, response = self._forward(worker, "POST", "/predict", body)
+                status, response = self._forward(
+                    worker, "POST", "/predict", body,
+                    extra_headers=self._dispatch_headers(ctx, span))
             except socket.timeout:
                 worker.proxy_failures += 1
+                self.tracer.finish_span(span, status="timeout",
+                                        reason="worker-timeout")
                 if record:
                     self.metrics.record_timeout()
                 return 504, _json_bytes({"error": "worker timed out; not retried"})
@@ -918,10 +1084,17 @@ class PoolServer:
                 if worker.process.exitcode is not None:
                     worker.state = "dead"
                 last_error = f"{type(exc).__name__}: {exc}"
+                # A failover hop: the span ends in error and the retry opens
+                # a fresh one, so the trace shows every worker touched.
+                self.tracer.finish_span(span, status="failover",
+                                        error=last_error)
                 continue
             finally:
                 with self._lock:
                     worker.outstanding -= 1
+            self.tracer.finish_span(
+                span, status="ok" if status < 400 else "error",
+                http_status=status)
             if record:
                 family = f"{min(max(status // 100, 2), 5)}xx"
                 with self._lock:
@@ -938,6 +1111,9 @@ class PoolServer:
                     self.metrics.record_error()
                 elif status == 408:
                     self.metrics.record_timeout()
+            if status == 200 and record:
+                self._check_response_outputs(ctx, response, source="router",
+                                             model=model or None)
             return status, response
         if record:
             self.metrics.record_error()
@@ -976,7 +1152,9 @@ class PoolServer:
 
     def _canary_exchange(self, body: bytes, payload: Dict[str, object],
                          model: str, rollout: Rollout,
-                         qos: Optional[RequestQoS] = None) -> Tuple[int, bytes]:
+                         qos: Optional[RequestQoS] = None,
+                         ctx: Optional[TraceContext] = None,
+                         parent_id: Optional[str] = None) -> Tuple[int, bytes]:
         """Serve one canary-sampled request through **both** versions.
 
         The active version answers the client (a divergent candidate must
@@ -985,17 +1163,33 @@ class PoolServer:
         input in shadow.  The gate records output parity (bitwise: PECAN-D
         inference is deterministic and JSON round-trips float64 exactly) and
         both latencies, and its verdict may auto-promote or auto-roll-back.
+        The mirror hop shares the request's trace id under a
+        ``router.canary_mirror`` span, and its outputs run through the
+        invariant monitor — a candidate emitting NaNs is caught (and the
+        gate tripped) even on requests whose bitwise comparison never runs.
         """
         started = time.monotonic()
-        status, response = self._dispatch_with_retries(body, model, qos=qos)
+        status, response = self._dispatch_with_retries(
+            body, model, qos=qos, ctx=ctx, parent_id=parent_id)
         active_seconds = time.monotonic() - started
         mirror = dict(payload)
         mirror["model"] = rollout.candidate
         mirror_body = _json_bytes(mirror)
+        trace_id = ctx.trace_id if ctx is not None else None
+        mirror_span = self.tracer.start_span(
+            "router.canary_mirror", trace_id, parent_id=parent_id,
+            attrs={"candidate": rollout.candidate}) if trace_id else None
         started = time.monotonic()
         mirror_status, mirror_response = self._dispatch_with_retries(
-            mirror_body, rollout.candidate, record=False)
+            mirror_body, rollout.candidate, record=False, ctx=ctx,
+            parent_id=mirror_span.span_id if mirror_span is not None else None)
         canary_seconds = time.monotonic() - started
+        self.tracer.finish_span(
+            mirror_span, status="ok" if mirror_status == 200 else "error",
+            http_status=mirror_status)
+        if mirror_status == 200:
+            self._check_response_outputs(ctx, mirror_response, source="canary",
+                                         model=rollout.candidate)
         if status == 200:
             # An active-side failure (backpressure, timeout) yields nothing
             # comparable; the gate only judges real output pairs.
@@ -1009,11 +1203,40 @@ class PoolServer:
                 except (ValueError, KeyError, UnicodeDecodeError):
                     match = False
                 rollout.gate.record(match, active_seconds, canary_seconds)
+                self.monitor.record_canary(match, model=rollout.candidate,
+                                           trace_id=trace_id)
                 if not match:
                     rollout.log("parity_violation",
                                 samples=rollout.gate.samples)
             self._maybe_autofinish(rollout)
         return status, response
+
+    def _on_violation(self, violation: Violation) -> None:
+        """Runtime-verification hook: a violation against an in-canary
+        candidate spends the rollout gate's parity budget.
+
+        ``canary_parity`` verdicts are skipped — the rollout comparator
+        already charged the gate for those via :meth:`RolloutGate.record`.
+        """
+        if not self.monitor_trips_gate:
+            return
+        if violation.invariant == "canary_parity":
+            return
+        model = violation.model
+        if not model:
+            return
+        try:
+            base, _ = split_versioned(model)
+        except LifecycleError:
+            return
+        with self._lock:
+            rollout = self._rollouts.get(base)
+        if rollout is None or not rollout.in_canary:
+            return
+        rollout.gate.record_invariant_violation()
+        rollout.log("invariant_violation", invariant=violation.invariant,
+                    detail=violation.get("detail"))
+        self._maybe_autofinish(rollout)
 
     def _maybe_autofinish(self, rollout: Rollout) -> None:
         if not rollout.auto:
@@ -1429,6 +1652,7 @@ class PoolServer:
                 "history": list(self._rollout_history),
                 "active_versions": dict(self._active_versions),
             }
+        self.tracer.flush()
         return {
             "router": self.metrics.snapshot(queue_depth=self.outstanding_total()),
             # brownout.snapshot() also refreshes the detector, so a pool whose
@@ -1439,11 +1663,32 @@ class PoolServer:
                 "fair_queue": self.fair_scheduler.snapshot(),
                 "rate_limits": self.rate_limits.snapshot(),
             },
+            "trace": self.tracer.snapshot(),
+            "runtime_verification": self.monitor.snapshot(),
             "pool": self.describe_pool(),
             "lifecycle": lifecycle,
             "workers": per_worker,
             "aggregate": aggregate_counter_trees(healthy) if healthy else {},
         }
+
+    def trace_snapshot(self, trace_id: Optional[str] = None,
+                       limit: int = 20) -> Dict[str, object]:
+        """The pool's ``/trace`` payload.
+
+        With a ``trace_id``, merges the router's own spans with every ready
+        worker's spans for that trace (fetched over their ``/trace?id=``
+        endpoints) into one causally-sorted timeline — the cross-process
+        view an operator debugs a slow or failed request with.
+        """
+        if not trace_id:
+            return {"recent": self.tracer.recent_traces(limit),
+                    "trace": self.tracer.snapshot()}
+        spans = list(self.tracer.find(trace_id))
+        for payload in self._fetch_from_workers(f"/trace?id={trace_id}").values():
+            worker_spans = payload.get("spans")
+            if isinstance(worker_spans, list):
+                spans.extend(worker_spans)
+        return {"trace_id": trace_id, "spans": causal_sort(spans)}
 
     def models_snapshot(self) -> Dict[str, object]:
         per_worker = self._fetch_from_workers("/models")
@@ -1475,10 +1720,12 @@ class PoolServer:
     def inject_fault(self, worker_id: int, kind: str = "crash",
                      seconds: Optional[float] = None) -> None:
         """Ask worker ``worker_id`` to ``crash`` (exit hard), ``hang``
-        (silence its control loop) or run ``slow`` (inject ``seconds`` of
-        latency into every dispatched batch; ``seconds=0`` clears it) — the
-        failure modes the self-healing and brownout chaos tests exercise."""
-        if kind not in ("crash", "hang", "slow"):
+        (silence its control loop), run ``slow`` (inject ``seconds`` of
+        latency into every dispatched batch; ``seconds=0`` clears it) or
+        ``corrupt`` (poison a logit column with NaN after the engine runs;
+        ``seconds=0`` clears it) — the failure modes the self-healing,
+        brownout and runtime-verification chaos tests exercise."""
+        if kind not in ("crash", "hang", "slow", "corrupt"):
             raise ValueError(f"unknown fault {kind!r}")
         message: Dict[str, object] = {"cmd": kind}
         if seconds is not None:
@@ -1508,10 +1755,11 @@ def _retry_after_from(headers: Optional[Dict[str, str]]) -> Optional[float]:
 # Router HTTP handler
 # --------------------------------------------------------------------------- #
 def _build_pool_handler(pool: PoolServer):
-    from repro.serve.server import JSONHandlerBase, _admin_dispatch
+    from repro.serve.server import JSONHandlerBase, _admin_dispatch, _trace_query
 
     class Handler(JSONHandlerBase):
         def do_GET(self) -> None:                # noqa: N802 - stdlib signature
+            trace_id = _trace_query(self.path)
             if self.path == "/healthz":
                 self._reply(200, pool.health_snapshot())
             elif self.path == "/metrics":
@@ -1520,6 +1768,8 @@ def _build_pool_handler(pool: PoolServer):
                 self._reply(200, pool.models_snapshot())
             elif self.path == "/admin/status":
                 self._reply(200, pool.lifecycle_snapshot())
+            elif trace_id is not None:
+                self._reply(200, pool.trace_snapshot(trace_id or None))
             else:
                 self._reply(404, {"error": f"unknown path {self.path}"})
 

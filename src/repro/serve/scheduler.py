@@ -41,6 +41,7 @@ from typing import Callable, Deque, List, Optional
 import numpy as np
 
 from repro.serve.metrics import ServerMetrics
+from repro.serve.trace import Tracer, use_context
 
 #: Priority classes, most to least important; index = dispatch rank.
 #: Canonical definition — :mod:`repro.serve.qos` re-exports it.
@@ -106,12 +107,15 @@ class InferenceRequest:
 
     __slots__ = ("inputs", "num_samples", "submitted_at", "deadline",
                  "priority", "tenant", "rank",
-                 "_done", "_result", "_error", "queue_seconds")
+                 "_done", "_result", "_error", "queue_seconds",
+                 "trace_id", "parent_span", "queue_span", "infer_seconds")
 
     def __init__(self, inputs: np.ndarray, timeout_s: Optional[float],
                  priority: str = DEFAULT_PRIORITY,
                  tenant: str = DEFAULT_TENANT,
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 trace_id: Optional[str] = None,
+                 parent_span: Optional[str] = None):
         self.inputs = inputs
         self.num_samples = int(inputs.shape[0])
         self.submitted_at = time.monotonic()
@@ -130,6 +134,13 @@ class InferenceRequest:
         self._result: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
         self.queue_seconds = 0.0
+        #: Trace propagation: the id this request rides under, the span that
+        #: submitted it (the parent of the batcher's spans), the open
+        #: ``batch.queue`` span, and the measured per-batch inference time.
+        self.trace_id = trace_id
+        self.parent_span = parent_span
+        self.queue_span = None
+        self.infer_seconds = 0.0
 
     # -- worker side ---------------------------------------------------- #
     def expired(self, now: float) -> bool:
@@ -195,7 +206,8 @@ class DynamicBatcher:
                  request_timeout_s: Optional[float] = 30.0,
                  metrics: Optional[ServerMetrics] = None,
                  on_batch: Optional[Callable[[np.ndarray, np.ndarray], None]] = None,
-                 batch_class_samples: Optional[int] = None):
+                 batch_class_samples: Optional[int] = None,
+                 tracer: Optional[Tracer] = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.predict_fn = predict_fn
@@ -209,6 +221,7 @@ class DynamicBatcher:
         self.request_timeout_s = request_timeout_s
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.on_batch = on_batch
+        self.tracer = tracer
         self._cond = threading.Condition()
         #: Per-priority-class FIFO queues; dispatch pops rank 0 first.
         self._queues: List[Deque[InferenceRequest]] = \
@@ -275,7 +288,9 @@ class DynamicBatcher:
                timeout_s: Optional[float] = None,
                priority: str = DEFAULT_PRIORITY,
                tenant: str = DEFAULT_TENANT,
-               deadline: Optional[float] = None) -> InferenceRequest:
+               deadline: Optional[float] = None,
+               trace_id: Optional[str] = None,
+               parent_span: Optional[str] = None) -> InferenceRequest:
         """Enqueue a request; returns its future.  Never blocks on a full queue.
 
         Submitting before :meth:`start` is allowed — requests queue up and the
@@ -289,22 +304,35 @@ class DynamicBatcher:
             raise ValueError("empty batch submitted")
         request = InferenceRequest(
             inputs, timeout_s if timeout_s is not None else self.request_timeout_s,
-            priority=priority, tenant=tenant, deadline=deadline)
-        with self._cond:
-            if self._depth >= self.max_queue_depth:
-                self.metrics.record_rejected(priority=priority)
-                raise QueueFullError(
-                    f"request queue is full ({self.max_queue_depth} pending); "
-                    f"retry later")
-            if (request.rank == _BATCH_RANK
-                    and len(self._queues[_BATCH_RANK]) >= self.batch_queue_cap):
-                self.metrics.record_rejected(priority=priority)
-                raise QueueFullError(
-                    f"batch-class queue is full ({self.batch_queue_cap} "
-                    f"pending); bulk work must yield — retry later")
-            self._queues[request.rank].append(request)
-            self._depth += 1
-            self._cond.notify()
+            priority=priority, tenant=tenant, deadline=deadline,
+            trace_id=trace_id, parent_span=parent_span)
+        if self.tracer is not None and request.trace_id:
+            # Opened before enqueue, closed by ``_dispatch`` — its duration is
+            # exactly the time the request spent queued in this batcher.
+            request.queue_span = self.tracer.start_span(
+                "batch.queue", request.trace_id, parent_id=request.parent_span,
+                attrs={"priority": priority, "samples": request.num_samples})
+        try:
+            with self._cond:
+                if self._depth >= self.max_queue_depth:
+                    self.metrics.record_rejected(priority=priority)
+                    raise QueueFullError(
+                        f"request queue is full ({self.max_queue_depth} pending); "
+                        f"retry later")
+                if (request.rank == _BATCH_RANK
+                        and len(self._queues[_BATCH_RANK]) >= self.batch_queue_cap):
+                    self.metrics.record_rejected(priority=priority)
+                    raise QueueFullError(
+                        f"batch-class queue is full ({self.batch_queue_cap} "
+                        f"pending); bulk work must yield — retry later")
+                self._queues[request.rank].append(request)
+                self._depth += 1
+                self._cond.notify()
+        except QueueFullError:
+            if self.tracer is not None:
+                self.tracer.finish_span(request.queue_span, status="rejected",
+                                        reason="queue-full")
+            raise
         self.metrics.record_submitted(request.num_samples)
         return request
 
@@ -404,6 +432,9 @@ class DynamicBatcher:
             queue_ms = (now - request.submitted_at) * 1e3
             if request.expired(now):
                 self.metrics.record_timeout(priority=request.priority)
+                if self.tracer is not None:
+                    self.tracer.finish_span(request.queue_span, status="timeout",
+                                            stage="batch-queue", queue_ms=queue_ms)
                 request.set_error(RequestTimeout(
                     f"request expired after {queue_ms:.1f} ms in queue, "
                     f"before dispatch",
@@ -413,6 +444,9 @@ class DynamicBatcher:
                 # Doomed: the deadline will pass before the batch's predicted
                 # inference time elapses — shed now, before engine work.
                 self.metrics.record_timeout(priority=request.priority)
+                if self.tracer is not None:
+                    self.tracer.finish_span(request.queue_span, status="timeout",
+                                            stage="doomed", queue_ms=queue_ms)
                 request.set_error(RequestTimeout(
                     f"request shed as doomed after {queue_ms:.1f} ms in queue: "
                     f"{(request.deadline - now) * 1e3:.1f} ms of budget left "
@@ -420,17 +454,29 @@ class DynamicBatcher:
                     queue_ms=queue_ms, stage="doomed"))
             else:
                 request.queue_seconds = now - request.submitted_at
+                if self.tracer is not None:
+                    self.tracer.finish_span(request.queue_span,
+                                            queue_ms=queue_ms)
                 live.append(request)
         if not live:
             return
         started = time.monotonic()
+        wall_started = time.time()
         try:
             # Concatenation stays inside the guard: a shape-mismatched request
             # that slipped past admission must fail its batch, not kill the
             # worker thread.
             inputs = (live[0].inputs if len(live) == 1
                       else np.concatenate([request.inputs for request in live], axis=0))
-            outputs = self.predict_fn(inputs)
+            traced = (next((r for r in live if r.trace_id), None)
+                      if self.tracer is not None else None)
+            if traced is not None:
+                # Publish the trace context for the duration of the engine
+                # call so ``BundleEngine.predict`` can attach its own span.
+                with use_context(traced.trace_id, traced.parent_span or ""):
+                    outputs = self.predict_fn(inputs)
+            else:
+                outputs = self.predict_fn(inputs)
         except Exception as exc:                      # noqa: BLE001 - forwarded
             self.metrics.record_error()
             for request in live:
@@ -442,12 +488,25 @@ class DynamicBatcher:
         offset = 0
         finished = time.monotonic()
         for request in live:
+            request.infer_seconds = infer_seconds
             request.set_result(outputs[offset:offset + request.num_samples])
             offset += request.num_samples
             self.metrics.record_completed(finished - request.submitted_at,
                                           request.queue_seconds,
                                           priority=request.priority,
                                           tenant=request.tenant)
+            if self.tracer is not None and request.trace_id:
+                # Recorded post-hoc so span bookkeeping stays off the timed
+                # inference path; the wall start is back-dated to the batch's.
+                span = self.tracer.start_span(
+                    "batch.infer", request.trace_id,
+                    parent_id=request.parent_span,
+                    attrs={"batch_samples": int(inputs.shape[0]),
+                           "batch_requests": len(live),
+                           "samples": request.num_samples})
+                if span is not None:
+                    span.start_time = wall_started
+                self.tracer.finish_span(span)
         if self.on_batch is not None:
             try:
                 self.on_batch(inputs, outputs)

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.serve.auditor import ParityAuditor
 from repro.serve.engine import BundleEngine
+from repro.serve.invariants import InvariantMonitor
 from repro.serve.lifecycle import (LifecycleError, format_versioned,
                                    split_versioned)
 from repro.serve.metrics import ServerMetrics
@@ -43,6 +44,8 @@ from repro.serve.qos import QoSConfig, RequestQoS, ShedError, parse_qos
 from repro.serve.registry import EngineLease, ModelRegistry, PathLike
 from repro.serve.scheduler import (DynamicBatcher, QueueFullError, RequestTimeout,
                                    SchedulerStopped)
+from repro.serve.trace import (LAMPORT_HEADER, TRACE_HEADER, TraceContext,
+                               Tracer, parse_trace_context)
 
 
 class _ServeHTTPServer(ThreadingHTTPServer):
@@ -151,6 +154,16 @@ class PECANServer:
         batch is paced (via :class:`_AcceleratorPacer`) to the latency the
         paper's cost model predicts for its traced operations, with the CPU
         released during the wait.  ``None`` (default) serves at host speed.
+    trace_dir / trace_ring / trace_enabled / trace_service:
+        Distributed tracing: every request carries a trace id (generated
+        here when the caller sent none) and records per-hop spans into a
+        bounded ring buffer, exported as otel-style JSONL under
+        ``trace_dir`` when set.  See :mod:`repro.serve.trace`.
+    invariant_every:
+        Runtime-verification sample rate: one of every N responses is
+        checked against the online invariants (finite logits, stable
+        shape/dtype, retry-stable argmax); 0 disables.  Violations appear
+        in ``/metrics`` under ``runtime_verification``.
     """
 
     def __init__(self, registry: Optional[ModelRegistry] = None,
@@ -161,7 +174,12 @@ class PECANServer:
                  batch_chunk: Optional[int] = None,
                  audit_every: int = 0,
                  hardware_hz: Optional[float] = None,
-                 qos_config: Optional[QoSConfig] = None):
+                 qos_config: Optional[QoSConfig] = None,
+                 trace_dir: Optional[str] = None,
+                 trace_ring: int = 2048,
+                 trace_enabled: bool = True,
+                 trace_service: str = "server",
+                 invariant_every: int = 16):
         self.registry = registry if registry is not None else ModelRegistry()
         self.host = host
         self.port = port
@@ -178,6 +196,15 @@ class PECANServer:
         #: ``slow`` fault sets this so overload paths are chaos-testable
         #: without real saturation.
         self.injected_latency_s = 0.0
+        #: The `corrupt` chaos fault: when set, every prediction's first
+        #: logit is overwritten with NaN *after* the engine ran — exercising
+        #: the runtime-verification plane (finite-logits invariant, canary
+        #: parity) without touching the engine.
+        self.corrupt_logits = False
+        #: Tracing + runtime verification.
+        self.tracer = Tracer(trace_service, ring_size=trace_ring,
+                             trace_dir=trace_dir, enabled=trace_enabled)
+        self.monitor = InvariantMonitor(invariant_every, tracer=self.tracer)
         #: Overload brownout: queue depth across all batchers + recent p99.
         self.brownout = self.qos_config.make_brownout(self._overload_signal)
         self._served: Dict[str, ServedModel] = {}
@@ -262,8 +289,11 @@ class PECANServer:
                     # reference kernels on the *same* program.
                     reference = engine.reference_engine()
                     auditor = ParityAuditor(reference, every=self.audit_every,
-                                            metrics=self.metrics).start()
+                                            metrics=self.metrics,
+                                            monitor=self.monitor,
+                                            model=record_id).start()
                     on_batch = auditor.observe
+                engine.tracer = self.tracer
                 pacer = None
                 if self.hardware_hz:
                     pacer = _AcceleratorPacer(engine, self.hardware_hz,
@@ -280,7 +310,14 @@ class PECANServer:
                     delay = self.injected_latency_s
                     if delay > 0:
                         time.sleep(delay)
-                    return _base(x)
+                    outputs = _base(x)
+                    if self.corrupt_logits:
+                        # The `corrupt` chaos fault: poison the response after
+                        # the engine ran, so the runtime-verification plane —
+                        # not the engine — is what must catch it.
+                        outputs = np.array(outputs, copy=True)
+                        outputs[..., 0] = np.nan
+                    return outputs
 
                 batcher = DynamicBatcher(
                     predict_fn,
@@ -288,7 +325,8 @@ class PECANServer:
                     max_queue_depth=self.max_queue_depth,
                     request_timeout_s=self.request_timeout_s,
                     metrics=self.metrics, on_batch=on_batch,
-                    batch_class_samples=self.qos_config.batch_class_samples).start()
+                    batch_class_samples=self.qos_config.batch_class_samples,
+                    tracer=self.tracer).start()
                 served = ServedModel(name=record_id, engine=engine, batcher=batcher,
                                      auditor=auditor, pacer=pacer, lease=lease)
                 self._served[record_id] = served
@@ -389,21 +427,66 @@ class PECANServer:
     # ------------------------------------------------------------------ #
     def predict(self, inputs: np.ndarray, model: Optional[str] = None,
                 timeout_s: Optional[float] = None,
-                qos: Optional[RequestQoS] = None) -> Dict[str, object]:
+                qos: Optional[RequestQoS] = None,
+                trace: Optional[TraceContext] = None) -> Dict[str, object]:
         """Micro-batched prediction; returns a JSON-ready response dict.
 
         ``qos`` carries the request's priority class, tenant and absolute
         deadline (default: ``standard`` / ``default`` / none — the pre-QoS
         behaviour).  The brownout controller may refuse admission with
         :class:`~repro.serve.qos.ShedError` before any engine work.
+
+        ``trace`` carries the propagated trace context (id, parent span,
+        attempt, remote Lamport clock); when absent a fresh trace id is
+        generated here — every request is traced, whoever fronted it.  The
+        id rides on the response as ``trace_id`` and every failure path
+        finishes the root span with a terminal status.
         """
         if qos is None:
             qos = RequestQoS()
+        ctx = trace if trace is not None else TraceContext()
+        trace_id = ctx.ensure_trace_id()
+        if ctx.lamport is not None:
+            self.tracer.observe_remote(ctx.lamport)
+        root = self.tracer.start_span(
+            "server.predict", trace_id, parent_id=ctx.parent_span,
+            attrs={"model": model, "priority": qos.priority,
+                   "tenant": qos.tenant, "attempt": ctx.attempt})
+        started = time.monotonic()
+        sampled = self.monitor.enabled and (self.monitor.sample()
+                                            or ctx.attempt > 0)
         try:
-            self.brownout.admit(qos.priority)
+            response = self._predict_inner(inputs, model, timeout_s, qos,
+                                           trace_id, root, started)
         except ShedError as exc:
             self.metrics.record_shed(qos.priority, exc.reason)
+            self.tracer.finish_span(root, status="shed", reason=exc.reason)
             raise
+        except QueueFullError:
+            self.metrics.record_shed(qos.priority, "queue-full")
+            self.tracer.finish_span(root, status="shed", reason="queue-full")
+            raise
+        except RequestTimeout as exc:
+            self.tracer.finish_span(root, status="timeout", **exc.details)
+            raise
+        except Exception as exc:
+            self.tracer.finish_span(root, status="error",
+                                    error=type(exc).__name__)
+            raise
+        self.tracer.finish_span(root, queue_ms=response["queue_ms"])
+        if sampled:
+            self.monitor.check_outputs(
+                response["model"], np.asarray(response["outputs"]),
+                trace_id=trace_id, attempt=ctx.attempt)
+            self.monitor.check_trace(self.tracer.find(trace_id),
+                                     trace_id=trace_id)
+        response["trace_id"] = trace_id
+        return response
+
+    def _predict_inner(self, inputs: np.ndarray, model: Optional[str],
+                       timeout_s: Optional[float], qos: RequestQoS,
+                       trace_id: str, root, started: float) -> Dict[str, object]:
+        self.brownout.admit(qos.priority)
         name = model or self.registry.default_name()
         if name is None:
             raise KeyError("no models registered")
@@ -421,12 +504,11 @@ class PECANServer:
             raise ValueError(f"expected per-sample input shape {tuple(expected)}, "
                              f"got {tuple(inputs.shape[1:])}")
         submit_kwargs = dict(timeout_s=timeout_s, priority=qos.priority,
-                             tenant=qos.tenant, deadline=qos.deadline)
+                             tenant=qos.tenant, deadline=qos.deadline,
+                             trace_id=trace_id,
+                             parent_span=root.span_id if root is not None else None)
         try:
             request = served.batcher.submit(inputs, **submit_kwargs)
-        except QueueFullError:
-            self.metrics.record_shed(qos.priority, "queue-full")
-            raise
         except SchedulerStopped:
             # We raced an LRU retirement: the model is still registered, so
             # re-resolve (reloading the engine) instead of failing the caller.
@@ -436,6 +518,16 @@ class PECANServer:
         if request.deadline is not None:
             wait = max(request.deadline - time.monotonic(), 0.0) + 1.0
         outputs = request.result(timeout=wait)
+        # Per-stage component breakdown (derived from the same timings the
+        # spans record): batcher queue wait, engine time inside the batch,
+        # and everything else end-to-end ("respond").
+        total_seconds = time.monotonic() - started
+        self.metrics.record_stages(
+            qos.priority,
+            batch_wait=request.queue_seconds,
+            infer=request.infer_seconds,
+            respond=max(0.0, total_seconds - request.queue_seconds
+                        - request.infer_seconds))
         return {
             "model": name,
             "outputs": outputs.tolist(),
@@ -458,8 +550,13 @@ class PECANServer:
             # being scraped.
             "brownout": self.brownout.snapshot(),
             "registry": self.registry.describe(),
+            "trace": self.tracer.snapshot(),
+            "runtime_verification": self.monitor.snapshot(),
             "models": {},
         }
+        # Keep the JSONL export readable by scrapers: a /metrics poll is the
+        # natural heartbeat to push buffered spans to disk.
+        self.tracer.flush()
         for name, record in served.items():
             entry: Dict[str, object] = {
                 "engine": record.engine.stats_snapshot(),
@@ -483,6 +580,14 @@ class PECANServer:
                 }
             payload["models"][name] = entry
         return payload
+
+    def trace_snapshot(self, trace_id: Optional[str] = None,
+                       limit: int = 20) -> Dict[str, object]:
+        """The ``/trace`` payload: one trace's spans, or a recent listing."""
+        if trace_id:
+            return {"trace_id": trace_id, "spans": self.tracer.find(trace_id)}
+        return {"recent": self.tracer.recent_traces(limit),
+                "trace": self.tracer.snapshot()}
 
     def models_snapshot(self) -> Dict[str, object]:
         return self.registry.describe()
@@ -526,6 +631,7 @@ class PECANServer:
             self._served.clear()
         for record in records:        # drain outside the lock
             self._retire(record)
+        self.tracer.close()
 
     def serve_forever(self) -> None:
         """Blocking variant for the CLI: start and run until interrupted."""
@@ -583,12 +689,18 @@ class JSONHandlerBase(BaseHTTPRequestHandler):
         self._reply_bytes(status, json.dumps(payload).encode("utf-8"),
                           headers=headers)
 
-    def _reply_shed(self, exc) -> None:
+    def _reply_shed(self, exc, trace_id: Optional[str] = None,
+                    extra_headers: Optional[Dict[str, str]] = None) -> None:
         """Answer a QoS refusal (brownout / rate limit) with ``Retry-After``."""
-        self._reply(exc.status,
-                    {"error": str(exc), "reason": exc.reason,
-                     "retry_after_s": exc.retry_after_s},
-                    headers={"Retry-After": f"{max(exc.retry_after_s, 0.0):.3f}"})
+        payload = {"error": str(exc), "reason": exc.reason,
+                   "retry_after_s": exc.retry_after_s}
+        headers = {"Retry-After": f"{max(exc.retry_after_s, 0.0):.3f}"}
+        if trace_id:
+            payload["trace_id"] = trace_id
+            headers[TRACE_HEADER] = trace_id
+        if extra_headers:
+            headers.update(extra_headers)
+        self._reply(exc.status, payload, headers=headers)
 
     def _read_body(self) -> Optional[bytes]:
         """The request body, or ``None`` after replying 400 to a bad frame."""
@@ -602,6 +714,17 @@ class JSONHandlerBase(BaseHTTPRequestHandler):
             self._reply(400, {"error": "bad Content-Length"})
             return None
         return self.rfile.read(length)
+
+
+def _trace_query(path: str) -> Optional[str]:
+    """``"/trace?id=abc"`` → ``"abc"``; ``"/trace"`` → ``""``; else ``None``."""
+    from urllib.parse import parse_qs, urlparse
+
+    parsed = urlparse(path)
+    if parsed.path != "/trace":
+        return None
+    values = parse_qs(parsed.query).get("id", [])
+    return values[0] if values else ""
 
 
 def _admin_dispatch(reply, path: str, payload: Dict[str, object],
@@ -641,6 +764,7 @@ def _build_handler(server: PECANServer):
         pecan = server
 
         def do_GET(self) -> None:                # noqa: N802 - stdlib signature
+            trace_id = _trace_query(self.path)
             if self.path == "/healthz":
                 self._reply(200, self.pecan.health_snapshot())
             elif self.path == "/metrics":
@@ -649,6 +773,8 @@ def _build_handler(server: PECANServer):
                 self._reply(200, self.pecan.models_snapshot())
             elif self.path == "/admin/status":
                 self._reply(200, self.pecan.lifecycle_snapshot())
+            elif trace_id is not None:
+                self._reply(200, self.pecan.trace_snapshot(trace_id or None))
             else:
                 self._reply(404, {"error": f"unknown path {self.path}"})
 
@@ -682,39 +808,71 @@ def _build_handler(server: PECANServer):
             body = self._read_body()
             if body is None:
                 return
+            trace_ctx = parse_trace_context(None, self.headers)
             try:
                 payload = json.loads(body or b"{}")
                 if "inputs" not in payload:
                     raise ValueError("request body must contain 'inputs'")
+                trace_ctx = parse_trace_context(payload, self.headers)
                 inputs = np.asarray(payload["inputs"], dtype=np.float64)
                 qos = parse_qos(payload, self.headers)
             except (ValueError, TypeError, json.JSONDecodeError) as exc:
-                self._reply(400, {"error": str(exc)})
+                self._reply(400, {"error": str(exc),
+                                  **self._trace_fields(trace_ctx)},
+                            headers=self._trace_headers(trace_ctx))
                 return
             try:
                 response = self.pecan.predict(inputs, model=payload.get("model"),
-                                              qos=qos)
+                                              qos=qos, trace=trace_ctx)
             except KeyError as exc:
-                self._reply(404, {"error": str(exc)})
+                self._reply(404, {"error": str(exc),
+                                  **self._trace_fields(trace_ctx)},
+                            headers=self._trace_headers(trace_ctx))
             except ShedError as exc:
-                self._reply_shed(exc)
+                self._reply_shed(exc, trace_id=trace_ctx.trace_id,
+                                 extra_headers=self._lamport_header())
             except QueueFullError as exc:
-                self._reply(429, {"error": str(exc)},
-                            headers={"Retry-After": "1.000"})
+                self._reply(429, {"error": str(exc),
+                                  **self._trace_fields(trace_ctx)},
+                            headers={"Retry-After": "1.000",
+                                     **self._trace_headers(trace_ctx)})
             except RequestTimeout as exc:
                 # (queue-expiry timeouts are already counted by the scheduler)
                 # The details say *where* the deadline died — e.g.
                 # ``{"queue_ms": 12.3, "stage": "batch-queue"}`` for a request
                 # shed in the queue before any engine work.
-                self._reply(408, {"error": str(exc), **exc.details})
+                self._reply(408, {"error": str(exc), **exc.details,
+                                  **self._trace_fields(trace_ctx)},
+                            headers=self._trace_headers(trace_ctx))
             except SchedulerStopped as exc:
-                self._reply(503, {"error": str(exc)})
+                self._reply(503, {"error": str(exc),
+                                  **self._trace_fields(trace_ctx)},
+                            headers=self._trace_headers(trace_ctx))
             except ValueError as exc:
-                self._reply(400, {"error": str(exc)})
+                self._reply(400, {"error": str(exc),
+                                  **self._trace_fields(trace_ctx)},
+                            headers=self._trace_headers(trace_ctx))
             except Exception as exc:             # noqa: BLE001 - boundary
                 self.pecan.metrics.record_error()
-                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}",
+                                  **self._trace_fields(trace_ctx)},
+                            headers=self._trace_headers(trace_ctx))
             else:
-                self._reply(200, response)
+                self._reply(200, response,
+                            headers=self._trace_headers(trace_ctx))
+
+        def _trace_fields(self, ctx) -> Dict[str, object]:
+            return {"trace_id": ctx.trace_id} if ctx.trace_id else {}
+
+        def _trace_headers(self, ctx) -> Dict[str, str]:
+            # The returning Lamport value lets the upstream router merge this
+            # process's clock, keeping cross-process span order causal.
+            headers = self._lamport_header()
+            if ctx.trace_id:
+                headers[TRACE_HEADER] = ctx.trace_id
+            return headers
+
+        def _lamport_header(self) -> Dict[str, str]:
+            return {LAMPORT_HEADER: str(self.pecan.tracer.clock.value)}
 
     return Handler
