@@ -430,7 +430,8 @@ def _serve_single(args: argparse.Namespace) -> int:
         hardware_hz=args.emulate_hardware_hz,
         qos_config=_qos_config_from_args(args),
         trace_dir=args.trace_dir, trace_enabled=not args.no_trace,
-        invariant_every=args.invariant_every)
+        invariant_every=args.invariant_every,
+        cache_mb=0.0 if args.no_cache else args.cache_mb)
     for spec in args.bundle:
         name, path = _parse_bundle_spec(spec)
         registered = server.add_bundle(path, name=name, preload=not args.lazy_load)
@@ -468,7 +469,9 @@ def _serve_pool(args: argparse.Namespace) -> int:
         hardware_hz=args.emulate_hardware_hz, preload=not args.lazy_load,
         qos_config=_qos_config_from_args(args),
         trace_dir=args.trace_dir, trace_enabled=not args.no_trace,
-        invariant_every=args.invariant_every)
+        invariant_every=args.invariant_every,
+        cache_mb=0.0 if args.no_cache else args.cache_mb,
+        cache_check_every=args.cache_check_every)
     # Installed before start: a SIGTERM that lands while workers are still
     # spawning (or during the readiness wait below) must still drain cleanly.
     signal.signal(signal.SIGTERM, lambda signum, frame: pool.request_stop())
@@ -609,8 +612,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "router + process pool (repro.serve.pool) instead "
                             "of a single in-process server")
     serve.add_argument("--policy", default="least_outstanding",
-                       choices=["round_robin", "least_outstanding", "model_affinity"],
-                       help="pool routing policy (with --workers > 1)")
+                       choices=["round_robin", "least_outstanding",
+                                "model_affinity", "cache_affinity"],
+                       help="pool routing policy (with --workers > 1); "
+                            "cache_affinity pins identical inputs to one "
+                            "worker by canonical input hash")
     serve.add_argument("--heartbeat_interval_s", type=float, default=0.25,
                        help="worker heartbeat cadence (pool mode)")
     serve.add_argument("--heartbeat_timeout_s", type=float, default=3.0,
@@ -660,6 +666,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "response in N for finite logits / stable shape "
                             "/ retry-stable argmax (1 checks everything, "
                             "0 disables)")
+    # Deterministic response cache (repro.serve.cache).
+    serve.add_argument("--cache_mb", type=float, default=64.0,
+                       help="deterministic response-cache budget in MiB "
+                            "(PECAN-D inference is bitwise deterministic, so "
+                            "exact result caching + in-flight coalescing is "
+                            "provably lossless); namespaced per "
+                            "model@version and invalidated on "
+                            "promote/rollback/undeploy")
+    serve.add_argument("--no_cache", action="store_true",
+                       help="disable the response cache and in-flight "
+                            "request coalescing")
+    serve.add_argument("--cache_check_every", type=int, default=64,
+                       help="cache-parity audit rate (pool only): re-execute "
+                            "one cache hit in N through a worker engine and "
+                            "compare bitwise — divergence is a cache_parity "
+                            "runtime-verification violation (1 checks every "
+                            "hit, 0 disables)")
     serve.set_defaults(handler=_command_serve)
 
     trace = subparsers.add_parser(

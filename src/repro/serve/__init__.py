@@ -46,8 +46,18 @@ inference program); this package turns that file back into a serving process:
   (:func:`read_trace_dir`, :func:`causal_sort`, :func:`summarize_spans`);
 * :mod:`repro.serve.invariants` — :class:`InvariantMonitor`, always-on
   RvLLM-style runtime verification of sampled responses (finite logits,
-  stable shapes, retry-stable argmax, canary parity, causal span order)
-  whose violations can trip the rollout gate;
+  stable shapes, retry-stable argmax, canary parity, cache parity, causal
+  span order) whose violations can trip the rollout gate;
+* :mod:`repro.serve.cache` — the deterministic response cache:
+  :func:`canonical_input_hash` (the shared request-identity hash),
+  :class:`ResultCache` (byte-budgeted LRU of canonical response bytes,
+  namespaced per ``model@version``, epoch-guarded lifecycle invalidation)
+  and in-flight request coalescing (:class:`InFlightCall`) — exact and
+  provably lossless because PECAN-D inference is bitwise deterministic;
+* :mod:`repro.serve.loadgen` — :class:`ZipfWorkload` +
+  :func:`run_zipf_load`, a closed-loop skewed load generator with optional
+  bitwise response verification (used by the cache benchmarks and chaos
+  tests);
 * :mod:`repro.serve.ops` — backwards-compatible re-exports of the unified
   lowerings in :mod:`repro.ir.ops` (which mirror
   :mod:`repro.autograd.functional` exactly).
@@ -59,14 +69,20 @@ interpreter.
 """
 
 from repro.serve.auditor import ParityAuditor
+from repro.serve.cache import (NO_CACHE_HEADER, CachePlane, InFlightCall,
+                               ResultCache, canonical_input_array,
+                               canonical_input_hash, canonical_response_bytes,
+                               splice_response, stable_route_hash)
 from repro.serve.client import BulkScorer, ServeClient, ServeHTTPError
 from repro.serve.engine import BundleEngine
+from repro.serve.loadgen import LoadResult, ZipfWorkload, run_zipf_load
 from repro.serve.invariants import InvariantMonitor, Violation, check_causal_order
 from repro.serve.lifecycle import (CanaryPolicy, LifecycleError, Rollout,
                                    RolloutGate, format_versioned,
                                    split_versioned)
 from repro.serve.metrics import ServerMetrics, aggregate_counter_trees
-from repro.serve.pool import (POLICIES, LeastOutstandingPolicy, ModelAffinityPolicy,
+from repro.serve.pool import (POLICIES, CacheAffinityPolicy,
+                              LeastOutstandingPolicy, ModelAffinityPolicy,
                               PoolServer, RoundRobinPolicy, RoutingPolicy,
                               WorkerConfig, make_policy)
 from repro.serve.qos import (BROWNOUT_STATES, PRIORITY_CLASSES,
@@ -108,8 +124,21 @@ __all__ = [
     "RoundRobinPolicy",
     "LeastOutstandingPolicy",
     "ModelAffinityPolicy",
+    "CacheAffinityPolicy",
     "POLICIES",
     "make_policy",
+    "NO_CACHE_HEADER",
+    "CachePlane",
+    "InFlightCall",
+    "ResultCache",
+    "canonical_input_array",
+    "canonical_input_hash",
+    "canonical_response_bytes",
+    "splice_response",
+    "stable_route_hash",
+    "ZipfWorkload",
+    "LoadResult",
+    "run_zipf_load",
     "aggregate_counter_trees",
     "DynamicBatcher",
     "InferenceRequest",

@@ -161,7 +161,8 @@ class ServeClient:
                          priority: Optional[str] = None,
                          tenant: Optional[str] = None,
                          deadline_ms: Optional[float] = None,
-                         trace_id: Optional[str] = None) -> Dict:
+                         trace_id: Optional[str] = None,
+                         no_cache: bool = False) -> Dict:
         """Full JSON response for one ``/predict`` call.
 
         ``priority`` (``interactive``/``standard``/``batch``), ``tenant`` and
@@ -171,7 +172,9 @@ class ServeClient:
         absent one is generated client-side, so the caller can always
         correlate this response with the server's ``/trace`` view.  The id
         used is exposed as :attr:`last_trace_id` and in the returned
-        payload's ``trace_id`` field.
+        payload's ``trace_id`` field.  ``no_cache=True`` forces a fresh
+        engine execution past the server's deterministic response cache
+        (and past in-flight coalescing).
         """
         payload: Dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
         if model is not None:
@@ -182,6 +185,8 @@ class ServeClient:
             payload["tenant"] = tenant
         if deadline_ms is not None:
             payload["deadline_ms"] = float(deadline_ms)
+        if no_cache:
+            payload["no_cache"] = True
         trace_id = trace_id or new_trace_id()
         self.last_trace_id = trace_id
         response = self._request("/predict", payload, idempotent=True,

@@ -13,6 +13,10 @@ live traffic —
                           disagreement is a real fault);
 - ``canary_parity``       canary mirror disagreements (fed by the pool's
                           rollout comparator);
+- ``cache_parity``        a sampled response-cache hit re-executed on a
+                          worker produced different bytes (fed by the
+                          pool's cache verifier — the cache is provably
+                          exact, so any divergence is a real fault);
 - ``causal_order``        a child span never "happens before" its parent
                           on the Lamport clock.
 
@@ -40,6 +44,7 @@ INVARIANTS = (
     "shape_stable",
     "argmax_stable",
     "canary_parity",
+    "cache_parity",
     "causal_order",
 )
 
@@ -178,8 +183,16 @@ class InvariantMonitor:
         trace_id: Optional[str] = None,
         attempt: int = 0,
         source: str = "server",
+        input_key: Optional[str] = None,
     ) -> List[Violation]:
-        """Run the output-domain invariants on one response's logits."""
+        """Run the output-domain invariants on one response's logits.
+
+        ``input_key`` is the shared canonical request identity (namespace +
+        :func:`~repro.serve.cache.canonical_input_hash`): when given, the
+        argmax-stability fingerprint is keyed on *what was asked* rather
+        than the trace id, so any two executions of the same input against
+        the same model version must agree — not just retries of one trace.
+        """
 
         violations: List[Violation] = []
         try:
@@ -227,18 +240,27 @@ class InvariantMonitor:
                 )
             )
 
-        if trace_id and array.ndim >= 1 and array.size:
+        key = input_key or trace_id
+        if key and array.ndim >= 1 and array.size:
             fingerprint = [int(v) for v in np.argmax(np.atleast_2d(array), axis=-1)]
             with self._lock:
-                previous = self._fingerprints.get(trace_id)
+                previous = self._fingerprints.get(key)
                 if previous is None:
-                    self._fingerprints[trace_id] = fingerprint
+                    self._fingerprints[key] = fingerprint
                     while len(self._fingerprints) > self._max_fingerprints:
                         self._fingerprints.popitem(last=False)
-            if previous is not None and attempt > 0 and previous != fingerprint:
+            # Trace-id keys only compare across retries of one request;
+            # input keys name a deterministic (model@version, input) pair,
+            # so *any* two executions must agree.
+            if (previous is not None
+                    and (attempt > 0 or input_key is not None)
+                    and previous != fingerprint):
                 violations.append(
                     self.record_violation(
                         "argmax_stable",
+                        f"argmax changed across executions of the same input"
+                        f" (attempt {attempt})"
+                        if input_key is not None else
                         f"argmax changed across retry (attempt {attempt})",
                         model=model,
                         trace_id=trace_id,
@@ -266,6 +288,32 @@ class InvariantMonitor:
             model=model,
             trace_id=trace_id,
             source="canary",
+        )
+
+    def record_cache_check(
+        self,
+        match: bool,
+        *,
+        model: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> Optional[Violation]:
+        """Feed a sampled cache-hit re-execution's verdict into the monitor.
+
+        The response cache is content-addressed over a deterministic engine,
+        so a re-executed hit must reproduce the cached bytes exactly; any
+        mismatch is a ``cache_parity`` violation.
+        """
+
+        with self._lock:
+            self._checks += 1
+        if match:
+            return None
+        return self.record_violation(
+            "cache_parity",
+            "cached response diverged from fresh re-execution",
+            model=model,
+            trace_id=trace_id,
+            source="cache",
         )
 
     def check_trace(

@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.serve.metrics import Window
 
@@ -277,6 +277,14 @@ class Rollout:
     reason: str = ""
     started_at: float = field(default_factory=time.monotonic)
     events: List[Dict[str, object]] = field(default_factory=list)
+    #: Invoked (rollout, terminal state) exactly when the rollout reaches a
+    #: terminal state, whichever path got it there (manual promote/rollback,
+    #: gate auto-action, supersession).  The pool hangs response-cache
+    #: invalidation off this hook so a retired candidate's namespace dies
+    #: with the rollout.  Exceptions are swallowed: observers must not be
+    #: able to wedge a lifecycle transition.
+    on_finish: Optional[Callable[["Rollout", str], None]] = field(
+        default=None, repr=False)
     _transition_claimed: bool = field(default=False, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -299,6 +307,11 @@ class Rollout:
             self.state = state
             self.reason = reason
         self.log(state, reason=reason)
+        if self.on_finish is not None:
+            try:
+                self.on_finish(self, state)
+            except Exception:  # noqa: BLE001 — observers must not wedge a flip
+                pass
 
     @property
     def in_canary(self) -> bool:

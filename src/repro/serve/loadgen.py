@@ -1,0 +1,168 @@
+"""``repro.serve.loadgen`` — deterministic Zipf-distributed load generation.
+
+Real user traffic is heavily skewed: a small hot head of popular requests
+dominates.  :class:`ZipfWorkload` models that as a fixed pool of unique
+inputs with Zipf(``alpha``) popularity weights and hands out deterministic,
+seeded index streams — the shape of traffic where a deterministic response
+cache pays off (the hot head hits, the long tail fills).
+
+:func:`run_zipf_load` is the shared closed-loop driver used by the cache
+bench and the chaos tests: N threads, no think time, each walking its own
+Zipf stream, with optional bitwise verification of every response against
+per-item reference logits (the "zero stale responses" contract — any stale
+cached tensor or cross-version mix-up fails the run, not just an average).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ZipfWorkload", "LoadResult", "run_zipf_load"]
+
+
+class ZipfWorkload:
+    """A pool of unique inputs with Zipf-distributed popularity.
+
+    ``weights[r] ∝ (r + 1) ** -alpha`` over popularity ranks ``r``; streams
+    of item indices are drawn from a seeded generator so every run of a
+    bench or chaos test replays the identical request sequence.
+    """
+
+    def __init__(self, items: np.ndarray, *, alpha: float = 1.1,
+                 seed: int = 0):
+        if len(items) < 1:
+            raise ValueError("ZipfWorkload needs at least one item")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.items = items
+        self.alpha = float(alpha)
+        self.seed = int(seed)
+        ranks = np.arange(1, len(items) + 1, dtype=np.float64)
+        weights = ranks ** -self.alpha
+        self.weights = weights / weights.sum()
+
+    def indices(self, count: int, *, stream: int = 0) -> np.ndarray:
+        """``count`` item indices for an independent, reproducible stream."""
+        rng = np.random.default_rng((self.seed, stream))
+        return rng.choice(len(self.items), size=count, p=self.weights)
+
+    def expected_hit_rate(self, requests: int) -> float:
+        """Ideal steady-state hit rate: every item past its first request
+        hits, so with U distinct items drawn the rate is ``1 - U/n``."""
+        if requests <= 0:
+            return 0.0
+        drawn = self.indices(requests, stream=0)
+        return 1.0 - len(np.unique(drawn)) / requests
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one closed-loop run (latencies in milliseconds)."""
+
+    requests: int = 0
+    errors: List[str] = field(default_factory=list)
+    mismatches: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def percentile(self, q: float) -> float:
+        ordered = sorted(self.latencies_ms)
+        if not ordered:
+            return 0.0
+        return round(ordered[min(int(q * len(ordered)), len(ordered) - 1)], 3)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "requests_per_s": round(self.requests / self.elapsed_s, 1)
+            if self.elapsed_s else 0.0,
+            "p50_ms": self.percentile(0.50),
+            "p95_ms": self.percentile(0.95),
+            "p99_ms": self.percentile(0.99),
+            "errors": len(self.errors),
+            "mismatches": self.mismatches,
+        }
+
+
+def run_zipf_load(predict: Callable[[np.ndarray, int], Any],
+                  workload: ZipfWorkload, *,
+                  clients: int = 4,
+                  window_s: Optional[float] = None,
+                  requests_per_client: Optional[int] = None,
+                  references: Optional[Sequence[np.ndarray]] = None,
+                  on_error: str = "record") -> LoadResult:
+    """Drive ``predict(item, client_index)`` from ``clients`` Zipf streams.
+
+    Runs closed-loop (no think time) until ``window_s`` elapses or each
+    client has issued ``requests_per_client`` requests, whichever is given.
+    When ``references`` holds per-item reference logits (arrays) or
+    canonical response bytes, every response is checked bitwise against its
+    item's reference (``mismatches`` counts violations — the stale-response
+    detector).  ``on_error="record"`` keeps a failed client's thread going;
+    ``"stop"`` ends that thread.
+    """
+    if window_s is None and requests_per_client is None:
+        raise ValueError("need window_s and/or requests_per_client")
+    if on_error not in ("record", "stop"):
+        raise ValueError(f"unknown on_error mode {on_error!r}")
+    result = LoadResult()
+    lock = threading.Lock()
+    stop_at = (time.monotonic() + window_s) if window_s is not None else None
+
+    def client_loop(client_index: int) -> None:
+        budget = requests_per_client
+        issued = 0
+        # Draw a generous stream up front; extend lazily for long windows.
+        stream = workload.indices(max(budget or 0, 1024),
+                                  stream=client_index)
+        while budget is None or issued < budget:
+            if stop_at is not None and time.monotonic() >= stop_at:
+                return
+            if issued >= len(stream):
+                stream = np.concatenate([
+                    stream,
+                    workload.indices(len(stream), stream=client_index + 7919),
+                ])
+            index = int(stream[issued])
+            issued += 1
+            item = workload.items[index]
+            started = time.monotonic()
+            try:
+                outputs = predict(item, client_index)
+            except Exception as exc:  # noqa: BLE001 - recorded for the caller
+                with lock:
+                    result.errors.append(repr(exc))
+                if on_error == "stop":
+                    return
+                continue
+            elapsed_ms = (time.monotonic() - started) * 1e3
+            mismatch = 0
+            if references is not None:
+                expected = references[index]
+                if isinstance(expected, (bytes, bytearray)):
+                    if outputs != expected:
+                        mismatch = 1
+                else:
+                    got = np.asarray(outputs, dtype=np.float64)
+                    if got.shape != expected.shape or not np.array_equal(
+                            got, expected):
+                        mismatch = 1
+            with lock:
+                result.requests += 1
+                result.latencies_ms.append(elapsed_ms)
+                result.mismatches += mismatch
+
+    threads = [threading.Thread(target=client_loop, args=(i,), daemon=True)
+               for i in range(clients)]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.elapsed_s = max(time.monotonic() - started, 1e-9)
+    return result

@@ -94,6 +94,11 @@ _NON_ADDITIVE_KEYS = frozenset({
     # are the sum of its workers'.  The per-stage latency windows introduced
     # with the trace plane reuse the percentile keys above.)
     "lamport", "ring_size", "buffered", "ring_evictions",
+    # Response cache: byte budgets, occupancy, epoch and fan-in are
+    # per-process gauges/config.  (hits/misses/evictions/coalesce counters
+    # stay additive — a fleet's lookups are the sum of its caches'.)
+    "max_bytes", "bytes", "entries", "epoch", "hit_rate", "max_fan_in",
+    "inflight",
 })
 
 

@@ -16,7 +16,16 @@ bundle arrays**, fronted by an HTTP router that speaks the exact same
 * **Pluggable routing** — ``round_robin`` (cheap, uniform),
   ``least_outstanding`` (load-aware: the worker with the fewest in-flight
   proxied requests), ``model_affinity`` (a stable hash of the request's model
-  name pins each model to a worker so per-model LRU caches stay hot).
+  name pins each model to a worker so per-model LRU caches stay hot),
+  ``cache_affinity`` (a stable hash of the request's *canonical input* pins
+  repeat traffic to the worker that already executed it).
+* **Deterministic response cache + coalescing** — with ``cache_mb`` set, the
+  router answers byte-identical repeat requests from an exact
+  content-addressed cache (:mod:`repro.serve.cache`) namespaced per
+  ``model@version`` and invalidated atomically by the lifecycle plane, and
+  coalesces identical concurrent requests into one leader engine call.
+  Sampled hits are re-executed on a worker and compared bitwise by the
+  invariant monitor (``cache_parity``).
 * **Self-healing** — each worker reports heartbeats (with light request
   counters) over its control pipe; the monitor thread detects a dead process
   (exit code) or a hung one (heartbeat silence), removes it from rotation,
@@ -56,13 +65,15 @@ import signal
 import socket
 import threading
 import time
-import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.serve.cache import (NO_CACHE_HEADER, CachePlane, ResultCache,
+                               canonical_input_hash, canonical_response_bytes,
+                               splice_response, stable_route_hash)
 from repro.serve.client import ServeHTTPError
 from repro.serve.lifecycle import (PROMOTED, ROLLED_BACK, CanaryPolicy,
                                    LifecycleError, Rollout, RolloutGate,
@@ -119,6 +130,11 @@ class WorkerConfig:
     trace_ring: int = 2048
     trace_enabled: bool = True
     invariant_every: int = 16
+    #: Worker-side response-cache budget (MiB).  The pool always passes 0:
+    #: the router's cache is the single source of cached bytes, which keeps
+    #: the sampled cache-parity probes honest (a probe re-executes on a
+    #: worker — a worker-side cache would just echo its own entry back).
+    cache_mb: float = 0.0
 
 
 def _worker_admin(server, message: Dict[str, object]) -> Dict[str, object]:
@@ -188,7 +204,8 @@ def _worker_main(config: WorkerConfig, conn) -> None:
             qos_config=QoSConfig(batch_class_samples=config.batch_class_samples),
             trace_dir=config.trace_dir, trace_ring=config.trace_ring,
             trace_enabled=config.trace_enabled, trace_service="worker",
-            invariant_every=config.invariant_every)
+            invariant_every=config.invariant_every,
+            cache_mb=config.cache_mb)
         for name, path in config.bundles:
             server.add_bundle(path, name=name, preload=config.preload)
         # A worker spawned mid-lifecycle replays the pool's promote history
@@ -327,14 +344,18 @@ class RoutingPolicy:
 
     ``choose`` receives the current ready workers (never empty) in ascending
     worker-id order and, when :attr:`needs_model` is set, the request's model
-    name (``""`` for the default model).
+    name (``""`` for the default model).  Policies with :attr:`needs_key`
+    additionally receive ``key`` — the request's canonical input hash
+    (:func:`~repro.serve.cache.canonical_input_hash`), ``""`` when the body
+    had no hashable inputs.
     """
 
     name = "abstract"
     needs_model = False
+    needs_key = False
 
     def choose(self, workers: Sequence[WorkerHandle],
-               model: str = "") -> WorkerHandle:
+               model: str = "", key: str = "") -> WorkerHandle:
         raise NotImplementedError
 
 
@@ -378,12 +399,32 @@ class ModelAffinityPolicy(RoutingPolicy):
     needs_model = True
 
     def choose(self, workers: Sequence[WorkerHandle], model: str = "") -> WorkerHandle:
-        return workers[zlib.crc32(model.encode("utf-8")) % len(workers)]
+        return workers[stable_route_hash(model) % len(workers)]
+
+
+class CacheAffinityPolicy(RoutingPolicy):
+    """Pin each *request* (canonical input hash) to a worker.
+
+    Repeat traffic for one input keeps landing on the same worker, so its
+    batcher/engine state is warm and — with the router cache filling from
+    that worker — the pool behaves like a consistent-hash cache tier.
+    Requests without hashable inputs fall back to the model pin, so the
+    policy degrades to ``model_affinity`` rather than randomizing.
+    """
+
+    name = "cache_affinity"
+    needs_model = True
+    needs_key = True
+
+    def choose(self, workers: Sequence[WorkerHandle], model: str = "",
+               key: str = "") -> WorkerHandle:
+        return workers[stable_route_hash(key or model) % len(workers)]
 
 
 POLICIES = {
     policy.name: policy
-    for policy in (RoundRobinPolicy, LeastOutstandingPolicy, ModelAffinityPolicy)
+    for policy in (RoundRobinPolicy, LeastOutstandingPolicy,
+                   ModelAffinityPolicy, CacheAffinityPolicy)
 }
 
 
@@ -425,6 +466,11 @@ class PoolServer:
         never retried — the work may still be running.
     proxy_timeout_s:
         Socket timeout for one proxied request.
+    cache_mb / cache_check_every:
+        Router-level deterministic response cache: budget in MiB (0 — the
+        library default — disables caching *and* coalescing) and the
+        sampling stride of the cache-parity probes (every Nth hit is
+        re-executed on a worker and compared bitwise; 0 disables probes).
     start_method:
         ``multiprocessing`` start method.  The default ``"spawn"`` gives
         every worker a pristine interpreter (fork duplicating a threaded,
@@ -461,7 +507,9 @@ class PoolServer:
                  trace_ring: int = 2048,
                  trace_enabled: bool = True,
                  invariant_every: int = 16,
-                 monitor_trips_gate: bool = True):
+                 monitor_trips_gate: bool = True,
+                 cache_mb: float = 0.0,
+                 cache_check_every: int = 64):
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
         self.host = host
@@ -504,6 +552,18 @@ class PoolServer:
         self.monitor_trips_gate = bool(monitor_trips_gate)
         self.monitor = InvariantMonitor(invariant_every, tracer=self.tracer,
                                         on_violation=self._on_violation)
+        #: Deterministic response cache + in-flight coalescing (``cache_mb``
+        #: MiB of canonical response bytes; 0 disables).  Exactness is free:
+        #: PECAN-D inference is bitwise-deterministic per
+        #: ``(model@version, canonical input)``, and the lifecycle plane
+        #: invalidates a version's namespace the moment it stops being
+        #: active.  Every ``cache_check_every``-th hit is additionally
+        #: re-executed on a worker and compared bitwise by the invariant
+        #: monitor (``cache_parity``); 0 disables the probes.
+        self.cache: Optional[ResultCache] = (
+            ResultCache(int(cache_mb * 1024 * 1024)) if cache_mb > 0 else None)
+        self.cache_check_every = max(0, int(cache_check_every))
+        self._cache_checks = itertools.count(1)
         #: Proxied-response status families (router lock): a worker-side
         #: failure storm (429s, 5xxs) must be visible at the router even
         #: though each response is returned to the caller successfully.
@@ -918,6 +978,35 @@ class PoolServer:
             attrs={"model": model or None, "priority": qos.priority,
                    "tenant": qos.tenant, "attempt": ctx.attempt})
         root_id = root.span_id if root is not None else None
+        # 0. Response cache / in-flight coalescing — *before* admission: a
+        #    hit (or a coalesced follower) executes nothing, so it must not
+        #    consume a fair-queue slot or spend brownout/rate budget; it
+        #    still counts in the per-class completion metrics.  Canary
+        #    traffic bypasses entirely — the rollout gate judges fresh
+        #    candidate executions, never cached bytes.
+        routing_key: Optional[str] = None
+        if ((self.cache is not None or getattr(self.policy, "needs_key", False))
+                and "inputs" in payload):
+            try:
+                routing_key = canonical_input_hash(payload["inputs"])
+            except (TypeError, ValueError):
+                routing_key = None     # non-numeric inputs; the worker 400s it
+        if headers is not None and headers.get(NO_CACHE_HEADER):
+            payload["no_cache"] = True     # forward the bypass to the worker
+        plane: Optional[CachePlane] = None
+        if (self.cache is not None and routing_key is not None
+                and not payload.get("no_cache")
+                and self._canary_rollout_for(model) is None):
+            resolved = self._cache_namespace(model)
+            if resolved is not None:
+                namespace, echo = resolved
+                plane = CachePlane(namespace=namespace,
+                                    input_hash=routing_key,
+                                    epoch=self.cache.epoch(), echo=echo)
+                served = self._serve_from_cache(plane, payload, qos, ctx,
+                                                root, model)
+                if served is not None:
+                    return served
         admission = self.tracer.start_span("router.admission", trace_id,
                                            parent_id=root_id)
 
@@ -973,6 +1062,7 @@ class PoolServer:
         self.metrics.record_stages(qos.priority, queue=waited)
         self.tracer.finish_span(admission, verdict="admitted",
                                 queue_ms=waited * 1e3)
+        canonical: Optional[bytes] = None
         try:
             # Deadline propagation: forward the *remaining* budget so the
             # worker sheds what the router admitted but can no longer finish.
@@ -986,15 +1076,29 @@ class PoolServer:
                     and rollout.policy.sample()):
                 status, response = self._canary_exchange(
                     body, payload, model, rollout, qos=qos,
-                    ctx=ctx, parent_id=root_id)
+                    ctx=ctx, parent_id=root_id, routing_key=routing_key)
             else:
                 status, response = self._dispatch_with_retries(
-                    body, model, qos=qos, ctx=ctx, parent_id=root_id)
+                    body, model, qos=qos, ctx=ctx, parent_id=root_id,
+                    routing_key=routing_key,
+                    input_key=plane.invariant_key if plane else None)
+            if plane is not None and status == 200:
+                canonical = canonical_response_bytes(response)
+                if canonical is not None:
+                    # Epoch-conditional: a lifecycle flip since the lookup
+                    # retired this namespace and the fill is refused.
+                    self.cache.insert(plane.namespace, plane.input_hash,
+                                      canonical, epoch=plane.epoch)
         except BaseException:
             self.tracer.finish_span(root, status="error")
             raise
         finally:
             self.fair_scheduler.release()
+            # Publish the leader's outcome on *every* exit path — a leader
+            # that was shed, timed out or raised must wake its followers so
+            # one of them re-elects instead of waiting forever.
+            if plane is not None and plane.call is not None:
+                self.cache.finish_leader(plane.call, canonical)
         if status < 400:
             self.tracer.finish_span(root, status="ok")
         elif status == 408:
@@ -1025,10 +1129,13 @@ class PoolServer:
     def _check_response_outputs(self, ctx: Optional[TraceContext],
                                 response: bytes, *, source: str,
                                 model: Optional[str] = None,
-                                force: bool = False) -> None:
+                                force: bool = False,
+                                input_key: Optional[str] = None) -> None:
         """Sampled runtime verification of a worker's 200 response at the
-        router: finite logits, stable shape, and — on client retries
-        (``X-Attempt > 0``) — an argmax identical to the previous attempt."""
+        router: finite logits, stable shape, and a stable argmax — across
+        client retries (``X-Attempt > 0``), and, when ``input_key`` names
+        the request's canonical ``namespace:input-hash`` identity, across
+        *any* two executions of the same input against the same version."""
         if ctx is None or not self.monitor.enabled:
             return
         if not (force or ctx.attempt > 0 or self.monitor.sample()):
@@ -1040,13 +1147,158 @@ class PoolServer:
             return
         self.monitor.check_outputs(
             model or str(payload.get("model") or ""), np.asarray(outputs),
-            trace_id=ctx.trace_id, attempt=ctx.attempt, source=source)
+            trace_id=ctx.trace_id, attempt=ctx.attempt, source=source,
+            input_key=input_key)
+
+    # ------------------------------------------------------------------ #
+    # Response cache + in-flight coalescing
+    # ------------------------------------------------------------------ #
+    def _cache_namespace(self, model: str) -> Optional[Tuple[str, str]]:
+        """``(namespace, model-echo)`` for a cacheable request, else ``None``.
+
+        The namespace is the *fully versioned* id the request resolves to
+        right now: a bare base name follows the active alias (so a promote
+        moves traffic to a fresh namespace), an explicit ``m@vN`` pins that
+        deployed version, and the empty model follows the default base.
+        ``echo`` is the model name a worker would echo in its response —
+        needed to splice cached bytes into a faithful reply.
+        """
+        with self._lock:
+            try:
+                if model:
+                    base, version = split_versioned(model)
+                    if version is not None:
+                        if any(name == model for name, _ in self._bundles):
+                            return model, model
+                        return None
+                else:
+                    if not self._bundles:
+                        return None
+                    base, _ = split_versioned(self._bundles[0][0])
+                active = self._active_versions.get(base)
+                if active is None:
+                    return None
+                return format_versioned(base, active), (model or base)
+            except LifecycleError:
+                return None
+
+    def _serve_from_cache(self, plane: CachePlane, payload: Dict[str, object],
+                          qos: RequestQoS, ctx: TraceContext, root,
+                          model: str):
+        """Try to answer one request from the cache / coalescing table.
+
+        Returns the full ``(status, body, headers)`` trio for hits and
+        coalesced followers, or ``None`` when this request must execute: it
+        was elected leader (``plane.call`` set — the caller owns publishing
+        its outcome), or coalescing kept failing and it dispatches solo.
+        """
+        trace_id = ctx.trace_id
+        started = time.monotonic()
+        root_id = root.span_id if root is not None else None
+
+        def answer(canonical: bytes, verdict: str):
+            elapsed = time.monotonic() - started
+            # Hits bypass the fair queue but still count as per-class
+            # completions, so QoS dashboards see the true served traffic.
+            self.metrics.record_completed(elapsed, 0.0, priority=qos.priority,
+                                          tenant=qos.tenant)
+            self.metrics.record_stages(qos.priority, cache=elapsed)
+            self.tracer.finish_span(root, status="ok", cache=verdict)
+            fields: Dict[str, object] = {
+                "model": plane.echo, "queue_ms": 0.0,
+                "priority": qos.priority, "tenant": qos.tenant,
+                verdict: True,
+            }
+            if trace_id:
+                fields["trace_id"] = trace_id
+            return (200, splice_response(canonical, fields),
+                    self._trace_reply_headers(ctx))
+
+        # A failed leader wakes its followers empty-handed; each retry of
+        # the loop re-resolves, so the first retrier becomes the new leader
+        # and the rest re-follow.  After repeated failures, dispatch solo.
+        for _ in range(3):
+            verdict, token = self.cache.begin(plane.namespace,
+                                              plane.input_hash)
+            if verdict == "hit":
+                span = self.tracer.start_span(
+                    "router.cache", trace_id, parent_id=root_id,
+                    attrs={"namespace": plane.namespace})
+                self.tracer.finish_span(span, verdict="hit")
+                self._maybe_verify_hit(plane, payload, token, model, trace_id)
+                return answer(token, "cached")
+            if verdict == "lead":
+                plane.call = token
+                return None
+            span = self.tracer.start_span(
+                "router.cache", trace_id, parent_id=root_id,
+                attrs={"namespace": plane.namespace, "coalesced": True})
+            remaining = qos.remaining_ms()
+            timeout = (remaining / 1e3 if remaining is not None
+                       else self.proxy_timeout_s)
+            if timeout <= 0 or not token.wait(timeout):
+                self.tracer.finish_span(span, status="timeout",
+                                        verdict="coalesce-timeout")
+                self.metrics.record_timeout(priority=qos.priority)
+                self.tracer.finish_span(root, status="timeout")
+                return (408, _json_bytes(self._trace_fields(
+                    {"error": "deadline expired while coalesced behind an "
+                              "identical in-flight request",
+                     "stage": "coalesce-wait"}, ctx)),
+                    self._trace_reply_headers(ctx))
+            if token.ok:
+                self.cache.record_follower_served()
+                self.tracer.finish_span(span, verdict="coalesced")
+                return answer(token.value, "coalesced")
+            self.cache.record_reelection()
+            self.tracer.finish_span(span, status="error",
+                                    verdict="leader-failed")
+        return None
+
+    def _maybe_verify_hit(self, plane: CachePlane,
+                          payload: Dict[str, object], canonical: bytes,
+                          model: str, trace_id: Optional[str]) -> None:
+        """Every ``cache_check_every``-th hit: re-execute on a worker (off
+        the request path) and compare bitwise — the satellite runtime check
+        that the cache really is exact.  Verdicts raced by a lifecycle flip
+        are discarded: the probe's fresh bytes would be the *new* version's."""
+        if (not self.cache_check_every or not self.monitor.enabled
+                or "inputs" not in payload):
+            return
+        if next(self._cache_checks) % self.cache_check_every:
+            return
+        probe: Dict[str, object] = {"inputs": payload["inputs"],
+                                    "no_cache": True}
+        if model:
+            probe["model"] = model
+        body = _json_bytes(probe)
+        epoch = plane.epoch
+
+        def verify() -> None:
+            try:
+                status, response = self._dispatch_with_retries(
+                    body, model, record=False)
+            except Exception:      # noqa: BLE001 — probes must never fail traffic
+                return
+            if status != 200:
+                return
+            fresh = canonical_response_bytes(response)
+            if fresh is None or self.cache.epoch() != epoch:
+                return
+            self.monitor.record_cache_check(fresh == canonical,
+                                            model=plane.namespace,
+                                            trace_id=trace_id)
+
+        threading.Thread(target=verify, name="repro-pool-cache-verify",
+                         daemon=True).start()
 
     def _dispatch_with_retries(self, body: bytes, model: str,
                                record: bool = True,
                                qos: Optional[RequestQoS] = None,
                                ctx: Optional[TraceContext] = None,
-                               parent_id: Optional[str] = None) -> Tuple[int, bytes]:
+                               parent_id: Optional[str] = None,
+                               routing_key: Optional[str] = None,
+                               input_key: Optional[str] = None) -> Tuple[int, bytes]:
         """One ``/predict`` through the retry loop; ``record=False`` keeps
         mirrored canary traffic out of the router's client-facing metrics."""
         started = time.monotonic()
@@ -1058,7 +1310,11 @@ class PoolServer:
                           if worker.id not in tried]
             if not candidates:
                 break
-            worker = self.policy.choose(candidates, model=model)
+            if getattr(self.policy, "needs_key", False):
+                worker = self.policy.choose(candidates, model=model,
+                                            key=routing_key or "")
+            else:
+                worker = self.policy.choose(candidates, model=model)
             tried.add(worker.id)
             with self._lock:
                 worker.outstanding += 1
@@ -1113,7 +1369,8 @@ class PoolServer:
                     self.metrics.record_timeout()
             if status == 200 and record:
                 self._check_response_outputs(ctx, response, source="router",
-                                             model=model or None)
+                                             model=model or None,
+                                             input_key=input_key)
             return status, response
         if record:
             self.metrics.record_error()
@@ -1154,7 +1411,8 @@ class PoolServer:
                          model: str, rollout: Rollout,
                          qos: Optional[RequestQoS] = None,
                          ctx: Optional[TraceContext] = None,
-                         parent_id: Optional[str] = None) -> Tuple[int, bytes]:
+                         parent_id: Optional[str] = None,
+                         routing_key: Optional[str] = None) -> Tuple[int, bytes]:
         """Serve one canary-sampled request through **both** versions.
 
         The active version answers the client (a divergent candidate must
@@ -1170,7 +1428,8 @@ class PoolServer:
         """
         started = time.monotonic()
         status, response = self._dispatch_with_retries(
-            body, model, qos=qos, ctx=ctx, parent_id=parent_id)
+            body, model, qos=qos, ctx=ctx, parent_id=parent_id,
+            routing_key=routing_key)
         active_seconds = time.monotonic() - started
         mirror = dict(payload)
         mirror["model"] = rollout.candidate
@@ -1182,7 +1441,8 @@ class PoolServer:
         started = time.monotonic()
         mirror_status, mirror_response = self._dispatch_with_retries(
             mirror_body, rollout.candidate, record=False, ctx=ctx,
-            parent_id=mirror_span.span_id if mirror_span is not None else None)
+            parent_id=mirror_span.span_id if mirror_span is not None else None,
+            routing_key=routing_key)
         canary_seconds = time.monotonic() - started
         self.tracer.finish_span(
             mirror_span, status="ok" if mirror_status == 200 else "error",
@@ -1268,7 +1528,8 @@ class PoolServer:
                 timeout_s: Optional[float] = None,
                 priority: Optional[str] = None,
                 tenant: Optional[str] = None,
-                deadline_ms: Optional[float] = None) -> Dict[str, object]:
+                deadline_ms: Optional[float] = None,
+                no_cache: bool = False) -> Dict[str, object]:
         """In-process convenience mirroring :meth:`PECANServer.predict`."""
         payload: Dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
         if model is not None:
@@ -1279,6 +1540,8 @@ class PoolServer:
             payload["tenant"] = tenant
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if no_cache:
+            payload["no_cache"] = True
         status, body, headers = self.handle_predict(_json_bytes(payload))
         response = json.loads(body.decode("utf-8"))
         if status != 200:
@@ -1419,6 +1682,11 @@ class PoolServer:
                 with self._lock:
                     self._bundles = [entry for entry in self._bundles
                                      if entry[0] != candidate]
+                if self.cache is not None:
+                    # Some workers may have served the candidate (explicit
+                    # m@vN requests) before the deploy failed; none hold it
+                    # after the cleanup, so cached bytes must go too.
+                    self.cache.invalidate_namespace(candidate)
                 # Converge the workers that did load it; strictly best
                 # effort — the cleanup must never mask the deploy error.
                 try:
@@ -1434,7 +1702,7 @@ class PoolServer:
                 gate=RolloutGate(min_samples=min_samples,
                                  max_parity_violations=max_parity_violations,
                                  max_latency_ratio=max_latency_ratio),
-                auto=auto)
+                auto=auto, on_finish=self._on_rollout_finish)
             rollout.log("deployed", workers=sorted(results))
             with self._lock:
                 previous = self._rollouts.get(base)
@@ -1490,6 +1758,13 @@ class PoolServer:
                 if previous != version:
                     self._previous_versions[base] = previous
                 self._active_versions[base] = version
+            if self.cache is not None and previous != version:
+                # Atomically retire the outgoing version's namespace.  The
+                # broadcast above only succeeds once *every* worker flipped,
+                # so from here on no dispatch can return v_prev bytes for the
+                # base alias — and the epoch bump inside the invalidation
+                # refuses any in-flight fill that started before the flip.
+                self.cache.invalidate_namespace(format_versioned(base, previous))
             if rollout is not None and rollout.in_canary:
                 if rollout.candidate_version == version:
                     rollout.finish(PROMOTED, reason)
@@ -1552,6 +1827,15 @@ class PoolServer:
                                 timeout_s=timeout_s)
             info["rolled_back"] = True
             return info
+
+    def _on_rollout_finish(self, rollout: Rollout, state: str) -> None:
+        """Lifecycle hook: a rolled-back candidate's cache namespace dies
+        with the rollout, whichever path retired it (manual rollback, gate
+        auto-rollback, supersession by a promote past it).  The promoted
+        direction is covered in :meth:`promote`, which invalidates the
+        *outgoing* version's namespace after the alias flip."""
+        if self.cache is not None and state == ROLLED_BACK:
+            self.cache.invalidate_namespace(rollout.candidate)
 
     def _archive_rollout(self, rollout: Rollout) -> None:
         """Move a terminal rollout into the bounded history (lock held)."""
@@ -1665,6 +1949,8 @@ class PoolServer:
             },
             "trace": self.tracer.snapshot(),
             "runtime_verification": self.monitor.snapshot(),
+            "cache": (self.cache.snapshot() if self.cache is not None
+                      else {"enabled": False}),
             "pool": self.describe_pool(),
             "lifecycle": lifecycle,
             "workers": per_worker,

@@ -30,11 +30,13 @@ import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.serve.auditor import ParityAuditor
+from repro.serve.cache import (NO_CACHE_HEADER, CachePlane, ResultCache,
+                               canonical_input_hash, canonical_response_bytes)
 from repro.serve.engine import BundleEngine
 from repro.serve.invariants import InvariantMonitor
 from repro.serve.lifecycle import (LifecycleError, format_versioned,
@@ -164,6 +166,13 @@ class PECANServer:
         checked against the online invariants (finite logits, stable
         shape/dtype, retry-stable argmax); 0 disables.  Violations appear
         in ``/metrics`` under ``runtime_verification``.
+    cache_mb:
+        Deterministic response cache budget in MiB (0 — the default —
+        disables caching and coalescing).  PECAN-D inference is bitwise
+        deterministic per ``(model@version, canonical input)``, so repeat
+        requests are answered from memory with exactly the bytes a fresh
+        engine call would produce; namespaces are retired on
+        promote/rollback/undeploy.  See :mod:`repro.serve.cache`.
     """
 
     def __init__(self, registry: Optional[ModelRegistry] = None,
@@ -179,7 +188,8 @@ class PECANServer:
                  trace_ring: int = 2048,
                  trace_enabled: bool = True,
                  trace_service: str = "server",
-                 invariant_every: int = 16):
+                 invariant_every: int = 16,
+                 cache_mb: float = 0.0):
         self.registry = registry if registry is not None else ModelRegistry()
         self.host = host
         self.port = port
@@ -205,6 +215,10 @@ class PECANServer:
         self.tracer = Tracer(trace_service, ring_size=trace_ring,
                              trace_dir=trace_dir, enabled=trace_enabled)
         self.monitor = InvariantMonitor(invariant_every, tracer=self.tracer)
+        #: Deterministic response cache + in-flight coalescing (see class
+        #: docstring); ``None`` when disabled.
+        self.cache: Optional[ResultCache] = (
+            ResultCache(int(cache_mb * 1024 * 1024)) if cache_mb > 0 else None)
         #: Overload brownout: queue depth across all batchers + recent p99.
         self.brownout = self.qos_config.make_brownout(self._overload_signal)
         self._served: Dict[str, ServedModel] = {}
@@ -390,6 +404,12 @@ class PECANServer:
             self._get_served(format_versioned(base, version))
             self.registry.set_active(base, version)
             self._retire_served(previous_id)
+            if self.cache is not None and previous_version is not None:
+                # Retire the outgoing version's response namespace with the
+                # flip; the epoch bump also refuses any in-flight fill that
+                # captured its epoch before this promote.
+                self.cache.invalidate_namespace(
+                    format_versioned(base, previous_version))
         return {"model": base, "active_version": version,
                 "active": candidate_id, "previous_version": previous_version}
 
@@ -409,6 +429,11 @@ class PECANServer:
         record_id = self.registry.resolve_id(name)
         self.registry.undeploy(record_id)     # validates (active stays put)
         self._retire_served(record_id)
+        if self.cache is not None:
+            base, version = split_versioned(record_id)
+            # A bare record id is the registration grammar's version 1.
+            self.cache.invalidate_namespace(
+                record_id if version is not None else format_versioned(base, 1))
         return record_id
 
     def lifecycle_snapshot(self) -> Dict[str, object]:
@@ -428,7 +453,8 @@ class PECANServer:
     def predict(self, inputs: np.ndarray, model: Optional[str] = None,
                 timeout_s: Optional[float] = None,
                 qos: Optional[RequestQoS] = None,
-                trace: Optional[TraceContext] = None) -> Dict[str, object]:
+                trace: Optional[TraceContext] = None,
+                no_cache: bool = False) -> Dict[str, object]:
         """Micro-batched prediction; returns a JSON-ready response dict.
 
         ``qos`` carries the request's priority class, tenant and absolute
@@ -441,6 +467,10 @@ class PECANServer:
         generated here — every request is traced, whoever fronted it.  The
         id rides on the response as ``trace_id`` and every failure path
         finishes the root span with a terminal status.
+
+        ``no_cache=True`` forces an engine execution past the response cache
+        and past in-flight coalescing (the HTTP equivalent is the
+        ``no_cache`` payload key or the ``X-No-Cache`` header).
         """
         if qos is None:
             qos = RequestQoS()
@@ -455,9 +485,12 @@ class PECANServer:
         started = time.monotonic()
         sampled = self.monitor.enabled and (self.monitor.sample()
                                             or ctx.attempt > 0)
+        plane: Optional[CachePlane] = None
+        if self.cache is not None and not no_cache:
+            plane = self._cache_plane_for(model, inputs)
         try:
-            response = self._predict_inner(inputs, model, timeout_s, qos,
-                                           trace_id, root, started)
+            response, verdict = self._predict_routed(
+                plane, inputs, model, timeout_s, qos, trace_id, root, started)
         except ShedError as exc:
             self.metrics.record_shed(qos.priority, exc.reason)
             self.tracer.finish_span(root, status="shed", reason=exc.reason)
@@ -473,14 +506,129 @@ class PECANServer:
             self.tracer.finish_span(root, status="error",
                                     error=type(exc).__name__)
             raise
-        self.tracer.finish_span(root, queue_ms=response["queue_ms"])
+        if verdict is None:
+            self.tracer.finish_span(root, queue_ms=response["queue_ms"])
+        else:
+            self.tracer.finish_span(root, queue_ms=response["queue_ms"],
+                                    cache=verdict)
         if sampled:
             self.monitor.check_outputs(
                 response["model"], np.asarray(response["outputs"]),
-                trace_id=trace_id, attempt=ctx.attempt)
+                trace_id=trace_id, attempt=ctx.attempt,
+                input_key=plane.invariant_key if plane is not None else None)
             self.monitor.check_trace(self.tracer.find(trace_id),
                                      trace_id=trace_id)
         response["trace_id"] = trace_id
+        return response
+
+    # -- response cache + in-flight coalescing ------------------------- #
+    def _cache_plane_for(self, model: Optional[str],
+                         inputs) -> Optional[CachePlane]:
+        """Resolve a request to its cache identity, or ``None`` (uncacheable).
+
+        The namespace is always fully versioned: explicit ``m@vN`` requests
+        key on that version, bare names on the base's *active* version at
+        lookup time.  The epoch is captured here, before any engine work, so
+        a lifecycle flip racing the call invalidates the eventual fill.
+        """
+        try:
+            input_hash = canonical_input_hash(inputs)
+        except (TypeError, ValueError):
+            return None                      # non-numeric → let the 400 path run
+        name = model or self.registry.default_name()
+        if not name:
+            return None
+        try:
+            base, version = split_versioned(name)
+        except LifecycleError:
+            return None
+        if version is None:
+            version = self.registry.active_version(base)
+            if version is None:
+                return None
+        return CachePlane(namespace=format_versioned(base, version),
+                          input_hash=input_hash,
+                          epoch=self.cache.epoch(), echo=name)
+
+    def _predict_routed(self, plane: Optional[CachePlane], inputs,
+                        model: Optional[str], timeout_s: Optional[float],
+                        qos: RequestQoS, trace_id: str, root, started: float,
+                        ) -> Tuple[Dict[str, object], Optional[str]]:
+        """Dispatch through the response cache when a plane resolved.
+
+        Returns ``(response, verdict)`` where the verdict is ``None`` (the
+        engine executed this request), ``"cached"`` (served from memory) or
+        ``"coalesced"`` (follower of an identical in-flight request).
+        """
+        if plane is None:
+            return (self._predict_inner(inputs, model, timeout_s, qos,
+                                        trace_id, root, started), None)
+        parent = root.span_id if root is not None else None
+        for _ in range(3):
+            status, token = self.cache.begin(plane.namespace, plane.input_hash)
+            if status == "lead":
+                canonical = None
+                try:
+                    response = self._predict_inner(inputs, model, timeout_s,
+                                                   qos, trace_id, root, started)
+                    canonical = canonical_response_bytes(response)
+                    if canonical is not None:
+                        self.cache.insert(plane.namespace, plane.input_hash,
+                                          canonical, epoch=plane.epoch)
+                    return response, None
+                finally:
+                    # Publish success *or* failure: a leader that dies without
+                    # publishing would strand its followers until timeout.
+                    self.cache.finish_leader(token, canonical)
+            span = self.tracer.start_span(
+                "server.cache", trace_id, parent_id=parent,
+                attrs={"namespace": plane.namespace,
+                       "verdict": "hit" if status == "hit" else "coalesced"})
+            if status == "hit":
+                self.tracer.finish_span(span)
+                return (self._cached_response(plane, token, qos, started,
+                                              "cached"), "cached")
+            remaining = qos.remaining_ms()
+            timeout = (remaining / 1e3 if remaining is not None
+                       else self.request_timeout_s)
+            if timeout <= 0 or not token.wait(timeout):
+                self.tracer.finish_span(span, status="timeout")
+                self.metrics.record_timeout(qos.priority)
+                raise RequestTimeout(
+                    "deadline expired while coalesced behind an identical "
+                    "in-flight request", stage="coalesce-wait")
+            if token.ok:
+                self.cache.record_follower_served()
+                self.tracer.finish_span(span)
+                return (self._cached_response(plane, token.value, qos, started,
+                                              "coalesced"), "coalesced")
+            # Leader failed: loop back — begin() elects a new leader (maybe us).
+            self.tracer.finish_span(span, status="error",
+                                    reason="leader-failed")
+            self.cache.record_reelection()
+        # Repeated leader failures: stop coalescing and execute solo.
+        return (self._predict_inner(inputs, model, timeout_s, qos,
+                                    trace_id, root, started), None)
+
+    def _cached_response(self, plane: CachePlane, canonical: bytes,
+                         qos: RequestQoS, started: float,
+                         flag: str) -> Dict[str, object]:
+        """A JSON-ready response replayed from canonical cached bytes.
+
+        ``json.loads`` parses the cached float reprs back to the exact
+        float64 values and the handler's ``json.dumps`` re-emits the same
+        reprs, so the replayed outputs are bitwise-faithful to the original
+        engine call.  Hits skip the batcher, so the submit/complete
+        accounting the batcher normally performs happens here instead.
+        """
+        response = json.loads(canonical.decode("utf-8"))
+        elapsed = time.monotonic() - started
+        self.metrics.record_submitted(int(response["num_samples"]))
+        self.metrics.record_completed(elapsed, 0.0, qos.priority, qos.tenant)
+        self.metrics.record_stages(qos.priority, cache=elapsed)
+        response.update({"model": plane.echo, "queue_ms": 0.0,
+                         "priority": qos.priority, "tenant": qos.tenant,
+                         flag: True})
         return response
 
     def _predict_inner(self, inputs: np.ndarray, model: Optional[str],
@@ -552,6 +700,8 @@ class PECANServer:
             "registry": self.registry.describe(),
             "trace": self.tracer.snapshot(),
             "runtime_verification": self.monitor.snapshot(),
+            "cache": (self.cache.snapshot() if self.cache is not None
+                      else {"enabled": False}),
             "models": {},
         }
         # Keep the JSONL export readable by scrapers: a /metrics poll is the
@@ -821,9 +971,12 @@ def _build_handler(server: PECANServer):
                                   **self._trace_fields(trace_ctx)},
                             headers=self._trace_headers(trace_ctx))
                 return
+            no_cache = bool(payload.get("no_cache")) or \
+                bool(self.headers.get(NO_CACHE_HEADER))
             try:
                 response = self.pecan.predict(inputs, model=payload.get("model"),
-                                              qos=qos, trace=trace_ctx)
+                                              qos=qos, trace=trace_ctx,
+                                              no_cache=no_cache)
             except KeyError as exc:
                 self._reply(404, {"error": str(exc),
                                   **self._trace_fields(trace_ctx)},
