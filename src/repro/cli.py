@@ -431,7 +431,11 @@ def _serve_single(args: argparse.Namespace) -> int:
         qos_config=_qos_config_from_args(args),
         trace_dir=args.trace_dir, trace_enabled=not args.no_trace,
         invariant_every=args.invariant_every,
-        cache_mb=0.0 if args.no_cache else args.cache_mb)
+        cache_mb=0.0 if args.no_cache else args.cache_mb,
+        http_backend=args.http_backend,
+        max_connections=args.max_connections,
+        idle_timeout_s=args.idle_timeout_s,
+        request_read_timeout_s=args.request_read_timeout_s)
     for spec in args.bundle:
         name, path = _parse_bundle_spec(spec)
         registered = server.add_bundle(path, name=name, preload=not args.lazy_load)
@@ -471,7 +475,11 @@ def _serve_pool(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir, trace_enabled=not args.no_trace,
         invariant_every=args.invariant_every,
         cache_mb=0.0 if args.no_cache else args.cache_mb,
-        cache_check_every=args.cache_check_every)
+        cache_check_every=args.cache_check_every,
+        http_backend=args.http_backend,
+        max_connections=args.max_connections,
+        idle_timeout_s=args.idle_timeout_s,
+        request_read_timeout_s=args.request_read_timeout_s)
     # Installed before start: a SIGTERM that lands while workers are still
     # spawning (or during the readiness wait below) must still drain cleanly.
     signal.signal(signal.SIGTERM, lambda signum, frame: pool.request_stop())
@@ -683,6 +691,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "compare bitwise — divergence is a cache_parity "
                             "runtime-verification violation (1 checks every "
                             "hit, 0 disables)")
+    # Network front end (repro.serve.netfront).
+    serve.add_argument("--http_backend", choices=["eventloop", "threaded"],
+                       default="eventloop",
+                       help="network front end: 'eventloop' multiplexes all "
+                            "connections through one selectors loop with "
+                            "keep-alive, pipelining, a connection budget and "
+                            "slowloris/idle timeouts; 'threaded' is the "
+                            "legacy thread-per-connection stdlib server")
+    serve.add_argument("--max_connections", type=int, default=512,
+                       help="open-connection budget for the eventloop front "
+                            "end; connections beyond it are answered 503 + "
+                            "Retry-After at accept time")
+    serve.add_argument("--idle_timeout_s", type=float, default=30.0,
+                       help="close keep-alive connections with no in-flight "
+                            "request after this long (eventloop front end)")
+    serve.add_argument("--request_read_timeout_s", type=float, default=10.0,
+                       help="408-and-close a connection whose request head/"
+                            "body has not fully arrived after this long — "
+                            "the slowloris guard (eventloop front end)")
     serve.set_defaults(handler=_command_serve)
 
     trace = subparsers.add_parser(

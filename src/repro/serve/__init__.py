@@ -17,8 +17,10 @@ inference program); this package turns that file back into a serving process:
   re-execution of live traffic through the per-group reference path;
 * :mod:`repro.serve.metrics` — :class:`ServerMetrics`, latency percentiles,
   batch-size histogram, throughput, audit counters;
-* :mod:`repro.serve.server` — :class:`PECANServer`, a stdlib-``http.server``
-  JSON front end (``/predict``, ``/models``, ``/metrics``, ``/healthz``);
+* :mod:`repro.serve.server` — :class:`PECANServer`, the JSON serving
+  process (``/predict``, ``/models``, ``/metrics``, ``/healthz``) behind a
+  pluggable network front end (event loop by default, legacy
+  thread-per-connection retained);
 * :mod:`repro.serve.pool` — :class:`PoolServer`, a data-parallel router over
   N worker processes (each a full ``PECANServer`` over memory-mapped bundle
   arrays) with pluggable routing policies, heartbeat-driven respawn of
@@ -57,7 +59,17 @@ inference program); this package turns that file back into a serving process:
 * :mod:`repro.serve.loadgen` — :class:`ZipfWorkload` +
   :func:`run_zipf_load`, a closed-loop skewed load generator with optional
   bitwise response verification (used by the cache benchmarks and chaos
-  tests);
+  tests), plus :func:`run_concurrent_load`, a selectors-multiplexed driver
+  for hundreds of concurrent keep-alive connections, and
+  :class:`SlowlorisSwarm` for slow-client chaos;
+* :mod:`repro.serve.netfront` — :class:`EventLoopFrontEnd`, the
+  ``selectors``-based HTTP/1.1 network front end shared by
+  :class:`PECANServer` and :class:`PoolServer`: non-blocking accept/read/
+  write on one loop thread, incremental parsing (:class:`RequestParser`),
+  keep-alive with in-order pipelining, a bounded connection budget
+  (503 + ``Retry-After`` past it), and slowloris/idle timeouts — handing
+  parsed requests to the blocking serving plane over a bounded completion
+  bridge;
 * :mod:`repro.serve.ops` — backwards-compatible re-exports of the unified
   lowerings in :mod:`repro.ir.ops` (which mirror
   :mod:`repro.autograd.functional` exactly).
@@ -75,7 +87,12 @@ from repro.serve.cache import (NO_CACHE_HEADER, CachePlane, InFlightCall,
                                splice_response, stable_route_hash)
 from repro.serve.client import BulkScorer, ServeClient, ServeHTTPError
 from repro.serve.engine import BundleEngine
-from repro.serve.loadgen import LoadResult, ZipfWorkload, run_zipf_load
+from repro.serve.loadgen import (LoadResult, SlowlorisSwarm, ZipfWorkload,
+                                 run_concurrent_load, run_zipf_load,
+                                 slowloris_connections)
+from repro.serve.netfront import (EventLoopFrontEnd, Headers, HTTPParseError,
+                                  ParsedRequest, RequestParser,
+                                  render_response)
 from repro.serve.invariants import InvariantMonitor, Violation, check_causal_order
 from repro.serve.lifecycle import (CanaryPolicy, LifecycleError, Rollout,
                                    RolloutGate, format_versioned,
@@ -139,6 +156,15 @@ __all__ = [
     "ZipfWorkload",
     "LoadResult",
     "run_zipf_load",
+    "run_concurrent_load",
+    "slowloris_connections",
+    "SlowlorisSwarm",
+    "EventLoopFrontEnd",
+    "Headers",
+    "HTTPParseError",
+    "ParsedRequest",
+    "RequestParser",
+    "render_response",
     "aggregate_counter_trees",
     "DynamicBatcher",
     "InferenceRequest",

@@ -1,12 +1,23 @@
 """Minimal stdlib client for a running :class:`~repro.serve.server.PECANServer`.
 
-Uses only ``urllib`` so scripts, notebooks and the test suite can talk to a
-serving process with no extra dependencies::
+Uses only ``http.client`` so scripts, notebooks and the test suite can talk
+to a serving process with no extra dependencies::
 
     from repro.serve.client import ServeClient
     client = ServeClient("http://127.0.0.1:8080")
     logits = client.predict(images)          # (N, num_classes)
     print(client.metrics()["batching"]["histogram"])
+
+Connections are **kept alive and reused**: each thread holds one persistent
+``HTTPConnection`` for its idempotent traffic (every GET, and ``/predict`` —
+a pure function of its input), which is what makes the event-loop front
+end's keep-alive path the common case instead of a connect/teardown per
+request.  A request that fails on a *reused* connection is replayed once on
+a fresh socket without consuming the retry budget — a server-side idle reap
+or a deploy-cycle restart between two requests is indistinguishable from a
+stale keep-alive socket and must not surface to callers.  Non-idempotent
+admin verbs always ride a fresh connection that is closed after the
+exchange, so they can never hit the stale-socket ambiguity at all.
 """
 
 from __future__ import annotations
@@ -14,9 +25,11 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import threading
 import time
 import urllib.error
-import urllib.request
+import urllib.parse
+import weakref
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -32,6 +45,20 @@ _TRANSIENT_ERRORS = (ConnectionResetError, BrokenPipeError, ConnectionAbortedErr
 #: HTTP statuses that mean "come back later" (queue full, brownout shed,
 #: draining) — retryable for idempotent requests, honouring ``Retry-After``.
 _BACKOFF_STATUSES = (429, 503)
+
+
+def _close_registry(conns: Dict[int, http.client.HTTPConnection],
+                    lock: threading.Lock) -> None:
+    """Close and forget every registered connection (module-level so the
+    client's ``weakref.finalize`` callback holds no reference to it)."""
+    with lock:
+        connections = list(conns.values())
+        conns.clear()
+    for connection in connections:
+        try:
+            connection.close()
+        except OSError:
+            pass
 
 
 def _is_transient(exc: BaseException) -> bool:
@@ -93,20 +120,103 @@ class ServeClient:
                  backoff_retries: int = 2,
                  backoff_cap_s: float = 5.0):
         self.base_url = base_url.rstrip("/")
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r}")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
         self.timeout_s = timeout_s
         self.transient_retries = max(int(transient_retries), 0)
         self.backoff_retries = max(int(backoff_retries), 0)
         self.backoff_cap_s = float(backoff_cap_s)
         #: Trace id of the most recent ``/predict`` call (sent or generated).
         self.last_trace_id: Optional[str] = None
+        #: Per-thread persistent keep-alive connections (idempotent traffic
+        #: only).  Also tracked in one registry so :meth:`close` can release
+        #: every thread's socket deterministically.
+        self._local = threading.local()
+        self._conns: Dict[int, http.client.HTTPConnection] = {}
+        self._conns_lock = threading.Lock()
+        # Safety net for clients that are dropped without close(): the
+        # finalizer holds the registry (keeping the sockets alive until it
+        # runs) and releases them before they could be GC'd unclosed.
+        self._finalizer = weakref.finalize(
+            self, _close_registry, self._conns, self._conns_lock)
 
     # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    def _new_connection(self) -> http.client.HTTPConnection:
+        connection = http.client.HTTPConnection(self._host, self._port,
+                                                timeout=self.timeout_s)
+        connection._repro_used = False         # fresh-socket marker
+        return connection
+
+    def _pooled_connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._new_connection()
+            self._local.connection = connection
+        with self._conns_lock:
+            # (Re-)register every time: after close() a thread's cached
+            # connection transparently reconnects, and it must land back in
+            # the registry or the next close() would miss its socket.  A
+            # different connection under this ident belongs to a dead
+            # thread whose id was recycled — release it, nothing can reach
+            # it anymore.
+            ident = threading.get_ident()
+            previous = self._conns.get(ident)
+            if previous is not None and previous is not connection:
+                try:
+                    previous.close()
+                except OSError:
+                    pass
+            self._conns[ident] = connection
+        return connection
+
+    def _drop_pooled_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+            with self._conns_lock:
+                self._conns.pop(threading.get_ident(), None)
+
+    def close(self) -> None:
+        """Release every thread's cached keep-alive connection."""
+        _close_registry(self._conns, self._conns_lock)
+        self._local.connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _exchange(self, connection: http.client.HTTPConnection, method: str,
+                  path: str, data: Optional[bytes],
+                  request_headers: Dict[str, str]):
+        """One request/response on ``connection``; returns
+        ``(status, body, retry_after_s)``.  The body is always read in full —
+        the keep-alive contract for reusing the socket afterwards."""
+        connection.request(method, path, body=data, headers=request_headers)
+        response = connection.getresponse()
+        body = response.read()
+        retry_after = None
+        try:
+            retry_after = float(response.headers.get("Retry-After"))
+        except (TypeError, ValueError):
+            pass
+        connection._repro_used = True
+        return response.status, body, retry_after
+
     def _request(self, path: str, payload: Optional[Dict] = None,
                  idempotent: Optional[bool] = None,
                  headers: Optional[Dict[str, str]] = None,
                  trace_id: Optional[str] = None) -> Dict:
-        url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        method = "POST" if data is not None else "GET"
         if idempotent is None:
             idempotent = data is None          # GETs are always safe to retry
         transient_attempts = 1 + (self.transient_retries if idempotent else 0)
@@ -124,36 +234,51 @@ class ServeClient:
                 request_headers[ATTEMPT_HEADER] = str(transient + backoff)
             if data:
                 request_headers.setdefault("Content-Type", "application/json")
-            request = urllib.request.Request(
-                url, data=data, headers=request_headers,
-                method="POST" if data is not None else "GET")
+            if idempotent:
+                connection = self._pooled_connection()
+            else:
+                # Admin verbs ride a one-shot connection: a stale keep-alive
+                # failure is ambiguous ("did the deploy apply?"), so they
+                # must never encounter one.
+                connection = self._new_connection()
+            reused = bool(getattr(connection, "_repro_used", False))
             try:
-                with urllib.request.urlopen(request,
-                                            timeout=self.timeout_s) as response:
-                    return json.loads(response.read().decode("utf-8"))
-            except urllib.error.HTTPError as exc:
-                try:
-                    message = json.loads(exc.read().decode("utf-8")).get("error", "")
-                except Exception:             # noqa: BLE001 - body may be empty
-                    message = exc.reason
-                retry_after = None
-                try:
-                    retry_after = float(exc.headers.get("Retry-After"))
-                except (TypeError, ValueError):
-                    pass
-                if (exc.code in _BACKOFF_STATUSES
-                        and backoff + 1 < backoff_attempts):
-                    backoff += 1
-                    time.sleep(_backoff_delay(backoff - 1, retry_after,
-                                              cap_s=self.backoff_cap_s))
-                    continue
-                raise ServeHTTPError(exc.code, message,
-                                     retry_after_s=retry_after) from None
+                status, body, retry_after = self._exchange(
+                    connection, method, path, data, request_headers)
             except Exception as exc:          # noqa: BLE001 - filtered below
+                if idempotent:
+                    self._drop_pooled_connection()
+                else:
+                    connection.close()
+                if reused and idempotent and _is_transient(exc):
+                    # The server reaped this keep-alive socket between
+                    # requests (idle timeout, deploy cycle) — that is what a
+                    # dead socket under a pooled connection means.  Replaying
+                    # on a fresh connection is free and does not consume the
+                    # transient budget.  (Timeouts are not transient: they
+                    # still surface immediately.)
+                    continue
                 if not (_is_transient(exc) and transient + 1 < transient_attempts):
                     raise
                 transient += 1
                 time.sleep(0.05)              # let the respawn win the race
+                continue
+            finally:
+                if not idempotent:
+                    connection.close()
+            if 200 <= status < 300:
+                return json.loads(body.decode("utf-8"))
+            try:
+                message = json.loads(body.decode("utf-8")).get("error", "")
+            except Exception:                 # noqa: BLE001 - body may be empty
+                message = http.client.responses.get(status, str(status))
+            if status in _BACKOFF_STATUSES and backoff + 1 < backoff_attempts:
+                backoff += 1
+                time.sleep(_backoff_delay(backoff - 1, retry_after,
+                                          cap_s=self.backoff_cap_s))
+                continue
+            raise ServeHTTPError(status, message,
+                                 retry_after_s=retry_after) from None
 
     # ------------------------------------------------------------------ #
     def predict_response(self, inputs: np.ndarray,
@@ -259,7 +384,8 @@ class ServeClient:
             try:
                 if self.healthz().get("status") == "ok":
                     return True
-            except (ServeHTTPError, urllib.error.URLError, OSError):
+            except (ServeHTTPError, urllib.error.URLError,
+                    http.client.HTTPException, OSError):
                 time.sleep(0.05)
         return False
 

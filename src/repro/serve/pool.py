@@ -135,6 +135,10 @@ class WorkerConfig:
     #: the sampled cache-parity probes honest (a probe re-executes on a
     #: worker — a worker-side cache would just echo its own entry back).
     cache_mb: float = 0.0
+    #: Network backend each worker's :class:`PECANServer` serves through
+    #: (``"eventloop"`` or ``"threaded"``) — mirrored from the router so the
+    #: whole pool rides one front-end implementation.
+    http_backend: str = "eventloop"
 
 
 def _worker_admin(server, message: Dict[str, object]) -> Dict[str, object]:
@@ -205,7 +209,8 @@ def _worker_main(config: WorkerConfig, conn) -> None:
             trace_dir=config.trace_dir, trace_ring=config.trace_ring,
             trace_enabled=config.trace_enabled, trace_service="worker",
             invariant_every=config.invariant_every,
-            cache_mb=config.cache_mb)
+            cache_mb=config.cache_mb,
+            http_backend=config.http_backend)
         for name, path in config.bundles:
             server.add_bundle(path, name=name, preload=config.preload)
         # A worker spawned mid-lifecycle replays the pool's promote history
@@ -509,11 +514,25 @@ class PoolServer:
                  invariant_every: int = 16,
                  monitor_trips_gate: bool = True,
                  cache_mb: float = 0.0,
-                 cache_check_every: int = 64):
+                 cache_check_every: int = 64,
+                 http_backend: str = "eventloop",
+                 max_connections: int = 512,
+                 idle_timeout_s: float = 30.0,
+                 request_read_timeout_s: float = 10.0,
+                 io_threads: int = 32):
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
+        if http_backend not in ("eventloop", "threaded"):
+            raise ValueError(
+                f"unknown http_backend {http_backend!r} "
+                "(expected 'eventloop' or 'threaded')")
         self.host = host
         self.port = port
+        self.http_backend = http_backend
+        self.max_connections = int(max_connections)
+        self.idle_timeout_s = float(idle_timeout_s)
+        self.request_read_timeout_s = float(request_read_timeout_s)
+        self.io_threads = int(io_threads)
         self.num_workers = int(workers)
         self.policy = make_policy(policy)
         #: The QoS plane: weighted-fair dispatch slots, per-tenant token
@@ -540,7 +559,8 @@ class PoolServer:
                                  if qos_config is not None else None),
             trace_dir=(str(trace_dir) if trace_dir else None),
             trace_ring=trace_ring, trace_enabled=trace_enabled,
-            invariant_every=invariant_every)
+            invariant_every=invariant_every,
+            http_backend=http_backend)
         self.metrics = ServerMetrics()           # router-side (end-to-end view)
         #: Router-side tracing + runtime verification.  The router's monitor
         #: samples proxied responses; violations against a base with an
@@ -600,6 +620,7 @@ class PoolServer:
         self._monitor_thread: Optional[threading.Thread] = None
         self._httpd = None
         self._http_thread: Optional[threading.Thread] = None
+        self._frontend = None
 
     # ------------------------------------------------------------------ #
     # Configuration (before start)
@@ -659,6 +680,17 @@ class PoolServer:
         self._monitor_thread = threading.Thread(
             target=self._monitor_loop, name="repro-pool-monitor", daemon=True)
         self._monitor_thread.start()
+        if self.http_backend == "eventloop":
+            from repro.serve.netfront import EventLoopFrontEnd
+
+            self._frontend = EventLoopFrontEnd(
+                self.handle_http, self.host, self.port,
+                max_connections=self.max_connections,
+                idle_timeout_s=self.idle_timeout_s,
+                request_timeout_s=self.request_read_timeout_s,
+                io_threads=self.io_threads).start()
+            self.port = self._frontend.port
+            return self
         from repro.serve.server import _ServeHTTPServer
 
         self._httpd = _ServeHTTPServer((self.host, self.port),
@@ -706,7 +738,7 @@ class PoolServer:
         waits for the outstanding proxied-request count to reach zero, then
         stops the workers (each drains its own batchers) and the router.
         """
-        if not self._running and self._httpd is None:
+        if not self._running and self._httpd is None and self._frontend is None:
             return
         with self._lock:
             self._draining = True
@@ -738,6 +770,9 @@ class PoolServer:
             worker.conn.close()
         with self._lock:
             self._workers.clear()
+        if self._frontend is not None:
+            self._frontend.stop()
+            self._frontend = None
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -917,6 +952,72 @@ class PoolServer:
             return response.status, response.read()
         finally:
             connection.close()
+
+    def handle_http(self, method: str, path: str, headers,
+                    body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        """Answer one parsed request: ``(status, body_bytes, headers)``.
+
+        The router's backend-agnostic application hook, mirroring
+        :meth:`PECANServer.handle_http` — the event-loop front end and the
+        threaded handler both dispatch through here, so the pool's wire
+        protocol is identical across backends (and to the single-process
+        server's).
+        """
+        from repro.serve.server import (_admin_dispatch, _json_response,
+                                        _parse_admin_body, _trace_query)
+
+        if method == "GET":
+            trace_id = _trace_query(path)
+            if path == "/healthz":
+                return _json_response(200, self.health_snapshot())
+            if path == "/metrics":
+                return _json_response(200, self.metrics_snapshot())
+            if path == "/models":
+                return _json_response(200, self.models_snapshot())
+            if path == "/admin/status":
+                return _json_response(200, self.lifecycle_snapshot())
+            if trace_id is not None:
+                return _json_response(200, self.trace_snapshot(trace_id or None))
+            return _json_response(404, {"error": f"unknown path {path}"})
+        if method != "POST":
+            return _json_response(501, {"error": f"unsupported method {method}"})
+        if path.startswith("/admin/"):
+            payload, error = _parse_admin_body(body)
+            if error is not None:
+                return error
+            collect: Dict[str, Tuple[int, bytes, Dict[str, str]]] = {}
+
+            def reply(status, payload, headers=None):
+                collect["response"] = _json_response(status, payload, headers)
+
+            _admin_dispatch(
+                reply, path, payload,
+                deploy=lambda p: self.deploy(
+                    p["name"], p["path"], version=p.get("version"),
+                    canary_fraction=float(p.get("canary_fraction", 0.25)),
+                    min_samples=int(p.get("min_samples", 20)),
+                    max_parity_violations=int(p.get("max_parity_violations", 0)),
+                    # Distinguish "absent" (default ratio) from explicit null
+                    # (latency gate disabled).
+                    max_latency_ratio=(
+                        (None if p["max_latency_ratio"] is None
+                         else float(p["max_latency_ratio"]))
+                        if "max_latency_ratio" in p else 3.0),
+                    auto=bool(p.get("auto", True))),
+                promote=lambda p: self.promote(p["name"],
+                                               version=p.get("version")),
+                rollback=lambda p: self.rollback(p["name"]))
+            return collect["response"]
+        if path != "/predict":
+            return _json_response(404, {"error": f"unknown path {path}"})
+        try:
+            status, response, extra_headers = self.handle_predict(
+                body, headers=headers)
+        except Exception as exc:             # noqa: BLE001 - boundary
+            self.metrics.record_error()
+            return _json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"})
+        return status, response, dict(extra_headers or {})
 
     def handle_predict(self, body: bytes,
                        headers=None) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
@@ -1951,6 +2052,8 @@ class PoolServer:
             "runtime_verification": self.monitor.snapshot(),
             "cache": (self.cache.snapshot() if self.cache is not None
                       else {"enabled": False}),
+            "frontend": (self._frontend.stats() if self._frontend is not None
+                         else {"backend": self.http_backend}),
             "pool": self.describe_pool(),
             "lifecycle": lifecycle,
             "workers": per_worker,
@@ -2041,70 +2144,21 @@ def _retry_after_from(headers: Optional[Dict[str, str]]) -> Optional[float]:
 # Router HTTP handler
 # --------------------------------------------------------------------------- #
 def _build_pool_handler(pool: PoolServer):
-    from repro.serve.server import JSONHandlerBase, _admin_dispatch, _trace_query
+    """Threaded-backend shim: frame bytes in/out of ``pool.handle_http``."""
+    from repro.serve.server import JSONHandlerBase
 
     class Handler(JSONHandlerBase):
         def do_GET(self) -> None:                # noqa: N802 - stdlib signature
-            trace_id = _trace_query(self.path)
-            if self.path == "/healthz":
-                self._reply(200, pool.health_snapshot())
-            elif self.path == "/metrics":
-                self._reply(200, pool.metrics_snapshot())
-            elif self.path == "/models":
-                self._reply(200, pool.models_snapshot())
-            elif self.path == "/admin/status":
-                self._reply(200, pool.lifecycle_snapshot())
-            elif trace_id is not None:
-                self._reply(200, pool.trace_snapshot(trace_id or None))
-            else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
-
-        def _do_admin(self) -> None:
-            body = self._read_body()
-            if body is None:
-                return
-            try:
-                payload = json.loads(body or b"{}")
-                if not isinstance(payload, dict):
-                    raise ValueError("admin body must be a JSON object")
-            except (ValueError, json.JSONDecodeError) as exc:
-                self._reply(400, {"error": str(exc)})
-                return
-            _admin_dispatch(
-                self._reply, self.path, payload,
-                deploy=lambda p: pool.deploy(
-                    p["name"], p["path"], version=p.get("version"),
-                    canary_fraction=float(p.get("canary_fraction", 0.25)),
-                    min_samples=int(p.get("min_samples", 20)),
-                    max_parity_violations=int(p.get("max_parity_violations", 0)),
-                    # Distinguish "absent" (default ratio) from explicit null
-                    # (latency gate disabled).
-                    max_latency_ratio=(
-                        (None if p["max_latency_ratio"] is None
-                         else float(p["max_latency_ratio"]))
-                        if "max_latency_ratio" in p else 3.0),
-                    auto=bool(p.get("auto", True))),
-                promote=lambda p: pool.promote(p["name"],
-                                               version=p.get("version")),
-                rollback=lambda p: pool.rollback(p["name"]))
+            status, body, headers = pool.handle_http(
+                "GET", self.path, self.headers, b"")
+            self._reply_bytes(status, body, headers=headers)
 
         def do_POST(self) -> None:               # noqa: N802 - stdlib signature
-            if self.path.startswith("/admin/"):
-                self._do_admin()
-                return
-            if self.path != "/predict":
-                self._reply(404, {"error": f"unknown path {self.path}"})
-                return
             body = self._read_body()
             if body is None:
                 return
-            try:
-                status, response, extra_headers = pool.handle_predict(
-                    body, headers=self.headers)
-            except Exception as exc:             # noqa: BLE001 - boundary
-                pool.metrics.record_error()
-                status, response, extra_headers = 500, _json_bytes(
-                    {"error": f"{type(exc).__name__}: {exc}"}), None
-            self._reply_bytes(status, response, headers=extra_headers)
+            status, out, headers = pool.handle_http(
+                "POST", self.path, self.headers, body)
+            self._reply_bytes(status, out, headers=headers)
 
     return Handler

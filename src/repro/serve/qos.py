@@ -74,6 +74,21 @@ class ShedError(RuntimeError):
         self.reason = reason
 
 
+def connection_budget_shed(limit: int,
+                           retry_after_s: float = 1.0) -> ShedError:
+    """The refusal for a connection past the front end's budget.
+
+    Connection-level overload rides the same wire shape as a brownout shed
+    (``{error, reason, retry_after_s}`` body + ``Retry-After`` header), so
+    one client-side backoff path — :class:`~repro.serve.client.ServeClient`
+    honouring 503 + ``Retry-After`` — handles both.  The reason string
+    distinguishes the layers in metrics and logs.
+    """
+    return ShedError(
+        f"connection budget exhausted ({limit} open connections)",
+        status=503, retry_after_s=retry_after_s, reason="connection-budget")
+
+
 # --------------------------------------------------------------------------- #
 # Request QoS descriptor + parsing
 # --------------------------------------------------------------------------- #

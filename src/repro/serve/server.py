@@ -1,7 +1,15 @@
 """Stdlib HTTP front end for bundle-backed CAM inference.
 
-Zero new dependencies: ``http.server.ThreadingHTTPServer`` carries a small
-JSON protocol in front of the registry + scheduler + auditor stack.
+Zero new dependencies: a small JSON protocol in front of the registry +
+scheduler + auditor stack.  The network plane is pluggable
+(``http_backend``): the default ``"eventloop"`` multiplexes every
+connection through one :mod:`selectors` thread
+(:class:`~repro.serve.netfront.EventLoopFrontEnd` — keep-alive,
+pipelining, a bounded connection budget, idle/slowloris timeouts), while
+``"threaded"`` keeps the original ``http.server.ThreadingHTTPServer``
+(one thread per connection) as the baseline the connection bench compares
+against.  Both backends dispatch through the same
+:meth:`PECANServer.handle_http`, so their responses are byte-identical.
 
 Endpoints
 ---------
@@ -42,6 +50,7 @@ from repro.serve.invariants import InvariantMonitor
 from repro.serve.lifecycle import (LifecycleError, format_versioned,
                                    split_versioned)
 from repro.serve.metrics import ServerMetrics
+from repro.serve.netfront import EventLoopFrontEnd
 from repro.serve.qos import QoSConfig, RequestQoS, ShedError, parse_qos
 from repro.serve.registry import EngineLease, ModelRegistry, PathLike
 from repro.serve.scheduler import (DynamicBatcher, QueueFullError, RequestTimeout,
@@ -173,6 +182,17 @@ class PECANServer:
         requests are answered from memory with exactly the bytes a fresh
         engine call would produce; namespaces are retired on
         promote/rollback/undeploy.  See :mod:`repro.serve.cache`.
+    http_backend:
+        ``"eventloop"`` (default) serves through the selectors-based
+        :class:`~repro.serve.netfront.EventLoopFrontEnd`; ``"threaded"``
+        keeps the original one-thread-per-connection
+        ``ThreadingHTTPServer``.  Responses are byte-identical either way.
+    max_connections / idle_timeout_s / request_read_timeout_s / io_threads:
+        Event-loop knobs (ignored by the threaded backend): the concurrent
+        connection budget (overflow → 503 + ``Retry-After``, reason
+        ``connection-budget``), the keep-alive idle reaping horizon, the
+        slowloris guard (a half-received request older than this gets 408)
+        and the application-thread pool size.
     """
 
     def __init__(self, registry: Optional[ModelRegistry] = None,
@@ -189,10 +209,24 @@ class PECANServer:
                  trace_enabled: bool = True,
                  trace_service: str = "server",
                  invariant_every: int = 16,
-                 cache_mb: float = 0.0):
+                 cache_mb: float = 0.0,
+                 http_backend: str = "eventloop",
+                 max_connections: int = 512,
+                 idle_timeout_s: float = 30.0,
+                 request_read_timeout_s: float = 10.0,
+                 io_threads: int = 32):
+        if http_backend not in ("eventloop", "threaded"):
+            raise ValueError(
+                f"unknown http_backend {http_backend!r} "
+                "(expected 'eventloop' or 'threaded')")
         self.registry = registry if registry is not None else ModelRegistry()
         self.host = host
         self.port = port
+        self.http_backend = http_backend
+        self.max_connections = int(max_connections)
+        self.idle_timeout_s = float(idle_timeout_s)
+        self.request_read_timeout_s = float(request_read_timeout_s)
+        self.io_threads = int(io_threads)
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.max_queue_depth = max_queue_depth
@@ -225,6 +259,7 @@ class PECANServer:
         self._lock = threading.RLock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        self._frontend: Optional[EventLoopFrontEnd] = None
 
     def _overload_signal(self):
         """(queue depth, recent p99 ms) — the brownout controller's inputs."""
@@ -702,6 +737,7 @@ class PECANServer:
             "runtime_verification": self.monitor.snapshot(),
             "cache": (self.cache.snapshot() if self.cache is not None
                       else {"enabled": False}),
+            "frontend": self.frontend_snapshot(),
             "models": {},
         }
         # Keep the JSONL export readable by scrapers: a /metrics poll is the
@@ -752,23 +788,164 @@ class PECANServer:
         }
 
     # ------------------------------------------------------------------ #
+    # Backend-agnostic HTTP dispatch (both front ends call this)
+    # ------------------------------------------------------------------ #
+    def handle_http(self, method: str, path: str, headers,
+                    body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        """Answer one parsed request: ``(status, body_bytes, headers)``.
+
+        The single application hook behind both network backends — the
+        threaded handler and the event-loop bridge feed it identically, so
+        the wire protocol cannot drift between them.  ``headers`` is any
+        case-insensitive ``.get()`` mapping (stdlib ``email.Message`` or
+        :class:`~repro.serve.netfront.Headers`).
+        """
+        if method == "GET":
+            trace_id = _trace_query(path)
+            if path == "/healthz":
+                return _json_response(200, self.health_snapshot())
+            if path == "/metrics":
+                return _json_response(200, self.metrics_snapshot())
+            if path == "/models":
+                return _json_response(200, self.models_snapshot())
+            if path == "/admin/status":
+                return _json_response(200, self.lifecycle_snapshot())
+            if trace_id is not None:
+                return _json_response(200, self.trace_snapshot(trace_id or None))
+            return _json_response(404, {"error": f"unknown path {path}"})
+        if method != "POST":
+            return _json_response(501, {"error": f"unsupported method {method}"})
+        if path.startswith("/admin/"):
+            return self._admin_http(path, body)
+        if path != "/predict":
+            return _json_response(404, {"error": f"unknown path {path}"})
+        return self._predict_http(headers, body)
+
+    def _admin_http(self, path: str,
+                    body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        payload, error = _parse_admin_body(body)
+        if error is not None:
+            return error
+        collect: Dict[str, Tuple[int, bytes, Dict[str, str]]] = {}
+
+        def reply(status, payload, headers=None):
+            collect["response"] = _json_response(status, payload, headers)
+
+        _admin_dispatch(
+            reply, path, payload,
+            deploy=lambda p: {"deployed": self.deploy_bundle(
+                p["path"], name=p["name"], version=p.get("version"),
+                preload=bool(p.get("preload", True)))},
+            promote=lambda p: self.promote(p["name"],
+                                           version=p.get("version")),
+            rollback=lambda p: self.rollback(p["name"]))
+        return collect["response"]
+
+    def _predict_http(self, headers,
+                      body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        trace_ctx = parse_trace_context(None, headers)
+
+        def trace_fields(ctx) -> Dict[str, object]:
+            return {"trace_id": ctx.trace_id} if ctx.trace_id else {}
+
+        def trace_headers(ctx) -> Dict[str, str]:
+            # The returning Lamport value lets the upstream router merge this
+            # process's clock, keeping cross-process span order causal.
+            response_headers = {LAMPORT_HEADER: str(self.tracer.clock.value)}
+            if ctx.trace_id:
+                response_headers[TRACE_HEADER] = ctx.trace_id
+            return response_headers
+
+        try:
+            payload = json.loads(body or b"{}")
+            if "inputs" not in payload:
+                raise ValueError("request body must contain 'inputs'")
+            trace_ctx = parse_trace_context(payload, headers)
+            inputs = np.asarray(payload["inputs"], dtype=np.float64)
+            qos = parse_qos(payload, headers)
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            return _json_response(400, {"error": str(exc),
+                                        **trace_fields(trace_ctx)},
+                                  trace_headers(trace_ctx))
+        no_cache = bool(payload.get("no_cache")) or \
+            bool(headers.get(NO_CACHE_HEADER))
+        try:
+            response = self.predict(inputs, model=payload.get("model"),
+                                    qos=qos, trace=trace_ctx,
+                                    no_cache=no_cache)
+        except KeyError as exc:
+            return _json_response(404, {"error": str(exc),
+                                        **trace_fields(trace_ctx)},
+                                  trace_headers(trace_ctx))
+        except ShedError as exc:
+            return _shed_response(
+                exc, trace_id=trace_ctx.trace_id,
+                extra_headers={LAMPORT_HEADER: str(self.tracer.clock.value)})
+        except QueueFullError as exc:
+            return _json_response(429, {"error": str(exc),
+                                        **trace_fields(trace_ctx)},
+                                  {"Retry-After": "1.000",
+                                   **trace_headers(trace_ctx)})
+        except RequestTimeout as exc:
+            # (queue-expiry timeouts are already counted by the scheduler)
+            # The details say *where* the deadline died — e.g.
+            # ``{"queue_ms": 12.3, "stage": "batch-queue"}`` for a request
+            # shed in the queue before any engine work.
+            return _json_response(408, {"error": str(exc), **exc.details,
+                                        **trace_fields(trace_ctx)},
+                                  trace_headers(trace_ctx))
+        except SchedulerStopped as exc:
+            return _json_response(503, {"error": str(exc),
+                                        **trace_fields(trace_ctx)},
+                                  trace_headers(trace_ctx))
+        except ValueError as exc:
+            return _json_response(400, {"error": str(exc),
+                                        **trace_fields(trace_ctx)},
+                                  trace_headers(trace_ctx))
+        except Exception as exc:             # noqa: BLE001 - boundary
+            self.metrics.record_error()
+            return _json_response(500, {"error": f"{type(exc).__name__}: {exc}",
+                                        **trace_fields(trace_ctx)},
+                                  trace_headers(trace_ctx))
+        return _json_response(200, response, trace_headers(trace_ctx))
+
+    # ------------------------------------------------------------------ #
     # HTTP lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> "PECANServer":
         """Bind and serve on a background thread (idempotent)."""
-        if self._httpd is not None:
+        if self._httpd is not None or self._frontend is not None:
+            return self
+        if self.http_backend == "eventloop":
+            self._frontend = EventLoopFrontEnd(
+                self.handle_http, self.host, self.port,
+                max_connections=self.max_connections,
+                idle_timeout_s=self.idle_timeout_s,
+                request_timeout_s=self.request_read_timeout_s,
+                io_threads=self.io_threads).start()
+            # Expose the ephemeral bound port (port=0 requests) so tests,
+            # pools and clients can address the server without racing its
+            # startup.
+            self.port = self._frontend.port
             return self
         handler = _build_handler(self)
         self._httpd = _ServeHTTPServer((self.host, self.port), handler)
-        # Expose the ephemeral bound port (port=0 requests) so tests, pools
-        # and clients can address the server without racing its startup.
         self.port = self._httpd.server_address[1]
         self._http_thread = threading.Thread(target=self._httpd.serve_forever,
                                              name="repro-serve-http", daemon=True)
         self._http_thread.start()
         return self
 
+    def frontend_snapshot(self) -> Dict[str, object]:
+        """Network-plane counters for ``/metrics`` (both backends)."""
+        if self._frontend is not None:
+            return self._frontend.stats()
+        return {"backend": self.http_backend}
+
     def stop(self) -> None:
+        if self._frontend is not None:
+            self._frontend.stop()
+            self._frontend = None
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -787,10 +964,14 @@ class PECANServer:
         """Blocking variant for the CLI: start and run until interrupted."""
         self.start()
         try:
-            while True:
-                self._http_thread.join(1.0)
-                if not self._http_thread.is_alive():
-                    break
+            if self._http_thread is not None:
+                while True:
+                    self._http_thread.join(1.0)
+                    if not self._http_thread.is_alive():
+                        break
+            else:
+                while self._frontend is not None:
+                    time.sleep(0.5)
         except KeyboardInterrupt:
             pass
         finally:
@@ -866,6 +1047,40 @@ class JSONHandlerBase(BaseHTTPRequestHandler):
         return self.rfile.read(length)
 
 
+def _json_response(status: int, payload: Dict[str, object],
+                   headers: Optional[Dict[str, str]] = None,
+                   ) -> Tuple[int, bytes, Dict[str, str]]:
+    """One app-level response triple: ``(status, body_bytes, headers)``."""
+    return (int(status), json.dumps(payload).encode("utf-8"),
+            dict(headers or {}))
+
+
+def _shed_response(exc, trace_id: Optional[str] = None,
+                   extra_headers: Optional[Dict[str, str]] = None,
+                   ) -> Tuple[int, bytes, Dict[str, str]]:
+    """A QoS refusal (brownout / rate limit / budget) with ``Retry-After``."""
+    payload = {"error": str(exc), "reason": exc.reason,
+               "retry_after_s": exc.retry_after_s}
+    headers = {"Retry-After": f"{max(exc.retry_after_s, 0.0):.3f}"}
+    if trace_id:
+        payload["trace_id"] = trace_id
+        headers[TRACE_HEADER] = trace_id
+    if extra_headers:
+        headers.update(extra_headers)
+    return _json_response(exc.status, payload, headers)
+
+
+def _parse_admin_body(body: bytes):
+    """``(payload, None)`` or ``(None, error-response-triple)``."""
+    try:
+        payload = json.loads(body or b"{}")
+        if not isinstance(payload, dict):
+            raise ValueError("admin body must be a JSON object")
+    except (ValueError, json.JSONDecodeError) as exc:
+        return None, _json_response(400, {"error": str(exc)})
+    return payload, None
+
+
 def _trace_query(path: str) -> Optional[str]:
     """``"/trace?id=abc"`` → ``"abc"``; ``"/trace"`` → ``""``; else ``None``."""
     from urllib.parse import parse_qs, urlparse
@@ -910,122 +1125,21 @@ def _admin_dispatch(reply, path: str, payload: Dict[str, object],
 
 
 def _build_handler(server: PECANServer):
+    """Threaded-backend shim: frame bytes in/out of :meth:`handle_http`."""
     class Handler(JSONHandlerBase):
         pecan = server
 
         def do_GET(self) -> None:                # noqa: N802 - stdlib signature
-            trace_id = _trace_query(self.path)
-            if self.path == "/healthz":
-                self._reply(200, self.pecan.health_snapshot())
-            elif self.path == "/metrics":
-                self._reply(200, self.pecan.metrics_snapshot())
-            elif self.path == "/models":
-                self._reply(200, self.pecan.models_snapshot())
-            elif self.path == "/admin/status":
-                self._reply(200, self.pecan.lifecycle_snapshot())
-            elif trace_id is not None:
-                self._reply(200, self.pecan.trace_snapshot(trace_id or None))
-            else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
-
-        def _do_admin(self) -> None:
-            body = self._read_body()
-            if body is None:
-                return
-            try:
-                payload = json.loads(body or b"{}")
-                if not isinstance(payload, dict):
-                    raise ValueError("admin body must be a JSON object")
-            except (ValueError, json.JSONDecodeError) as exc:
-                self._reply(400, {"error": str(exc)})
-                return
-            _admin_dispatch(
-                self._reply, self.path, payload,
-                deploy=lambda p: {"deployed": self.pecan.deploy_bundle(
-                    p["path"], name=p["name"], version=p.get("version"),
-                    preload=bool(p.get("preload", True)))},
-                promote=lambda p: self.pecan.promote(p["name"],
-                                                     version=p.get("version")),
-                rollback=lambda p: self.pecan.rollback(p["name"]))
+            status, body, headers = self.pecan.handle_http(
+                "GET", self.path, self.headers, b"")
+            self._reply_bytes(status, body, headers=headers)
 
         def do_POST(self) -> None:               # noqa: N802 - stdlib signature
-            if self.path.startswith("/admin/"):
-                self._do_admin()
-                return
-            if self.path != "/predict":
-                self._reply(404, {"error": f"unknown path {self.path}"})
-                return
             body = self._read_body()
             if body is None:
                 return
-            trace_ctx = parse_trace_context(None, self.headers)
-            try:
-                payload = json.loads(body or b"{}")
-                if "inputs" not in payload:
-                    raise ValueError("request body must contain 'inputs'")
-                trace_ctx = parse_trace_context(payload, self.headers)
-                inputs = np.asarray(payload["inputs"], dtype=np.float64)
-                qos = parse_qos(payload, self.headers)
-            except (ValueError, TypeError, json.JSONDecodeError) as exc:
-                self._reply(400, {"error": str(exc),
-                                  **self._trace_fields(trace_ctx)},
-                            headers=self._trace_headers(trace_ctx))
-                return
-            no_cache = bool(payload.get("no_cache")) or \
-                bool(self.headers.get(NO_CACHE_HEADER))
-            try:
-                response = self.pecan.predict(inputs, model=payload.get("model"),
-                                              qos=qos, trace=trace_ctx,
-                                              no_cache=no_cache)
-            except KeyError as exc:
-                self._reply(404, {"error": str(exc),
-                                  **self._trace_fields(trace_ctx)},
-                            headers=self._trace_headers(trace_ctx))
-            except ShedError as exc:
-                self._reply_shed(exc, trace_id=trace_ctx.trace_id,
-                                 extra_headers=self._lamport_header())
-            except QueueFullError as exc:
-                self._reply(429, {"error": str(exc),
-                                  **self._trace_fields(trace_ctx)},
-                            headers={"Retry-After": "1.000",
-                                     **self._trace_headers(trace_ctx)})
-            except RequestTimeout as exc:
-                # (queue-expiry timeouts are already counted by the scheduler)
-                # The details say *where* the deadline died — e.g.
-                # ``{"queue_ms": 12.3, "stage": "batch-queue"}`` for a request
-                # shed in the queue before any engine work.
-                self._reply(408, {"error": str(exc), **exc.details,
-                                  **self._trace_fields(trace_ctx)},
-                            headers=self._trace_headers(trace_ctx))
-            except SchedulerStopped as exc:
-                self._reply(503, {"error": str(exc),
-                                  **self._trace_fields(trace_ctx)},
-                            headers=self._trace_headers(trace_ctx))
-            except ValueError as exc:
-                self._reply(400, {"error": str(exc),
-                                  **self._trace_fields(trace_ctx)},
-                            headers=self._trace_headers(trace_ctx))
-            except Exception as exc:             # noqa: BLE001 - boundary
-                self.pecan.metrics.record_error()
-                self._reply(500, {"error": f"{type(exc).__name__}: {exc}",
-                                  **self._trace_fields(trace_ctx)},
-                            headers=self._trace_headers(trace_ctx))
-            else:
-                self._reply(200, response,
-                            headers=self._trace_headers(trace_ctx))
-
-        def _trace_fields(self, ctx) -> Dict[str, object]:
-            return {"trace_id": ctx.trace_id} if ctx.trace_id else {}
-
-        def _trace_headers(self, ctx) -> Dict[str, str]:
-            # The returning Lamport value lets the upstream router merge this
-            # process's clock, keeping cross-process span order causal.
-            headers = self._lamport_header()
-            if ctx.trace_id:
-                headers[TRACE_HEADER] = ctx.trace_id
-            return headers
-
-        def _lamport_header(self) -> Dict[str, str]:
-            return {LAMPORT_HEADER: str(self.pecan.tracer.clock.value)}
+            status, out, headers = self.pecan.handle_http(
+                "POST", self.path, self.headers, body)
+            self._reply_bytes(status, out, headers=headers)
 
     return Handler

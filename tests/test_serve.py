@@ -12,6 +12,7 @@ import json
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -507,8 +508,16 @@ class TestServerEndToEnd:
     def test_metrics_endpoint_carries_engine_and_audit_stats(self, server, rng):
         pecan_server, client = server
         client.predict(rng.standard_normal((2, 1, 10, 10)))
-        pecan_server._served["toy"].auditor.drain()
-        snap = client.metrics()
+        # The scheduler unblocks the caller *before* it hands the batch to
+        # the auditor (audits must never delay results), so poll: drain only
+        # empties work that has already been enqueued.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            pecan_server._served["toy"].auditor.drain()
+            snap = client.metrics()
+            if snap["server"]["parity_audit"]["audits"] >= 1:
+                break
+            time.sleep(0.01)
         assert snap["models"]["toy"]["engine"]["multiplier_free"]
         assert snap["models"]["toy"]["engine"]["cam"]["searches"] > 0
         assert snap["models"]["toy"]["engine"]["cam"]["energy"] > 0
@@ -597,28 +606,30 @@ class TestServerEviction:
 
 class TestServeCLI:
     def test_serve_command_round_trip(self, bundle_path, rng):
-        process = subprocess.Popen(
-            [sys.executable, "-u", "-m", "repro.cli", "serve",
-             "--bundle", f"toy={bundle_path}", "--port", "0",
-             "--max_wait_ms", "10"],
-            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
-            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
-        try:
-            url = None
-            for _ in range(3):
-                line = process.stdout.readline()
-                if line.startswith("serving on "):
-                    url = line.split()[2]
-                    break
-            assert url, "CLI never reported its URL"
-            client = ServeClient(url)
-            assert client.wait_ready(10.0)
-            logits = client.predict(rng.standard_normal((2, 1, 10, 10)))
-            assert logits.shape == (2, 6)
-            assert client.healthz()["models"] == ["toy"]
-        finally:
-            process.terminate()
-            process.wait(timeout=10)
+        # The context manager closes the stdout/stderr pipes on exit.
+        with subprocess.Popen(
+                [sys.executable, "-u", "-m", "repro.cli", "serve",
+                 "--bundle", f"toy={bundle_path}", "--port", "0",
+                 "--max_wait_ms", "10"],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"}) as process:
+            try:
+                url = None
+                for _ in range(3):
+                    line = process.stdout.readline()
+                    if line.startswith("serving on "):
+                        url = line.split()[2]
+                        break
+                assert url, "CLI never reported its URL"
+                with ServeClient(url) as client:
+                    assert client.wait_ready(10.0)
+                    logits = client.predict(
+                        rng.standard_normal((2, 1, 10, 10)))
+                    assert logits.shape == (2, 6)
+                    assert client.healthz()["models"] == ["toy"]
+            finally:
+                process.terminate()
+                process.wait(timeout=10)
 
     def test_parse_bundle_spec(self):
         from repro.cli import _parse_bundle_spec

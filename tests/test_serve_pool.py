@@ -377,34 +377,36 @@ class TestPoolLifecycle:
 
 class TestPoolCLI:
     def test_cli_pool_serves_and_drains_on_sigterm(self, pool_bundle, module_rng):
-        process = subprocess.Popen(
-            [sys.executable, "-u", "-m", "repro.cli", "serve",
-             "--bundle", f"toy={pool_bundle}", "--port", "0",
-             "--workers", "2", "--policy", "least_outstanding",
-             "--max_wait_ms", "2"],
-            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
-            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
-        try:
-            url = None
-            for _ in range(4):
-                line = process.stdout.readline()
-                if line.startswith("routing on "):
-                    url = line.split()[2]
-                    break
-            assert url, "pool CLI never reported its URL"
-            client = ServeClient(url)
-            assert client.wait_ready(120.0)
-            deadline = time.monotonic() + 120.0
-            while time.monotonic() < deadline:
-                if client.healthz()["status"] == "ok":
-                    break
-                time.sleep(0.1)
-            logits = client.predict(module_rng.standard_normal((2, 1, 10, 10)),
-                                    model="toy")
-            assert logits.shape == (2, 6)
-            process.send_signal(signal.SIGTERM)
-            assert process.wait(timeout=60) == 0
-        finally:
-            if process.poll() is None:
-                process.kill()
-                process.wait(timeout=10)
+        # The context manager closes the stdout/stderr pipes on exit.
+        with subprocess.Popen(
+                [sys.executable, "-u", "-m", "repro.cli", "serve",
+                 "--bundle", f"toy={pool_bundle}", "--port", "0",
+                 "--workers", "2", "--policy", "least_outstanding",
+                 "--max_wait_ms", "2"],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"}) as process:
+            try:
+                url = None
+                for _ in range(4):
+                    line = process.stdout.readline()
+                    if line.startswith("routing on "):
+                        url = line.split()[2]
+                        break
+                assert url, "pool CLI never reported its URL"
+                with ServeClient(url) as client:
+                    assert client.wait_ready(120.0)
+                    deadline = time.monotonic() + 120.0
+                    while time.monotonic() < deadline:
+                        if client.healthz()["status"] == "ok":
+                            break
+                        time.sleep(0.1)
+                    logits = client.predict(
+                        module_rng.standard_normal((2, 1, 10, 10)),
+                        model="toy")
+                    assert logits.shape == (2, 6)
+                process.send_signal(signal.SIGTERM)
+                assert process.wait(timeout=60) == 0
+            finally:
+                if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=10)
