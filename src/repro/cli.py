@@ -323,6 +323,24 @@ def _command_rollback(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scale(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeHTTPError
+
+    try:
+        response = _admin_client(args).scale(args.workers,
+                                             reason=args.reason)
+    except ServeHTTPError as exc:
+        print(f"scale failed: {exc}")
+        return 1
+    if "members" in response:       # federation front: per-member results
+        print(json.dumps(response, indent=2))
+    else:
+        print(f"pool pinned to {response.get('workers', args.workers)} "
+              f"worker(s) (spawned {response.get('spawned', 0)}, "
+              f"retired {response.get('retired', 0)})")
+    return 0
+
+
 def _add_admin_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--url", default="http://127.0.0.1:8080",
                         help="base URL of the running serve/pool process")
@@ -389,63 +407,47 @@ def _command_score(args: argparse.Namespace) -> int:
     return 0
 
 
-def _qos_config_from_args(args: argparse.Namespace):
-    from repro.serve.qos import QoSConfig
-
-    return QoSConfig(
-        slots_per_worker=args.slots_per_worker,
-        max_waiting=args.max_waiting,
-        tenant_rate=args.tenant_rate,
-        tenant_burst=args.tenant_burst,
-        queue_high=args.queue_high,
-        p99_slo_ms=args.p99_slo_ms,
-        batch_class_samples=args.batch_class_samples,
-    )
-
-
 def _command_serve(args: argparse.Namespace) -> int:
-    if args.workers > 1:
-        return _serve_pool(args)
-    return _serve_single(args)
+    from repro.serve.config import serve_config_from_args
+
+    config = serve_config_from_args(args)
+    if config.federation.members:
+        return _serve_federation(config)
+    if not config.lifecycle.bundles:
+        print("error: serve needs at least one --bundle "
+              "(or --federate to start the federation front router)")
+        return 2
+    if config.pool.workers > 1 or config.autoscale.enabled:
+        return _serve_pool(config)
+    return _serve_single(config)
 
 
-def _serve_single(args: argparse.Namespace) -> int:
+def _serve_single(config) -> int:
     from repro.serve import PECANServer
     from repro.serve.registry import ModelRegistry
 
-    mmap_mode = None if args.no_mmap else "r"
+    mmap_mode = config.engine.mmap_mode
     engine_factory = None
-    if args.optimize:
+    if config.engine.optimize:
         from repro.serve import BundleEngine
 
         engine_factory = (lambda path:                        # noqa: E731
                           BundleEngine(path, optimize=True, mmap_mode=mmap_mode))
-    registry = ModelRegistry(max_total_values=args.max_total_values,
+    registry = ModelRegistry(max_total_values=config.engine.max_total_values,
                              engine_factory=engine_factory, mmap_mode=mmap_mode)
-    server = PECANServer(
-        registry=registry, host=args.host, port=args.port,
-        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
-        max_queue_depth=args.max_queue, request_timeout_s=args.timeout_s,
-        batch_chunk=args.batch_chunk, audit_every=args.audit_every,
-        hardware_hz=args.emulate_hardware_hz,
-        qos_config=_qos_config_from_args(args),
-        trace_dir=args.trace_dir, trace_enabled=not args.no_trace,
-        invariant_every=args.invariant_every,
-        cache_mb=0.0 if args.no_cache else args.cache_mb,
-        http_backend=args.http_backend,
-        max_connections=args.max_connections,
-        idle_timeout_s=args.idle_timeout_s,
-        request_read_timeout_s=args.request_read_timeout_s)
-    for spec in args.bundle:
+    server = PECANServer(registry=registry, config=config)
+    for spec in config.lifecycle.bundles:
         name, path = _parse_bundle_spec(spec)
-        registered = server.add_bundle(path, name=name, preload=not args.lazy_load)
+        registered = server.add_bundle(path, name=name,
+                                       preload=config.lifecycle.preload)
         print(f"registered model {registered!r} from {path}")
     server.start()
     print(f"serving on {server.url}  "
           f"(POST /predict, GET /models /metrics /healthz)")
-    print(f"batching: up to {args.max_batch_size} samples / {args.max_wait_ms} ms; "
-          f"queue depth {args.max_queue}; "
-          f"parity audit every {args.audit_every or '∞'} batches")
+    print(f"batching: up to {config.engine.max_batch_size} samples / "
+          f"{config.engine.max_wait_ms} ms; "
+          f"queue depth {config.engine.max_queue_depth}; "
+          f"parity audit every {config.engine.audit_every or '∞'} batches")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -455,50 +457,58 @@ def _serve_single(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_pool(args: argparse.Namespace) -> int:
+def _serve_pool(config) -> int:
     import signal
 
     from repro.serve import PoolServer
 
-    pool = PoolServer(
-        host=args.host, port=args.port,
-        workers=args.workers, policy=args.policy,
-        heartbeat_interval_s=args.heartbeat_interval_s,
-        heartbeat_timeout_s=args.heartbeat_timeout_s,
-        mmap_mode=None if args.no_mmap else "r",
-        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
-        max_queue_depth=args.max_queue, request_timeout_s=args.timeout_s,
-        batch_chunk=args.batch_chunk, audit_every=args.audit_every,
-        optimize=args.optimize, max_total_values=args.max_total_values,
-        hardware_hz=args.emulate_hardware_hz, preload=not args.lazy_load,
-        qos_config=_qos_config_from_args(args),
-        trace_dir=args.trace_dir, trace_enabled=not args.no_trace,
-        invariant_every=args.invariant_every,
-        cache_mb=0.0 if args.no_cache else args.cache_mb,
-        cache_check_every=args.cache_check_every,
-        http_backend=args.http_backend,
-        max_connections=args.max_connections,
-        idle_timeout_s=args.idle_timeout_s,
-        request_read_timeout_s=args.request_read_timeout_s)
+    pool = PoolServer(config=config)
     # Installed before start: a SIGTERM that lands while workers are still
     # spawning (or during the readiness wait below) must still drain cleanly.
     signal.signal(signal.SIGTERM, lambda signum, frame: pool.request_stop())
-    for spec in args.bundle:
+    for spec in config.lifecycle.bundles:
         name, path = _parse_bundle_spec(spec)
         registered = pool.add_bundle(path, name=name)
         print(f"registered model {registered!r} from {path}")
     pool.start()
-    print(f"routing on {pool.url} over {args.workers} worker processes "
+    print(f"routing on {pool.url} over {pool.num_workers} worker processes "
           f"(policy: {pool.policy.name}, "
-          f"bundle arrays {'copied per worker' if args.no_mmap else 'memory-mapped/shared'})")
+          f"bundle arrays "
+          f"{'memory-mapped/shared' if config.engine.mmap else 'copied per worker'})")
+    if config.autoscale.enabled:
+        scaler = pool.autoscaler
+        print(f"autoscale: workers {scaler.floor}..{scaler.ceiling} from "
+              f"queue depth / p99; POST /admin/scale pins a target")
     if pool.wait_ready(timeout_s=120.0):
         print("all workers ready  (POST /predict, GET /models /metrics /healthz)")
     else:
         print("warning: pool started degraded "
-              f"({len(pool.ready_workers())}/{args.workers} workers ready); "
+              f"({len(pool.ready_workers())}/{pool.num_workers} workers ready); "
               "see /healthz for per-worker errors")
     print("SIGTERM or Ctrl-C drains in-flight requests before shutdown")
     pool.serve_forever(install_signal_handler=False)
+    return 0
+
+
+def _serve_federation(config) -> int:
+    import signal
+
+    from repro.serve.federation import FrontRouter
+
+    front = FrontRouter(config)
+    signal.signal(signal.SIGTERM, lambda signum, frame: front.stop())
+    front.start()
+    members = ", ".join(config.federation.members)
+    print(f"federating on {front.url} over members: {members}")
+    print("model@version namespaces shard by consistent hashing; "
+          "failover to surviving members on connection failure "
+          "(POST /predict /admin/*, GET /models /metrics /healthz /trace)")
+    try:
+        front.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        front.stop()
     return 0
 
 
@@ -584,132 +594,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve", help="serve exported deployment bundles over HTTP")
-    serve.add_argument("--bundle", action="append", required=True,
-                       metavar="[NAME=]PATH",
-                       help="deployment bundle .npz to serve; repeatable; "
-                            "NAME defaults to the file stem")
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8080,
-                       help="bind port (0 picks a free port)")
-    serve.add_argument("--max_batch_size", type=int, default=32,
-                       help="sample budget per coalesced micro-batch")
-    serve.add_argument("--max_wait_ms", type=float, default=5.0,
-                       help="how long the batcher holds the first request "
-                            "open for followers")
-    serve.add_argument("--max_queue", type=int, default=256,
-                       help="bounded queue depth; overflow is rejected with 429")
-    serve.add_argument("--timeout_s", type=float, default=30.0,
-                       help="per-request deadline")
-    serve.add_argument("--batch_chunk", type=int, default=None,
-                       help="stream coalesced batches through the engine in "
-                            "slices of this many samples")
-    serve.add_argument("--audit_every", type=int, default=0,
-                       help="re-run 1/N batches through the reference loop "
-                            "and count mismatches (0 disables)")
-    serve.add_argument("--max_total_values", type=int, default=None,
-                       help="LRU-evict engines beyond this many resident "
-                            "CAM values")
-    serve.add_argument("--lazy_load", action="store_true",
-                       help="load bundles on first request instead of at startup")
-    serve.add_argument("--optimize", action="store_true",
-                       help="run the graph optimization passes (BN folding, "
-                            "ReLU fusion, dead-node elimination) on every "
-                            "engine, parity-checked against the pristine graph")
-    serve.add_argument("--workers", type=int, default=1,
-                       help="data-parallel worker processes; >1 starts the "
-                            "router + process pool (repro.serve.pool) instead "
-                            "of a single in-process server")
-    serve.add_argument("--policy", default="least_outstanding",
-                       choices=["round_robin", "least_outstanding",
-                                "model_affinity", "cache_affinity"],
-                       help="pool routing policy (with --workers > 1); "
-                            "cache_affinity pins identical inputs to one "
-                            "worker by canonical input hash")
-    serve.add_argument("--heartbeat_interval_s", type=float, default=0.25,
-                       help="worker heartbeat cadence (pool mode)")
-    serve.add_argument("--heartbeat_timeout_s", type=float, default=3.0,
-                       help="heartbeat silence after which a worker is "
-                            "declared hung and respawned (pool mode)")
-    serve.add_argument("--no_mmap", action="store_true",
-                       help="load bundle arrays eagerly instead of "
-                            "memory-mapping the extracted .npy cache (mmap "
-                            "shares resident LUT pages across pool workers)")
-    serve.add_argument("--emulate_hardware_hz", type=float, default=None,
-                       help="pace every batch to the latency a CAM "
-                            "accelerator at this clock would need (paper "
-                            "Section 4.3 cost model); for capacity planning "
-                            "and scaling benchmarks")
-    # QoS plane (repro.serve.qos): admission, fairness and brownout knobs.
-    serve.add_argument("--slots_per_worker", type=int, default=4,
-                       help="concurrent dispatch slots per worker in the "
-                            "weighted-fair scheduler (pool mode)")
-    serve.add_argument("--max_waiting", type=int, default=256,
-                       help="router waiting-room size; overflow sheds "
-                            "lowest-priority first with 429")
-    serve.add_argument("--tenant_rate", type=float, default=None,
-                       help="per-tenant request rate limit (requests/s; "
-                            "token bucket); unset disables rate limiting")
-    serve.add_argument("--tenant_burst", type=float, default=8.0,
-                       help="token-bucket burst per tenant")
-    serve.add_argument("--queue_high", type=float, default=32.0,
-                       help="queue depth the brownout controller treats as "
-                            "load 1.0")
-    serve.add_argument("--p99_slo_ms", type=float, default=None,
-                       help="p99 latency SLO; sustained breaches drive the "
-                            "brownout controller through shed-batch / "
-                            "shed-standard / emergency")
-    serve.add_argument("--batch_class_samples", type=int, default=None,
-                       help="per-micro-batch sample budget for batch-class "
-                            "work (default max_batch_size // 4)")
-    # Tracing + runtime verification (repro.serve.trace / .invariants).
-    serve.add_argument("--trace_dir", default=None,
-                       help="export spans as otel-style JSONL files "
-                            "(trace-<service>-<pid>.jsonl) under this "
-                            "directory; analyse with `repro-pecan trace`")
-    serve.add_argument("--no_trace", action="store_true",
-                       help="disable distributed tracing entirely (spans, "
-                            "/trace endpoint, JSONL export)")
-    serve.add_argument("--invariant_every", type=int, default=16,
-                       help="runtime-verification sampling rate: check one "
-                            "response in N for finite logits / stable shape "
-                            "/ retry-stable argmax (1 checks everything, "
-                            "0 disables)")
-    # Deterministic response cache (repro.serve.cache).
-    serve.add_argument("--cache_mb", type=float, default=64.0,
-                       help="deterministic response-cache budget in MiB "
-                            "(PECAN-D inference is bitwise deterministic, so "
-                            "exact result caching + in-flight coalescing is "
-                            "provably lossless); namespaced per "
-                            "model@version and invalidated on "
-                            "promote/rollback/undeploy")
-    serve.add_argument("--no_cache", action="store_true",
-                       help="disable the response cache and in-flight "
-                            "request coalescing")
-    serve.add_argument("--cache_check_every", type=int, default=64,
-                       help="cache-parity audit rate (pool only): re-execute "
-                            "one cache hit in N through a worker engine and "
-                            "compare bitwise — divergence is a cache_parity "
-                            "runtime-verification violation (1 checks every "
-                            "hit, 0 disables)")
-    # Network front end (repro.serve.netfront).
-    serve.add_argument("--http_backend", choices=["eventloop", "threaded"],
-                       default="eventloop",
-                       help="network front end: 'eventloop' multiplexes all "
-                            "connections through one selectors loop with "
-                            "keep-alive, pipelining, a connection budget and "
-                            "slowloris/idle timeouts; 'threaded' is the "
-                            "legacy thread-per-connection stdlib server")
-    serve.add_argument("--max_connections", type=int, default=512,
-                       help="open-connection budget for the eventloop front "
-                            "end; connections beyond it are answered 503 + "
-                            "Retry-After at accept time")
-    serve.add_argument("--idle_timeout_s", type=float, default=30.0,
-                       help="close keep-alive connections with no in-flight "
-                            "request after this long (eventloop front end)")
-    serve.add_argument("--request_read_timeout_s", type=float, default=10.0,
-                       help="408-and-close a connection whose request head/"
-                            "body has not fully arrived after this long — "
-                            "the slowloris guard (eventloop front end)")
+    # Every serve flag is generated from the ServeConfig field metadata
+    # (repro.serve.config) — one source of truth for flags, constructor
+    # fields, --help text and the README reference table.
+    from repro.serve.config import add_serve_arguments
+    add_serve_arguments(serve)
     serve.set_defaults(handler=_command_serve)
 
     trace = subparsers.add_parser(
@@ -797,6 +686,20 @@ def build_parser() -> argparse.ArgumentParser:
                          "previously active version")
     _add_admin_flags(rollback)
     rollback.set_defaults(handler=_command_rollback)
+
+    scale = subparsers.add_parser(
+        "scale", help="pin a running pool's worker target (or broadcast to "
+                      "every member of a federation front)")
+    scale.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the running pool/front process")
+    scale.add_argument("--timeout_s", type=float, default=30.0,
+                       help="admin request timeout")
+    scale.add_argument("--workers", type=int, required=True,
+                       help="worker target (clamped into the autoscale "
+                            "envelope; 0 needs --scale_to_zero on the pool)")
+    scale.add_argument("--reason", default="operator",
+                       help="reason recorded in the autoscale event log")
+    scale.set_defaults(handler=_command_scale)
     return parser
 
 

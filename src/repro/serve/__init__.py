@@ -72,7 +72,25 @@ inference program); this package turns that file back into a serving process:
   bridge;
 * :mod:`repro.serve.ops` — backwards-compatible re-exports of the unified
   lowerings in :mod:`repro.ir.ops` (which mirror
-  :mod:`repro.autograd.functional` exactly).
+  :mod:`repro.autograd.functional` exactly);
+* :mod:`repro.serve.config` — :class:`ServeConfig`, the layered configuration
+  tree that is the ONE constructor argument for :class:`PECANServer` /
+  :class:`PoolServer` / :class:`FrontRouter`; every ``repro-pecan serve``
+  flag, its ``--help`` text and the README reference table are generated
+  from its field metadata, with argv ⇄ config ⇄ JSON round trips and a
+  one-release deprecation shim for the old flat kwargs;
+* :mod:`repro.serve.adminapi` — the typed ``/admin/*`` wire contract shared
+  by every server and the client: request schemas per verb, structured
+  errors (``code`` / ``reason`` / ``retry_after``) and the common dispatch;
+* :mod:`repro.serve.autoscale` — :class:`Autoscaler`, the elastic
+  worker-pool policy: sustained queue/latency pressure doubles the worker
+  target, idle dwell steps it down (optionally to zero with mmap-backed
+  cold starts), all inside the crash-loop breaker's authority;
+* :mod:`repro.serve.federation` — :class:`FrontRouter`, the multi-pool
+  federation tier: ``model@version`` namespaces shard across member pools
+  by consistent hashing on the stable route hash, with byte-compatible
+  proxying, failover to surviving members (timeouts never retried) and
+  Lamport-merged ``/metrics`` + ``/trace``.
 
 Importing this package never loads the training substrate (autograd,
 optimizers, the model zoo) — the serving path stays lean, which
@@ -80,12 +98,25 @@ optimizers, the model zoo) — the serving path stays lean, which
 interpreter.
 """
 
+from repro.serve.adminapi import (ADMIN_VERBS, ERROR_CODES, AdminError,
+                                  DeployRequest, PromoteRequest,
+                                  RollbackRequest, ScaleRequest,
+                                  dispatch_admin, parse_admin_request)
 from repro.serve.auditor import ParityAuditor
+from repro.serve.autoscale import Autoscaler, ScaleDecision, ScaleSignals
 from repro.serve.cache import (NO_CACHE_HEADER, CachePlane, InFlightCall,
                                ResultCache, canonical_input_array,
                                canonical_input_hash, canonical_response_bytes,
-                               splice_response, stable_route_hash)
+                               consistent_ring_points, splice_response,
+                               stable_route_hash)
 from repro.serve.client import BulkScorer, ServeClient, ServeHTTPError
+from repro.serve.config import (AutoscaleConfig, CacheConfig, EngineConfig,
+                                FederationConfig, LifecycleConfig, NetConfig,
+                                PoolConfig, ServeConfig, TraceConfig,
+                                add_serve_arguments, config_from_legacy_kwargs,
+                                config_reference_table, serve_config_from_args,
+                                serve_config_to_args)
+from repro.serve.federation import FrontRouter, HashRing, MemberPool
 from repro.serve.engine import BundleEngine
 from repro.serve.loadgen import (LoadResult, SlowlorisSwarm, ZipfWorkload,
                                  run_concurrent_load, run_zipf_load,
@@ -116,6 +147,36 @@ from repro.serve.trace import (LamportClock, Span, TraceContext, Tracer,
                                slowest_traces, summarize_spans)
 
 __all__ = [
+    "ADMIN_VERBS",
+    "ERROR_CODES",
+    "AdminError",
+    "DeployRequest",
+    "PromoteRequest",
+    "RollbackRequest",
+    "ScaleRequest",
+    "dispatch_admin",
+    "parse_admin_request",
+    "Autoscaler",
+    "ScaleDecision",
+    "ScaleSignals",
+    "AutoscaleConfig",
+    "CacheConfig",
+    "EngineConfig",
+    "FederationConfig",
+    "LifecycleConfig",
+    "NetConfig",
+    "PoolConfig",
+    "ServeConfig",
+    "TraceConfig",
+    "add_serve_arguments",
+    "config_from_legacy_kwargs",
+    "config_reference_table",
+    "serve_config_from_args",
+    "serve_config_to_args",
+    "FrontRouter",
+    "HashRing",
+    "MemberPool",
+    "consistent_ring_points",
     "BROWNOUT_STATES",
     "PRIORITY_CLASSES",
     "BrownoutController",

@@ -1,0 +1,201 @@
+"""Elastic worker-pool control loop (decision engine).
+
+The :class:`Autoscaler` is a *pure* policy object: the pool's monitor thread
+feeds it one :class:`ScaleSignals` observation per tick and applies whatever
+:class:`ScaleDecision` comes back (spawn N / retire N — the mechanics live in
+:mod:`repro.serve.pool`).  Keeping the policy free of processes, sockets and
+locks makes every scaling rule unit-testable with a fake clock.
+
+Policy
+------
+* **Scale-up** when admission pressure is *sustained*: the router waiting
+  room exceeds ``up_queue_per_worker × capacity`` (capacity counts ready
+  workers plus ones already being started, so pressure during a spawn does
+  not double-trigger), or the recent p99 exceeds the QoS SLO when one is
+  configured.  After ``up_dwell_s`` of continuous pressure the target
+  doubles (bounded by the ceiling) — doubling reaches a 1→4 ramp in two
+  decisions instead of three while staying proportional to pool size.
+* **Scale-down** when the pool is *completely idle* (no queued, no
+  in-flight) for ``down_idle_s``: the target steps down by one — retiring is
+  deliberately more timid than growing, because a retire flushes a worker's
+  warm batchers.
+* **Scale-to-zero**: with ``scale_to_zero`` the idle path may retire the
+  last worker.  A request arriving at an empty pool calls :meth:`wake`,
+  which forces the target to at least one immediately (no dwell, no
+  cooldown) — the cold-start latency is already the mmap'd bundle load; the
+  policy must not add seconds of deliberation on top.
+* **Cooldown** (``cooldown_s``) separates consecutive scaling actions in
+  either direction so the loop cannot flap; :meth:`wake` and operator pins
+  (:meth:`pin`) bypass it, dwell timers reset on every action.
+
+The pool's crash-loop breaker stays authoritative: the autoscaler proposes
+targets, but the pool refuses to spawn when respawns are exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.serve.config import AutoscaleConfig
+
+__all__ = ["Autoscaler", "ScaleDecision", "ScaleSignals"]
+
+
+@dataclass(frozen=True)
+class ScaleSignals:
+    """One monitor-tick observation of the pool."""
+
+    ready: int                      #: workers in the routing rotation
+    starting: int = 0               #: spawned but not yet ready (incl. probing)
+    retiring: int = 0               #: draining toward retirement
+    queue_depth: float = 0.0        #: router waiting room + worker batch queues
+    inflight: int = 0               #: admitted /predict calls not yet finished
+    p99_ms: float = 0.0             #: recent end-to-end p99
+    p99_slo_ms: Optional[float] = None  #: QoS SLO (None: latency not a signal)
+
+    @property
+    def capacity(self) -> int:
+        """Workers that are serving or about to: the denominator for
+        per-worker pressure (starting workers count — their spawn is the
+        response to pressure already measured)."""
+        return self.ready + self.starting
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One applied (or proposed) change of the worker target."""
+
+    target: int
+    previous: int
+    reason: str
+    at: float
+
+    def describe(self) -> Dict[str, object]:
+        return {"target": self.target, "previous": self.previous,
+                "reason": self.reason, "at": round(self.at, 3)}
+
+
+@dataclass
+class Autoscaler:
+    """Queue/latency-driven worker-target policy (see module docstring)."""
+
+    config: AutoscaleConfig
+    start_workers: int = 1
+    clock: Callable[[], float] = time.monotonic
+    events: Deque[ScaleDecision] = field(default_factory=lambda: deque(maxlen=256))
+
+    def __post_init__(self) -> None:
+        self.floor = self.config.floor()
+        self.ceiling = self.config.ceiling(self.start_workers)
+        self.target = min(max(self.start_workers, self.floor), self.ceiling)
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._pressure_since: Optional[float] = None
+        self._idle_since: Optional[float] = None
+        self._last_action_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def observe(self, signals: ScaleSignals) -> Optional[ScaleDecision]:
+        """Fold one observation in; a non-``None`` result is a new target."""
+        now = self.clock()
+        if self._under_pressure(signals):
+            self._idle_since = None
+            if self._pressure_since is None:
+                self._pressure_since = now
+            if (self.target < self.ceiling
+                    and now - self._pressure_since >= self.config.up_dwell_s
+                    and self._cooled_down(now)):
+                # Doubling, not +1: pressure is measured per worker, so a
+                # pool twice as deep needs twice the step to feel relief.
+                return self._retarget(
+                    min(max(self.target + 1, self.target * 2), self.ceiling),
+                    "queue-pressure" if signals.p99_slo_ms is None
+                    or signals.p99_ms <= signals.p99_slo_ms else "p99-slo",
+                    now)
+        elif self._is_idle(signals):
+            self._pressure_since = None
+            if self._idle_since is None:
+                self._idle_since = now
+            if (self.target > self.floor
+                    and now - self._idle_since >= self.config.down_idle_s
+                    and self._cooled_down(now)):
+                return self._retarget(max(self.target - 1, self.floor),
+                                      "idle", now)
+        else:
+            # Busy-but-coping: neither dwell timer accumulates.
+            self._pressure_since = None
+            self._idle_since = None
+        return None
+
+    def wake(self, reason: str = "cold-start") -> Optional[ScaleDecision]:
+        """Force at least one worker *now* (request hit an empty pool)."""
+        if self.target >= 1:
+            return None
+        return self._retarget(max(1, self.floor), reason, self.clock(),
+                              force=True)
+
+    def pin(self, workers: int, reason: str = "operator") -> ScaleDecision:
+        """Operator override via ``/admin/scale``: clamp into the envelope
+        and apply immediately (no dwell, no cooldown)."""
+        workers = min(max(int(workers), self.floor), self.ceiling)
+        return self._retarget(workers, reason, self.clock(), force=True) \
+            or ScaleDecision(self.target, self.target, reason, self.clock())
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _under_pressure(self, signals: ScaleSignals) -> bool:
+        capacity = max(signals.capacity, 1)
+        if signals.queue_depth >= self.config.up_queue_per_worker * capacity:
+            return True
+        if signals.capacity == 0 and (signals.queue_depth > 0
+                                      or signals.inflight > 0):
+            return True
+        return (signals.p99_slo_ms is not None and signals.p99_ms > 0
+                and signals.p99_ms > signals.p99_slo_ms)
+
+    @staticmethod
+    def _is_idle(signals: ScaleSignals) -> bool:
+        return signals.queue_depth <= 0 and signals.inflight <= 0
+
+    def _cooled_down(self, now: float) -> bool:
+        return (self._last_action_at is None
+                or now - self._last_action_at >= self.config.cooldown_s)
+
+    def _retarget(self, target: int, reason: str,
+                  now: float, force: bool = False) -> Optional[ScaleDecision]:
+        if target == self.target:
+            return None
+        decision = ScaleDecision(target, self.target, reason, now)
+        if target > self.target:
+            self.scale_ups += 1
+        else:
+            self.scale_downs += 1
+        self.target = target
+        self._last_action_at = now
+        self._pressure_since = None
+        self._idle_since = None
+        self.events.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` ``autoscale`` subtree."""
+        recent: List[Dict[str, object]] = [event.describe()
+                                           for event in list(self.events)[-16:]]
+        return {
+            "enabled": True,
+            "target": self.target,
+            "floor": self.floor,
+            "ceiling": self.ceiling,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "events": recent,
+        }

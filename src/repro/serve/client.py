@@ -74,14 +74,22 @@ class ServeHTTPError(RuntimeError):
 
     ``retry_after_s`` carries the server's ``Retry-After`` hint (seconds)
     when a 429/503 included one — the floor a well-behaved caller should
-    back off before retrying.
+    back off before retrying.  Structured admin errors
+    (:mod:`repro.serve.adminapi`) additionally carry ``code`` (a stable
+    machine-readable category such as ``"not-found"``) and ``reason`` (the
+    server-side exception class or validation rule) — branch on those
+    instead of regex-matching the message.
     """
 
     def __init__(self, status: int, message: str,
-                 retry_after_s: Optional[float] = None):
+                 retry_after_s: Optional[float] = None,
+                 code: Optional[str] = None,
+                 reason: Optional[str] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.retry_after_s = retry_after_s
+        self.code = code
+        self.reason = reason
 
 
 def _backoff_delay(attempt: int, retry_after_s: Optional[float],
@@ -268,8 +276,14 @@ class ServeClient:
                     connection.close()
             if 200 <= status < 300:
                 return json.loads(body.decode("utf-8"))
+            code = reason = None
             try:
-                message = json.loads(body.decode("utf-8")).get("error", "")
+                error = json.loads(body.decode("utf-8"))
+                message = error.get("error", "")
+                code = error.get("code")
+                reason = error.get("reason")
+                if retry_after is None and error.get("retry_after") is not None:
+                    retry_after = float(error["retry_after"])
             except Exception:                 # noqa: BLE001 - body may be empty
                 message = http.client.responses.get(status, str(status))
             if status in _BACKOFF_STATUSES and backoff + 1 < backoff_attempts:
@@ -277,8 +291,8 @@ class ServeClient:
                 time.sleep(_backoff_delay(backoff - 1, retry_after,
                                           cap_s=self.backoff_cap_s))
                 continue
-            raise ServeHTTPError(status, message,
-                                 retry_after_s=retry_after) from None
+            raise ServeHTTPError(status, message, retry_after_s=retry_after,
+                                 code=code, reason=reason) from None
 
     # ------------------------------------------------------------------ #
     def predict_response(self, inputs: np.ndarray,
@@ -357,21 +371,42 @@ class ServeClient:
         ``canary_fraction``, ``min_samples``, ``max_parity_violations``,
         ``max_latency_ratio``, ``auto``.  Not retried: a deploy is not
         idempotent."""
+        from repro.serve.adminapi import DeployRequest
+
         payload: Dict[str, object] = {"name": name, "path": str(path), **options}
         if version is not None:
             payload["version"] = version
-        return self._request("/admin/deploy", payload, idempotent=False)
+        # Round-trip through the shared wire schema: the client sends exactly
+        # the bytes the servers validate, so the two cannot drift.
+        request = DeployRequest.from_payload(payload)
+        return self._request("/admin/deploy", request.to_payload(),
+                             idempotent=False)
 
     def promote(self, name: str, version: Optional[int] = None) -> Dict:
-        payload: Dict[str, object] = {"name": name}
-        if version is not None:
-            payload["version"] = version
+        from repro.serve.adminapi import PromoteRequest
+
+        request = PromoteRequest(name=name, version=version)
         # Promoting to an explicit-or-inferred version is idempotent on the
         # serving side, but inference happens there; stay conservative.
-        return self._request("/admin/promote", payload, idempotent=False)
+        return self._request("/admin/promote", request.to_payload(),
+                             idempotent=False)
 
     def rollback(self, name: str) -> Dict:
-        return self._request("/admin/rollback", {"name": name},
+        from repro.serve.adminapi import RollbackRequest
+
+        return self._request("/admin/rollback",
+                             RollbackRequest(name=name).to_payload(),
+                             idempotent=False)
+
+    def scale(self, workers: int, reason: str = "operator") -> Dict:
+        """POST ``/admin/scale`` (pool only): pin the worker target.
+
+        With the autoscaler enabled the pin is clamped into its
+        ``[floor, ceiling]`` envelope and scaling resumes from there."""
+        from repro.serve.adminapi import ScaleRequest
+
+        request = ScaleRequest(workers=int(workers), reason=reason)
+        return self._request("/admin/scale", request.to_payload(),
                              idempotent=False)
 
     def admin_status(self) -> Dict:

@@ -1,0 +1,552 @@
+"""Multi-pool federation: a consistent-hash front router over PoolServers.
+
+The single-host stepping stone to multi-node serving: a :class:`FrontRouter`
+owns no workers and no engines — it shards *model namespaces* across member
+pools (each a :class:`~repro.serve.pool.PoolServer` or a single
+:class:`~repro.serve.server.PECANServer`, addressed by base URL) and proxies
+the existing wire protocol byte-compatibly over the PR 9 event-loop front
+end.  Nothing about the protocol changes for clients: the same
+``/predict``/``/metrics``/``/trace``/``/admin/*`` endpoints, the same JSON
+shapes, the same trace headers.
+
+Sharding
+--------
+:class:`HashRing` hashes every member onto ``ring_replicas`` virtual points
+with the same process-stable :func:`~repro.serve.cache.stable_route_hash`
+the PR 8 cache/affinity planes key on.  A request's namespace is its model's
+*base* name (``"m@v2"`` and ``"m"`` land on the same member — clients
+address both spellings of one model, and the owning pool's lifecycle plane
+is the thing that must see every verb for it).  Admin verbs route exactly
+like predict traffic, so a ``deploy``/``promote``/``rollback`` lands on the
+pool that serves the model it names.
+
+Failover
+--------
+A member that refuses connections is marked down and its arc of the ring
+flows to the survivors (consistent hashing makes the remap minimal — only
+the dead member's namespaces move).  A request that hits a connection-level
+failure retries on the next surviving member (``failover_retries`` hops);
+timeouts are never retried — the work may still be running.  A background
+prober re-admits a member the moment its ``/healthz`` answers again.
+
+Merged observability
+--------------------
+``/metrics`` returns the front's own counters plus every member's full
+payload; ``/trace?id=`` fetches the trace's spans from every member and
+returns one :func:`~repro.serve.trace.causal_sort`-merged timeline — member
+Lamport clocks are folded into the front's on every proxied response, so the
+merged order is causal, not wall-clock guesswork.
+"""
+
+from __future__ import annotations
+
+import bisect
+import http.client
+import json
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve import adminapi
+from repro.serve.cache import consistent_ring_points
+from repro.serve.config import ServeConfig
+from repro.serve.lifecycle import split_versioned
+from repro.serve.metrics import ServerMetrics
+from repro.serve.trace import (LAMPORT_HEADER, Tracer, causal_sort,
+                               parse_trace_context)
+
+__all__ = ["FrontRouter", "HashRing", "MemberPool"]
+
+
+class HashRing:
+    """Consistent hashing of namespace strings onto member URLs."""
+
+    def __init__(self, members: Sequence[str], replicas: int = 64):
+        if not members:
+            raise ValueError("a hash ring needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate federation members")
+        self.members = tuple(members)
+        self.replicas = max(1, int(replicas))
+        points: List[Tuple[int, str]] = []
+        for member in self.members:
+            points.extend((point, member)
+                          for point in consistent_ring_points(member,
+                                                              self.replicas))
+        # Ties (two members hashing onto one point) resolve lexically so
+        # every process builds the identical ring.
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [member for _, member in points]
+
+    def lookup(self, namespace: str,
+               exclude: Sequence[str] = ()) -> Optional[str]:
+        """The member owning ``namespace`` (clockwise walk, skip excluded).
+
+        Returns ``None`` only when every member is excluded.
+        """
+        from repro.serve.cache import stable_route_hash
+
+        excluded = set(exclude)
+        if len(excluded) >= len(self.members):
+            return None
+        start = bisect.bisect_left(self._points, stable_route_hash(namespace))
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in excluded:
+                return owner
+        return None
+
+    def preference(self, namespace: str) -> List[str]:
+        """Every member in failover order for ``namespace`` (deduplicated)."""
+        order: List[str] = []
+        for member in (self.lookup(namespace, exclude=order)
+                       for _ in range(len(self.members))):
+            if member is None:
+                break
+            order.append(member)
+        return order
+
+
+class MemberPool:
+    """Front-side view of one member pool."""
+
+    def __init__(self, url: str):
+        self.url = url.rstrip("/")
+        if "://" in self.url:
+            self.url = self.url.split("://", 1)[1]
+        if "/" in self.url:
+            raise ValueError(f"federation member must be host:port, got {url!r}")
+        host, _, port = self.url.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"federation member must be host:port, got {url!r}")
+        self.host = host
+        self.port = int(port)
+        self.up = True
+        self.failures = 0
+        self.proxied = 0
+        self.last_probe_at = 0.0
+        self.last_error: Optional[str] = None
+
+    def describe(self) -> Dict[str, object]:
+        return {"url": self.url, "up": self.up, "failures": self.failures,
+                "proxied": self.proxied, "last_error": self.last_error}
+
+
+class FrontRouter:
+    """Shard the serving namespace across member pools (see module docstring).
+
+    Constructed from a :class:`~repro.serve.config.ServeConfig` only — the
+    federation tier is new API and carries no deprecated flat-kwarg shim.
+    ``config.federation.members`` lists the member base addresses
+    (``host:port``); ``config.net`` configures the front's own listener.
+    """
+
+    def __init__(self, config: ServeConfig):
+        if not config.federation.members:
+            raise ValueError("federation needs at least one member "
+                             "(config.federation.members)")
+        self.config = config
+        self.host = config.net.host
+        self.port = config.net.port
+        self.http_backend = config.net.http_backend
+        self.members: Dict[str, MemberPool] = {}
+        for url in config.federation.members:
+            member = MemberPool(url)
+            self.members[member.url] = member
+        self.ring = HashRing(tuple(self.members),
+                             replicas=config.federation.ring_replicas)
+        self.failover_retries = max(0, int(config.federation.failover_retries))
+        self.timeout_s = float(config.federation.front_timeout_s)
+        self.probe_interval_s = float(config.federation.probe_interval_s)
+        self.metrics = ServerMetrics()
+        self.tracer = Tracer("front", ring_size=config.trace.trace_ring,
+                             trace_dir=(str(config.trace.trace_dir)
+                                        if config.trace.trace_dir else None),
+                             enabled=config.trace.enabled)
+        self.failovers_total = 0
+        self._lock = threading.RLock()
+        self._running = False
+        self._frontend = None
+        self._httpd = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._probe_stop = threading.Event()
+        self._probe_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "FrontRouter":
+        if self._running:
+            return self
+        self._running = True
+        self._probe_stop.clear()
+        self._probe_thread = threading.Thread(
+            target=self._probe_loop, name="repro-front-probe", daemon=True)
+        self._probe_thread.start()
+        if self.http_backend == "eventloop":
+            from repro.serve.netfront import EventLoopFrontEnd
+
+            self._frontend = EventLoopFrontEnd(
+                self.handle_http, self.host, self.port,
+                max_connections=int(self.config.net.max_connections),
+                idle_timeout_s=float(self.config.net.idle_timeout_s),
+                request_timeout_s=float(self.config.net.request_read_timeout_s),
+                io_threads=int(self.config.net.io_threads)).start()
+            self.port = self._frontend.port
+            return self
+        from repro.serve.server import _ServeHTTPServer
+
+        self._httpd = _ServeHTTPServer((self.host, self.port),
+                                       _build_front_handler(self))
+        self.port = self._httpd.server_address[1]
+        self._http_thread = threading.Thread(target=self._httpd.serve_forever,
+                                             name="repro-front-http",
+                                             daemon=True)
+        self._http_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        self._probe_stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(5.0)
+            self._probe_thread = None
+        if self._frontend is not None:
+            self._frontend.stop()
+            self._frontend = None
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+            self._http_thread = None
+        self.tracer.close()
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI."""
+        self.start()
+        try:
+            while self._running:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "FrontRouter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Member health
+    # ------------------------------------------------------------------ #
+    def _probe_loop(self) -> None:
+        while not self._probe_stop.wait(self.probe_interval_s):
+            for member in list(self.members.values()):
+                self._probe_member(member)
+
+    def _probe_member(self, member: MemberPool) -> None:
+        member.last_probe_at = time.monotonic()
+        try:
+            status, _, _ = self._exchange(member, "GET", "/healthz",
+                                          timeout_s=min(self.timeout_s, 2.0))
+            member.up = status == 200
+            if member.up:
+                member.last_error = None
+        except (ConnectionError, socket.timeout,
+                http.client.HTTPException, OSError) as exc:
+            member.up = False
+            member.last_error = f"{type(exc).__name__}: {exc}"
+
+    def _down_members(self) -> List[str]:
+        return [url for url, member in self.members.items() if not member.up]
+
+    # ------------------------------------------------------------------ #
+    # Proxying
+    # ------------------------------------------------------------------ #
+    def _exchange(self, member: MemberPool, method: str, path: str,
+                  body: Optional[bytes] = None,
+                  headers: Optional[Dict[str, str]] = None,
+                  timeout_s: Optional[float] = None,
+                  ) -> Tuple[int, bytes, Dict[str, str]]:
+        """One HTTP exchange with a member; folds its Lamport clock in."""
+        connection = http.client.HTTPConnection(
+            member.host, member.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s)
+        try:
+            send_headers = dict(headers or {})
+            if body is not None:
+                send_headers.setdefault("Content-Type", "application/json")
+            send_headers[LAMPORT_HEADER] = str(self.tracer.clock.tick())
+            connection.request(method, path, body=body, headers=send_headers)
+            response = connection.getresponse()
+            remote = response.getheader(LAMPORT_HEADER)
+            if remote is not None:
+                try:
+                    self.tracer.observe_remote(int(remote))
+                except (TypeError, ValueError):
+                    pass
+            reply_headers = {key: value for key, value in
+                             response.getheaders()
+                             if key.lower() in ("x-trace-id", "retry-after",
+                                                "x-lamport")}
+            return response.status, response.read(), reply_headers
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _forwarded_headers(headers) -> Dict[str, str]:
+        """The request headers worth forwarding through the front."""
+        if headers is None:
+            return {}
+        forwarded = {}
+        for name in ("X-Trace-Id", "X-Attempt", "X-Parent-Span", "X-Lamport",
+                     "X-No-Cache", "X-Priority", "X-Tenant", "X-Deadline-Ms",
+                     "Content-Type"):
+            value = headers.get(name)
+            if value:
+                forwarded[name] = value
+        return forwarded
+
+    def _namespace(self, model: str) -> str:
+        base, _ = split_versioned(model) if model else ("", None)
+        return base or "@default"
+
+    def route_for(self, model: str) -> List[MemberPool]:
+        """Failover-ordered live members for ``model`` (down ones last)."""
+        namespace = self._namespace(model)
+        down = set(self._down_members())
+        order = self.ring.preference(namespace)
+        live = [self.members[url] for url in order if url not in down]
+        dead = [self.members[url] for url in order if url in down]
+        # Down members stay as last resorts: the prober may be stale, and a
+        # connection refusal is cheap compared with failing the request.
+        return live + dead
+
+    def _proxy(self, method: str, path: str, model: str, body: Optional[bytes],
+               headers) -> Tuple[int, bytes, Dict[str, str]]:
+        """Route one request by namespace with connection-failure failover."""
+        candidates = self.route_for(model)
+        attempts = min(len(candidates), 1 + self.failover_retries)
+        last_error = "no federation members"
+        forwarded = self._forwarded_headers(headers)
+        for hop, member in enumerate(candidates[:attempts]):
+            span = self.tracer.start_span(
+                "front.proxy", parse_trace_context(None, headers).trace_id or None,
+                attrs={"member": member.url, "hop": hop, "model": model or None})
+            try:
+                status, payload, reply_headers = self._exchange(
+                    member, method, path, body=body, headers=forwarded)
+            except socket.timeout:
+                member.failures += 1
+                self.tracer.finish_span(span, status="timeout")
+                self.metrics.record_timeout()
+                # The member may still be computing: never re-dispatch.
+                return (504, _json_bytes(
+                    {"error": f"member {member.url} timed out; not retried",
+                     "member": member.url}), {})
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                member.failures += 1
+                member.up = False
+                member.last_error = last_error = f"{type(exc).__name__}: {exc}"
+                with self._lock:
+                    self.failovers_total += 1
+                self.tracer.finish_span(span, status="failover",
+                                        error=last_error)
+                continue
+            member.up = True
+            member.proxied += 1
+            self.tracer.finish_span(
+                span, status="ok" if status < 400 else "error",
+                http_status=status)
+            return status, payload, reply_headers
+        self.metrics.record_error()
+        return (503, _json_bytes(
+            {"error": f"no live member for model {model!r}: {last_error}",
+             "tried": [member.url for member in candidates[:attempts]]}), {})
+
+    # ------------------------------------------------------------------ #
+    # HTTP surface (same shape as PECANServer/PoolServer.handle_http)
+    # ------------------------------------------------------------------ #
+    def handle_http(self, method: str, path: str, headers,
+                    body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        from repro.serve.server import _json_response, _trace_query
+
+        if method == "GET":
+            trace_id = _trace_query(path)
+            if path == "/healthz":
+                return _json_response(200, self.health_snapshot())
+            if path == "/metrics":
+                return _json_response(200, self.metrics_snapshot())
+            if path == "/models":
+                return _json_response(200, self.models_snapshot())
+            if path == "/admin/status":
+                return _json_response(200, self.status_snapshot())
+            if trace_id is not None:
+                return _json_response(200, self.trace_snapshot(trace_id or None))
+            return _json_response(404, {"error": f"unknown path {path}"})
+        if method != "POST":
+            return _json_response(501, {"error": f"unsupported method {method}"})
+        if path.startswith("/admin/"):
+            return self._admin_http(path, body, headers)
+        if path != "/predict":
+            return _json_response(404, {"error": f"unknown path {path}"})
+        return self._predict_http(headers, body)
+
+    def _predict_http(self, headers,
+                      body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        started = time.monotonic()
+        self.metrics.record_submitted(0)
+        try:
+            payload = json.loads(body or b"{}")
+            model = str(payload.get("model") or "") \
+                if isinstance(payload, dict) else ""
+        except ValueError:
+            model = ""                 # member answers the 400 byte-compatibly
+        status, response, reply_headers = self._proxy(
+            "POST", "/predict", model, body, headers)
+        if status < 400:
+            self.metrics.record_completed(time.monotonic() - started, 0.0)
+        return status, response, reply_headers
+
+    def _admin_http(self, path: str, body: bytes,
+                    headers) -> Tuple[int, bytes, Dict[str, str]]:
+        """Admin verbs route by the model they name — except ``scale``,
+        which has no model and broadcasts to every member."""
+        try:
+            request = adminapi.parse_admin_request(path, body)
+        except adminapi.AdminError as exc:
+            return adminapi.error_response(exc)
+        if isinstance(request, adminapi.ScaleRequest):
+            results = {}
+            for url, member in self.members.items():
+                try:
+                    status, payload, _ = self._exchange(
+                        member, "POST", path, body=body)
+                    results[url] = json.loads(payload.decode("utf-8"))
+                    results[url]["status"] = status
+                except (ConnectionError, socket.timeout, ValueError,
+                        http.client.HTTPException, OSError) as exc:
+                    results[url] = {"error": f"{type(exc).__name__}: {exc}"}
+            return adminapi.json_response(200, {"members": results})
+        return self._proxy("POST", path, request.name, body, headers)
+
+    # ------------------------------------------------------------------ #
+    # Merged observability
+    # ------------------------------------------------------------------ #
+    def _fetch_members(self, path: str) -> Dict[str, Dict[str, object]]:
+        """GET ``path`` from every member concurrently."""
+        payloads: Dict[str, Dict[str, object]] = {}
+        results_lock = threading.Lock()
+
+        def fetch(member: MemberPool) -> None:
+            try:
+                status, body, _ = self._exchange(member, "GET", path,
+                                                 timeout_s=5.0)
+                payload = (json.loads(body.decode("utf-8")) if status == 200
+                           else {"error": f"HTTP {status}"})
+            except (ConnectionError, socket.timeout, ValueError,
+                    http.client.HTTPException, OSError) as exc:
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+            with results_lock:
+                payloads[member.url] = payload
+
+        threads = [threading.Thread(target=fetch, args=(member,), daemon=True)
+                   for member in self.members.values()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        return payloads
+
+    def describe_federation(self) -> Dict[str, object]:
+        with self._lock:
+            failovers = self.failovers_total
+        return {
+            "members": {url: member.describe()
+                        for url, member in self.members.items()},
+            "ring_replicas": self.ring.replicas,
+            "failovers": failovers,
+        }
+
+    def health_snapshot(self) -> Dict[str, object]:
+        members = {url: member.up for url, member in self.members.items()}
+        return {"status": "ok" if any(members.values()) else "degraded",
+                "members": members}
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        self.tracer.flush()
+        return {
+            "front": self.metrics.snapshot(),
+            "federation": self.describe_federation(),
+            "trace": self.tracer.snapshot(),
+            "members": self._fetch_members("/metrics"),
+        }
+
+    def models_snapshot(self) -> Dict[str, object]:
+        per_member = self._fetch_members("/models")
+        merged: Dict[str, object] = {"federation": self.describe_federation(),
+                                     "members": per_member}
+        models: Dict[str, object] = {}
+        for payload in per_member.values():
+            listed = payload.get("models")
+            if isinstance(listed, dict):
+                models.update(listed)
+            elif isinstance(listed, list):
+                # Both server types list models as dicts keyed by "name".
+                for entry in listed:
+                    if isinstance(entry, dict) and "name" in entry:
+                        models[str(entry["name"])] = entry
+        merged["models"] = models
+        return merged
+
+    def status_snapshot(self) -> Dict[str, object]:
+        return {"federation": self.describe_federation(),
+                "members": self._fetch_members("/admin/status")}
+
+    def trace_snapshot(self, trace_id: Optional[str] = None,
+                       limit: int = 20) -> Dict[str, object]:
+        """Lamport-merged cross-pool timeline for one trace id."""
+        if not trace_id:
+            return {"recent": self.tracer.recent_traces(limit),
+                    "trace": self.tracer.snapshot()}
+        spans = list(self.tracer.find(trace_id))
+        for payload in self._fetch_members(f"/trace?id={trace_id}").values():
+            member_spans = payload.get("spans")
+            if isinstance(member_spans, list):
+                spans.extend(member_spans)
+        return {"trace_id": trace_id, "spans": causal_sort(spans)}
+
+
+def _json_bytes(payload: Dict[str, object]) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+def _build_front_handler(front: FrontRouter):
+    """Threaded-backend shim (mirrors the pool's)."""
+    from repro.serve.server import JSONHandlerBase
+
+    class Handler(JSONHandlerBase):
+        def do_GET(self) -> None:                # noqa: N802 - stdlib signature
+            status, body, headers = front.handle_http(
+                "GET", self.path, self.headers, b"")
+            self._reply_bytes(status, body, headers=headers)
+
+        def do_POST(self) -> None:               # noqa: N802 - stdlib signature
+            body = self._read_body()
+            if body is None:
+                return
+            status, out, headers = front.handle_http(
+                "POST", self.path, self.headers, body)
+            self._reply_bytes(status, out, headers=headers)
+
+    return Handler

@@ -65,16 +65,20 @@ import signal
 import socket
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.serve import adminapi
+from repro.serve.autoscale import Autoscaler, ScaleSignals
 from repro.serve.cache import (NO_CACHE_HEADER, CachePlane, ResultCache,
                                canonical_input_hash, canonical_response_bytes,
                                splice_response, stable_route_hash)
 from repro.serve.client import ServeHTTPError
+from repro.serve.config import ServeConfig, config_from_legacy_kwargs
 from repro.serve.lifecycle import (PROMOTED, ROLLED_BACK, CanaryPolicy,
                                    LifecycleError, Rollout, RolloutGate,
                                    format_versioned, split_versioned)
@@ -194,23 +198,29 @@ def _worker_main(config: WorkerConfig, conn) -> None:
     try:
         from repro.serve.engine import BundleEngine
 
+        from repro.serve.config import ServeConfig
+
         registry = ModelRegistry(
             max_total_values=config.max_total_values,
             engine_factory=lambda path: BundleEngine(
                 path, mmap_mode=config.mmap_mode, optimize=config.optimize))
-        server = PECANServer(
-            registry=registry, host=config.host, port=0,
-            max_batch_size=config.max_batch_size, max_wait_ms=config.max_wait_ms,
+        serve_config = ServeConfig.build(
+            host=config.host, port=0,
+            max_batch_size=config.max_batch_size,
+            max_wait_ms=config.max_wait_ms,
             max_queue_depth=config.max_queue_depth,
             request_timeout_s=config.request_timeout_s,
             batch_chunk=config.batch_chunk, audit_every=config.audit_every,
             hardware_hz=config.hardware_hz,
-            qos_config=QoSConfig(batch_class_samples=config.batch_class_samples),
             trace_dir=config.trace_dir, trace_ring=config.trace_ring,
-            trace_enabled=config.trace_enabled, trace_service="worker",
-            invariant_every=config.invariant_every,
+            **{"trace.enabled": config.trace_enabled,
+               "trace.invariant_every": config.invariant_every},
             cache_mb=config.cache_mb,
             http_backend=config.http_backend)
+        serve_config.qos = QoSConfig(
+            batch_class_samples=config.batch_class_samples)
+        server = PECANServer(registry=registry, config=serve_config,
+                             trace_service="worker")
         for name, path in config.bundles:
             server.add_bundle(path, name=name, preload=config.preload)
         # A worker spawned mid-lifecycle replays the pool's promote history
@@ -248,6 +258,10 @@ def _worker_main(config: WorkerConfig, conn) -> None:
                 "responses_total": metrics.responses_total,
                 "errors_total": metrics.errors_total,
                 "rejected_total": metrics.rejected_total,
+                # Live pressure signals for the autoscaler: batcher backlog
+                # across this worker's models, and its recent p99.
+                "queue_depth": server._overload_signal()[0],
+                "p99_ms": metrics.recent_p99_ms(),
             }))
             while not admin_results.empty():
                 req, payload = admin_results.get_nowait()
@@ -309,8 +323,14 @@ class WorkerHandle:
         self.process = process
         self.conn = conn
         self.port: Optional[int] = None
-        self.state = "starting"       # starting | ready | failed | dead | stopped
+        #: starting | probing | ready | retiring | failed | dead | stopped.
+        #: ``probing``: up, awaiting the router's /healthz readiness probe
+        #: (autoscaler on).  ``retiring``: out of the rotation, draining its
+        #: outstanding requests toward a clean stop (never respawned).
+        self.state = "starting"
         self.error: Optional[str] = None
+        self.retiring = False         # scale-down victim (exit ≠ crash)
+        self.stop_sent = False        # retirement stop command delivered
         self.outstanding = 0          # in-flight proxied requests (pool lock)
         self.dispatched_total = 0
         self.proxy_failures = 0
@@ -486,91 +506,114 @@ class PoolServer:
         Per-worker serving-plane knobs, forwarded verbatim into each
         :class:`~repro.serve.server.PECANServer` (see there); ``mmap_mode="r"``
         is the pool default so workers share bundle pages.
+
+    ``PoolServer(config=ServeConfig(...))`` is the one non-deprecated
+    construction path (the ``autoscale`` section turns the fixed worker
+    count into an elastic envelope — see :mod:`repro.serve.autoscale`);
+    every flat keyword above still works for one release behind a
+    ``DeprecationWarning``, keeping its historical defaults (two workers,
+    cache off).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, *,
-                 workers: int = 2,
-                 policy: Union[str, RoutingPolicy] = "least_outstanding",
-                 heartbeat_interval_s: float = 0.25,
-                 heartbeat_timeout_s: float = 3.0,
-                 start_timeout_s: float = 60.0,
-                 proxy_retries: int = 2,
-                 proxy_timeout_s: float = 60.0,
-                 start_method: str = "spawn",
-                 mmap_mode: Optional[str] = "r",
-                 max_batch_size: int = 32, max_wait_ms: float = 5.0,
-                 max_queue_depth: int = 256,
-                 request_timeout_s: Optional[float] = 30.0,
-                 batch_chunk: Optional[int] = None,
-                 audit_every: int = 0,
-                 optimize: bool = False,
-                 max_total_values: Optional[int] = None,
-                 hardware_hz: Optional[float] = None,
-                 preload: bool = True,
-                 qos_config: Optional[QoSConfig] = None,
-                 trace_dir: Optional[str] = None,
-                 trace_ring: int = 2048,
-                 trace_enabled: bool = True,
-                 invariant_every: int = 16,
-                 monitor_trips_gate: bool = True,
-                 cache_mb: float = 0.0,
-                 cache_check_every: int = 64,
-                 http_backend: str = "eventloop",
-                 max_connections: int = 512,
-                 idle_timeout_s: float = 30.0,
-                 request_read_timeout_s: float = 10.0,
-                 io_threads: int = 32):
-        if workers < 1:
+    #: Flat kwargs the deprecated constructor accepts (the pre-config
+    #: signature, verbatim).
+    _LEGACY_KWARGS = (
+        "host", "port", "workers", "policy", "heartbeat_interval_s",
+        "heartbeat_timeout_s", "start_timeout_s", "proxy_retries",
+        "proxy_timeout_s", "start_method", "mmap_mode", "max_batch_size",
+        "max_wait_ms", "max_queue_depth", "request_timeout_s", "batch_chunk",
+        "audit_every", "optimize", "max_total_values", "hardware_hz",
+        "preload", "qos_config", "trace_dir", "trace_ring", "trace_enabled",
+        "invariant_every", "monitor_trips_gate", "cache_mb",
+        "cache_check_every", "http_backend", "max_connections",
+        "idle_timeout_s", "request_read_timeout_s", "io_threads",
+        "autoscale_config")
+
+    def __init__(self, host: Optional[str] = None, port: Optional[int] = None,
+                 *, config: Optional[ServeConfig] = None, **legacy):
+        if host is not None:
+            legacy["host"] = host
+        if port is not None:
+            legacy["port"] = port
+        if config is not None and legacy:
+            raise TypeError(
+                "PoolServer takes either config=ServeConfig(...) or flat "
+                f"keyword arguments, not both (got {sorted(legacy)})")
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    "PoolServer(**kwargs) is deprecated; pass "
+                    "config=ServeConfig(...) (see repro.serve.config)",
+                    DeprecationWarning, stacklevel=2)
+            config = config_from_legacy_kwargs(
+                "pool", legacy, allowed=self._LEGACY_KWARGS)
+        if config.pool.workers < 1:
             raise ValueError("a pool needs at least one worker")
-        if http_backend not in ("eventloop", "threaded"):
+        if config.net.http_backend not in ("eventloop", "threaded"):
             raise ValueError(
-                f"unknown http_backend {http_backend!r} "
+                f"unknown http_backend {config.net.http_backend!r} "
                 "(expected 'eventloop' or 'threaded')")
-        self.host = host
-        self.port = port
-        self.http_backend = http_backend
-        self.max_connections = int(max_connections)
-        self.idle_timeout_s = float(idle_timeout_s)
-        self.request_read_timeout_s = float(request_read_timeout_s)
-        self.io_threads = int(io_threads)
-        self.num_workers = int(workers)
-        self.policy = make_policy(policy)
+        self.config = config
+        self.host = config.net.host
+        self.port = config.net.port
+        self.http_backend = config.net.http_backend
+        self.max_connections = int(config.net.max_connections)
+        self.idle_timeout_s = float(config.net.idle_timeout_s)
+        self.request_read_timeout_s = float(config.net.request_read_timeout_s)
+        self.io_threads = int(config.net.io_threads)
+        self.num_workers = int(config.pool.workers)
+        self.policy = make_policy(config.pool.policy)
         #: The QoS plane: weighted-fair dispatch slots, per-tenant token
         #: buckets and the overload brownout controller, all living at the
         #: router (workers run their own per-process brownout too).
-        self.qos_config = qos_config if qos_config is not None else QoSConfig()
+        self.qos_config = config.qos
         self.fair_scheduler = self.qos_config.make_fair_scheduler(self.num_workers)
         self.rate_limits = self.qos_config.make_buckets()
         self.brownout = self.qos_config.make_brownout(self._overload_signal)
-        self.heartbeat_interval_s = heartbeat_interval_s
-        self.heartbeat_timeout_s = heartbeat_timeout_s
-        self.start_timeout_s = start_timeout_s
-        self.proxy_retries = proxy_retries
-        self.proxy_timeout_s = proxy_timeout_s
-        self.start_method = start_method
-        self.mmap_mode = mmap_mode
+        self.heartbeat_interval_s = config.pool.heartbeat_interval_s
+        self.heartbeat_timeout_s = config.pool.heartbeat_timeout_s
+        self.start_timeout_s = config.pool.start_timeout_s
+        self.proxy_retries = config.pool.proxy_retries
+        self.proxy_timeout_s = config.pool.proxy_timeout_s
+        self.start_method = config.pool.start_method
+        self.mmap_mode = config.engine.mmap_mode
+        trace_dir = config.trace.trace_dir
         self._worker_options = dict(
-            max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
-            max_queue_depth=max_queue_depth, request_timeout_s=request_timeout_s,
-            batch_chunk=batch_chunk, audit_every=audit_every, optimize=optimize,
-            max_total_values=max_total_values, hardware_hz=hardware_hz,
-            preload=preload,
-            batch_class_samples=(qos_config.batch_class_samples
-                                 if qos_config is not None else None),
+            max_batch_size=config.engine.max_batch_size,
+            max_wait_ms=config.engine.max_wait_ms,
+            max_queue_depth=config.engine.max_queue_depth,
+            request_timeout_s=config.engine.request_timeout_s,
+            batch_chunk=config.engine.batch_chunk,
+            audit_every=config.engine.audit_every,
+            optimize=config.engine.optimize,
+            max_total_values=config.engine.max_total_values,
+            hardware_hz=config.engine.hardware_hz,
+            preload=config.lifecycle.preload,
+            batch_class_samples=self.qos_config.batch_class_samples,
             trace_dir=(str(trace_dir) if trace_dir else None),
-            trace_ring=trace_ring, trace_enabled=trace_enabled,
-            invariant_every=invariant_every,
-            http_backend=http_backend)
+            trace_ring=config.trace.trace_ring,
+            trace_enabled=config.trace.enabled,
+            invariant_every=config.trace.invariant_every,
+            http_backend=config.net.http_backend)
+        #: Elastic worker-target policy; ``None`` for a fixed-size pool.
+        #: The autoscaler owns the *target*, the monitor loop owns the
+        #: mechanics (spawn / probe / retire), the crash-loop breaker stays
+        #: authoritative over every spawn.
+        self.autoscale_config = config.autoscale
+        self.autoscaler: Optional[Autoscaler] = (
+            Autoscaler(config.autoscale, start_workers=self.num_workers)
+            if config.autoscale.enabled else None)
         self.metrics = ServerMetrics()           # router-side (end-to-end view)
         #: Router-side tracing + runtime verification.  The router's monitor
         #: samples proxied responses; violations against a base with an
         #: in-canary rollout spend that rollout's gate budget (see
         #: ``_on_violation``) when ``monitor_trips_gate`` is set.
-        self.tracer = Tracer("router", ring_size=trace_ring,
+        self.tracer = Tracer("router", ring_size=config.trace.trace_ring,
                              trace_dir=(str(trace_dir) if trace_dir else None),
-                             enabled=trace_enabled)
-        self.monitor_trips_gate = bool(monitor_trips_gate)
-        self.monitor = InvariantMonitor(invariant_every, tracer=self.tracer,
+                             enabled=config.trace.enabled)
+        self.monitor_trips_gate = bool(config.pool.monitor_trips_gate)
+        self.monitor = InvariantMonitor(config.trace.invariant_every,
+                                        tracer=self.tracer,
                                         on_violation=self._on_violation)
         #: Deterministic response cache + in-flight coalescing (``cache_mb``
         #: MiB of canonical response bytes; 0 disables).  Exactness is free:
@@ -580,9 +623,10 @@ class PoolServer:
         #: active.  Every ``cache_check_every``-th hit is additionally
         #: re-executed on a worker and compared bitwise by the invariant
         #: monitor (``cache_parity``); 0 disables the probes.
+        cache_mb = config.cache.effective_mb
         self.cache: Optional[ResultCache] = (
             ResultCache(int(cache_mb * 1024 * 1024)) if cache_mb > 0 else None)
-        self.cache_check_every = max(0, int(cache_check_every))
+        self.cache_check_every = max(0, int(config.cache.cache_check_every))
         self._cache_checks = itertools.count(1)
         #: Proxied-response status families (router lock): a worker-side
         #: failure storm (429s, 5xxs) must be visible at the router even
@@ -843,12 +887,17 @@ class PoolServer:
                     return
                 kind, payload = worker.conn.recv()
             except (EOFError, BrokenPipeError, OSError):
-                if worker.state in ("starting", "ready"):
+                if worker.state in ("starting", "probing", "ready", "retiring"):
                     worker.state = "dead"
                 return
             if kind == "ready":
                 worker.port = payload["port"]
-                worker.state = "ready"
+                # With the autoscaler on, a worker that reports ready still
+                # has to answer a real /healthz over HTTP before it joins the
+                # rotation — the control pipe proves the process came up, the
+                # probe proves the serving plane does.
+                worker.state = ("probing" if self.autoscaler is not None
+                                else "ready")
                 worker.last_heartbeat = time.monotonic()
                 self._consecutive_failures = 0
             elif kind == "heartbeat":
@@ -872,20 +921,26 @@ class PoolServer:
             replacements: List[Tuple[WorkerHandle, str]] = []
             for worker in workers:
                 self._drain_messages(worker)
-                if worker.state in ("starting", "ready"):
+                if worker.state == "probing":
+                    self._probe_worker(worker)
+                if worker.state == "retiring":
+                    self._advance_retirement(worker)
+                if worker.state in ("starting", "probing", "ready", "retiring"):
                     if worker.process.exitcode is not None:
                         worker.state = "dead"
                         worker.error = f"exited with code {worker.process.exitcode}"
                     else:
                         silence = now - worker.last_heartbeat
-                        budget = (self.heartbeat_timeout_s if worker.state == "ready"
-                                  else self.start_timeout_s)
+                        budget = (self.start_timeout_s
+                                  if worker.state == "starting"
+                                  else self.heartbeat_timeout_s)
                         if silence > budget:
                             worker.state = "dead"
                             worker.error = (f"no heartbeat for {silence:.1f}s "
                                             f"(budget {budget:.1f}s); killed")
                             worker.process.terminate()
-                if worker.state in ("dead", "failed"):
+                if worker.state in ("dead", "failed") or (
+                        worker.state == "stopped" and worker.retiring):
                     replacements.append((worker, worker.state))
             for worker, cause in replacements:
                 if worker.process.exitcode is None:
@@ -898,12 +953,128 @@ class PoolServer:
                     if worker in self._workers:
                         self._workers.remove(worker)
                     if (self._running and not self._draining
-                            and cause == "dead" and self._respawn_allowed()):
+                            and cause == "dead" and not worker.retiring
+                            and self._respawn_allowed()):
                         # A clean startup failure ("failed") is deterministic
-                        # and not respawned; a crash/hang is.
+                        # and not respawned; a crash/hang is.  A retiring
+                        # worker's exit is the *point* — never respawned.
                         self._consecutive_failures += 1
                         self.restarts_total += 1
                         self._workers.append(self._spawn_worker())
+            if (self.autoscaler is not None and self._running
+                    and not self._draining):
+                decision = self.autoscaler.observe(self._scale_signals())
+                if decision is not None:
+                    self._apply_scale_target(decision.target, decision.reason)
+
+    def _probe_worker(self, worker: WorkerHandle) -> None:
+        """Health-probe a worker that reported ready; pass → rotation."""
+        try:
+            status, _ = self._forward(
+                worker, "GET", "/healthz",
+                timeout_s=self.autoscale_config.probe_timeout_s)
+        except (ConnectionError, socket.timeout, http.client.HTTPException,
+                OSError):
+            # Not answering yet: the heartbeat budget decides when a
+            # perpetually unprobeable worker is declared dead.
+            return
+        if status == 200:
+            worker.state = "ready"
+            self._consecutive_failures = 0
+        else:
+            worker.state = "failed"
+            worker.error = f"readiness probe answered {status}"
+
+    def _advance_retirement(self, worker: WorkerHandle) -> None:
+        """Drain-then-stop one retiring worker (PR4 drain path, per worker).
+
+        A retiring worker is already out of the rotation (only ``ready``
+        workers are routable); once its outstanding proxied requests hit
+        zero it gets a clean ``stop`` — the worker drains its batchers and
+        exits, and the monitor reaps it without respawning.
+        """
+        with self._lock:
+            busy = worker.outstanding > 0
+        if busy or worker.stop_sent:
+            return
+        try:
+            worker.conn.send({"cmd": "stop"})
+            worker.stop_sent = True
+        except (BrokenPipeError, OSError):
+            worker.state = "dead"
+
+    def _scale_signals(self) -> ScaleSignals:
+        """One autoscaler observation from the live signal planes."""
+        worker_queue = 0.0
+        with self._lock:
+            states = [worker.state for worker in self._workers]
+            inflight = self._inflight
+            for worker in self._workers:
+                worker_queue += float(worker.heartbeat.get("queue_depth", 0))
+        return ScaleSignals(
+            ready=states.count("ready"),
+            starting=states.count("starting") + states.count("probing"),
+            retiring=states.count("retiring"),
+            queue_depth=self.fair_scheduler.snapshot()["waiting"] + worker_queue,
+            inflight=inflight,
+            p99_ms=self.metrics.recent_p99_ms(),
+            p99_slo_ms=self.qos_config.p99_slo_ms)
+
+    def _apply_scale_target(self, target: int, reason: str) -> Dict[str, object]:
+        """Reconcile the live worker set toward ``target`` (spawn / retire).
+
+        Growing spawns immediately (new workers still walk the
+        starting → probing → ready ladder before taking traffic); shrinking
+        flips the youngest idle-most ``ready`` workers to ``retiring``, which
+        removes them from the rotation now and stops them once drained.
+        """
+        spawned = 0
+        retired = 0
+        with self._lock:
+            live = [worker for worker in self._workers
+                    if worker.state in ("starting", "probing", "ready")]
+            delta = int(target) - len(live)
+            if delta > 0:
+                for _ in range(delta):
+                    if not self._respawn_allowed():
+                        break
+                    self._workers.append(self._spawn_worker())
+                    spawned += 1
+            elif delta < 0:
+                ready = sorted(
+                    [worker for worker in live if worker.state == "ready"],
+                    key=lambda worker: (worker.outstanding, -worker.id))
+                for worker in ready[:-delta]:
+                    worker.state = "retiring"
+                    worker.retiring = True
+                    retired += 1
+            self.num_workers = int(target)
+        # Fairness slots follow capacity so admission pressure is measured
+        # against what the pool can actually dispatch.
+        self.fair_scheduler.resize(
+            self.qos_config.slots_per_worker * max(1, int(target)))
+        if spawned or retired:
+            self.tracer.event("pool.scale", attrs={
+                "reason": reason, "target": int(target),
+                "spawned": spawned, "retired": retired})
+        return {"workers": int(target), "spawned": spawned,
+                "retired": retired, "reason": reason}
+
+    def scale_to(self, workers: int, reason: str = "operator") -> Dict[str, object]:
+        """Pin the worker target (``/admin/scale``); autoscale-envelope aware.
+
+        With the autoscaler on, the pin lands inside its
+        ``[floor, ceiling]`` envelope and the control loop keeps adjusting
+        from there; without it, this is a plain one-shot resize.
+        """
+        if not self._running:
+            raise LifecycleError("pool is not running")
+        if self.autoscaler is not None:
+            decision = self.autoscaler.pin(int(workers), reason=reason)
+            return self._apply_scale_target(decision.target, reason)
+        if int(workers) < 1:
+            raise ValueError("a pool needs at least one worker")
+        return self._apply_scale_target(int(workers), reason)
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -963,8 +1134,7 @@ class PoolServer:
         protocol is identical across backends (and to the single-process
         server's).
         """
-        from repro.serve.server import (_admin_dispatch, _json_response,
-                                        _parse_admin_body, _trace_query)
+        from repro.serve.server import _json_response, _trace_query
 
         if method == "GET":
             trace_id = _trace_query(path)
@@ -982,32 +1152,18 @@ class PoolServer:
         if method != "POST":
             return _json_response(501, {"error": f"unsupported method {method}"})
         if path.startswith("/admin/"):
-            payload, error = _parse_admin_body(body)
-            if error is not None:
-                return error
-            collect: Dict[str, Tuple[int, bytes, Dict[str, str]]] = {}
-
-            def reply(status, payload, headers=None):
-                collect["response"] = _json_response(status, payload, headers)
-
-            _admin_dispatch(
-                reply, path, payload,
-                deploy=lambda p: self.deploy(
-                    p["name"], p["path"], version=p.get("version"),
-                    canary_fraction=float(p.get("canary_fraction", 0.25)),
-                    min_samples=int(p.get("min_samples", 20)),
-                    max_parity_violations=int(p.get("max_parity_violations", 0)),
-                    # Distinguish "absent" (default ratio) from explicit null
-                    # (latency gate disabled).
-                    max_latency_ratio=(
-                        (None if p["max_latency_ratio"] is None
-                         else float(p["max_latency_ratio"]))
-                        if "max_latency_ratio" in p else 3.0),
-                    auto=bool(p.get("auto", True))),
-                promote=lambda p: self.promote(p["name"],
-                                               version=p.get("version")),
-                rollback=lambda p: self.rollback(p["name"]))
-            return collect["response"]
+            return adminapi.dispatch_admin(path, body, {
+                "deploy": lambda r: self.deploy(
+                    r.name, r.path, version=r.version,
+                    canary_fraction=r.canary_fraction,
+                    min_samples=r.min_samples,
+                    max_parity_violations=r.max_parity_violations,
+                    max_latency_ratio=r.max_latency_ratio,
+                    auto=r.auto),
+                "promote": lambda r: self.promote(r.name, version=r.version),
+                "rollback": lambda r: self.rollback(r.name),
+                "scale": lambda r: self.scale_to(r.workers, reason=r.reason),
+            })
         if path != "/predict":
             return _json_response(404, {"error": f"unknown path {path}"})
         try:
@@ -1393,6 +1549,18 @@ class PoolServer:
         threading.Thread(target=verify, name="repro-pool-cache-verify",
                          daemon=True).start()
 
+    def _cold_start_wait(self, started: float) -> None:
+        """Block one request while an empty pool spins a worker back up."""
+        decision = self.autoscaler.wake()
+        if decision is not None:
+            self._apply_scale_target(decision.target, decision.reason)
+        deadline = started + self.autoscale_config.cold_start_timeout_s
+        while (self._running and not self._draining
+               and time.monotonic() < deadline):
+            if self.ready_workers():
+                return
+            time.sleep(0.02)
+
     def _dispatch_with_retries(self, body: bytes, model: str,
                                record: bool = True,
                                qos: Optional[RequestQoS] = None,
@@ -1406,6 +1574,11 @@ class PoolServer:
         tried = set()
         last_error = "no ready workers"
         trace_id = ctx.trace_id if ctx is not None else None
+        if self.autoscaler is not None and not self.ready_workers():
+            # Scale-to-zero cold start: wake the autoscaler (spawning is an
+            # mmap-backed bundle open, not a decompress) and wait for the
+            # first worker to pass its probe instead of failing the request.
+            self._cold_start_wait(started)
         for hop in range(max(1, self.proxy_retries + 1)):
             candidates = [worker for worker in self.ready_workers()
                           if worker.id not in tried]
@@ -2054,6 +2227,9 @@ class PoolServer:
                       else {"enabled": False}),
             "frontend": (self._frontend.stats() if self._frontend is not None
                          else {"backend": self.http_backend}),
+            "autoscale": (self.autoscaler.snapshot()
+                          if self.autoscaler is not None
+                          else {"enabled": False}),
             "pool": self.describe_pool(),
             "lifecycle": lifecycle,
             "workers": per_worker,

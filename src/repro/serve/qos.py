@@ -465,6 +465,18 @@ class FairScheduler:
             self._active -= 1
             self._grant_slots()
 
+    def resize(self, slots: int) -> int:
+        """Change the dispatch-slot count in place (elastic pools).
+
+        Growing grants queued waiters immediately; shrinking never cancels
+        in-flight work — ``_active`` drains below the new bound naturally as
+        requests release.  Returns the new slot count.
+        """
+        with self._cond:
+            self.slots = max(1, int(slots))
+            self._grant_slots()
+            return self.slots
+
     def snapshot(self) -> Dict[str, object]:
         with self._cond:
             per_class = {
@@ -701,6 +713,20 @@ class BrownoutController:
 # --------------------------------------------------------------------------- #
 # Configuration bundle
 # --------------------------------------------------------------------------- #
+def _knob(default, **serve):
+    """A dataclass field carrying the serve-flag metadata convention.
+
+    The ``"serve"`` metadata key is read by :mod:`repro.serve.config`, which
+    reuses :class:`QoSConfig` verbatim as the ``qos`` section of
+    :class:`~repro.serve.config.ServeConfig` and generates the CLI flags,
+    ``--help`` text and reference-table rows from it — one source of truth,
+    so a QoS knob and its flag can never drift.
+    """
+    if callable(default):
+        return field(default_factory=default, metadata={"serve": serve})
+    return field(default=default, metadata={"serve": serve})
+
+
 @dataclass
 class QoSConfig:
     """Every QoS knob in one picklable bag (crosses the pool spawn boundary).
@@ -714,31 +740,68 @@ class QoSConfig:
 
     #: Concurrent proxied dispatches per ready worker (router slots =
     #: ``slots_per_worker × workers``).
-    slots_per_worker: int = 4
+    slots_per_worker: int = _knob(
+        4, parse=int,
+        help="concurrent dispatch slots per worker in the weighted-fair "
+             "scheduler (pool mode)")
     #: Bound on requests waiting for a dispatch slot.
-    max_waiting: int = 256
+    max_waiting: int = _knob(
+        256, parse=int,
+        help="router waiting-room size; overflow sheds lowest-priority "
+             "first with 429")
     #: Fraction of the waiting room batch-class requests may occupy.
-    batch_waiting_fraction: float = 0.5
+    batch_waiting_fraction: float = _knob(
+        0.5, parse=float,
+        help="fraction of the waiting room batch-class requests may occupy")
     #: Default per-tenant token rate (requests/s); ``None`` = unlimited.
-    tenant_rate: Optional[float] = None
-    tenant_burst: float = 8.0
+    tenant_rate: Optional[float] = _knob(
+        None, parse=float,
+        help="per-tenant request rate limit (requests/s; token bucket); "
+             "unset disables rate limiting")
+    tenant_burst: float = _knob(
+        8.0, parse=float, help="token-bucket burst per tenant")
     #: Per-tenant rate overrides, e.g. ``{"free-tier": 5.0}``.
-    tenant_rates: Mapping[str, float] = field(default_factory=dict)
+    tenant_rates: Mapping[str, float] = _knob(
+        dict, flag=None,
+        help="per-tenant rate overrides, e.g. {\"free-tier\": 5.0}")
     #: Weighted-fair shares, e.g. ``{"gold": 4.0}``; default weight 1.
-    tenant_weights: Mapping[str, float] = field(default_factory=dict)
+    tenant_weights: Mapping[str, float] = _knob(
+        dict, flag=None,
+        help="weighted-fair tenant shares, e.g. {\"gold\": 4.0}; "
+             "default weight 1")
     #: Brownout: queue depth that maps to load 1.0.
-    queue_high: float = 32.0
+    queue_high: float = _knob(
+        32.0, parse=float,
+        help="queue depth the brownout controller treats as load 1.0")
     #: Brownout: p99 SLO in ms (``None`` disables the latency signal).
-    p99_slo_ms: Optional[float] = None
-    alpha: float = 0.3
-    shed_standard_at: float = 1.6
-    emergency_at: float = 3.0
-    recover_at: float = 0.7
-    min_dwell_s: float = 0.5
+    p99_slo_ms: Optional[float] = _knob(
+        None, parse=float,
+        help="p99 latency SLO; sustained breaches drive the brownout "
+             "controller through shed-batch / shed-standard / emergency")
+    alpha: float = _knob(
+        0.3, flag="--brownout_alpha", parse=float,
+        help="EWMA smoothing factor for the brownout load signals")
+    shed_standard_at: float = _knob(
+        1.6, parse=float,
+        help="brownout load score at which standard-class traffic sheds")
+    emergency_at: float = _knob(
+        3.0, parse=float,
+        help="brownout load score at which all traffic sheds (breaker of "
+             "last resort)")
+    recover_at: float = _knob(
+        0.7, parse=float,
+        help="brownout load score below which the controller steps back "
+             "toward healthy")
+    min_dwell_s: float = _knob(
+        0.5, flag="--brownout_min_dwell_s", parse=float,
+        help="minimum dwell per brownout state (flap damping)")
     #: Batcher: bulk-class sample budget per dispatched micro-batch
     #: (``None`` → ``max(1, max_batch_size // 4)``); what keeps an
     #: interactive arrival from waiting behind a full batch of bulk work.
-    batch_class_samples: Optional[int] = None
+    batch_class_samples: Optional[int] = _knob(
+        None, parse=int,
+        help="per-micro-batch sample budget for batch-class work "
+             "(default max_batch_size // 4)")
 
     def make_brownout(self, signal_fn) -> BrownoutController:
         return BrownoutController(

@@ -489,15 +489,12 @@ class DynamicBatcher:
         finished = time.monotonic()
         for request in live:
             request.infer_seconds = infer_seconds
-            request.set_result(outputs[offset:offset + request.num_samples])
-            offset += request.num_samples
-            self.metrics.record_completed(finished - request.submitted_at,
-                                          request.queue_seconds,
-                                          priority=request.priority,
-                                          tenant=request.tenant)
             if self.tracer is not None and request.trace_id:
                 # Recorded post-hoc so span bookkeeping stays off the timed
-                # inference path; the wall start is back-dated to the batch's.
+                # inference path (infer_seconds is already measured), but
+                # BEFORE set_result releases the waiting client — otherwise
+                # an immediate /trace fetch can race the span's append.  The
+                # wall start is back-dated to the batch's.
                 span = self.tracer.start_span(
                     "batch.infer", request.trace_id,
                     parent_id=request.parent_span,
@@ -507,6 +504,12 @@ class DynamicBatcher:
                 if span is not None:
                     span.start_time = wall_started
                 self.tracer.finish_span(span)
+            request.set_result(outputs[offset:offset + request.num_samples])
+            offset += request.num_samples
+            self.metrics.record_completed(finished - request.submitted_at,
+                                          request.queue_seconds,
+                                          priority=request.priority,
+                                          tenant=request.tenant)
         if self.on_batch is not None:
             try:
                 self.on_batch(inputs, outputs)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -42,9 +43,11 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.serve import adminapi
 from repro.serve.auditor import ParityAuditor
 from repro.serve.cache import (NO_CACHE_HEADER, CachePlane, ResultCache,
                                canonical_input_hash, canonical_response_bytes)
+from repro.serve.config import ServeConfig, config_from_legacy_kwargs
 from repro.serve.engine import BundleEngine
 from repro.serve.invariants import InvariantMonitor
 from repro.serve.lifecycle import (LifecycleError, format_versioned,
@@ -193,48 +196,69 @@ class PECANServer:
         ``connection-budget``), the keep-alive idle reaping horizon, the
         slowloris guard (a half-received request older than this gets 408)
         and the application-thread pool size.
+
+    ``PECANServer(config=ServeConfig(...))`` is the one non-deprecated
+    construction path; every flat keyword above still works for one release
+    behind a ``DeprecationWarning`` (legacy calls keep their historical
+    defaults, e.g. the response cache stays off unless ``cache_mb`` is
+    passed).  ``registry`` and ``trace_service`` are identity, not
+    configuration, and stay real parameters on both paths.
     """
 
+    #: Flat kwargs the deprecated constructor accepts (the pre-config
+    #: signature, verbatim).
+    _LEGACY_KWARGS = (
+        "host", "port", "max_batch_size", "max_wait_ms", "max_queue_depth",
+        "request_timeout_s", "batch_chunk", "audit_every", "hardware_hz",
+        "qos_config", "trace_dir", "trace_ring", "trace_enabled",
+        "invariant_every", "cache_mb", "http_backend", "max_connections",
+        "idle_timeout_s", "request_read_timeout_s", "io_threads")
+
+    _CONFIG_KIND = "server"
+
     def __init__(self, registry: Optional[ModelRegistry] = None,
-                 host: str = "127.0.0.1", port: int = 8080, *,
-                 max_batch_size: int = 32, max_wait_ms: float = 5.0,
-                 max_queue_depth: int = 256,
-                 request_timeout_s: Optional[float] = 30.0,
-                 batch_chunk: Optional[int] = None,
-                 audit_every: int = 0,
-                 hardware_hz: Optional[float] = None,
-                 qos_config: Optional[QoSConfig] = None,
-                 trace_dir: Optional[str] = None,
-                 trace_ring: int = 2048,
-                 trace_enabled: bool = True,
+                 host: Optional[str] = None, port: Optional[int] = None, *,
+                 config: Optional[ServeConfig] = None,
                  trace_service: str = "server",
-                 invariant_every: int = 16,
-                 cache_mb: float = 0.0,
-                 http_backend: str = "eventloop",
-                 max_connections: int = 512,
-                 idle_timeout_s: float = 30.0,
-                 request_read_timeout_s: float = 10.0,
-                 io_threads: int = 32):
-        if http_backend not in ("eventloop", "threaded"):
+                 **legacy):
+        if host is not None:
+            legacy["host"] = host
+        if port is not None:
+            legacy["port"] = port
+        if config is not None and legacy:
+            raise TypeError(
+                f"{type(self).__name__} takes either config=ServeConfig(...) "
+                f"or flat keyword arguments, not both "
+                f"(got {sorted(legacy)})")
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    f"{type(self).__name__}(**kwargs) is deprecated; pass "
+                    f"config=ServeConfig(...) (see repro.serve.config)",
+                    DeprecationWarning, stacklevel=2)
+            config = config_from_legacy_kwargs(
+                self._CONFIG_KIND, legacy, allowed=self._LEGACY_KWARGS)
+        if config.net.http_backend not in ("eventloop", "threaded"):
             raise ValueError(
-                f"unknown http_backend {http_backend!r} "
+                f"unknown http_backend {config.net.http_backend!r} "
                 "(expected 'eventloop' or 'threaded')")
+        self.config = config
         self.registry = registry if registry is not None else ModelRegistry()
-        self.host = host
-        self.port = port
-        self.http_backend = http_backend
-        self.max_connections = int(max_connections)
-        self.idle_timeout_s = float(idle_timeout_s)
-        self.request_read_timeout_s = float(request_read_timeout_s)
-        self.io_threads = int(io_threads)
-        self.max_batch_size = max_batch_size
-        self.max_wait_ms = max_wait_ms
-        self.max_queue_depth = max_queue_depth
-        self.request_timeout_s = request_timeout_s
-        self.batch_chunk = batch_chunk
-        self.audit_every = audit_every
-        self.hardware_hz = hardware_hz
-        self.qos_config = qos_config if qos_config is not None else QoSConfig()
+        self.host = config.net.host
+        self.port = config.net.port
+        self.http_backend = config.net.http_backend
+        self.max_connections = int(config.net.max_connections)
+        self.idle_timeout_s = float(config.net.idle_timeout_s)
+        self.request_read_timeout_s = float(config.net.request_read_timeout_s)
+        self.io_threads = int(config.net.io_threads)
+        self.max_batch_size = config.engine.max_batch_size
+        self.max_wait_ms = config.engine.max_wait_ms
+        self.max_queue_depth = config.engine.max_queue_depth
+        self.request_timeout_s = config.engine.request_timeout_s
+        self.batch_chunk = config.engine.batch_chunk
+        self.audit_every = config.engine.audit_every
+        self.hardware_hz = config.engine.hardware_hz
+        self.qos_config = config.qos
         self.metrics = ServerMetrics()
         #: Per-process injected inference latency (seconds); the pool's
         #: ``slow`` fault sets this so overload paths are chaos-testable
@@ -246,11 +270,14 @@ class PECANServer:
         #: parity) without touching the engine.
         self.corrupt_logits = False
         #: Tracing + runtime verification.
-        self.tracer = Tracer(trace_service, ring_size=trace_ring,
-                             trace_dir=trace_dir, enabled=trace_enabled)
-        self.monitor = InvariantMonitor(invariant_every, tracer=self.tracer)
+        self.tracer = Tracer(trace_service, ring_size=config.trace.trace_ring,
+                             trace_dir=config.trace.trace_dir,
+                             enabled=config.trace.enabled)
+        self.monitor = InvariantMonitor(config.trace.invariant_every,
+                                        tracer=self.tracer)
         #: Deterministic response cache + in-flight coalescing (see class
         #: docstring); ``None`` when disabled.
+        cache_mb = config.cache.effective_mb
         self.cache: Optional[ResultCache] = (
             ResultCache(int(cache_mb * 1024 * 1024)) if cache_mb > 0 else None)
         #: Overload brownout: queue depth across all batchers + recent p99.
@@ -823,23 +850,18 @@ class PECANServer:
 
     def _admin_http(self, path: str,
                     body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
-        payload, error = _parse_admin_body(body)
-        if error is not None:
-            return error
-        collect: Dict[str, Tuple[int, bytes, Dict[str, str]]] = {}
+        """``/admin/*`` POSTs through the shared typed schemas.
 
-        def reply(status, payload, headers=None):
-            collect["response"] = _json_response(status, payload, headers)
-
-        _admin_dispatch(
-            reply, path, payload,
-            deploy=lambda p: {"deployed": self.deploy_bundle(
-                p["path"], name=p["name"], version=p.get("version"),
-                preload=bool(p.get("preload", True)))},
-            promote=lambda p: self.promote(p["name"],
-                                           version=p.get("version")),
-            rollback=lambda p: self.rollback(p["name"]))
-        return collect["response"]
+        The single server ignores the canary-gate fields of
+        :class:`~repro.serve.adminapi.DeployRequest` (there is no traffic
+        splitter here) and does not implement ``scale`` — the pool does.
+        """
+        return adminapi.dispatch_admin(path, body, {
+            "deploy": lambda r: {"deployed": self.deploy_bundle(
+                r.path, name=r.name, version=r.version, preload=r.preload)},
+            "promote": lambda r: self.promote(r.name, version=r.version),
+            "rollback": lambda r: self.rollback(r.name),
+        })
 
     def _predict_http(self, headers,
                       body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
@@ -1070,17 +1092,6 @@ def _shed_response(exc, trace_id: Optional[str] = None,
     return _json_response(exc.status, payload, headers)
 
 
-def _parse_admin_body(body: bytes):
-    """``(payload, None)`` or ``(None, error-response-triple)``."""
-    try:
-        payload = json.loads(body or b"{}")
-        if not isinstance(payload, dict):
-            raise ValueError("admin body must be a JSON object")
-    except (ValueError, json.JSONDecodeError) as exc:
-        return None, _json_response(400, {"error": str(exc)})
-    return payload, None
-
-
 def _trace_query(path: str) -> Optional[str]:
     """``"/trace?id=abc"`` → ``"abc"``; ``"/trace"`` → ``""``; else ``None``."""
     from urllib.parse import parse_qs, urlparse
@@ -1090,38 +1101,6 @@ def _trace_query(path: str) -> Optional[str]:
         return None
     values = parse_qs(parsed.query).get("id", [])
     return values[0] if values else ""
-
-
-def _admin_dispatch(reply, path: str, payload: Dict[str, object],
-                    deploy, promote, rollback) -> None:
-    """Shared ``/admin/*`` POST dispatch for the single server and the pool.
-
-    ``deploy/promote/rollback`` are callables returning a JSON-ready dict;
-    lifecycle/validation failures map to 400, unknown names to 404.
-    """
-    try:
-        if path == "/admin/deploy":
-            if "name" not in payload or "path" not in payload:
-                raise LifecycleError("deploy needs 'name' and 'path'")
-            reply(200, deploy(payload))
-        elif path == "/admin/promote":
-            if "name" not in payload:
-                raise LifecycleError("promote needs 'name'")
-            reply(200, promote(payload))
-        elif path == "/admin/rollback":
-            if "name" not in payload:
-                raise LifecycleError("rollback needs 'name'")
-            reply(200, rollback(payload))
-        else:
-            reply(404, {"error": f"unknown admin path {path}"})
-    except (LifecycleError, ValueError) as exc:
-        reply(400, {"error": str(exc)})
-    except FileNotFoundError as exc:
-        reply(400, {"error": str(exc)})
-    except KeyError as exc:
-        reply(404, {"error": str(exc).strip("'\"")})
-    except Exception as exc:                     # noqa: BLE001 - boundary
-        reply(500, {"error": f"{type(exc).__name__}: {exc}"})
 
 
 def _build_handler(server: PECANServer):

@@ -262,6 +262,19 @@ class TestLifecycleCommands:
         assert args.canary == 0.25 and args.min_samples == 20
         assert args.max_parity_violations == 0 and not args.no_auto
 
+    def test_scale_against_single_server_fails_cleanly(self, serving, capsys):
+        # The scale verb only exists on pools; the single server's 404 must
+        # come back as a clean non-zero exit, not a traceback.
+        server, _ = serving
+        assert main(["scale", "--url", server.url, "--workers", "2"]) == 1
+        assert "scale failed" in capsys.readouterr().out
+
+    def test_scale_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["scale", "--workers", "3"])
+        assert args.workers == 3 and args.reason == "operator"
+        assert args.url == "http://127.0.0.1:8080"
+
 
 class TestScoreCommand:
     """`repro-pecan score` — bulk offline scoring at batch priority."""
